@@ -1,0 +1,14 @@
+// Reproduces Figure 8: LLaMA architecture (RMSNorm, SwiGLU, GQA — the variable-size fused
+// QKV sub-pattern). Source TP2 PP2 DP2; resumed at iteration 101 under the paper's two new
+// Targets: TP2 PP1 DP2 and TP2 PP2 DP1.
+//
+// Scale substitution: LLaMA-7B -> LLaMA-like L=4 H=64 with GQA (kv_heads=2); 200 iterations.
+
+#include "bench/bench_util.h"
+
+int main() {
+  return ucp::bench::RunArchFigure(
+      "fig08_llama", ucp::LlamaScaled(), /*source=*/{2, 2, 2, 1, 1, 1},
+      /*targets=*/{{2, 1, 2, 1, 1, 1}, {2, 2, 1, 1, 1, 1}},
+      /*resume_at=*/100, /*last_iteration=*/200);
+}

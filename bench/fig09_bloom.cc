@@ -1,0 +1,16 @@
+// Reproduces Figure 9: BLOOM architecture (tied input/output embeddings — the
+// replicated-across-pipeline-stages pattern). Paper: Source TP2 PP24 DP8, resumed at
+// iteration 94767 under TP2 PP24 DP1.
+//
+// Scale substitution: BLOOM-176B (L=70) -> BLOOM-like L=8 H=64 tied; PP scaled 24 -> 4 and
+// DP 8 -> 2 so the shrink-DP-to-1 elastic scenario is preserved on 16 -> 8 simulated ranks;
+// resume point scaled to iteration 100 of 200.
+
+#include "bench/bench_util.h"
+
+int main() {
+  return ucp::bench::RunArchFigure(
+      "fig09_bloom", ucp::BloomScaled(), /*source=*/{2, 4, 2, 1, 1, 1},
+      /*targets=*/{{2, 4, 1, 1, 1, 1}},
+      /*resume_at=*/100, /*last_iteration=*/200);
+}

@@ -1,0 +1,16 @@
+// Reproduces Figure 10: Mixtral-style mixture-of-experts (3-d expert weight tensors — the
+// Fig. 5 n-d fragment sub-pattern; top-2 gating). Paper: Source TP1 PP2 DP4, resumed at
+// iteration 501 under TP2 PP2 DP2 — the target applies TP to expert tensors that were
+// previously unsharded.
+//
+// Scale substitution: Mixtral-8x7B variant (42B, E=8) -> MoE L=4 H=64 E=4 top-2; resume
+// point scaled to iteration 100 of 200.
+
+#include "bench/bench_util.h"
+
+int main() {
+  return ucp::bench::RunArchFigure(
+      "fig10_moe", ucp::MoeScaled(), /*source=*/{1, 2, 4, 1, 1, 1},
+      /*targets=*/{{2, 2, 2, 1, 1, 1}},
+      /*resume_at=*/100, /*last_iteration=*/200);
+}

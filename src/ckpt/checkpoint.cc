@@ -1,0 +1,281 @@
+#include "src/ckpt/checkpoint.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+#include "src/common/fs.h"
+#include "src/common/strings.h"
+#include "src/tensor/tensor_file.h"
+
+namespace ucp {
+
+Json CheckpointMeta::ToJson() const {
+  JsonObject obj;
+  obj["model"] = model.ToJson();
+  obj["strategy"] = strategy.ToJson();
+  obj["iteration"] = iteration;
+  obj["global_batch"] = global_batch;
+  obj["data_seed"] = static_cast<int64_t>(data_seed);
+  obj["compute_dtype"] = static_cast<int64_t>(compute_dtype);
+  obj["format_version"] = 1;
+  return Json(std::move(obj));
+}
+
+Result<CheckpointMeta> CheckpointMeta::FromJson(const Json& json) {
+  CheckpointMeta meta;
+  UCP_ASSIGN_OR_RETURN(int64_t version, json.GetInt("format_version"));
+  if (version != 1) {
+    return FailedPreconditionError("unsupported checkpoint format version " +
+                                   std::to_string(version));
+  }
+  if (!json.Has("model") || !json.Has("strategy")) {
+    return DataLossError("checkpoint meta missing model/strategy");
+  }
+  UCP_ASSIGN_OR_RETURN(meta.model, ModelConfig::FromJson(json.AsObject().at("model")));
+  UCP_ASSIGN_OR_RETURN(meta.strategy,
+                       ParallelConfig::FromJson(json.AsObject().at("strategy")));
+  UCP_ASSIGN_OR_RETURN(meta.iteration, json.GetInt("iteration"));
+  UCP_ASSIGN_OR_RETURN(int64_t batch, json.GetInt("global_batch"));
+  meta.global_batch = static_cast<int>(batch);
+  UCP_ASSIGN_OR_RETURN(int64_t seed, json.GetInt("data_seed"));
+  meta.data_seed = static_cast<uint64_t>(seed);
+  UCP_ASSIGN_OR_RETURN(int64_t dtype, json.GetInt("compute_dtype"));
+  if (dtype < 0 || dtype > static_cast<int64_t>(DType::kF16)) {
+    return DataLossError("bad compute dtype in checkpoint meta");
+  }
+  meta.compute_dtype = static_cast<DType>(dtype);
+  return meta;
+}
+
+std::string TagForIteration(int64_t iteration) {
+  return "global_step" + std::to_string(iteration);
+}
+
+std::string ModelStatesFileName(int tp, int pp, int sp) {
+  return StrFormat("mp_rank_%02d_%03d_sp_%02d_model_states", tp, pp, sp);
+}
+
+std::string OptimStatesFileName(int dp, int tp, int pp, int sp) {
+  return StrFormat("zero_pp_rank_%d_mp_rank_%02d_%03d_sp_%02d_optim_states", dp, tp, pp, sp);
+}
+
+Status SaveDistributedCheckpoint(const std::string& dir, RankTrainer& trainer,
+                                 int64_t iteration) {
+  const RankCoord& coord = trainer.coord();
+  const std::string tag = TagForIteration(iteration);
+  const std::string tag_dir = PathJoin(dir, tag);
+  UCP_RETURN_IF_ERROR(MakeDirs(tag_dir));
+
+  // --- Optimizer states: every rank saves its ZeRO partition. ---
+  const ZeroOptimizer& opt = trainer.optimizer();
+  TensorBundle optim;
+  optim.Add("fp32_flat", opt.MasterState());
+  optim.Add("exp_avg", opt.ExpAvgState());
+  optim.Add("exp_avg_sq", opt.ExpAvgSqState());
+  JsonObject optim_meta;
+  optim_meta["flat_layout"] = opt.layout().ToJson();
+  optim_meta["zero_stage"] = opt.zero_stage();
+  optim_meta["steps_taken"] = opt.steps_taken();
+  optim_meta["dp_index"] = coord.dp;
+  optim_meta["tp_index"] = coord.tp;
+  optim_meta["pp_index"] = coord.pp;
+  optim_meta["sp_index"] = coord.sp;
+  optim.meta = Json(std::move(optim_meta));
+  UCP_RETURN_IF_ERROR(SaveBundle(
+      PathJoin(tag_dir, OptimStatesFileName(coord.dp, coord.tp, coord.pp, coord.sp)), optim));
+
+  // --- Model states: one file per model-parallel rank, written by its dp==0 member.
+  //     ZeRO-3 shards parameters across DP, so (as in DeepSpeed) the model-states file
+  //     carries no parameter payloads — the optimizer flats are authoritative. ---
+  if (coord.dp == 0) {
+    TensorBundle model_states;
+    if (trainer.config().strategy.zero_stage < 3) {
+      for (const ParamPtr& p : trainer.model().store().params()) {
+        if (p->tied_secondary) {
+          continue;  // canonical copy lives on the first stage
+        }
+        model_states.Add(p->info.name, p->value.Clone());
+      }
+    }
+    JsonObject ms_meta;
+    ms_meta["tp_index"] = coord.tp;
+    ms_meta["pp_index"] = coord.pp;
+    ms_meta["sp_index"] = coord.sp;
+    ms_meta["zero_stage"] = opt.zero_stage();
+    model_states.meta = Json(std::move(ms_meta));
+    UCP_RETURN_IF_ERROR(
+        SaveBundle(PathJoin(tag_dir, ModelStatesFileName(coord.tp, coord.pp, coord.sp)),
+                   model_states, trainer.config().compute_dtype));
+  }
+
+  // --- Rank 0 writes the run-level metadata after all shards are on disk. ---
+  trainer.groups().world.Barrier();
+  if (trainer.rank() == 0) {
+    CheckpointMeta meta;
+    meta.model = trainer.config().model;
+    meta.strategy = trainer.config().strategy;
+    meta.iteration = iteration;
+    meta.global_batch = trainer.config().global_batch;
+    meta.data_seed = trainer.config().data_seed;
+    meta.compute_dtype = trainer.config().compute_dtype;
+    UCP_RETURN_IF_ERROR(WriteFileAtomic(PathJoin(tag_dir, "checkpoint_meta.json"),
+                                        meta.ToJson().Dump(2)));
+    UCP_RETURN_IF_ERROR(WriteFileAtomic(PathJoin(dir, "latest"), tag));
+  }
+  trainer.groups().world.Barrier();
+  return OkStatus();
+}
+
+Result<std::string> ReadLatestTag(const std::string& dir) {
+  return ReadFileToString(PathJoin(dir, "latest"));
+}
+
+Result<std::vector<std::string>> ListCheckpointTags(const std::string& dir) {
+  UCP_ASSIGN_OR_RETURN(std::vector<std::string> entries, ListDir(dir));
+  std::vector<std::pair<int64_t, std::string>> tagged;
+  for (const std::string& name : entries) {
+    constexpr char kPrefix[] = "global_step";
+    if (StartsWith(name, kPrefix) && DirExists(PathJoin(dir, name))) {
+      errno = 0;
+      char* end = nullptr;
+      long long iteration = std::strtoll(name.c_str() + sizeof(kPrefix) - 1, &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        tagged.emplace_back(iteration, name);
+      }
+    }
+  }
+  std::sort(tagged.begin(), tagged.end());
+  std::vector<std::string> tags;
+  tags.reserve(tagged.size());
+  for (auto& [iteration, name] : tagged) {
+    tags.push_back(std::move(name));
+  }
+  return tags;
+}
+
+Status PruneCheckpoints(const std::string& dir, int keep_last) {
+  if (keep_last < 1) {
+    return InvalidArgumentError("keep_last must be >= 1");
+  }
+  UCP_ASSIGN_OR_RETURN(std::vector<std::string> tags, ListCheckpointTags(dir));
+  std::string latest;
+  if (Result<std::string> latest_tag = ReadLatestTag(dir); latest_tag.ok()) {
+    latest = *latest_tag;
+  }
+  int excess = static_cast<int>(tags.size()) - keep_last;
+  for (int i = 0; i < static_cast<int>(tags.size()) && excess > 0; ++i) {
+    if (tags[static_cast<size_t>(i)] == latest) {
+      continue;
+    }
+    UCP_RETURN_IF_ERROR(RemoveAll(PathJoin(dir, tags[static_cast<size_t>(i)])));
+    --excess;
+  }
+  return OkStatus();
+}
+
+Result<CheckpointMeta> ReadCheckpointMeta(const std::string& dir, const std::string& tag) {
+  UCP_ASSIGN_OR_RETURN(std::string text,
+                       ReadFileToString(PathJoin(PathJoin(dir, tag), "checkpoint_meta.json")));
+  UCP_ASSIGN_OR_RETURN(Json json, Json::Parse(text));
+  return CheckpointMeta::FromJson(json);
+}
+
+namespace {
+
+// The per-rank phase of loading: validation and file reads only — no collectives, so it may
+// fail on one rank without stranding peers.
+struct LoadedOptimState {
+  Tensor master;
+  Tensor exp_avg;
+  Tensor exp_avg_sq;
+  int64_t steps = 0;
+};
+
+Result<LoadedOptimState> LoadLocalState(const std::string& dir, const std::string& tag,
+                                        RankTrainer& trainer) {
+  UCP_ASSIGN_OR_RETURN(CheckpointMeta meta, ReadCheckpointMeta(dir, tag));
+
+  // The Fig. 1 behaviour: distributed checkpoints are coupled to the strategy that produced
+  // them. Any mismatch is an error, not a best-effort remap.
+  if (!(meta.model == trainer.config().model)) {
+    return FailedPreconditionError("model config mismatch: checkpoint was written by a "
+                                   "different model architecture");
+  }
+  if (!(meta.strategy == trainer.config().strategy)) {
+    return FailedPreconditionError(
+        "parallelism mismatch: checkpoint " + meta.strategy.ToString() + " vs run " +
+        trainer.config().strategy.ToString() +
+        " — convert through UCP to resume under a different strategy");
+  }
+
+  const RankCoord& coord = trainer.coord();
+  const std::string tag_dir = PathJoin(dir, tag);
+
+  // Validate the model-states file (name/shape strictness), then restore optimizer state.
+  UCP_ASSIGN_OR_RETURN(
+      BundleInfo ms_info,
+      StatBundle(PathJoin(tag_dir, ModelStatesFileName(coord.tp, coord.pp, coord.sp))));
+  if (trainer.config().strategy.zero_stage < 3) {
+    for (const ParamPtr& p : trainer.model().store().params()) {
+      if (p->tied_secondary) {
+        continue;
+      }
+      bool found = false;
+      for (const auto& [name, info] : ms_info.entries) {
+        if (name == p->info.name) {
+          if (info.shape != p->value.shape()) {
+            return FailedPreconditionError("shape mismatch for " + p->info.name +
+                                           ": checkpoint " + ShapeToString(info.shape) +
+                                           " vs model " + ShapeToString(p->value.shape()));
+          }
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return FailedPreconditionError("parameter missing from checkpoint: " + p->info.name);
+      }
+    }
+  }
+
+  UCP_ASSIGN_OR_RETURN(
+      TensorBundle optim,
+      LoadBundle(PathJoin(tag_dir, OptimStatesFileName(coord.dp, coord.tp, coord.pp,
+                                                       coord.sp))));
+  const Tensor* master = optim.Find("fp32_flat");
+  const Tensor* exp_avg = optim.Find("exp_avg");
+  const Tensor* exp_avg_sq = optim.Find("exp_avg_sq");
+  if (master == nullptr || exp_avg == nullptr || exp_avg_sq == nullptr) {
+    return DataLossError("optimizer states bundle is missing tensors");
+  }
+  LoadedOptimState state;
+  state.master = master->Clone();
+  state.exp_avg = exp_avg->Clone();
+  state.exp_avg_sq = exp_avg_sq->Clone();
+  UCP_ASSIGN_OR_RETURN(state.steps, optim.meta.GetInt("steps_taken"));
+  return state;
+}
+
+}  // namespace
+
+Status LoadDistributedCheckpoint(const std::string& dir, const std::string& tag,
+                                 RankTrainer& trainer) {
+  Result<LoadedOptimState> local = LoadLocalState(dir, tag, trainer);
+  // Collective agreement before installing state: ZeroOptimizer::LoadState all-gathers
+  // across the DP group, so a rank that failed its local reads must fail *everyone* here —
+  // otherwise healthy peers would strand inside the collective. Every rank reaches this
+  // reduction regardless of its local outcome.
+  double peer_failed =
+      trainer.groups().world.AllReduceMaxScalar(local.ok() ? 0.0 : 1.0);
+  if (!local.ok()) {
+    return local.status();
+  }
+  if (peer_failed > 0.0) {
+    return DataLossError("aborting load: a peer rank failed to read this checkpoint");
+  }
+  return trainer.optimizer().LoadState(local->master, local->exp_avg, local->exp_avg_sq,
+                                       local->steps);
+}
+
+}  // namespace ucp

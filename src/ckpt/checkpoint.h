@@ -1,0 +1,70 @@
+// Native distributed checkpointing (the DeepSpeed-style layout UCP consumes).
+//
+// Directory layout for a checkpoint saved under tag `global_stepN`:
+//
+//   <dir>/latest                                        -- text file naming the newest tag
+//   <dir>/<tag>/checkpoint_meta.json                    -- model config, strategy, iteration
+//   <dir>/<tag>/mp_rank_TT_PPP_sp_SS_model_states       -- per model-parallel rank (saved by
+//                                                          its dp==0 member): parameter shard
+//                                                          tensors at the compute dtype
+//   <dir>/<tag>/zero_pp_rank_D_mp_rank_TT_PPP_sp_SS_optim_states
+//                                                       -- per rank: flat fp32 master /
+//                                                          exp_avg / exp_avg_sq partitions +
+//                                                          the FlatLayout metadata
+//
+// Loading is strict, reproducing the Fig. 1 failure mode: resuming under a different
+// parallelism strategy or world size fails with FAILED_PRECONDITION instead of silently
+// mis-mapping state. UCP (src/ucp) is the sanctioned way to reshape checkpoints.
+
+#ifndef UCP_SRC_CKPT_CHECKPOINT_H_
+#define UCP_SRC_CKPT_CHECKPOINT_H_
+
+#include <string>
+
+#include "src/runtime/trainer.h"
+
+namespace ucp {
+
+struct CheckpointMeta {
+  ModelConfig model;
+  ParallelConfig strategy;
+  int64_t iteration = 0;
+  int global_batch = 0;
+  uint64_t data_seed = 0;
+  DType compute_dtype = DType::kF32;
+
+  Json ToJson() const;
+  static Result<CheckpointMeta> FromJson(const Json& json);
+};
+
+// Tag helpers ("global_step123").
+std::string TagForIteration(int64_t iteration);
+
+// File-name helpers (shared with the UCP converter).
+std::string ModelStatesFileName(int tp, int pp, int sp);
+std::string OptimStatesFileName(int dp, int tp, int pp, int sp);
+
+// Saves this rank's shard. Every rank of the run must call it (collective: ends with a
+// world barrier; rank 0 additionally writes checkpoint_meta.json and updates `latest`).
+Status SaveDistributedCheckpoint(const std::string& dir, RankTrainer& trainer,
+                                 int64_t iteration);
+
+// Reads <dir>/latest. Convenience for resuming.
+Result<std::string> ReadLatestTag(const std::string& dir);
+
+Result<CheckpointMeta> ReadCheckpointMeta(const std::string& dir, const std::string& tag);
+
+// Strict native load: the trainer's model + strategy must match the checkpoint exactly.
+Status LoadDistributedCheckpoint(const std::string& dir, const std::string& tag,
+                                 RankTrainer& trainer);
+
+// All checkpoint tags under `dir` in ascending iteration order.
+Result<std::vector<std::string>> ListCheckpointTags(const std::string& dir);
+
+// Retention: deletes the oldest checkpoints so at most `keep_last` tags remain. The tag
+// named by `latest` is never deleted. Call from one process only (e.g. rank 0 after save).
+Status PruneCheckpoints(const std::string& dir, int keep_last);
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_CKPT_CHECKPOINT_H_

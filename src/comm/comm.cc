@@ -1,0 +1,221 @@
+#include "src/comm/comm.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace ucp {
+namespace internal {
+
+GroupState::GroupState(std::vector<int> member_ranks) : members_(std::move(member_ranks)) {
+  UCP_CHECK(!members_.empty());
+  slots_.resize(members_.size(), nullptr);
+}
+
+int GroupState::IndexOf(int global_rank) const {
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == global_rank) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+const std::vector<const void*>& GroupState::Exchange(int index, const void* p) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Wait for the previous collective on this group to fully retire.
+  cv_.wait(lock, [this] { return !consuming_; });
+  UCP_CHECK_GE(index, 0);
+  UCP_CHECK_LT(index, size());
+  UCP_CHECK(slots_[static_cast<size_t>(index)] == nullptr)
+      << "rank deposited twice into one collective";
+  slots_[static_cast<size_t>(index)] = p;
+  ++deposited_;
+  if (deposited_ == size()) {
+    consuming_ = true;
+    consumed_ = 0;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [this] { return consuming_; });
+  }
+  return slots_;
+}
+
+void GroupState::Done() {
+  std::unique_lock<std::mutex> lock(mu_);
+  UCP_CHECK(consuming_) << "Done() without Exchange()";
+  ++consumed_;
+  if (consumed_ == size()) {
+    std::fill(slots_.begin(), slots_.end(), nullptr);
+    deposited_ = 0;
+    consuming_ = false;
+    cv_.notify_all();
+  } else {
+    // Block until the op retires so no member can race ahead and mutate its deposited
+    // buffer while peers are still reading it.
+    cv_.wait(lock, [this] { return !consuming_; });
+  }
+}
+
+void Mailbox::Send(int src, int dst, Tensor t) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    channels_[{src, dst}].push_back(std::move(t));
+  }
+  cv_.notify_all();
+}
+
+Tensor Mailbox::Recv(int src, int dst) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto key = std::make_pair(src, dst);
+  cv_.wait(lock, [this, &key] {
+    auto it = channels_.find(key);
+    return it != channels_.end() && !it->second.empty();
+  });
+  Tensor t = std::move(channels_[key].front());
+  channels_[key].pop_front();
+  return t;
+}
+
+}  // namespace internal
+
+World::World(int size) : size_(size) { UCP_CHECK_GT(size, 0); }
+
+std::shared_ptr<internal::GroupState> World::CreateGroup(const std::vector<int>& ranks) {
+  UCP_CHECK(!ranks.empty());
+  for (int r : ranks) {
+    UCP_CHECK_GE(r, 0);
+    UCP_CHECK_LT(r, size_);
+  }
+  return std::make_shared<internal::GroupState>(ranks);
+}
+
+void World::Send(int src_rank, int dst_rank, const Tensor& t) {
+  mailbox_.Send(src_rank, dst_rank, t.Clone());
+}
+
+Tensor World::Recv(int src_rank, int dst_rank) { return mailbox_.Recv(src_rank, dst_rank); }
+
+ProcessGroup::ProcessGroup(std::shared_ptr<internal::GroupState> state, int global_rank)
+    : state_(std::move(state)) {
+  index_ = state_->IndexOf(global_rank);
+  UCP_CHECK_GE(index_, 0) << "rank " << global_rank << " is not a member of this group";
+}
+
+void ProcessGroup::AllReduceSum(Tensor& t) const {
+  const auto& slots = state_->Exchange(index_, &t);
+  // Accumulate in group order into a temporary; writing into `t` before Done() would corrupt
+  // peers that still read our slot.
+  Tensor result = Tensor::Zeros(t.shape());
+  for (const void* slot : slots) {
+    const auto* contrib = static_cast<const Tensor*>(slot);
+    UCP_CHECK_EQ(contrib->numel(), t.numel()) << "AllReduceSum shape mismatch";
+    result.Add_(*contrib);
+  }
+  state_->Done();
+  t.CopyFrom(result);
+}
+
+void ProcessGroup::AllReduceMax(Tensor& t) const {
+  const auto& slots = state_->Exchange(index_, &t);
+  Tensor result = Tensor::Full(t.shape(), -std::numeric_limits<float>::infinity());
+  float* out = result.data();
+  for (const void* slot : slots) {
+    const auto* contrib = static_cast<const Tensor*>(slot);
+    UCP_CHECK_EQ(contrib->numel(), t.numel()) << "AllReduceMax shape mismatch";
+    const float* in = contrib->data();
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      out[i] = std::max(out[i], in[i]);
+    }
+  }
+  state_->Done();
+  t.CopyFrom(result);
+}
+
+double ProcessGroup::AllReduceSumScalar(double v) const {
+  const auto& slots = state_->Exchange(index_, &v);
+  double sum = 0.0;
+  for (const void* slot : slots) {
+    sum += *static_cast<const double*>(slot);
+  }
+  state_->Done();
+  return sum;
+}
+
+double ProcessGroup::AllReduceMaxScalar(double v) const {
+  const auto& slots = state_->Exchange(index_, &v);
+  double m = -std::numeric_limits<double>::infinity();
+  for (const void* slot : slots) {
+    m = std::max(m, *static_cast<const double*>(slot));
+  }
+  state_->Done();
+  return m;
+}
+
+std::vector<Tensor> ProcessGroup::AllGatherTensors(const Tensor& t) const {
+  const auto& slots = state_->Exchange(index_, &t);
+  std::vector<Tensor> out;
+  out.reserve(slots.size());
+  for (const void* slot : slots) {
+    out.push_back(static_cast<const Tensor*>(slot)->Clone());
+  }
+  state_->Done();
+  return out;
+}
+
+Tensor ProcessGroup::AllGatherConcat(const Tensor& t, int dim) const {
+  std::vector<Tensor> gathered = AllGatherTensors(t);
+  return Tensor::Concat(gathered, dim);
+}
+
+void ProcessGroup::ReduceScatterSum(const Tensor& full, Tensor& shard) const {
+  UCP_CHECK_EQ(full.numel() % size(), 0) << "ReduceScatterSum: numel not divisible by group";
+  int64_t shard_numel = full.numel() / size();
+  UCP_CHECK_EQ(shard.numel(), shard_numel) << "ReduceScatterSum: bad shard size";
+
+  const auto& slots = state_->Exchange(index_, &full);
+  Tensor result = Tensor::Zeros({shard_numel});
+  float* out = result.data();
+  int64_t base = static_cast<int64_t>(index_) * shard_numel;
+  for (const void* slot : slots) {
+    const auto* contrib = static_cast<const Tensor*>(slot);
+    UCP_CHECK_EQ(contrib->numel(), full.numel()) << "ReduceScatterSum shape mismatch";
+    const float* in = contrib->data() + base;
+    for (int64_t i = 0; i < shard_numel; ++i) {
+      out[i] += in[i];
+    }
+  }
+  state_->Done();
+  shard.CopyFrom(result);
+}
+
+void ProcessGroup::Broadcast(Tensor& t, int root_index) const {
+  UCP_CHECK_GE(root_index, 0);
+  UCP_CHECK_LT(root_index, size());
+  const auto& slots = state_->Exchange(index_, &t);
+  const auto* root = static_cast<const Tensor*>(slots[static_cast<size_t>(root_index)]);
+  UCP_CHECK_EQ(root->numel(), t.numel()) << "Broadcast shape mismatch";
+  Tensor copy = root->Clone();
+  state_->Done();
+  if (index_ != root_index) {
+    t.CopyFrom(copy);
+  }
+}
+
+void ProcessGroup::Barrier() const {
+  int token = 0;
+  state_->Exchange(index_, &token);
+  state_->Done();
+}
+
+void RunSpmd(int world_size, const std::function<void(int)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(world_size));
+  for (int r = 0; r < world_size; ++r) {
+    threads.emplace_back([&body, r] { body(r); });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+}
+
+}  // namespace ucp

@@ -1,0 +1,144 @@
+// Simulated collective communication for the SPMD training runtime.
+//
+// This is the repository's NCCL substitute (see DESIGN.md). A World hosts `size` simulated
+// ranks, each running on its own OS thread. ProcessGroup exposes the collectives the
+// parallelism strategies need: all-reduce (gradient sync in DP, partial-sum reduction in
+// row-parallel TP), all-gather (ZeRO-3 parameter reconstruction, TP output assembly),
+// reduce-scatter (ZeRO-2/3 gradient partitioning), broadcast, barrier, and point-to-point
+// send/recv (pipeline-parallel activations).
+//
+// Determinism: every reduction iterates contributions in *group rank order*, independent of
+// thread arrival order. Each rank computes the reduction locally from the same ordered slot
+// vector, so all ranks observe bit-identical results and repeated runs are reproducible —
+// the property the resume-bit-exactness tests rely on.
+
+#ifndef UCP_SRC_COMM_COMM_H_
+#define UCP_SRC_COMM_COMM_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace ucp {
+
+namespace internal {
+
+// Rendezvous shared by all member ranks of one group. Implements a deposit/consume protocol:
+// every member deposits a pointer, all members see the full slot vector, and the op retires
+// only after every member signals completion — so no member may mutate its deposited buffer
+// until the collective returns.
+class GroupState {
+ public:
+  explicit GroupState(std::vector<int> member_ranks);
+
+  int size() const { return static_cast<int>(members_.size()); }
+  const std::vector<int>& members() const { return members_; }
+  // Index of `global_rank` within the group, or -1.
+  int IndexOf(int global_rank) const;
+
+  // Deposits `p` at `index`; returns once all members have deposited. The returned vector is
+  // ordered by group index and stays valid until Done() is called.
+  const std::vector<const void*>& Exchange(int index, const void* p);
+  // Marks this member finished with the slot vector; returns once all members are finished.
+  void Done();
+
+ private:
+  std::vector<int> members_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<const void*> slots_;
+  int deposited_ = 0;
+  int consumed_ = 0;
+  bool consuming_ = false;
+};
+
+// Blocking FIFO channels for point-to-point messages, keyed by (src, dst).
+class Mailbox {
+ public:
+  void Send(int src, int dst, Tensor t);
+  Tensor Recv(int src, int dst);
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::pair<int, int>, std::deque<Tensor>> channels_;
+};
+
+}  // namespace internal
+
+class ProcessGroup;
+
+// The simulated cluster. Create one World per training run; build groups on the launcher
+// thread (identical group layout for every rank), then hand per-rank ProcessGroup handles to
+// rank threads.
+class World {
+ public:
+  explicit World(int size);
+
+  int size() const { return size_; }
+
+  // Creates the shared state for a group over the given global ranks (must be distinct,
+  // in-range; order defines the group's canonical reduction order).
+  std::shared_ptr<internal::GroupState> CreateGroup(const std::vector<int>& ranks);
+
+  // Point-to-point (used by pipeline parallelism). Send copies; Recv blocks.
+  void Send(int src_rank, int dst_rank, const Tensor& t);
+  Tensor Recv(int src_rank, int dst_rank);
+
+ private:
+  int size_;
+  internal::Mailbox mailbox_;
+};
+
+// A rank's handle to one communication group. Value type; cheap to copy.
+class ProcessGroup {
+ public:
+  ProcessGroup() = default;  // invalid handle
+  ProcessGroup(std::shared_ptr<internal::GroupState> state, int global_rank);
+
+  bool valid() const { return state_ != nullptr; }
+  int size() const { return state_->size(); }
+  // This rank's index within the group (0 .. size-1).
+  int index() const { return index_; }
+  const std::vector<int>& members() const { return state_->members(); }
+
+  // In-place sum all-reduce over the group.
+  void AllReduceSum(Tensor& t) const;
+  // Elementwise max all-reduce (used for overflow checks in MPT simulation).
+  void AllReduceMax(Tensor& t) const;
+  double AllReduceSumScalar(double v) const;
+  double AllReduceMaxScalar(double v) const;
+
+  // Returns every member's tensor, ordered by group index. Shapes may differ across ranks
+  // (ZeRO-3 ragged shards).
+  std::vector<Tensor> AllGatherTensors(const Tensor& t) const;
+  // Concatenates the gathered tensors along `dim` (all shapes must agree off-dim).
+  Tensor AllGatherConcat(const Tensor& t, int dim) const;
+
+  // Sums members' `full` tensors (all the same shape, numel divisible by size) and writes
+  // this rank's contiguous 1/size slice of the flattened sum into `shard`.
+  void ReduceScatterSum(const Tensor& full, Tensor& shard) const;
+
+  // Copies root's tensor into every member's `t` (shapes must match).
+  void Broadcast(Tensor& t, int root_index) const;
+
+  void Barrier() const;
+
+ private:
+  std::shared_ptr<internal::GroupState> state_;
+  int index_ = -1;
+};
+
+// Runs `body(rank)` on world_size threads and joins them. UCP_CHECK failures abort the whole
+// process, matching how a fatal rank error kills a real job.
+void RunSpmd(int world_size, const std::function<void(int)>& body);
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_COMM_COMM_H_

@@ -1,0 +1,108 @@
+#include "src/common/bytes.h"
+
+namespace ucp {
+
+void ByteWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::PutF32(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(bits);
+}
+
+void ByteWriter::PutF64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void ByteWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  PutBytes(s.data(), s.size());
+}
+
+void ByteWriter::PutBytes(const void* data, size_t size) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  buffer_.insert(buffer_.end(), p, p + size);
+}
+
+Result<uint8_t> ByteReader::GetU8() {
+  if (remaining() < 1) {
+    return DataLossError("byte stream truncated (u8)");
+  }
+  return data_[pos_++];
+}
+
+Result<uint32_t> ByteReader::GetU32() {
+  if (remaining() < 4) {
+    return DataLossError("byte stream truncated (u32)");
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::GetU64() {
+  if (remaining() < 8) {
+    return DataLossError("byte stream truncated (u64)");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> ByteReader::GetI64() {
+  UCP_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<float> ByteReader::GetF32() {
+  UCP_ASSIGN_OR_RETURN(uint32_t bits, GetU32());
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<double> ByteReader::GetF64() {
+  UCP_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> ByteReader::GetString() {
+  UCP_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  if (remaining() < len) {
+    return DataLossError("byte stream truncated (string of length " + std::to_string(len) + ")");
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+Status ByteReader::GetBytes(void* out, size_t size) {
+  if (remaining() < size) {
+    return DataLossError("byte stream truncated (bytes of length " + std::to_string(size) + ")");
+  }
+  std::memcpy(out, data_ + pos_, size);
+  pos_ += size;
+  return OkStatus();
+}
+
+}  // namespace ucp

@@ -1,0 +1,68 @@
+// Little-endian binary serialization primitives for checkpoint files.
+//
+// All on-disk integers are little-endian regardless of host byte order; the tensor file
+// header carries an endianness tag so corruption of the tag is detectable.
+
+#ifndef UCP_SRC_COMMON_BYTES_H_
+#define UCP_SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ucp {
+
+// Append-only byte sink.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buffer_.push_back(v); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutF32(float v);
+  void PutF64(double v);
+  // Length-prefixed string (u32 length + raw bytes).
+  void PutString(const std::string& s);
+  void PutBytes(const void* data, size_t size);
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+// Bounds-checked reader over a byte span. Reads past the end return kDataLoss, so truncated
+// checkpoint files fail loudly instead of yielding garbage.
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t size)
+      : data_(static_cast<const uint8_t*>(data)), size_(size) {}
+  explicit ByteReader(const std::string& s) : ByteReader(s.data(), s.size()) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<float> GetF32();
+  Result<double> GetF64();
+  Result<std::string> GetString();
+  Status GetBytes(void* out, size_t size);
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_COMMON_BYTES_H_

@@ -1,0 +1,21 @@
+// CRC32 (ISO-HDLC polynomial, same as zlib's crc32) for checkpoint integrity checking.
+
+#ifndef UCP_SRC_COMMON_CRC32_H_
+#define UCP_SRC_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ucp {
+
+// One-shot CRC of a buffer.
+uint32_t Crc32(const void* data, size_t size);
+
+// Incremental form: crc = Crc32Update(crc, chunk, n) starting from Crc32Init().
+uint32_t Crc32Init();
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+uint32_t Crc32Finalize(uint32_t crc);
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_COMMON_CRC32_H_

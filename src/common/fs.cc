@@ -1,0 +1,154 @@
+#include "src/common/fs.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "src/common/strings.h"
+
+namespace ucp {
+
+namespace stdfs = std::filesystem;
+
+Status MakeDirs(const std::string& path) {
+  std::error_code ec;
+  stdfs::create_directories(path, ec);
+  if (ec) {
+    return IoError("create_directories(" + path + "): " + ec.message());
+  }
+  return OkStatus();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return stdfs::is_regular_file(path, ec);
+}
+
+bool DirExists(const std::string& path) {
+  std::error_code ec;
+  return stdfs::is_directory(path, ec);
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  uint64_t size = stdfs::file_size(path, ec);
+  if (ec) {
+    return IoError("file_size(" + path + "): " + ec.message());
+  }
+  return size;
+}
+
+Status WriteFileAtomic(const std::string& path, const void* data, size_t size) {
+  // A per-process counter keeps concurrent writers (converter thread pool) from colliding on
+  // the temporary name.
+  static std::atomic<uint64_t> counter{0};
+  std::string tmp = path + ".tmp." + std::to_string(counter.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return IoError("open for write failed: " + tmp);
+    }
+    out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return IoError("write failed: " + tmp);
+    }
+  }
+  std::error_code ec;
+  stdfs::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return IoError("rename " + tmp + " -> " + path + ": " + ec.message());
+  }
+  return OkStatus();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  return WriteFileAtomic(path, contents.data(), contents.size());
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError("cannot open " + path);
+  }
+  std::string contents;
+  in.seekg(0, std::ios::end);
+  std::streampos end = in.tellg();
+  if (end < 0) {
+    return IoError("tellg failed for " + path);
+  }
+  contents.resize(static_cast<size_t>(end));
+  in.seekg(0, std::ios::beg);
+  in.read(contents.data(), end);
+  if (!in) {
+    return IoError("read failed for " + path);
+  }
+  return contents;
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& path) {
+  if (!DirExists(path)) {
+    return NotFoundError("not a directory: " + path);
+  }
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : stdfs::directory_iterator(path, ec)) {
+    names.push_back(entry.path().filename().string());
+  }
+  if (ec) {
+    return IoError("directory_iterator(" + path + "): " + ec.message());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status RemoveAll(const std::string& path) {
+  std::error_code ec;
+  stdfs::remove_all(path, ec);
+  if (ec) {
+    return IoError("remove_all(" + path + "): " + ec.message());
+  }
+  return OkStatus();
+}
+
+std::string PathJoin(const std::string& a, const std::string& b) {
+  if (a.empty()) {
+    return b;
+  }
+  if (b.empty()) {
+    return a;
+  }
+  if (a.back() == '/') {
+    return a + (b.front() == '/' ? b.substr(1) : b);
+  }
+  return a + (b.front() == '/' ? b : "/" + b);
+}
+
+Result<std::string> MakeTempDir(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  std::error_code ec;
+  stdfs::path base = stdfs::temp_directory_path(ec);
+  if (ec) {
+    return IoError("temp_directory_path: " + ec.message());
+  }
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::string name =
+        prefix + "." + std::to_string(::getpid()) + "." + std::to_string(counter.fetch_add(1));
+    stdfs::path candidate = base / name;
+    if (stdfs::create_directory(candidate, ec)) {
+      return candidate.string();
+    }
+  }
+  return IoError("could not create temp dir with prefix " + prefix);
+}
+
+}  // namespace ucp

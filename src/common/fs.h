@@ -1,0 +1,46 @@
+// Filesystem helpers for checkpoint I/O.
+//
+// Writes are crash-consistent: data goes to a temporary sibling file which is renamed into
+// place only after a successful flush, so a checkpoint directory never contains a
+// half-written file under its final name.
+
+#ifndef UCP_SRC_COMMON_FS_H_
+#define UCP_SRC_COMMON_FS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ucp {
+
+// Creates `path` and any missing parents.
+Status MakeDirs(const std::string& path);
+
+bool FileExists(const std::string& path);
+bool DirExists(const std::string& path);
+
+Result<uint64_t> FileSize(const std::string& path);
+
+// Atomically replaces `path` with `contents` (tmp file + rename).
+Status WriteFileAtomic(const std::string& path, const void* data, size_t size);
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
+Result<std::string> ReadFileToString(const std::string& path);
+
+// Names (not full paths) of directory entries, sorted. Fails if `path` is not a directory.
+Result<std::vector<std::string>> ListDir(const std::string& path);
+
+// Recursively removes `path` if it exists; no-op (OK) when absent.
+Status RemoveAll(const std::string& path);
+
+// Joins with exactly one '/' between parts.
+std::string PathJoin(const std::string& a, const std::string& b);
+
+// Creates a fresh unique directory under the system temp dir with the given prefix.
+Result<std::string> MakeTempDir(const std::string& prefix);
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_COMMON_FS_H_

@@ -1,0 +1,506 @@
+#include "src/common/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ucp {
+
+bool Json::AsBool() const {
+  UCP_CHECK(is_bool()) << "Json::AsBool on non-bool";
+  return std::get<bool>(value_);
+}
+
+int64_t Json::AsInt() const {
+  if (is_double()) {
+    double d = std::get<double>(value_);
+    UCP_CHECK(d == std::floor(d)) << "Json::AsInt on non-integral double " << d;
+    return static_cast<int64_t>(d);
+  }
+  UCP_CHECK(is_int()) << "Json::AsInt on non-number";
+  return std::get<int64_t>(value_);
+}
+
+double Json::AsDouble() const {
+  if (is_int()) {
+    return static_cast<double>(std::get<int64_t>(value_));
+  }
+  UCP_CHECK(is_double()) << "Json::AsDouble on non-number";
+  return std::get<double>(value_);
+}
+
+const std::string& Json::AsString() const {
+  UCP_CHECK(is_string()) << "Json::AsString on non-string";
+  return std::get<std::string>(value_);
+}
+
+const JsonArray& Json::AsArray() const {
+  UCP_CHECK(is_array()) << "Json::AsArray on non-array";
+  return std::get<JsonArray>(value_);
+}
+
+JsonArray& Json::AsArray() {
+  UCP_CHECK(is_array()) << "Json::AsArray on non-array";
+  return std::get<JsonArray>(value_);
+}
+
+const JsonObject& Json::AsObject() const {
+  UCP_CHECK(is_object()) << "Json::AsObject on non-object";
+  return std::get<JsonObject>(value_);
+}
+
+JsonObject& Json::AsObject() {
+  UCP_CHECK(is_object()) << "Json::AsObject on non-object";
+  return std::get<JsonObject>(value_);
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (is_null()) {
+    value_ = JsonObject{};
+  }
+  return AsObject()[key];
+}
+
+bool Json::Has(const std::string& key) const {
+  return is_object() && AsObject().count(key) > 0;
+}
+
+Result<int64_t> Json::GetInt(const std::string& key) const {
+  if (!is_object()) {
+    return InvalidArgumentError("not a JSON object");
+  }
+  auto it = AsObject().find(key);
+  if (it == AsObject().end()) {
+    return NotFoundError("missing JSON key: " + key);
+  }
+  if (!it->second.is_number()) {
+    return InvalidArgumentError("JSON key is not a number: " + key);
+  }
+  return it->second.AsInt();
+}
+
+Result<double> Json::GetDouble(const std::string& key) const {
+  if (!is_object()) {
+    return InvalidArgumentError("not a JSON object");
+  }
+  auto it = AsObject().find(key);
+  if (it == AsObject().end()) {
+    return NotFoundError("missing JSON key: " + key);
+  }
+  if (!it->second.is_number()) {
+    return InvalidArgumentError("JSON key is not a number: " + key);
+  }
+  return it->second.AsDouble();
+}
+
+Result<std::string> Json::GetString(const std::string& key) const {
+  if (!is_object()) {
+    return InvalidArgumentError("not a JSON object");
+  }
+  auto it = AsObject().find(key);
+  if (it == AsObject().end()) {
+    return NotFoundError("missing JSON key: " + key);
+  }
+  if (!it->second.is_string()) {
+    return InvalidArgumentError("JSON key is not a string: " + key);
+  }
+  return it->second.AsString();
+}
+
+Result<bool> Json::GetBool(const std::string& key) const {
+  if (!is_object()) {
+    return InvalidArgumentError("not a JSON object");
+  }
+  auto it = AsObject().find(key);
+  if (it == AsObject().end()) {
+    return NotFoundError("missing JSON key: " + key);
+  }
+  if (!it->second.is_bool()) {
+    return InvalidArgumentError("JSON key is not a bool: " + key);
+  }
+  return it->second.AsBool();
+}
+
+Result<const JsonArray*> Json::GetArray(const std::string& key) const {
+  if (!is_object()) {
+    return InvalidArgumentError("not a JSON object");
+  }
+  auto it = AsObject().find(key);
+  if (it == AsObject().end()) {
+    return NotFoundError("missing JSON key: " + key);
+  }
+  if (!it->second.is_array()) {
+    return InvalidArgumentError("JSON key is not an array: " + key);
+  }
+  return &it->second.AsArray();
+}
+
+Result<const JsonObject*> Json::GetObject(const std::string& key) const {
+  if (!is_object()) {
+    return InvalidArgumentError("not a JSON object");
+  }
+  auto it = AsObject().find(key);
+  if (it == AsObject().end()) {
+    return NotFoundError("missing JSON key: " + key);
+  }
+  if (!it->second.is_object()) {
+    return InvalidArgumentError("JSON key is not an object: " + key);
+  }
+  return &it->second.AsObject();
+}
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void DumpInto(const Json& v, int indent, int depth, std::string& out);
+
+void Newline(int indent, int depth, std::string& out) {
+  if (indent > 0) {
+    out += '\n';
+    out.append(static_cast<size_t>(indent) * depth, ' ');
+  }
+}
+
+void DumpInto(const Json& v, int indent, int depth, std::string& out) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.AsBool() ? "true" : "false";
+  } else if (v.is_int()) {
+    out += std::to_string(v.AsInt());
+  } else if (v.is_double()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+    out += buf;
+    // Keep a float marker so the value parses back as a double, not an int.
+    if (out.find_first_of(".eE", out.size() - std::strlen(buf)) == std::string::npos) {
+      out += ".0";
+    }
+  } else if (v.is_string()) {
+    EscapeInto(v.AsString(), out);
+  } else if (v.is_array()) {
+    const JsonArray& arr = v.AsArray();
+    out += '[';
+    for (size_t i = 0; i < arr.size(); ++i) {
+      if (i > 0) {
+        out += indent > 0 ? "," : ",";
+      }
+      Newline(indent, depth + 1, out);
+      DumpInto(arr[i], indent, depth + 1, out);
+    }
+    if (!arr.empty()) {
+      Newline(indent, depth, out);
+    }
+    out += ']';
+  } else {
+    const JsonObject& obj = v.AsObject();
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : obj) {
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      Newline(indent, depth + 1, out);
+      EscapeInto(key, out);
+      out += indent > 0 ? ": " : ":";
+      DumpInto(value, indent, depth + 1, out);
+    }
+    if (!obj.empty()) {
+      Newline(indent, depth, out);
+    }
+    out += '}';
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return DataLossError("unexpected end of JSON input");
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+      case 'f':
+        return ParseBool();
+      case 'n':
+        return ParseNull();
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Status ExpectEnd() {
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return InvalidArgumentError("trailing characters after JSON value at offset " +
+                                  std::to_string(pos_));
+    }
+    return OkStatus();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Expect(char c) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return InvalidArgumentError(std::string("expected '") + c + "' at offset " +
+                                  std::to_string(pos_));
+    }
+    ++pos_;
+    return OkStatus();
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  Result<Json> ParseObject() {
+    UCP_RETURN_IF_ERROR(Expect('{'));
+    JsonObject obj;
+    if (Peek('}')) {
+      ++pos_;
+      return Json(std::move(obj));
+    }
+    for (;;) {
+      SkipWs();
+      UCP_ASSIGN_OR_RETURN(Json key, ParseString());
+      UCP_RETURN_IF_ERROR(Expect(':'));
+      UCP_ASSIGN_OR_RETURN(Json value, ParseValue());
+      obj[key.AsString()] = std::move(value);
+      if (Peek(',')) {
+        ++pos_;
+        continue;
+      }
+      UCP_RETURN_IF_ERROR(Expect('}'));
+      return Json(std::move(obj));
+    }
+  }
+
+  Result<Json> ParseArray() {
+    UCP_RETURN_IF_ERROR(Expect('['));
+    JsonArray arr;
+    if (Peek(']')) {
+      ++pos_;
+      return Json(std::move(arr));
+    }
+    for (;;) {
+      UCP_ASSIGN_OR_RETURN(Json value, ParseValue());
+      arr.push_back(std::move(value));
+      if (Peek(',')) {
+        ++pos_;
+        continue;
+      }
+      UCP_RETURN_IF_ERROR(Expect(']'));
+      return Json(std::move(arr));
+    }
+  }
+
+  Result<Json> ParseString() {
+    UCP_RETURN_IF_ERROR(Expect('"'));
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return Json(std::move(out));
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return DataLossError("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return InvalidArgumentError("bad hex digit in \\u escape");
+            }
+          }
+          // Encode as UTF-8 (BMP only; surrogate pairs are not needed for our metadata).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return InvalidArgumentError(std::string("bad escape '\\") + esc + "'");
+      }
+    }
+    return DataLossError("unterminated JSON string");
+  }
+
+  Result<Json> ParseBool() {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return Json(true);
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return Json(false);
+    }
+    return InvalidArgumentError("bad literal at offset " + std::to_string(pos_));
+  }
+
+  Result<Json> ParseNull() {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return Json(nullptr);
+    }
+    return InvalidArgumentError("bad literal at offset " + std::to_string(pos_));
+  }
+
+  Result<Json> ParseNumber() {
+    size_t start = pos_;
+    bool is_float = false;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        // '-'/'+' only valid after exponent marker, but a strtod reparse catches misuse.
+        is_float = is_float || c == '.' || c == 'e' || c == 'E';
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      return InvalidArgumentError("expected number at offset " + std::to_string(start));
+    }
+    std::string token = text_.substr(start, pos_ - start);
+    if (!is_float) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return Json(static_cast<int64_t>(v));
+      }
+    }
+    errno = 0;
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (errno != 0 || end != token.c_str() + token.size()) {
+      return InvalidArgumentError("malformed number: " + token);
+    }
+    return Json(d);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpInto(*this, indent, 0, out);
+  return out;
+}
+
+Result<Json> Json::Parse(const std::string& text) {
+  Parser parser(text);
+  UCP_ASSIGN_OR_RETURN(Json value, parser.ParseValue());
+  UCP_RETURN_IF_ERROR(parser.ExpectEnd());
+  return value;
+}
+
+}  // namespace ucp

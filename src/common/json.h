@@ -1,0 +1,87 @@
+// A compact JSON value type, parser, and serializer.
+//
+// Checkpoint metadata (atom-checkpoint manifests, strategy descriptors, UCP partition maps)
+// is stored as JSON so that checkpoints are inspectable with standard tools. This supports
+// the full JSON data model except exotic number forms; integers up to 2^53 round-trip
+// exactly via the double representation and an additional integer fast path.
+
+#ifndef UCP_SRC_COMMON_JSON_H_
+#define UCP_SRC_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ucp {
+
+class Json;
+using JsonArray = std::vector<Json>;
+// std::map keeps keys sorted, which makes serialized metadata deterministic — important for
+// checkpoint diffing and for the bit-identity tests.
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}            // NOLINT: implicit by design
+  Json(bool b) : value_(b) {}                          // NOLINT
+  Json(int v) : value_(static_cast<int64_t>(v)) {}     // NOLINT
+  Json(int64_t v) : value_(v) {}                       // NOLINT
+  Json(uint64_t v) : value_(static_cast<int64_t>(v)) {}  // NOLINT
+  Json(double v) : value_(v) {}                        // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}      // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}        // NOLINT
+  Json(JsonArray a) : value_(std::move(a)) {}          // NOLINT
+  Json(JsonObject o) : value_(std::move(o)) {}         // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  // Typed accessors abort on type mismatch (UCP_CHECK); use the Get* helpers on untrusted
+  // input.
+  bool AsBool() const;
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  const JsonArray& AsArray() const;
+  JsonArray& AsArray();
+  const JsonObject& AsObject() const;
+  JsonObject& AsObject();
+
+  // Object field access; aborts if not an object. operator[] inserts null for missing keys.
+  Json& operator[](const std::string& key);
+  bool Has(const std::string& key) const;
+
+  // Fallible lookups for parsing untrusted metadata.
+  Result<int64_t> GetInt(const std::string& key) const;
+  Result<double> GetDouble(const std::string& key) const;
+  Result<std::string> GetString(const std::string& key) const;
+  Result<bool> GetBool(const std::string& key) const;
+  Result<const JsonArray*> GetArray(const std::string& key) const;
+  Result<const JsonObject*> GetObject(const std::string& key) const;
+
+  // Serialization. `indent` <= 0 gives compact one-line output.
+  std::string Dump(int indent = 0) const;
+
+  static Result<Json> Parse(const std::string& text);
+
+  bool operator==(const Json& other) const { return value_ == other.value_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, JsonArray, JsonObject> value_;
+};
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_COMMON_JSON_H_

@@ -1,0 +1,39 @@
+// Minimal leveled logging. Thread safe at line granularity; levels are filtered by a global
+// threshold so benches can silence the runtime.
+
+#ifndef UCP_SRC_COMMON_LOGGING_H_
+#define UCP_SRC_COMMON_LOGGING_H_
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace ucp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Global minimum level; messages below it are dropped. Defaults to kWarning so library users
+// are not spammed; tests and examples raise verbosity explicitly.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace ucp
+
+#define UCP_LOG(level)                                                          \
+  if (::ucp::LogLevel::k##level >= ::ucp::GetLogLevel())                        \
+  ::ucp::internal::LogMessage(::ucp::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+#endif  // UCP_SRC_COMMON_LOGGING_H_

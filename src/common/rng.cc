@@ -1,0 +1,78 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace ucp {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t Rng::NextU64() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t x = state_;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextBounded(uint64_t n) {
+  if (n == 0) {
+    return 0;
+  }
+  // Modulo bias is negligible for the small n used in workloads, and determinism matters more
+  // than perfect uniformity here.
+  return NextU64() % n;
+}
+
+float Rng::NextGaussian() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) {
+    u1 = 1e-300;
+  }
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_ = static_cast<float>(mag * std::sin(2.0 * M_PI * u2));
+  has_spare_ = true;
+  return static_cast<float>(mag * std::cos(2.0 * M_PI * u2));
+}
+
+uint64_t CounterRng::U64At(uint64_t counter) const {
+  // Two rounds of mixing decorrelate (seed, stream, counter) triples that differ in a single
+  // coordinate.
+  return Mix64(Mix64(seed_ ^ Mix64(stream_)) + counter);
+}
+
+double CounterRng::DoubleAt(uint64_t counter) const {
+  return static_cast<double>(U64At(counter) >> 11) * 0x1.0p-53;
+}
+
+uint64_t CounterRng::BoundedAt(uint64_t counter, uint64_t n) const {
+  return n == 0 ? 0 : U64At(counter) % n;
+}
+
+float CounterRng::GaussianAt(uint64_t counter) const {
+  // Box-Muller from two decorrelated uniforms derived from one counter.
+  uint64_t a = U64At(counter * 2);
+  uint64_t b = U64At(counter * 2 + 1);
+  double u1 = static_cast<double>(a >> 11) * 0x1.0p-53;
+  double u2 = static_cast<double>(b >> 11) * 0x1.0p-53;
+  if (u1 < 1e-300) {
+    u1 = 1e-300;
+  }
+  return static_cast<float>(std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2));
+}
+
+}  // namespace ucp

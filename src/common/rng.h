@@ -1,0 +1,56 @@
+// Deterministic random number generation.
+//
+// Two generators are provided:
+//  - Rng: a sequential splitmix64 stream, for code that owns its generator.
+//  - CounterRng: a pure function of (seed, stream, counter). This is what makes the training
+//    simulator reproducible across parallel configurations: any rank can compute "random"
+//    value i of stream s without having observed values 0..i-1, so data batches and
+//    initialization do not depend on how work is partitioned.
+
+#ifndef UCP_SRC_COMMON_RNG_H_
+#define UCP_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace ucp {
+
+// splitmix64 finalizer: a strong 64-bit mix used by both generators.
+uint64_t Mix64(uint64_t x);
+
+// Sequential generator (splitmix64).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t NextU64();
+  // Uniform in [0, 1).
+  double NextDouble();
+  // Uniform in [0, n).
+  uint64_t NextBounded(uint64_t n);
+  // Standard normal via Box-Muller (consumes two uniforms).
+  float NextGaussian();
+
+ private:
+  uint64_t state_;
+  bool has_spare_ = false;
+  float spare_ = 0.0f;
+};
+
+// Counter-based generator: stateless, indexable.
+class CounterRng {
+ public:
+  CounterRng(uint64_t seed, uint64_t stream) : seed_(seed), stream_(stream) {}
+
+  uint64_t U64At(uint64_t counter) const;
+  double DoubleAt(uint64_t counter) const;         // [0, 1)
+  uint64_t BoundedAt(uint64_t counter, uint64_t n) const;  // [0, n)
+  float GaussianAt(uint64_t counter) const;        // standard normal
+
+ private:
+  uint64_t seed_;
+  uint64_t stream_;
+};
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_COMMON_RNG_H_

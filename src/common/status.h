@@ -1,0 +1,167 @@
+// Error model for the UCP library.
+//
+// The library does not throw exceptions across module boundaries. Fallible operations return
+// Status (for void results) or Result<T>. Internal invariant violations use UCP_CHECK, which
+// aborts with a diagnostic: these indicate bugs, not environmental failures.
+
+#ifndef UCP_SRC_COMMON_STATUS_H_
+#define UCP_SRC_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ucp {
+
+// Canonical error space, loosely modeled on absl::StatusCode. Keep this list small: codes are
+// for *dispatch* (can the caller retry? is the input bad?), messages are for humans.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // file / parameter / rank does not exist
+  kAlreadyExists,     // refusing to overwrite
+  kFailedPrecondition,// object in wrong state for this call
+  kOutOfRange,        // index / offset outside valid range
+  kDataLoss,          // corruption detected (CRC mismatch, truncated file)
+  kIoError,           // underlying filesystem call failed
+  kUnimplemented,     // feature intentionally not supported
+  kInternal,          // invariant violation surfaced as recoverable error
+};
+
+// Human-readable name of a status code ("kDataLoss" -> "DATA_LOSS").
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the success path (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "DATA_LOSS: crc mismatch in foo" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) { return os << s.ToString(); }
+
+// Convenience constructors, mirroring absl.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status DataLossError(std::string message);
+Status IoError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+// A value-or-error. Accessing value() on an error aborts (use ok() first, or the
+// UCP_ASSIGN_OR_RETURN macro).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT: implicit by design
+  Result(Status status) : value_(std::move(status)) {    // NOLINT: implicit by design
+    if (std::get<Status>(value_).ok()) {
+      std::cerr << "Result<T> constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(value_);
+  }
+
+  T& value() & {
+    CheckOk();
+    return std::get<T>(value_);
+  }
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(value_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Result::value() on error: " << std::get<Status>(value_).ToString() << "\n";
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> value_;
+};
+
+namespace internal {
+// Stream-style message builder for the check macros.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace ucp
+
+// Aborts with a diagnostic when `cond` is false. For programmer errors only.
+#define UCP_CHECK(cond)                                         \
+  if (!(cond)) ::ucp::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+#define UCP_CHECK_EQ(a, b) UCP_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define UCP_CHECK_NE(a, b) UCP_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define UCP_CHECK_LT(a, b) UCP_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define UCP_CHECK_LE(a, b) UCP_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define UCP_CHECK_GT(a, b) UCP_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define UCP_CHECK_GE(a, b) UCP_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+// Early-return plumbing for Status / Result.
+#define UCP_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::ucp::Status _ucp_status = (expr);             \
+    if (!_ucp_status.ok()) return _ucp_status;      \
+  } while (0)
+
+#define UCP_INTERNAL_CONCAT2(a, b) a##b
+#define UCP_INTERNAL_CONCAT(a, b) UCP_INTERNAL_CONCAT2(a, b)
+
+#define UCP_ASSIGN_OR_RETURN(lhs, expr)                                     \
+  auto UCP_INTERNAL_CONCAT(_ucp_result_, __LINE__) = (expr);                \
+  if (!UCP_INTERNAL_CONCAT(_ucp_result_, __LINE__).ok())                    \
+    return UCP_INTERNAL_CONCAT(_ucp_result_, __LINE__).status();            \
+  lhs = std::move(UCP_INTERNAL_CONCAT(_ucp_result_, __LINE__)).value()
+
+#endif  // UCP_SRC_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+// Small string utilities used throughout (parameter-name manipulation, pattern globs).
+
+#ifndef UCP_SRC_COMMON_STRINGS_H_
+#define UCP_SRC_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ucp {
+
+// Splits on every occurrence of `sep`; empty pieces are kept ("a..b" -> {"a","","b"}).
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+std::string StrJoin(const std::vector<std::string>& pieces, std::string_view sep);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Glob match with `*` (any run, including empty, may cross '.') and `?` (any single char).
+// This is the matching primitive of the UCP language's parameter patterns: rules bind to
+// parameter names like "layers.*.attention.qkv.weight".
+bool GlobMatch(std::string_view pattern, std::string_view text);
+
+// Zero-padded decimal, e.g. ZeroPad(7, 3) == "007". Used in rank-file naming.
+std::string ZeroPad(int value, int width);
+
+// Printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_COMMON_STRINGS_H_

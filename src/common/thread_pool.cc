@@ -1,0 +1,93 @@
+#include "src/common/thread_pool.h"
+
+#include <atomic>
+
+#include "src/common/status.h"
+
+namespace ucp {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    UCP_CHECK(!shutting_down_) << "Submit after shutdown";
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (threads_.empty()) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (threads_.empty() || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  // Shared index dispenser: workers pull the next index until exhausted. Good load balance
+  // for heterogeneous task sizes (parameters vary wildly in size).
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  size_t workers = std::min(threads_.size(), n);
+  for (size_t w = 0; w < workers; ++w) {
+    Submit([next, n, &fn] {
+      for (size_t i = next->fetch_add(1); i < n; i = next->fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutting down
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) {
+        work_done_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace ucp

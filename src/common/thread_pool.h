@@ -1,0 +1,53 @@
+// Fixed-size worker pool used by the UCP converter to parallelize Extract/Union at parameter
+// granularity (Table 2: "More parallelism leads to faster speed but is also more memory
+// intensive" — the pool size is the knob).
+
+#ifndef UCP_SRC_COMMON_THREAD_POOL_H_
+#define UCP_SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ucp {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 runs every task inline on the submitting thread (useful for debugging
+  // and for memory-constrained conversions).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished. May be called repeatedly.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  // Runs fn(i) for i in [0, n), distributed over the pool, and waits for completion.
+  // Exceptions must not escape fn.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable work_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_COMMON_THREAD_POOL_H_

@@ -1,0 +1,73 @@
+#include "src/data/dataset.h"
+
+namespace ucp {
+
+SyntheticTextDataset::SyntheticTextDataset(int vocab_size, int seq_len, uint64_t seed)
+    : vocab_size_(vocab_size), seq_len_(seq_len), rng_(seed, /*stream=*/0x9a7a) {
+  UCP_CHECK_GT(vocab_size, 1);
+  UCP_CHECK_GT(seq_len, 0);
+  // A fixed random successor table: token t is followed by preferred_next_[t] with high
+  // probability. This gives the dataset enough structure that cross-entropy falls well below
+  // log(vocab) once the model learns the table.
+  CounterRng table_rng(seed, /*stream=*/0x7ab1e);
+  preferred_next_.resize(static_cast<size_t>(vocab_size));
+  for (int t = 0; t < vocab_size; ++t) {
+    preferred_next_[static_cast<size_t>(t)] =
+        static_cast<int32_t>(table_rng.BoundedAt(static_cast<uint64_t>(t),
+                                                 static_cast<uint64_t>(vocab_size)));
+  }
+}
+
+int SyntheticTextDataset::NextToken(uint64_t sample_id, int position, int prev_token) const {
+  uint64_t counter = sample_id * static_cast<uint64_t>(seq_len_ + 1) +
+                     static_cast<uint64_t>(position);
+  // 75% follow the Markov table, 25% uniform noise.
+  if (rng_.DoubleAt(counter * 2) < 0.75) {
+    return preferred_next_[static_cast<size_t>(prev_token)];
+  }
+  return static_cast<int>(rng_.BoundedAt(counter * 2 + 1, static_cast<uint64_t>(vocab_size_)));
+}
+
+std::vector<int32_t> SyntheticTextDataset::Sample(uint64_t sample_id) const {
+  std::vector<int32_t> tokens(static_cast<size_t>(seq_len_ + 1));
+  tokens[0] = static_cast<int32_t>(
+      rng_.BoundedAt(sample_id * static_cast<uint64_t>(seq_len_ + 1),
+                     static_cast<uint64_t>(vocab_size_)));
+  for (int i = 1; i <= seq_len_; ++i) {
+    tokens[static_cast<size_t>(i)] =
+        static_cast<int32_t>(NextToken(sample_id, i, tokens[static_cast<size_t>(i - 1)]));
+  }
+  return tokens;
+}
+
+std::vector<uint64_t> SyntheticTextDataset::BatchSampleIds(uint64_t iteration,
+                                                           int global_batch) {
+  std::vector<uint64_t> ids(static_cast<size_t>(global_batch));
+  for (int i = 0; i < global_batch; ++i) {
+    ids[static_cast<size_t>(i)] = iteration * static_cast<uint64_t>(global_batch) +
+                                  static_cast<uint64_t>(i);
+  }
+  return ids;
+}
+
+Batch MakeBatch(const SyntheticTextDataset& dataset, uint64_t iteration, int global_batch,
+                int first, int count) {
+  UCP_CHECK_GE(first, 0);
+  UCP_CHECK_LE(first + count, global_batch);
+  std::vector<uint64_t> ids = SyntheticTextDataset::BatchSampleIds(iteration, global_batch);
+  Batch batch;
+  batch.tokens = Tensor::Zeros({count, dataset.seq_len()});
+  batch.labels = Tensor::Zeros({count, dataset.seq_len()});
+  for (int b = 0; b < count; ++b) {
+    std::vector<int32_t> sample = dataset.Sample(ids[static_cast<size_t>(first + b)]);
+    for (int t = 0; t < dataset.seq_len(); ++t) {
+      batch.tokens.at(static_cast<int64_t>(b) * dataset.seq_len() + t) =
+          static_cast<float>(sample[static_cast<size_t>(t)]);
+      batch.labels.at(static_cast<int64_t>(b) * dataset.seq_len() + t) =
+          static_cast<float>(sample[static_cast<size_t>(t + 1)]);
+    }
+  }
+  return batch;
+}
+
+}  // namespace ucp

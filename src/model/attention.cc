@@ -1,0 +1,187 @@
+#include "src/model/attention.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/model/nn_ops.h"
+#include "src/tensor/matmul.h"
+
+namespace ucp {
+namespace {
+
+// Copies the [row0, row0+rows) x [col0, col0+cols) block of a 2-d tensor.
+Tensor Slice2D(const Tensor& t, int64_t row0, int64_t rows, int64_t col0, int64_t cols) {
+  UCP_CHECK_EQ(t.ndim(), 2);
+  Tensor out = Tensor::Zeros({rows, cols});
+  const float* src = t.data();
+  float* dst = out.data();
+  int64_t width = t.dim(1);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* srow = src + (row0 + r) * width + col0;
+    float* drow = dst + r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      drow[c] = srow[c];
+    }
+  }
+  return out;
+}
+
+// Adds `block` into the same region of `t`.
+void AddBlock2D(Tensor& t, const Tensor& block, int64_t row0, int64_t col0) {
+  int64_t width = t.dim(1);
+  int64_t cols = block.dim(1);
+  float* dst = t.data();
+  const float* src = block.data();
+  for (int64_t r = 0; r < block.dim(0); ++r) {
+    float* drow = dst + (row0 + r) * width + col0;
+    const float* srow = src + r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      drow[c] += srow[c];
+    }
+  }
+}
+
+}  // namespace
+
+ParallelAttention::ParallelAttention(const ModelConfig& config, int tp_degree,
+                                     ParamPtr qkv_weight, ParamPtr qkv_bias,
+                                     ParamPtr dense_weight, ParamPtr dense_bias)
+    : heads_local_(config.num_heads / tp_degree),
+      kv_heads_local_(config.num_kv_heads / tp_degree),
+      head_dim_(config.head_dim()),
+      scale_(1.0f / std::sqrt(static_cast<float>(config.head_dim()))),
+      qkv_(std::move(qkv_weight), std::move(qkv_bias)),
+      dense_(std::move(dense_weight), std::move(dense_bias)) {
+  UCP_CHECK_EQ(config.num_heads % tp_degree, 0) << "TP degree must divide num_heads";
+  UCP_CHECK_EQ(config.num_kv_heads % tp_degree, 0) << "TP degree must divide num_kv_heads";
+}
+
+Tensor ParallelAttention::Forward(const Tensor& x, const LayerContext& ctx) {
+  const int64_t n_local = ctx.local_tokens();
+  UCP_CHECK_EQ(x.dim(0), n_local);
+  const int64_t qw = static_cast<int64_t>(heads_local_) * head_dim_;
+  const int64_t kvw = static_cast<int64_t>(kv_heads_local_) * head_dim_;
+
+  Tensor qkv_out = qkv_.Forward(x);  // [n_local, qw + 2*kvw]
+  q_ = Slice2D(qkv_out, 0, n_local, 0, qw);
+  Tensor k_local = Slice2D(qkv_out, 0, n_local, qw, kvw);
+  Tensor v_local = Slice2D(qkv_out, 0, n_local, qw + kvw, kvw);
+
+  if (ctx.sp.size() > 1) {
+    // Gather the full sequence of K/V: [B, S_local, kvw] concat on the sequence dim.
+    Tensor k3 = k_local.Reshape({ctx.batch, ctx.seq_local, kvw});
+    Tensor v3 = v_local.Reshape({ctx.batch, ctx.seq_local, kvw});
+    k_full_ = ctx.sp.AllGatherConcat(k3, 1).Reshape(
+        {static_cast<int64_t>(ctx.batch) * ctx.seq_total, kvw});
+    v_full_ = ctx.sp.AllGatherConcat(v3, 1).Reshape(
+        {static_cast<int64_t>(ctx.batch) * ctx.seq_total, kvw});
+  } else {
+    k_full_ = std::move(k_local);
+    v_full_ = std::move(v_local);
+  }
+
+  const int group = heads_local_ / kv_heads_local_;  // query heads per KV head
+  probs_.assign(static_cast<size_t>(ctx.batch) * heads_local_, Tensor());
+  Tensor context = Tensor::Zeros({n_local, qw});
+
+  for (int b = 0; b < ctx.batch; ++b) {
+    for (int h = 0; h < heads_local_; ++h) {
+      const int g = h / group;
+      Tensor qh = Slice2D(q_, static_cast<int64_t>(b) * ctx.seq_local, ctx.seq_local,
+                          static_cast<int64_t>(h) * head_dim_, head_dim_);
+      Tensor kh = Slice2D(k_full_, static_cast<int64_t>(b) * ctx.seq_total, ctx.seq_total,
+                          static_cast<int64_t>(g) * head_dim_, head_dim_);
+      Tensor vh = Slice2D(v_full_, static_cast<int64_t>(b) * ctx.seq_total, ctx.seq_total,
+                          static_cast<int64_t>(g) * head_dim_, head_dim_);
+
+      Tensor scores = MatmulNT(qh, kh);  // [seq_local, seq_total]
+      scores.Scale_(scale_);
+      // Causal mask in global positions: query i (global ctx.seq_offset + i) may attend to
+      // keys j <= its own position.
+      float* ps = scores.data();
+      for (int64_t i = 0; i < ctx.seq_local; ++i) {
+        int64_t limit = ctx.seq_offset + i;
+        for (int64_t j = limit + 1; j < ctx.seq_total; ++j) {
+          ps[i * ctx.seq_total + j] = -std::numeric_limits<float>::infinity();
+        }
+      }
+      SoftmaxRows_(scores);
+      probs_[static_cast<size_t>(b) * heads_local_ + h] = scores;
+
+      Tensor out = MatmulNN(scores, vh);  // [seq_local, d]
+      AddBlock2D(context, out, static_cast<int64_t>(b) * ctx.seq_local,
+                 static_cast<int64_t>(h) * head_dim_);
+    }
+  }
+
+  return dense_.Forward(context, ctx);
+}
+
+Tensor ParallelAttention::Backward(const Tensor& dy, const LayerContext& ctx) {
+  const int64_t n_local = ctx.local_tokens();
+  const int64_t qw = static_cast<int64_t>(heads_local_) * head_dim_;
+  const int64_t kvw = static_cast<int64_t>(kv_heads_local_) * head_dim_;
+  const int64_t n_full = static_cast<int64_t>(ctx.batch) * ctx.seq_total;
+  const int group = heads_local_ / kv_heads_local_;
+
+  Tensor dcontext = dense_.Backward(dy);  // [n_local, qw]
+
+  Tensor dq = Tensor::Zeros({n_local, qw});
+  Tensor dk_full = Tensor::Zeros({n_full, kvw});
+  Tensor dv_full = Tensor::Zeros({n_full, kvw});
+
+  for (int b = 0; b < ctx.batch; ++b) {
+    for (int h = 0; h < heads_local_; ++h) {
+      const int g = h / group;
+      const Tensor& probs = probs_[static_cast<size_t>(b) * heads_local_ + h];
+
+      Tensor dout = Slice2D(dcontext, static_cast<int64_t>(b) * ctx.seq_local, ctx.seq_local,
+                            static_cast<int64_t>(h) * head_dim_, head_dim_);
+      Tensor qh = Slice2D(q_, static_cast<int64_t>(b) * ctx.seq_local, ctx.seq_local,
+                          static_cast<int64_t>(h) * head_dim_, head_dim_);
+      Tensor kh = Slice2D(k_full_, static_cast<int64_t>(b) * ctx.seq_total, ctx.seq_total,
+                          static_cast<int64_t>(g) * head_dim_, head_dim_);
+      Tensor vh = Slice2D(v_full_, static_cast<int64_t>(b) * ctx.seq_total, ctx.seq_total,
+                          static_cast<int64_t>(g) * head_dim_, head_dim_);
+
+      // out = P V  =>  dP = dout V^T ; dV += P^T dout
+      Tensor dprobs = MatmulNT(dout, vh);          // [seq_local, seq_total]
+      Tensor dvh = MatmulTN(probs, dout);          // [seq_total, d]
+      Tensor dscores = SoftmaxRowsBackward(probs, dprobs);
+      dscores.Scale_(scale_);
+      // scores = s * Q K^T  =>  dQ = dscores K ; dK += dscores^T Q  (scale folded above)
+      Tensor dqh = MatmulNN(dscores, kh);          // [seq_local, d]
+      Tensor dkh = MatmulTN(dscores, qh);          // [seq_total, d]
+
+      AddBlock2D(dq, dqh, static_cast<int64_t>(b) * ctx.seq_local,
+                 static_cast<int64_t>(h) * head_dim_);
+      AddBlock2D(dk_full, dkh, static_cast<int64_t>(b) * ctx.seq_total,
+                 static_cast<int64_t>(g) * head_dim_);
+      AddBlock2D(dv_full, dvh, static_cast<int64_t>(b) * ctx.seq_total,
+                 static_cast<int64_t>(g) * head_dim_);
+    }
+  }
+
+  Tensor dk_local;
+  Tensor dv_local;
+  if (ctx.sp.size() > 1) {
+    // Every SP rank produced gradient contributions for the *full* K/V sequence; sum them
+    // and keep this rank's owned slice.
+    ctx.sp.AllReduceSum(dk_full);
+    ctx.sp.AllReduceSum(dv_full);
+    dk_local = dk_full.Reshape({ctx.batch, ctx.seq_total, kvw})
+                   .Narrow(1, ctx.seq_offset, ctx.seq_local)
+                   .Reshape({n_local, kvw});
+    dv_local = dv_full.Reshape({ctx.batch, ctx.seq_total, kvw})
+                   .Narrow(1, ctx.seq_offset, ctx.seq_local)
+                   .Reshape({n_local, kvw});
+  } else {
+    dk_local = std::move(dk_full);
+    dv_local = std::move(dv_full);
+  }
+
+  Tensor dqkv = Tensor::Concat({dq, dk_local, dv_local}, 1);
+  return qkv_.Backward(dqkv, ctx);
+}
+
+}  // namespace ucp

@@ -1,0 +1,50 @@
+// Tensor-parallel causal self-attention with optional grouped-query attention (GQA) and
+// sequence parallelism.
+//
+// Heads are partitioned across TP ranks (this rank computes num_heads/tp query heads and
+// num_kv_heads/tp KV heads). Under SP each rank owns a contiguous sequence slice; K and V
+// are all-gathered across the SP group so local queries attend to the full prefix, and the
+// K/V gradients are reduce-summed back to their owning slices.
+
+#ifndef UCP_SRC_MODEL_ATTENTION_H_
+#define UCP_SRC_MODEL_ATTENTION_H_
+
+#include <vector>
+
+#include "src/model/config.h"
+#include "src/model/layer_context.h"
+#include "src/model/linear.h"
+
+namespace ucp {
+
+class ParallelAttention {
+ public:
+  // Parameters are this rank's shards, already materialized:
+  //   qkv_weight [ (h + 2*kv)/tp, h ], qkv_bias [ (h + 2*kv)/tp ] or null,
+  //   dense_weight [ h, h/tp ], dense_bias [ h ] or null.
+  ParallelAttention(const ModelConfig& config, int tp_degree, ParamPtr qkv_weight,
+                    ParamPtr qkv_bias, ParamPtr dense_weight, ParamPtr dense_bias);
+
+  // x: [tokens_local, hidden]. Returns the attention block output (same shape).
+  Tensor Forward(const Tensor& x, const LayerContext& ctx);
+  Tensor Backward(const Tensor& dy, const LayerContext& ctx);
+
+ private:
+  int heads_local_;
+  int kv_heads_local_;
+  int head_dim_;
+  float scale_;
+
+  ColumnParallelLinear qkv_;
+  RowParallelLinear dense_;
+
+  // Forward caches (one micro-batch in flight).
+  Tensor q_;       // [tokens_local, heads_local * d]
+  Tensor k_full_;  // [batch * seq_total, kv_heads_local * d]
+  Tensor v_full_;
+  std::vector<Tensor> probs_;  // per (batch, local head): [seq_local, seq_total]
+};
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_MODEL_ATTENTION_H_

@@ -1,0 +1,105 @@
+#include "src/model/block.h"
+
+#include "src/model/inventory.h"
+
+namespace ucp {
+
+TransformerBlock::TransformerBlock(const ModelConfig& config, int layer,
+                                   const ParamStore& store, int tp_degree, int tp_rank)
+    : rms_(config.uses_rmsnorm()) {
+  norm_w_[0] = store.Get(LayerParamName(layer, "input_layernorm.weight"));
+  norm_w_[1] = store.Get(LayerParamName(layer, "post_attention_layernorm.weight"));
+  if (config.has_biases()) {
+    norm_b_[0] = store.Get(LayerParamName(layer, "input_layernorm.bias"));
+    norm_b_[1] = store.Get(LayerParamName(layer, "post_attention_layernorm.bias"));
+  }
+
+  ParamPtr qkv_w = store.Get(LayerParamName(layer, "self_attention.query_key_value.weight"));
+  ParamPtr qkv_b =
+      config.has_biases()
+          ? store.Get(LayerParamName(layer, "self_attention.query_key_value.bias"))
+          : nullptr;
+  ParamPtr dense_w = store.Get(LayerParamName(layer, "self_attention.dense.weight"));
+  ParamPtr dense_b = config.has_biases()
+                         ? store.Get(LayerParamName(layer, "self_attention.dense.bias"))
+                         : nullptr;
+  attn_ = std::make_unique<ParallelAttention>(config, tp_degree, qkv_w, qkv_b, dense_w,
+                                              dense_b);
+
+  if (config.is_moe()) {
+    moe_mlp_ = std::make_unique<MoeMlp>(
+        config, tp_degree, tp_rank,
+        store.Get(LayerParamName(layer, "mlp.moe.gate.weight")),
+        store.Get(LayerParamName(layer, "mlp.moe.experts.w1")),
+        store.Get(LayerParamName(layer, "mlp.moe.experts.w2")));
+  } else if (config.uses_swiglu()) {
+    swiglu_mlp_ = std::make_unique<SwiGluMlp>(
+        store.Get(LayerParamName(layer, "mlp.gate_proj.weight")),
+        store.Get(LayerParamName(layer, "mlp.up_proj.weight")),
+        store.Get(LayerParamName(layer, "mlp.down_proj.weight")));
+  } else {
+    gpt_mlp_ = std::make_unique<GptMlp>(
+        store.Get(LayerParamName(layer, "mlp.dense_h_to_4h.weight")),
+        store.Get(LayerParamName(layer, "mlp.dense_h_to_4h.bias")),
+        store.Get(LayerParamName(layer, "mlp.dense_4h_to_h.weight")),
+        store.Get(LayerParamName(layer, "mlp.dense_4h_to_h.bias")));
+  }
+}
+
+Tensor TransformerBlock::NormForward(int which, const Tensor& x) {
+  if (rms_) {
+    return RmsNormForward(x, norm_w_[which]->value, rms_cache_[which]);
+  }
+  const Tensor* beta = norm_b_[which] != nullptr ? &norm_b_[which]->value : nullptr;
+  return LayerNormForward(x, norm_w_[which]->value, beta, ln_cache_[which]);
+}
+
+Tensor TransformerBlock::NormBackward(int which, const Tensor& dy) {
+  if (rms_) {
+    return RmsNormBackward(dy, norm_w_[which]->value, rms_cache_[which],
+                           norm_w_[which]->grad);
+  }
+  Tensor* dbeta = norm_b_[which] != nullptr ? &norm_b_[which]->grad : nullptr;
+  return LayerNormBackward(dy, norm_w_[which]->value, ln_cache_[which], norm_w_[which]->grad,
+                           dbeta);
+}
+
+Tensor TransformerBlock::Forward(const Tensor& x, const LayerContext& ctx) {
+  Tensor attn_out = attn_->Forward(NormForward(0, x), ctx);
+  Tensor h = x.Clone();
+  h.Add_(attn_out);
+
+  Tensor normed = NormForward(1, h);
+  Tensor ffn_out;
+  if (moe_mlp_ != nullptr) {
+    ffn_out = moe_mlp_->Forward(normed, ctx);
+  } else if (swiglu_mlp_ != nullptr) {
+    ffn_out = swiglu_mlp_->Forward(normed, ctx);
+  } else {
+    ffn_out = gpt_mlp_->Forward(normed, ctx);
+  }
+  h.Add_(ffn_out);
+  return h;
+}
+
+Tensor TransformerBlock::Backward(const Tensor& dy, const LayerContext& ctx) {
+  // y = h + FFN(Norm2(h)); dy flows both straight through and via the FFN branch.
+  Tensor dffn;
+  if (moe_mlp_ != nullptr) {
+    dffn = moe_mlp_->Backward(dy, ctx);
+  } else if (swiglu_mlp_ != nullptr) {
+    dffn = swiglu_mlp_->Backward(dy, ctx);
+  } else {
+    dffn = gpt_mlp_->Backward(dy, ctx);
+  }
+  Tensor dh = dy.Clone();
+  dh.Add_(NormBackward(1, dffn));
+
+  // h = x + Attn(Norm1(x))
+  Tensor dattn = attn_->Backward(dh, ctx);
+  Tensor dx = dh;  // reuse: dx = dh + Norm1Backward(dattn)
+  dx.Add_(NormBackward(0, dattn));
+  return dx;
+}
+
+}  // namespace ucp

@@ -1,0 +1,43 @@
+// A pre-norm transformer block: x + Attn(Norm1(x)), then h + FFN(Norm2(h)). The norm flavor
+// (LayerNorm vs RMSNorm) and FFN flavor (GELU MLP / SwiGLU / MoE) follow the architecture.
+
+#ifndef UCP_SRC_MODEL_BLOCK_H_
+#define UCP_SRC_MODEL_BLOCK_H_
+
+#include <memory>
+
+#include "src/model/attention.h"
+#include "src/model/mlp.h"
+#include "src/model/nn_ops.h"
+#include "src/model/param.h"
+
+namespace ucp {
+
+class TransformerBlock {
+ public:
+  // Looks up this layer's parameters (already materialized) in `store`.
+  TransformerBlock(const ModelConfig& config, int layer, const ParamStore& store,
+                   int tp_degree, int tp_rank);
+
+  Tensor Forward(const Tensor& x, const LayerContext& ctx);
+  Tensor Backward(const Tensor& dy, const LayerContext& ctx);
+
+ private:
+  Tensor NormForward(int which, const Tensor& x);
+  Tensor NormBackward(int which, const Tensor& dy);
+
+  bool rms_;
+  ParamPtr norm_w_[2];
+  ParamPtr norm_b_[2];  // null for RMSNorm
+  LayerNormCache ln_cache_[2];
+  RmsNormCache rms_cache_[2];
+
+  std::unique_ptr<ParallelAttention> attn_;
+  std::unique_ptr<GptMlp> gpt_mlp_;
+  std::unique_ptr<SwiGluMlp> swiglu_mlp_;
+  std::unique_ptr<MoeMlp> moe_mlp_;
+};
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_MODEL_BLOCK_H_

@@ -1,0 +1,193 @@
+#include "src/model/config.h"
+
+#include "src/common/status.h"
+
+namespace ucp {
+
+const char* ArchKindName(ArchKind arch) {
+  switch (arch) {
+    case ArchKind::kGpt:
+      return "gpt";
+    case ArchKind::kLlama:
+      return "llama";
+    case ArchKind::kBloom:
+      return "bloom";
+    case ArchKind::kMoe:
+      return "moe";
+  }
+  return "unknown";
+}
+
+void ModelConfig::Validate() const {
+  UCP_CHECK_GT(vocab_size, 1);
+  UCP_CHECK_GT(max_seq_len, 0);
+  UCP_CHECK_GT(num_layers, 0);
+  UCP_CHECK_GT(hidden, 0);
+  UCP_CHECK_GT(num_heads, 0);
+  UCP_CHECK_EQ(hidden % num_heads, 0) << "hidden must be divisible by num_heads";
+  UCP_CHECK_GT(num_kv_heads, 0);
+  UCP_CHECK_LE(num_kv_heads, num_heads);
+  UCP_CHECK_EQ(num_heads % num_kv_heads, 0) << "num_heads must be divisible by num_kv_heads";
+  UCP_CHECK_GT(ffn_hidden, 0);
+  UCP_CHECK_GE(num_experts, 1);
+  if (is_moe()) {
+    UCP_CHECK_EQ(static_cast<int>(arch), static_cast<int>(ArchKind::kMoe))
+        << "num_experts > 1 requires the MoE arch";
+    UCP_CHECK_GE(moe_top_k, 1);
+    UCP_CHECK_LE(moe_top_k, num_experts);
+  }
+}
+
+Json ModelConfig::ToJson() const {
+  JsonObject obj;
+  obj["arch"] = static_cast<int64_t>(arch);
+  obj["vocab_size"] = vocab_size;
+  obj["max_seq_len"] = max_seq_len;
+  obj["num_layers"] = num_layers;
+  obj["hidden"] = hidden;
+  obj["num_heads"] = num_heads;
+  obj["num_kv_heads"] = num_kv_heads;
+  obj["ffn_hidden"] = ffn_hidden;
+  obj["num_experts"] = num_experts;
+  obj["moe_top_k"] = moe_top_k;
+  obj["moe_expert_sharding"] = moe_expert_sharding;
+  obj["tied_embeddings"] = tied_embeddings;
+  obj["init_seed"] = static_cast<int64_t>(init_seed);
+  return Json(std::move(obj));
+}
+
+Result<ModelConfig> ModelConfig::FromJson(const Json& json) {
+  ModelConfig config;
+  UCP_ASSIGN_OR_RETURN(int64_t arch, json.GetInt("arch"));
+  if (arch < 0 || arch > static_cast<int64_t>(ArchKind::kMoe)) {
+    return InvalidArgumentError("bad arch id " + std::to_string(arch));
+  }
+  config.arch = static_cast<ArchKind>(arch);
+  UCP_ASSIGN_OR_RETURN(int64_t v, json.GetInt("vocab_size"));
+  config.vocab_size = static_cast<int>(v);
+  UCP_ASSIGN_OR_RETURN(int64_t seq, json.GetInt("max_seq_len"));
+  config.max_seq_len = static_cast<int>(seq);
+  UCP_ASSIGN_OR_RETURN(int64_t layers, json.GetInt("num_layers"));
+  config.num_layers = static_cast<int>(layers);
+  UCP_ASSIGN_OR_RETURN(int64_t hidden, json.GetInt("hidden"));
+  config.hidden = static_cast<int>(hidden);
+  UCP_ASSIGN_OR_RETURN(int64_t heads, json.GetInt("num_heads"));
+  config.num_heads = static_cast<int>(heads);
+  UCP_ASSIGN_OR_RETURN(int64_t kv_heads, json.GetInt("num_kv_heads"));
+  config.num_kv_heads = static_cast<int>(kv_heads);
+  UCP_ASSIGN_OR_RETURN(int64_t ffn, json.GetInt("ffn_hidden"));
+  config.ffn_hidden = static_cast<int>(ffn);
+  UCP_ASSIGN_OR_RETURN(int64_t experts, json.GetInt("num_experts"));
+  config.num_experts = static_cast<int>(experts);
+  UCP_ASSIGN_OR_RETURN(int64_t top_k, json.GetInt("moe_top_k"));
+  config.moe_top_k = static_cast<int>(top_k);
+  UCP_ASSIGN_OR_RETURN(config.moe_expert_sharding, json.GetBool("moe_expert_sharding"));
+  UCP_ASSIGN_OR_RETURN(bool tied, json.GetBool("tied_embeddings"));
+  config.tied_embeddings = tied;
+  UCP_ASSIGN_OR_RETURN(int64_t seed, json.GetInt("init_seed"));
+  config.init_seed = static_cast<uint64_t>(seed);
+  return config;
+}
+
+bool SameLogicalModel(const ModelConfig& a, const ModelConfig& b) {
+  ModelConfig ca = a;
+  ModelConfig cb = b;
+  ca.moe_expert_sharding = false;
+  cb.moe_expert_sharding = false;
+  return ca == cb;
+}
+
+ModelConfig Gpt3Scaled() {
+  ModelConfig c;
+  c.arch = ArchKind::kGpt;
+  c.vocab_size = 256;
+  c.max_seq_len = 32;
+  c.num_layers = 4;
+  c.hidden = 64;
+  c.num_heads = 4;
+  c.num_kv_heads = 4;
+  c.ffn_hidden = 256;
+  c.init_seed = 20240601;
+  return c;
+}
+
+ModelConfig LlamaScaled() {
+  ModelConfig c;
+  c.arch = ArchKind::kLlama;
+  c.vocab_size = 256;
+  c.max_seq_len = 32;
+  c.num_layers = 4;
+  c.hidden = 64;
+  c.num_heads = 4;
+  c.num_kv_heads = 2;  // GQA: exercises the variable-size fused-QKV sub-pattern
+  c.ffn_hidden = 192;
+  c.init_seed = 20240602;
+  return c;
+}
+
+ModelConfig BloomScaled() {
+  ModelConfig c;
+  c.arch = ArchKind::kBloom;
+  c.vocab_size = 256;
+  c.max_seq_len = 32;
+  c.num_layers = 8;  // deeper, to give PP=4 two layers per stage
+  c.hidden = 64;
+  c.num_heads = 4;
+  c.num_kv_heads = 4;
+  c.ffn_hidden = 256;
+  c.tied_embeddings = true;
+  c.init_seed = 20240603;
+  return c;
+}
+
+ModelConfig MoeScaled() {
+  ModelConfig c;
+  c.arch = ArchKind::kMoe;
+  c.vocab_size = 256;
+  c.max_seq_len = 32;
+  c.num_layers = 4;
+  c.hidden = 64;
+  c.num_heads = 4;
+  c.num_kv_heads = 4;
+  c.ffn_hidden = 128;
+  c.num_experts = 4;
+  c.moe_top_k = 2;
+  c.init_seed = 20240604;
+  return c;
+}
+
+ModelConfig TinyGpt() {
+  ModelConfig c;
+  c.arch = ArchKind::kGpt;
+  c.vocab_size = 64;
+  c.max_seq_len = 16;
+  c.num_layers = 2;
+  c.hidden = 32;
+  c.num_heads = 4;
+  c.num_kv_heads = 4;
+  c.ffn_hidden = 64;
+  c.init_seed = 7;
+  return c;
+}
+
+ModelConfig TinyLlama() {
+  ModelConfig c = TinyGpt();
+  c.arch = ArchKind::kLlama;
+  c.num_kv_heads = 2;
+  c.init_seed = 8;
+  return c;
+}
+
+ModelConfig TinyMoe() {
+  ModelConfig c = TinyGpt();
+  c.arch = ArchKind::kMoe;
+  c.num_experts = 2;
+  // top-2 of 2: with renormalized top-1 the gate weight is constant (zero gradient) and
+  // selection flips make finite-difference checks discontinuous.
+  c.moe_top_k = 2;
+  c.ffn_hidden = 32;
+  c.init_seed = 9;
+  return c;
+}
+
+}  // namespace ucp

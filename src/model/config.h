@@ -1,0 +1,82 @@
+// Model architecture configuration and the scaled-down presets used to reproduce the
+// paper's four workloads (Table 4). The presets keep every structural feature relevant to
+// checkpoint resharding (fused QKV, GQA, MoE expert tensors, tied embeddings) at sizes a CPU
+// simulator trains in seconds.
+
+#ifndef UCP_SRC_MODEL_CONFIG_H_
+#define UCP_SRC_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/json.h"
+#include "src/common/status.h"
+
+namespace ucp {
+
+enum class ArchKind : uint8_t {
+  kGpt = 0,    // LayerNorm + GELU MLP, learned position embeddings, fused QKV with biases
+  kLlama = 1,  // RMSNorm + SwiGLU MLP, no position embeddings, no biases, optional GQA
+  kBloom = 2,  // GPT-style blocks with input/output embedding tying
+  kMoe = 3,    // LLaMA-style blocks with a top-k gated mixture-of-experts FFN
+};
+
+const char* ArchKindName(ArchKind arch);
+
+struct ModelConfig {
+  ArchKind arch = ArchKind::kGpt;
+  int vocab_size = 256;
+  int max_seq_len = 32;
+  int num_layers = 4;
+  int hidden = 64;
+  int num_heads = 4;
+  int num_kv_heads = 4;  // < num_heads enables GQA
+  int ffn_hidden = 256;  // intermediate MLP width
+  int num_experts = 1;   // > 1 enables MoE (arch kMoe)
+  int moe_top_k = 2;
+  // MoE sharding mode under TP: false = partition every expert's ffn dim (Megatron-style
+  // TP inside experts, the paper's Fig. 5 example); true = partition the *expert* dim —
+  // each TP rank owns whole experts (expert parallelism, an "emerging parallelism
+  // strategy" in the paper's future-work sense). Both are expressible as fragment
+  // sub-patterns, differing only in the partition dim.
+  bool moe_expert_sharding = false;
+  bool tied_embeddings = false;
+  uint64_t init_seed = 1234;
+
+  int head_dim() const { return hidden / num_heads; }
+  bool has_position_embeddings() const {
+    return arch == ArchKind::kGpt || arch == ArchKind::kBloom;
+  }
+  bool has_biases() const { return arch == ArchKind::kGpt || arch == ArchKind::kBloom; }
+  bool uses_rmsnorm() const { return arch == ArchKind::kLlama || arch == ArchKind::kMoe; }
+  bool uses_swiglu() const { return arch == ArchKind::kLlama || arch == ArchKind::kMoe; }
+  bool is_moe() const { return num_experts > 1; }
+
+  // Aborts on inconsistent settings (heads not dividing hidden, etc.).
+  void Validate() const;
+
+  Json ToJson() const;
+  static Result<ModelConfig> FromJson(const Json& json);
+  bool operator==(const ModelConfig& other) const = default;
+};
+
+// Scaled-down analogues of the paper's evaluation models (Table 4). The comments give the
+// paper's original dimensions.
+ModelConfig Gpt3Scaled();    // GPT-3 medium: L=24 H=1024 A=16 -> L=4 H=64 A=4
+ModelConfig LlamaScaled();   // LLaMA 7B: L=30(32) H=4096 A=32 -> L=4 H=64 A=4, GQA kv=2
+ModelConfig BloomScaled();   // BLOOM 176B: L=70 H=14336 A=112, tied -> L=8 H=64 A=4, tied
+ModelConfig MoeScaled();     // Mixtral-like MoE: L=32 H=4096 E=8 -> L=4 H=64 E=4 top-2
+
+// True when two configs describe the same logical model — identical up to sharding-mode
+// preferences (moe_expert_sharding), which change how parameters are partitioned but not
+// their logical values. UCP checkpoints are interchangeable between such configs.
+bool SameLogicalModel(const ModelConfig& a, const ModelConfig& b);
+
+// Even smaller configs for unit tests.
+ModelConfig TinyGpt();
+ModelConfig TinyLlama();
+ModelConfig TinyMoe();
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_MODEL_CONFIG_H_

@@ -1,0 +1,218 @@
+#include "src/model/inventory.h"
+
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace ucp {
+
+std::string LayerParamName(int layer, const std::string& suffix) {
+  return StrFormat("language_model.encoder.layers.%d.", layer) + suffix;
+}
+
+namespace {
+
+constexpr char kWordEmbeddings[] = "language_model.embedding.word_embeddings.weight";
+constexpr char kPositionEmbeddings[] = "language_model.embedding.position_embeddings.weight";
+constexpr char kFinalNormWeight[] = "language_model.encoder.final_layernorm.weight";
+constexpr char kFinalNormBias[] = "language_model.encoder.final_layernorm.bias";
+constexpr char kOutputLayer[] = "language_model.output_layer.weight";
+
+class Builder {
+ public:
+  explicit Builder(const ModelConfig& config) : config_(config) {
+    config.Validate();
+    // Residual-output projections get the GPT-2 style depth-scaled init.
+    residual_stddev_ = 0.02f / std::sqrt(2.0f * static_cast<float>(config.num_layers));
+  }
+
+  std::vector<InventoryEntry> Build() {
+    AddEmbeddings();
+    for (int l = 0; l < config_.num_layers; ++l) {
+      AddLayer(l);
+    }
+    AddHead();
+    return std::move(entries_);
+  }
+
+ private:
+  void Add(std::string name, Shape shape, PartitionSpec spec, bool decay, int layer,
+           bool first_stage, bool last_stage, InitKind init, float stddev,
+           bool sp_independent = false) {
+    InventoryEntry entry;
+    entry.param.name = std::move(name);
+    entry.param.full_shape = std::move(shape);
+    entry.param.tp_spec = std::move(spec);
+    entry.param.decay = decay;
+    entry.param.layer_index = layer;
+    entry.param.on_first_stage = first_stage;
+    entry.param.on_last_stage = last_stage;
+    entry.param.init = init;
+    entry.param.init_stddev = stddev;
+    entry.param.init_stream = next_stream_++;
+    entry.sp_independent = sp_independent;
+    entries_.push_back(std::move(entry));
+  }
+
+  void AddEmbeddings() {
+    // Vocab-parallel word embeddings; tied models also place a copy on the last stage.
+    Add(kWordEmbeddings, {config_.vocab_size, config_.hidden}, PartitionSpec::Fragment(0),
+        /*decay=*/true, /*layer=*/-1, /*first=*/true, /*last=*/config_.tied_embeddings,
+        InitKind::kGaussian, 0.02f);
+    if (config_.has_position_embeddings()) {
+      Add(kPositionEmbeddings, {config_.max_seq_len, config_.hidden},
+          PartitionSpec::Replicated(), /*decay=*/true, -1, /*first=*/true, /*last=*/false,
+          InitKind::kGaussian, 0.02f);
+    }
+  }
+
+  void AddNorm(const std::string& name, int layer, bool first_stage, bool last_stage) {
+    Add(name + ".weight", {config_.hidden}, PartitionSpec::Replicated(), /*decay=*/false,
+        layer, first_stage, last_stage, InitKind::kOnes, 0.0f, /*sp_independent=*/true);
+    if (config_.has_biases()) {
+      Add(name + ".bias", {config_.hidden}, PartitionSpec::Replicated(), /*decay=*/false,
+          layer, first_stage, last_stage, InitKind::kZeros, 0.0f, /*sp_independent=*/true);
+    }
+  }
+
+  void AddLayer(int l) {
+    const int h = config_.hidden;
+    const int kv = config_.num_kv_heads * config_.head_dim();
+    const int f = config_.ffn_hidden;
+
+    AddNorm(LayerParamName(l, "input_layernorm"), l, false, false);
+
+    // Fused QKV: sections {q, k, v} along dim 0 — with GQA the sections have different
+    // sizes, the Fig. 5 variable-size sub-pattern.
+    std::vector<int64_t> qkv_sections = {h, kv, kv};
+    Add(LayerParamName(l, "self_attention.query_key_value.weight"), {h + 2 * kv, h},
+        PartitionSpec::FragmentSections(0, qkv_sections), /*decay=*/true, l, false, false,
+        InitKind::kGaussian, 0.02f);
+    if (config_.has_biases()) {
+      Add(LayerParamName(l, "self_attention.query_key_value.bias"), {h + 2 * kv},
+          PartitionSpec::FragmentSections(0, qkv_sections), /*decay=*/false, l, false, false,
+          InitKind::kZeros, 0.0f);
+    }
+    // Row-parallel output projection: fragment along the input dim; bias replicated.
+    Add(LayerParamName(l, "self_attention.dense.weight"), {h, h}, PartitionSpec::Fragment(1),
+        /*decay=*/true, l, false, false, InitKind::kGaussian, residual_stddev_);
+    if (config_.has_biases()) {
+      Add(LayerParamName(l, "self_attention.dense.bias"), {h}, PartitionSpec::Replicated(),
+          /*decay=*/false, l, false, false, InitKind::kZeros, 0.0f);
+    }
+
+    AddNorm(LayerParamName(l, "post_attention_layernorm"), l, false, false);
+
+    if (config_.is_moe()) {
+      const int e = config_.num_experts;
+      // Router replicated. Expert tensors are 3-d; the sharding mode picks the fragment
+      // sub-pattern: ffn-dim TP (Fig. 5's example) or expert-dim expert parallelism.
+      Add(LayerParamName(l, "mlp.moe.gate.weight"), {e, h}, PartitionSpec::Replicated(),
+          /*decay=*/true, l, false, false, InitKind::kGaussian, 0.02f);
+      int w1_dim = config_.moe_expert_sharding ? 0 : 1;
+      int w2_dim = config_.moe_expert_sharding ? 0 : 2;
+      Add(LayerParamName(l, "mlp.moe.experts.w1"), {e, f, h},
+          PartitionSpec::Fragment(w1_dim), /*decay=*/true, l, false, false,
+          InitKind::kGaussian, 0.02f);
+      Add(LayerParamName(l, "mlp.moe.experts.w2"), {e, h, f},
+          PartitionSpec::Fragment(w2_dim), /*decay=*/true, l, false, false,
+          InitKind::kGaussian, residual_stddev_);
+    } else if (config_.uses_swiglu()) {
+      Add(LayerParamName(l, "mlp.gate_proj.weight"), {f, h}, PartitionSpec::Fragment(0),
+          /*decay=*/true, l, false, false, InitKind::kGaussian, 0.02f);
+      Add(LayerParamName(l, "mlp.up_proj.weight"), {f, h}, PartitionSpec::Fragment(0),
+          /*decay=*/true, l, false, false, InitKind::kGaussian, 0.02f);
+      Add(LayerParamName(l, "mlp.down_proj.weight"), {h, f}, PartitionSpec::Fragment(1),
+          /*decay=*/true, l, false, false, InitKind::kGaussian, residual_stddev_);
+    } else {
+      Add(LayerParamName(l, "mlp.dense_h_to_4h.weight"), {f, h}, PartitionSpec::Fragment(0),
+          /*decay=*/true, l, false, false, InitKind::kGaussian, 0.02f);
+      Add(LayerParamName(l, "mlp.dense_h_to_4h.bias"), {f}, PartitionSpec::Fragment(0),
+          /*decay=*/false, l, false, false, InitKind::kZeros, 0.0f);
+      Add(LayerParamName(l, "mlp.dense_4h_to_h.weight"), {h, f}, PartitionSpec::Fragment(1),
+          /*decay=*/true, l, false, false, InitKind::kGaussian, residual_stddev_);
+      Add(LayerParamName(l, "mlp.dense_4h_to_h.bias"), {h}, PartitionSpec::Replicated(),
+          /*decay=*/false, l, false, false, InitKind::kZeros, 0.0f);
+    }
+  }
+
+  void AddHead() {
+    Add(kFinalNormWeight, {config_.hidden}, PartitionSpec::Replicated(), /*decay=*/false, -1,
+        /*first=*/false, /*last=*/true, InitKind::kOnes, 0.0f, /*sp_independent=*/true);
+    if (config_.has_biases()) {
+      Add(kFinalNormBias, {config_.hidden}, PartitionSpec::Replicated(), /*decay=*/false, -1,
+          /*first=*/false, /*last=*/true, InitKind::kZeros, 0.0f, /*sp_independent=*/true);
+    }
+    if (!config_.tied_embeddings) {
+      Add(kOutputLayer, {config_.vocab_size, config_.hidden}, PartitionSpec::Fragment(0),
+          /*decay=*/true, -1, /*first=*/false, /*last=*/true, InitKind::kGaussian, 0.02f);
+    }
+  }
+
+  const ModelConfig& config_;
+  std::vector<InventoryEntry> entries_;
+  float residual_stddev_;
+  uint64_t next_stream_ = 100;  // streams < 100 reserved for non-parameter randomness
+};
+
+}  // namespace
+
+std::vector<InventoryEntry> BuildInventory(const ModelConfig& config) {
+  return Builder(config).Build();
+}
+
+PartitionSpec EffectiveSpec(const InventoryEntry& entry, const ParallelConfig& strategy) {
+  if (entry.sp_independent && strategy.sp > 1) {
+    return PartitionSpec::ToAverage();
+  }
+  return entry.param.tp_spec;
+}
+
+bool OnStage(const InventoryEntry& entry, const ModelConfig& config, int stage, int pp) {
+  UCP_CHECK_GE(stage, 0);
+  UCP_CHECK_LT(stage, pp);
+  if (entry.param.layer_index >= 0) {
+    auto split = SplitLayersAcrossStages(config.num_layers, pp);
+    auto [first, count] = split[static_cast<size_t>(stage)];
+    return entry.param.layer_index >= first && entry.param.layer_index < first + count;
+  }
+  if (entry.param.on_first_stage && stage == 0) {
+    return true;
+  }
+  if (entry.param.on_last_stage && stage == pp - 1) {
+    return true;
+  }
+  return false;
+}
+
+bool IsTiedSecondary(const InventoryEntry& entry, const ModelConfig& config,
+                     const ParallelConfig& strategy, const RankCoord& coord) {
+  return config.tied_embeddings && strategy.pp > 1 && coord.pp == strategy.pp - 1 &&
+         entry.param.name == "language_model.embedding.word_embeddings.weight";
+}
+
+bool NormCounts(const InventoryEntry& entry, const ModelConfig& config,
+                const ParallelConfig& strategy, const RankCoord& coord) {
+  if (IsTiedSecondary(entry, config, strategy, coord)) {
+    return false;
+  }
+  PartitionSpec spec = EffectiveSpec(entry, strategy);
+  if (spec.kind == PartitionKind::kFragment) {
+    // Every TP fragment is distinct data; SP replicates it, so count sp rank 0 only.
+    return coord.sp == 0;
+  }
+  return coord.tp == 0 && coord.sp == 0;
+}
+
+std::vector<InventoryEntry> StageEntries(const std::vector<InventoryEntry>& inventory,
+                                         const ModelConfig& config, int stage, int pp) {
+  std::vector<InventoryEntry> out;
+  for (const InventoryEntry& entry : inventory) {
+    if (OnStage(entry, config, stage, pp)) {
+      out.push_back(entry);
+    }
+  }
+  return out;
+}
+
+}  // namespace ucp

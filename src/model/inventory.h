@@ -1,0 +1,58 @@
+// The logical parameter inventory: every parameter of the full model, in canonical order,
+// with Megatron-style names, full shapes, TP partition specs, and pipeline placement.
+//
+// One inventory drives everything: rank-local materialization, ZeRO flat-group layout,
+// distributed checkpoint metadata, and the consistency test that checks the UCP language's
+// declarative pattern library against the model it describes.
+
+#ifndef UCP_SRC_MODEL_INVENTORY_H_
+#define UCP_SRC_MODEL_INVENTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/model/config.h"
+#include "src/model/param.h"
+#include "src/parallel/topology.h"
+
+namespace ucp {
+
+// Extends LogicalParam with the SP marker (partition specs themselves are strategy-relative;
+// see EffectiveSpec).
+struct InventoryEntry {
+  LogicalParam param;
+  // True for norm parameters whose gradients are *not* synchronized across the sequence-
+  // parallel group: their replicas drift and the UCP pattern becomes params_to_average.
+  bool sp_independent = false;
+};
+
+std::vector<InventoryEntry> BuildInventory(const ModelConfig& config);
+
+// The TP spec adjusted for the strategy: norm parameters flip from kReplicated to
+// kToAverage when sp > 1.
+PartitionSpec EffectiveSpec(const InventoryEntry& entry, const ParallelConfig& strategy);
+
+// True if the entry lives on pipeline stage `stage` out of `pp` stages (tied embeddings live
+// on both the first and last stage).
+bool OnStage(const InventoryEntry& entry, const ModelConfig& config, int stage, int pp);
+
+// Entries materialized on the given stage, in canonical order.
+std::vector<InventoryEntry> StageEntries(const std::vector<InventoryEntry>& inventory,
+                                         const ModelConfig& config, int stage, int pp);
+
+// Canonical names helper used across modules.
+std::string LayerParamName(int layer, const std::string& suffix);
+
+// True if this rank's copy is the non-canonical last-stage replica of a tied embedding.
+bool IsTiedSecondary(const InventoryEntry& entry, const ModelConfig& config,
+                     const ParallelConfig& strategy, const RankCoord& coord);
+
+// True if this rank's copy of the parameter contributes to the global gradient norm (one
+// representative per replica set; every fragment counts). Shared by the live StageModel and
+// GenUcpMetadata so that plans match materialized layouts bit-for-bit.
+bool NormCounts(const InventoryEntry& entry, const ModelConfig& config,
+                const ParallelConfig& strategy, const RankCoord& coord);
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_MODEL_INVENTORY_H_

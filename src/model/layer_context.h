@@ -1,0 +1,27 @@
+// Per-micro-batch execution context threaded through the parallel layers.
+
+#ifndef UCP_SRC_MODEL_LAYER_CONTEXT_H_
+#define UCP_SRC_MODEL_LAYER_CONTEXT_H_
+
+#include "src/comm/comm.h"
+
+namespace ucp {
+
+struct LayerContext {
+  ProcessGroup tp;  // tensor-parallel group (size 1 when TP is off)
+  ProcessGroup sp;  // sequence-parallel group (size 1 when SP is off)
+
+  // Geometry of the current micro-batch. Activations flow as [batch * seq_local, hidden];
+  // each SP rank owns the contiguous token slice [seq_offset, seq_offset + seq_local) of
+  // every sample.
+  int batch = 0;
+  int seq_total = 0;
+  int seq_local = 0;
+  int seq_offset = 0;
+
+  int64_t local_tokens() const { return static_cast<int64_t>(batch) * seq_local; }
+};
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_MODEL_LAYER_CONTEXT_H_

@@ -1,0 +1,122 @@
+#include "src/model/linear.h"
+
+#include "src/tensor/matmul.h"
+
+namespace ucp {
+
+Tensor ColumnParallelLinear::Forward(const Tensor& x) {
+  cached_x_ = x.Clone();
+  // y = x W^T  (W is [out_local, in])
+  Tensor y = MatmulNT(x, weight_->value);
+  if (bias_ != nullptr) {
+    const float* b = bias_->value.data();
+    float* py = y.data();
+    int64_t out = y.dim(1);
+    for (int64_t r = 0; r < y.dim(0); ++r) {
+      for (int64_t c = 0; c < out; ++c) {
+        py[r * out + c] += b[c];
+      }
+    }
+  }
+  return y;
+}
+
+Tensor ColumnParallelLinear::Backward(const Tensor& dy, const LayerContext& ctx) {
+  // dW += dy^T x
+  MatmulTN(dy, cached_x_, weight_->grad, /*accumulate=*/true);
+  if (bias_ != nullptr) {
+    float* db = bias_->grad.data();
+    const float* pdy = dy.data();
+    int64_t out = dy.dim(1);
+    for (int64_t r = 0; r < dy.dim(0); ++r) {
+      for (int64_t c = 0; c < out; ++c) {
+        db[c] += pdy[r * out + c];
+      }
+    }
+  }
+  // dx = dy W, partial per rank; the input was replicated so contributions sum across TP.
+  Tensor dx = MatmulNN(dy, weight_->value);
+  if (ctx.tp.size() > 1) {
+    ctx.tp.AllReduceSum(dx);
+  }
+  return dx;
+}
+
+Tensor RowParallelLinear::Forward(const Tensor& x, const LayerContext& ctx) {
+  cached_x_ = x.Clone();
+  Tensor y = MatmulNT(x, weight_->value);  // partial sums
+  if (ctx.tp.size() > 1) {
+    ctx.tp.AllReduceSum(y);
+  }
+  if (bias_ != nullptr) {
+    const float* b = bias_->value.data();
+    float* py = y.data();
+    int64_t out = y.dim(1);
+    for (int64_t r = 0; r < y.dim(0); ++r) {
+      for (int64_t c = 0; c < out; ++c) {
+        py[r * out + c] += b[c];
+      }
+    }
+  }
+  return y;
+}
+
+Tensor RowParallelLinear::Backward(const Tensor& dy) {
+  MatmulTN(dy, cached_x_, weight_->grad, /*accumulate=*/true);
+  if (bias_ != nullptr) {
+    // dy is full and identical on every TP rank, so each rank accumulates the identical
+    // replicated-bias gradient.
+    float* db = bias_->grad.data();
+    const float* pdy = dy.data();
+    int64_t out = dy.dim(1);
+    for (int64_t r = 0; r < dy.dim(0); ++r) {
+      for (int64_t c = 0; c < out; ++c) {
+        db[c] += pdy[r * out + c];
+      }
+    }
+  }
+  return MatmulNN(dy, weight_->value);
+}
+
+Tensor VocabParallelEmbedding::Forward(const Tensor& tokens, const LayerContext& ctx) {
+  cached_tokens_ = tokens.Clone();
+  int64_t n = tokens.numel();
+  int64_t hidden = weight_->value.dim(1);
+  int64_t vocab_local = weight_->value.dim(0);
+  Tensor x = Tensor::Zeros({n, hidden});
+  const float* pt = tokens.data();
+  const float* pw = weight_->value.data();
+  float* px = x.data();
+  for (int64_t i = 0; i < n; ++i) {
+    auto tok = static_cast<int64_t>(pt[i]) - vocab_offset_;
+    if (tok >= 0 && tok < vocab_local) {
+      for (int64_t c = 0; c < hidden; ++c) {
+        px[i * hidden + c] = pw[tok * hidden + c];
+      }
+    }
+  }
+  if (ctx.tp.size() > 1) {
+    ctx.tp.AllReduceSum(x);
+  }
+  return x;
+}
+
+void VocabParallelEmbedding::Backward(const Tensor& dx) {
+  int64_t n = cached_tokens_.numel();
+  int64_t hidden = weight_->value.dim(1);
+  int64_t vocab_local = weight_->value.dim(0);
+  UCP_CHECK_EQ(dx.dim(0), n);
+  const float* pt = cached_tokens_.data();
+  const float* pdx = dx.data();
+  float* pdw = weight_->grad.data();
+  for (int64_t i = 0; i < n; ++i) {
+    auto tok = static_cast<int64_t>(pt[i]) - vocab_offset_;
+    if (tok >= 0 && tok < vocab_local) {
+      for (int64_t c = 0; c < hidden; ++c) {
+        pdw[tok * hidden + c] += pdx[i * hidden + c];
+      }
+    }
+  }
+}
+
+}  // namespace ucp

@@ -1,0 +1,74 @@
+// Megatron-style tensor-parallel linear layers and the vocab-parallel embedding.
+//
+// ColumnParallelLinear shards the output dim: each rank computes its slice of the output
+// from the full input; the backward pass all-reduces input gradients. RowParallelLinear
+// shards the input dim: each rank computes a partial full-size output that the forward pass
+// all-reduces. Composing column -> nonlinearity -> row gives one all-reduce per MLP/attention
+// block, exactly as in Megatron-LM.
+
+#ifndef UCP_SRC_MODEL_LINEAR_H_
+#define UCP_SRC_MODEL_LINEAR_H_
+
+#include "src/model/layer_context.h"
+#include "src/model/param.h"
+
+namespace ucp {
+
+class ColumnParallelLinear {
+ public:
+  // weight: local shard [out_local, in]; bias (optional): [out_local].
+  ColumnParallelLinear(ParamPtr weight, ParamPtr bias)
+      : weight_(std::move(weight)), bias_(std::move(bias)) {}
+
+  // x: [tokens, in] (full). Returns [tokens, out_local].
+  Tensor Forward(const Tensor& x);
+  // dy: [tokens, out_local]. Returns dx [tokens, in] (all-reduced across TP).
+  Tensor Backward(const Tensor& dy, const LayerContext& ctx);
+
+  int64_t out_local() const { return weight_->value.dim(0); }
+
+ private:
+  ParamPtr weight_;
+  ParamPtr bias_;  // may be null
+  Tensor cached_x_;
+};
+
+class RowParallelLinear {
+ public:
+  // weight: local shard [out, in_local]; bias (optional, replicated): [out].
+  RowParallelLinear(ParamPtr weight, ParamPtr bias)
+      : weight_(std::move(weight)), bias_(std::move(bias)) {}
+
+  // x: [tokens, in_local] (sharded). Returns [tokens, out] (all-reduced across TP).
+  Tensor Forward(const Tensor& x, const LayerContext& ctx);
+  // dy: [tokens, out] (full). Returns dx [tokens, in_local].
+  Tensor Backward(const Tensor& dy);
+
+ private:
+  ParamPtr weight_;
+  ParamPtr bias_;  // may be null
+  Tensor cached_x_;
+};
+
+class VocabParallelEmbedding {
+ public:
+  // weight: local shard [vocab_local, hidden]; rank owns vocab rows
+  // [tp_index * vocab_local, (tp_index + 1) * vocab_local).
+  VocabParallelEmbedding(ParamPtr weight, int tp_index)
+      : weight_(std::move(weight)), vocab_offset_(tp_index * weight_->value.dim(0)) {}
+
+  // tokens: [batch, seq_local] integer values in fp32. Returns [tokens, hidden]
+  // (all-reduced across TP).
+  Tensor Forward(const Tensor& tokens, const LayerContext& ctx);
+  // dx: [tokens, hidden]. Accumulates into the weight gradient; nothing flows further back.
+  void Backward(const Tensor& dx);
+
+ private:
+  ParamPtr weight_;
+  int64_t vocab_offset_;
+  Tensor cached_tokens_;
+};
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_MODEL_LINEAR_H_

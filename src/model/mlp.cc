@@ -1,0 +1,245 @@
+#include "src/model/mlp.h"
+
+#include <algorithm>
+
+#include "src/model/nn_ops.h"
+#include "src/tensor/matmul.h"
+
+namespace ucp {
+
+Tensor GptMlp::Forward(const Tensor& x, const LayerContext& ctx) {
+  cached_pre_ = in_.Forward(x);
+  return out_.Forward(Gelu(cached_pre_), ctx);
+}
+
+Tensor GptMlp::Backward(const Tensor& dy, const LayerContext& ctx) {
+  Tensor dact = out_.Backward(dy);
+  Tensor dpre = GeluBackward(cached_pre_, dact);
+  return in_.Backward(dpre, ctx);
+}
+
+Tensor SwiGluMlp::Forward(const Tensor& x, const LayerContext& ctx) {
+  cached_gate_pre_ = gate_.Forward(x);
+  cached_up_ = up_.Forward(x);
+  cached_silu_ = Silu(cached_gate_pre_);
+  Tensor prod = cached_silu_.Clone();
+  prod.Mul_(cached_up_);
+  return down_.Forward(prod, ctx);
+}
+
+Tensor SwiGluMlp::Backward(const Tensor& dy, const LayerContext& ctx) {
+  Tensor dprod = down_.Backward(dy);
+  // prod = silu(g) * u
+  Tensor dup = dprod.Clone();
+  dup.Mul_(cached_silu_);
+  Tensor dsilu = dprod;  // reuse
+  dsilu.Mul_(cached_up_);
+  Tensor dgate_pre = SiluBackward(cached_gate_pre_, dsilu);
+
+  Tensor dx = gate_.Backward(dgate_pre, ctx);
+  dx.Add_(up_.Backward(dup, ctx));
+  return dx;
+}
+
+MoeMlp::MoeMlp(const ModelConfig& config, int tp_degree, int tp_rank, ParamPtr gate,
+               ParamPtr w1, ParamPtr w2)
+    : num_experts_(config.num_experts),
+      top_k_(config.moe_top_k),
+      gate_(std::move(gate)),
+      w1_(std::move(w1)),
+      w2_(std::move(w2)) {
+  if (config.moe_expert_sharding) {
+    UCP_CHECK_EQ(config.num_experts % tp_degree, 0)
+        << "expert sharding needs tp to divide num_experts";
+    ffn_local_ = config.ffn_hidden;
+    expert_count_ = config.num_experts / tp_degree;
+    expert_begin_ = tp_rank * expert_count_;
+  } else {
+    UCP_CHECK_EQ(config.ffn_hidden % tp_degree, 0);
+    ffn_local_ = config.ffn_hidden / tp_degree;
+    expert_count_ = config.num_experts;
+    expert_begin_ = 0;
+  }
+  UCP_CHECK_EQ(w1_->value.dim(0), expert_count_);
+  UCP_CHECK_EQ(w1_->value.dim(1), ffn_local_);
+  UCP_CHECK_EQ(w2_->value.dim(2), ffn_local_);
+}
+
+Tensor MoeMlp::Forward(const Tensor& x, const LayerContext& ctx) {
+  const int64_t n = x.dim(0);
+  const int64_t h = x.dim(1);
+  cached_x_ = x.Clone();
+
+  // Router: logits = x G^T, identical on every TP rank (G replicated, x full).
+  probs_ = MatmulNT(x, gate_->value);  // [n, E]
+  SoftmaxRows_(probs_);
+
+  // Deterministic top-k per token: by (prob desc, expert index asc).
+  selections_.assign(static_cast<size_t>(n), {});
+  expert_cache_.assign(static_cast<size_t>(num_experts_), {});
+  const float* pp = probs_.data();
+  for (int64_t t = 0; t < n; ++t) {
+    std::vector<int> order(static_cast<size_t>(num_experts_));
+    for (int e = 0; e < num_experts_; ++e) {
+      order[static_cast<size_t>(e)] = e;
+    }
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return pp[t * num_experts_ + a] > pp[t * num_experts_ + b];
+    });
+    float denom = 0.0f;
+    for (int k = 0; k < top_k_; ++k) {
+      denom += pp[t * num_experts_ + order[static_cast<size_t>(k)]];
+    }
+    for (int k = 0; k < top_k_; ++k) {
+      int e = order[static_cast<size_t>(k)];
+      float weight = pp[t * num_experts_ + e] / denom;
+      selections_[static_cast<size_t>(t)].push_back({e, weight});
+      expert_cache_[static_cast<size_t>(e)].token_idx.push_back(t);
+    }
+  }
+
+  Tensor out = Tensor::Zeros({n, h});
+  for (int e = 0; e < num_experts_; ++e) {
+    if (!OwnsExpert(e)) {
+      continue;  // expert parallelism: another TP rank computes this expert entirely
+    }
+    const int64_t local_e = e - expert_begin_;
+    ExpertCache& cache = expert_cache_[static_cast<size_t>(e)];
+    const int64_t ne = static_cast<int64_t>(cache.token_idx.size());
+    if (ne == 0) {
+      continue;
+    }
+    // Gather this expert's tokens.
+    cache.x = Tensor::Zeros({ne, h});
+    for (int64_t i = 0; i < ne; ++i) {
+      const float* src = x.data() + cache.token_idx[static_cast<size_t>(i)] * h;
+      std::copy(src, src + h, cache.x.data() + i * h);
+    }
+    // Expert FFN on this rank's slice (3-d weights; dim-0 slices are contiguous views).
+    Tensor w1e = Tensor::ViewOf(w1_->value, local_e * ffn_local_ * h, {ffn_local_, h});
+    Tensor w2e = Tensor::ViewOf(w2_->value, local_e * h * ffn_local_, {h, ffn_local_});
+    cache.h_pre = MatmulNT(cache.x, w1e);   // [ne, ffn_local]
+    cache.h_act = Gelu(cache.h_pre);
+    cache.partial = MatmulNT(cache.h_act, w2e);  // [ne, h], partial across TP
+
+    // Scatter back, scaled by the token's gate weight for this expert.
+    for (int64_t i = 0; i < ne; ++i) {
+      int64_t t = cache.token_idx[static_cast<size_t>(i)];
+      float weight = 0.0f;
+      for (const Selection& s : selections_[static_cast<size_t>(t)]) {
+        if (s.expert == e) {
+          weight = s.weight;
+        }
+      }
+      float* dst = out.data() + t * h;
+      const float* src = cache.partial.data() + i * h;
+      for (int64_t c = 0; c < h; ++c) {
+        dst[c] += weight * src[c];
+      }
+    }
+  }
+
+  if (ctx.tp.size() > 1) {
+    ctx.tp.AllReduceSum(out);
+  }
+  return out;
+}
+
+Tensor MoeMlp::Backward(const Tensor& dy, const LayerContext& ctx) {
+  const int64_t n = dy.dim(0);
+  const int64_t h = dy.dim(1);
+
+  // d(gate weight) per (token, expert) and the expert-path input gradient, both partial
+  // across TP until the all-reduces below.
+  Tensor dweights = Tensor::Zeros({n, num_experts_});
+  Tensor dx_expert = Tensor::Zeros({n, h});
+
+  for (int e = 0; e < num_experts_; ++e) {
+    if (!OwnsExpert(e)) {
+      continue;
+    }
+    const int64_t local_e = e - expert_begin_;
+    ExpertCache& cache = expert_cache_[static_cast<size_t>(e)];
+    const int64_t ne = static_cast<int64_t>(cache.token_idx.size());
+    if (ne == 0) {
+      continue;
+    }
+    // dfe = w_{t,e} * dy_t ; dweight_{t,e} = dy_t . partial_t (summed across TP later).
+    Tensor dfe = Tensor::Zeros({ne, h});
+    for (int64_t i = 0; i < ne; ++i) {
+      int64_t t = cache.token_idx[static_cast<size_t>(i)];
+      float weight = 0.0f;
+      for (const Selection& s : selections_[static_cast<size_t>(t)]) {
+        if (s.expert == e) {
+          weight = s.weight;
+        }
+      }
+      const float* pdy = dy.data() + t * h;
+      const float* pf = cache.partial.data() + i * h;
+      float* pdfe = dfe.data() + i * h;
+      double dot = 0.0;
+      for (int64_t c = 0; c < h; ++c) {
+        pdfe[c] = weight * pdy[c];
+        dot += static_cast<double>(pdy[c]) * pf[c];
+      }
+      dweights.at(t * num_experts_ + e) = static_cast<float>(dot);
+    }
+
+    Tensor w1e = Tensor::ViewOf(w1_->value, local_e * ffn_local_ * h, {ffn_local_, h});
+    Tensor w2e = Tensor::ViewOf(w2_->value, local_e * h * ffn_local_, {h, ffn_local_});
+    Tensor dw1e = Tensor::ViewOf(w1_->grad, local_e * ffn_local_ * h, {ffn_local_, h});
+    Tensor dw2e = Tensor::ViewOf(w2_->grad, local_e * h * ffn_local_, {h, ffn_local_});
+
+    // partial = h_act W2^T
+    MatmulTN(dfe, cache.h_act, dw2e, /*accumulate=*/true);     // dW2 += dfe^T h_act
+    Tensor dh_act = MatmulNN(dfe, w2e);                        // [ne, ffn_local]
+    Tensor dh_pre = GeluBackward(cache.h_pre, dh_act);
+    MatmulTN(dh_pre, cache.x, dw1e, /*accumulate=*/true);      // dW1 += dh_pre^T x
+    Tensor dxe = MatmulNN(dh_pre, w1e);                        // [ne, h]
+
+    for (int64_t i = 0; i < ne; ++i) {
+      int64_t t = cache.token_idx[static_cast<size_t>(i)];
+      float* dst = dx_expert.data() + t * h;
+      const float* src = dxe.data() + i * h;
+      for (int64_t c = 0; c < h; ++c) {
+        dst[c] += src[c];
+      }
+    }
+  }
+
+  if (ctx.tp.size() > 1) {
+    // Partial expert outputs / gate-weight dots were computed per TP shard; sum them so the
+    // router gradient (replicated parameter) is identical on every rank.
+    ctx.tp.AllReduceSum(dweights);
+    ctx.tp.AllReduceSum(dx_expert);
+  }
+
+  // Normalized-top-k backward: w_i = p_i / S over selected experts.
+  Tensor dprobs = Tensor::Zeros({n, num_experts_});
+  const float* pp = probs_.data();
+  const float* pdw = dweights.data();
+  float* pdp = dprobs.data();
+  for (int64_t t = 0; t < n; ++t) {
+    const auto& sel = selections_[static_cast<size_t>(t)];
+    float denom = 0.0f;
+    for (const Selection& s : sel) {
+      denom += pp[t * num_experts_ + s.expert];
+    }
+    double weighted = 0.0;
+    for (const Selection& s : sel) {
+      weighted += static_cast<double>(pdw[t * num_experts_ + s.expert]) * s.weight;
+    }
+    for (const Selection& s : sel) {
+      pdp[t * num_experts_ + s.expert] =
+          (pdw[t * num_experts_ + s.expert] - static_cast<float>(weighted)) / denom;
+    }
+  }
+
+  Tensor dlogits = SoftmaxRowsBackward(probs_, dprobs);
+  MatmulTN(dlogits, cached_x_, gate_->grad, /*accumulate=*/true);  // dG += dlogits^T x
+  Tensor dx = MatmulNN(dlogits, gate_->value);                     // router input grad (full)
+  dx.Add_(dx_expert);
+  return dx;
+}
+
+}  // namespace ucp

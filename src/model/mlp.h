@@ -1,0 +1,98 @@
+// Feed-forward blocks: GPT-style GELU MLP, LLaMA-style SwiGLU, and the top-k gated
+// mixture-of-experts FFN (Mixtral-like, with 3-d expert weight tensors — the Fig. 5 MoE
+// sub-pattern).
+
+#ifndef UCP_SRC_MODEL_MLP_H_
+#define UCP_SRC_MODEL_MLP_H_
+
+#include <vector>
+
+#include "src/model/config.h"
+#include "src/model/layer_context.h"
+#include "src/model/linear.h"
+
+namespace ucp {
+
+// h_to_4h (column-parallel) -> GELU -> 4h_to_h (row-parallel).
+class GptMlp {
+ public:
+  GptMlp(ParamPtr w_in, ParamPtr b_in, ParamPtr w_out, ParamPtr b_out)
+      : in_(std::move(w_in), std::move(b_in)), out_(std::move(w_out), std::move(b_out)) {}
+
+  Tensor Forward(const Tensor& x, const LayerContext& ctx);
+  Tensor Backward(const Tensor& dy, const LayerContext& ctx);
+
+ private:
+  ColumnParallelLinear in_;
+  RowParallelLinear out_;
+  Tensor cached_pre_;  // pre-activation
+};
+
+// silu(gate(x)) * up(x) -> down. gate/up column-parallel, down row-parallel.
+class SwiGluMlp {
+ public:
+  SwiGluMlp(ParamPtr gate, ParamPtr up, ParamPtr down)
+      : gate_(std::move(gate), nullptr),
+        up_(std::move(up), nullptr),
+        down_(std::move(down), nullptr) {}
+
+  Tensor Forward(const Tensor& x, const LayerContext& ctx);
+  Tensor Backward(const Tensor& dy, const LayerContext& ctx);
+
+ private:
+  ColumnParallelLinear gate_;
+  ColumnParallelLinear up_;
+  RowParallelLinear down_;
+  Tensor cached_gate_pre_;
+  Tensor cached_up_;
+  Tensor cached_silu_;
+};
+
+// Top-k gated MoE with GELU expert FFNs. The router (gate.weight [E, hidden]) is replicated
+// across TP. Expert tensors w1 [E, ffn, hidden] / w2 [E, hidden, ffn] are sharded one of
+// two ways (config.moe_expert_sharding):
+//   - ffn-dim TP (default): every rank holds a slice of every expert
+//     ([E, ffn/tp, hidden] / [E, hidden, ffn/tp]); expert outputs are partial sums.
+//   - expert parallelism: each rank owns E/tp whole experts ([E/tp, ffn, hidden]); expert
+//     outputs are complete, and the TP all-reduce combines different experts' terms.
+class MoeMlp {
+ public:
+  MoeMlp(const ModelConfig& config, int tp_degree, int tp_rank, ParamPtr gate, ParamPtr w1,
+         ParamPtr w2);
+
+  Tensor Forward(const Tensor& x, const LayerContext& ctx);
+  Tensor Backward(const Tensor& dy, const LayerContext& ctx);
+
+ private:
+  bool OwnsExpert(int e) const { return e >= expert_begin_ && e < expert_begin_ + expert_count_; }
+
+  int num_experts_;
+  int top_k_;
+  int64_t ffn_local_;   // full ffn width under expert sharding
+  int expert_begin_;    // first owned expert (0 under ffn sharding)
+  int expert_count_;    // owned experts (all of them under ffn sharding)
+  ParamPtr gate_;
+  ParamPtr w1_;
+  ParamPtr w2_;
+
+  // Forward caches.
+  Tensor cached_x_;
+  Tensor probs_;  // router softmax [tokens, E]
+  struct Selection {
+    int expert;
+    float weight;  // normalized top-k gate weight
+  };
+  std::vector<std::vector<Selection>> selections_;  // per token
+  struct ExpertCache {
+    std::vector<int64_t> token_idx;
+    Tensor x;        // [n_e, hidden]
+    Tensor h_pre;    // [n_e, ffn_local]
+    Tensor h_act;    // [n_e, ffn_local]
+    Tensor partial;  // [n_e, hidden] — this rank's partial expert output (pre TP reduce)
+  };
+  std::vector<ExpertCache> expert_cache_;
+};
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_MODEL_MLP_H_

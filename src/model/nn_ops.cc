@@ -1,0 +1,292 @@
+#include "src/model/nn_ops.h"
+
+#include <cmath>
+
+namespace ucp {
+
+namespace {
+constexpr float kGeluCoef = 0.7978845608028654f;  // sqrt(2/pi)
+}  // namespace
+
+Tensor Gelu(const Tensor& x) {
+  Tensor y = x.Clone();
+  float* p = y.data();
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    float v = p[i];
+    float inner = kGeluCoef * (v + 0.044715f * v * v * v);
+    p[i] = 0.5f * v * (1.0f + std::tanh(inner));
+  }
+  return y;
+}
+
+Tensor GeluBackward(const Tensor& x, const Tensor& dy) {
+  UCP_CHECK_EQ(x.numel(), dy.numel());
+  Tensor dx = Tensor::Zeros(x.shape());
+  const float* px = x.data();
+  const float* pdy = dy.data();
+  float* pdx = dx.data();
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    float v = px[i];
+    float inner = kGeluCoef * (v + 0.044715f * v * v * v);
+    float t = std::tanh(inner);
+    float dinner = kGeluCoef * (1.0f + 3.0f * 0.044715f * v * v);
+    float grad = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * dinner;
+    pdx[i] = pdy[i] * grad;
+  }
+  return dx;
+}
+
+Tensor Silu(const Tensor& x) {
+  Tensor y = x.Clone();
+  float* p = y.data();
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    float v = p[i];
+    p[i] = v / (1.0f + std::exp(-v));
+  }
+  return y;
+}
+
+Tensor SiluBackward(const Tensor& x, const Tensor& dy) {
+  UCP_CHECK_EQ(x.numel(), dy.numel());
+  Tensor dx = Tensor::Zeros(x.shape());
+  const float* px = x.data();
+  const float* pdy = dy.data();
+  float* pdx = dx.data();
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    float v = px[i];
+    float sig = 1.0f / (1.0f + std::exp(-v));
+    pdx[i] = pdy[i] * (sig + v * sig * (1.0f - sig));
+  }
+  return dx;
+}
+
+Tensor LayerNormForward(const Tensor& x, const Tensor& gamma, const Tensor* beta,
+                        LayerNormCache& cache, float eps) {
+  UCP_CHECK_EQ(x.ndim(), 2);
+  int64_t rows = x.dim(0);
+  int64_t h = x.dim(1);
+  UCP_CHECK_EQ(gamma.numel(), h);
+  if (beta != nullptr) {
+    UCP_CHECK_EQ(beta->numel(), h);
+  }
+
+  cache.x_hat = Tensor::Zeros(x.shape());
+  cache.inv_std = Tensor::Zeros({rows});
+  Tensor y = Tensor::Zeros(x.shape());
+
+  const float* px = x.data();
+  const float* pg = gamma.data();
+  const float* pb = beta != nullptr ? beta->data() : nullptr;
+  float* pxh = cache.x_hat.data();
+  float* pis = cache.inv_std.data();
+  float* py = y.data();
+
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = px + r * h;
+    double mean = 0.0;
+    for (int64_t i = 0; i < h; ++i) {
+      mean += row[i];
+    }
+    mean /= static_cast<double>(h);
+    double var = 0.0;
+    for (int64_t i = 0; i < h; ++i) {
+      double d = row[i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(h);
+    float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    pis[r] = inv_std;
+    for (int64_t i = 0; i < h; ++i) {
+      float xh = (row[i] - static_cast<float>(mean)) * inv_std;
+      pxh[r * h + i] = xh;
+      py[r * h + i] = xh * pg[i] + (pb != nullptr ? pb[i] : 0.0f);
+    }
+  }
+  return y;
+}
+
+Tensor LayerNormBackward(const Tensor& dy, const Tensor& gamma, const LayerNormCache& cache,
+                         Tensor& dgamma, Tensor* dbeta) {
+  int64_t rows = dy.dim(0);
+  int64_t h = dy.dim(1);
+  Tensor dx = Tensor::Zeros(dy.shape());
+
+  const float* pdy = dy.data();
+  const float* pg = gamma.data();
+  const float* pxh = cache.x_hat.data();
+  const float* pis = cache.inv_std.data();
+  float* pdx = dx.data();
+  float* pdg = dgamma.data();
+  float* pdb = dbeta != nullptr ? dbeta->data() : nullptr;
+
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* dyr = pdy + r * h;
+    const float* xhr = pxh + r * h;
+    double sum_dyg = 0.0;
+    double sum_dyg_xh = 0.0;
+    for (int64_t i = 0; i < h; ++i) {
+      float dyg = dyr[i] * pg[i];
+      sum_dyg += dyg;
+      sum_dyg_xh += static_cast<double>(dyg) * xhr[i];
+    }
+    float mean_dyg = static_cast<float>(sum_dyg / static_cast<double>(h));
+    float mean_dyg_xh = static_cast<float>(sum_dyg_xh / static_cast<double>(h));
+    float inv_std = pis[r];
+    for (int64_t i = 0; i < h; ++i) {
+      float dyg = dyr[i] * pg[i];
+      pdx[r * h + i] = inv_std * (dyg - mean_dyg - xhr[i] * mean_dyg_xh);
+      pdg[i] += dyr[i] * xhr[i];
+      if (pdb != nullptr) {
+        pdb[i] += dyr[i];
+      }
+    }
+  }
+  return dx;
+}
+
+Tensor RmsNormForward(const Tensor& x, const Tensor& gamma, RmsNormCache& cache, float eps) {
+  UCP_CHECK_EQ(x.ndim(), 2);
+  int64_t rows = x.dim(0);
+  int64_t h = x.dim(1);
+  UCP_CHECK_EQ(gamma.numel(), h);
+
+  cache.x = x.Clone();
+  cache.inv_rms = Tensor::Zeros({rows});
+  Tensor y = Tensor::Zeros(x.shape());
+
+  const float* px = x.data();
+  const float* pg = gamma.data();
+  float* pir = cache.inv_rms.data();
+  float* py = y.data();
+
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = px + r * h;
+    double ms = 0.0;
+    for (int64_t i = 0; i < h; ++i) {
+      ms += static_cast<double>(row[i]) * row[i];
+    }
+    ms /= static_cast<double>(h);
+    float inv_rms = 1.0f / std::sqrt(static_cast<float>(ms) + eps);
+    pir[r] = inv_rms;
+    for (int64_t i = 0; i < h; ++i) {
+      py[r * h + i] = row[i] * inv_rms * pg[i];
+    }
+  }
+  return y;
+}
+
+Tensor RmsNormBackward(const Tensor& dy, const Tensor& gamma, const RmsNormCache& cache,
+                       Tensor& dgamma) {
+  int64_t rows = dy.dim(0);
+  int64_t h = dy.dim(1);
+  Tensor dx = Tensor::Zeros(dy.shape());
+
+  const float* pdy = dy.data();
+  const float* pg = gamma.data();
+  const float* px = cache.x.data();
+  const float* pir = cache.inv_rms.data();
+  float* pdx = dx.data();
+  float* pdg = dgamma.data();
+
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* dyr = pdy + r * h;
+    const float* xr = px + r * h;
+    float inv_rms = pir[r];
+    double sum_dyg_x = 0.0;
+    for (int64_t i = 0; i < h; ++i) {
+      sum_dyg_x += static_cast<double>(dyr[i] * pg[i]) * xr[i];
+    }
+    float coef = static_cast<float>(sum_dyg_x / static_cast<double>(h)) * inv_rms * inv_rms *
+                 inv_rms;
+    for (int64_t i = 0; i < h; ++i) {
+      float dyg = dyr[i] * pg[i];
+      pdx[r * h + i] = dyg * inv_rms - xr[i] * coef;
+      pdg[i] += dyr[i] * xr[i] * inv_rms;
+    }
+  }
+  return dx;
+}
+
+void SoftmaxRows_(Tensor& x) {
+  UCP_CHECK_GE(x.ndim(), 1);
+  int64_t cols = x.dim(x.ndim() - 1);
+  int64_t rows = x.numel() / cols;
+  float* p = x.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = p + r * cols;
+    float m = row[0];
+    for (int64_t i = 1; i < cols; ++i) {
+      m = std::max(m, row[i]);
+    }
+    double sum = 0.0;
+    for (int64_t i = 0; i < cols; ++i) {
+      row[i] = std::exp(row[i] - m);
+      sum += row[i];
+    }
+    float inv = 1.0f / static_cast<float>(sum);
+    for (int64_t i = 0; i < cols; ++i) {
+      row[i] *= inv;
+    }
+  }
+}
+
+Tensor SoftmaxRowsBackward(const Tensor& probs, const Tensor& dprobs) {
+  UCP_CHECK(probs.SameShape(dprobs));
+  int64_t cols = probs.dim(probs.ndim() - 1);
+  int64_t rows = probs.numel() / cols;
+  Tensor dz = Tensor::Zeros(probs.shape());
+  const float* pp = probs.data();
+  const float* pd = dprobs.data();
+  float* pz = dz.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* prow = pp + r * cols;
+    const float* drow = pd + r * cols;
+    double dot = 0.0;
+    for (int64_t i = 0; i < cols; ++i) {
+      dot += static_cast<double>(prow[i]) * drow[i];
+    }
+    float d = static_cast<float>(dot);
+    float* zrow = pz + r * cols;
+    for (int64_t i = 0; i < cols; ++i) {
+      zrow[i] = prow[i] * (drow[i] - d);
+    }
+  }
+  return dz;
+}
+
+double CrossEntropySum(const Tensor& logits, const Tensor& labels, Tensor& dlogits) {
+  UCP_CHECK_EQ(logits.ndim(), 2);
+  int64_t rows = logits.dim(0);
+  int64_t vocab = logits.dim(1);
+  UCP_CHECK_EQ(labels.numel(), rows);
+  UCP_CHECK(dlogits.SameShape(logits));
+
+  const float* pl = logits.data();
+  const float* py = labels.data();
+  float* pd = dlogits.data();
+  double total = 0.0;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = pl + r * vocab;
+    auto label = static_cast<int64_t>(py[r]);
+    UCP_CHECK_GE(label, 0);
+    UCP_CHECK_LT(label, vocab);
+    float m = row[0];
+    for (int64_t i = 1; i < vocab; ++i) {
+      m = std::max(m, row[i]);
+    }
+    double sum = 0.0;
+    for (int64_t i = 0; i < vocab; ++i) {
+      sum += std::exp(static_cast<double>(row[i]) - m);
+    }
+    double lse = m + std::log(sum);
+    total += lse - row[label];
+    float* drow = pd + r * vocab;
+    for (int64_t i = 0; i < vocab; ++i) {
+      drow[i] = static_cast<float>(std::exp(static_cast<double>(row[i]) - lse));
+    }
+    drow[label] -= 1.0f;
+  }
+  return total;
+}
+
+}  // namespace ucp

@@ -1,0 +1,54 @@
+// Forward/backward primitives for the training simulator: activations, norms, softmax, and
+// cross-entropy. All operate on 2-d [rows, features] tensors (rows = batch*seq tokens);
+// reductions are over the feature dim in a fixed left-to-right order for reproducibility.
+
+#ifndef UCP_SRC_MODEL_NN_OPS_H_
+#define UCP_SRC_MODEL_NN_OPS_H_
+
+#include "src/tensor/tensor.h"
+
+namespace ucp {
+
+// GELU (tanh approximation, as used by GPT/BLOOM).
+Tensor Gelu(const Tensor& x);
+// dx given upstream dy; x is the forward input.
+Tensor GeluBackward(const Tensor& x, const Tensor& dy);
+
+// SiLU / swish (the SwiGLU building block).
+Tensor Silu(const Tensor& x);
+Tensor SiluBackward(const Tensor& x, const Tensor& dy);
+
+// LayerNorm over the last dim with affine transform. `beta` may be null (no bias).
+struct LayerNormCache {
+  Tensor x_hat;    // normalized input [rows, h]
+  Tensor inv_std;  // [rows]
+};
+Tensor LayerNormForward(const Tensor& x, const Tensor& gamma, const Tensor* beta,
+                        LayerNormCache& cache, float eps = 1e-5f);
+// Returns dx; accumulates (+=) into dgamma / dbeta (dbeta may be null).
+Tensor LayerNormBackward(const Tensor& dy, const Tensor& gamma, const LayerNormCache& cache,
+                         Tensor& dgamma, Tensor* dbeta);
+
+// RMSNorm over the last dim (LLaMA-style, weight only).
+struct RmsNormCache {
+  Tensor x;        // forward input [rows, h]
+  Tensor inv_rms;  // [rows]
+};
+Tensor RmsNormForward(const Tensor& x, const Tensor& gamma, RmsNormCache& cache,
+                      float eps = 1e-5f);
+Tensor RmsNormBackward(const Tensor& dy, const Tensor& gamma, const RmsNormCache& cache,
+                       Tensor& dgamma);
+
+// Row-wise softmax over the last dim, in place (numerically stable).
+void SoftmaxRows_(Tensor& x);
+// Given probs = softmax(z) and upstream dprobs, returns dz.
+Tensor SoftmaxRowsBackward(const Tensor& probs, const Tensor& dprobs);
+
+// Softmax cross-entropy. logits [rows, vocab]; labels [rows] (integer values stored as
+// floats). Returns the *sum* of per-row losses; writes d(sum)/dlogits into dlogits
+// (allocated by the caller, same shape as logits). The caller applies 1/tokens scaling.
+double CrossEntropySum(const Tensor& logits, const Tensor& labels, Tensor& dlogits);
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_MODEL_NN_OPS_H_

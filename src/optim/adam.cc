@@ -1,0 +1,36 @@
+#include "src/optim/adam.h"
+
+#include <cmath>
+
+namespace ucp {
+
+void AdamUpdate(float* master, const float* grad, float* exp_avg, float* exp_avg_sq,
+                int64_t n, int64_t step, float lr, const AdamConfig& config, bool decay,
+                float grad_scale) {
+  const float bias1 = 1.0f - std::pow(config.beta1, static_cast<float>(step));
+  const float bias2 = 1.0f - std::pow(config.beta2, static_cast<float>(step));
+  const float wd = decay ? config.weight_decay : 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    float g = grad[i] * grad_scale;
+    exp_avg[i] = config.beta1 * exp_avg[i] + (1.0f - config.beta1) * g;
+    exp_avg_sq[i] = config.beta2 * exp_avg_sq[i] + (1.0f - config.beta2) * g * g;
+    float m_hat = exp_avg[i] / bias1;
+    float v_hat = exp_avg_sq[i] / bias2;
+    master[i] -= lr * (m_hat / (std::sqrt(v_hat) + config.eps) + wd * master[i]);
+  }
+}
+
+float LrSchedule::LrAt(int64_t iteration) const {
+  if (iteration <= warmup_iters) {
+    return max_lr * static_cast<float>(iteration) / static_cast<float>(warmup_iters);
+  }
+  if (iteration >= decay_iters) {
+    return min_lr;
+  }
+  float progress = static_cast<float>(iteration - warmup_iters) /
+                   static_cast<float>(decay_iters - warmup_iters);
+  float cosine = 0.5f * (1.0f + std::cos(static_cast<float>(M_PI) * progress));
+  return min_lr + (max_lr - min_lr) * cosine;
+}
+
+}  // namespace ucp

@@ -1,0 +1,38 @@
+// Adam(W) arithmetic and the learning-rate schedule. Pure element-wise math; the ZeRO
+// machinery decides which elements each rank updates.
+
+#ifndef UCP_SRC_OPTIM_ADAM_H_
+#define UCP_SRC_OPTIM_ADAM_H_
+
+#include <cstdint>
+
+namespace ucp {
+
+struct AdamConfig {
+  float beta1 = 0.9f;
+  float beta2 = 0.95f;
+  float eps = 1e-8f;
+  float weight_decay = 0.1f;  // decoupled (AdamW); applied only to params with decay=true
+  float grad_clip = 1.0f;     // global L2 clip; <= 0 disables
+};
+
+// One AdamW step over n contiguous elements. `step` is 1-based (bias correction).
+// grad_scale is the clip coefficient folded with any other scaling.
+void AdamUpdate(float* master, const float* grad, float* exp_avg, float* exp_avg_sq,
+                int64_t n, int64_t step, float lr, const AdamConfig& config, bool decay,
+                float grad_scale);
+
+// Linear warmup to max_lr, then cosine decay to min_lr over [warmup, decay_iters].
+struct LrSchedule {
+  float max_lr = 3e-4f;
+  float min_lr = 3e-6f;
+  int warmup_iters = 10;
+  int decay_iters = 200;
+
+  // 1-based iteration.
+  float LrAt(int64_t iteration) const;
+};
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_OPTIM_ADAM_H_

@@ -1,0 +1,127 @@
+#include "src/parallel/partition_spec.h"
+
+namespace ucp {
+
+const char* PartitionKindName(PartitionKind kind) {
+  switch (kind) {
+    case PartitionKind::kReplicated:
+      return "replicated";
+    case PartitionKind::kFragment:
+      return "fragment";
+    case PartitionKind::kToAverage:
+      return "to_average";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Resolves the effective section sizes along spec.dim (a single full-size section when none
+// are declared) and checks divisibility by the TP degree.
+std::vector<int64_t> EffectiveSections(const PartitionSpec& spec, const Shape& full_shape,
+                                       int degree) {
+  UCP_CHECK_GE(spec.dim, 0);
+  UCP_CHECK_LT(spec.dim, static_cast<int>(full_shape.size()))
+      << "fragment dim out of range for shape " << ShapeToString(full_shape);
+  int64_t dim_size = full_shape[static_cast<size_t>(spec.dim)];
+  std::vector<int64_t> sections = spec.sections;
+  if (sections.empty()) {
+    sections.push_back(dim_size);
+  }
+  int64_t total = 0;
+  for (int64_t s : sections) {
+    UCP_CHECK_EQ(s % degree, 0) << "section of size " << s << " not divisible by TP degree "
+                                << degree;
+    total += s;
+  }
+  UCP_CHECK_EQ(total, dim_size) << "sections do not cover dim " << spec.dim << " of "
+                                << ShapeToString(full_shape);
+  return sections;
+}
+
+}  // namespace
+
+Shape ShardShape(const PartitionSpec& spec, const Shape& full_shape, int degree) {
+  if (spec.kind != PartitionKind::kFragment || degree == 1) {
+    return full_shape;
+  }
+  std::vector<int64_t> sections = EffectiveSections(spec, full_shape, degree);
+  Shape out = full_shape;
+  out[static_cast<size_t>(spec.dim)] =
+      full_shape[static_cast<size_t>(spec.dim)] / degree;
+  return out;
+}
+
+Tensor ShardOf(const PartitionSpec& spec, const Tensor& full, int degree, int rank) {
+  UCP_CHECK_GE(rank, 0);
+  UCP_CHECK_LT(rank, degree);
+  if (spec.kind != PartitionKind::kFragment || degree == 1) {
+    return full.Clone();
+  }
+  std::vector<int64_t> sections = EffectiveSections(spec, full.shape(), degree);
+  // Rank r takes the r-th 1/degree slice of every section, concatenated in section order.
+  std::vector<Tensor> pieces;
+  pieces.reserve(sections.size());
+  int64_t section_start = 0;
+  for (int64_t s : sections) {
+    int64_t piece = s / degree;
+    pieces.push_back(full.Narrow(spec.dim, section_start + rank * piece, piece));
+    section_start += s;
+  }
+  return pieces.size() == 1 ? std::move(pieces[0]) : Tensor::Concat(pieces, spec.dim);
+}
+
+Tensor Unshard(const PartitionSpec& spec, const std::vector<Tensor>& shards,
+               const Shape& full_shape) {
+  UCP_CHECK(!shards.empty());
+  int degree = static_cast<int>(shards.size());
+
+  switch (spec.kind) {
+    case PartitionKind::kReplicated:
+      UCP_CHECK(shards[0].shape() == full_shape);
+      return shards[0].Clone();
+
+    case PartitionKind::kToAverage: {
+      UCP_CHECK(shards[0].shape() == full_shape);
+      Tensor avg = shards[0].Clone();
+      for (size_t i = 1; i < shards.size(); ++i) {
+        avg.Add_(shards[i]);
+      }
+      avg.Scale_(1.0f / static_cast<float>(degree));
+      return avg;
+    }
+
+    case PartitionKind::kFragment: {
+      if (degree == 1) {
+        UCP_CHECK(shards[0].shape() == full_shape);
+        return shards[0].Clone();
+      }
+      std::vector<int64_t> sections = EffectiveSections(spec, full_shape, degree);
+      // Inverse of ShardOf: for each section (in order), concatenate every rank's slice of
+      // that section.
+      std::vector<Tensor> full_sections;
+      full_sections.reserve(sections.size());
+      int64_t local_start = 0;
+      for (int64_t s : sections) {
+        int64_t piece = s / degree;
+        std::vector<Tensor> rank_pieces;
+        rank_pieces.reserve(shards.size());
+        for (const Tensor& shard : shards) {
+          rank_pieces.push_back(shard.Narrow(spec.dim, local_start, piece));
+        }
+        full_sections.push_back(Tensor::Concat(rank_pieces, spec.dim));
+        local_start += piece;
+      }
+      Tensor full = full_sections.size() == 1 ? std::move(full_sections[0])
+                                              : Tensor::Concat(full_sections, spec.dim);
+      UCP_CHECK(full.shape() == full_shape)
+          << "Unshard produced " << ShapeToString(full.shape()) << ", expected "
+          << ShapeToString(full_shape);
+      return full;
+    }
+  }
+  UCP_CHECK(false) << "unreachable";
+  return Tensor();
+}
+
+}  // namespace ucp

@@ -1,0 +1,63 @@
+// How a logical (full) parameter tensor maps onto tensor-parallel ranks.
+//
+// These specs are the runtime-side twin of the UCP language's parameter patterns (Table 1 of
+// the paper): kReplicated <-> replicated_params, kFragment <-> fragment_params (with the
+// Fig. 5 sub-patterns expressed as `dim` + `sections`), and kToAverage <-> params_to_average.
+// unique_params has no TP spec — it arises from pipeline/ZeRO placement, where a parameter
+// exists on exactly one rank of the relevant group.
+
+#ifndef UCP_SRC_PARALLEL_PARTITION_SPEC_H_
+#define UCP_SRC_PARALLEL_PARTITION_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace ucp {
+
+enum class PartitionKind : uint8_t {
+  // Every TP rank holds an identical full copy (layer norms, biases of row-parallel linears).
+  kReplicated = 0,
+  // The tensor is split along `dim`. With `sections` empty the split is even; otherwise the
+  // tensor is first divided into sections of the given sizes along `dim` and *each section*
+  // is split evenly across ranks (the fused-QKV / GQA sub-pattern from Fig. 5). For 3-d MoE
+  // expert tensors, `dim` is simply > 0 — the other sub-pattern from Fig. 5.
+  kFragment = 1,
+  // Replicated storage but updated independently per rank (sequence-parallel norm
+  // parameters); consolidation must average the replicas.
+  kToAverage = 2,
+};
+
+const char* PartitionKindName(PartitionKind kind);
+
+struct PartitionSpec {
+  PartitionKind kind = PartitionKind::kReplicated;
+  int dim = 0;
+  std::vector<int64_t> sections;  // full-tensor section sizes along `dim`; empty = one section
+
+  static PartitionSpec Replicated() { return {PartitionKind::kReplicated, 0, {}}; }
+  static PartitionSpec Fragment(int dim) { return {PartitionKind::kFragment, dim, {}}; }
+  static PartitionSpec FragmentSections(int dim, std::vector<int64_t> sections) {
+    return {PartitionKind::kFragment, dim, std::move(sections)};
+  }
+  static PartitionSpec ToAverage() { return {PartitionKind::kToAverage, 0, {}}; }
+
+  bool operator==(const PartitionSpec& other) const = default;
+};
+
+// Shape of rank `rank`'s shard of a full tensor with this spec under `degree`-way TP.
+Shape ShardShape(const PartitionSpec& spec, const Shape& full_shape, int degree);
+
+// Extracts rank `rank`'s shard (copy) from the full tensor.
+Tensor ShardOf(const PartitionSpec& spec, const Tensor& full, int degree, int rank);
+
+// Reassembles the full tensor from all ranks' shards (inverse of ShardOf). For kReplicated
+// the first shard is returned; for kToAverage the elementwise mean.
+Tensor Unshard(const PartitionSpec& spec, const std::vector<Tensor>& shards,
+               const Shape& full_shape);
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_PARALLEL_PARTITION_SPEC_H_

@@ -1,0 +1,180 @@
+#include "src/parallel/topology.h"
+
+#include "src/common/strings.h"
+
+namespace ucp {
+
+std::string ParallelConfig::ToString() const {
+  return StrFormat("TP%d.PP%d.DP%d.SP%d.Z%d", tp, pp, dp, sp, zero_stage);
+}
+
+Json ParallelConfig::ToJson() const {
+  JsonObject obj;
+  obj["tp"] = tp;
+  obj["pp"] = pp;
+  obj["dp"] = dp;
+  obj["sp"] = sp;
+  obj["zero_stage"] = zero_stage;
+  obj["micro_batches"] = micro_batches;
+  return Json(std::move(obj));
+}
+
+Result<ParallelConfig> ParallelConfig::FromJson(const Json& json) {
+  ParallelConfig config;
+  UCP_ASSIGN_OR_RETURN(int64_t tp, json.GetInt("tp"));
+  UCP_ASSIGN_OR_RETURN(int64_t pp, json.GetInt("pp"));
+  UCP_ASSIGN_OR_RETURN(int64_t dp, json.GetInt("dp"));
+  UCP_ASSIGN_OR_RETURN(int64_t sp, json.GetInt("sp"));
+  UCP_ASSIGN_OR_RETURN(int64_t zero, json.GetInt("zero_stage"));
+  UCP_ASSIGN_OR_RETURN(int64_t micro, json.GetInt("micro_batches"));
+  config.tp = static_cast<int>(tp);
+  config.pp = static_cast<int>(pp);
+  config.dp = static_cast<int>(dp);
+  config.sp = static_cast<int>(sp);
+  config.zero_stage = static_cast<int>(zero);
+  config.micro_batches = static_cast<int>(micro);
+  if (config.tp < 1 || config.pp < 1 || config.dp < 1 || config.sp < 1 ||
+      config.zero_stage < 0 || config.zero_stage > 3 || config.micro_batches < 1) {
+    return InvalidArgumentError("malformed parallel config: " + json.Dump());
+  }
+  return config;
+}
+
+Topology::Topology(World* world, const ParallelConfig& config)
+    : world_(world), config_(config) {
+  UCP_CHECK_EQ(world->size(), config.world_size())
+      << "world size does not match parallel config " << config.ToString();
+  int n = world->size();
+  tp_group_of_.resize(static_cast<size_t>(n));
+  sp_group_of_.resize(static_cast<size_t>(n));
+  dp_group_of_.resize(static_cast<size_t>(n));
+  pp_group_of_.resize(static_cast<size_t>(n));
+  tie_group_of_.resize(static_cast<size_t>(n));
+
+  std::vector<int> world_ranks(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    world_ranks[static_cast<size_t>(r)] = r;
+  }
+  world_group_ = world->CreateGroup(world_ranks);
+
+  auto make_axis_groups = [&](auto coord_selector, std::vector<GroupPtr>& out, int degree) {
+    if (degree == 1) {
+      // Size-1 groups still work, but sharing one object per rank keeps setup cheap.
+    }
+    // Enumerate groups by fixing all other coordinates.
+    for (int r = 0; r < n; ++r) {
+      if (out[static_cast<size_t>(r)] != nullptr) {
+        continue;
+      }
+      RankCoord base = CoordOf(r);
+      std::vector<int> members;
+      members.reserve(static_cast<size_t>(degree));
+      for (int i = 0; i < degree; ++i) {
+        RankCoord c = base;
+        coord_selector(c) = i;
+        members.push_back(RankOf(c));
+      }
+      GroupPtr group = world->CreateGroup(members);
+      for (int m : members) {
+        out[static_cast<size_t>(m)] = group;
+      }
+    }
+  };
+
+  make_axis_groups([](RankCoord& c) -> int& { return c.tp; }, tp_group_of_, config_.tp);
+  make_axis_groups([](RankCoord& c) -> int& { return c.sp; }, sp_group_of_, config_.sp);
+  make_axis_groups([](RankCoord& c) -> int& { return c.dp; }, dp_group_of_, config_.dp);
+  make_axis_groups([](RankCoord& c) -> int& { return c.pp; }, pp_group_of_, config_.pp);
+
+  // Embedding-tie groups: {first stage, last stage} of each (tp, sp, dp) slice. Only
+  // meaningful when pp > 1; with pp == 1 the tie is within one rank.
+  if (config_.pp > 1) {
+    for (int r = 0; r < n; ++r) {
+      RankCoord c = CoordOf(r);
+      if (c.pp != 0 && c.pp != config_.pp - 1) {
+        continue;
+      }
+      if (tie_group_of_[static_cast<size_t>(r)] != nullptr) {
+        continue;
+      }
+      RankCoord first = c;
+      first.pp = 0;
+      RankCoord last = c;
+      last.pp = config_.pp - 1;
+      std::vector<int> members = {RankOf(first), RankOf(last)};
+      GroupPtr group = world->CreateGroup(members);
+      tie_group_of_[static_cast<size_t>(members[0])] = group;
+      tie_group_of_[static_cast<size_t>(members[1])] = group;
+    }
+  }
+}
+
+RankCoord Topology::CoordOf(int rank) const {
+  UCP_CHECK_GE(rank, 0);
+  UCP_CHECK_LT(rank, config_.world_size());
+  RankCoord c;
+  c.tp = rank % config_.tp;
+  int rest = rank / config_.tp;
+  c.sp = rest % config_.sp;
+  rest /= config_.sp;
+  c.pp = rest % config_.pp;
+  c.dp = rest / config_.pp;
+  return c;
+}
+
+int Topology::RankOf(const RankCoord& coord) const {
+  UCP_CHECK_GE(coord.tp, 0);
+  UCP_CHECK_LT(coord.tp, config_.tp);
+  UCP_CHECK_GE(coord.sp, 0);
+  UCP_CHECK_LT(coord.sp, config_.sp);
+  UCP_CHECK_GE(coord.pp, 0);
+  UCP_CHECK_LT(coord.pp, config_.pp);
+  UCP_CHECK_GE(coord.dp, 0);
+  UCP_CHECK_LT(coord.dp, config_.dp);
+  return ((coord.dp * config_.pp + coord.pp) * config_.sp + coord.sp) * config_.tp + coord.tp;
+}
+
+Topology::RankGroups Topology::GroupsFor(int rank) const {
+  RankGroups groups;
+  groups.tp = ProcessGroup(tp_group_of_[static_cast<size_t>(rank)], rank);
+  groups.sp = ProcessGroup(sp_group_of_[static_cast<size_t>(rank)], rank);
+  groups.dp = ProcessGroup(dp_group_of_[static_cast<size_t>(rank)], rank);
+  groups.pp = ProcessGroup(pp_group_of_[static_cast<size_t>(rank)], rank);
+  if (tie_group_of_[static_cast<size_t>(rank)] != nullptr) {
+    groups.embedding_tie = ProcessGroup(tie_group_of_[static_cast<size_t>(rank)], rank);
+  }
+  groups.world = ProcessGroup(world_group_, rank);
+  return groups;
+}
+
+int Topology::PrevStageRank(int rank) const {
+  RankCoord c = CoordOf(rank);
+  UCP_CHECK_GT(c.pp, 0) << "first stage has no predecessor";
+  --c.pp;
+  return RankOf(c);
+}
+
+int Topology::NextStageRank(int rank) const {
+  RankCoord c = CoordOf(rank);
+  UCP_CHECK_LT(c.pp, config_.pp - 1) << "last stage has no successor";
+  ++c.pp;
+  return RankOf(c);
+}
+
+std::vector<std::pair<int, int>> SplitLayersAcrossStages(int num_layers, int pp) {
+  UCP_CHECK_GT(pp, 0);
+  UCP_CHECK_GE(num_layers, pp) << "fewer layers than pipeline stages";
+  std::vector<std::pair<int, int>> out;
+  out.reserve(static_cast<size_t>(pp));
+  int base = num_layers / pp;
+  int extra = num_layers % pp;
+  int first = 0;
+  for (int s = 0; s < pp; ++s) {
+    int count = base + (s < extra ? 1 : 0);
+    out.emplace_back(first, count);
+    first += count;
+  }
+  return out;
+}
+
+}  // namespace ucp

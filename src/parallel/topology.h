@@ -1,0 +1,95 @@
+// The 4-D device grid (TP x SP x PP x DP) and the communication groups each rank needs.
+//
+// Rank layout (TP fastest-varying, DP slowest):
+//   rank = ((dp * PP + pp) * SP + sp) * TP + tp
+// This matches the Megatron convention of placing tensor-parallel peers on adjacent ranks.
+
+#ifndef UCP_SRC_PARALLEL_TOPOLOGY_H_
+#define UCP_SRC_PARALLEL_TOPOLOGY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/comm/comm.h"
+#include "src/common/json.h"
+#include "src/common/status.h"
+
+namespace ucp {
+
+// A complete parallelism strategy: the grid plus the ZeRO stage used on the DP axis.
+struct ParallelConfig {
+  int tp = 1;
+  int pp = 1;
+  int dp = 1;
+  int sp = 1;
+  int zero_stage = 0;  // 0 = plain DP, 1/2/3 per the ZeRO paper
+  // Micro-batches per iteration per DP replica (gradient accumulation steps / PP chunks).
+  int micro_batches = 1;
+
+  int world_size() const { return tp * pp * dp * sp; }
+  std::string ToString() const;  // "TP2.PP2.DP2.SP1.Z1"
+  Json ToJson() const;
+  static Result<ParallelConfig> FromJson(const Json& json);
+  bool operator==(const ParallelConfig& other) const = default;
+};
+
+// Coordinates of one rank in the grid.
+struct RankCoord {
+  int tp = 0;
+  int sp = 0;
+  int pp = 0;
+  int dp = 0;
+};
+
+class Topology {
+ public:
+  // Builds all process-group states up front on the launcher thread so every rank derives
+  // handles from identical shared objects.
+  Topology(World* world, const ParallelConfig& config);
+
+  const ParallelConfig& config() const { return config_; }
+  World* world() const { return world_; }
+
+  RankCoord CoordOf(int rank) const;
+  int RankOf(const RankCoord& coord) const;
+
+  // Per-rank communication handles.
+  struct RankGroups {
+    ProcessGroup tp;     // peers that differ only in the tp coordinate
+    ProcessGroup sp;     // ... sp coordinate
+    ProcessGroup dp;     // ... dp coordinate (gradient / ZeRO group)
+    ProcessGroup pp;     // ... pp coordinate (used for barriers & the embedding tie)
+    // First and last pipeline stage of this (tp, sp, dp) slice — the group over which tied
+    // embedding gradients are all-reduced. Invalid when this rank is on neither stage or
+    // when pp == 1.
+    ProcessGroup embedding_tie;
+    ProcessGroup world;  // every rank
+  };
+  RankGroups GroupsFor(int rank) const;
+
+  // Global rank of the pipeline-stage neighbour (same tp/sp/dp, pp +- 1).
+  int PrevStageRank(int rank) const;
+  int NextStageRank(int rank) const;
+
+ private:
+  World* world_;
+  ParallelConfig config_;
+
+  using GroupPtr = std::shared_ptr<internal::GroupState>;
+  // Indexed by rank: the group state each rank belongs to, per axis.
+  std::vector<GroupPtr> tp_group_of_;
+  std::vector<GroupPtr> sp_group_of_;
+  std::vector<GroupPtr> dp_group_of_;
+  std::vector<GroupPtr> pp_group_of_;
+  std::vector<GroupPtr> tie_group_of_;  // null for ranks not on first/last stage
+  GroupPtr world_group_;
+};
+
+// Assigns `num_layers` transformer layers to `pp` stages as evenly as possible (earlier
+// stages get the remainder). Returns (first_layer, count) per stage.
+std::vector<std::pair<int, int>> SplitLayersAcrossStages(int num_layers, int pp);
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_PARALLEL_TOPOLOGY_H_

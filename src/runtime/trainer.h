@@ -1,0 +1,95 @@
+// The SPMD training engine: one RankTrainer per simulated rank, driving the stage model
+// through micro-batched forward/backward, the gradient-sync chain (SP -> embedding tie ->
+// ZeRO/DP), and the Adam step. A TrainingRun helper owns the World/Topology and runs all
+// ranks on threads.
+
+#ifndef UCP_SRC_RUNTIME_TRAINER_H_
+#define UCP_SRC_RUNTIME_TRAINER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/model/stage_model.h"
+#include "src/optim/adam.h"
+#include "src/parallel/topology.h"
+#include "src/parallel/zero.h"
+
+namespace ucp {
+
+struct TrainerConfig {
+  ModelConfig model;
+  ParallelConfig strategy;
+  int global_batch = 8;  // samples per iteration across all DP replicas
+  LrSchedule lr;
+  AdamConfig adam;
+  DType compute_dtype = DType::kF32;  // != f32 simulates mixed-precision training
+  uint64_t data_seed = 42;
+
+  // Aborts on divisibility violations (batch vs dp*micro, seq vs sp, heads/vocab/ffn vs tp).
+  void Validate() const;
+};
+
+class RankTrainer {
+ public:
+  RankTrainer(Topology* topology, int rank, const TrainerConfig& config);
+
+  // Runs one training iteration (1-based). Every rank returns the same global mean LM loss.
+  double TrainIteration(int64_t iteration);
+
+  StageModel& model() { return *model_; }
+  const StageModel& model() const { return *model_; }
+  ZeroOptimizer& optimizer() { return *optimizer_; }
+  const ZeroOptimizer& optimizer() const { return *optimizer_; }
+  int rank() const { return rank_; }
+  const RankCoord& coord() const { return coord_; }
+  const TrainerConfig& config() const { return config_; }
+  Topology* topology() const { return topology_; }
+  const Topology::RankGroups& groups() const { return groups_; }
+
+ private:
+  void SyncGradients();
+
+  Topology* topology_;
+  int rank_;
+  RankCoord coord_;
+  TrainerConfig config_;
+  Topology::RankGroups groups_;
+  SyntheticTextDataset dataset_;
+  std::unique_ptr<StageModel> model_;
+  std::unique_ptr<ZeroOptimizer> optimizer_;
+
+  int micro_batch_size_ = 0;  // samples per micro-batch on this DP replica
+  int64_t hidden_activation_numel_ = 0;
+};
+
+// Convenience driver: builds a World/Topology for `config.strategy`, constructs one
+// RankTrainer per rank, and runs `body(trainer)` on each rank's thread. Checkpoint save /
+// resume logic composes through `body`.
+class TrainingRun {
+ public:
+  explicit TrainingRun(const TrainerConfig& config);
+
+  // Runs body on all ranks (blocking). May be called repeatedly; trainers persist across
+  // calls so train -> save -> train-more sequences keep optimizer state.
+  void Run(const std::function<void(RankTrainer&)>& body);
+
+  // Trains iterations [first_iteration, last_iteration] inclusive and returns the loss per
+  // iteration (identical across ranks; taken from rank 0).
+  std::vector<double> Train(int64_t first_iteration, int64_t last_iteration);
+
+  Topology& topology() { return *topology_; }
+  RankTrainer& trainer(int rank) { return *trainers_[static_cast<size_t>(rank)]; }
+  int world_size() const { return world_->size(); }
+
+ private:
+  TrainerConfig config_;
+  std::unique_ptr<World> world_;
+  std::unique_ptr<Topology> topology_;
+  std::vector<std::unique_ptr<RankTrainer>> trainers_;
+};
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_RUNTIME_TRAINER_H_

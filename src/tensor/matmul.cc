@@ -1,0 +1,129 @@
+#include "src/tensor/matmul.h"
+
+namespace ucp {
+
+namespace {
+
+void CheckMatrix(const Tensor& t, const char* name) {
+  UCP_CHECK_EQ(t.ndim(), 2) << name << " must be 2-d, got " << ShapeToString(t.shape());
+}
+
+}  // namespace
+
+void MatmulNN(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  CheckMatrix(a, "A");
+  CheckMatrix(b, "B");
+  CheckMatrix(c, "C");
+  int64_t m = a.dim(0);
+  int64_t k = a.dim(1);
+  int64_t n = b.dim(1);
+  UCP_CHECK_EQ(b.dim(0), k) << "MatmulNN inner dim mismatch";
+  UCP_CHECK_EQ(c.dim(0), m);
+  UCP_CHECK_EQ(c.dim(1), n);
+
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  if (!accumulate) {
+    c.Zero_();
+  }
+  // i-k-j order: streams B rows, accumulates into C row i; accumulation order over k is fixed
+  // left-to-right which keeps results reproducible.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float aik = pa[i * k + kk];
+      if (aik == 0.0f) {
+        continue;
+      }
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+void MatmulTN(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  CheckMatrix(a, "A");
+  CheckMatrix(b, "B");
+  CheckMatrix(c, "C");
+  int64_t k = a.dim(0);
+  int64_t m = a.dim(1);
+  int64_t n = b.dim(1);
+  UCP_CHECK_EQ(b.dim(0), k) << "MatmulTN inner dim mismatch";
+  UCP_CHECK_EQ(c.dim(0), m);
+  UCP_CHECK_EQ(c.dim(1), n);
+
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  if (!accumulate) {
+    c.Zero_();
+  }
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      float aki = arow[i];
+      if (aki == 0.0f) {
+        continue;
+      }
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += aki * brow[j];
+      }
+    }
+  }
+}
+
+void MatmulNT(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  CheckMatrix(a, "A");
+  CheckMatrix(b, "B");
+  CheckMatrix(c, "C");
+  int64_t m = a.dim(0);
+  int64_t k = a.dim(1);
+  int64_t n = b.dim(0);
+  UCP_CHECK_EQ(b.dim(1), k) << "MatmulNT inner dim mismatch";
+  UCP_CHECK_EQ(c.dim(0), m);
+  UCP_CHECK_EQ(c.dim(1), n);
+
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  if (!accumulate) {
+    c.Zero_();
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += arow[kk] * brow[kk];
+      }
+      crow[j] += acc;
+    }
+  }
+}
+
+Tensor MatmulNN(const Tensor& a, const Tensor& b) {
+  Tensor c = Tensor::Zeros({a.dim(0), b.dim(1)});
+  MatmulNN(a, b, c, /*accumulate=*/false);
+  return c;
+}
+
+Tensor MatmulTN(const Tensor& a, const Tensor& b) {
+  Tensor c = Tensor::Zeros({a.dim(1), b.dim(1)});
+  MatmulTN(a, b, c, /*accumulate=*/false);
+  return c;
+}
+
+Tensor MatmulNT(const Tensor& a, const Tensor& b) {
+  Tensor c = Tensor::Zeros({a.dim(0), b.dim(0)});
+  MatmulNT(a, b, c, /*accumulate=*/false);
+  return c;
+}
+
+}  // namespace ucp

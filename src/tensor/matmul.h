@@ -1,0 +1,28 @@
+// Matrix multiply kernels for the training simulator.
+//
+// Plain triple loops with a fixed accumulation order: determinism across runs matters more
+// than throughput at the simulator's scales, and a fixed order is what lets the resume tests
+// assert bit-identical losses.
+
+#ifndef UCP_SRC_TENSOR_MATMUL_H_
+#define UCP_SRC_TENSOR_MATMUL_H_
+
+#include "src/tensor/tensor.h"
+
+namespace ucp {
+
+// C (+)= A[m,k] * B[k,n]. If accumulate is false C is overwritten.
+void MatmulNN(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+// C (+)= A[k,m]^T * B[k,n]  (used for weight gradients: dW = X^T dY).
+void MatmulTN(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+// C (+)= A[m,k] * B[n,k]^T  (used for input gradients: dX = dY W^T).
+void MatmulNT(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+
+// Allocating conveniences.
+Tensor MatmulNN(const Tensor& a, const Tensor& b);
+Tensor MatmulTN(const Tensor& a, const Tensor& b);
+Tensor MatmulNT(const Tensor& a, const Tensor& b);
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_TENSOR_MATMUL_H_

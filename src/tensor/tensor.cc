@@ -1,0 +1,380 @@
+#include "src/tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace ucp {
+
+int64_t ShapeNumel(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    UCP_CHECK_GE(d, 0) << "negative dimension";
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor::Tensor(std::shared_ptr<std::vector<float>> storage, int64_t offset, Shape shape)
+    : storage_(std::move(storage)),
+      offset_(offset),
+      numel_(ShapeNumel(shape)),
+      shape_(std::move(shape)) {
+  UCP_CHECK_GE(offset_, 0);
+  UCP_CHECK_LE(offset_ + numel_, static_cast<int64_t>(storage_->size()))
+      << "view exceeds storage";
+}
+
+Tensor Tensor::Zeros(Shape shape) {
+  int64_t n = ShapeNumel(shape);
+  return Tensor(std::make_shared<std::vector<float>>(static_cast<size_t>(n), 0.0f), 0,
+                std::move(shape));
+}
+
+Tensor Tensor::Full(Shape shape, float value) {
+  int64_t n = ShapeNumel(shape);
+  return Tensor(std::make_shared<std::vector<float>>(static_cast<size_t>(n), value), 0,
+                std::move(shape));
+}
+
+Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
+  UCP_CHECK_EQ(ShapeNumel(shape), static_cast<int64_t>(values.size()))
+      << "shape " << ShapeToString(shape) << " does not match value count";
+  return Tensor(std::make_shared<std::vector<float>>(std::move(values)), 0, std::move(shape));
+}
+
+Tensor Tensor::Gaussian(Shape shape, const CounterRng& rng, uint64_t counter_base,
+                        float stddev) {
+  Tensor t = Zeros(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = rng.GaussianAt(counter_base + static_cast<uint64_t>(i)) * stddev;
+  }
+  return t;
+}
+
+Tensor Tensor::ViewOf(const Tensor& storage, int64_t offset, Shape shape) {
+  UCP_CHECK(storage.defined());
+  return Tensor(storage.storage_, storage.offset_ + offset, std::move(shape));
+}
+
+int64_t Tensor::dim(int i) const {
+  UCP_CHECK_GE(i, 0);
+  UCP_CHECK_LT(i, ndim());
+  return shape_[static_cast<size_t>(i)];
+}
+
+float* Tensor::data() {
+  UCP_CHECK(defined()) << "data() on undefined tensor";
+  return storage_->data() + offset_;
+}
+
+const float* Tensor::data() const {
+  UCP_CHECK(defined()) << "data() on undefined tensor";
+  return storage_->data() + offset_;
+}
+
+float& Tensor::at(int64_t i) {
+  UCP_CHECK_GE(i, 0);
+  UCP_CHECK_LT(i, numel_);
+  return data()[i];
+}
+
+float Tensor::at(int64_t i) const {
+  UCP_CHECK_GE(i, 0);
+  UCP_CHECK_LT(i, numel_);
+  return data()[i];
+}
+
+Tensor Tensor::Clone() const {
+  Tensor out = Zeros(shape_);
+  if (numel_ > 0) {
+    std::memcpy(out.data(), data(), static_cast<size_t>(numel_) * sizeof(float));
+  }
+  return out;
+}
+
+void Tensor::CopyFrom(const Tensor& src) {
+  UCP_CHECK_EQ(numel_, src.numel()) << "CopyFrom numel mismatch";
+  if (numel_ > 0) {
+    std::memmove(data(), src.data(), static_cast<size_t>(numel_) * sizeof(float));
+  }
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  UCP_CHECK_EQ(ShapeNumel(new_shape), numel_)
+      << "Reshape " << ShapeToString(shape_) << " -> " << ShapeToString(new_shape);
+  return Tensor(storage_, offset_, std::move(new_shape));
+}
+
+Tensor Tensor::Narrow(int d, int64_t start, int64_t length) const {
+  UCP_CHECK_GE(d, 0);
+  UCP_CHECK_LT(d, ndim());
+  UCP_CHECK_GE(start, 0);
+  UCP_CHECK_LE(start + length, shape_[static_cast<size_t>(d)])
+      << "Narrow out of range on dim " << d << " of " << ShapeToString(shape_);
+
+  Shape out_shape = shape_;
+  out_shape[static_cast<size_t>(d)] = length;
+  Tensor out = Zeros(out_shape);
+
+  // Treat the tensor as [outer, dim, inner] and copy contiguous inner*length rows.
+  int64_t outer = 1;
+  for (int i = 0; i < d; ++i) {
+    outer *= shape_[static_cast<size_t>(i)];
+  }
+  int64_t inner = 1;
+  for (int i = d + 1; i < ndim(); ++i) {
+    inner *= shape_[static_cast<size_t>(i)];
+  }
+  int64_t src_dim = shape_[static_cast<size_t>(d)];
+  const float* src = data();
+  float* dst = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src_row = src + (o * src_dim + start) * inner;
+    float* dst_row = dst + o * length * inner;
+    std::memcpy(dst_row, src_row, static_cast<size_t>(length * inner) * sizeof(float));
+  }
+  return out;
+}
+
+Tensor Tensor::Transpose2D() const {
+  UCP_CHECK_EQ(ndim(), 2) << "Transpose2D needs a 2-d tensor";
+  int64_t rows = shape_[0];
+  int64_t cols = shape_[1];
+  Tensor out = Zeros({cols, rows});
+  const float* src = data();
+  float* dst = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      dst[c * rows + r] = src[r * cols + c];
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::Concat(const std::vector<Tensor>& parts, int d) {
+  UCP_CHECK(!parts.empty()) << "Concat of zero tensors";
+  const Tensor& first = parts[0];
+  UCP_CHECK_GE(d, 0);
+  UCP_CHECK_LT(d, first.ndim());
+
+  int64_t total_dim = 0;
+  for (const Tensor& t : parts) {
+    UCP_CHECK_EQ(t.ndim(), first.ndim()) << "Concat rank mismatch";
+    for (int i = 0; i < first.ndim(); ++i) {
+      if (i != d) {
+        UCP_CHECK_EQ(t.dim(i), first.dim(i))
+            << "Concat shape mismatch on dim " << i << ": " << ShapeToString(t.shape())
+            << " vs " << ShapeToString(first.shape());
+      }
+    }
+    total_dim += t.dim(d);
+  }
+
+  Shape out_shape = first.shape();
+  out_shape[static_cast<size_t>(d)] = total_dim;
+  Tensor out = Zeros(out_shape);
+
+  int64_t outer = 1;
+  for (int i = 0; i < d; ++i) {
+    outer *= first.dim(i);
+  }
+  int64_t inner = 1;
+  for (int i = d + 1; i < first.ndim(); ++i) {
+    inner *= first.dim(i);
+  }
+
+  float* dst = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    int64_t written = 0;
+    for (const Tensor& t : parts) {
+      int64_t len = t.dim(d) * inner;
+      std::memcpy(dst + (o * total_dim + written) * inner, t.data() + o * len,
+                  static_cast<size_t>(len) * sizeof(float));
+      written += t.dim(d);
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor> Tensor::Split(int d, int n) const {
+  UCP_CHECK_GT(n, 0);
+  UCP_CHECK_GE(d, 0);
+  UCP_CHECK_LT(d, ndim());
+  UCP_CHECK_EQ(shape_[static_cast<size_t>(d)] % n, 0)
+      << "Split: dim " << d << " of " << ShapeToString(shape_) << " not divisible by " << n;
+  int64_t piece = shape_[static_cast<size_t>(d)] / n;
+  std::vector<int64_t> sizes(static_cast<size_t>(n), piece);
+  return SplitSizes(d, sizes);
+}
+
+std::vector<Tensor> Tensor::SplitSizes(int d, const std::vector<int64_t>& sizes) const {
+  int64_t total = 0;
+  for (int64_t s : sizes) {
+    total += s;
+  }
+  UCP_CHECK_EQ(total, shape_[static_cast<size_t>(d)]) << "SplitSizes sizes do not cover dim";
+  std::vector<Tensor> out;
+  out.reserve(sizes.size());
+  int64_t start = 0;
+  for (int64_t s : sizes) {
+    out.push_back(Narrow(d, start, s));
+    start += s;
+  }
+  return out;
+}
+
+void Tensor::Fill_(float value) {
+  float* p = data();
+  std::fill(p, p + numel_, value);
+}
+
+void Tensor::Zero_() { Fill_(0.0f); }
+
+void Tensor::Add_(const Tensor& other) {
+  UCP_CHECK_EQ(numel_, other.numel()) << "Add_ numel mismatch";
+  float* a = data();
+  const float* b = other.data();
+  for (int64_t i = 0; i < numel_; ++i) {
+    a[i] += b[i];
+  }
+}
+
+void Tensor::Sub_(const Tensor& other) {
+  UCP_CHECK_EQ(numel_, other.numel()) << "Sub_ numel mismatch";
+  float* a = data();
+  const float* b = other.data();
+  for (int64_t i = 0; i < numel_; ++i) {
+    a[i] -= b[i];
+  }
+}
+
+void Tensor::Mul_(const Tensor& other) {
+  UCP_CHECK_EQ(numel_, other.numel()) << "Mul_ numel mismatch";
+  float* a = data();
+  const float* b = other.data();
+  for (int64_t i = 0; i < numel_; ++i) {
+    a[i] *= b[i];
+  }
+}
+
+void Tensor::Scale_(float s) {
+  float* a = data();
+  for (int64_t i = 0; i < numel_; ++i) {
+    a[i] *= s;
+  }
+}
+
+void Tensor::AddScaled_(const Tensor& other, float s) {
+  UCP_CHECK_EQ(numel_, other.numel()) << "AddScaled_ numel mismatch";
+  float* a = data();
+  const float* b = other.data();
+  for (int64_t i = 0; i < numel_; ++i) {
+    a[i] += s * b[i];
+  }
+}
+
+double Tensor::SumAll() const {
+  double sum = 0.0;
+  const float* p = data();
+  for (int64_t i = 0; i < numel_; ++i) {
+    sum += p[i];
+  }
+  return sum;
+}
+
+float Tensor::MaxAbs() const {
+  float m = 0.0f;
+  const float* p = data();
+  for (int64_t i = 0; i < numel_; ++i) {
+    m = std::max(m, std::fabs(p[i]));
+  }
+  return m;
+}
+
+double Tensor::SquaredNorm() const {
+  double sum = 0.0;
+  const float* p = data();
+  for (int64_t i = 0; i < numel_; ++i) {
+    sum += static_cast<double>(p[i]) * p[i];
+  }
+  return sum;
+}
+
+double Tensor::Dot(const Tensor& other) const {
+  UCP_CHECK_EQ(numel_, other.numel()) << "Dot numel mismatch";
+  double sum = 0.0;
+  const float* a = data();
+  const float* b = other.data();
+  for (int64_t i = 0; i < numel_; ++i) {
+    sum += static_cast<double>(a[i]) * b[i];
+  }
+  return sum;
+}
+
+bool Tensor::BitEqual(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    return false;
+  }
+  return std::memcmp(a.data(), b.data(), static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+bool Tensor::AllClose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (a.shape() != b.shape()) {
+    return false;
+  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    float diff = std::fabs(pa[i] - pb[i]);
+    if (diff > atol + rtol * std::fabs(pb[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+float Tensor::MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  UCP_CHECK_EQ(a.numel(), b.numel());
+  float m = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::fabs(pa[i] - pb[i]));
+  }
+  return m;
+}
+
+std::string Tensor::DebugString(int64_t max_values) const {
+  std::ostringstream os;
+  os << "Tensor" << ShapeToString(shape_) << " {";
+  const float* p = defined() ? data() : nullptr;
+  for (int64_t i = 0; i < std::min(numel_, max_values); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << p[i];
+  }
+  if (numel_ > max_values) {
+    os << ", ...";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace ucp

@@ -1,0 +1,108 @@
+// A minimal dense fp32 tensor.
+//
+// Design notes:
+//  - Storage is always contiguous fp32. Mixed precision is simulated by rounding values
+//    through bf16/fp16 (see bf16.h); checkpoint files may store either width.
+//  - A Tensor is (shared storage, offset, shape). Reshape/ViewOf share storage — this is how
+//    the ZeRO flattened partition groups work: parameters are views into one flat buffer,
+//    exactly like DeepSpeed's fp32_partitioned_groups_flat.
+//  - Slicing ops (Narrow / Split / Concat) return freshly allocated contiguous tensors.
+//    Checkpoint transformation is copy-based by nature, so views would buy nothing there.
+
+#ifndef UCP_SRC_TENSOR_TENSOR_H_
+#define UCP_SRC_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace ucp {
+
+using Shape = std::vector<int64_t>;
+
+int64_t ShapeNumel(const Shape& shape);
+std::string ShapeToString(const Shape& shape);
+
+class Tensor {
+ public:
+  // Default-constructed tensor is empty (numel 0, ndim 0) and distinct from a 0-d scalar.
+  Tensor() = default;
+
+  static Tensor Zeros(Shape shape);
+  static Tensor Full(Shape shape, float value);
+  static Tensor FromVector(Shape shape, std::vector<float> values);
+  // i.i.d. N(0, stddev^2) drawn from a counter RNG; fully determined by (rng, counter_base),
+  // independent of how the tensor is later sharded.
+  static Tensor Gaussian(Shape shape, const CounterRng& rng, uint64_t counter_base,
+                         float stddev);
+  // A view over `storage`'s elements [offset, offset + numel(shape)). Shares memory.
+  static Tensor ViewOf(const Tensor& storage, int64_t offset, Shape shape);
+
+  bool defined() const { return storage_ != nullptr; }
+  const Shape& shape() const { return shape_; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int64_t dim(int i) const;
+  int64_t numel() const { return numel_; }
+
+  float* data();
+  const float* data() const;
+  float& at(int64_t i);
+  float at(int64_t i) const;
+
+  // True if both tensors alias the same storage (not necessarily same range).
+  bool SharesStorageWith(const Tensor& other) const { return storage_ == other.storage_; }
+
+  Tensor Clone() const;
+  void CopyFrom(const Tensor& src);  // shapes must have equal numel
+
+  // Shape manipulation. Reshape shares storage; the rest copy.
+  Tensor Reshape(Shape new_shape) const;
+  Tensor Flatten() const { return Reshape({numel()}); }
+  Tensor Narrow(int dim, int64_t start, int64_t length) const;
+  Tensor Transpose2D() const;
+
+  static Tensor Concat(const std::vector<Tensor>& parts, int dim);
+  // Even split; dim size must be divisible by n.
+  std::vector<Tensor> Split(int dim, int n) const;
+  // Uneven split by explicit sizes (e.g. GQA's fused [q + k + v, hidden] tensor).
+  std::vector<Tensor> SplitSizes(int dim, const std::vector<int64_t>& sizes) const;
+
+  // In-place arithmetic (suffix _ mirrors the PyTorch convention).
+  void Fill_(float value);
+  void Zero_();
+  void Add_(const Tensor& other);
+  void Sub_(const Tensor& other);
+  void Mul_(const Tensor& other);
+  void Scale_(float s);
+  void AddScaled_(const Tensor& other, float s);  // this += s * other
+
+  // Reductions.
+  double SumAll() const;
+  float MaxAbs() const;
+  double SquaredNorm() const;
+  double Dot(const Tensor& other) const;
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+  static bool BitEqual(const Tensor& a, const Tensor& b);
+  static bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-6f, float rtol = 1e-5f);
+  // Largest elementwise |a - b|; useful in test diagnostics.
+  static float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+  std::string DebugString(int64_t max_values = 8) const;
+
+ private:
+  Tensor(std::shared_ptr<std::vector<float>> storage, int64_t offset, Shape shape);
+
+  std::shared_ptr<std::vector<float>> storage_;
+  int64_t offset_ = 0;
+  int64_t numel_ = 0;
+  Shape shape_;
+};
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_TENSOR_TENSOR_H_

@@ -1,0 +1,231 @@
+#include "src/tensor/tensor_file.h"
+
+#include <cstring>
+
+#include "src/common/bytes.h"
+#include "src/common/crc32.h"
+#include "src/common/fs.h"
+
+namespace ucp {
+namespace {
+
+constexpr uint32_t kTensorMagic = 0x31544355;  // "UCT1" little-endian
+constexpr uint32_t kBundleMagic = 0x31424355;  // "UCB1" little-endian
+constexpr uint32_t kEndianTag = 0x01020304;
+
+void PutPayload(ByteWriter& w, const Tensor& t, DType dtype) {
+  const float* p = t.data();
+  int64_t n = t.numel();
+  switch (dtype) {
+    case DType::kF32: {
+      w.PutU64(static_cast<uint64_t>(n) * 4);
+      // All hosts we target are little-endian IEEE-754; the endian tag guards the assumption.
+      w.PutBytes(p, static_cast<size_t>(n) * sizeof(float));
+      break;
+    }
+    case DType::kBF16: {
+      w.PutU64(static_cast<uint64_t>(n) * 2);
+      for (int64_t i = 0; i < n; ++i) {
+        uint16_t v = F32ToBf16(p[i]);
+        w.PutU8(static_cast<uint8_t>(v & 0xFF));
+        w.PutU8(static_cast<uint8_t>(v >> 8));
+      }
+      break;
+    }
+    case DType::kF16: {
+      w.PutU64(static_cast<uint64_t>(n) * 2);
+      for (int64_t i = 0; i < n; ++i) {
+        uint16_t v = F32ToF16(p[i]);
+        w.PutU8(static_cast<uint8_t>(v & 0xFF));
+        w.PutU8(static_cast<uint8_t>(v >> 8));
+      }
+      break;
+    }
+  }
+}
+
+void PutHeader(ByteWriter& w, const Tensor& t, DType dtype) {
+  w.PutU8(static_cast<uint8_t>(dtype));
+  w.PutU32(static_cast<uint32_t>(t.ndim()));
+  for (int i = 0; i < t.ndim(); ++i) {
+    w.PutI64(t.dim(i));
+  }
+}
+
+struct ParsedHeader {
+  Shape shape;
+  DType dtype;
+  uint64_t payload_bytes;
+};
+
+Result<ParsedHeader> GetHeaderAndSize(ByteReader& r) {
+  ParsedHeader h;
+  UCP_ASSIGN_OR_RETURN(uint8_t dtype_byte, r.GetU8());
+  if (dtype_byte > static_cast<uint8_t>(DType::kF16)) {
+    return DataLossError("unknown dtype byte " + std::to_string(dtype_byte));
+  }
+  h.dtype = static_cast<DType>(dtype_byte);
+  UCP_ASSIGN_OR_RETURN(uint32_t ndim, r.GetU32());
+  if (ndim > 16) {
+    return DataLossError("implausible tensor rank " + std::to_string(ndim));
+  }
+  for (uint32_t i = 0; i < ndim; ++i) {
+    UCP_ASSIGN_OR_RETURN(int64_t d, r.GetI64());
+    if (d < 0) {
+      return DataLossError("negative dimension in tensor header");
+    }
+    h.shape.push_back(d);
+  }
+  UCP_ASSIGN_OR_RETURN(h.payload_bytes, r.GetU64());
+  uint64_t expect =
+      static_cast<uint64_t>(ShapeNumel(h.shape)) * DTypeSize(h.dtype);
+  if (h.payload_bytes != expect) {
+    return DataLossError("payload size " + std::to_string(h.payload_bytes) +
+                         " does not match shape " + ShapeToString(h.shape));
+  }
+  return h;
+}
+
+Result<Tensor> GetPayload(ByteReader& r, const ParsedHeader& h) {
+  Tensor t = Tensor::Zeros(h.shape);
+  int64_t n = t.numel();
+  float* p = t.data();
+  switch (h.dtype) {
+    case DType::kF32:
+      UCP_RETURN_IF_ERROR(r.GetBytes(p, static_cast<size_t>(n) * sizeof(float)));
+      break;
+    case DType::kBF16:
+    case DType::kF16: {
+      std::vector<uint8_t> raw(static_cast<size_t>(n) * 2);
+      UCP_RETURN_IF_ERROR(r.GetBytes(raw.data(), raw.size()));
+      for (int64_t i = 0; i < n; ++i) {
+        uint16_t v = static_cast<uint16_t>(raw[2 * i]) |
+                     (static_cast<uint16_t>(raw[2 * i + 1]) << 8);
+        p[i] = h.dtype == DType::kBF16 ? Bf16ToF32(v) : F16ToF32(v);
+      }
+      break;
+    }
+  }
+  return t;
+}
+
+// Verifies the trailing CRC and returns a reader over the protected region.
+Result<ByteReader> OpenChecked(const std::string& contents, uint32_t magic, const char* kind,
+                               const std::string& path) {
+  if (contents.size() < 12) {
+    return DataLossError(std::string(kind) + " file truncated: " + path);
+  }
+  size_t body_size = contents.size() - 4;
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, contents.data() + body_size, 4);
+  uint32_t actual_crc = Crc32(contents.data(), body_size);
+  if (stored_crc != actual_crc) {
+    return DataLossError(std::string(kind) + " CRC mismatch in " + path);
+  }
+  ByteReader r(contents.data(), body_size);
+  UCP_ASSIGN_OR_RETURN(uint32_t got_magic, r.GetU32());
+  if (got_magic != magic) {
+    return DataLossError(std::string(kind) + " bad magic in " + path);
+  }
+  UCP_ASSIGN_OR_RETURN(uint32_t endian, r.GetU32());
+  if (endian != kEndianTag) {
+    return DataLossError(std::string(kind) + " endianness mismatch in " + path);
+  }
+  return r;
+}
+
+Status Commit(const std::string& path, ByteWriter& w) {
+  uint32_t crc = Crc32(w.buffer().data(), w.size());
+  w.PutU32(crc);
+  return WriteFileAtomic(path, w.buffer().data(), w.size());
+}
+
+}  // namespace
+
+Status SaveTensor(const std::string& path, const Tensor& tensor, DType dtype) {
+  if (!tensor.defined()) {
+    return InvalidArgumentError("SaveTensor of undefined tensor: " + path);
+  }
+  ByteWriter w;
+  w.PutU32(kTensorMagic);
+  w.PutU32(kEndianTag);
+  PutHeader(w, tensor, dtype);
+  PutPayload(w, tensor, dtype);
+  return Commit(path, w);
+}
+
+Result<Tensor> LoadTensor(const std::string& path) {
+  UCP_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  UCP_ASSIGN_OR_RETURN(ByteReader r, OpenChecked(contents, kTensorMagic, "tensor", path));
+  UCP_ASSIGN_OR_RETURN(ParsedHeader h, GetHeaderAndSize(r));
+  return GetPayload(r, h);
+}
+
+Result<TensorFileInfo> StatTensor(const std::string& path) {
+  // Reads the whole file (CRC check requires it) but skips fp conversion; at simulator scale
+  // this is cheap and keeps corrupted metadata from planning a bad load.
+  UCP_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  UCP_ASSIGN_OR_RETURN(ByteReader r, OpenChecked(contents, kTensorMagic, "tensor", path));
+  UCP_ASSIGN_OR_RETURN(ParsedHeader h, GetHeaderAndSize(r));
+  return TensorFileInfo{h.shape, h.dtype, h.payload_bytes};
+}
+
+const Tensor* TensorBundle::Find(const std::string& name) const {
+  for (const auto& [n, t] : tensors) {
+    if (n == name) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+Status SaveBundle(const std::string& path, const TensorBundle& bundle, DType dtype) {
+  ByteWriter w;
+  w.PutU32(kBundleMagic);
+  w.PutU32(kEndianTag);
+  w.PutString(bundle.meta.Dump());
+  w.PutU32(static_cast<uint32_t>(bundle.tensors.size()));
+  for (const auto& [name, tensor] : bundle.tensors) {
+    w.PutString(name);
+    PutHeader(w, tensor, dtype);
+    PutPayload(w, tensor, dtype);
+  }
+  return Commit(path, w);
+}
+
+Result<TensorBundle> LoadBundle(const std::string& path) {
+  UCP_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  UCP_ASSIGN_OR_RETURN(ByteReader r, OpenChecked(contents, kBundleMagic, "bundle", path));
+  TensorBundle bundle;
+  UCP_ASSIGN_OR_RETURN(std::string meta_text, r.GetString());
+  UCP_ASSIGN_OR_RETURN(bundle.meta, Json::Parse(meta_text));
+  UCP_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  for (uint32_t i = 0; i < count; ++i) {
+    UCP_ASSIGN_OR_RETURN(std::string name, r.GetString());
+    UCP_ASSIGN_OR_RETURN(ParsedHeader h, GetHeaderAndSize(r));
+    UCP_ASSIGN_OR_RETURN(Tensor t, GetPayload(r, h));
+    bundle.Add(std::move(name), std::move(t));
+  }
+  return bundle;
+}
+
+Result<BundleInfo> StatBundle(const std::string& path) {
+  UCP_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  UCP_ASSIGN_OR_RETURN(ByteReader r, OpenChecked(contents, kBundleMagic, "bundle", path));
+  BundleInfo info;
+  UCP_ASSIGN_OR_RETURN(std::string meta_text, r.GetString());
+  UCP_ASSIGN_OR_RETURN(info.meta, Json::Parse(meta_text));
+  UCP_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  for (uint32_t i = 0; i < count; ++i) {
+    UCP_ASSIGN_OR_RETURN(std::string name, r.GetString());
+    UCP_ASSIGN_OR_RETURN(ParsedHeader h, GetHeaderAndSize(r));
+    // Skip the payload.
+    std::vector<uint8_t> skip(h.payload_bytes);
+    UCP_RETURN_IF_ERROR(r.GetBytes(skip.data(), skip.size()));
+    info.entries.emplace_back(std::move(name),
+                              TensorFileInfo{h.shape, h.dtype, h.payload_bytes});
+  }
+  return info;
+}
+
+}  // namespace ucp

@@ -1,0 +1,67 @@
+// On-disk tensor formats.
+//
+// Two container types cover the whole system:
+//  - Single-tensor files ("UCT1"): one tensor per file. Atom checkpoints use these —
+//    <param>/fp32, <param>/exp_avg, <param>/exp_avg_sq — the .pt-file analogue from the
+//    paper (§3.1).
+//  - Bundle files ("UCB1"): an ordered map of named tensors plus a JSON metadata blob. Each
+//    training rank persists its shard of model/optimizer state as one bundle — the analogue
+//    of torch.save of a rank's state dict.
+//
+// Both carry an endianness tag and a trailing CRC32 over the entire file, so truncation and
+// corruption are detected at load time (kDataLoss).
+
+#ifndef UCP_SRC_TENSOR_TENSOR_FILE_H_
+#define UCP_SRC_TENSOR_TENSOR_FILE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/common/status.h"
+#include "src/tensor/bf16.h"
+#include "src/tensor/tensor.h"
+
+namespace ucp {
+
+// In-memory tensors are always fp32; `dtype` selects the storage width. Loading converts
+// back to fp32 (lossy round-trip for bf16/f16, by design).
+Status SaveTensor(const std::string& path, const Tensor& tensor, DType dtype = DType::kF32);
+Result<Tensor> LoadTensor(const std::string& path);
+
+// Header-only peek: shape and dtype without reading the payload. Used by GenUcpMetadata to
+// plan target partitions cheaply.
+struct TensorFileInfo {
+  Shape shape;
+  DType dtype = DType::kF32;
+  uint64_t payload_bytes = 0;
+};
+Result<TensorFileInfo> StatTensor(const std::string& path);
+
+// An ordered state dict. Order is preserved because ZeRO's flattened groups depend on a
+// canonical parameter order.
+struct TensorBundle {
+  std::vector<std::pair<std::string, Tensor>> tensors;
+  Json meta;  // iteration number, strategy descriptor, RNG state, ...
+
+  void Add(std::string name, Tensor t) { tensors.emplace_back(std::move(name), std::move(t)); }
+  // nullptr when absent.
+  const Tensor* Find(const std::string& name) const;
+  bool Has(const std::string& name) const { return Find(name) != nullptr; }
+};
+
+Status SaveBundle(const std::string& path, const TensorBundle& bundle,
+                  DType dtype = DType::kF32);
+Result<TensorBundle> LoadBundle(const std::string& path);
+
+// Bundle metadata + member names/shapes without payloads.
+struct BundleInfo {
+  Json meta;
+  std::vector<std::pair<std::string, TensorFileInfo>> entries;
+};
+Result<BundleInfo> StatBundle(const std::string& path);
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_TENSOR_TENSOR_FILE_H_

@@ -1,0 +1,113 @@
+#include "src/ucp/atom.h"
+
+#include "src/common/fs.h"
+#include "src/tensor/tensor_file.h"
+
+namespace ucp {
+
+Json UcpMeta::ToJson() const {
+  JsonObject obj;
+  obj["model"] = model.ToJson();
+  obj["source_strategy"] = source_strategy.ToJson();
+  obj["iteration"] = iteration;
+  obj["global_batch"] = global_batch;
+  obj["data_seed"] = static_cast<int64_t>(data_seed);
+  JsonArray atoms;
+  for (const std::string& name : atom_names) {
+    atoms.push_back(Json(name));
+  }
+  obj["atoms"] = Json(std::move(atoms));
+  obj["format_version"] = 1;
+  return Json(std::move(obj));
+}
+
+Result<UcpMeta> UcpMeta::FromJson(const Json& json) {
+  UcpMeta meta;
+  UCP_ASSIGN_OR_RETURN(int64_t version, json.GetInt("format_version"));
+  if (version != 1) {
+    return FailedPreconditionError("unsupported UCP format version " +
+                                   std::to_string(version));
+  }
+  if (!json.Has("model") || !json.Has("source_strategy")) {
+    return DataLossError("ucp_meta.json missing model/source_strategy");
+  }
+  UCP_ASSIGN_OR_RETURN(meta.model, ModelConfig::FromJson(json.AsObject().at("model")));
+  UCP_ASSIGN_OR_RETURN(meta.source_strategy,
+                       ParallelConfig::FromJson(json.AsObject().at("source_strategy")));
+  UCP_ASSIGN_OR_RETURN(meta.iteration, json.GetInt("iteration"));
+  UCP_ASSIGN_OR_RETURN(int64_t batch, json.GetInt("global_batch"));
+  meta.global_batch = static_cast<int>(batch);
+  UCP_ASSIGN_OR_RETURN(int64_t seed, json.GetInt("data_seed"));
+  meta.data_seed = static_cast<uint64_t>(seed);
+  UCP_ASSIGN_OR_RETURN(const JsonArray* atoms, json.GetArray("atoms"));
+  for (const Json& atom : *atoms) {
+    if (!atom.is_string()) {
+      return DataLossError("non-string atom name in ucp_meta.json");
+    }
+    meta.atom_names.push_back(atom.AsString());
+  }
+  return meta;
+}
+
+std::string AtomDir(const std::string& ucp_dir, const std::string& param_name) {
+  // Parameter names are dot-separated identifiers — already filesystem-safe.
+  return PathJoin(PathJoin(ucp_dir, "atoms"), param_name);
+}
+
+Status WriteAtom(const std::string& ucp_dir, const ParamState& state,
+                 const PatternRule& source_pattern) {
+  const std::string dir = AtomDir(ucp_dir, state.name);
+  UCP_RETURN_IF_ERROR(MakeDirs(dir));
+  UCP_RETURN_IF_ERROR(SaveTensor(PathJoin(dir, "fp32"), state.fp32));
+  UCP_RETURN_IF_ERROR(SaveTensor(PathJoin(dir, "exp_avg"), state.exp_avg));
+  UCP_RETURN_IF_ERROR(SaveTensor(PathJoin(dir, "exp_avg_sq"), state.exp_avg_sq));
+
+  JsonObject meta;
+  JsonArray shape;
+  for (int i = 0; i < state.fp32.ndim(); ++i) {
+    shape.push_back(Json(state.fp32.dim(i)));
+  }
+  meta["shape"] = Json(std::move(shape));
+  meta["source_pattern"] = ParamPatternName(source_pattern.pattern);
+  if (source_pattern.pattern == ParamPattern::kFragmentParams) {
+    meta["partition_dim"] = source_pattern.dim;
+    JsonArray sections;
+    for (int64_t s : source_pattern.sections) {
+      sections.push_back(Json(s));
+    }
+    meta["sections"] = Json(std::move(sections));
+  }
+  return WriteFileAtomic(PathJoin(dir, "meta.json"), Json(std::move(meta)).Dump(2));
+}
+
+Result<ParamState> ReadAtom(const std::string& ucp_dir, const std::string& param_name) {
+  const std::string dir = AtomDir(ucp_dir, param_name);
+  ParamState state;
+  state.name = param_name;
+  UCP_ASSIGN_OR_RETURN(state.fp32, LoadTensor(PathJoin(dir, "fp32")));
+  UCP_ASSIGN_OR_RETURN(state.exp_avg, LoadTensor(PathJoin(dir, "exp_avg")));
+  UCP_ASSIGN_OR_RETURN(state.exp_avg_sq, LoadTensor(PathJoin(dir, "exp_avg_sq")));
+  if (!state.fp32.SameShape(state.exp_avg) || !state.fp32.SameShape(state.exp_avg_sq)) {
+    return DataLossError("atom tensors of " + param_name + " have inconsistent shapes");
+  }
+  return state;
+}
+
+Result<Shape> ReadAtomShape(const std::string& ucp_dir, const std::string& param_name) {
+  UCP_ASSIGN_OR_RETURN(TensorFileInfo info,
+                       StatTensor(PathJoin(AtomDir(ucp_dir, param_name), "fp32")));
+  return info.shape;
+}
+
+Status WriteUcpMeta(const std::string& ucp_dir, const UcpMeta& meta) {
+  return WriteFileAtomic(PathJoin(ucp_dir, "ucp_meta.json"), meta.ToJson().Dump(2));
+}
+
+Result<UcpMeta> ReadUcpMeta(const std::string& ucp_dir) {
+  UCP_ASSIGN_OR_RETURN(std::string text,
+                       ReadFileToString(PathJoin(ucp_dir, "ucp_meta.json")));
+  UCP_ASSIGN_OR_RETURN(Json json, Json::Parse(text));
+  return UcpMeta::FromJson(json);
+}
+
+}  // namespace ucp

@@ -1,0 +1,60 @@
+// Atom checkpoints (paper §3.1): the consolidated, strategy-agnostic representation. One
+// directory per parameter holding three single-tensor files — fp32 weights and the two Adam
+// moments — plus a small JSON sidecar:
+//
+//   <ucp_dir>/ucp_meta.json
+//   <ucp_dir>/atoms/<param_name>/fp32
+//   <ucp_dir>/atoms/<param_name>/exp_avg
+//   <ucp_dir>/atoms/<param_name>/exp_avg_sq
+//   <ucp_dir>/atoms/<param_name>/meta.json   (full shape + source pattern, for inspection)
+
+#ifndef UCP_SRC_UCP_ATOM_H_
+#define UCP_SRC_UCP_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/model/config.h"
+#include "src/parallel/topology.h"
+#include "src/tensor/tensor.h"
+#include "src/ucp/patterns.h"
+
+namespace ucp {
+
+// The fp32 training state of one parameter (consolidated, or one rank's shard of it).
+struct ParamState {
+  std::string name;
+  Tensor fp32;
+  Tensor exp_avg;
+  Tensor exp_avg_sq;
+};
+
+struct UcpMeta {
+  ModelConfig model;
+  ParallelConfig source_strategy;
+  int64_t iteration = 0;
+  int global_batch = 0;
+  uint64_t data_seed = 0;
+  std::vector<std::string> atom_names;
+
+  Json ToJson() const;
+  static Result<UcpMeta> FromJson(const Json& json);
+};
+
+std::string AtomDir(const std::string& ucp_dir, const std::string& param_name);
+
+// Writes one atom (three tensor files + sidecar). Thread-safe across distinct params.
+Status WriteAtom(const std::string& ucp_dir, const ParamState& state,
+                 const PatternRule& source_pattern);
+
+Result<ParamState> ReadAtom(const std::string& ucp_dir, const std::string& param_name);
+
+// Header-only shape probe (used by GenUcpMetadata-style planning and tests).
+Result<Shape> ReadAtomShape(const std::string& ucp_dir, const std::string& param_name);
+
+Status WriteUcpMeta(const std::string& ucp_dir, const UcpMeta& meta);
+Result<UcpMeta> ReadUcpMeta(const std::string& ucp_dir);
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_UCP_ATOM_H_

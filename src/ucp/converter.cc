@@ -1,0 +1,253 @@
+#include "src/ucp/converter.h"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+
+#include "src/ckpt/checkpoint.h"
+#include "src/ckpt/foreign.h"
+#include "src/common/fs.h"
+#include "src/common/logging.h"
+#include "src/common/thread_pool.h"
+#include "src/tensor/tensor_file.h"
+
+namespace ucp {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// Total size of a directory tree in bytes (counts atom payloads after conversion).
+int64_t DirBytes(const std::string& dir) {
+  int64_t total = 0;
+  Result<std::vector<std::string>> entries = ListDir(dir);
+  if (!entries.ok()) {
+    return 0;
+  }
+  for (const std::string& name : *entries) {
+    std::string path = PathJoin(dir, name);
+    if (DirExists(path)) {
+      total += DirBytes(path);
+    } else {
+      Result<uint64_t> size = FileSize(path);
+      total += size.ok() ? static_cast<int64_t>(*size) : 0;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+double ModeledTransferSeconds(int64_t bytes, int num_files, double bandwidth_bytes_per_sec,
+                              double per_file_latency_sec) {
+  UCP_CHECK_GT(bandwidth_bytes_per_sec, 0.0);
+  return static_cast<double>(bytes) / bandwidth_bytes_per_sec +
+         static_cast<double>(num_files) * per_file_latency_sec;
+}
+
+Result<ConvertStats> ConvertToUcp(const std::string& ckpt_dir, const std::string& tag,
+                                  const std::string& ucp_dir,
+                                  const ConvertOptions& options) {
+  if (FileExists(PathJoin(ucp_dir, "ucp_meta.json"))) {
+    return AlreadyExistsError("UCP checkpoint already exists at " + ucp_dir);
+  }
+  UCP_RETURN_IF_ERROR(MakeDirs(ucp_dir));
+  UCP_ASSIGN_OR_RETURN(CheckpointMeta meta, ReadCheckpointMeta(ckpt_dir, tag));
+  const ParallelConfig& src = meta.strategy;
+  const std::string tag_dir = PathJoin(ckpt_dir, tag);
+
+  PatternLibrary default_library = PatternLibrary::ForStrategy(meta.model, src);
+  const PatternLibrary& library =
+      options.library != nullptr ? *options.library : default_library;
+
+  std::vector<InventoryEntry> inventory = BuildInventory(meta.model);
+  std::map<std::string, Shape> full_shapes;
+  for (const InventoryEntry& entry : inventory) {
+    full_shapes[entry.param.name] = entry.param.full_shape;
+  }
+
+  ConvertStats stats;
+  ThreadPool pool(static_cast<size_t>(options.num_threads));
+
+  // ---- Extract phase: parallel over model-parallel ranks (Algorithm 1, lines 1-6) ----
+  auto extract_start = std::chrono::steady_clock::now();
+  struct ModelRank {
+    int tp, pp, sp;
+  };
+  std::vector<ModelRank> model_ranks;
+  for (int pp = 0; pp < src.pp; ++pp) {
+    for (int sp = 0; sp < src.sp; ++sp) {
+      for (int tp = 0; tp < src.tp; ++tp) {
+        model_ranks.push_back({tp, pp, sp});
+      }
+    }
+  }
+
+  std::mutex mu;
+  std::map<std::string, std::vector<ShardContribution>> contributions;
+  int64_t steps_taken = 0;
+  Status first_error = OkStatus();
+
+  pool.ParallelFor(model_ranks.size(), [&](size_t i) {
+    const ModelRank& mr = model_ranks[i];
+    Result<ExtractedRank> extracted = Extract(tag_dir, src, mr.tp, mr.pp, mr.sp);
+    std::lock_guard<std::mutex> lock(mu);
+    if (!extracted.ok()) {
+      if (first_error.ok()) {
+        first_error = extracted.status();
+      }
+      return;
+    }
+    steps_taken = extracted->steps_taken;
+    for (ParamState& state : extracted->params) {
+      ShardContribution contribution;
+      contribution.coord = extracted->coord;
+      contribution.state = std::move(state);
+      contributions[contribution.state.name].push_back(std::move(contribution));
+    }
+    ++stats.model_ranks_extracted;
+  });
+  if (!first_error.ok()) {
+    return first_error;
+  }
+  stats.extract_seconds = SecondsSince(extract_start);
+  for (const ModelRank& mr : model_ranks) {
+    for (int dp = 0; dp < src.dp; ++dp) {
+      Result<uint64_t> size =
+          FileSize(PathJoin(tag_dir, OptimStatesFileName(dp, mr.tp, mr.pp, mr.sp)));
+      stats.bytes_read += size.ok() ? static_cast<int64_t>(*size) : 0;
+      if (src.zero_stage == 0) {
+        break;  // stage 0: one full copy read per model rank
+      }
+    }
+  }
+
+  // ---- Union phase: parallel over parameters (Algorithm 1, lines 7-21) ----
+  auto union_start = std::chrono::steady_clock::now();
+  std::vector<std::string> names;
+  names.reserve(contributions.size());
+  for (const auto& [name, unused] : contributions) {
+    names.push_back(name);
+  }
+
+  std::vector<std::string> atom_names(names.size());
+  pool.ParallelFor(names.size(), [&](size_t i) {
+    const std::string& name = names[i];
+    auto shape_it = full_shapes.find(name);
+    Result<PatternRule> rule = library.Match(name);
+    Status status = OkStatus();
+    if (shape_it == full_shapes.end()) {
+      status = DataLossError("checkpoint contains unknown parameter: " + name);
+    } else if (!rule.ok()) {
+      status = rule.status();
+    } else {
+      Result<ParamState> merged =
+          UnionParam(*rule, shape_it->second, std::move(contributions[name]), src.tp);
+      if (!merged.ok()) {
+        status = merged.status();
+      } else {
+        status = WriteAtom(ucp_dir, *merged, *rule);
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    if (!status.ok()) {
+      if (first_error.ok()) {
+        first_error = status;
+      }
+      return;
+    }
+    atom_names[i] = name;
+    ++stats.atoms_written;
+  });
+  if (!first_error.ok()) {
+    return first_error;
+  }
+  stats.union_seconds = SecondsSince(union_start);
+  stats.bytes_written = DirBytes(ucp_dir);
+
+  // ---- Manifest ----
+  UcpMeta ucp_meta;
+  ucp_meta.model = meta.model;
+  ucp_meta.source_strategy = src;
+  ucp_meta.iteration = steps_taken;
+  ucp_meta.global_batch = meta.global_batch;
+  ucp_meta.data_seed = meta.data_seed;
+  ucp_meta.atom_names = atom_names;
+  UCP_RETURN_IF_ERROR(WriteUcpMeta(ucp_dir, ucp_meta));
+
+  UCP_LOG(Info) << "converted " << tag_dir << " -> " << ucp_dir << " ("
+                << stats.atoms_written << " atoms, extract " << stats.extract_seconds
+                << "s, union " << stats.union_seconds << "s)";
+  return stats;
+}
+
+Result<ConvertStats> ConvertForeignToUcp(const std::string& foreign_dir,
+                                         const std::string& tag, const std::string& ucp_dir,
+                                         const ConvertOptions& options) {
+  if (FileExists(PathJoin(ucp_dir, "ucp_meta.json"))) {
+    return AlreadyExistsError("UCP checkpoint already exists at " + ucp_dir);
+  }
+  UCP_RETURN_IF_ERROR(MakeDirs(ucp_dir));
+  UCP_ASSIGN_OR_RETURN(ForeignMeta meta, ReadForeignMeta(foreign_dir, tag));
+  UCP_ASSIGN_OR_RETURN(
+      TensorBundle bundle,
+      LoadBundle(PathJoin(PathJoin(foreign_dir, tag), "state_rank0.bundle")));
+
+  ConvertStats stats;
+  ThreadPool pool(static_cast<size_t>(options.num_threads));
+
+  // Collect parameter names ("model.<name>" entries).
+  std::vector<std::string> names;
+  for (const auto& [key, unused] : bundle.tensors) {
+    if (key.rfind("model.", 0) == 0) {
+      names.push_back(key.substr(6));
+    }
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  std::mutex mu;
+  Status first_error = OkStatus();
+  PatternRule unique_rule{ParamPattern::kUniqueParams, "*", 0, {}};
+  pool.ParallelFor(names.size(), [&](size_t i) {
+    const std::string& name = names[i];
+    const Tensor* fp32 = bundle.Find("model." + name);
+    const Tensor* m = bundle.Find("optim.exp_avg." + name);
+    const Tensor* v = bundle.Find("optim.exp_avg_sq." + name);
+    Status status = OkStatus();
+    if (fp32 == nullptr || m == nullptr || v == nullptr) {
+      status = DataLossError("foreign checkpoint missing state for " + name);
+    } else {
+      ParamState state;
+      state.name = name;
+      state.fp32 = fp32->Clone();
+      state.exp_avg = m->Clone();
+      state.exp_avg_sq = v->Clone();
+      status = WriteAtom(ucp_dir, state, unique_rule);
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    if (!status.ok()) {
+      if (first_error.ok()) {
+        first_error = status;
+      }
+      return;
+    }
+    ++stats.atoms_written;
+  });
+  if (!first_error.ok()) {
+    return first_error;
+  }
+  stats.union_seconds = SecondsSince(start);
+
+  UcpMeta ucp_meta;
+  ucp_meta.model = meta.model;
+  ucp_meta.source_strategy = ParallelConfig{};  // consolidated source: tp=pp=dp=sp=1
+  ucp_meta.iteration = meta.iteration;
+  ucp_meta.global_batch = meta.global_batch;
+  ucp_meta.data_seed = meta.data_seed;
+  ucp_meta.atom_names = names;
+  UCP_RETURN_IF_ERROR(WriteUcpMeta(ucp_dir, ucp_meta));
+  return stats;
+}
+
+}  // namespace ucp

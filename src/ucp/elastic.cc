@@ -1,0 +1,56 @@
+#include "src/ucp/elastic.h"
+
+#include "src/ckpt/checkpoint.h"
+#include "src/common/fs.h"
+#include "src/common/logging.h"
+#include "src/ucp/converter.h"
+#include "src/ucp/loader.h"
+
+namespace ucp {
+
+Result<ResumeReport> ResumeElastic(const std::string& dir, RankTrainer& trainer) {
+  UCP_ASSIGN_OR_RETURN(std::string tag, ReadLatestTag(dir));
+  return ResumeElasticFromTag(dir, tag, trainer);
+}
+
+Result<ResumeReport> ResumeElasticFromTag(const std::string& dir, const std::string& tag,
+                                          RankTrainer& trainer) {
+  ResumeReport report;
+  report.tag = tag;
+  UCP_ASSIGN_OR_RETURN(CheckpointMeta meta, ReadCheckpointMeta(dir, tag));
+  report.iteration = meta.iteration;
+
+  // Fast path: unchanged strategy and hardware — plain distributed load.
+  Status native = LoadDistributedCheckpoint(dir, tag, trainer);
+  if (native.ok()) {
+    report.path = ResumeReport::Path::kNative;
+    return report;
+  }
+  if (native.code() != StatusCode::kFailedPrecondition) {
+    return native;  // corruption / missing files are not reshard problems
+  }
+
+  // Strategy changed: convert on demand (once — the atom directory is cached beside the
+  // checkpoint) and load through UCP.
+  const std::string ucp_dir = PathJoin(dir, tag + ".ucp");
+  bool cached = FileExists(PathJoin(ucp_dir, "ucp_meta.json"));
+  if (trainer.rank() == 0 && !cached) {
+    UCP_LOG(Info) << "strategy changed (" << meta.strategy.ToString() << " -> "
+                  << trainer.config().strategy.ToString() << "); converting " << tag
+                  << " to UCP";
+    Result<ConvertStats> stats = ConvertToUcp(dir, tag, ucp_dir);
+    if (!stats.ok() && stats.status().code() != StatusCode::kAlreadyExists) {
+      // Release peers before reporting failure (they will fail at the load below).
+      trainer.groups().world.Barrier();
+      return stats.status();
+    }
+  }
+  // Everyone waits for the conversion to land.
+  trainer.groups().world.Barrier();
+
+  UCP_RETURN_IF_ERROR(LoadUcpCheckpoint(ucp_dir, trainer));
+  report.path = cached ? ResumeReport::Path::kUcpCached : ResumeReport::Path::kUcpConverted;
+  return report;
+}
+
+}  // namespace ucp

@@ -1,0 +1,38 @@
+// The elastic resume driver: the paper's lazy, on-demand conversion workflow (§3.1).
+//
+// "The UCP conversion happens lazily and on-demand, e.g., when a training process detects a
+// change of parallelism technique and hardware configuration."
+//
+// ResumeElastic implements exactly that detection: it first attempts a strict native load
+// (free when the strategy is unchanged); on a parallelism/hardware mismatch it converts the
+// checkpoint to UCP — once, cached next to the checkpoint — and loads through the UCP path.
+
+#ifndef UCP_SRC_UCP_ELASTIC_H_
+#define UCP_SRC_UCP_ELASTIC_H_
+
+#include <string>
+
+#include "src/runtime/trainer.h"
+
+namespace ucp {
+
+struct ResumeReport {
+  // Which path restored the state.
+  enum class Path { kNative, kUcpConverted, kUcpCached } path = Path::kNative;
+  std::string tag;        // the checkpoint tag that was resumed
+  int64_t iteration = 0;  // training resumes at iteration + 1
+};
+
+// Resumes `trainer` from the newest checkpoint under `dir` (the `latest` tag), converting
+// through UCP only if the native strict load rejects the current strategy. The UCP cache
+// lives at <dir>/<tag>.ucp. Collective: every rank of the run must call it; rank 0 performs
+// the conversion while the others wait at a barrier.
+Result<ResumeReport> ResumeElastic(const std::string& dir, RankTrainer& trainer);
+
+// Same, for an explicit tag.
+Result<ResumeReport> ResumeElasticFromTag(const std::string& dir, const std::string& tag,
+                                          RankTrainer& trainer);
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_UCP_ELASTIC_H_

@@ -1,0 +1,172 @@
+#include "src/ucp/loader.h"
+
+#include <algorithm>
+
+namespace ucp {
+
+namespace {
+int64_t AlignUp(int64_t value, int64_t alignment) {
+  return (value + alignment - 1) / alignment * alignment;
+}
+}  // namespace
+
+Json RankLoadPlan::ToJson() const {
+  JsonObject obj;
+  obj["flat_layout"] = layout.ToJson();
+  obj["partition_offset"] = partition_offset;
+  obj["partition_numel"] = partition_numel;
+  JsonArray assigns;
+  for (const AtomAssignment& a : assignments) {
+    JsonObject item;
+    item["name"] = a.name;
+    item["flat_offset"] = a.flat_offset;
+    JsonArray shape;
+    for (int64_t d : a.shard_shape) {
+      shape.push_back(Json(d));
+    }
+    item["shard_shape"] = Json(std::move(shape));
+    item["partition_kind"] = PartitionKindName(a.target_spec.kind);
+    item["partition_dim"] = a.target_spec.dim;
+    assigns.push_back(Json(std::move(item)));
+  }
+  obj["assignments"] = Json(std::move(assigns));
+  return Json(std::move(obj));
+}
+
+RankLoadPlan GenUcpMetadata(const ModelConfig& model, const ParallelConfig& target,
+                            const RankCoord& coord) {
+  RankLoadPlan plan;
+  std::vector<InventoryEntry> inventory = BuildInventory(model);
+  std::vector<InventoryEntry> mine = StageEntries(inventory, model, coord.pp, target.pp);
+
+  int64_t offset = 0;
+  for (const InventoryEntry& entry : mine) {
+    PartitionSpec spec = EffectiveSpec(entry, target);
+    Shape shard_shape = ShardShape(spec, entry.param.full_shape, target.tp);
+
+    AtomAssignment assignment;
+    assignment.name = entry.param.name;
+    assignment.flat_offset = offset;
+    assignment.shard_shape = shard_shape;
+    assignment.target_spec = spec;
+    plan.assignments.push_back(std::move(assignment));
+
+    FlatSegment seg;
+    seg.name = entry.param.name;
+    seg.offset = offset;
+    seg.numel = ShapeNumel(shard_shape);
+    seg.shape = shard_shape;
+    seg.decay = entry.param.decay;
+    seg.norm_counts = NormCounts(entry, model, target, coord);
+    plan.layout.segments.push_back(std::move(seg));
+    offset += ShapeNumel(shard_shape);
+  }
+
+  plan.layout.total = offset;
+  // Re-introduce the alignment padding the target's ZeRO partitioning requires — the
+  // inverse of StripPadding (paper: "Padding is also introduced when calculating the
+  // partition information").
+  plan.layout.padded_total =
+      AlignUp(std::max<int64_t>(offset, 1), static_cast<int64_t>(target.dp) * kZeroAlignment);
+  plan.layout.partition_size = plan.layout.padded_total / target.dp;
+
+  if (target.zero_stage == 0) {
+    plan.partition_offset = 0;
+    plan.partition_numel = plan.layout.padded_total;
+  } else {
+    plan.partition_offset = static_cast<int64_t>(coord.dp) * plan.layout.partition_size;
+    plan.partition_numel = plan.layout.partition_size;
+  }
+  return plan;
+}
+
+namespace {
+
+struct UcpLocalState {
+  Tensor master;
+  Tensor exp_avg;
+  Tensor exp_avg_sq;
+  int64_t steps = 0;
+};
+
+// Per-rank phase: planning, atom reads, flat assembly — no collectives (failures here must
+// not strand peers; see the agreement in LoadUcpCheckpoint).
+Result<UcpLocalState> LoadUcpLocal(const std::string& ucp_dir, RankTrainer& trainer) {
+  UCP_ASSIGN_OR_RETURN(UcpMeta meta, ReadUcpMeta(ucp_dir));
+  if (!SameLogicalModel(meta.model, trainer.config().model)) {
+    return FailedPreconditionError(
+        "UCP checkpoint was produced by a different model architecture");
+  }
+
+  const RankCoord& coord = trainer.coord();
+  const ParallelConfig& target = trainer.config().strategy;
+  // Plan against the trainer's config (its sharding-mode preferences decide the target
+  // partitioning; the atoms themselves are mode-agnostic).
+  RankLoadPlan plan = GenUcpMetadata(trainer.config().model, target, coord);
+
+  // Cross-check the plan against the live optimizer layout; a mismatch means the planner
+  // and the runtime disagree about the model, which must never pass silently.
+  const FlatLayout& live = trainer.optimizer().layout();
+  if (live.padded_total != plan.layout.padded_total ||
+      live.segments.size() != plan.layout.segments.size()) {
+    return InternalError("GenUcpMetadata plan does not match the live optimizer layout");
+  }
+  for (size_t i = 0; i < live.segments.size(); ++i) {
+    if (live.segments[i].name != plan.layout.segments[i].name ||
+        live.segments[i].offset != plan.layout.segments[i].offset ||
+        live.segments[i].numel != plan.layout.segments[i].numel) {
+      return InternalError("GenUcpMetadata segment mismatch at " + live.segments[i].name);
+    }
+  }
+
+  // Assemble the full flat buffers from atom slices. Working memory could be reduced by
+  // filling only [partition_offset, partition_offset + partition_numel), but at simulator
+  // scale clarity wins; the partition is sliced at the end.
+  Tensor flat_fp32 = Tensor::Zeros({plan.layout.padded_total});
+  Tensor flat_m = Tensor::Zeros({plan.layout.padded_total});
+  Tensor flat_v = Tensor::Zeros({plan.layout.padded_total});
+
+  for (const AtomAssignment& a : plan.assignments) {
+    UCP_ASSIGN_OR_RETURN(ParamState atom, ReadAtom(ucp_dir, a.name));
+    Tensor fp32_shard = ShardOf(a.target_spec, atom.fp32, target.tp, coord.tp);
+    Tensor m_shard = ShardOf(a.target_spec, atom.exp_avg, target.tp, coord.tp);
+    Tensor v_shard = ShardOf(a.target_spec, atom.exp_avg_sq, target.tp, coord.tp);
+    if (fp32_shard.shape() != a.shard_shape) {
+      return DataLossError("atom " + a.name + " yields shard " +
+                           ShapeToString(fp32_shard.shape()) + ", plan expects " +
+                           ShapeToString(a.shard_shape));
+    }
+    Tensor::ViewOf(flat_fp32, a.flat_offset, {fp32_shard.numel()})
+        .CopyFrom(fp32_shard.Flatten());
+    Tensor::ViewOf(flat_m, a.flat_offset, {m_shard.numel()}).CopyFrom(m_shard.Flatten());
+    Tensor::ViewOf(flat_v, a.flat_offset, {v_shard.numel()}).CopyFrom(v_shard.Flatten());
+  }
+
+  UcpLocalState state;
+  state.master = flat_fp32.Narrow(0, plan.partition_offset, plan.partition_numel);
+  state.exp_avg = flat_m.Narrow(0, plan.partition_offset, plan.partition_numel);
+  state.exp_avg_sq = flat_v.Narrow(0, plan.partition_offset, plan.partition_numel);
+  state.steps = meta.iteration;
+  return state;
+}
+
+}  // namespace
+
+Status LoadUcpCheckpoint(const std::string& ucp_dir, RankTrainer& trainer) {
+  Result<UcpLocalState> local = LoadUcpLocal(ucp_dir, trainer);
+  // Collective agreement before LoadState's DP all-gather (same rationale as the native
+  // loader): every rank reaches this reduction, so one rank's failure fails all ranks
+  // instead of deadlocking the collective.
+  double peer_failed =
+      trainer.groups().world.AllReduceMaxScalar(local.ok() ? 0.0 : 1.0);
+  if (!local.ok()) {
+    return local.status();
+  }
+  if (peer_failed > 0.0) {
+    return DataLossError("aborting UCP load: a peer rank failed to read the checkpoint");
+  }
+  return trainer.optimizer().LoadState(local->master, local->exp_avg, local->exp_avg_sq,
+                                       local->steps);
+}
+
+}  // namespace ucp

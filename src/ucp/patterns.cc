@@ -1,0 +1,237 @@
+#include "src/ucp/patterns.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace ucp {
+
+const char* ParamPatternName(ParamPattern pattern) {
+  switch (pattern) {
+    case ParamPattern::kUniqueParams:
+      return "unique";
+    case ParamPattern::kReplicatedParams:
+      return "replicated";
+    case ParamPattern::kFragmentParams:
+      return "fragment";
+    case ParamPattern::kParamsToAverage:
+      return "to_average";
+  }
+  return "unknown";
+}
+
+Result<ParamPattern> ParamPatternFromName(const std::string& name) {
+  if (name == "unique") {
+    return ParamPattern::kUniqueParams;
+  }
+  if (name == "replicated") {
+    return ParamPattern::kReplicatedParams;
+  }
+  if (name == "fragment") {
+    return ParamPattern::kFragmentParams;
+  }
+  if (name == "to_average") {
+    return ParamPattern::kParamsToAverage;
+  }
+  return InvalidArgumentError("unknown parameter pattern: " + name);
+}
+
+PartitionSpec PatternRule::ToPartitionSpec() const {
+  switch (pattern) {
+    case ParamPattern::kFragmentParams:
+      return PartitionSpec::FragmentSections(dim, sections);
+    case ParamPattern::kParamsToAverage:
+      return PartitionSpec::ToAverage();
+    case ParamPattern::kUniqueParams:
+    case ParamPattern::kReplicatedParams:
+      return PartitionSpec::Replicated();
+  }
+  UCP_CHECK(false) << "unreachable";
+  return PartitionSpec::Replicated();
+}
+
+PatternLibrary& PatternLibrary::UniqueParams(std::string glob) {
+  rules_.push_back({ParamPattern::kUniqueParams, std::move(glob), 0, {}});
+  return *this;
+}
+
+PatternLibrary& PatternLibrary::ReplicatedParams(std::string glob) {
+  rules_.push_back({ParamPattern::kReplicatedParams, std::move(glob), 0, {}});
+  return *this;
+}
+
+PatternLibrary& PatternLibrary::FragmentParams(std::string glob, int dim,
+                                               std::vector<int64_t> sections) {
+  rules_.push_back({ParamPattern::kFragmentParams, std::move(glob), dim,
+                    std::move(sections)});
+  return *this;
+}
+
+PatternLibrary& PatternLibrary::ParamsToAverage(std::string glob) {
+  rules_.push_back({ParamPattern::kParamsToAverage, std::move(glob), 0, {}});
+  return *this;
+}
+
+Result<PatternRule> PatternLibrary::Match(const std::string& param_name) const {
+  for (const PatternRule& rule : rules_) {
+    if (GlobMatch(rule.glob, param_name)) {
+      return rule;
+    }
+  }
+  return NotFoundError("no pattern rule matches parameter: " + param_name);
+}
+
+std::string PatternLibrary::ToSpec() const {
+  std::string out = "# UCP parameter-pattern spec\n";
+  for (const PatternRule& rule : rules_) {
+    out += ParamPatternName(rule.pattern);
+    out += "\t";
+    out += rule.glob;
+    if (rule.pattern == ParamPattern::kFragmentParams) {
+      out += " dim=" + std::to_string(rule.dim);
+      if (!rule.sections.empty()) {
+        out += " sections=";
+        for (size_t i = 0; i < rule.sections.size(); ++i) {
+          if (i > 0) {
+            out += ",";
+          }
+          out += std::to_string(rule.sections[i]);
+        }
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<PatternLibrary> PatternLibrary::FromSpec(const std::string& text) {
+  PatternLibrary library;
+  int line_number = 0;
+  for (const std::string& raw_line : StrSplit(text, '\n')) {
+    ++line_number;
+    // Strip comments and surrounding whitespace.
+    std::string line = raw_line.substr(0, raw_line.find('#'));
+    auto is_space = [](char c) { return c == ' ' || c == '\t' || c == '\r'; };
+    while (!line.empty() && is_space(line.back())) {
+      line.pop_back();
+    }
+    size_t start = 0;
+    while (start < line.size() && is_space(line[start])) {
+      ++start;
+    }
+    line = line.substr(start);
+    if (line.empty()) {
+      continue;
+    }
+
+    // Tokenize on runs of whitespace.
+    std::vector<std::string> tokens;
+    std::string current;
+    for (char c : line) {
+      if (is_space(c)) {
+        if (!current.empty()) {
+          tokens.push_back(std::move(current));
+          current.clear();
+        }
+      } else {
+        current += c;
+      }
+    }
+    if (!current.empty()) {
+      tokens.push_back(std::move(current));
+    }
+    if (tokens.size() < 2) {
+      return InvalidArgumentError("spec line " + std::to_string(line_number) +
+                                  ": expected '<pattern> <glob> [options]'");
+    }
+
+    PatternRule rule;
+    UCP_ASSIGN_OR_RETURN(rule.pattern, ParamPatternFromName(tokens[0]));
+    rule.glob = tokens[1];
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      const std::string& opt = tokens[i];
+      if (StartsWith(opt, "dim=")) {
+        rule.dim = std::stoi(opt.substr(4));
+      } else if (StartsWith(opt, "sections=")) {
+        for (const std::string& piece : StrSplit(opt.substr(9), ',')) {
+          if (piece.empty()) {
+            return InvalidArgumentError("spec line " + std::to_string(line_number) +
+                                        ": empty section size");
+          }
+          rule.sections.push_back(std::stoll(piece));
+        }
+      } else {
+        return InvalidArgumentError("spec line " + std::to_string(line_number) +
+                                    ": unknown option '" + opt + "'");
+      }
+    }
+    if (rule.pattern != ParamPattern::kFragmentParams &&
+        (rule.dim != 0 || !rule.sections.empty())) {
+      return InvalidArgumentError("spec line " + std::to_string(line_number) +
+                                  ": dim/sections only apply to fragment rules");
+    }
+    library.rules_.push_back(std::move(rule));
+  }
+  return library;
+}
+
+namespace {
+
+// Collapses per-layer parameter names to one glob: "…layers.3.mlp…" -> "…layers.*.mlp…".
+std::string LayerGlob(const std::string& name) {
+  const std::string prefix = "language_model.encoder.layers.";
+  if (!StartsWith(name, prefix)) {
+    return name;
+  }
+  size_t dot = name.find('.', prefix.size());
+  if (dot == std::string::npos) {
+    return name;
+  }
+  return prefix + "*" + name.substr(dot);
+}
+
+}  // namespace
+
+PatternLibrary PatternLibrary::ForStrategy(const ModelConfig& model,
+                                           const ParallelConfig& source) {
+  PatternLibrary library;
+  std::vector<std::string> seen;
+  for (const InventoryEntry& entry : BuildInventory(model)) {
+    std::string glob = LayerGlob(entry.param.name);
+    if (std::find(seen.begin(), seen.end(), glob) != seen.end()) {
+      continue;
+    }
+    seen.push_back(glob);
+
+    PartitionSpec spec = EffectiveSpec(entry, source);
+    switch (spec.kind) {
+      case PartitionKind::kToAverage:
+        library.ParamsToAverage(std::move(glob));
+        break;
+      case PartitionKind::kFragment:
+        if (source.tp > 1) {
+          library.FragmentParams(std::move(glob), spec.dim, spec.sections);
+        } else if (source.sp > 1 ||
+                   (entry.param.on_first_stage && entry.param.on_last_stage &&
+                    source.pp > 1)) {
+          // TP off: the would-be fragments are whole copies, replicated across SP and/or
+          // the tied first/last pipeline stages.
+          library.ReplicatedParams(std::move(glob));
+        } else {
+          library.UniqueParams(std::move(glob));
+        }
+        break;
+      case PartitionKind::kReplicated:
+        if (source.tp > 1 || source.sp > 1 ||
+            (entry.param.on_first_stage && entry.param.on_last_stage && source.pp > 1)) {
+          library.ReplicatedParams(std::move(glob));
+        } else {
+          library.UniqueParams(std::move(glob));
+        }
+        break;
+    }
+  }
+  return library;
+}
+
+}  // namespace ucp

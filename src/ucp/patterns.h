@@ -1,0 +1,87 @@
+// The UCP language: declarative parameter patterns (paper §3.2, Table 1).
+//
+// A PatternLibrary is an ordered list of rules binding glob patterns over parameter names to
+// one of the four parameter patterns:
+//
+//   unique_params      — the parameter exists on exactly one rank (ZeRO-1/2 partitions, PP
+//                        stages, any non-sharded parameter when TP/SP are off)
+//   replicated_params  — identical copies on several ranks (TP-replicated norms and biases,
+//                        tied embeddings across pipeline stages); union picks one copy and
+//                        verifies the replicas agree
+//   fragment_params    — split along a dimension; sub-patterns (Fig. 5) carry the partition
+//                        dim and optional variable-size sections (fused GQA QKV) and handle
+//                        n-d tensors (3-d MoE expert weights)
+//   params_to_average  — replicas updated independently (sequence-parallel norms); union
+//                        averages them
+//
+// Libraries can be written three ways, all equivalent:
+//   1. the fluent C++ builder (the paper's "language-integrated programming interface"),
+//   2. a plain-text spec (FromSpec/ToSpec) for out-of-process tooling,
+//   3. generated from a model's inventory for a given source strategy (ForStrategy).
+
+#ifndef UCP_SRC_UCP_PATTERNS_H_
+#define UCP_SRC_UCP_PATTERNS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/model/inventory.h"
+
+namespace ucp {
+
+enum class ParamPattern : uint8_t {
+  kUniqueParams = 0,
+  kReplicatedParams = 1,
+  kFragmentParams = 2,
+  kParamsToAverage = 3,
+};
+
+const char* ParamPatternName(ParamPattern pattern);
+Result<ParamPattern> ParamPatternFromName(const std::string& name);
+
+struct PatternRule {
+  ParamPattern pattern = ParamPattern::kUniqueParams;
+  std::string glob;
+  // fragment_params sub-pattern payload:
+  int dim = 0;
+  std::vector<int64_t> sections;  // empty = one even-split section
+
+  // The equivalent runtime partition spec (fragment dims/sections carry over).
+  PartitionSpec ToPartitionSpec() const;
+};
+
+class PatternLibrary {
+ public:
+  PatternLibrary() = default;
+
+  // Fluent builder; rules are matched in insertion order, first match wins.
+  PatternLibrary& UniqueParams(std::string glob);
+  PatternLibrary& ReplicatedParams(std::string glob);
+  PatternLibrary& FragmentParams(std::string glob, int dim, std::vector<int64_t> sections = {});
+  PatternLibrary& ParamsToAverage(std::string glob);
+
+  const std::vector<PatternRule>& rules() const { return rules_; }
+
+  // First matching rule; kNotFound when nothing matches.
+  Result<PatternRule> Match(const std::string& param_name) const;
+
+  // --- The textual spec format ---
+  // One rule per line:  <pattern> <glob> [dim=<d>] [sections=<a,b,c>]
+  // '#' starts a comment. Example:
+  //   fragment   language_model.encoder.layers.*.self_attention.query_key_value.weight dim=0 sections=64,16,16
+  //   to_average *layernorm.weight
+  //   unique     *
+  std::string ToSpec() const;
+  static Result<PatternLibrary> FromSpec(const std::string& text);
+
+  // The built-in library for a model trained under `source`: derived from the parameter
+  // inventory, with per-layer names collapsed to layer globs.
+  static PatternLibrary ForStrategy(const ModelConfig& model, const ParallelConfig& source);
+
+ private:
+  std::vector<PatternRule> rules_;
+};
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_UCP_PATTERNS_H_

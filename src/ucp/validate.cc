@@ -1,0 +1,151 @@
+#include "src/ucp/validate.h"
+
+#include <functional>
+#include <map>
+
+#include "src/ckpt/checkpoint.h"
+#include "src/common/fs.h"
+#include "src/common/strings.h"
+#include "src/model/inventory.h"
+#include "src/tensor/tensor_file.h"
+#include "src/ucp/atom.h"
+
+namespace ucp {
+
+std::string ValidationReport::ToString() const {
+  std::string out = StrFormat("%d files, %lld bytes checked: ", files_checked,
+                              static_cast<long long>(bytes_checked));
+  if (ok()) {
+    return out + "CLEAN";
+  }
+  out += StrFormat("%zu problem(s)\n", problems.size());
+  for (const std::string& problem : problems) {
+    out += "  - " + problem + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+void CheckFile(const std::string& path, ValidationReport& report,
+               const std::function<Status()>& check) {
+  Result<uint64_t> size = FileSize(path);
+  if (!size.ok()) {
+    report.problems.push_back("missing file: " + path);
+    return;
+  }
+  ++report.files_checked;
+  report.bytes_checked += static_cast<int64_t>(*size);
+  Status status = check();
+  if (!status.ok()) {
+    report.problems.push_back(path + ": " + status.ToString());
+  }
+}
+
+}  // namespace
+
+Result<ValidationReport> ValidateNativeCheckpoint(const std::string& dir,
+                                                  const std::string& tag) {
+  ValidationReport report;
+  Result<CheckpointMeta> meta = ReadCheckpointMeta(dir, tag);
+  if (!meta.ok()) {
+    report.problems.push_back("checkpoint_meta.json: " + meta.status().ToString());
+    return report;
+  }
+  const ParallelConfig& s = meta->strategy;
+  const std::string tag_dir = PathJoin(dir, tag);
+
+  for (int pp = 0; pp < s.pp; ++pp) {
+    for (int sp = 0; sp < s.sp; ++sp) {
+      for (int tp = 0; tp < s.tp; ++tp) {
+        // Model states (one per model-parallel rank).
+        std::string ms_path = PathJoin(tag_dir, ModelStatesFileName(tp, pp, sp));
+        CheckFile(ms_path, report, [&] {
+          UCP_ASSIGN_OR_RETURN(BundleInfo info, StatBundle(ms_path));
+          if (s.zero_stage < 3 && info.entries.empty()) {
+            return DataLossError("model states unexpectedly empty for ZeRO stage " +
+                                 std::to_string(s.zero_stage));
+          }
+          return OkStatus();
+        });
+
+        // Optimizer partitions: layouts must agree across the DP group.
+        int64_t padded_total = -1;
+        for (int dp = 0; dp < s.dp; ++dp) {
+          std::string optim_path = PathJoin(tag_dir, OptimStatesFileName(dp, tp, pp, sp));
+          CheckFile(optim_path, report, [&] {
+            UCP_ASSIGN_OR_RETURN(TensorBundle bundle, LoadBundle(optim_path));
+            for (const char* key : {"fp32_flat", "exp_avg", "exp_avg_sq"}) {
+              if (bundle.Find(key) == nullptr) {
+                return DataLossError(std::string("missing tensor ") + key);
+              }
+            }
+            if (!bundle.meta.Has("flat_layout")) {
+              return DataLossError("missing flat_layout metadata");
+            }
+            UCP_ASSIGN_OR_RETURN(
+                FlatLayout layout,
+                FlatLayout::FromJson(bundle.meta.AsObject().at("flat_layout")));
+            int64_t expected =
+                s.zero_stage == 0 ? layout.padded_total : layout.partition_size;
+            if (bundle.Find("fp32_flat")->numel() != expected) {
+              return DataLossError(StrFormat(
+                  "fp32_flat has %lld elements, layout expects %lld",
+                  static_cast<long long>(bundle.Find("fp32_flat")->numel()),
+                  static_cast<long long>(expected)));
+            }
+            if (padded_total >= 0 && layout.padded_total != padded_total) {
+              return DataLossError("flat layout disagrees with DP peers");
+            }
+            padded_total = layout.padded_total;
+            return OkStatus();
+          });
+        }
+      }
+    }
+  }
+  return report;
+}
+
+Result<ValidationReport> ValidateUcpCheckpoint(const std::string& ucp_dir) {
+  ValidationReport report;
+  Result<UcpMeta> meta = ReadUcpMeta(ucp_dir);
+  if (!meta.ok()) {
+    report.problems.push_back("ucp_meta.json: " + meta.status().ToString());
+    return report;
+  }
+
+  std::map<std::string, Shape> expected;
+  for (const InventoryEntry& entry : BuildInventory(meta->model)) {
+    expected[entry.param.name] = entry.param.full_shape;
+  }
+
+  std::map<std::string, bool> seen;
+  for (const std::string& name : meta->atom_names) {
+    seen[name] = true;
+    auto it = expected.find(name);
+    if (it == expected.end()) {
+      report.problems.push_back("atom not in model inventory: " + name);
+      continue;
+    }
+    for (const char* file : {"fp32", "exp_avg", "exp_avg_sq"}) {
+      std::string path = PathJoin(AtomDir(ucp_dir, name), file);
+      CheckFile(path, report, [&] {
+        UCP_ASSIGN_OR_RETURN(TensorFileInfo info, StatTensor(path));
+        if (info.shape != it->second) {
+          return DataLossError("shape " + ShapeToString(info.shape) +
+                               " does not match inventory " + ShapeToString(it->second));
+        }
+        return OkStatus();
+      });
+    }
+  }
+  for (const auto& [name, shape] : expected) {
+    if (!seen.count(name)) {
+      report.problems.push_back("inventory parameter missing from UCP checkpoint: " + name);
+    }
+  }
+  return report;
+}
+
+}  // namespace ucp

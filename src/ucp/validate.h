@@ -1,0 +1,37 @@
+// Checkpoint validation ("fsck" for checkpoints): structural and integrity checks for both
+// native distributed checkpoints and UCP atom directories. Used by `ucp_tool validate` and
+// by operators before committing to a long resume.
+
+#ifndef UCP_SRC_UCP_VALIDATE_H_
+#define UCP_SRC_UCP_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ucp {
+
+struct ValidationReport {
+  bool ok() const { return problems.empty(); }
+  std::vector<std::string> problems;  // human-readable findings; empty = clean
+  int files_checked = 0;
+  int64_t bytes_checked = 0;
+
+  std::string ToString() const;
+};
+
+// Native distributed checkpoint: metadata parses; every expected shard file (per the saved
+// strategy) exists, passes its CRC, and carries tensors consistent with the flat-layout
+// metadata; flat layouts agree across DP partitions.
+Result<ValidationReport> ValidateNativeCheckpoint(const std::string& dir,
+                                                  const std::string& tag);
+
+// UCP atom directory: the manifest parses; every listed atom has its three state tensors
+// with matching shapes and CRCs; atom shapes match the model inventory; no inventory
+// parameter is missing.
+Result<ValidationReport> ValidateUcpCheckpoint(const std::string& ucp_dir);
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_UCP_VALIDATE_H_

@@ -1,0 +1,266 @@
+// Model-level tests: inventory structure, deterministic materialization, pipeline stage
+// placement, and an end-to-end finite-difference gradient check of the full single-rank
+// model (embedding -> blocks -> head -> cross-entropy) for each architecture.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "src/data/dataset.h"
+#include "src/model/inventory.h"
+#include "src/model/stage_model.h"
+
+namespace ucp {
+namespace {
+
+std::map<std::string, InventoryEntry> ByName(const std::vector<InventoryEntry>& inventory) {
+  std::map<std::string, InventoryEntry> out;
+  for (const InventoryEntry& e : inventory) {
+    out[e.param.name] = e;
+  }
+  return out;
+}
+
+TEST(InventoryTest, GptHasExpectedStructure) {
+  ModelConfig config = TinyGpt();
+  auto inventory = BuildInventory(config);
+  auto by_name = ByName(inventory);
+  EXPECT_EQ(by_name.size(), inventory.size()) << "duplicate names";
+
+  // Embedding: vocab-parallel fragment on dim 0.
+  const auto& emb = by_name.at("language_model.embedding.word_embeddings.weight");
+  EXPECT_EQ(emb.param.full_shape, (Shape{64, 32}));
+  EXPECT_EQ(emb.param.tp_spec.kind, PartitionKind::kFragment);
+  EXPECT_EQ(emb.param.tp_spec.dim, 0);
+  EXPECT_TRUE(emb.param.on_first_stage);
+  EXPECT_FALSE(emb.param.on_last_stage);  // untied
+
+  // Fused QKV with uniform heads: three equal sections.
+  const auto& qkv =
+      by_name.at("language_model.encoder.layers.0.self_attention.query_key_value.weight");
+  EXPECT_EQ(qkv.param.full_shape, (Shape{96, 32}));
+  EXPECT_EQ(qkv.param.tp_spec.sections, (std::vector<int64_t>{32, 32, 32}));
+
+  // Row-parallel dense: fragment on dim 1; its bias replicated and no-decay.
+  const auto& dense =
+      by_name.at("language_model.encoder.layers.0.self_attention.dense.weight");
+  EXPECT_EQ(dense.param.tp_spec.dim, 1);
+  const auto& dense_b =
+      by_name.at("language_model.encoder.layers.0.self_attention.dense.bias");
+  EXPECT_EQ(dense_b.param.tp_spec.kind, PartitionKind::kReplicated);
+  EXPECT_FALSE(dense_b.param.decay);
+
+  // Norms flagged sp-independent.
+  EXPECT_TRUE(by_name.at("language_model.encoder.layers.1.input_layernorm.weight")
+                  .sp_independent);
+  EXPECT_FALSE(qkv.sp_independent);
+
+  // Untied model has a distinct output layer on the last stage.
+  const auto& head = by_name.at("language_model.output_layer.weight");
+  EXPECT_TRUE(head.param.on_last_stage);
+}
+
+TEST(InventoryTest, GqaSectionsUnequal) {
+  ModelConfig config = TinyLlama();  // heads=4, kv_heads=2, hidden=32 -> head_dim=8, kv=16
+  auto by_name = ByName(BuildInventory(config));
+  const auto& qkv =
+      by_name.at("language_model.encoder.layers.0.self_attention.query_key_value.weight");
+  EXPECT_EQ(qkv.param.tp_spec.sections, (std::vector<int64_t>{32, 16, 16}));
+  EXPECT_EQ(qkv.param.full_shape, (Shape{64, 32}));
+  // LLaMA: no biases, no position embeddings.
+  EXPECT_EQ(by_name.count("language_model.embedding.position_embeddings.weight"), 0u);
+  EXPECT_EQ(
+      by_name.count("language_model.encoder.layers.0.self_attention.query_key_value.bias"),
+      0u);
+  EXPECT_EQ(by_name.count("language_model.encoder.layers.0.mlp.gate_proj.weight"), 1u);
+}
+
+TEST(InventoryTest, MoeExpertTensors) {
+  ModelConfig config = TinyMoe();  // E=2, ffn=32, hidden=32
+  auto by_name = ByName(BuildInventory(config));
+  const auto& w1 = by_name.at("language_model.encoder.layers.0.mlp.moe.experts.w1");
+  EXPECT_EQ(w1.param.full_shape, (Shape{2, 32, 32}));
+  EXPECT_EQ(w1.param.tp_spec.dim, 1);
+  const auto& w2 = by_name.at("language_model.encoder.layers.0.mlp.moe.experts.w2");
+  EXPECT_EQ(w2.param.tp_spec.dim, 2);
+  const auto& gate = by_name.at("language_model.encoder.layers.0.mlp.moe.gate.weight");
+  EXPECT_EQ(gate.param.tp_spec.kind, PartitionKind::kReplicated);
+}
+
+TEST(InventoryTest, TiedEmbeddingOnBothEdgeStages) {
+  ModelConfig config = BloomScaled();
+  auto by_name = ByName(BuildInventory(config));
+  const auto& emb = by_name.at("language_model.embedding.word_embeddings.weight");
+  EXPECT_TRUE(emb.param.on_first_stage);
+  EXPECT_TRUE(emb.param.on_last_stage);
+  EXPECT_EQ(by_name.count("language_model.output_layer.weight"), 0u);
+}
+
+TEST(InventoryTest, EffectiveSpecFlipsNormsUnderSp) {
+  ModelConfig config = TinyGpt();
+  auto by_name = ByName(BuildInventory(config));
+  const auto& norm = by_name.at("language_model.encoder.layers.0.input_layernorm.weight");
+  ParallelConfig no_sp{2, 1, 1, 1, 0, 1};
+  EXPECT_EQ(EffectiveSpec(norm, no_sp).kind, PartitionKind::kReplicated);
+  ParallelConfig with_sp{1, 1, 1, 2, 0, 1};
+  EXPECT_EQ(EffectiveSpec(norm, with_sp).kind, PartitionKind::kToAverage);
+}
+
+TEST(InventoryTest, StageEntriesCoverEveryParamExactlyOnceExceptTied) {
+  ModelConfig config = BloomScaled();
+  auto inventory = BuildInventory(config);
+  const int pp = 4;
+  std::map<std::string, int> appearances;
+  for (int stage = 0; stage < pp; ++stage) {
+    for (const InventoryEntry& e : StageEntries(inventory, config, stage, pp)) {
+      appearances[e.param.name]++;
+    }
+  }
+  for (const InventoryEntry& e : inventory) {
+    int expected =
+        e.param.name == "language_model.embedding.word_embeddings.weight" ? 2 : 1;
+    EXPECT_EQ(appearances[e.param.name], expected) << e.param.name;
+  }
+}
+
+TEST(InventoryTest, InitStreamsUnique) {
+  auto inventory = BuildInventory(MoeScaled());
+  std::set<uint64_t> streams;
+  for (const InventoryEntry& e : inventory) {
+    EXPECT_TRUE(streams.insert(e.param.init_stream).second) << e.param.name;
+  }
+}
+
+TEST(ParamTest, MaterializedShardMatchesShardOfFull) {
+  ModelConfig config = TinyLlama();
+  for (const InventoryEntry& entry : BuildInventory(config)) {
+    Tensor full = InitFullValue(entry.param, config.init_seed);
+    for (int tp_rank = 0; tp_rank < 2; ++tp_rank) {
+      ParamPtr p = MaterializeParam(entry.param, config.init_seed, 2, tp_rank);
+      Tensor expected = ShardOf(entry.param.tp_spec, full, 2, tp_rank);
+      EXPECT_TRUE(Tensor::BitEqual(p->value, expected)) << entry.param.name;
+    }
+  }
+}
+
+TEST(ParamTest, NormInitsToOnesBiasToZeros) {
+  ModelConfig config = TinyGpt();
+  auto by_name = ByName(BuildInventory(config));
+  Tensor norm = InitFullValue(
+      by_name.at("language_model.encoder.layers.0.input_layernorm.weight").param,
+      config.init_seed);
+  EXPECT_TRUE(Tensor::BitEqual(norm, Tensor::Full({32}, 1.0f)));
+  Tensor bias = InitFullValue(
+      by_name.at("language_model.encoder.layers.0.input_layernorm.bias").param,
+      config.init_seed);
+  EXPECT_TRUE(Tensor::BitEqual(bias, Tensor::Zeros({32})));
+}
+
+TEST(ParamStoreTest, DuplicateRejectedLookupWorks) {
+  ParamStore store;
+  auto p = std::make_shared<Param>();
+  p->info.name = "x";
+  p->value = Tensor::Zeros({2});
+  store.Add(p);
+  EXPECT_EQ(store.Get("x"), p);
+  EXPECT_EQ(store.FindOrNull("y"), nullptr);
+  EXPECT_EQ(store.TotalNumel(), 2);
+}
+
+// ---- End-to-end gradient check of the single-rank model ----
+
+class SingleRankHarness {
+ public:
+  explicit SingleRankHarness(const ModelConfig& config)
+      : config_(config), world_(1), strategy_{1, 1, 1, 1, 0, 1} {
+    topo_ = std::make_unique<Topology>(&world_, strategy_);
+    model_ = std::make_unique<StageModel>(config, strategy_, topo_->CoordOf(0));
+    auto groups = topo_->GroupsFor(0);
+    ctx_.tp = groups.tp;
+    ctx_.sp = groups.sp;
+    ctx_.batch = 2;
+    ctx_.seq_total = config.max_seq_len;
+    ctx_.seq_local = config.max_seq_len;
+    ctx_.seq_offset = 0;
+  }
+
+  // Mean loss over the batch; also populates grads when backward=true.
+  double Loss(const Batch& batch, bool backward) {
+    model_->store().ZeroGrads();
+    Tensor x = model_->Embed(batch.tokens, ctx_);
+    Tensor h = model_->ForwardBlocks(x, ctx_);
+    double inv = 1.0 / static_cast<double>(batch.tokens.numel());
+    double loss = model_->LossForward(h, batch.labels, ctx_, inv);
+    if (backward) {
+      Tensor dy = model_->LossBackward(ctx_);
+      Tensor dx = model_->BackwardBlocks(dy, ctx_);
+      model_->EmbedBackward(dx, ctx_);
+    }
+    return loss;
+  }
+
+  StageModel& model() { return *model_; }
+
+ private:
+  ModelConfig config_;
+  World world_;
+  ParallelConfig strategy_;
+  std::unique_ptr<Topology> topo_;
+  std::unique_ptr<StageModel> model_;
+  LayerContext ctx_;
+};
+
+void CheckModelGradients(const ModelConfig& config, int samples_per_param) {
+  SingleRankHarness harness(config);
+  SyntheticTextDataset data(config.vocab_size, config.max_seq_len, 3);
+  Batch batch = MakeBatch(data, 0, 2, 0, 2);
+
+  // Snapshot every parameter's analytic gradient before the finite-difference loop (each
+  // Loss() call re-zeroes grads).
+  harness.Loss(batch, /*backward=*/true);
+  std::map<std::string, Tensor> analytic_grads;
+  for (const ParamPtr& p : harness.model().store().params()) {
+    analytic_grads[p->info.name] = p->grad.Clone();
+  }
+
+  // Spot-check a few coordinates of every parameter against central differences.
+  const float eps = 1e-2f;
+  for (const ParamPtr& p : harness.model().store().params()) {
+    const Tensor& analytic = analytic_grads.at(p->info.name);
+    CounterRng pick(99, p->info.init_stream);
+    for (int s = 0; s < samples_per_param; ++s) {
+      int64_t i = static_cast<int64_t>(
+          pick.BoundedAt(static_cast<uint64_t>(s), static_cast<uint64_t>(p->value.numel())));
+      float original = p->value.at(i);
+      p->value.at(i) = original + eps;
+      double plus = harness.Loss(batch, false);
+      p->value.at(i) = original - eps;
+      double minus = harness.Loss(batch, false);
+      p->value.at(i) = original;
+      double numeric = (plus - minus) / (2.0 * eps);
+      double scale = std::max(
+          {0.05, std::fabs(numeric), static_cast<double>(std::fabs(analytic.at(i)))});
+      EXPECT_NEAR(numeric, analytic.at(i), 0.08 * scale)
+          << p->info.name << " element " << i;
+    }
+  }
+}
+
+TEST(ModelGradTest, GptEndToEnd) { CheckModelGradients(TinyGpt(), 3); }
+
+TEST(ModelGradTest, LlamaGqaEndToEnd) { CheckModelGradients(TinyLlama(), 3); }
+
+TEST(ModelGradTest, MoeEndToEnd) { CheckModelGradients(TinyMoe(), 3); }
+
+TEST(ModelGradTest, TiedBloomEndToEnd) {
+  ModelConfig config = TinyGpt();
+  config.arch = ArchKind::kBloom;
+  config.tied_embeddings = true;
+  CheckModelGradients(config, 3);
+}
+
+}  // namespace
+}  // namespace ucp

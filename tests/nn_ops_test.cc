@@ -1,0 +1,187 @@
+// Gradient correctness of every nn primitive via central finite differences.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "src/model/nn_ops.h"
+
+namespace ucp {
+namespace {
+
+// Central-difference gradient of scalar(fn) wrt x, compared elementwise against analytic.
+// scalar_fn must be a pure function of its input.
+void CheckGradient(const Tensor& x, const std::function<double(const Tensor&)>& scalar_fn,
+                   const Tensor& analytic_grad, float eps = 1e-3f, float tol = 2e-2f) {
+  ASSERT_EQ(x.numel(), analytic_grad.numel());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    Tensor plus = x.Clone();
+    plus.at(i) += eps;
+    Tensor minus = x.Clone();
+    minus.at(i) -= eps;
+    double numeric = (scalar_fn(plus) - scalar_fn(minus)) / (2.0 * eps);
+    double analytic = analytic_grad.at(i);
+    double scale = std::max({1.0, std::fabs(numeric), std::fabs(analytic)});
+    EXPECT_NEAR(numeric, analytic, tol * scale) << "element " << i;
+  }
+}
+
+Tensor RandomInput(Shape shape, uint64_t stream, float stddev = 1.0f) {
+  CounterRng rng(2024, stream);
+  return Tensor::Gaussian(std::move(shape), rng, 0, stddev);
+}
+
+// Weighted-sum loss: L = sum(w * y) with fixed random w, making dL/dy = w.
+struct WeightedLoss {
+  Tensor w;
+  explicit WeightedLoss(const Shape& shape) : w(RandomInput(shape, 999)) {}
+  double Of(const Tensor& y) const {
+    double sum = 0.0;
+    for (int64_t i = 0; i < y.numel(); ++i) {
+      sum += static_cast<double>(w.at(i)) * y.at(i);
+    }
+    return sum;
+  }
+};
+
+TEST(NnOpsGradTest, Gelu) {
+  Tensor x = RandomInput({3, 5}, 1);
+  WeightedLoss loss(x.shape());
+  Tensor analytic = GeluBackward(x, loss.w);
+  CheckGradient(x, [&](const Tensor& xin) { return loss.Of(Gelu(xin)); }, analytic);
+}
+
+TEST(NnOpsGradTest, Silu) {
+  Tensor x = RandomInput({4, 3}, 2);
+  WeightedLoss loss(x.shape());
+  Tensor analytic = SiluBackward(x, loss.w);
+  CheckGradient(x, [&](const Tensor& xin) { return loss.Of(Silu(xin)); }, analytic);
+}
+
+TEST(NnOpsGradTest, LayerNormInput) {
+  Tensor x = RandomInput({3, 8}, 3);
+  Tensor gamma = RandomInput({8}, 4, 0.5f);
+  gamma.AddScaled_(Tensor::Full({8}, 1.0f), 1.0f);  // keep gamma away from zero
+  Tensor beta = RandomInput({8}, 5, 0.1f);
+  WeightedLoss loss(x.shape());
+
+  LayerNormCache cache;
+  LayerNormForward(x, gamma, &beta, cache);
+  Tensor dgamma = Tensor::Zeros({8});
+  Tensor dbeta = Tensor::Zeros({8});
+  Tensor dx = LayerNormBackward(loss.w, gamma, cache, dgamma, &dbeta);
+
+  CheckGradient(x, [&](const Tensor& xin) {
+    LayerNormCache c;
+    return loss.Of(LayerNormForward(xin, gamma, &beta, c));
+  }, dx);
+  CheckGradient(gamma, [&](const Tensor& g) {
+    LayerNormCache c;
+    return loss.Of(LayerNormForward(x, g, &beta, c));
+  }, dgamma);
+  CheckGradient(beta, [&](const Tensor& b) {
+    LayerNormCache c;
+    return loss.Of(LayerNormForward(x, gamma, &b, c));
+  }, dbeta);
+}
+
+TEST(NnOpsGradTest, LayerNormWithoutBias) {
+  Tensor x = RandomInput({2, 6}, 6);
+  Tensor gamma = Tensor::Full({6}, 1.2f);
+  WeightedLoss loss(x.shape());
+  LayerNormCache cache;
+  LayerNormForward(x, gamma, nullptr, cache);
+  Tensor dgamma = Tensor::Zeros({6});
+  Tensor dx = LayerNormBackward(loss.w, gamma, cache, dgamma, nullptr);
+  CheckGradient(x, [&](const Tensor& xin) {
+    LayerNormCache c;
+    return loss.Of(LayerNormForward(xin, gamma, nullptr, c));
+  }, dx);
+}
+
+TEST(NnOpsGradTest, RmsNorm) {
+  Tensor x = RandomInput({3, 8}, 7);
+  Tensor gamma = RandomInput({8}, 8, 0.3f);
+  gamma.AddScaled_(Tensor::Full({8}, 1.0f), 1.0f);
+  WeightedLoss loss(x.shape());
+
+  RmsNormCache cache;
+  RmsNormForward(x, gamma, cache);
+  Tensor dgamma = Tensor::Zeros({8});
+  Tensor dx = RmsNormBackward(loss.w, gamma, cache, dgamma);
+
+  CheckGradient(x, [&](const Tensor& xin) {
+    RmsNormCache c;
+    return loss.Of(RmsNormForward(xin, gamma, c));
+  }, dx);
+  CheckGradient(gamma, [&](const Tensor& g) {
+    RmsNormCache c;
+    return loss.Of(RmsNormForward(x, g, c));
+  }, dgamma);
+}
+
+TEST(NnOpsTest, SoftmaxRowsSumToOne) {
+  Tensor x = RandomInput({5, 7}, 9, 3.0f);
+  SoftmaxRows_(x);
+  for (int64_t r = 0; r < 5; ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < 7; ++c) {
+      EXPECT_GE(x.at(r * 7 + c), 0.0f);
+      sum += x.at(r * 7 + c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(NnOpsTest, SoftmaxStableForLargeLogits) {
+  Tensor x = Tensor::FromVector({1, 3}, {1000.0f, 1001.0f, 999.0f});
+  SoftmaxRows_(x);
+  EXPECT_FALSE(std::isnan(x.at(0)));
+  EXPECT_GT(x.at(1), x.at(0));
+  EXPECT_GT(x.at(0), x.at(2));
+}
+
+TEST(NnOpsGradTest, SoftmaxBackward) {
+  Tensor z = RandomInput({2, 5}, 10);
+  WeightedLoss loss({2, 5});
+  Tensor probs = z.Clone();
+  SoftmaxRows_(probs);
+  Tensor dz = SoftmaxRowsBackward(probs, loss.w);
+  CheckGradient(z, [&](const Tensor& zin) {
+    Tensor p = zin.Clone();
+    SoftmaxRows_(p);
+    return loss.Of(p);
+  }, dz);
+}
+
+TEST(NnOpsTest, CrossEntropyMatchesManual) {
+  Tensor logits = Tensor::FromVector({1, 3}, {0.0f, 0.0f, 0.0f});
+  Tensor labels = Tensor::FromVector({1}, {1.0f});
+  Tensor dlogits = Tensor::Zeros({1, 3});
+  double loss = CrossEntropySum(logits, labels, dlogits);
+  EXPECT_NEAR(loss, std::log(3.0), 1e-6);
+  EXPECT_NEAR(dlogits.at(0), 1.0 / 3.0, 1e-6);
+  EXPECT_NEAR(dlogits.at(1), 1.0 / 3.0 - 1.0, 1e-6);
+}
+
+TEST(NnOpsGradTest, CrossEntropy) {
+  Tensor logits = RandomInput({4, 6}, 11, 2.0f);
+  Tensor labels = Tensor::FromVector({4}, {0.0f, 3.0f, 5.0f, 2.0f});
+  Tensor dlogits = Tensor::Zeros({4, 6});
+  CrossEntropySum(logits, labels, dlogits);
+  CheckGradient(logits, [&](const Tensor& lin) {
+    Tensor d = Tensor::Zeros({4, 6});
+    return CrossEntropySum(lin, labels, d);
+  }, dlogits);
+}
+
+TEST(NnOpsTest, CrossEntropyPerfectPredictionNearZeroLoss) {
+  Tensor logits = Tensor::FromVector({1, 3}, {-30.0f, 30.0f, -30.0f});
+  Tensor labels = Tensor::FromVector({1}, {1.0f});
+  Tensor dlogits = Tensor::Zeros({1, 3});
+  EXPECT_NEAR(CrossEntropySum(logits, labels, dlogits), 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ucp

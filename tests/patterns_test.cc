@@ -1,0 +1,170 @@
+// The UCP language: rule matching, the textual spec round trip, and consistency of the
+// generated (ForStrategy) libraries with the model inventory.
+
+#include <gtest/gtest.h>
+
+#include "src/ucp/patterns.h"
+
+namespace ucp {
+namespace {
+
+TEST(PatternRuleTest, ToPartitionSpec) {
+  PatternRule frag{ParamPattern::kFragmentParams, "*", 1, {8, 2, 2}};
+  PartitionSpec spec = frag.ToPartitionSpec();
+  EXPECT_EQ(spec.kind, PartitionKind::kFragment);
+  EXPECT_EQ(spec.dim, 1);
+  EXPECT_EQ(spec.sections, (std::vector<int64_t>{8, 2, 2}));
+
+  PatternRule avg{ParamPattern::kParamsToAverage, "*", 0, {}};
+  EXPECT_EQ(avg.ToPartitionSpec().kind, PartitionKind::kToAverage);
+}
+
+TEST(PatternLibraryTest, FirstMatchWins) {
+  PatternLibrary lib;
+  lib.FragmentParams("*.query_key_value.weight", 0)
+      .ReplicatedParams("*layernorm*")
+      .UniqueParams("*");
+  EXPECT_EQ(lib.Match("a.query_key_value.weight")->pattern,
+            ParamPattern::kFragmentParams);
+  EXPECT_EQ(lib.Match("x.input_layernorm.weight")->pattern,
+            ParamPattern::kReplicatedParams);
+  EXPECT_EQ(lib.Match("anything.else")->pattern, ParamPattern::kUniqueParams);
+}
+
+TEST(PatternLibraryTest, NoMatchIsNotFound) {
+  PatternLibrary lib;
+  lib.UniqueParams("only.this");
+  EXPECT_EQ(lib.Match("something.else").status().code(), StatusCode::kNotFound);
+}
+
+TEST(PatternLibraryTest, SpecRoundTrip) {
+  PatternLibrary lib;
+  lib.FragmentParams("language_model.encoder.layers.*.self_attention.query_key_value.weight",
+                     0, {64, 16, 16})
+      .FragmentParams("*.dense.weight", 1)
+      .ParamsToAverage("*layernorm.weight")
+      .ReplicatedParams("*.bias")
+      .UniqueParams("*");
+
+  std::string spec = lib.ToSpec();
+  Result<PatternLibrary> back = PatternLibrary::FromSpec(spec);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->rules().size(), lib.rules().size());
+  for (size_t i = 0; i < lib.rules().size(); ++i) {
+    EXPECT_EQ(back->rules()[i].pattern, lib.rules()[i].pattern);
+    EXPECT_EQ(back->rules()[i].glob, lib.rules()[i].glob);
+    EXPECT_EQ(back->rules()[i].dim, lib.rules()[i].dim);
+    EXPECT_EQ(back->rules()[i].sections, lib.rules()[i].sections);
+  }
+}
+
+TEST(PatternLibraryTest, SpecParsesCommentsAndWhitespace) {
+  const char* text = R"(
+# full-line comment
+  fragment   *.qkv.weight   dim=0 sections=8,2,2   # trailing comment
+to_average *norm.weight
+unique *
+)";
+  Result<PatternLibrary> lib = PatternLibrary::FromSpec(text);
+  ASSERT_TRUE(lib.ok()) << lib.status();
+  ASSERT_EQ(lib->rules().size(), 3u);
+  EXPECT_EQ(lib->rules()[0].sections, (std::vector<int64_t>{8, 2, 2}));
+  EXPECT_EQ(lib->rules()[1].pattern, ParamPattern::kParamsToAverage);
+}
+
+TEST(PatternLibraryTest, MalformedSpecsRejected) {
+  EXPECT_FALSE(PatternLibrary::FromSpec("fragment").ok());             // missing glob
+  EXPECT_FALSE(PatternLibrary::FromSpec("bogus *").ok());              // unknown pattern
+  EXPECT_FALSE(PatternLibrary::FromSpec("unique * dim=1").ok());       // dim on non-fragment
+  EXPECT_FALSE(PatternLibrary::FromSpec("fragment * flags=3").ok());   // unknown option
+}
+
+// ForStrategy must classify every inventory parameter consistently with EffectiveSpec —
+// this is the consistency contract between the declarative language and the runtime.
+void CheckLibraryConsistency(const ModelConfig& model, const ParallelConfig& source) {
+  PatternLibrary lib = PatternLibrary::ForStrategy(model, source);
+  for (const InventoryEntry& entry : BuildInventory(model)) {
+    Result<PatternRule> rule = lib.Match(entry.param.name);
+    ASSERT_TRUE(rule.ok()) << entry.param.name;
+    PartitionSpec spec = EffectiveSpec(entry, source);
+    switch (spec.kind) {
+      case PartitionKind::kToAverage:
+        EXPECT_EQ(rule->pattern, ParamPattern::kParamsToAverage) << entry.param.name;
+        break;
+      case PartitionKind::kFragment:
+        if (source.tp > 1) {
+          EXPECT_EQ(rule->pattern, ParamPattern::kFragmentParams) << entry.param.name;
+          EXPECT_EQ(rule->dim, spec.dim) << entry.param.name;
+          EXPECT_EQ(rule->sections, spec.sections) << entry.param.name;
+        } else {
+          EXPECT_NE(rule->pattern, ParamPattern::kFragmentParams) << entry.param.name;
+        }
+        break;
+      case PartitionKind::kReplicated:
+        if (source.tp > 1 || source.sp > 1) {
+          EXPECT_EQ(rule->pattern, ParamPattern::kReplicatedParams) << entry.param.name;
+        }
+        break;
+    }
+  }
+}
+
+TEST(ForStrategyTest, Gpt3dParallel) {
+  CheckLibraryConsistency(Gpt3Scaled(), {2, 2, 2, 1, 1, 1});
+}
+
+TEST(ForStrategyTest, GptSequenceParallel) {
+  CheckLibraryConsistency(Gpt3Scaled(), {1, 1, 2, 2, 1, 1});
+}
+
+TEST(ForStrategyTest, GptPureDp) {
+  ParallelConfig dp_only{1, 1, 4, 1, 2, 1};
+  PatternLibrary lib = PatternLibrary::ForStrategy(Gpt3Scaled(), dp_only);
+  // With tp = sp = 1 and no tying, everything is unique.
+  for (const PatternRule& rule : lib.rules()) {
+    EXPECT_EQ(rule.pattern, ParamPattern::kUniqueParams) << rule.glob;
+  }
+}
+
+TEST(ForStrategyTest, LlamaGqaSections) {
+  PatternLibrary lib = PatternLibrary::ForStrategy(LlamaScaled(), {2, 1, 1, 1, 0, 1});
+  Result<PatternRule> rule = lib.Match(
+      "language_model.encoder.layers.2.self_attention.query_key_value.weight");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->pattern, ParamPattern::kFragmentParams);
+  // LlamaScaled: hidden=64, kv_heads=2, head_dim=16 -> sections {64, 32, 32}.
+  EXPECT_EQ(rule->sections, (std::vector<int64_t>{64, 32, 32}));
+}
+
+TEST(ForStrategyTest, MoeExpertDims) {
+  PatternLibrary lib = PatternLibrary::ForStrategy(MoeScaled(), {2, 2, 2, 1, 1, 1});
+  EXPECT_EQ(lib.Match("language_model.encoder.layers.0.mlp.moe.experts.w1")->dim, 1);
+  EXPECT_EQ(lib.Match("language_model.encoder.layers.0.mlp.moe.experts.w2")->dim, 2);
+  EXPECT_EQ(lib.Match("language_model.encoder.layers.0.mlp.moe.gate.weight")->pattern,
+            ParamPattern::kReplicatedParams);
+}
+
+TEST(ForStrategyTest, TiedEmbeddingReplicatedAcrossPp) {
+  // BLOOM-like tied embeddings: with pp > 1 (tp = 1) the embedding is replicated across the
+  // first/last stages rather than unique.
+  PatternLibrary lib = PatternLibrary::ForStrategy(BloomScaled(), {1, 4, 2, 1, 1, 1});
+  EXPECT_EQ(lib.Match("language_model.embedding.word_embeddings.weight")->pattern,
+            ParamPattern::kReplicatedParams);
+  // A mid-stack layer param stays unique.
+  EXPECT_EQ(lib.Match("language_model.encoder.layers.3.mlp.dense_h_to_4h.weight")->pattern,
+            ParamPattern::kUniqueParams);
+}
+
+TEST(ForStrategyTest, GeneratedLibrarySurvivesSpecRoundTrip) {
+  PatternLibrary lib = PatternLibrary::ForStrategy(MoeScaled(), {2, 2, 1, 1, 0, 1});
+  Result<PatternLibrary> back = PatternLibrary::FromSpec(lib.ToSpec());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->rules().size(), lib.rules().size());
+  for (size_t i = 0; i < lib.rules().size(); ++i) {
+    EXPECT_EQ(back->rules()[i].glob, lib.rules()[i].glob);
+    EXPECT_EQ(back->rules()[i].pattern, lib.rules()[i].pattern);
+  }
+}
+
+}  // namespace
+}  // namespace ucp

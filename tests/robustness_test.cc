@@ -1,0 +1,154 @@
+// Failure injection: partial checkpoints, corrupted manifests, and error propagation
+// through the parallel conversion pipeline. A checkpoint system earns its keep on the
+// unhappy paths.
+
+#include <gtest/gtest.h>
+
+#include "src/ckpt/checkpoint.h"
+#include "src/common/fs.h"
+#include "src/ucp/converter.h"
+#include "src/ucp/elastic.h"
+#include "src/tensor/tensor_file.h"
+#include "src/ucp/loader.h"
+
+namespace ucp {
+namespace {
+
+TrainerConfig ConfigFor(const ParallelConfig& strategy) {
+  TrainerConfig cfg;
+  cfg.model = TinyGpt();
+  cfg.strategy = strategy;
+  cfg.global_batch = 8;
+  return cfg;
+}
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = *MakeTempDir("ucp_robustness"); }
+  void TearDown() override { ASSERT_TRUE(RemoveAll(dir_).ok()); }
+
+  std::string Sub(const std::string& name) { return PathJoin(dir_, name); }
+
+  // Trains briefly and checkpoints under Sub("ckpt").
+  void MakeCheckpoint(const ParallelConfig& strategy, int64_t iteration = 2) {
+    TrainingRun run(ConfigFor(strategy));
+    run.Train(1, iteration);
+    run.Run([&](RankTrainer& t) {
+      UCP_CHECK(SaveDistributedCheckpoint(Sub("ckpt"), t, iteration).ok());
+    });
+  }
+
+  std::string dir_;
+};
+
+TEST_F(RobustnessTest, ConvertFailsCleanlyOnMissingRankFile) {
+  MakeCheckpoint({2, 1, 2, 1, 1, 1});
+  // Simulate a rank that died mid-save: remove one optimizer shard.
+  ASSERT_TRUE(
+      RemoveAll(PathJoin(Sub("ckpt/global_step2"), OptimStatesFileName(1, 1, 0, 0))).ok());
+  Result<ConvertStats> stats =
+      ConvertToUcp(Sub("ckpt"), "global_step2", Sub("ucp"), {.num_threads = 4});
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RobustnessTest, ConvertDetectsCorruptOptimizerShard) {
+  MakeCheckpoint({1, 1, 2, 1, 2, 1});
+  std::string victim = PathJoin(Sub("ckpt/global_step2"), OptimStatesFileName(0, 0, 0, 0));
+  std::string contents = *ReadFileToString(victim);
+  contents[contents.size() - 20] ^= 0xFF;  // flip payload bits near the tail
+  ASSERT_TRUE(WriteFileAtomic(victim, contents).ok());
+  Result<ConvertStats> stats = ConvertToUcp(Sub("ckpt"), "global_step2", Sub("ucp"));
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(RobustnessTest, ConvertRejectsTamperedMeta) {
+  MakeCheckpoint({1, 1, 1, 1, 0, 1});
+  std::string meta_path = PathJoin(Sub("ckpt/global_step2"), "checkpoint_meta.json");
+  ASSERT_TRUE(WriteFileAtomic(meta_path, "{not json").ok());
+  EXPECT_FALSE(ConvertToUcp(Sub("ckpt"), "global_step2", Sub("ucp")).ok());
+}
+
+TEST_F(RobustnessTest, LoadUcpFailsOnMissingAtomTensor) {
+  MakeCheckpoint({1, 1, 1, 1, 0, 1});
+  ASSERT_TRUE(ConvertToUcp(Sub("ckpt"), "global_step2", Sub("ucp")).ok());
+  ASSERT_TRUE(RemoveAll(PathJoin(
+                  AtomDir(Sub("ucp"), "language_model.output_layer.weight"), "exp_avg_sq"))
+                  .ok());
+  TrainingRun run(ConfigFor({1, 1, 1, 1, 0, 1}));
+  Status s = LoadUcpCheckpoint(Sub("ucp"), run.trainer(0));
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST_F(RobustnessTest, LoadUcpFailsOnShapeTamperedAtom) {
+  MakeCheckpoint({1, 1, 1, 1, 0, 1});
+  ASSERT_TRUE(ConvertToUcp(Sub("ckpt"), "global_step2", Sub("ucp")).ok());
+  // Overwrite one atom with a wrong-shaped tensor (valid file, wrong contents).
+  const char* name = "language_model.encoder.final_layernorm.weight";
+  ASSERT_TRUE(
+      SaveTensor(PathJoin(AtomDir(Sub("ucp"), name), "fp32"), Tensor::Zeros({7})).ok());
+  TrainingRun run(ConfigFor({1, 1, 1, 1, 0, 1}));
+  Status s = LoadUcpCheckpoint(Sub("ucp"), run.trainer(0));
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(RobustnessTest, ResumeElasticPropagatesCorruptionNotReshard) {
+  // A corrupt checkpoint must not be misdiagnosed as a strategy change (which would
+  // trigger a pointless conversion).
+  MakeCheckpoint({1, 1, 2, 1, 1, 1});
+  std::string victim = PathJoin(Sub("ckpt/global_step2"), OptimStatesFileName(0, 0, 0, 0));
+  std::string contents = *ReadFileToString(victim);
+  contents[contents.size() / 2] ^= 0x01;
+  ASSERT_TRUE(WriteFileAtomic(victim, contents).ok());
+
+  TrainingRun run(ConfigFor({1, 1, 2, 1, 1, 1}));
+  std::vector<Status> statuses(2);
+  run.Run([&](RankTrainer& t) {
+    Result<ResumeReport> report = ResumeElastic(Sub("ckpt"), t);
+    statuses[static_cast<size_t>(t.rank())] =
+        report.ok() ? OkStatus() : report.status();
+  });
+  // Rank 0 reads the corrupted shard; it must report data loss, not attempt conversion.
+  EXPECT_EQ(statuses[0].code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(DirExists(Sub("ckpt/global_step2.ucp")));
+}
+
+TEST_F(RobustnessTest, ResumeElasticWithoutLatestIsNotFound) {
+  TrainingRun run(ConfigFor({1, 1, 1, 1, 0, 1}));
+  ASSERT_TRUE(MakeDirs(Sub("empty")).ok());
+  Result<ResumeReport> report = ResumeElastic(Sub("empty"), run.trainer(0));
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RobustnessTest, UcpMetaTamperedVersionRejected) {
+  MakeCheckpoint({1, 1, 1, 1, 0, 1});
+  ASSERT_TRUE(ConvertToUcp(Sub("ckpt"), "global_step2", Sub("ucp")).ok());
+  Json meta = *Json::Parse(*ReadFileToString(PathJoin(Sub("ucp"), "ucp_meta.json")));
+  meta["format_version"] = 999;
+  ASSERT_TRUE(WriteFileAtomic(PathJoin(Sub("ucp"), "ucp_meta.json"), meta.Dump()).ok());
+  EXPECT_EQ(ReadUcpMeta(Sub("ucp")).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RobustnessTest, SaveIsAtomicUnderRepeatedOverwrites) {
+  // Saving the same tag repeatedly must never leave temp files or a mixed state.
+  TrainingRun run(ConfigFor({1, 1, 2, 1, 1, 1}));
+  run.Train(1, 1);
+  for (int round = 0; round < 3; ++round) {
+    run.Run([&](RankTrainer& t) {
+      UCP_CHECK(SaveDistributedCheckpoint(Sub("ckpt"), t, 1).ok());
+    });
+  }
+  auto files = *ListDir(Sub("ckpt/global_step1"));
+  for (const std::string& file : files) {
+    EXPECT_EQ(file.find(".tmp."), std::string::npos) << file;
+  }
+  TrainingRun fresh(ConfigFor({1, 1, 2, 1, 1, 1}));
+  fresh.Run([&](RankTrainer& t) {
+    UCP_CHECK(LoadDistributedCheckpoint(Sub("ckpt"), "global_step1", t).ok());
+  });
+}
+
+}  // namespace
+}  // namespace ucp

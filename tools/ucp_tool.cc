@@ -1,0 +1,280 @@
+// ucp_tool — command-line front end for the UCP library (the analogue of DeepSpeed's
+// ds_to_universal.py plus inspection helpers).
+//
+//   ucp_tool convert  <ckpt_dir> <tag> <ucp_dir> [--threads N] [--spec FILE]
+//       Convert a native distributed checkpoint to UCP atom checkpoints. With --spec, the
+//       pattern library is parsed from a UCP-language text file instead of being generated.
+//
+//   ucp_tool convert-foreign <foreign_dir> <tag> <ucp_dir> [--threads N]
+//       Ingest a foreign (DDP-style consolidated) checkpoint.
+//
+//   ucp_tool inspect  <ucp_dir>
+//       Print the UCP manifest: model config, source strategy, iteration, and per-atom
+//       shapes/sizes.
+//
+//   ucp_tool inspect-ckpt <ckpt_dir> <tag>
+//       Print a native checkpoint's metadata and shard files.
+//
+//   ucp_tool spec     <ckpt_dir> <tag>
+//       Print the generated UCP pattern spec for a checkpoint's source strategy (a starting
+//       point for hand-edited specs).
+//
+//   ucp_tool plan     <ucp_dir> <tp> <pp> <dp> <sp> <zero_stage> [rank]
+//       Print the GenUcpMetadata load plan (JSON) for one target rank.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/ckpt/checkpoint.h"
+#include "src/common/fs.h"
+#include "src/ucp/converter.h"
+#include "src/ucp/loader.h"
+#include "src/ucp/validate.h"
+
+namespace ucp {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ucp_tool convert <ckpt_dir> <tag> <ucp_dir> [--threads N] [--spec FILE]\n"
+               "  ucp_tool convert-foreign <foreign_dir> <tag> <ucp_dir> [--threads N]\n"
+               "  ucp_tool inspect <ucp_dir>\n"
+               "  ucp_tool inspect-ckpt <ckpt_dir> <tag>\n"
+               "  ucp_tool spec <ckpt_dir> <tag>\n"
+               "  ucp_tool plan <ucp_dir> <tp> <pp> <dp> <sp> <zero_stage> [rank]\n"
+               "  ucp_tool validate <ucp_dir>\n"
+               "  ucp_tool validate-ckpt <ckpt_dir> <tag>\n"
+               "  ucp_tool prune <ckpt_dir> <keep_last>\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+struct Flags {
+  int threads = 4;
+  std::string spec_file;
+  std::vector<std::string> positional;
+};
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      flags.threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--spec") == 0 && i + 1 < argc) {
+      flags.spec_file = argv[++i];
+    } else {
+      flags.positional.push_back(argv[i]);
+    }
+  }
+  return flags;
+}
+
+int CmdConvert(const Flags& flags, bool foreign) {
+  if (flags.positional.size() != 3) {
+    return Usage();
+  }
+  ConvertOptions options;
+  options.num_threads = flags.threads;
+  PatternLibrary library;
+  if (!flags.spec_file.empty()) {
+    Result<std::string> text = ReadFileToString(flags.spec_file);
+    if (!text.ok()) {
+      return Fail(text.status());
+    }
+    Result<PatternLibrary> parsed = PatternLibrary::FromSpec(*text);
+    if (!parsed.ok()) {
+      return Fail(parsed.status());
+    }
+    library = *parsed;
+    options.library = &library;
+  }
+  Result<ConvertStats> stats =
+      foreign ? ConvertForeignToUcp(flags.positional[0], flags.positional[1],
+                                    flags.positional[2], options)
+              : ConvertToUcp(flags.positional[0], flags.positional[1], flags.positional[2],
+                             options);
+  if (!stats.ok()) {
+    return Fail(stats.status());
+  }
+  std::printf("converted %s/%s -> %s\n", flags.positional[0].c_str(),
+              flags.positional[1].c_str(), flags.positional[2].c_str());
+  std::printf("  atoms: %d  extract: %.3fs  union: %.3fs  (threads=%d)\n",
+              stats->atoms_written, stats->extract_seconds, stats->union_seconds,
+              flags.threads);
+  return 0;
+}
+
+int CmdInspect(const Flags& flags) {
+  if (flags.positional.size() != 1) {
+    return Usage();
+  }
+  Result<UcpMeta> meta = ReadUcpMeta(flags.positional[0]);
+  if (!meta.ok()) {
+    return Fail(meta.status());
+  }
+  std::printf("UCP checkpoint: %s\n", flags.positional[0].c_str());
+  std::printf("  arch: %s  layers: %d  hidden: %d  heads: %d/%d  experts: %d\n",
+              ArchKindName(meta->model.arch), meta->model.num_layers, meta->model.hidden,
+              meta->model.num_heads, meta->model.num_kv_heads, meta->model.num_experts);
+  std::printf("  source strategy: %s  iteration: %lld  global batch: %d\n",
+              meta->source_strategy.ToString().c_str(),
+              static_cast<long long>(meta->iteration), meta->global_batch);
+  std::printf("  atoms (%zu):\n", meta->atom_names.size());
+  int64_t total_numel = 0;
+  for (const std::string& name : meta->atom_names) {
+    Result<Shape> shape = ReadAtomShape(flags.positional[0], name);
+    if (!shape.ok()) {
+      return Fail(shape.status());
+    }
+    total_numel += ShapeNumel(*shape);
+    std::printf("    %-70s %s\n", name.c_str(), ShapeToString(*shape).c_str());
+  }
+  std::printf("  total parameters: %lld (x3 fp32 states on disk)\n",
+              static_cast<long long>(total_numel));
+  return 0;
+}
+
+int CmdInspectCkpt(const Flags& flags) {
+  if (flags.positional.size() != 2) {
+    return Usage();
+  }
+  Result<CheckpointMeta> meta = ReadCheckpointMeta(flags.positional[0], flags.positional[1]);
+  if (!meta.ok()) {
+    return Fail(meta.status());
+  }
+  std::printf("native checkpoint: %s/%s\n", flags.positional[0].c_str(),
+              flags.positional[1].c_str());
+  std::printf("  arch: %s  strategy: %s  iteration: %lld  world size: %d\n",
+              ArchKindName(meta->model.arch), meta->strategy.ToString().c_str(),
+              static_cast<long long>(meta->iteration), meta->strategy.world_size());
+  Result<std::vector<std::string>> files =
+      ListDir(PathJoin(flags.positional[0], flags.positional[1]));
+  if (!files.ok()) {
+    return Fail(files.status());
+  }
+  std::printf("  shard files (%zu):\n", files->size());
+  for (const std::string& file : *files) {
+    std::printf("    %s\n", file.c_str());
+  }
+  return 0;
+}
+
+int CmdSpec(const Flags& flags) {
+  if (flags.positional.size() != 2) {
+    return Usage();
+  }
+  Result<CheckpointMeta> meta = ReadCheckpointMeta(flags.positional[0], flags.positional[1]);
+  if (!meta.ok()) {
+    return Fail(meta.status());
+  }
+  PatternLibrary library = PatternLibrary::ForStrategy(meta->model, meta->strategy);
+  std::printf("%s", library.ToSpec().c_str());
+  return 0;
+}
+
+int CmdPlan(const Flags& flags) {
+  if (flags.positional.size() < 6 || flags.positional.size() > 7) {
+    return Usage();
+  }
+  Result<UcpMeta> meta = ReadUcpMeta(flags.positional[0]);
+  if (!meta.ok()) {
+    return Fail(meta.status());
+  }
+  ParallelConfig target;
+  target.tp = std::atoi(flags.positional[1].c_str());
+  target.pp = std::atoi(flags.positional[2].c_str());
+  target.dp = std::atoi(flags.positional[3].c_str());
+  target.sp = std::atoi(flags.positional[4].c_str());
+  target.zero_stage = std::atoi(flags.positional[5].c_str());
+  int rank = flags.positional.size() == 7 ? std::atoi(flags.positional[6].c_str()) : 0;
+  if (rank < 0 || rank >= target.world_size()) {
+    return Fail(InvalidArgumentError("rank out of range for target grid"));
+  }
+  World world(target.world_size());
+  Topology topo(&world, target);
+  RankLoadPlan plan = GenUcpMetadata(meta->model, target, topo.CoordOf(rank));
+  std::printf("%s\n", plan.ToJson().Dump(2).c_str());
+  return 0;
+}
+
+int CmdValidate(const Flags& flags, bool native) {
+  if (flags.positional.size() != (native ? 2u : 1u)) {
+    return Usage();
+  }
+  Result<ValidationReport> report =
+      native ? ValidateNativeCheckpoint(flags.positional[0], flags.positional[1])
+             : ValidateUcpCheckpoint(flags.positional[0]);
+  if (!report.ok()) {
+    return Fail(report.status());
+  }
+  std::printf("%s\n", report->ToString().c_str());
+  return report->ok() ? 0 : 1;
+}
+
+int CmdPrune(const Flags& flags) {
+  if (flags.positional.size() != 2) {
+    return Usage();
+  }
+  int keep = std::atoi(flags.positional[1].c_str());
+  Status status = PruneCheckpoints(flags.positional[0], keep);
+  if (!status.ok()) {
+    return Fail(status);
+  }
+  Result<std::vector<std::string>> tags = ListCheckpointTags(flags.positional[0]);
+  if (!tags.ok()) {
+    return Fail(tags.status());
+  }
+  std::printf("kept %zu checkpoint(s):\n", tags->size());
+  for (const std::string& tag : *tags) {
+    std::printf("  %s\n", tag.c_str());
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  Flags flags = ParseFlags(argc, argv, 2);
+  if (command == "convert") {
+    return CmdConvert(flags, /*foreign=*/false);
+  }
+  if (command == "convert-foreign") {
+    return CmdConvert(flags, /*foreign=*/true);
+  }
+  if (command == "inspect") {
+    return CmdInspect(flags);
+  }
+  if (command == "inspect-ckpt") {
+    return CmdInspectCkpt(flags);
+  }
+  if (command == "spec") {
+    return CmdSpec(flags);
+  }
+  if (command == "plan") {
+    return CmdPlan(flags);
+  }
+  if (command == "validate") {
+    return CmdValidate(flags, /*native=*/false);
+  }
+  if (command == "validate-ckpt") {
+    return CmdValidate(flags, /*native=*/true);
+  }
+  if (command == "prune") {
+    return CmdPrune(flags);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace ucp
+
+int main(int argc, char** argv) { return ucp::Main(argc, argv); }
