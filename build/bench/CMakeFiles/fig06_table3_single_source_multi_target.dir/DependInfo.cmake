@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig06_table3_single_source_multi_target.cc" "bench/CMakeFiles/fig06_table3_single_source_multi_target.dir/fig06_table3_single_source_multi_target.cc.o" "gcc" "bench/CMakeFiles/fig06_table3_single_source_multi_target.dir/fig06_table3_single_source_multi_target.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ucp/CMakeFiles/ucp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/ucp_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ucp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/ucp_zero.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ucp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/ucp_parallel_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/ucp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/ucp_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ucp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ucp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ucp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

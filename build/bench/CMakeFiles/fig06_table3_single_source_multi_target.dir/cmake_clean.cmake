@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_table3_single_source_multi_target.dir/fig06_table3_single_source_multi_target.cc.o"
+  "CMakeFiles/fig06_table3_single_source_multi_target.dir/fig06_table3_single_source_multi_target.cc.o.d"
+  "fig06_table3_single_source_multi_target"
+  "fig06_table3_single_source_multi_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_table3_single_source_multi_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_table3_single_source_multi_target.
+# This may be replaced when dependencies are built.

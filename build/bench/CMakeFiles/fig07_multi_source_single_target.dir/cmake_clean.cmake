@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_multi_source_single_target.dir/fig07_multi_source_single_target.cc.o"
+  "CMakeFiles/fig07_multi_source_single_target.dir/fig07_multi_source_single_target.cc.o.d"
+  "fig07_multi_source_single_target"
+  "fig07_multi_source_single_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_multi_source_single_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_multi_source_single_target.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_llama.dir/fig08_llama.cc.o"
+  "CMakeFiles/fig08_llama.dir/fig08_llama.cc.o.d"
+  "fig08_llama"
+  "fig08_llama.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_llama.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

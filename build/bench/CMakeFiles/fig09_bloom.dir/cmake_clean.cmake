@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_bloom.dir/fig09_bloom.cc.o"
+  "CMakeFiles/fig09_bloom.dir/fig09_bloom.cc.o.d"
+  "fig09_bloom"
+  "fig09_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

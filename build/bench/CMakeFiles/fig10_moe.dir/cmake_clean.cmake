@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_moe.dir/fig10_moe.cc.o"
+  "CMakeFiles/fig10_moe.dir/fig10_moe.cc.o.d"
+  "fig10_moe"
+  "fig10_moe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_moe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

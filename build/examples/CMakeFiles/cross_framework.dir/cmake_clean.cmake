@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_framework.dir/cross_framework.cpp.o"
+  "CMakeFiles/cross_framework.dir/cross_framework.cpp.o.d"
+  "cross_framework"
+  "cross_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_failover.dir/elastic_failover.cpp.o"
+  "CMakeFiles/elastic_failover.dir/elastic_failover.cpp.o.d"
+  "elastic_failover"
+  "elastic_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

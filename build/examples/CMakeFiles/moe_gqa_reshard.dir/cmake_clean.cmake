@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_gqa_reshard.dir/moe_gqa_reshard.cpp.o"
+  "CMakeFiles/moe_gqa_reshard.dir/moe_gqa_reshard.cpp.o.d"
+  "moe_gqa_reshard"
+  "moe_gqa_reshard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_gqa_reshard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

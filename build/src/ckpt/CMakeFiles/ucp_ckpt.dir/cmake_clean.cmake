@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucp_ckpt.dir/checkpoint.cc.o"
+  "CMakeFiles/ucp_ckpt.dir/checkpoint.cc.o.d"
+  "CMakeFiles/ucp_ckpt.dir/foreign.cc.o"
+  "CMakeFiles/ucp_ckpt.dir/foreign.cc.o.d"
+  "libucp_ckpt.a"
+  "libucp_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucp_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

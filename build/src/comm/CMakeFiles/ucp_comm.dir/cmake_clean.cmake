@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucp_comm.dir/comm.cc.o"
+  "CMakeFiles/ucp_comm.dir/comm.cc.o.d"
+  "libucp_comm.a"
+  "libucp_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucp_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

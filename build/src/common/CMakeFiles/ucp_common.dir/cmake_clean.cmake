@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucp_common.dir/bytes.cc.o"
+  "CMakeFiles/ucp_common.dir/bytes.cc.o.d"
+  "CMakeFiles/ucp_common.dir/crc32.cc.o"
+  "CMakeFiles/ucp_common.dir/crc32.cc.o.d"
+  "CMakeFiles/ucp_common.dir/fs.cc.o"
+  "CMakeFiles/ucp_common.dir/fs.cc.o.d"
+  "CMakeFiles/ucp_common.dir/json.cc.o"
+  "CMakeFiles/ucp_common.dir/json.cc.o.d"
+  "CMakeFiles/ucp_common.dir/logging.cc.o"
+  "CMakeFiles/ucp_common.dir/logging.cc.o.d"
+  "CMakeFiles/ucp_common.dir/rng.cc.o"
+  "CMakeFiles/ucp_common.dir/rng.cc.o.d"
+  "CMakeFiles/ucp_common.dir/status.cc.o"
+  "CMakeFiles/ucp_common.dir/status.cc.o.d"
+  "CMakeFiles/ucp_common.dir/strings.cc.o"
+  "CMakeFiles/ucp_common.dir/strings.cc.o.d"
+  "CMakeFiles/ucp_common.dir/thread_pool.cc.o"
+  "CMakeFiles/ucp_common.dir/thread_pool.cc.o.d"
+  "libucp_common.a"
+  "libucp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucp_data.dir/dataset.cc.o"
+  "CMakeFiles/ucp_data.dir/dataset.cc.o.d"
+  "libucp_data.a"
+  "libucp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/attention.cc" "src/model/CMakeFiles/ucp_model.dir/attention.cc.o" "gcc" "src/model/CMakeFiles/ucp_model.dir/attention.cc.o.d"
+  "/root/repo/src/model/block.cc" "src/model/CMakeFiles/ucp_model.dir/block.cc.o" "gcc" "src/model/CMakeFiles/ucp_model.dir/block.cc.o.d"
+  "/root/repo/src/model/config.cc" "src/model/CMakeFiles/ucp_model.dir/config.cc.o" "gcc" "src/model/CMakeFiles/ucp_model.dir/config.cc.o.d"
+  "/root/repo/src/model/inventory.cc" "src/model/CMakeFiles/ucp_model.dir/inventory.cc.o" "gcc" "src/model/CMakeFiles/ucp_model.dir/inventory.cc.o.d"
+  "/root/repo/src/model/linear.cc" "src/model/CMakeFiles/ucp_model.dir/linear.cc.o" "gcc" "src/model/CMakeFiles/ucp_model.dir/linear.cc.o.d"
+  "/root/repo/src/model/mlp.cc" "src/model/CMakeFiles/ucp_model.dir/mlp.cc.o" "gcc" "src/model/CMakeFiles/ucp_model.dir/mlp.cc.o.d"
+  "/root/repo/src/model/nn_ops.cc" "src/model/CMakeFiles/ucp_model.dir/nn_ops.cc.o" "gcc" "src/model/CMakeFiles/ucp_model.dir/nn_ops.cc.o.d"
+  "/root/repo/src/model/param.cc" "src/model/CMakeFiles/ucp_model.dir/param.cc.o" "gcc" "src/model/CMakeFiles/ucp_model.dir/param.cc.o.d"
+  "/root/repo/src/model/stage_model.cc" "src/model/CMakeFiles/ucp_model.dir/stage_model.cc.o" "gcc" "src/model/CMakeFiles/ucp_model.dir/stage_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ucp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/ucp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/ucp_parallel_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ucp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

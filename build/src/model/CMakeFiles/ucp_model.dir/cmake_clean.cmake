@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucp_model.dir/attention.cc.o"
+  "CMakeFiles/ucp_model.dir/attention.cc.o.d"
+  "CMakeFiles/ucp_model.dir/block.cc.o"
+  "CMakeFiles/ucp_model.dir/block.cc.o.d"
+  "CMakeFiles/ucp_model.dir/config.cc.o"
+  "CMakeFiles/ucp_model.dir/config.cc.o.d"
+  "CMakeFiles/ucp_model.dir/inventory.cc.o"
+  "CMakeFiles/ucp_model.dir/inventory.cc.o.d"
+  "CMakeFiles/ucp_model.dir/linear.cc.o"
+  "CMakeFiles/ucp_model.dir/linear.cc.o.d"
+  "CMakeFiles/ucp_model.dir/mlp.cc.o"
+  "CMakeFiles/ucp_model.dir/mlp.cc.o.d"
+  "CMakeFiles/ucp_model.dir/nn_ops.cc.o"
+  "CMakeFiles/ucp_model.dir/nn_ops.cc.o.d"
+  "CMakeFiles/ucp_model.dir/param.cc.o"
+  "CMakeFiles/ucp_model.dir/param.cc.o.d"
+  "CMakeFiles/ucp_model.dir/stage_model.cc.o"
+  "CMakeFiles/ucp_model.dir/stage_model.cc.o.d"
+  "libucp_model.a"
+  "libucp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucp_optim.dir/adam.cc.o"
+  "CMakeFiles/ucp_optim.dir/adam.cc.o.d"
+  "libucp_optim.a"
+  "libucp_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucp_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

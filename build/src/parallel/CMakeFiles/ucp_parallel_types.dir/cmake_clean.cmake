@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucp_parallel_types.dir/partition_spec.cc.o"
+  "CMakeFiles/ucp_parallel_types.dir/partition_spec.cc.o.d"
+  "CMakeFiles/ucp_parallel_types.dir/topology.cc.o"
+  "CMakeFiles/ucp_parallel_types.dir/topology.cc.o.d"
+  "libucp_parallel_types.a"
+  "libucp_parallel_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucp_parallel_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucp_zero.dir/zero.cc.o"
+  "CMakeFiles/ucp_zero.dir/zero.cc.o.d"
+  "libucp_zero.a"
+  "libucp_zero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucp_zero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

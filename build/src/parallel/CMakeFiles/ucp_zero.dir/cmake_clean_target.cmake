@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libucp_zero.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucp_runtime.dir/trainer.cc.o"
+  "CMakeFiles/ucp_runtime.dir/trainer.cc.o.d"
+  "libucp_runtime.a"
+  "libucp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

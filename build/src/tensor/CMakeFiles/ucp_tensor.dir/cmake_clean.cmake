@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucp_tensor.dir/bf16.cc.o"
+  "CMakeFiles/ucp_tensor.dir/bf16.cc.o.d"
+  "CMakeFiles/ucp_tensor.dir/matmul.cc.o"
+  "CMakeFiles/ucp_tensor.dir/matmul.cc.o.d"
+  "CMakeFiles/ucp_tensor.dir/tensor.cc.o"
+  "CMakeFiles/ucp_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/ucp_tensor.dir/tensor_file.cc.o"
+  "CMakeFiles/ucp_tensor.dir/tensor_file.cc.o.d"
+  "libucp_tensor.a"
+  "libucp_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucp_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

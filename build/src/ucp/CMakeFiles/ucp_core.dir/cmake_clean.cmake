@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucp_core.dir/atom.cc.o"
+  "CMakeFiles/ucp_core.dir/atom.cc.o.d"
+  "CMakeFiles/ucp_core.dir/converter.cc.o"
+  "CMakeFiles/ucp_core.dir/converter.cc.o.d"
+  "CMakeFiles/ucp_core.dir/elastic.cc.o"
+  "CMakeFiles/ucp_core.dir/elastic.cc.o.d"
+  "CMakeFiles/ucp_core.dir/loader.cc.o"
+  "CMakeFiles/ucp_core.dir/loader.cc.o.d"
+  "CMakeFiles/ucp_core.dir/ops.cc.o"
+  "CMakeFiles/ucp_core.dir/ops.cc.o.d"
+  "CMakeFiles/ucp_core.dir/patterns.cc.o"
+  "CMakeFiles/ucp_core.dir/patterns.cc.o.d"
+  "CMakeFiles/ucp_core.dir/validate.cc.o"
+  "CMakeFiles/ucp_core.dir/validate.cc.o.d"
+  "libucp_core.a"
+  "libucp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucp_integration_test.dir/ucp_integration_test.cc.o"
+  "CMakeFiles/ucp_integration_test.dir/ucp_integration_test.cc.o.d"
+  "ucp_integration_test"
+  "ucp_integration_test.pdb"
+  "ucp_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucp_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

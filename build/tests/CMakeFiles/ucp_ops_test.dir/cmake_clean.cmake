@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucp_ops_test.dir/ucp_ops_test.cc.o"
+  "CMakeFiles/ucp_ops_test.dir/ucp_ops_test.cc.o.d"
+  "ucp_ops_test"
+  "ucp_ops_test.pdb"
+  "ucp_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucp_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

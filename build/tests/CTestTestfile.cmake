@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/layers_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/zero_test[1]_include.cmake")
+include("/root/repo/build/tests/trainer_test[1]_include.cmake")
+include("/root/repo/build/tests/ckpt_test[1]_include.cmake")
+include("/root/repo/build/tests/patterns_test[1]_include.cmake")
+include("/root/repo/build/tests/ucp_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/ucp_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")

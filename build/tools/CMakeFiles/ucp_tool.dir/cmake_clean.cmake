@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucp_tool.dir/ucp_tool.cc.o"
+  "CMakeFiles/ucp_tool.dir/ucp_tool.cc.o.d"
+  "ucp_tool"
+  "ucp_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucp_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
