@@ -60,12 +60,15 @@ std::string OptimStatesFileName(int dp, int tp, int pp, int sp) {
   return StrFormat("zero_pp_rank_%d_mp_rank_%02d_%03d_sp_%02d_optim_states", dp, tp, pp, sp);
 }
 
-Status SaveDistributedCheckpoint(const std::string& dir, RankTrainer& trainer,
-                                 int64_t iteration) {
+namespace {
+
+constexpr char kCompleteMarker[] = "complete";
+constexpr char kStagingSuffix[] = ".staging";
+
+// This rank's shard writes into the staging directory. Pure local I/O — no collectives, no
+// early returns across barriers; the caller aggregates outcomes.
+Status WriteRankShards(const std::string& staging, RankTrainer& trainer) {
   const RankCoord& coord = trainer.coord();
-  const std::string tag = TagForIteration(iteration);
-  const std::string tag_dir = PathJoin(dir, tag);
-  UCP_RETURN_IF_ERROR(MakeDirs(tag_dir));
 
   // --- Optimizer states: every rank saves its ZeRO partition. ---
   const ZeroOptimizer& opt = trainer.optimizer();
@@ -83,7 +86,7 @@ Status SaveDistributedCheckpoint(const std::string& dir, RankTrainer& trainer,
   optim_meta["sp_index"] = coord.sp;
   optim.meta = Json(std::move(optim_meta));
   UCP_RETURN_IF_ERROR(SaveBundle(
-      PathJoin(tag_dir, OptimStatesFileName(coord.dp, coord.tp, coord.pp, coord.sp)), optim));
+      PathJoin(staging, OptimStatesFileName(coord.dp, coord.tp, coord.pp, coord.sp)), optim));
 
   // --- Model states: one file per model-parallel rank, written by its dp==0 member.
   //     ZeRO-3 shards parameters across DP, so (as in DeepSpeed) the model-states file
@@ -105,12 +108,65 @@ Status SaveDistributedCheckpoint(const std::string& dir, RankTrainer& trainer,
     ms_meta["zero_stage"] = opt.zero_stage();
     model_states.meta = Json(std::move(ms_meta));
     UCP_RETURN_IF_ERROR(
-        SaveBundle(PathJoin(tag_dir, ModelStatesFileName(coord.tp, coord.pp, coord.sp)),
+        SaveBundle(PathJoin(staging, ModelStatesFileName(coord.tp, coord.pp, coord.sp)),
                    model_states, trainer.config().compute_dtype));
   }
+  return OkStatus();
+}
 
-  // --- Rank 0 writes the run-level metadata after all shards are on disk. ---
+// Rank 0's commit: metadata into staging, publish via rename, marker last, then `latest`.
+// The ordering is the whole protocol — a crash between any two steps leaves a state every
+// reader handles (no tag / unmarked tag / marked tag with a stale `latest`).
+Status CommitTag(const std::string& dir, const std::string& staging,
+                 const std::string& tag_dir, const std::string& tag,
+                 const CheckpointMeta& meta) {
+  UCP_RETURN_IF_ERROR(
+      WriteFileAtomic(PathJoin(staging, "checkpoint_meta.json"), meta.ToJson().Dump(2)));
+  // Re-saving a tag replaces the previous commit wholesale.
+  UCP_RETURN_IF_ERROR(RemoveAll(tag_dir));
+  UCP_RETURN_IF_ERROR(RenamePath(staging, tag_dir));
+  UCP_RETURN_IF_ERROR(WriteFileAtomic(PathJoin(tag_dir, kCompleteMarker), tag));
+  return WriteFileAtomic(PathJoin(dir, "latest"), tag);
+}
+
+}  // namespace
+
+Status SaveDistributedCheckpoint(const std::string& dir, RankTrainer& trainer,
+                                 int64_t iteration) {
+  const std::string tag = TagForIteration(iteration);
+  const std::string tag_dir = PathJoin(dir, tag);
+  const std::string staging = tag_dir + kStagingSuffix;
+
+  // Rank 0 resets the staging directory (debris of a previous crashed save) before any rank
+  // writes into it.
+  Status local = OkStatus();
+  if (trainer.rank() == 0) {
+    local = RemoveAll(staging);
+    if (local.ok()) {
+      local = MakeDirs(staging);
+    }
+  }
   trainer.groups().world.Barrier();
+
+  if (local.ok()) {
+    local = WriteRankShards(staging, trainer);
+  }
+
+  // Collective agreement before committing: the marker must never be written while a peer's
+  // shard is missing. The all-reduce doubles as the "all shards on disk" barrier, and —
+  // unlike an early return — keeps every rank in the collective so nobody strands.
+  double peer_failed = trainer.groups().world.AllReduceMaxScalar(local.ok() ? 0.0 : 1.0);
+  if (!local.ok() || peer_failed > 0.0) {
+    if (trainer.rank() == 0) {
+      RemoveAll(staging).ok();  // best effort: make the failed save retryable
+    }
+    if (!local.ok()) {
+      return local;
+    }
+    return DataLossError("aborting checkpoint save: a peer rank failed to write its shard");
+  }
+
+  Status commit = OkStatus();
   if (trainer.rank() == 0) {
     CheckpointMeta meta;
     meta.model = trainer.config().model;
@@ -119,12 +175,10 @@ Status SaveDistributedCheckpoint(const std::string& dir, RankTrainer& trainer,
     meta.global_batch = trainer.config().global_batch;
     meta.data_seed = trainer.config().data_seed;
     meta.compute_dtype = trainer.config().compute_dtype;
-    UCP_RETURN_IF_ERROR(WriteFileAtomic(PathJoin(tag_dir, "checkpoint_meta.json"),
-                                        meta.ToJson().Dump(2)));
-    UCP_RETURN_IF_ERROR(WriteFileAtomic(PathJoin(dir, "latest"), tag));
+    commit = CommitTag(dir, staging, tag_dir, tag, meta);
   }
   trainer.groups().world.Barrier();
-  return OkStatus();
+  return commit;
 }
 
 Result<std::string> ReadLatestTag(const std::string& dir) {
@@ -174,9 +228,31 @@ Status PruneCheckpoints(const std::string& dir, int keep_last) {
   return OkStatus();
 }
 
+bool IsTagComplete(const std::string& dir, const std::string& tag) {
+  return FileExists(PathJoin(PathJoin(dir, tag), kCompleteMarker));
+}
+
+Result<std::string> FindLatestValidTag(const std::string& dir) {
+  UCP_ASSIGN_OR_RETURN(std::vector<std::string> tags, ListCheckpointTags(dir));
+  for (auto it = tags.rbegin(); it != tags.rend(); ++it) {
+    if (!IsTagComplete(dir, *it)) {
+      continue;  // aborted save — the marker is written last
+    }
+    if (ReadCheckpointMeta(dir, *it).ok()) {
+      return *it;
+    }
+  }
+  return NotFoundError("no committed checkpoint tag under " + dir);
+}
+
 Result<CheckpointMeta> ReadCheckpointMeta(const std::string& dir, const std::string& tag) {
+  const std::string tag_dir = PathJoin(dir, tag);
+  if (DirExists(tag_dir) && !FileExists(PathJoin(tag_dir, kCompleteMarker))) {
+    return DataLossError("checkpoint tag " + tag +
+                         " is not committed (missing 'complete' marker)");
+  }
   UCP_ASSIGN_OR_RETURN(std::string text,
-                       ReadFileToString(PathJoin(PathJoin(dir, tag), "checkpoint_meta.json")));
+                       ReadFileToString(PathJoin(tag_dir, "checkpoint_meta.json")));
   UCP_ASSIGN_OR_RETURN(Json json, Json::Parse(text));
   return CheckpointMeta::FromJson(json);
 }

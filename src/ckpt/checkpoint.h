@@ -3,6 +3,9 @@
 // Directory layout for a checkpoint saved under tag `global_stepN`:
 //
 //   <dir>/latest                                        -- text file naming the newest tag
+//   <dir>/<tag>/complete                                -- commit marker, written last; a tag
+//                                                          without it is an aborted save and
+//                                                          is skipped by every reader
 //   <dir>/<tag>/checkpoint_meta.json                    -- model config, strategy, iteration
 //   <dir>/<tag>/mp_rank_TT_PPP_sp_SS_model_states       -- per model-parallel rank (saved by
 //                                                          its dp==0 member): parameter shard
@@ -11,6 +14,12 @@
 //                                                       -- per rank: flat fp32 master /
 //                                                          exp_avg / exp_avg_sq partitions +
 //                                                          the FlatLayout metadata
+//
+// Saving is crash-consistent: every shard is written into a `<tag>.staging` sibling
+// directory (each file itself tmp-written, fsynced, renamed), the staging directory is
+// atomically renamed to `<tag>`, and only then is the `complete` marker dropped and `latest`
+// updated. A crash at any point leaves either no tag, ignorable staging debris, or an
+// unmarked tag — never a tag that readers would trust. See docs/durability.md.
 //
 // Loading is strict, reproducing the Fig. 1 failure mode: resuming under a different
 // parallelism strategy or world size fails with FAILED_PRECONDITION instead of silently
@@ -52,6 +61,14 @@ Status SaveDistributedCheckpoint(const std::string& dir, RankTrainer& trainer,
 // Reads <dir>/latest. Convenience for resuming.
 Result<std::string> ReadLatestTag(const std::string& dir);
 
+// True when the tag's `complete` commit marker exists (the save finished).
+bool IsTagComplete(const std::string& dir, const std::string& tag);
+
+// Newest committed tag whose metadata parses — the tag a resume should trust. Incomplete or
+// damaged-meta tags are skipped; kNotFound when no valid tag exists.
+Result<std::string> FindLatestValidTag(const std::string& dir);
+
+// Fails with kDataLoss on a tag whose save never committed (missing `complete` marker).
 Result<CheckpointMeta> ReadCheckpointMeta(const std::string& dir, const std::string& tag);
 
 // Strict native load: the trainer's model + strategy must match the checkpoint exactly.

@@ -1,0 +1,94 @@
+#include "src/common/fault_fs.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "src/common/rng.h"
+
+namespace ucp {
+namespace {
+
+struct InjectorState {
+  std::mutex mu;
+  FaultPlan plan;
+  int matching_ops = 0;  // ops matching (plan.op, plan.path_substr) since ArmFault
+  bool fired = false;
+};
+
+// `armed` is the production fast path: a relaxed load decides whether to take the lock at
+// all. The full state behind it changes only under the mutex.
+std::atomic<bool> g_armed{false};
+InjectorState& State() {
+  static InjectorState* state = new InjectorState();
+  return *state;
+}
+
+}  // namespace
+
+void ArmFault(const FaultPlan& plan) {
+  InjectorState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.plan = plan;
+  s.matching_ops = 0;
+  s.fired = false;
+  g_armed.store(true, std::memory_order_release);
+}
+
+void DisarmFaults() {
+  InjectorState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  g_armed.store(false, std::memory_order_release);
+  s.matching_ops = 0;
+  s.fired = false;
+}
+
+bool FaultFired() {
+  InjectorState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.fired;
+}
+
+int FaultOpsSeen() {
+  InjectorState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.matching_ops;
+}
+
+namespace fault_internal {
+
+FaultAction CheckFault(FsOp op, const std::string& path) {
+  FaultAction action;
+  if (!g_armed.load(std::memory_order_acquire)) {
+    return action;
+  }
+  InjectorState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (op != s.plan.op || path.find(s.plan.path_substr) == std::string::npos) {
+    return action;
+  }
+  ++s.matching_ops;
+  if (s.fired || s.matching_ops != s.plan.nth) {
+    return action;
+  }
+  s.fired = true;
+  switch (s.plan.kind) {
+    case FaultPlan::Kind::kFailStop:
+      action.fail = true;
+      break;
+    case FaultPlan::Kind::kTornWrite:
+      action.torn = true;
+      // The caller reduces this mod the write size; Mix64 spreads the seed so nearby seeds
+      // tear at unrelated offsets.
+      action.torn_bytes = Mix64(s.plan.seed);
+      break;
+    case FaultPlan::Kind::kBitRot:
+      action.bitrot = true;
+      action.bitrot_bit = Mix64(s.plan.seed + 1);
+      break;
+  }
+  return action;
+}
+
+}  // namespace fault_internal
+
+}  // namespace ucp

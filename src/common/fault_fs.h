@@ -1,0 +1,81 @@
+// Deterministic filesystem fault injection (test-only).
+//
+// The write / fsync / rename paths in fs.cc consult this process-global injector on every
+// operation. Disarmed (the default) the check is a single relaxed atomic load, so production
+// code paths pay nothing. A test arms one FaultPlan; the plan fires exactly once — on the
+// nth operation of the selected kind whose path contains `path_substr` — and then stays
+// spent until DisarmFaults(). Three failure modes cover the crash-consistency matrix:
+//
+//   kFailStop  — the operation returns kIoError without completing, modelling a process
+//                killed at that point (a failed rename leaves the staging name behind, as a
+//                real crash would).
+//   kTornWrite — only a seed-determined prefix of the data reaches the *final* path and the
+//                operation reports success: the post-crash state of a write whose rename was
+//                journaled but whose data blocks never fully hit the platter.
+//   kBitRot    — the write completes, then one seed-determined bit of the file is flipped:
+//                silent media corruption, detectable only by checksums.
+//
+// All state is guarded for concurrent use from the converter thread pool and the
+// multi-threaded rank simulator.
+
+#ifndef UCP_SRC_COMMON_FAULT_FS_H_
+#define UCP_SRC_COMMON_FAULT_FS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ucp {
+
+enum class FsOp { kWrite = 0, kFsync = 1, kRename = 2 };
+
+struct FaultPlan {
+  enum class Kind { kFailStop, kTornWrite, kBitRot };
+  Kind kind = Kind::kFailStop;
+  FsOp op = FsOp::kWrite;
+  int nth = 1;              // fire on the nth matching operation (1-based)
+  std::string path_substr;  // only operations whose path contains this match; empty = all
+  uint64_t seed = 0;        // determinism source for the torn length / flipped bit
+};
+
+// Arms `plan` (replacing any armed plan) and resets counters.
+void ArmFault(const FaultPlan& plan);
+
+// Disarms and resets all counters.
+void DisarmFaults();
+
+// True once the armed plan has fired.
+bool FaultFired();
+
+// Operations matching the armed plan's (op, path_substr) filter observed since ArmFault.
+// Lets tests size an injection matrix ("how many writes does one save perform?").
+int FaultOpsSeen();
+
+// RAII arming for tests: arms on construction, disarms on destruction.
+class ScopedFault {
+ public:
+  explicit ScopedFault(const FaultPlan& plan) { ArmFault(plan); }
+  ~ScopedFault() { DisarmFaults(); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+namespace fault_internal {
+
+// What fs.cc should do for one hooked operation. At most one flag is set.
+struct FaultAction {
+  bool fail = false;    // abort the operation with kIoError
+  bool torn = false;    // persist only `torn_bytes` bytes directly under the final name
+  bool bitrot = false;  // complete the operation, then flip `bitrot_bit` of the file
+  uint64_t torn_bytes = 0;
+  uint64_t bitrot_bit = 0;  // absolute bit index, reduced mod file size by the caller
+};
+
+// Consulted by fs.cc on every hooked operation. Counts matching operations and returns the
+// armed action when the count reaches the plan's nth. Cheap when disarmed.
+FaultAction CheckFault(FsOp op, const std::string& path);
+
+}  // namespace fault_internal
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_COMMON_FAULT_FS_H_

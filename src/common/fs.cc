@@ -1,5 +1,6 @@
 #include "src/common/fs.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -11,11 +12,72 @@
 #include <fstream>
 #include <system_error>
 
+#include "src/common/fault_fs.h"
 #include "src/common/strings.h"
 
 namespace ucp {
 
 namespace stdfs = std::filesystem;
+
+namespace {
+
+using fault_internal::CheckFault;
+using fault_internal::FaultAction;
+
+// Writes `size` bytes to a freshly-created `path` and (fault permitting) fsyncs it. Used for
+// both the atomic tmp file and the torn-write injection path.
+Status WriteWholeFile(const std::string& path, const void* data, size_t size,
+                      bool want_fsync) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return IoError("open for write failed: " + path + ": " + std::strerror(errno));
+  }
+  const char* p = static_cast<const char*>(data);
+  size_t left = size;
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return IoError("write failed: " + path + ": " + std::strerror(errno));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  if (want_fsync) {
+    FaultAction fa = CheckFault(FsOp::kFsync, path);
+    if (fa.fail) {
+      ::close(fd);
+      return IoError("fault injection: fsync " + path);
+    }
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      return IoError("fsync failed: " + path + ": " + std::strerror(errno));
+    }
+  }
+  if (::close(fd) != 0) {
+    return IoError("close failed: " + path + ": " + std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+// Flips one bit of an existing file in place — the injector's silent-corruption mode.
+Status FlipBitInFile(const std::string& path, uint64_t bit_index) {
+  Result<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) {
+    return contents.status();
+  }
+  if (contents->empty()) {
+    return OkStatus();
+  }
+  uint64_t bit = bit_index % (contents->size() * 8);
+  (*contents)[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+  return WriteWholeFile(path, contents->data(), contents->size(), /*want_fsync=*/false);
+}
+
+}  // namespace
 
 Status MakeDirs(const std::string& path) {
   std::error_code ec;
@@ -46,21 +108,31 @@ Result<uint64_t> FileSize(const std::string& path) {
 }
 
 Status WriteFileAtomic(const std::string& path, const void* data, size_t size) {
+  FaultAction wa = CheckFault(FsOp::kWrite, path);
+  if (wa.fail) {
+    return IoError("fault injection: write " + path);
+  }
+  if (wa.torn) {
+    // Torn write: only a prefix of the data persists under the *final* name and the caller
+    // is told the write succeeded — the on-disk state after a crash on a filesystem whose
+    // rename was journaled before the data blocks were flushed.
+    size_t kept = size == 0 ? 0 : static_cast<size_t>(wa.torn_bytes % size);
+    return WriteWholeFile(path, data, kept, /*want_fsync=*/false);
+  }
   // A per-process counter keeps concurrent writers (converter thread pool) from colliding on
   // the temporary name.
   static std::atomic<uint64_t> counter{0};
   std::string tmp = path + ".tmp." + std::to_string(counter.fetch_add(1));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return IoError("open for write failed: " + tmp);
-    }
-    out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
-    out.flush();
-    if (!out) {
-      std::remove(tmp.c_str());
-      return IoError("write failed: " + tmp);
-    }
+  Status written = WriteWholeFile(tmp, data, size, /*want_fsync=*/true);
+  if (!written.ok()) {
+    std::remove(tmp.c_str());
+    return written;
+  }
+  FaultAction ra = CheckFault(FsOp::kRename, path);
+  if (ra.fail) {
+    // A simulated kill between flush and rename leaves the tmp file behind, exactly as a
+    // real crash would; callers and fsck must tolerate the debris.
+    return IoError("fault injection: rename " + tmp + " -> " + path);
   }
   std::error_code ec;
   stdfs::rename(tmp, path, ec);
@@ -68,11 +140,27 @@ Status WriteFileAtomic(const std::string& path, const void* data, size_t size) {
     std::remove(tmp.c_str());
     return IoError("rename " + tmp + " -> " + path + ": " + ec.message());
   }
+  if (wa.bitrot) {
+    return FlipBitInFile(path, wa.bitrot_bit);
+  }
   return OkStatus();
 }
 
 Status WriteFileAtomic(const std::string& path, const std::string& contents) {
   return WriteFileAtomic(path, contents.data(), contents.size());
+}
+
+Status RenamePath(const std::string& from, const std::string& to) {
+  FaultAction ra = CheckFault(FsOp::kRename, to);
+  if (ra.fail) {
+    return IoError("fault injection: rename " + from + " -> " + to);
+  }
+  std::error_code ec;
+  stdfs::rename(from, to, ec);
+  if (ec) {
+    return IoError("rename " + from + " -> " + to + ": " + ec.message());
+  }
+  return OkStatus();
 }
 
 Result<std::string> ReadFileToString(const std::string& path) {

@@ -1,8 +1,10 @@
 // Filesystem helpers for checkpoint I/O.
 //
-// Writes are crash-consistent: data goes to a temporary sibling file which is renamed into
-// place only after a successful flush, so a checkpoint directory never contains a
-// half-written file under its final name.
+// Writes are crash-consistent: data goes to a temporary sibling file which is fsynced and
+// renamed into place only after a successful flush, so a checkpoint directory never contains
+// a half-written file under its final name. The write / fsync / rename paths consult the
+// fault injector in fault_fs.h, which is how the crash-consistency tests simulate kills,
+// torn writes, and bit rot at exact points in the commit protocol.
 
 #ifndef UCP_SRC_COMMON_FS_H_
 #define UCP_SRC_COMMON_FS_H_
@@ -23,9 +25,14 @@ bool DirExists(const std::string& path);
 
 Result<uint64_t> FileSize(const std::string& path);
 
-// Atomically replaces `path` with `contents` (tmp file + rename).
+// Atomically replaces `path` with `contents` (tmp file + fsync + rename).
 Status WriteFileAtomic(const std::string& path, const void* data, size_t size);
 Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
+// Renames `from` to `to` (same filesystem; `to` must not exist for directories). This is
+// the commit point of the checkpoint staging protocol, so it routes through the fault
+// injector like the file writes do.
+Status RenamePath(const std::string& from, const std::string& to);
 
 Result<std::string> ReadFileToString(const std::string& path);
 

@@ -12,6 +12,7 @@ namespace {
 constexpr uint32_t kTensorMagic = 0x31544355;  // "UCT1" little-endian
 constexpr uint32_t kBundleMagic = 0x31424355;  // "UCB1" little-endian
 constexpr uint32_t kEndianTag = 0x01020304;
+constexpr uint32_t kFormatVersion = 2;  // see the header's version history
 
 void PutPayload(ByteWriter& w, const Tensor& t, DType dtype) {
   const float* p = t.data();
@@ -42,6 +43,15 @@ void PutPayload(ByteWriter& w, const Tensor& t, DType dtype) {
       break;
     }
   }
+}
+
+// Payload plus its per-tensor CRC32 (over the stored payload bytes, after any dtype
+// conversion — the CRC protects what is on disk, not the in-memory fp32 view).
+void PutPayloadChecked(ByteWriter& w, const Tensor& t, DType dtype) {
+  size_t length_prefix = 8;  // PutPayload leads with the u64 byte count
+  size_t start = w.size() + length_prefix;
+  PutPayload(w, t, dtype);
+  w.PutU32(Crc32(w.buffer().data() + start, w.size() - start));
 }
 
 void PutHeader(ByteWriter& w, const Tensor& t, DType dtype) {
@@ -86,18 +96,31 @@ Result<ParsedHeader> GetHeaderAndSize(ByteReader& r) {
   return h;
 }
 
-Result<Tensor> GetPayload(ByteReader& r, const ParsedHeader& h) {
+Status CheckPayloadCrc(ByteReader& r, const void* payload, size_t size, const char* what) {
+  uint32_t actual = Crc32(payload, size);
+  UCP_ASSIGN_OR_RETURN(uint32_t stored, r.GetU32());
+  if (stored != actual) {
+    return DataLossError(std::string("per-tensor CRC mismatch in ") + what);
+  }
+  return OkStatus();
+}
+
+Result<Tensor> GetPayload(ByteReader& r, const ParsedHeader& h, const std::string& name) {
   Tensor t = Tensor::Zeros(h.shape);
   int64_t n = t.numel();
   float* p = t.data();
   switch (h.dtype) {
     case DType::kF32:
       UCP_RETURN_IF_ERROR(r.GetBytes(p, static_cast<size_t>(n) * sizeof(float)));
+      // fp32 payload bytes are the tensor memory itself (little-endian host).
+      UCP_RETURN_IF_ERROR(
+          CheckPayloadCrc(r, p, static_cast<size_t>(n) * sizeof(float), name.c_str()));
       break;
     case DType::kBF16:
     case DType::kF16: {
       std::vector<uint8_t> raw(static_cast<size_t>(n) * 2);
       UCP_RETURN_IF_ERROR(r.GetBytes(raw.data(), raw.size()));
+      UCP_RETURN_IF_ERROR(CheckPayloadCrc(r, raw.data(), raw.size(), name.c_str()));
       for (int64_t i = 0; i < n; ++i) {
         uint16_t v = static_cast<uint16_t>(raw[2 * i]) |
                      (static_cast<uint16_t>(raw[2 * i + 1]) << 8);
@@ -109,10 +132,18 @@ Result<Tensor> GetPayload(ByteReader& r, const ParsedHeader& h) {
   return t;
 }
 
+// Reads past a payload without converting it, still verifying its CRC (Stat* must not bless
+// a corrupt member just because the caller skipped the data).
+Status SkipPayloadChecked(ByteReader& r, const ParsedHeader& h, const std::string& name) {
+  std::vector<uint8_t> raw(h.payload_bytes);
+  UCP_RETURN_IF_ERROR(r.GetBytes(raw.data(), raw.size()));
+  return CheckPayloadCrc(r, raw.data(), raw.size(), name.c_str());
+}
+
 // Verifies the trailing CRC and returns a reader over the protected region.
 Result<ByteReader> OpenChecked(const std::string& contents, uint32_t magic, const char* kind,
                                const std::string& path) {
-  if (contents.size() < 12) {
+  if (contents.size() < 16) {  // magic + endian + version + trailing CRC
     return DataLossError(std::string(kind) + " file truncated: " + path);
   }
   size_t body_size = contents.size() - 4;
@@ -130,6 +161,15 @@ Result<ByteReader> OpenChecked(const std::string& contents, uint32_t magic, cons
   UCP_ASSIGN_OR_RETURN(uint32_t endian, r.GetU32());
   if (endian != kEndianTag) {
     return DataLossError(std::string(kind) + " endianness mismatch in " + path);
+  }
+  // The whole-file CRC already passed, so a wrong version here is a real version skew, not
+  // corruption: reject it as a precondition failure rather than data loss.
+  UCP_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+  if (version != kFormatVersion) {
+    return FailedPreconditionError(std::string(kind) + " file " + path +
+                                   " has format version " + std::to_string(version) +
+                                   ", this build reads version " +
+                                   std::to_string(kFormatVersion));
   }
   return r;
 }
@@ -149,8 +189,9 @@ Status SaveTensor(const std::string& path, const Tensor& tensor, DType dtype) {
   ByteWriter w;
   w.PutU32(kTensorMagic);
   w.PutU32(kEndianTag);
+  w.PutU32(kFormatVersion);
   PutHeader(w, tensor, dtype);
-  PutPayload(w, tensor, dtype);
+  PutPayloadChecked(w, tensor, dtype);
   return Commit(path, w);
 }
 
@@ -158,7 +199,7 @@ Result<Tensor> LoadTensor(const std::string& path) {
   UCP_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
   UCP_ASSIGN_OR_RETURN(ByteReader r, OpenChecked(contents, kTensorMagic, "tensor", path));
   UCP_ASSIGN_OR_RETURN(ParsedHeader h, GetHeaderAndSize(r));
-  return GetPayload(r, h);
+  return GetPayload(r, h, path);
 }
 
 Result<TensorFileInfo> StatTensor(const std::string& path) {
@@ -183,12 +224,13 @@ Status SaveBundle(const std::string& path, const TensorBundle& bundle, DType dty
   ByteWriter w;
   w.PutU32(kBundleMagic);
   w.PutU32(kEndianTag);
+  w.PutU32(kFormatVersion);
   w.PutString(bundle.meta.Dump());
   w.PutU32(static_cast<uint32_t>(bundle.tensors.size()));
   for (const auto& [name, tensor] : bundle.tensors) {
     w.PutString(name);
     PutHeader(w, tensor, dtype);
-    PutPayload(w, tensor, dtype);
+    PutPayloadChecked(w, tensor, dtype);
   }
   return Commit(path, w);
 }
@@ -203,7 +245,7 @@ Result<TensorBundle> LoadBundle(const std::string& path) {
   for (uint32_t i = 0; i < count; ++i) {
     UCP_ASSIGN_OR_RETURN(std::string name, r.GetString());
     UCP_ASSIGN_OR_RETURN(ParsedHeader h, GetHeaderAndSize(r));
-    UCP_ASSIGN_OR_RETURN(Tensor t, GetPayload(r, h));
+    UCP_ASSIGN_OR_RETURN(Tensor t, GetPayload(r, h, path + ":" + name));
     bundle.Add(std::move(name), std::move(t));
   }
   return bundle;
@@ -219,9 +261,7 @@ Result<BundleInfo> StatBundle(const std::string& path) {
   for (uint32_t i = 0; i < count; ++i) {
     UCP_ASSIGN_OR_RETURN(std::string name, r.GetString());
     UCP_ASSIGN_OR_RETURN(ParsedHeader h, GetHeaderAndSize(r));
-    // Skip the payload.
-    std::vector<uint8_t> skip(h.payload_bytes);
-    UCP_RETURN_IF_ERROR(r.GetBytes(skip.data(), skip.size()));
+    UCP_RETURN_IF_ERROR(SkipPayloadChecked(r, h, path + ":" + name));
     info.entries.emplace_back(std::move(name),
                               TensorFileInfo{h.shape, h.dtype, h.payload_bytes});
   }

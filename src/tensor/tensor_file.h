@@ -8,8 +8,15 @@
 //    training rank persists its shard of model/optimizer state as one bundle — the analogue
 //    of torch.save of a rank's state dict.
 //
-// Both carry an endianness tag and a trailing CRC32 over the entire file, so truncation and
-// corruption are detected at load time (kDataLoss).
+// Both carry an endianness tag, a format-version field (gated on load: a version mismatch is
+// kFailedPrecondition), a CRC32 per tensor payload, and a trailing CRC32 over the entire
+// file. Truncation and corruption are detected at load time (kDataLoss); the per-tensor
+// CRCs localize the damage to a named tensor instead of just "file is bad", which is what
+// `ucp_tool fsck` reports.
+//
+// Format version history:
+//   1 — magic, endian tag, payloads, whole-file CRC.
+//   2 — adds the version field and a CRC32 after every tensor payload.
 
 #ifndef UCP_SRC_TENSOR_TENSOR_FILE_H_
 #define UCP_SRC_TENSOR_TENSOR_FILE_H_

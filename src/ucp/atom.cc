@@ -103,6 +103,11 @@ Status WriteUcpMeta(const std::string& ucp_dir, const UcpMeta& meta) {
   return WriteFileAtomic(PathJoin(ucp_dir, "ucp_meta.json"), meta.ToJson().Dump(2));
 }
 
+bool IsUcpComplete(const std::string& ucp_dir) {
+  return FileExists(PathJoin(ucp_dir, "ucp_meta.json")) &&
+         FileExists(PathJoin(ucp_dir, "complete"));
+}
+
 Result<UcpMeta> ReadUcpMeta(const std::string& ucp_dir) {
   UCP_ASSIGN_OR_RETURN(std::string text,
                        ReadFileToString(PathJoin(ucp_dir, "ucp_meta.json")));

@@ -55,6 +55,10 @@ Result<Shape> ReadAtomShape(const std::string& ucp_dir, const std::string& param
 Status WriteUcpMeta(const std::string& ucp_dir, const UcpMeta& meta);
 Result<UcpMeta> ReadUcpMeta(const std::string& ucp_dir);
 
+// True when the UCP dir carries both its metadata and the `complete` commit marker the
+// converter drops last. A dir without the marker is an aborted conversion.
+bool IsUcpComplete(const std::string& ucp_dir);
+
 }  // namespace ucp
 
 #endif  // UCP_SRC_UCP_ATOM_H_

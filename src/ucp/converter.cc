@@ -37,6 +37,26 @@ int64_t DirBytes(const std::string& dir) {
   return total;
 }
 
+// Conversion writes every atom into a `.staging` sibling; only a fully-written tree is
+// renamed to `ucp_dir` (marker last). A failed or crashed conversion leaves no partial
+// `ucp_dir`, so a retry never trips the AlreadyExists guard.
+Result<std::string> BeginUcpStaging(const std::string& ucp_dir) {
+  if (IsUcpComplete(ucp_dir)) {
+    return AlreadyExistsError("UCP checkpoint already exists at " + ucp_dir);
+  }
+  // An unmarked ucp_dir is debris of an interrupted conversion — replace it.
+  UCP_RETURN_IF_ERROR(RemoveAll(ucp_dir));
+  const std::string staging = ucp_dir + ".staging";
+  UCP_RETURN_IF_ERROR(RemoveAll(staging));
+  UCP_RETURN_IF_ERROR(MakeDirs(staging));
+  return staging;
+}
+
+Status CommitUcpStaging(const std::string& staging, const std::string& ucp_dir) {
+  UCP_RETURN_IF_ERROR(RenamePath(staging, ucp_dir));
+  return WriteFileAtomic(PathJoin(ucp_dir, "complete"), "ucp");
+}
+
 }  // namespace
 
 double ModeledTransferSeconds(int64_t bytes, int num_files, double bandwidth_bytes_per_sec,
@@ -46,13 +66,14 @@ double ModeledTransferSeconds(int64_t bytes, int num_files, double bandwidth_byt
          static_cast<double>(num_files) * per_file_latency_sec;
 }
 
-Result<ConvertStats> ConvertToUcp(const std::string& ckpt_dir, const std::string& tag,
-                                  const std::string& ucp_dir,
-                                  const ConvertOptions& options) {
-  if (FileExists(PathJoin(ucp_dir, "ucp_meta.json"))) {
-    return AlreadyExistsError("UCP checkpoint already exists at " + ucp_dir);
-  }
-  UCP_RETURN_IF_ERROR(MakeDirs(ucp_dir));
+namespace {
+
+// The whole conversion, writing into `staging`. Errors may leave `staging` partially
+// populated; the caller removes it.
+Result<ConvertStats> ConvertToUcpImpl(const std::string& ckpt_dir, const std::string& tag,
+                                      const std::string& staging,
+                                      const ConvertOptions& options) {
+  const std::string& ucp_dir = staging;
   UCP_ASSIGN_OR_RETURN(CheckpointMeta meta, ReadCheckpointMeta(ckpt_dir, tag));
   const ParallelConfig& src = meta.strategy;
   const std::string tag_dir = PathJoin(ckpt_dir, tag);
@@ -175,20 +196,14 @@ Result<ConvertStats> ConvertToUcp(const std::string& ckpt_dir, const std::string
   ucp_meta.data_seed = meta.data_seed;
   ucp_meta.atom_names = atom_names;
   UCP_RETURN_IF_ERROR(WriteUcpMeta(ucp_dir, ucp_meta));
-
-  UCP_LOG(Info) << "converted " << tag_dir << " -> " << ucp_dir << " ("
-                << stats.atoms_written << " atoms, extract " << stats.extract_seconds
-                << "s, union " << stats.union_seconds << "s)";
   return stats;
 }
 
-Result<ConvertStats> ConvertForeignToUcp(const std::string& foreign_dir,
-                                         const std::string& tag, const std::string& ucp_dir,
-                                         const ConvertOptions& options) {
-  if (FileExists(PathJoin(ucp_dir, "ucp_meta.json"))) {
-    return AlreadyExistsError("UCP checkpoint already exists at " + ucp_dir);
-  }
-  UCP_RETURN_IF_ERROR(MakeDirs(ucp_dir));
+Result<ConvertStats> ConvertForeignToUcpImpl(const std::string& foreign_dir,
+                                             const std::string& tag,
+                                             const std::string& staging,
+                                             const ConvertOptions& options) {
+  const std::string& ucp_dir = staging;
   UCP_ASSIGN_OR_RETURN(ForeignMeta meta, ReadForeignMeta(foreign_dir, tag));
   UCP_ASSIGN_OR_RETURN(
       TensorBundle bundle,
@@ -247,6 +262,37 @@ Result<ConvertStats> ConvertForeignToUcp(const std::string& foreign_dir,
   ucp_meta.data_seed = meta.data_seed;
   ucp_meta.atom_names = names;
   UCP_RETURN_IF_ERROR(WriteUcpMeta(ucp_dir, ucp_meta));
+  return stats;
+}
+
+}  // namespace
+
+Result<ConvertStats> ConvertToUcp(const std::string& ckpt_dir, const std::string& tag,
+                                  const std::string& ucp_dir,
+                                  const ConvertOptions& options) {
+  UCP_ASSIGN_OR_RETURN(std::string staging, BeginUcpStaging(ucp_dir));
+  Result<ConvertStats> stats = ConvertToUcpImpl(ckpt_dir, tag, staging, options);
+  if (!stats.ok()) {
+    RemoveAll(staging).ok();  // best effort: leave no debris, keep the retry path clean
+    return stats.status();
+  }
+  UCP_RETURN_IF_ERROR(CommitUcpStaging(staging, ucp_dir));
+  UCP_LOG(Info) << "converted " << PathJoin(ckpt_dir, tag) << " -> " << ucp_dir << " ("
+                << stats->atoms_written << " atoms, extract " << stats->extract_seconds
+                << "s, union " << stats->union_seconds << "s)";
+  return stats;
+}
+
+Result<ConvertStats> ConvertForeignToUcp(const std::string& foreign_dir,
+                                         const std::string& tag, const std::string& ucp_dir,
+                                         const ConvertOptions& options) {
+  UCP_ASSIGN_OR_RETURN(std::string staging, BeginUcpStaging(ucp_dir));
+  Result<ConvertStats> stats = ConvertForeignToUcpImpl(foreign_dir, tag, staging, options);
+  if (!stats.ok()) {
+    RemoveAll(staging).ok();
+    return stats.status();
+  }
+  UCP_RETURN_IF_ERROR(CommitUcpStaging(staging, ucp_dir));
   return stats;
 }
 

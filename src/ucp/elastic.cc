@@ -8,9 +8,48 @@
 
 namespace ucp {
 
+namespace {
+
+// Failure codes worth retrying on an older tag: damage or absence of *this* tag's data. A
+// FailedPrecondition (wrong model architecture, bad format version) would hold for every
+// tag, so it aborts the walk instead.
+bool RetryOlderTag(StatusCode code) {
+  return code == StatusCode::kDataLoss || code == StatusCode::kIoError ||
+         code == StatusCode::kNotFound;
+}
+
+}  // namespace
+
 Result<ResumeReport> ResumeElastic(const std::string& dir, RankTrainer& trainer) {
-  UCP_ASSIGN_OR_RETURN(std::string tag, ReadLatestTag(dir));
-  return ResumeElasticFromTag(dir, tag, trainer);
+  // Walk tags newest-first. Tags without the `complete` marker are aborted saves and are
+  // skipped outright; a committed tag that fails to load (torn shard, bit rot) falls back
+  // to the next older committed tag. Every rank sees the same directory, so every rank
+  // makes the same skip/retry decisions and the collectives inside the loaders stay
+  // aligned. The first failure is remembered: when no tag resumes, the caller learns about
+  // the damage, not just "nothing found".
+  UCP_ASSIGN_OR_RETURN(std::vector<std::string> tags, ListCheckpointTags(dir));
+  Status first_failure = OkStatus();
+  for (auto it = tags.rbegin(); it != tags.rend(); ++it) {
+    if (!IsTagComplete(dir, *it)) {
+      continue;
+    }
+    Result<ResumeReport> report = ResumeElasticFromTag(dir, *it, trainer);
+    if (report.ok()) {
+      return report;
+    }
+    if (first_failure.ok()) {
+      first_failure = report.status();
+    }
+    if (!RetryOlderTag(report.status().code())) {
+      return report.status();
+    }
+    UCP_LOG(Warning) << "resume from " << *it << " failed (" << report.status().ToString()
+                  << "); falling back to an older checkpoint";
+  }
+  if (!first_failure.ok()) {
+    return first_failure;
+  }
+  return NotFoundError("no committed checkpoint tag under " + dir);
 }
 
 Result<ResumeReport> ResumeElasticFromTag(const std::string& dir, const std::string& tag,
@@ -31,24 +70,29 @@ Result<ResumeReport> ResumeElasticFromTag(const std::string& dir, const std::str
   }
 
   // Strategy changed: convert on demand (once — the atom directory is cached beside the
-  // checkpoint) and load through UCP.
+  // checkpoint) and load through UCP. An unmarked .ucp dir is a crashed conversion, not a
+  // cache hit; the converter replaces it.
   const std::string ucp_dir = PathJoin(dir, tag + ".ucp");
-  bool cached = FileExists(PathJoin(ucp_dir, "ucp_meta.json"));
+  bool cached = IsUcpComplete(ucp_dir);
+  Status convert = OkStatus();
   if (trainer.rank() == 0 && !cached) {
     UCP_LOG(Info) << "strategy changed (" << meta.strategy.ToString() << " -> "
                   << trainer.config().strategy.ToString() << "); converting " << tag
                   << " to UCP";
     Result<ConvertStats> stats = ConvertToUcp(dir, tag, ucp_dir);
     if (!stats.ok() && stats.status().code() != StatusCode::kAlreadyExists) {
-      // Release peers before reporting failure (they will fail at the load below).
-      trainer.groups().world.Barrier();
-      return stats.status();
+      convert = stats.status();
     }
   }
-  // Everyone waits for the conversion to land.
+  // Everyone waits for the conversion to land, then everyone runs the load — even when
+  // rank 0's conversion failed. The loaders' internal agreement is what keeps the world
+  // collectives aligned; rank 0 returning early here would strand its peers.
   trainer.groups().world.Barrier();
-
-  UCP_RETURN_IF_ERROR(LoadUcpCheckpoint(ucp_dir, trainer));
+  Status load = LoadUcpCheckpoint(ucp_dir, trainer);
+  if (!convert.ok()) {
+    return convert;  // the root cause, not the knock-on load failure
+  }
+  UCP_RETURN_IF_ERROR(load);
   report.path = cached ? ResumeReport::Path::kUcpCached : ResumeReport::Path::kUcpConverted;
   return report;
 }

@@ -23,10 +23,13 @@ struct ResumeReport {
   int64_t iteration = 0;  // training resumes at iteration + 1
 };
 
-// Resumes `trainer` from the newest checkpoint under `dir` (the `latest` tag), converting
-// through UCP only if the native strict load rejects the current strategy. The UCP cache
-// lives at <dir>/<tag>.ucp. Collective: every rank of the run must call it; rank 0 performs
-// the conversion while the others wait at a barrier.
+// Resumes `trainer` from the newest committed checkpoint under `dir`, converting through
+// UCP only if the native strict load rejects the current strategy. The UCP cache lives at
+// <dir>/<tag>.ucp. Tags without the `complete` marker (aborted saves) are skipped, and a
+// committed tag whose data turns out damaged (kDataLoss/kIoError/kNotFound) falls back to
+// the next older committed tag; the first failure is reported when nothing resumes.
+// Collective: every rank of the run must call it; rank 0 performs the conversion while the
+// others wait at a barrier.
 Result<ResumeReport> ResumeElastic(const std::string& dir, RankTrainer& trainer);
 
 // Same, for an explicit tag.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/fs.h"
+
 namespace ucp {
 
 namespace {
@@ -92,6 +94,12 @@ struct UcpLocalState {
 // Per-rank phase: planning, atom reads, flat assembly — no collectives (failures here must
 // not strand peers; see the agreement in LoadUcpCheckpoint).
 Result<UcpLocalState> LoadUcpLocal(const std::string& ucp_dir, RankTrainer& trainer) {
+  // A metadata file without the converter's `complete` marker is an aborted conversion:
+  // atoms may be missing or half-written even though the manifest parses.
+  if (FileExists(PathJoin(ucp_dir, "ucp_meta.json")) && !IsUcpComplete(ucp_dir)) {
+    return DataLossError("UCP checkpoint at " + ucp_dir +
+                         " is not committed (missing 'complete' marker)");
+  }
   UCP_ASSIGN_OR_RETURN(UcpMeta meta, ReadUcpMeta(ucp_dir));
   if (!SameLogicalModel(meta.model, trainer.config().model)) {
     return FailedPreconditionError(

@@ -42,12 +42,26 @@ void CheckFile(const std::string& path, ValidationReport& report,
   }
 }
 
+// ReadCheckpointMeta refuses uncommitted tags outright; the validator instead records the
+// missing marker as a finding and keeps scanning, so fsck can still localize the damage
+// inside an aborted save.
+Result<CheckpointMeta> ReadMetaUngated(const std::string& dir, const std::string& tag) {
+  UCP_ASSIGN_OR_RETURN(std::string text,
+                       ReadFileToString(PathJoin(PathJoin(dir, tag), "checkpoint_meta.json")));
+  UCP_ASSIGN_OR_RETURN(Json json, Json::Parse(text));
+  return CheckpointMeta::FromJson(json);
+}
+
 }  // namespace
 
 Result<ValidationReport> ValidateNativeCheckpoint(const std::string& dir,
                                                   const std::string& tag) {
   ValidationReport report;
-  Result<CheckpointMeta> meta = ReadCheckpointMeta(dir, tag);
+  if (!IsTagComplete(dir, tag)) {
+    report.problems.push_back("missing 'complete' marker: the save of " + tag +
+                              " never committed");
+  }
+  Result<CheckpointMeta> meta = ReadMetaUngated(dir, tag);
   if (!meta.ok()) {
     report.problems.push_back("checkpoint_meta.json: " + meta.status().ToString());
     return report;
@@ -109,6 +123,10 @@ Result<ValidationReport> ValidateNativeCheckpoint(const std::string& dir,
 
 Result<ValidationReport> ValidateUcpCheckpoint(const std::string& ucp_dir) {
   ValidationReport report;
+  if (FileExists(PathJoin(ucp_dir, "ucp_meta.json")) && !IsUcpComplete(ucp_dir)) {
+    report.problems.push_back("missing 'complete' marker: the conversion into " + ucp_dir +
+                              " never committed");
+  }
   Result<UcpMeta> meta = ReadUcpMeta(ucp_dir);
   if (!meta.ok()) {
     report.problems.push_back("ucp_meta.json: " + meta.status().ToString());
@@ -146,6 +164,126 @@ Result<ValidationReport> ValidateUcpCheckpoint(const std::string& ucp_dir) {
     }
   }
   return report;
+}
+
+bool FsckReport::clean() const {
+  if (!notes.empty()) {
+    return false;
+  }
+  for (const Entry& entry : entries) {
+    if (!entry.report.ok()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string FsckReport::ToString() const {
+  std::string out;
+  for (const Entry& entry : entries) {
+    out += entry.name + ": " + entry.report.ToString();
+    if (out.empty() || out.back() != '\n') {
+      out += '\n';
+    }
+  }
+  for (const std::string& note : notes) {
+    out += "note: " + note + "\n";
+  }
+  for (const std::string& path : quarantined) {
+    out += "quarantined: " + path + "\n";
+  }
+  out += clean() ? "fsck: CLEAN\n" : "fsck: PROBLEMS FOUND\n";
+  return out;
+}
+
+namespace {
+
+bool LooksLikeUcpDir(const std::string& path) {
+  return FileExists(PathJoin(path, "ucp_meta.json")) ||
+         DirExists(PathJoin(path, "atoms"));
+}
+
+// Renames a damaged directory aside. The `.quarantined` suffix fails ListCheckpointTags'
+// numeric-suffix parse, so resumes stop considering it.
+void QuarantineDir(const std::string& dir, FsckReport& out) {
+  const std::string target = dir + ".quarantined";
+  Status status = RemoveAll(target);
+  if (status.ok()) {
+    status = RenamePath(dir, target);
+  }
+  if (status.ok()) {
+    out.quarantined.push_back(target);
+  } else {
+    out.notes.push_back("failed to quarantine " + dir + ": " + status.ToString());
+  }
+}
+
+}  // namespace
+
+Result<FsckReport> Fsck(const std::string& path, bool quarantine) {
+  if (!DirExists(path)) {
+    return NotFoundError("no such directory: " + path);
+  }
+  FsckReport out;
+
+  // A UCP atom directory checks as one unit.
+  if (LooksLikeUcpDir(path)) {
+    UCP_ASSIGN_OR_RETURN(ValidationReport report, ValidateUcpCheckpoint(path));
+    bool damaged = !report.ok();
+    out.entries.push_back({path, std::move(report)});
+    if (damaged && quarantine) {
+      QuarantineDir(path, out);
+    }
+    return out;
+  }
+
+  // Checkpoint root: every tag, every cached <tag>.ucp dir, the `latest` pointer, and any
+  // staging debris left by a crashed save or conversion.
+  UCP_ASSIGN_OR_RETURN(std::vector<std::string> tags, ListCheckpointTags(path));
+  for (const std::string& tag : tags) {
+    UCP_ASSIGN_OR_RETURN(ValidationReport report, ValidateNativeCheckpoint(path, tag));
+    bool damaged = !report.ok();
+    out.entries.push_back({tag, std::move(report)});
+    if (damaged && quarantine) {
+      QuarantineDir(PathJoin(path, tag), out);
+    }
+  }
+
+  UCP_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(path));
+  for (const std::string& name : names) {
+    const std::string child = PathJoin(path, name);
+    if (EndsWith(name, ".ucp") && DirExists(child)) {
+      UCP_ASSIGN_OR_RETURN(ValidationReport report, ValidateUcpCheckpoint(child));
+      bool damaged = !report.ok();
+      out.entries.push_back({name, std::move(report)});
+      if (damaged && quarantine) {
+        QuarantineDir(child, out);
+      }
+    } else if (EndsWith(name, ".staging") && DirExists(child)) {
+      out.notes.push_back("stale staging dir (crashed save/conversion): " + name);
+      if (quarantine) {
+        // Staging trees are partial by construction — nothing in them is recoverable.
+        Status status = RemoveAll(child);
+        if (status.ok()) {
+          out.quarantined.push_back(child + " (removed)");
+          out.notes.pop_back();
+        }
+      }
+    }
+  }
+
+  if (FileExists(PathJoin(path, "latest"))) {
+    Result<std::string> latest = ReadLatestTag(path);
+    if (!latest.ok()) {
+      out.notes.push_back("latest: " + latest.status().ToString());
+    } else if (!IsTagComplete(path, *latest)) {
+      out.notes.push_back("latest points at '" + *latest +
+                          "', which is missing or uncommitted");
+    }
+  } else if (!tags.empty()) {
+    out.notes.push_back("checkpoint tags exist but there is no `latest` pointer");
+  }
+  return out;
 }
 
 }  // namespace ucp

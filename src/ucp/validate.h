@@ -32,6 +32,27 @@ Result<ValidationReport> ValidateNativeCheckpoint(const std::string& dir,
 // parameter is missing.
 Result<ValidationReport> ValidateUcpCheckpoint(const std::string& ucp_dir);
 
+// Whole-tree integrity check ("ucp_tool fsck"). `path` is either a UCP atom directory
+// (detected by ucp_meta.json / atoms/) or a checkpoint root holding global_stepN tags; in
+// the latter case every tag and every cached <tag>.ucp dir is validated, the `latest`
+// pointer is cross-checked, and stale `.staging` debris is reported. With `quarantine`,
+// damaged tags/UCP dirs are renamed aside to `<name>.quarantined` — a name tag listing
+// ignores — so resumes fall back to intact checkpoints.
+struct FsckReport {
+  struct Entry {
+    std::string name;  // tag name, UCP dir name, or the path itself in UCP-dir mode
+    ValidationReport report;
+  };
+  std::vector<Entry> entries;
+  std::vector<std::string> notes;        // dangling `latest`, stale staging dirs, ...
+  std::vector<std::string> quarantined;  // paths renamed to <name>.quarantined
+
+  bool clean() const;  // no per-entry problems and no notes
+  std::string ToString() const;
+};
+
+Result<FsckReport> Fsck(const std::string& path, bool quarantine);
+
 }  // namespace ucp
 
 #endif  // UCP_SRC_UCP_VALIDATE_H_

@@ -7,6 +7,7 @@
 #include "src/ckpt/foreign.h"
 #include "src/common/fs.h"
 #include "src/tensor/tensor_file.h"
+#include "src/ucp/atom.h"
 
 namespace ucp {
 namespace {
@@ -66,8 +67,9 @@ TEST_F(CkptTest, SaveWritesExpectedFiles) {
   EXPECT_EQ(*ReadLatestTag(dir_), "global_step2");
   std::string tag_dir = PathJoin(dir_, "global_step2");
   auto files = *ListDir(tag_dir);
-  // 8 optim files (one per rank), 4 model-states files (per tp x pp), 1 meta.
-  EXPECT_EQ(files.size(), 13u);
+  // 8 optim files (one per rank), 4 model-states files (per tp x pp), 1 meta, 1 marker.
+  EXPECT_EQ(files.size(), 14u);
+  EXPECT_TRUE(IsTagComplete(dir_, "global_step2"));
   Result<CheckpointMeta> meta = ReadCheckpointMeta(dir_, "global_step2");
   ASSERT_TRUE(meta.ok());
   EXPECT_EQ(meta->iteration, 2);
@@ -187,6 +189,67 @@ TEST_F(CkptTest, TiedSecondaryExcludedFromModelStates) {
   for (const auto& [name, unused] : info->entries) {
     EXPECT_NE(name, "language_model.embedding.word_embeddings.weight");
   }
+}
+
+// ---------------- Metadata negative paths ----------------
+// Damaged metadata must come back as a Status, never a crash or a silently-default config.
+
+TEST_F(CkptTest, TruncatedMetaJsonIsError) {
+  TrainingRun run(ConfigFor({1, 1, 1, 1, 0, 1}));
+  run.Train(1, 1);
+  SaveAll(run, 1);
+  std::string path = PathJoin(PathJoin(dir_, "global_step1"), "checkpoint_meta.json");
+  std::string text = *ReadFileToString(path);
+  ASSERT_TRUE(WriteFileAtomic(path, text.substr(0, text.size() / 2)).ok());
+  EXPECT_FALSE(ReadCheckpointMeta(dir_, "global_step1").ok());
+}
+
+TEST_F(CkptTest, MetaWrongFormatVersionIsFailedPrecondition) {
+  CheckpointMeta meta;
+  meta.model = TinyGpt();
+  Json json = meta.ToJson();
+  json["format_version"] = 999;
+  EXPECT_EQ(CheckpointMeta::FromJson(json).status().code(),
+            StatusCode::kFailedPrecondition);
+  json["format_version"] = Json();  // wrong type entirely
+  EXPECT_FALSE(CheckpointMeta::FromJson(json).ok());
+}
+
+TEST_F(CkptTest, MetaOutOfRangeDtypeIsDataLoss) {
+  CheckpointMeta meta;
+  meta.model = TinyGpt();
+  Json json = meta.ToJson();
+  json["compute_dtype"] = 42;
+  EXPECT_EQ(CheckpointMeta::FromJson(json).status().code(), StatusCode::kDataLoss);
+  json["compute_dtype"] = -1;
+  EXPECT_EQ(CheckpointMeta::FromJson(json).status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(CkptTest, MetaMissingModelOrStrategyIsDataLoss) {
+  CheckpointMeta meta;
+  meta.model = TinyGpt();
+  for (const char* key : {"model", "strategy"}) {
+    JsonObject obj = meta.ToJson().AsObject();
+    obj.erase(key);
+    EXPECT_EQ(CheckpointMeta::FromJson(Json(std::move(obj))).status().code(),
+              StatusCode::kDataLoss)
+        << key;
+  }
+}
+
+TEST_F(CkptTest, UcpMetaMissingOrMalformedAtomNamesIsError) {
+  UcpMeta meta;
+  meta.model = TinyGpt();
+  meta.atom_names = {"a.weight", "b.bias"};
+  ASSERT_TRUE(UcpMeta::FromJson(meta.ToJson()).ok());
+
+  JsonObject no_atoms = meta.ToJson().AsObject();
+  no_atoms.erase("atoms");
+  EXPECT_FALSE(UcpMeta::FromJson(Json(std::move(no_atoms))).ok());
+
+  Json bad_entry = meta.ToJson();
+  bad_entry["atoms"] = Json(JsonArray{Json("ok"), Json(int64_t{7})});
+  EXPECT_EQ(UcpMeta::FromJson(bad_entry).status().code(), StatusCode::kDataLoss);
 }
 
 // ---------------- Retention ----------------

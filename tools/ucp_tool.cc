@@ -21,6 +21,12 @@
 //
 //   ucp_tool plan     <ucp_dir> <tp> <pp> <dp> <sp> <zero_stage> [rank]
 //       Print the GenUcpMetadata load plan (JSON) for one target rank.
+//
+//   ucp_tool fsck     <path> [--quarantine]
+//       Walk a checkpoint root (every tag, cached .ucp dirs, the latest pointer, staging
+//       debris) or a single UCP atom directory, verifying CRCs and manifest agreement.
+//       Exits 0 when clean, 1 when damage was found. With --quarantine, damaged
+//       tags/UCP dirs are renamed to <name>.quarantined so resumes skip them.
 
 #include <cstdio>
 #include <cstring>
@@ -47,6 +53,7 @@ int Usage() {
                "  ucp_tool plan <ucp_dir> <tp> <pp> <dp> <sp> <zero_stage> [rank]\n"
                "  ucp_tool validate <ucp_dir>\n"
                "  ucp_tool validate-ckpt <ckpt_dir> <tag>\n"
+               "  ucp_tool fsck <path> [--quarantine]\n"
                "  ucp_tool prune <ckpt_dir> <keep_last>\n");
   return 2;
 }
@@ -59,6 +66,7 @@ int Fail(const Status& status) {
 struct Flags {
   int threads = 4;
   std::string spec_file;
+  bool quarantine = false;
   std::vector<std::string> positional;
 };
 
@@ -69,6 +77,8 @@ Flags ParseFlags(int argc, char** argv, int first) {
       flags.threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--spec") == 0 && i + 1 < argc) {
       flags.spec_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--quarantine") == 0) {
+      flags.quarantine = true;
     } else {
       flags.positional.push_back(argv[i]);
     }
@@ -218,6 +228,18 @@ int CmdValidate(const Flags& flags, bool native) {
   return report->ok() ? 0 : 1;
 }
 
+int CmdFsck(const Flags& flags) {
+  if (flags.positional.size() != 1) {
+    return Usage();
+  }
+  Result<FsckReport> report = Fsck(flags.positional[0], flags.quarantine);
+  if (!report.ok()) {
+    return Fail(report.status());
+  }
+  std::printf("%s", report->ToString().c_str());
+  return report->clean() ? 0 : 1;
+}
+
 int CmdPrune(const Flags& flags) {
   if (flags.positional.size() != 2) {
     return Usage();
@@ -267,6 +289,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "validate-ckpt") {
     return CmdValidate(flags, /*native=*/true);
+  }
+  if (command == "fsck") {
+    return CmdFsck(flags);
   }
   if (command == "prune") {
     return CmdPrune(flags);
