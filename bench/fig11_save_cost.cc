@@ -9,13 +9,21 @@
 //
 // Scale substitution: GPT 1.7B/7B/13B on 8xA100 -> GPT-like S/M/L on 8 simulated ranks
 // (TP2 PP2 DP2 ZeRO-1) writing to local disk.
+//
+// The binary additionally compares the synchronous save path against the asynchronous
+// snapshot-then-flush engine on the same 8-rank strategy and emits BENCH_async_save.json:
+// per model size, the end-to-end synchronous save time vs. the async engine's
+// training-visible blocking time (snapshot only) and total snapshot->commit latency.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <map>
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "src/ckpt/async/engine.h"
+#include "src/common/json.h"
 #include "src/ucp/patterns.h"
 
 namespace ucp {
@@ -83,6 +91,89 @@ void BM_SaveUcpEnabled(benchmark::State& state, const Arm& arm) {
   }
 }
 
+// Sync vs. async on the shared 8-rank runs. For each model size: time `reps` synchronous
+// collective saves, then `reps` async saves where the measured "blocking" span is the wall
+// time of the SaveAsync collective (what training actually waits for) and the "total" span
+// runs until WaitForIteration observes the commit. Saves are strictly sequential so the
+// per-save numbers are not flattered by overlap between checkpoints.
+Json RunAsyncSaveComparison() {
+  using Clock = std::chrono::steady_clock;
+  auto seconds_between = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+  constexpr int kReps = 3;
+
+  JsonArray arms;
+  for (const Arm& arm : Arms()) {
+    TrainingRun& run = RunFor(arm);
+
+    const std::string sync_dir =
+        bench::FreshDir(std::string("fig11_async_cmp_sync_") + arm.size_label);
+    bench::SaveAll(run, sync_dir, 200);  // warm the page cache and allocator
+    double sync_seconds = 0.0;
+    for (int i = 0; i < kReps; ++i) {
+      const auto t0 = Clock::now();
+      bench::SaveAll(run, sync_dir, 201 + i);
+      sync_seconds += seconds_between(t0, Clock::now());
+    }
+    sync_seconds /= kReps;
+
+    const std::string async_dir =
+        bench::FreshDir(std::string("fig11_async_cmp_async_") + arm.size_label);
+    AsyncCheckpointOptions options;
+    options.flush_threads = 2;
+    options.max_in_flight = 2;
+    AsyncCheckpointEngine engine(async_dir, run.world_size(), options);
+    auto save_async = [&](int64_t iteration) {
+      run.Run([&](RankTrainer& t) {
+        Status s = engine.SaveAsync(t, iteration);
+        UCP_CHECK(s.ok()) << s.ToString();
+      });
+    };
+    save_async(200);  // warm-up save populates the per-rank snapshot freelists
+    UCP_CHECK(engine.WaitForIteration(200).ok());
+    double blocking_seconds = 0.0;
+    double total_seconds = 0.0;
+    for (int i = 0; i < kReps; ++i) {
+      const int64_t iteration = 201 + i;
+      const auto t0 = Clock::now();
+      save_async(iteration);
+      blocking_seconds += seconds_between(t0, Clock::now());
+      UCP_CHECK(engine.WaitForIteration(iteration).ok());
+      total_seconds += seconds_between(t0, Clock::now());
+    }
+    blocking_seconds /= kReps;
+    total_seconds /= kReps;
+    UCP_CHECK(engine.WaitAll().ok());
+    const AsyncSaveStats stats = engine.stats();
+
+    const double fraction = blocking_seconds / sync_seconds;
+    std::printf(
+        "fig11/async_save/%s sync=%.3fms async_blocking=%.3fms async_total=%.3fms "
+        "blocking/sync=%.1f%%\n",
+        arm.size_label, sync_seconds * 1e3, blocking_seconds * 1e3, total_seconds * 1e3,
+        fraction * 100.0);
+
+    JsonObject entry;
+    entry["model"] = arm.size_label;
+    entry["sync_save_seconds"] = sync_seconds;
+    entry["async_blocking_seconds"] = blocking_seconds;
+    entry["async_total_seconds"] = total_seconds;
+    entry["blocking_fraction_of_sync"] = fraction;
+    entry["commits"] = stats.commits;
+    entry["bytes_flushed_per_save"] = stats.bytes_flushed / stats.commits;
+    arms.emplace_back(std::move(entry));
+  }
+
+  JsonObject doc;
+  doc["benchmark"] = "fig11_async_save";
+  doc["strategy"] = ParallelConfig{2, 2, 2, 1, 1, 1}.ToString();
+  doc["world_size"] = 8;
+  doc["saves_per_arm"] = kReps;
+  doc["arms"] = std::move(arms);
+  return Json(std::move(doc));
+}
+
 }  // namespace
 }  // namespace ucp
 
@@ -99,5 +190,10 @@ int main(int argc, char** argv) {
         ->MinTime(0.5);
   }
   benchmark::RunSpecifiedBenchmarks();
+
+  ucp::Json report = ucp::RunAsyncSaveComparison();
+  const std::string out = "BENCH_async_save.json";
+  UCP_CHECK(ucp::WriteFileAtomic(out, report.Dump(2)).ok());
+  std::printf("wrote %s\n", out.c_str());
   return 0;
 }

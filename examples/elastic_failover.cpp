@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "src/ckpt/async/engine.h"
 #include "src/ckpt/checkpoint.h"
 #include "src/common/fs.h"
 #include "src/runtime/trainer.h"
@@ -35,32 +36,47 @@ int main() {
   const std::string workdir = "/tmp/ucp_elastic";
   UCP_CHECK(RemoveAll(workdir).ok());
 
-  // Phase 1: full cluster — 8 ranks, TP2 x PP2 x DP2.
-  std::printf("phase 1: 8 ranks (TP2.PP2.DP2, ZeRO-1), checkpoint every 10 iterations\n");
+  // Phase 1: full cluster — 8 ranks, TP2 x PP2 x DP2. Checkpoints go through the async
+  // engine: each save blocks training for the snapshot memcpy only, while the flush and
+  // commit overlap the following iterations.
+  std::printf(
+      "phase 1: 8 ranks (TP2.PP2.DP2, ZeRO-1), async checkpoint every 10 iterations\n");
   TrainingRun full(ConfigFor({2, 2, 2, 1, 1, 1}));
-  for (int64_t start = 1; start <= 30; start += 10) {
-    auto losses = full.Train(start, start + 9);
-    full.Run([&](RankTrainer& t) {
-      UCP_CHECK(SaveDistributedCheckpoint(workdir + "/ckpt", t, start + 9).ok());
+  {
+    AsyncCheckpointEngine engine(workdir + "/ckpt", full.world_size());
+    auto losses = full.Train(1, 30, [&](RankTrainer& t, int64_t it) {
+      if (it % 10 == 0) {
+        UCP_CHECK(engine.SaveAsync(t, it).ok());
+      }
     });
-    std::printf("  iter %3lld loss %.4f  (checkpointed)\n",
-                static_cast<long long>(start + 9), losses.back());
+    UCP_CHECK(engine.WaitAll().ok());
+    AsyncSaveStats stats = engine.stats();
+    for (int64_t it = 10; it <= 30; it += 10) {
+      std::printf("  iter %3lld loss %.4f  (checkpointed)\n", static_cast<long long>(it),
+                  losses[static_cast<size_t>(it - 1)]);
+    }
+    std::printf("  %lld async saves committed; worst per-save stall %.1f ms\n",
+                static_cast<long long>(stats.commits),
+                stats.max_blocking_seconds * 1e3);
   }
 
-  // Phase 2: failure — only 4 ranks remain. Strict native resume fails by design.
+  // Phase 2: failure — only 4 ranks remain. Strict native resume fails by design. The tag
+  // comes from FindLatestValidTag — never from the advisory `latest` pointer.
   std::printf("\nphase 2: node failure! 4 ranks remain -> try native resume as TP2.DP2\n");
+  Result<std::string> tag = FindLatestValidTag(workdir + "/ckpt");
+  UCP_CHECK(tag.ok()) << tag.status().ToString();
   TrainingRun degraded(ConfigFor({2, 1, 2, 1, 1, 1}));
   std::vector<Status> strict(4);
   degraded.Run([&](RankTrainer& t) {
     strict[static_cast<size_t>(t.rank())] =
-        LoadDistributedCheckpoint(workdir + "/ckpt", "global_step30", t);
+        LoadDistributedCheckpoint(workdir + "/ckpt", *tag, t);
   });
   std::printf("  native load: %s\n", strict[0].ToString().c_str());
   UCP_CHECK(strict[0].code() == StatusCode::kFailedPrecondition);
 
   std::printf("  -> converting the surviving checkpoint to UCP instead\n");
   Result<ConvertStats> stats =
-      ConvertToUcp(workdir + "/ckpt", "global_step30", workdir + "/ucp30");
+      ConvertToUcp(workdir + "/ckpt", *tag, workdir + "/ucp30");
   UCP_CHECK(stats.ok()) << stats.status().ToString();
   degraded.Run([&](RankTrainer& t) {
     UCP_CHECK(LoadUcpCheckpoint(workdir + "/ucp30", t).ok());
@@ -85,7 +101,8 @@ int main() {
     UCP_CHECK(report->path == ResumeReport::Path::kUcpConverted ||
               report->path == ResumeReport::Path::kUcpCached);
   });
-  std::printf("  ResumeElastic converted %s on demand and loaded it\n", "global_step50");
+  std::printf("  ResumeElastic converted %s on demand and loaded it\n",
+              FindLatestValidTag(workdir + "/ckpt4")->c_str());
   auto losses = restored.Train(51, 70);
   std::printf("  iter  70 loss %.4f  (on 8 ranks again)\n", losses.back());
   std::printf("\ntraining survived shrink (8->4) and grow (4->8) without losing a step.\n");

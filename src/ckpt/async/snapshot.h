@@ -1,0 +1,41 @@
+// Host-side snapshot of one rank's checkpoint state — the part of an asynchronous save
+// that must happen while the rank is paused. A snapshot deep-copies the optimizer
+// partition (and, for the dp==0 member of each model-parallel rank, the published
+// parameter values) into buffers owned by the snapshot itself, so the training step that
+// follows can mutate the live tensors freely while a background flusher serializes the
+// copy. CaptureFrom reuses the previous capture's buffers when shapes match, so in steady
+// state (the engine's double-buffered freelist) a snapshot is pure memcpy: no allocation,
+// no serialization, no I/O.
+
+#ifndef UCP_SRC_CKPT_ASYNC_SNAPSHOT_H_
+#define UCP_SRC_CKPT_ASYNC_SNAPSHOT_H_
+
+#include <string>
+
+#include "src/runtime/trainer.h"
+#include "src/tensor/tensor_file.h"
+
+namespace ucp {
+
+struct RankCheckpointSnapshot {
+  RankCoord coord;
+  DType compute_dtype = DType::kF32;
+  // Exactly what the rank's shard files carry (same names/meta as the synchronous save).
+  TensorBundle optim;
+  bool has_model_states = false;
+  TensorBundle model_states;
+  // Captured payload bytes (fp32, before any storage-dtype conversion) — for stats.
+  int64_t bytes = 0;
+
+  // Copies the rank's current state into this snapshot, reusing existing buffers when the
+  // layout is unchanged. Blocks only for the host-to-host copy.
+  void CaptureFrom(const RankTrainer& trainer);
+};
+
+// Serializes one captured snapshot into a staging directory using the standard shard file
+// names. Shared by the synchronous save path and the async flusher; pure local I/O.
+Status WriteSnapshotShards(const std::string& staging, const RankCheckpointSnapshot& snap);
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_CKPT_ASYNC_SNAPSHOT_H_

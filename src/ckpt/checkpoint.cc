@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "src/ckpt/async/snapshot.h"
 #include "src/common/fs.h"
 #include "src/common/strings.h"
 #include "src/tensor/tensor_file.h"
@@ -65,61 +66,39 @@ namespace {
 constexpr char kCompleteMarker[] = "complete";
 constexpr char kStagingSuffix[] = ".staging";
 
-// This rank's shard writes into the staging directory. Pure local I/O — no collectives, no
-// early returns across barriers; the caller aggregates outcomes.
+// This rank's shard writes into the staging directory: a fresh snapshot, serialized
+// immediately (the synchronous save has no one to hand the copy to). Pure local I/O — no
+// collectives, no early returns across barriers; the caller aggregates outcomes.
 Status WriteRankShards(const std::string& staging, RankTrainer& trainer) {
-  const RankCoord& coord = trainer.coord();
-
-  // --- Optimizer states: every rank saves its ZeRO partition. ---
-  const ZeroOptimizer& opt = trainer.optimizer();
-  TensorBundle optim;
-  optim.Add("fp32_flat", opt.MasterState());
-  optim.Add("exp_avg", opt.ExpAvgState());
-  optim.Add("exp_avg_sq", opt.ExpAvgSqState());
-  JsonObject optim_meta;
-  optim_meta["flat_layout"] = opt.layout().ToJson();
-  optim_meta["zero_stage"] = opt.zero_stage();
-  optim_meta["steps_taken"] = opt.steps_taken();
-  optim_meta["dp_index"] = coord.dp;
-  optim_meta["tp_index"] = coord.tp;
-  optim_meta["pp_index"] = coord.pp;
-  optim_meta["sp_index"] = coord.sp;
-  optim.meta = Json(std::move(optim_meta));
-  UCP_RETURN_IF_ERROR(SaveBundle(
-      PathJoin(staging, OptimStatesFileName(coord.dp, coord.tp, coord.pp, coord.sp)), optim));
-
-  // --- Model states: one file per model-parallel rank, written by its dp==0 member.
-  //     ZeRO-3 shards parameters across DP, so (as in DeepSpeed) the model-states file
-  //     carries no parameter payloads — the optimizer flats are authoritative. ---
-  if (coord.dp == 0) {
-    TensorBundle model_states;
-    if (trainer.config().strategy.zero_stage < 3) {
-      for (const ParamPtr& p : trainer.model().store().params()) {
-        if (p->tied_secondary) {
-          continue;  // canonical copy lives on the first stage
-        }
-        model_states.Add(p->info.name, p->value.Clone());
-      }
-    }
-    JsonObject ms_meta;
-    ms_meta["tp_index"] = coord.tp;
-    ms_meta["pp_index"] = coord.pp;
-    ms_meta["sp_index"] = coord.sp;
-    ms_meta["zero_stage"] = opt.zero_stage();
-    model_states.meta = Json(std::move(ms_meta));
-    UCP_RETURN_IF_ERROR(
-        SaveBundle(PathJoin(staging, ModelStatesFileName(coord.tp, coord.pp, coord.sp)),
-                   model_states, trainer.config().compute_dtype));
-  }
-  return OkStatus();
+  RankCheckpointSnapshot snap;
+  snap.CaptureFrom(trainer);
+  return WriteSnapshotShards(staging, snap);
 }
 
-// Rank 0's commit: metadata into staging, publish via rename, marker last, then `latest`.
-// The ordering is the whole protocol — a crash between any two steps leaves a state every
+}  // namespace
+
+std::string StagingDirForTag(const std::string& dir, const std::string& tag) {
+  return PathJoin(dir, tag) + kStagingSuffix;
+}
+
+CheckpointMeta MetaForSave(const RankTrainer& trainer, int64_t iteration) {
+  CheckpointMeta meta;
+  meta.model = trainer.config().model;
+  meta.strategy = trainer.config().strategy;
+  meta.iteration = iteration;
+  meta.global_batch = trainer.config().global_batch;
+  meta.data_seed = trainer.config().data_seed;
+  meta.compute_dtype = trainer.config().compute_dtype;
+  return meta;
+}
+
+// The commit: metadata into staging, publish via rename, marker last, then `latest`. The
+// ordering is the whole protocol — a crash between any two steps leaves a state every
 // reader handles (no tag / unmarked tag / marked tag with a stale `latest`).
-Status CommitTag(const std::string& dir, const std::string& staging,
-                 const std::string& tag_dir, const std::string& tag,
-                 const CheckpointMeta& meta) {
+Status CommitCheckpointTag(const std::string& dir, const std::string& tag,
+                           const CheckpointMeta& meta) {
+  const std::string tag_dir = PathJoin(dir, tag);
+  const std::string staging = StagingDirForTag(dir, tag);
   UCP_RETURN_IF_ERROR(
       WriteFileAtomic(PathJoin(staging, "checkpoint_meta.json"), meta.ToJson().Dump(2)));
   // Re-saving a tag replaces the previous commit wholesale.
@@ -129,13 +108,26 @@ Status CommitTag(const std::string& dir, const std::string& staging,
   return WriteFileAtomic(PathJoin(dir, "latest"), tag);
 }
 
-}  // namespace
+Result<int> CleanStagingDebris(const std::string& dir) {
+  if (!DirExists(dir)) {
+    return 0;
+  }
+  UCP_ASSIGN_OR_RETURN(std::vector<std::string> entries, ListDir(dir));
+  int removed = 0;
+  for (const std::string& name : entries) {
+    if (name.size() > sizeof(kStagingSuffix) - 1 && EndsWith(name, kStagingSuffix) &&
+        DirExists(PathJoin(dir, name))) {
+      UCP_RETURN_IF_ERROR(RemoveAll(PathJoin(dir, name)));
+      ++removed;
+    }
+  }
+  return removed;
+}
 
 Status SaveDistributedCheckpoint(const std::string& dir, RankTrainer& trainer,
                                  int64_t iteration) {
   const std::string tag = TagForIteration(iteration);
-  const std::string tag_dir = PathJoin(dir, tag);
-  const std::string staging = tag_dir + kStagingSuffix;
+  const std::string staging = StagingDirForTag(dir, tag);
 
   // Rank 0 resets the staging directory (debris of a previous crashed save) before any rank
   // writes into it.
@@ -168,14 +160,7 @@ Status SaveDistributedCheckpoint(const std::string& dir, RankTrainer& trainer,
 
   Status commit = OkStatus();
   if (trainer.rank() == 0) {
-    CheckpointMeta meta;
-    meta.model = trainer.config().model;
-    meta.strategy = trainer.config().strategy;
-    meta.iteration = iteration;
-    meta.global_batch = trainer.config().global_batch;
-    meta.data_seed = trainer.config().data_seed;
-    meta.compute_dtype = trainer.config().compute_dtype;
-    commit = CommitTag(dir, staging, tag_dir, tag, meta);
+    commit = CommitCheckpointTag(dir, tag, MetaForSave(trainer, iteration));
   }
   trainer.groups().world.Barrier();
   return commit;
@@ -226,6 +211,55 @@ Status PruneCheckpoints(const std::string& dir, int keep_last) {
     --excess;
   }
   return OkStatus();
+}
+
+std::string GcReport::ToString() const {
+  std::string out = "gc: removed " + std::to_string(removed.size()) + ", kept " +
+                    std::to_string(kept.size()) + "\n";
+  for (const std::string& tag : removed) {
+    out += "  removed " + tag + "\n";
+  }
+  for (const std::string& tag : kept) {
+    out += "  kept    " + tag + "\n";
+  }
+  return out;
+}
+
+Result<GcReport> GcCheckpoints(const std::string& dir, int keep_last, bool dry_run) {
+  if (keep_last < 1) {
+    return InvalidArgumentError("keep_last must be >= 1");
+  }
+  UCP_ASSIGN_OR_RETURN(std::vector<std::string> tags, ListCheckpointTags(dir));
+  std::vector<std::string> committed;
+  for (const std::string& tag : tags) {
+    if (IsTagComplete(dir, tag)) {
+      committed.push_back(tag);  // ascending iteration order, inherited from ListCheckpointTags
+    }
+  }
+  std::string latest;
+  if (Result<std::string> latest_tag = ReadLatestTag(dir); latest_tag.ok()) {
+    latest = *latest_tag;
+  }
+  GcReport report;
+  // Protect the newest keep_last committed tags AND whatever `latest` names — when the
+  // pointer lags (or was rolled back by hand), retention must not strand the resume.
+  const size_t first_kept = committed.size() > static_cast<size_t>(keep_last)
+                                ? committed.size() - static_cast<size_t>(keep_last)
+                                : 0;
+  for (size_t i = 0; i < committed.size(); ++i) {
+    const std::string& tag = committed[i];
+    if (i < first_kept && tag != latest) {
+      if (!dry_run) {
+        UCP_RETURN_IF_ERROR(RemoveAll(PathJoin(dir, tag)));
+        // A cached UCP conversion belongs to its tag; don't orphan it.
+        UCP_RETURN_IF_ERROR(RemoveAll(PathJoin(dir, tag + ".ucp")));
+      }
+      report.removed.push_back(tag);
+    } else {
+      report.kept.push_back(tag);
+    }
+  }
+  return report;
 }
 
 bool IsTagComplete(const std::string& dir, const std::string& tag) {

@@ -58,7 +58,27 @@ std::string OptimStatesFileName(int dp, int tp, int pp, int sp);
 Status SaveDistributedCheckpoint(const std::string& dir, RankTrainer& trainer,
                                  int64_t iteration);
 
-// Reads <dir>/latest. Convenience for resuming.
+// The checkpoint metadata a save of `trainer` at `iteration` would commit.
+CheckpointMeta MetaForSave(const RankTrainer& trainer, int64_t iteration);
+
+// The commit sequence shared by the synchronous save and the async flusher: metadata into
+// `staging`, wholesale replacement of any previous `<tag>` commit, atomic rename, marker,
+// then `latest`. Single-caller (rank 0 / the flusher); `staging` must hold every shard.
+Status CommitCheckpointTag(const std::string& dir, const std::string& tag,
+                           const CheckpointMeta& meta);
+
+// Name of the staging sibling a save of `tag` writes into before committing.
+std::string StagingDirForTag(const std::string& dir, const std::string& tag);
+
+// Removes stale `<tag>.staging` directories (debris of crashed or interrupted saves; never
+// trusted by any reader). Returns the number removed. Call from one process only, with no
+// save in flight against `dir`.
+Result<int> CleanStagingDebris(const std::string& dir);
+
+// Reads <dir>/latest. This pointer is advisory — it is written *after* the commit marker,
+// so a crash can leave it one save behind, and fsck quarantine can orphan it. Resume paths
+// must use FindLatestValidTag instead; keep ReadLatestTag for diagnostics and for
+// retention's "never delete what latest names" guard.
 Result<std::string> ReadLatestTag(const std::string& dir);
 
 // True when the tag's `complete` commit marker exists (the save finished).
@@ -81,6 +101,18 @@ Result<std::vector<std::string>> ListCheckpointTags(const std::string& dir);
 // Retention: deletes the oldest checkpoints so at most `keep_last` tags remain. The tag
 // named by `latest` is never deleted. Call from one process only (e.g. rank 0 after save).
 Status PruneCheckpoints(const std::string& dir, int keep_last);
+
+// Retention policy for steady-state training (`ucp_tool gc`, AsyncCheckpointOptions
+// .keep_last). Unlike PruneCheckpoints it only counts *committed* tags toward the keep
+// budget and never touches uncommitted tags or `.staging` debris — those belong to
+// crashed-save recovery (fsck / the next save), and a tag mid-commit by a concurrent
+// flusher must not be swept. Never deletes the tag `latest` names. Call from one process.
+struct GcReport {
+  std::vector<std::string> removed;  // committed tags deleted (ascending iteration)
+  std::vector<std::string> kept;     // committed tags surviving
+  std::string ToString() const;
+};
+Result<GcReport> GcCheckpoints(const std::string& dir, int keep_last, bool dry_run = false);
 
 }  // namespace ucp
 

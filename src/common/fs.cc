@@ -77,7 +77,44 @@ Status FlipBitInFile(const std::string& path, uint64_t bit_index) {
   return WriteWholeFile(path, contents->data(), contents->size(), /*want_fsync=*/false);
 }
 
+// Innermost active fsync batch on this thread; null when writes flush eagerly.
+thread_local ScopedFsyncBatch* g_active_fsync_batch = nullptr;
+
+// Fsyncs an already-written file in place (the deferred half of a batched write).
+Status FsyncExistingFile(const std::string& path) {
+  FaultAction fa = CheckFault(FsOp::kFsync, path);
+  if (fa.fail) {
+    return IoError("fault injection: fsync " + path);
+  }
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return IoError("open for fsync failed: " + path + ": " + std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return IoError("fsync failed: " + path + ": " + std::strerror(errno));
+  }
+  if (::close(fd) != 0) {
+    return IoError("close failed: " + path + ": " + std::strerror(errno));
+  }
+  return OkStatus();
+}
+
 }  // namespace
+
+ScopedFsyncBatch::ScopedFsyncBatch() : previous_(g_active_fsync_batch) {
+  g_active_fsync_batch = this;
+}
+
+ScopedFsyncBatch::~ScopedFsyncBatch() { g_active_fsync_batch = previous_; }
+
+Status ScopedFsyncBatch::SyncAll() {
+  for (const std::string& path : paths_) {
+    UCP_RETURN_IF_ERROR(FsyncExistingFile(path));
+  }
+  paths_.clear();
+  return OkStatus();
+}
 
 Status MakeDirs(const std::string& path) {
   std::error_code ec;
@@ -123,7 +160,8 @@ Status WriteFileAtomic(const std::string& path, const void* data, size_t size) {
   // the temporary name.
   static std::atomic<uint64_t> counter{0};
   std::string tmp = path + ".tmp." + std::to_string(counter.fetch_add(1));
-  Status written = WriteWholeFile(tmp, data, size, /*want_fsync=*/true);
+  ScopedFsyncBatch* batch = g_active_fsync_batch;
+  Status written = WriteWholeFile(tmp, data, size, /*want_fsync=*/batch == nullptr);
   if (!written.ok()) {
     std::remove(tmp.c_str());
     return written;
@@ -142,6 +180,9 @@ Status WriteFileAtomic(const std::string& path, const void* data, size_t size) {
   }
   if (wa.bitrot) {
     return FlipBitInFile(path, wa.bitrot_bit);
+  }
+  if (batch != nullptr) {
+    batch->Record(path);
   }
   return OkStatus();
 }

@@ -29,6 +29,35 @@ Result<uint64_t> FileSize(const std::string& path);
 Status WriteFileAtomic(const std::string& path, const void* data, size_t size);
 Status WriteFileAtomic(const std::string& path, const std::string& contents);
 
+// Batches fsyncs on the current thread. While an instance is in scope, WriteFileAtomic on
+// this thread defers the per-file fsync and records the final path; SyncAll() then flushes
+// every recorded file in one pass (each fsync still routes through the fault injector).
+// Durability placement, not elision: the checkpoint flusher calls SyncAll() before the
+// commit rename, so nothing the commit protocol trusts can be un-flushed. Used by the async
+// checkpoint engine, where moving fsyncs out of the per-shard write path is most of the
+// flush-throughput win. Nestable; destruction without SyncAll() simply drops the batch
+// (the caller aborted — its staging dir is untrusted debris anyway).
+class ScopedFsyncBatch {
+ public:
+  ScopedFsyncBatch();
+  ~ScopedFsyncBatch();
+  ScopedFsyncBatch(const ScopedFsyncBatch&) = delete;
+  ScopedFsyncBatch& operator=(const ScopedFsyncBatch&) = delete;
+
+  // Fsyncs every file written under the batch since the last SyncAll. Stops at the first
+  // failure (the commit must not proceed past an unflushed shard).
+  Status SyncAll();
+
+  size_t pending() const { return paths_.size(); }
+
+ private:
+  friend Status WriteFileAtomic(const std::string& path, const void* data, size_t size);
+  void Record(const std::string& path) { paths_.push_back(path); }
+
+  std::vector<std::string> paths_;
+  ScopedFsyncBatch* previous_;  // restores the outer batch on destruction
+};
+
 // Renames `from` to `to` (same filesystem; `to` must not exist for directories). This is
 // the commit point of the checkpoint staging protocol, so it routes through the fault
 // injector like the file writes do.

@@ -77,6 +77,12 @@ class ZeroOptimizer {
   Tensor MasterState() const { return flat_master_.Clone(); }
   Tensor ExpAvgState() const { return exp_avg_.Clone(); }
   Tensor ExpAvgSqState() const { return exp_avg_sq_.Clone(); }
+  // Zero-copy views of the same state, for snapshotters that copy into reusable buffers.
+  // The referenced storage is overwritten by the next Step(); copy before releasing the
+  // rank thread if the snapshot must exclude that step.
+  const Tensor& master_state_ref() const { return flat_master_; }
+  const Tensor& exp_avg_ref() const { return exp_avg_; }
+  const Tensor& exp_avg_sq_ref() const { return exp_avg_sq_; }
   int64_t state_numel() const { return flat_master_.numel(); }
   // Element offset in the flat buffer where this rank's partition begins (0 for stage 0).
   int64_t owned_offset() const;

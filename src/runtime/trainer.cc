@@ -175,12 +175,21 @@ void TrainingRun::Run(const std::function<void(RankTrainer&)>& body) {
 }
 
 std::vector<double> TrainingRun::Train(int64_t first_iteration, int64_t last_iteration) {
+  return Train(first_iteration, last_iteration, nullptr);
+}
+
+std::vector<double> TrainingRun::Train(
+    int64_t first_iteration, int64_t last_iteration,
+    const std::function<void(RankTrainer&, int64_t)>& after_iteration) {
   std::vector<double> losses(static_cast<size_t>(last_iteration - first_iteration + 1), 0.0);
   Run([&](RankTrainer& trainer) {
     for (int64_t it = first_iteration; it <= last_iteration; ++it) {
       double loss = trainer.TrainIteration(it);
       if (trainer.rank() == 0) {
         losses[static_cast<size_t>(it - first_iteration)] = loss;
+      }
+      if (after_iteration) {
+        after_iteration(trainer, it);
       }
     }
   });

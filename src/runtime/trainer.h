@@ -79,6 +79,13 @@ class TrainingRun {
   // iteration (identical across ranks; taken from rank 0).
   std::vector<double> Train(int64_t first_iteration, int64_t last_iteration);
 
+  // Same, invoking `after_iteration(trainer, iteration)` on every rank's thread after each
+  // completed step — the integration point for periodic checkpointing. An async engine's
+  // SaveAsync here returns after the snapshot, so its flush overlaps the next iterations.
+  std::vector<double> Train(
+      int64_t first_iteration, int64_t last_iteration,
+      const std::function<void(RankTrainer&, int64_t)>& after_iteration);
+
   Topology& topology() { return *topology_; }
   RankTrainer& trainer(int rank) { return *trainers_[static_cast<size_t>(rank)]; }
   int world_size() const { return world_->size(); }

@@ -21,6 +21,19 @@ bool RetryOlderTag(StatusCode code) {
 }  // namespace
 
 Result<ResumeReport> ResumeElastic(const std::string& dir, RankTrainer& trainer) {
+  // A resume means no save is in flight, so any `<tag>.staging` directory is debris of a
+  // save (sync or async flush) the crash interrupted. Sweep it now — readers never trust
+  // it, but leaving it would surprise the next save of the same iteration and clutter
+  // fsck. Rank 0 sweeps; the barrier keeps peers from racing the removal.
+  if (trainer.rank() == 0) {
+    Result<int> swept = CleanStagingDebris(dir);
+    if (swept.ok() && *swept > 0) {
+      UCP_LOG(Info) << "removed " << *swept << " stale .staging director"
+                    << (*swept == 1 ? "y" : "ies") << " under " << dir;
+    }
+  }
+  trainer.groups().world.Barrier();
+
   // Walk tags newest-first. Tags without the `complete` marker are aborted saves and are
   // skipped outright; a committed tag that fails to load (torn shard, bit rot) falls back
   // to the next older committed tag. Every rank sees the same directory, so every rank

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/ckpt/async/engine.h"
 #include "src/ckpt/checkpoint.h"
+#include "src/ckpt/foreign.h"
 #include "src/common/crc32.h"
 #include "src/common/fault_fs.h"
 #include "src/common/fs.h"
@@ -299,6 +301,199 @@ TEST_F(CrashConsistencyTest, UncommittedTagIsFlaggedByValidatorAndMetaReader) {
   ASSERT_TRUE(report.ok());
   ASSERT_FALSE(report->ok());
   EXPECT_NE(report->problems[0].find("complete"), std::string::npos);
+}
+
+// ---- Kill-during-async-flush matrix ----
+//
+// Same discipline as the synchronous matrix, but the fault lands on the engine's background
+// flusher instead of the rank threads: commit global_step2 synchronously, snapshot
+// global_step4 through the async engine, kill the flush at an exact protocol point, and
+// prove the resumed trajectory equals the uninterrupted (synchronous-baseline) run bit for
+// bit. flush_threads=1 keeps the flusher's write/fsync/rename sequence — and therefore the
+// injector's nth counts — deterministic.
+struct AsyncCrashCase {
+  const char* label;
+  FaultPlan plan;
+  bool wait_fails;        // fail-stop inside the flush surfaces through WaitAll...
+  bool tag4_dir_remains;  // ...and may leave an uncommitted global_step4 behind
+  bool check_find_latest;
+};
+
+class AsyncCrashMatrixTest : public CrashConsistencyTest,
+                             public ::testing::WithParamInterface<AsyncCrashCase> {};
+
+TEST_P(AsyncCrashMatrixTest, ResumeAfterKilledFlushFallsBackBitExact) {
+  const AsyncCrashCase& c = GetParam();
+  TrainerConfig cfg = ConfigFor({1, 1, 1, 1, 0, 1});
+
+  TrainingRun ref(cfg);
+  std::vector<double> ref_losses = ref.Train(1, 6);
+
+  TrainingRun victim(cfg);
+  victim.Train(1, 2);
+  SaveAll(victim, Sub("ckpt"), 2);  // the synchronous-save baseline commit
+  victim.Train(3, 4);
+
+  Status wait = OkStatus();
+  {
+    AsyncCheckpointEngine engine(Sub("ckpt"), victim.world_size(),
+                                 AsyncCheckpointOptions{/*flush_threads=*/1});
+    ScopedFault fault(c.plan);
+    victim.Run([&](RankTrainer& t) {
+      // The snapshot never touches the filesystem, so SaveAsync itself cannot trip a plan.
+      Status s = engine.SaveAsync(t, 4);
+      UCP_CHECK(s.ok()) << s.ToString();
+    });
+    wait = engine.WaitAll();
+    EXPECT_TRUE(FaultFired()) << c.label << ": plan never matched an operation";
+    AsyncSaveStats stats = engine.stats();
+    EXPECT_EQ(stats.failures, c.wait_fails ? 1 : 0) << c.label;
+    EXPECT_EQ(stats.commits, c.wait_fails ? 0 : 1) << c.label;
+  }
+  EXPECT_EQ(wait.ok(), !c.wait_fails) << c.label << ": " << wait.ToString();
+  EXPECT_EQ(DirExists(Sub("ckpt/global_step4")), c.tag4_dir_remains) << c.label;
+  if (c.check_find_latest) {
+    Result<std::string> valid = FindLatestValidTag(Sub("ckpt"));
+    ASSERT_TRUE(valid.ok()) << valid.status();
+    EXPECT_EQ(*valid, "global_step2") << c.label;
+  }
+
+  TrainingRun resumed(cfg);
+  ResumeReport report;
+  resumed.Run([&](RankTrainer& t) {
+    Result<ResumeReport> r = ResumeElastic(Sub("ckpt"), t);
+    UCP_CHECK(r.ok()) << r.status().ToString();
+    report = *r;
+  });
+  EXPECT_EQ(report.tag, "global_step2") << c.label;
+  EXPECT_EQ(report.iteration, 2) << c.label;
+  EXPECT_FALSE(DirExists(Sub("ckpt/global_step4.staging")))
+      << c.label << ": resume left flush debris behind";
+
+  std::vector<double> resumed_losses = resumed.Train(3, 6);
+  ASSERT_EQ(resumed_losses.size(), 4u);
+  for (size_t i = 0; i < resumed_losses.size(); ++i) {
+    EXPECT_DOUBLE_EQ(resumed_losses[i], ref_losses[i + 2])
+        << c.label << " diverged at iteration " << 3 + i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AsyncInjectionMatrix, AsyncCrashMatrixTest,
+    ::testing::Values(
+        // The flusher dies writing the first shard into staging: the failure path clears
+        // the staging dir, so nothing of global_step4 exists anywhere.
+        AsyncCrashCase{"async_kill_mid_shard_write",
+                       {FaultPlan::Kind::kFailStop, FsOp::kWrite, 1, "optim_states", 0},
+                       /*wait_fails=*/true, /*tag4_dir_remains=*/false,
+                       /*check_find_latest=*/true},
+        // Killed at the first file rename inside the staging dir — the async twin of the
+        // sync matrix's kill_before_staging_rename point.
+        AsyncCrashCase{"async_kill_before_staging_rename",
+                       {FaultPlan::Kind::kFailStop, FsOp::kRename, 1, "global_step4", 0},
+                       /*wait_fails=*/true, /*tag4_dir_remains=*/false,
+                       /*check_find_latest=*/true},
+        // The deferred fsync batch fails right before the commit rename: the engine's
+        // batched-fsync path must treat an unsynced shard as a failed flush, not commit it.
+        AsyncCrashCase{"async_kill_in_fsync_batch",
+                       {FaultPlan::Kind::kFailStop, FsOp::kFsync, 1, "global_step4", 0},
+                       /*wait_fails=*/true, /*tag4_dir_remains=*/false,
+                       /*check_find_latest=*/true},
+        // Killed between the staging->tag rename and the `complete` marker: the tag dir
+        // survives but no reader — including the next resume — trusts it.
+        AsyncCrashCase{"async_kill_before_complete_marker",
+                       {FaultPlan::Kind::kFailStop, FsOp::kWrite, 1, "complete", 0},
+                       /*wait_fails=*/true, /*tag4_dir_remains=*/true,
+                       /*check_find_latest=*/true},
+        // Torn shard write: the flush and commit "succeed"; only the CRC knows. WaitAll is
+        // clean — the damage surfaces at resume time, which must fall back a tag.
+        AsyncCrashCase{"async_torn_optimizer_write",
+                       {FaultPlan::Kind::kTornWrite, FsOp::kWrite, 1, "optim_states",
+                        0xDEADBEEFu},
+                       /*wait_fails=*/false, /*tag4_dir_remains=*/true,
+                       /*check_find_latest=*/false},
+        // Bit rot in the committed shard, detected by CRC at load.
+        AsyncCrashCase{"async_bitrot_optimizer_payload",
+                       {FaultPlan::Kind::kBitRot, FsOp::kWrite, 1, "optim_states", 12345},
+                       /*wait_fails=*/false, /*tag4_dir_remains=*/true,
+                       /*check_find_latest=*/false}),
+    [](const ::testing::TestParamInfo<AsyncCrashCase>& info) { return info.param.label; });
+
+// ---- Foreign-ingestion faults ----
+
+TEST_F(CrashConsistencyTest, ForeignIngestCrashLeavesNoTrustedUcpAndRetrySucceeds) {
+  // Fail-stop mid-ingest: the conversion stages its atoms, so a kill must leave neither a
+  // trusted UCP directory nor un-retryable debris — a torn ingest may never masquerade as a
+  // converted checkpoint.
+  TrainingRun run(ConfigFor({1, 1, 1, 1, 0, 1}));
+  run.Train(1, 2);
+  run.Run([&](RankTrainer& t) {
+    Status s = SaveForeignCheckpoint(Sub("foreign"), t, 2);
+    UCP_CHECK(s.ok()) << s.ToString();
+  });
+
+  {
+    ScopedFault fault({FaultPlan::Kind::kFailStop, FsOp::kWrite, 3, "atoms/", 0});
+    Result<ConvertStats> stats =
+        ConvertForeignToUcp(Sub("foreign"), "foreign_step2", Sub("ucp"));
+    ASSERT_FALSE(stats.ok());
+    EXPECT_EQ(stats.status().code(), StatusCode::kIoError);
+    EXPECT_TRUE(FaultFired());
+  }
+  EXPECT_FALSE(DirExists(Sub("ucp")));
+  EXPECT_FALSE(DirExists(Sub("ucp.staging")));
+
+  Result<ConvertStats> retry =
+      ConvertForeignToUcp(Sub("foreign"), "foreign_step2", Sub("ucp"));
+  ASSERT_TRUE(retry.ok()) << retry.status();
+  EXPECT_TRUE(IsUcpComplete(Sub("ucp")));
+}
+
+TEST_F(CrashConsistencyTest, TornForeignBundleIsRejectedAtIngest) {
+  // The foreign framework's own save tears (crash after rename journaled, before data
+  // flushed). Ingestion must refuse the source with kDataLoss and produce no output — not
+  // convert a prefix of the optimizer into a "valid" UCP checkpoint.
+  TrainingRun run(ConfigFor({1, 1, 1, 1, 0, 1}));
+  run.Train(1, 2);
+  Status save = OkStatus();
+  {
+    ScopedFault fault(
+        {FaultPlan::Kind::kTornWrite, FsOp::kWrite, 1, "state_rank0", 0xF00Du});
+    run.Run([&](RankTrainer& t) { save = SaveForeignCheckpoint(Sub("foreign"), t, 2); });
+    EXPECT_TRUE(FaultFired());
+  }
+  EXPECT_TRUE(save.ok());  // the torn write lies, as a real crash would
+
+  Result<ConvertStats> ingest =
+      ConvertForeignToUcp(Sub("foreign"), "foreign_step2", Sub("ucp"));
+  ASSERT_FALSE(ingest.ok());
+  EXPECT_EQ(ingest.status().code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(DirExists(Sub("ucp")));
+  EXPECT_FALSE(DirExists(Sub("ucp.staging")));
+}
+
+TEST_F(CrashConsistencyTest, TornAtomWriteDuringForeignIngestIsCaughtByFsck) {
+  // A torn atom write *inside* the ingest commits (the converter cannot know), but the
+  // per-atom CRC keeps the damage from ever being trusted silently.
+  TrainingRun run(ConfigFor({1, 1, 1, 1, 0, 1}));
+  run.Train(1, 2);
+  run.Run([&](RankTrainer& t) {
+    Status s = SaveForeignCheckpoint(Sub("foreign"), t, 2);
+    UCP_CHECK(s.ok()) << s.ToString();
+  });
+
+  {
+    ScopedFault fault({FaultPlan::Kind::kTornWrite, FsOp::kWrite, 1, "/fp32", 0xBEEFu});
+    Result<ConvertStats> stats =
+        ConvertForeignToUcp(Sub("foreign"), "foreign_step2", Sub("ucp"));
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    EXPECT_TRUE(FaultFired());
+  }
+  EXPECT_TRUE(IsUcpComplete(Sub("ucp")));  // the marker is there...
+
+  Result<FsckReport> fsck = Fsck(Sub("ucp"), /*quarantine=*/false);
+  ASSERT_TRUE(fsck.ok()) << fsck.status();
+  EXPECT_FALSE(fsck->clean()) << fsck->ToString();  // ...but the CRCs say otherwise
 }
 
 TEST_F(CrashConsistencyTest, PerTensorCrcLocalizesCorruptionPastTheFileCrc) {

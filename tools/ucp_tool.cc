@@ -54,7 +54,8 @@ int Usage() {
                "  ucp_tool validate <ucp_dir>\n"
                "  ucp_tool validate-ckpt <ckpt_dir> <tag>\n"
                "  ucp_tool fsck <path> [--quarantine]\n"
-               "  ucp_tool prune <ckpt_dir> <keep_last>\n");
+               "  ucp_tool prune <ckpt_dir> <keep_last>\n"
+               "  ucp_tool gc <ckpt_dir> <keep_last> [--dry-run]\n");
   return 2;
 }
 
@@ -67,6 +68,7 @@ struct Flags {
   int threads = 4;
   std::string spec_file;
   bool quarantine = false;
+  bool dry_run = false;
   std::vector<std::string> positional;
 };
 
@@ -79,6 +81,8 @@ Flags ParseFlags(int argc, char** argv, int first) {
       flags.spec_file = argv[++i];
     } else if (std::strcmp(argv[i], "--quarantine") == 0) {
       flags.quarantine = true;
+    } else if (std::strcmp(argv[i], "--dry-run") == 0) {
+      flags.dry_run = true;
     } else {
       flags.positional.push_back(argv[i]);
     }
@@ -260,6 +264,25 @@ int CmdPrune(const Flags& flags) {
   return 0;
 }
 
+// Retention for steady-state training: keep the newest `keep_last` *committed* tags (plus
+// whatever `latest` names), leave uncommitted tags and `.staging` debris to fsck / the
+// next save. `prune` is the blunter tool that counts every tag.
+int CmdGc(const Flags& flags) {
+  if (flags.positional.size() != 2) {
+    return Usage();
+  }
+  int keep = std::atoi(flags.positional[1].c_str());
+  Result<GcReport> report = GcCheckpoints(flags.positional[0], keep, flags.dry_run);
+  if (!report.ok()) {
+    return Fail(report.status());
+  }
+  if (flags.dry_run) {
+    std::printf("(dry run — nothing deleted)\n");
+  }
+  std::printf("%s", report->ToString().c_str());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -295,6 +318,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "prune") {
     return CmdPrune(flags);
+  }
+  if (command == "gc") {
+    return CmdGc(flags);
   }
   return Usage();
 }
