@@ -7,13 +7,20 @@
 // Both arms use the same GPU count and strategy (TP2 PP2 DP2 ZeRO-1), exactly as in the
 // paper ("standard distributed checkpoints cannot be loaded when there are changes in GPU
 // counts or parallelism strategies").
+//
+// A second comparison isolates the UCP load executor itself — serial whole-file assembly
+// vs the sliced parallel path (partition-pruned pread range reads + slice cache) — and
+// emits BENCH_load_cost.json with wall-clock and bytes-read-per-rank for both arms.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <map>
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "src/tensor/tensor_file.h"
+#include "src/ucp/slice_cache.h"
 
 namespace ucp {
 namespace {
@@ -88,6 +95,93 @@ void BM_ConvertAndLoadUcp(benchmark::State& state, const Arm& arm) {
   }
 }
 
+void run_with_options(TrainingRun& run, const std::string& ucp_dir,
+                      const UcpLoadOptions& options) {
+  run.Run([&](RankTrainer& t) {
+    Status s = LoadUcpCheckpoint(ucp_dir, t, options);
+    UCP_CHECK(s.ok()) << s.ToString();
+  });
+}
+
+// Serial whole-file assembly vs the sliced parallel executor, on an already-converted UCP
+// checkpoint (the one-time conversion cost is fig12's other comparison, above). Reports
+// wall-clock and bytes-read-per-rank for both arms into BENCH_load_cost.json.
+Json RunLoadComparison() {
+  using Clock = std::chrono::steady_clock;
+  auto seconds_between = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+  constexpr int kReps = 3;
+  const int world = kStrategy.world_size();
+
+  JsonArray arms;
+  for (const Arm& arm : Arms()) {
+    Fixture& f = FixtureFor(arm);
+    const std::string ucp_dir =
+        "/tmp/ucp_bench/fig12_loadcmp_ucp_" + std::string(arm.size_label);
+    UCP_CHECK(RemoveAll(ucp_dir).ok());
+    Result<ConvertStats> stats =
+        ConvertToUcp(f.ckpt_dir, TagForIteration(2), ucp_dir, {.num_threads = 4});
+    UCP_CHECK(stats.ok()) << stats.status().ToString();
+
+    auto run_arm = [&](const UcpLoadOptions& options, uint64_t* bytes_per_rank,
+                       uint64_t* cache_hits) {
+      // Warm-up rep excluded from timing (first touch pays page-cache population for both
+      // arms alike; steady-state is the quantity of interest).
+      run_with_options(*f.run, ucp_dir, options);
+      AtomSliceCache::Global().ResetStats();
+      ResetTensorIoStats();
+      const auto t0 = Clock::now();
+      for (int i = 0; i < kReps; ++i) {
+        run_with_options(*f.run, ucp_dir, options);
+      }
+      const double seconds = seconds_between(t0, Clock::now()) / kReps;
+      *bytes_per_rank =
+          GetTensorIoStats().bytes_read / static_cast<uint64_t>(kReps * world);
+      *cache_hits = AtomSliceCache::Global().stats().hits / kReps;
+      return seconds;
+    };
+
+    uint64_t serial_bytes = 0, sliced_bytes = 0, serial_hits = 0, sliced_hits = 0;
+    const double serial_seconds =
+        run_arm({.sliced = false}, &serial_bytes, &serial_hits);
+    const double sliced_seconds = run_arm(
+        {.num_threads = 8, .sliced = true, .use_slice_cache = true}, &sliced_bytes,
+        &sliced_hits);
+
+    const double fraction =
+        static_cast<double>(sliced_bytes) / static_cast<double>(serial_bytes);
+    const double speedup = serial_seconds / sliced_seconds;
+    std::printf(
+        "fig12/ucp_load/%s serial=%.3fms sliced=%.3fms speedup=%.2fx "
+        "bytes/rank %llu -> %llu (%.1f%%) cache_hits/load=%llu\n",
+        arm.size_label, serial_seconds * 1e3, sliced_seconds * 1e3, speedup,
+        static_cast<unsigned long long>(serial_bytes),
+        static_cast<unsigned long long>(sliced_bytes), fraction * 100.0,
+        static_cast<unsigned long long>(sliced_hits));
+
+    JsonObject entry;
+    entry["model"] = arm.size_label;
+    entry["serial_whole_file_seconds"] = serial_seconds;
+    entry["sliced_parallel_seconds"] = sliced_seconds;
+    entry["speedup"] = speedup;
+    entry["serial_bytes_read_per_rank"] = static_cast<int64_t>(serial_bytes);
+    entry["sliced_bytes_read_per_rank"] = static_cast<int64_t>(sliced_bytes);
+    entry["sliced_bytes_fraction_of_serial"] = fraction;
+    entry["slice_cache_hits_per_load"] = static_cast<int64_t>(sliced_hits);
+    arms.emplace_back(std::move(entry));
+  }
+
+  JsonObject doc;
+  doc["benchmark"] = "fig12_ucp_load_serial_vs_sliced";
+  doc["strategy"] = kStrategy.ToString();
+  doc["world_size"] = world;
+  doc["loader_threads"] = 8;
+  doc["loads_per_arm"] = kReps;
+  doc["arms"] = std::move(arms);
+  return Json(std::move(doc));
+}
+
 }  // namespace
 }  // namespace ucp
 
@@ -142,6 +236,12 @@ int main(int argc, char** argv) {
         ->MinTime(0.5);
   }
   benchmark::RunSpecifiedBenchmarks();
+
+  ucp::Json report = ucp::RunLoadComparison();
+  const std::string out = "BENCH_load_cost.json";
+  UCP_CHECK(ucp::WriteFileAtomic(out, report.Dump(2)).ok());
+  std::printf("wrote %s\n", out.c_str());
+
   ucp::PrintModeledProjection();
   return 0;
 }

@@ -349,21 +349,21 @@ Result<LoadedOptimState> LoadLocalState(const std::string& dir, const std::strin
     }
   }
 
+  // Range-read the three flat tensors through the view: the header parses once, and for v3
+  // files only the chunks backing each requested tensor are verified (not the whole file).
   UCP_ASSIGN_OR_RETURN(
-      TensorBundle optim,
-      LoadBundle(PathJoin(tag_dir, OptimStatesFileName(coord.dp, coord.tp, coord.pp,
-                                                       coord.sp))));
-  const Tensor* master = optim.Find("fp32_flat");
-  const Tensor* exp_avg = optim.Find("exp_avg");
-  const Tensor* exp_avg_sq = optim.Find("exp_avg_sq");
-  if (master == nullptr || exp_avg == nullptr || exp_avg_sq == nullptr) {
+      BundleFileView optim,
+      BundleFileView::Open(PathJoin(tag_dir, OptimStatesFileName(coord.dp, coord.tp,
+                                                                 coord.pp, coord.sp))));
+  if (optim.IndexOf("fp32_flat") < 0 || optim.IndexOf("exp_avg") < 0 ||
+      optim.IndexOf("exp_avg_sq") < 0) {
     return DataLossError("optimizer states bundle is missing tensors");
   }
   LoadedOptimState state;
-  state.master = master->Clone();
-  state.exp_avg = exp_avg->Clone();
-  state.exp_avg_sq = exp_avg_sq->Clone();
-  UCP_ASSIGN_OR_RETURN(state.steps, optim.meta.GetInt("steps_taken"));
+  UCP_ASSIGN_OR_RETURN(state.master, optim.ReadTensor("fp32_flat"));
+  UCP_ASSIGN_OR_RETURN(state.exp_avg, optim.ReadTensor("exp_avg"));
+  UCP_ASSIGN_OR_RETURN(state.exp_avg_sq, optim.ReadTensor("exp_avg_sq"));
+  UCP_ASSIGN_OR_RETURN(state.steps, optim.meta().GetInt("steps_taken"));
   return state;
 }
 

@@ -204,6 +204,71 @@ Status RenamePath(const std::string& from, const std::string& to) {
   return OkStatus();
 }
 
+RandomAccessFile::~RandomAccessFile() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+RandomAccessFile::RandomAccessFile(RandomAccessFile&& other) noexcept
+    : fd_(other.fd_), size_(other.size_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+  other.size_ = 0;
+}
+
+RandomAccessFile& RandomAccessFile::operator=(RandomAccessFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = other.fd_;
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+Result<RandomAccessFile> RandomAccessFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return NotFoundError("cannot open " + path + ": " + std::strerror(errno));
+  }
+  off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return IoError("lseek failed: " + path + ": " + std::strerror(errno));
+  }
+  return RandomAccessFile(fd, static_cast<uint64_t>(end), path);
+}
+
+Status RandomAccessFile::ReadAt(uint64_t offset, void* out, size_t size) const {
+  if (fd_ < 0) {
+    return InternalError("ReadAt on a closed file: " + path_);
+  }
+  char* p = static_cast<char*>(out);
+  size_t left = size;
+  uint64_t pos = offset;
+  while (left > 0) {
+    ssize_t n = ::pread(fd_, p, left, static_cast<off_t>(pos));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return IoError("pread failed: " + path_ + ": " + std::strerror(errno));
+    }
+    if (n == 0) {
+      return DataLossError("short read at offset " + std::to_string(pos) + " of " + path_ +
+                           " (file truncated?)");
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+    pos += static_cast<uint64_t>(n);
+  }
+  return OkStatus();
+}
+
 Result<std::string> ReadFileToString(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {

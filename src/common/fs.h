@@ -63,6 +63,39 @@ class ScopedFsyncBatch {
 // injector like the file writes do.
 Status RenamePath(const std::string& from, const std::string& to);
 
+// Read-only positional access to one file (pread; no shared cursor). The sliced checkpoint
+// load path uses this to fetch byte ranges of tensor files without reading whole files.
+// Movable, not copyable; the descriptor closes on destruction. A moved-from file is closed.
+// Concurrent ReadAt calls on one instance are safe at the kernel level (pread is atomic in
+// the offset), but the checkpoint readers give each worker its own instance anyway.
+class RandomAccessFile {
+ public:
+  static Result<RandomAccessFile> Open(const std::string& path);
+
+  RandomAccessFile() = default;
+  ~RandomAccessFile();
+  RandomAccessFile(RandomAccessFile&& other) noexcept;
+  RandomAccessFile& operator=(RandomAccessFile&& other) noexcept;
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+
+  bool open() const { return fd_ >= 0; }
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  // Reads exactly `size` bytes at `offset` into `out`; kDataLoss on short reads (the caller
+  // asked for bytes the file does not have — a truncation symptom, not an I/O hiccup).
+  Status ReadAt(uint64_t offset, void* out, size_t size) const;
+
+ private:
+  RandomAccessFile(int fd, uint64_t size, std::string path)
+      : fd_(fd), size_(size), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  uint64_t size_ = 0;
+  std::string path_;
+};
+
 Result<std::string> ReadFileToString(const std::string& path);
 
 // Names (not full paths) of directory entries, sorted. Fails if `path` is not a directory.

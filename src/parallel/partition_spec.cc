@@ -71,6 +71,46 @@ Tensor ShardOf(const PartitionSpec& spec, const Tensor& full, int degree, int ra
   return pieces.size() == 1 ? std::move(pieces[0]) : Tensor::Concat(pieces, spec.dim);
 }
 
+std::vector<ShardRun> ShardRuns(const PartitionSpec& spec, const Shape& full_shape,
+                                int degree, int rank) {
+  UCP_CHECK_GE(rank, 0);
+  UCP_CHECK_LT(rank, degree);
+  int64_t total = ShapeNumel(full_shape);
+  if (spec.kind != PartitionKind::kFragment || degree == 1) {
+    return {ShardRun{0, 0, total}};
+  }
+  std::vector<int64_t> sections = EffectiveSections(spec, full_shape, degree);
+  const size_t d = static_cast<size_t>(spec.dim);
+  int64_t outer = 1;
+  for (size_t i = 0; i < d; ++i) {
+    outer *= full_shape[i];
+  }
+  int64_t inner = 1;
+  for (size_t i = d + 1; i < full_shape.size(); ++i) {
+    inner *= full_shape[i];
+  }
+  const int64_t dim_size = full_shape[d];
+  const int64_t shard_dim = dim_size / degree;
+
+  std::vector<ShardRun> runs;
+  runs.reserve(static_cast<size_t>(outer) * sections.size());
+  for (int64_t o = 0; o < outer; ++o) {
+    const int64_t full_block = o * dim_size * inner;
+    const int64_t shard_block = o * shard_dim * inner;
+    int64_t section_start = 0;  // along dim, in the full tensor
+    int64_t local_start = 0;    // along dim, in the shard
+    for (int64_t s : sections) {
+      const int64_t piece = s / degree;
+      runs.push_back(ShardRun{shard_block + local_start * inner,
+                              full_block + (section_start + rank * piece) * inner,
+                              piece * inner});
+      section_start += s;
+      local_start += piece;
+    }
+  }
+  return runs;
+}
+
 Tensor Unshard(const PartitionSpec& spec, const std::vector<Tensor>& shards,
                const Shape& full_shape) {
   UCP_CHECK(!shards.empty());

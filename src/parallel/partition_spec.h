@@ -58,6 +58,22 @@ Tensor ShardOf(const PartitionSpec& spec, const Tensor& full, int degree, int ra
 Tensor Unshard(const PartitionSpec& spec, const std::vector<Tensor>& shards,
                const Shape& full_shape);
 
+// One contiguous piece of a shard inside the full tensor's row-major flat layout.
+struct ShardRun {
+  int64_t shard_offset;  // flat element offset inside the shard
+  int64_t full_offset;   // flat element offset inside the full tensor
+  int64_t numel;
+};
+
+// Decomposes rank `rank`'s shard (as produced by ShardOf) into contiguous runs of the full
+// tensor. Runs are emitted in ascending shard_offset AND ascending full_offset, so a reader
+// can walk the atom file forward while filling the shard buffer forward — this is what lets
+// the sliced load path fetch exactly the byte ranges a rank owns: dim-0 fragments yield one
+// run (a single pread), dim>0 fragments yield a strided gather of prod(dims[:dim]) runs per
+// section. Replicated/averaged specs and degree 1 yield the single identity run.
+std::vector<ShardRun> ShardRuns(const PartitionSpec& spec, const Shape& full_shape,
+                                int degree, int rank);
+
 }  // namespace ucp
 
 #endif  // UCP_SRC_PARALLEL_PARTITION_SPEC_H_

@@ -1,5 +1,6 @@
 #include "src/tensor/tensor_file.h"
 
+#include <atomic>
 #include <cstring>
 
 #include "src/common/bytes.h"
@@ -12,47 +13,106 @@ namespace {
 constexpr uint32_t kTensorMagic = 0x31544355;  // "UCT1" little-endian
 constexpr uint32_t kBundleMagic = 0x31424355;  // "UCB1" little-endian
 constexpr uint32_t kEndianTag = 0x01020304;
-constexpr uint32_t kFormatVersion = 2;  // see the header's version history
+constexpr uint32_t kFormatVersion = 3;  // see the header's version history
 
-void PutPayload(ByteWriter& w, const Tensor& t, DType dtype) {
+// Chunk sizing: 64 KiB default, halved down to 4 KiB until a payload spans at least four
+// chunks, so chunk-CRC localization is meaningful even for simulator-scale tensors.
+constexpr uint32_t kMaxChunkBytes = 64 * 1024;
+constexpr uint32_t kMinChunkBytes = 4 * 1024;
+
+uint32_t PickChunkBytes(uint64_t payload_bytes) {
+  uint32_t chunk = kMaxChunkBytes;
+  while (chunk > kMinChunkBytes && payload_bytes < 4ull * chunk) {
+    chunk /= 2;
+  }
+  return chunk;
+}
+
+uint32_t NumChunksFor(uint64_t payload_bytes, uint32_t chunk_bytes) {
+  if (payload_bytes == 0) {
+    return 0;
+  }
+  return static_cast<uint32_t>((payload_bytes + chunk_bytes - 1) / chunk_bytes);
+}
+
+std::atomic<uint64_t> g_bytes_read{0};
+std::atomic<uint64_t> g_read_calls{0};
+std::atomic<uint64_t> g_chunks_verified{0};
+
+void CountRead(uint64_t bytes) {
+  g_bytes_read.fetch_add(bytes, std::memory_order_relaxed);
+  g_read_calls.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+void PatchU64(std::vector<uint8_t>& buf, size_t at, uint64_t v) {
+  std::memcpy(buf.data() + at, &v, 8);
+}
+
+void AppendU32(std::vector<uint8_t>& buf, uint32_t v) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  buf.insert(buf.end(), p, p + 4);
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoding/decoding. On-disk payloads are raw little-endian values of the storage
+// dtype; in-memory tensors are always fp32.
+
+std::vector<uint8_t> EncodePayload(const Tensor& t, DType dtype) {
   const float* p = t.data();
   int64_t n = t.numel();
+  std::vector<uint8_t> out(static_cast<size_t>(n) * DTypeSize(dtype));
   switch (dtype) {
-    case DType::kF32: {
-      w.PutU64(static_cast<uint64_t>(n) * 4);
-      // All hosts we target are little-endian IEEE-754; the endian tag guards the assumption.
-      w.PutBytes(p, static_cast<size_t>(n) * sizeof(float));
+    case DType::kF32:
+      std::memcpy(out.data(), p, out.size());
       break;
-    }
-    case DType::kBF16: {
-      w.PutU64(static_cast<uint64_t>(n) * 2);
+    case DType::kBF16:
       for (int64_t i = 0; i < n; ++i) {
         uint16_t v = F32ToBf16(p[i]);
-        w.PutU8(static_cast<uint8_t>(v & 0xFF));
-        w.PutU8(static_cast<uint8_t>(v >> 8));
+        out[2 * i] = static_cast<uint8_t>(v & 0xFF);
+        out[2 * i + 1] = static_cast<uint8_t>(v >> 8);
       }
       break;
-    }
-    case DType::kF16: {
-      w.PutU64(static_cast<uint64_t>(n) * 2);
+    case DType::kF16:
       for (int64_t i = 0; i < n; ++i) {
         uint16_t v = F32ToF16(p[i]);
-        w.PutU8(static_cast<uint8_t>(v & 0xFF));
-        w.PutU8(static_cast<uint8_t>(v >> 8));
+        out[2 * i] = static_cast<uint8_t>(v & 0xFF);
+        out[2 * i + 1] = static_cast<uint8_t>(v >> 8);
       }
       break;
-    }
+  }
+  return out;
+}
+
+void DecodeElements(const uint8_t* raw, DType dtype, int64_t count, float* out) {
+  switch (dtype) {
+    case DType::kF32:
+      std::memcpy(out, raw, static_cast<size_t>(count) * sizeof(float));
+      break;
+    case DType::kBF16:
+    case DType::kF16:
+      for (int64_t i = 0; i < count; ++i) {
+        uint16_t v = static_cast<uint16_t>(raw[2 * i]) |
+                     (static_cast<uint16_t>(raw[2 * i + 1]) << 8);
+        out[i] = dtype == DType::kBF16 ? Bf16ToF32(v) : F16ToF32(v);
+      }
+      break;
   }
 }
 
-// Payload plus its per-tensor CRC32 (over the stored payload bytes, after any dtype
-// conversion — the CRC protects what is on disk, not the in-memory fp32 view).
-void PutPayloadChecked(ByteWriter& w, const Tensor& t, DType dtype) {
-  size_t length_prefix = 8;  // PutPayload leads with the u64 byte count
-  size_t start = w.size() + length_prefix;
-  PutPayload(w, t, dtype);
-  w.PutU32(Crc32(w.buffer().data() + start, w.size() - start));
-}
+// ---------------------------------------------------------------------------
+// Shared header pieces (v1/v2/v3 all use the same dtype/shape/payload-size encoding).
 
 void PutHeader(ByteWriter& w, const Tensor& t, DType dtype) {
   w.PutU8(static_cast<uint8_t>(dtype));
@@ -87,13 +147,104 @@ Result<ParsedHeader> GetHeaderAndSize(ByteReader& r) {
     h.shape.push_back(d);
   }
   UCP_ASSIGN_OR_RETURN(h.payload_bytes, r.GetU64());
-  uint64_t expect =
-      static_cast<uint64_t>(ShapeNumel(h.shape)) * DTypeSize(h.dtype);
+  uint64_t expect = static_cast<uint64_t>(ShapeNumel(h.shape)) * DTypeSize(h.dtype);
   if (h.payload_bytes != expect) {
     return DataLossError("payload size " + std::to_string(h.payload_bytes) +
                          " does not match shape " + ShapeToString(h.shape));
   }
   return h;
+}
+
+std::string ChunkCrcErr(const std::string& what, size_t chunk_index, size_t num_chunks) {
+  // Keeps the v2 "per-tensor CRC mismatch in <member>" phrasing (callers and fsck match on
+  // it) while pinpointing the damaged chunk.
+  return "per-tensor CRC mismatch in " + what + " (chunk " + std::to_string(chunk_index) +
+         " of " + std::to_string(num_chunks) + ")";
+}
+
+// Verifies every chunk CRC of a payload already in memory.
+Status VerifyChunks(const uint8_t* payload, uint64_t payload_bytes, uint32_t chunk_bytes,
+                    const std::vector<uint32_t>& crcs, const std::string& what) {
+  for (size_t ci = 0; ci < crcs.size(); ++ci) {
+    uint64_t start = ci * static_cast<uint64_t>(chunk_bytes);
+    uint64_t size = std::min<uint64_t>(chunk_bytes, payload_bytes - start);
+    if (Crc32(payload + start, static_cast<size_t>(size)) != crcs[ci]) {
+      return DataLossError(ChunkCrcErr(what, ci, crcs.size()));
+    }
+    g_chunks_verified.fetch_add(1, std::memory_order_relaxed);
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// v3 writers. Layout (single tensor):
+//   u32 magic | u32 endian | u32 version
+//   u64 header_bytes                         (fixed offset 12; == payload start offset)
+//   u8 dtype | u32 ndim | i64 dims[ndim] | u64 payload_bytes
+//   u32 chunk_bytes | u32 num_chunks | u32 chunk_crc[num_chunks]
+//   u32 header_crc                           (CRC32 over bytes [0, here))
+//   payload (raw)
+//   u32 file_crc                             (CRC32 over bytes [0, here))
+// Bundles use the same prologue, then meta string + entry table (each entry additionally
+// records its absolute payload offset), header_crc, concatenated payloads, file_crc.
+
+void PutChunkTable(ByteWriter& w, const std::vector<uint8_t>& payload, uint32_t chunk_bytes) {
+  uint32_t num_chunks = NumChunksFor(payload.size(), chunk_bytes);
+  w.PutU32(chunk_bytes);
+  w.PutU32(num_chunks);
+  for (uint32_t ci = 0; ci < num_chunks; ++ci) {
+    uint64_t start = ci * static_cast<uint64_t>(chunk_bytes);
+    uint64_t size = std::min<uint64_t>(chunk_bytes, payload.size() - start);
+    w.PutU32(Crc32(payload.data() + start, static_cast<size_t>(size)));
+  }
+}
+
+Status CommitV3(const std::string& path, ByteWriter& header,
+                const std::vector<const std::vector<uint8_t>*>& payloads,
+                const std::vector<size_t>& offset_patch_positions) {
+  std::vector<uint8_t> buf = header.TakeBuffer();
+  uint64_t header_bytes = buf.size() + 4;  // + header_crc
+  PatchU64(buf, 12, header_bytes);
+  uint64_t running = header_bytes;
+  for (size_t i = 0; i < offset_patch_positions.size(); ++i) {
+    PatchU64(buf, offset_patch_positions[i], running);
+    running += payloads[i]->size();
+  }
+  AppendU32(buf, Crc32(buf.data(), buf.size()));  // header_crc
+  for (const std::vector<uint8_t>* p : payloads) {
+    buf.insert(buf.end(), p->begin(), p->end());
+  }
+  AppendU32(buf, Crc32(buf.data(), buf.size()));  // file_crc
+  return WriteFileAtomic(path, buf.data(), buf.size());
+}
+
+// ---------------------------------------------------------------------------
+// Read-side helpers.
+
+// Checks magic + endian tag from the 12-byte prologue and classifies the format version:
+// a known version value (2, 3) at offset 8, anything else is pre-version-field v1. (A v1
+// tensor file has the dtype byte at offset 8, which never collides with 2/3 for the files
+// we write: dtype <= 2 and ndim >= 1 put a value >= 256 there.)
+Result<uint32_t> SniffPrologue(const uint8_t* p, uint32_t magic, const char* kind,
+                               const std::string& path) {
+  if (LoadU32(p) != magic) {
+    return DataLossError(std::string(kind) + " bad magic in " + path);
+  }
+  if (LoadU32(p + 4) != kEndianTag) {
+    return DataLossError(std::string(kind) + " endianness mismatch in " + path);
+  }
+  uint32_t v = LoadU32(p + 8);
+  return (v == 2 || v == 3) ? v : 1;
+}
+
+Status CheckFileCrc(const std::string& contents, const char* kind, const std::string& path) {
+  size_t body_size = contents.size() - 4;
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, contents.data() + body_size, 4);
+  if (stored_crc != Crc32(contents.data(), body_size)) {
+    return DataLossError(std::string(kind) + " CRC mismatch in " + path);
+  }
+  return OkStatus();
 }
 
 Status CheckPayloadCrc(ByteReader& r, const void* payload, size_t size, const char* what) {
@@ -105,73 +256,232 @@ Status CheckPayloadCrc(ByteReader& r, const void* payload, size_t size, const ch
   return OkStatus();
 }
 
-Result<Tensor> GetPayload(ByteReader& r, const ParsedHeader& h, const std::string& name) {
-  Tensor t = Tensor::Zeros(h.shape);
-  int64_t n = t.numel();
-  float* p = t.data();
-  switch (h.dtype) {
-    case DType::kF32:
-      UCP_RETURN_IF_ERROR(r.GetBytes(p, static_cast<size_t>(n) * sizeof(float)));
-      // fp32 payload bytes are the tensor memory itself (little-endian host).
-      UCP_RETURN_IF_ERROR(
-          CheckPayloadCrc(r, p, static_cast<size_t>(n) * sizeof(float), name.c_str()));
-      break;
-    case DType::kBF16:
-    case DType::kF16: {
-      std::vector<uint8_t> raw(static_cast<size_t>(n) * 2);
-      UCP_RETURN_IF_ERROR(r.GetBytes(raw.data(), raw.size()));
-      UCP_RETURN_IF_ERROR(CheckPayloadCrc(r, raw.data(), raw.size(), name.c_str()));
-      for (int64_t i = 0; i < n; ++i) {
-        uint16_t v = static_cast<uint16_t>(raw[2 * i]) |
-                     (static_cast<uint16_t>(raw[2 * i + 1]) << 8);
-        p[i] = h.dtype == DType::kBF16 ? Bf16ToF32(v) : F16ToF32(v);
-      }
-      break;
-    }
+// Raw (undecoded) payload bytes of one legacy member; verifies the per-tensor CRC for v2.
+Result<std::vector<uint8_t>> GetRawPayloadLegacy(ByteReader& r, const ParsedHeader& h,
+                                                 uint32_t version, const std::string& name) {
+  std::vector<uint8_t> raw(h.payload_bytes);
+  UCP_RETURN_IF_ERROR(r.GetBytes(raw.data(), raw.size()));
+  if (version >= 2) {
+    UCP_RETURN_IF_ERROR(CheckPayloadCrc(r, raw.data(), raw.size(), name.c_str()));
   }
+  return raw;
+}
+
+Result<Tensor> GetPayloadLegacy(ByteReader& r, const ParsedHeader& h, uint32_t version,
+                                const std::string& name) {
+  UCP_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, GetRawPayloadLegacy(r, h, version, name));
+  Tensor t = Tensor::Zeros(h.shape);
+  DecodeElements(raw.data(), h.dtype, t.numel(), t.data());
   return t;
 }
 
-// Reads past a payload without converting it, still verifying its CRC (Stat* must not bless
-// a corrupt member just because the caller skipped the data).
-Status SkipPayloadChecked(ByteReader& r, const ParsedHeader& h, const std::string& name) {
-  std::vector<uint8_t> raw(h.payload_bytes);
-  UCP_RETURN_IF_ERROR(r.GetBytes(raw.data(), raw.size()));
-  return CheckPayloadCrc(r, raw.data(), raw.size(), name.c_str());
-}
+// Verifies the trailing file CRC, the prologue, and (for v2) the version field, returning a
+// reader positioned at the first header byte plus the sniffed version.
+struct LegacyFile {
+  ByteReader reader;
+  uint32_t version;
+};
 
-// Verifies the trailing CRC and returns a reader over the protected region.
-Result<ByteReader> OpenChecked(const std::string& contents, uint32_t magic, const char* kind,
-                               const std::string& path) {
-  if (contents.size() < 16) {  // magic + endian + version + trailing CRC
+Result<LegacyFile> OpenLegacyOrV3(const std::string& contents, uint32_t magic,
+                                  const char* kind, const std::string& path) {
+  if (contents.size() < 16) {  // prologue + trailing CRC at minimum
     return DataLossError(std::string(kind) + " file truncated: " + path);
   }
-  size_t body_size = contents.size() - 4;
-  uint32_t stored_crc = 0;
-  std::memcpy(&stored_crc, contents.data() + body_size, 4);
-  uint32_t actual_crc = Crc32(contents.data(), body_size);
-  if (stored_crc != actual_crc) {
-    return DataLossError(std::string(kind) + " CRC mismatch in " + path);
+  UCP_ASSIGN_OR_RETURN(
+      uint32_t version,
+      SniffPrologue(reinterpret_cast<const uint8_t*>(contents.data()), magic, kind, path));
+  UCP_RETURN_IF_ERROR(CheckFileCrc(contents, kind, path));
+  ByteReader r(contents.data(), contents.size() - 4);
+  (void)r.GetU32();  // magic (already checked)
+  (void)r.GetU32();  // endian (already checked)
+  if (version >= 2) {
+    (void)r.GetU32();  // version field
   }
-  ByteReader r(contents.data(), body_size);
-  UCP_ASSIGN_OR_RETURN(uint32_t got_magic, r.GetU32());
-  if (got_magic != magic) {
-    return DataLossError(std::string(kind) + " bad magic in " + path);
+  return LegacyFile{r, version};
+}
+
+// Parsed v3 tensor-file header prefix (prefix = bytes [0, header_bytes), including its CRC).
+struct V3TensorHeader {
+  TensorFileInfo info;
+  std::vector<uint32_t> chunk_crcs;
+};
+
+Status CheckHeaderCrc(const uint8_t* prefix, uint64_t size, const char* kind,
+                      const std::string& path) {
+  if (size < 24) {
+    return DataLossError(std::string(kind) + " header truncated: " + path);
   }
-  UCP_ASSIGN_OR_RETURN(uint32_t endian, r.GetU32());
-  if (endian != kEndianTag) {
-    return DataLossError(std::string(kind) + " endianness mismatch in " + path);
+  if (Crc32(prefix, static_cast<size_t>(size - 4)) != LoadU32(prefix + size - 4)) {
+    return DataLossError(std::string(kind) + " header CRC mismatch in " + path);
   }
-  // The whole-file CRC already passed, so a wrong version here is a real version skew, not
-  // corruption: reject it as a precondition failure rather than data loss.
-  UCP_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
-  if (version != kFormatVersion) {
-    return FailedPreconditionError(std::string(kind) + " file " + path +
-                                   " has format version " + std::to_string(version) +
-                                   ", this build reads version " +
-                                   std::to_string(kFormatVersion));
+  return OkStatus();
+}
+
+Result<std::pair<ParsedHeader, std::pair<uint32_t, std::vector<uint32_t>>>> GetV3Entry(
+    ByteReader& r, const std::string& what) {
+  UCP_ASSIGN_OR_RETURN(ParsedHeader h, GetHeaderAndSize(r));
+  UCP_ASSIGN_OR_RETURN(uint32_t chunk_bytes, r.GetU32());
+  if (chunk_bytes == 0) {
+    return DataLossError("zero chunk size in " + what);
   }
-  return r;
+  UCP_ASSIGN_OR_RETURN(uint32_t num_chunks, r.GetU32());
+  if (num_chunks != NumChunksFor(h.payload_bytes, chunk_bytes)) {
+    return DataLossError("chunk count does not match payload size in " + what);
+  }
+  std::vector<uint32_t> crcs(num_chunks);
+  for (uint32_t i = 0; i < num_chunks; ++i) {
+    UCP_ASSIGN_OR_RETURN(crcs[i], r.GetU32());
+  }
+  return std::make_pair(std::move(h), std::make_pair(chunk_bytes, std::move(crcs)));
+}
+
+Result<V3TensorHeader> ParseV3TensorPrefix(const uint8_t* prefix, uint64_t size,
+                                           const std::string& path) {
+  UCP_RETURN_IF_ERROR(CheckHeaderCrc(prefix, size, "tensor", path));
+  ByteReader r(prefix, static_cast<size_t>(size - 4));
+  (void)r.GetU32();  // magic
+  (void)r.GetU32();  // endian
+  (void)r.GetU32();  // version
+  UCP_ASSIGN_OR_RETURN(uint64_t header_bytes, r.GetU64());
+  if (header_bytes != size) {
+    return DataLossError("inconsistent header size in " + path);
+  }
+  UCP_ASSIGN_OR_RETURN(auto entry, GetV3Entry(r, path));
+  if (!r.AtEnd()) {
+    return DataLossError("trailing bytes in tensor header of " + path);
+  }
+  V3TensorHeader h;
+  h.info.shape = std::move(entry.first.shape);
+  h.info.dtype = entry.first.dtype;
+  h.info.payload_bytes = entry.first.payload_bytes;
+  h.info.format_version = 3;
+  h.info.chunk_bytes = entry.second.first;
+  h.info.num_chunks = static_cast<uint32_t>(entry.second.second.size());
+  h.chunk_crcs = std::move(entry.second.second);
+  return h;
+}
+
+struct V3BundleHeader {
+  Json meta;
+  std::vector<std::pair<std::string, TensorFileInfo>> entries;
+  struct Member {
+    uint64_t payload_offset;
+    uint32_t chunk_bytes;
+    std::vector<uint32_t> chunk_crcs;
+  };
+  std::vector<Member> members;
+  uint64_t payload_end = 0;  // absolute offset just past the last payload
+};
+
+Result<V3BundleHeader> ParseV3BundlePrefix(const uint8_t* prefix, uint64_t size,
+                                           const std::string& path) {
+  UCP_RETURN_IF_ERROR(CheckHeaderCrc(prefix, size, "bundle", path));
+  ByteReader r(prefix, static_cast<size_t>(size - 4));
+  (void)r.GetU32();  // magic
+  (void)r.GetU32();  // endian
+  (void)r.GetU32();  // version
+  UCP_ASSIGN_OR_RETURN(uint64_t header_bytes, r.GetU64());
+  if (header_bytes != size) {
+    return DataLossError("inconsistent header size in " + path);
+  }
+  V3BundleHeader out;
+  UCP_ASSIGN_OR_RETURN(std::string meta_text, r.GetString());
+  UCP_ASSIGN_OR_RETURN(out.meta, Json::Parse(meta_text));
+  UCP_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  if (count > r.remaining()) {  // each entry takes well over one byte
+    return DataLossError("implausible bundle entry count in " + path);
+  }
+  uint64_t expected_offset = header_bytes;
+  for (uint32_t i = 0; i < count; ++i) {
+    UCP_ASSIGN_OR_RETURN(std::string name, r.GetString());
+    UCP_ASSIGN_OR_RETURN(auto entry, GetV3Entry(r, path + ":" + name));
+    UCP_ASSIGN_OR_RETURN(uint64_t payload_offset, r.GetU64());
+    if (payload_offset != expected_offset) {
+      return DataLossError("non-contiguous payload offsets in " + path);
+    }
+    expected_offset += entry.first.payload_bytes;
+    TensorFileInfo info;
+    info.shape = std::move(entry.first.shape);
+    info.dtype = entry.first.dtype;
+    info.payload_bytes = entry.first.payload_bytes;
+    info.format_version = 3;
+    info.chunk_bytes = entry.second.first;
+    info.num_chunks = static_cast<uint32_t>(entry.second.second.size());
+    out.entries.emplace_back(std::move(name), std::move(info));
+    out.members.push_back(V3BundleHeader::Member{payload_offset, entry.second.first,
+                                                 std::move(entry.second.second)});
+  }
+  if (!r.AtEnd()) {
+    return DataLossError("trailing bytes in bundle header of " + path);
+  }
+  out.payload_end = expected_offset;
+  return out;
+}
+
+// Reads the [0, header_bytes) prefix of an on-disk v3 file (prologue already sniffed).
+Result<std::vector<uint8_t>> ReadV3Prefix(const RandomAccessFile& f, const char* kind) {
+  if (f.size() < 24) {
+    return DataLossError(std::string(kind) + " file truncated: " + f.path());
+  }
+  uint8_t head[20];
+  UCP_RETURN_IF_ERROR(f.ReadAt(0, head, sizeof(head)));
+  uint64_t header_bytes = LoadU64(head + 12);
+  if (header_bytes < 24 || header_bytes + 4 > f.size()) {
+    return DataLossError(std::string(kind) + " header size out of range in " + f.path());
+  }
+  std::vector<uint8_t> prefix(static_cast<size_t>(header_bytes));
+  UCP_RETURN_IF_ERROR(f.ReadAt(0, prefix.data(), prefix.size()));
+  CountRead(prefix.size());
+  return prefix;
+}
+
+// The chunk-verifying positional read shared by TensorFileView and BundleFileView: decodes
+// elements [elem_begin, elem_begin + elem_count) of a payload living at `payload_offset` in
+// `f`. Unverified chunks are read whole (and their CRC checked once); already-verified
+// chunks are read only where the range overlaps them.
+Status ReadChunkedRange(const RandomAccessFile& f, uint64_t payload_offset,
+                        uint64_t payload_bytes, uint32_t chunk_bytes,
+                        const std::vector<uint32_t>& crcs, std::vector<bool>& verified,
+                        std::vector<uint8_t>& scratch, DType dtype, int64_t elem_begin,
+                        int64_t elem_count, float* out, const std::string& what) {
+  if (elem_count == 0) {
+    return OkStatus();
+  }
+  const uint64_t esize = DTypeSize(dtype);
+  const uint64_t byte_begin = static_cast<uint64_t>(elem_begin) * esize;
+  const uint64_t byte_end = byte_begin + static_cast<uint64_t>(elem_count) * esize;
+  const size_t first_chunk = static_cast<size_t>(byte_begin / chunk_bytes);
+  const size_t last_chunk = static_cast<size_t>((byte_end - 1) / chunk_bytes);
+  if (scratch.size() < chunk_bytes) {
+    scratch.resize(chunk_bytes);
+  }
+  float* dst = out;
+  for (size_t ci = first_chunk; ci <= last_chunk; ++ci) {
+    const uint64_t chunk_start = ci * static_cast<uint64_t>(chunk_bytes);
+    const uint64_t chunk_size = std::min<uint64_t>(chunk_bytes, payload_bytes - chunk_start);
+    const uint64_t overlap_begin = std::max(byte_begin, chunk_start);
+    const uint64_t overlap_end = std::min(byte_end, chunk_start + chunk_size);
+    const size_t overlap_bytes = static_cast<size_t>(overlap_end - overlap_begin);
+    if (!verified[ci]) {
+      UCP_RETURN_IF_ERROR(f.ReadAt(payload_offset + chunk_start, scratch.data(),
+                                   static_cast<size_t>(chunk_size)));
+      CountRead(chunk_size);
+      if (Crc32(scratch.data(), static_cast<size_t>(chunk_size)) != crcs[ci]) {
+        return DataLossError(ChunkCrcErr(what, ci, crcs.size()));
+      }
+      verified[ci] = true;
+      g_chunks_verified.fetch_add(1, std::memory_order_relaxed);
+      DecodeElements(scratch.data() + (overlap_begin - chunk_start), dtype,
+                     static_cast<int64_t>(overlap_bytes / esize), dst);
+    } else {
+      UCP_RETURN_IF_ERROR(f.ReadAt(payload_offset + overlap_begin, scratch.data(),
+                                   overlap_bytes));
+      CountRead(overlap_bytes);
+      DecodeElements(scratch.data(), dtype, static_cast<int64_t>(overlap_bytes / esize), dst);
+    }
+    dst += overlap_bytes / esize;
+  }
+  return OkStatus();
 }
 
 Status Commit(const std::string& path, ByteWriter& w) {
@@ -182,90 +492,448 @@ Status Commit(const std::string& path, ByteWriter& w) {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// IO stats.
+
+TensorIoStats GetTensorIoStats() {
+  TensorIoStats s;
+  s.bytes_read = g_bytes_read.load(std::memory_order_relaxed);
+  s.read_calls = g_read_calls.load(std::memory_order_relaxed);
+  s.chunks_verified = g_chunks_verified.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ResetTensorIoStats() {
+  g_bytes_read.store(0, std::memory_order_relaxed);
+  g_read_calls.store(0, std::memory_order_relaxed);
+  g_chunks_verified.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Single-tensor files.
+
 Status SaveTensor(const std::string& path, const Tensor& tensor, DType dtype) {
+  return SaveTensorAtVersion(path, tensor, dtype, kFormatVersion);
+}
+
+Status SaveTensorAtVersion(const std::string& path, const Tensor& tensor, DType dtype,
+                           uint32_t version) {
   if (!tensor.defined()) {
     return InvalidArgumentError("SaveTensor of undefined tensor: " + path);
   }
+  if (version == 3) {
+    std::vector<uint8_t> payload = EncodePayload(tensor, dtype);
+    ByteWriter w;
+    w.PutU32(kTensorMagic);
+    w.PutU32(kEndianTag);
+    w.PutU32(3);
+    w.PutU64(0);  // header_bytes, patched by CommitV3
+    PutHeader(w, tensor, dtype);
+    w.PutU64(payload.size());
+    PutChunkTable(w, payload, PickChunkBytes(payload.size()));
+    return CommitV3(path, w, {&payload}, {});
+  }
+  if (version != 1 && version != 2) {
+    return InvalidArgumentError("unknown tensor format version " + std::to_string(version));
+  }
+  std::vector<uint8_t> payload = EncodePayload(tensor, dtype);
   ByteWriter w;
   w.PutU32(kTensorMagic);
   w.PutU32(kEndianTag);
-  w.PutU32(kFormatVersion);
+  if (version == 2) {
+    w.PutU32(2);
+  }
   PutHeader(w, tensor, dtype);
-  PutPayloadChecked(w, tensor, dtype);
+  w.PutU64(payload.size());
+  w.PutBytes(payload.data(), payload.size());
+  if (version == 2) {
+    w.PutU32(Crc32(payload.data(), payload.size()));  // per-tensor CRC
+  }
   return Commit(path, w);
 }
 
 Result<Tensor> LoadTensor(const std::string& path) {
   UCP_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
-  UCP_ASSIGN_OR_RETURN(ByteReader r, OpenChecked(contents, kTensorMagic, "tensor", path));
-  UCP_ASSIGN_OR_RETURN(ParsedHeader h, GetHeaderAndSize(r));
-  return GetPayload(r, h, path);
+  CountRead(contents.size());
+  UCP_ASSIGN_OR_RETURN(LegacyFile f, OpenLegacyOrV3(contents, kTensorMagic, "tensor", path));
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(contents.data());
+  if (f.version == 3) {
+    uint64_t header_bytes = LoadU64(data + 12);
+    if (header_bytes < 24 || header_bytes + 4 > contents.size()) {
+      return DataLossError("tensor header size out of range in " + path);
+    }
+    UCP_ASSIGN_OR_RETURN(V3TensorHeader h, ParseV3TensorPrefix(data, header_bytes, path));
+    if (header_bytes + h.info.payload_bytes + 4 != contents.size()) {
+      return DataLossError("tensor file truncated: " + path);
+    }
+    const uint8_t* payload = data + header_bytes;
+    UCP_RETURN_IF_ERROR(
+        VerifyChunks(payload, h.info.payload_bytes, h.info.chunk_bytes, h.chunk_crcs, path));
+    Tensor t = Tensor::Zeros(h.info.shape);
+    DecodeElements(payload, h.info.dtype, t.numel(), t.data());
+    return t;
+  }
+  UCP_ASSIGN_OR_RETURN(ParsedHeader h, GetHeaderAndSize(f.reader));
+  return GetPayloadLegacy(f.reader, h, f.version, path);
 }
 
 Result<TensorFileInfo> StatTensor(const std::string& path) {
-  // Reads the whole file (CRC check requires it) but skips fp conversion; at simulator scale
-  // this is cheap and keeps corrupted metadata from planning a bad load.
+  // v3: reads only the header prefix (verified by its own CRC). v1/v2: the view falls back
+  // to a whole-file read, so corrupted metadata still cannot plan a bad load.
+  UCP_ASSIGN_OR_RETURN(TensorFileView view, TensorFileView::Open(path));
+  return view.info();
+}
+
+Status DeepVerifyTensorFile(const std::string& path) {
   UCP_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
-  UCP_ASSIGN_OR_RETURN(ByteReader r, OpenChecked(contents, kTensorMagic, "tensor", path));
-  UCP_ASSIGN_OR_RETURN(ParsedHeader h, GetHeaderAndSize(r));
-  return TensorFileInfo{h.shape, h.dtype, h.payload_bytes};
+  CountRead(contents.size());
+  UCP_ASSIGN_OR_RETURN(LegacyFile f, OpenLegacyOrV3(contents, kTensorMagic, "tensor", path));
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(contents.data());
+  if (f.version == 3) {
+    uint64_t header_bytes = LoadU64(data + 12);
+    if (header_bytes < 24 || header_bytes + 4 > contents.size()) {
+      return DataLossError("tensor header size out of range in " + path);
+    }
+    UCP_ASSIGN_OR_RETURN(V3TensorHeader h, ParseV3TensorPrefix(data, header_bytes, path));
+    if (header_bytes + h.info.payload_bytes + 4 != contents.size()) {
+      return DataLossError("tensor file truncated: " + path);
+    }
+    return VerifyChunks(data + header_bytes, h.info.payload_bytes, h.info.chunk_bytes,
+                        h.chunk_crcs, path);
+  }
+  UCP_ASSIGN_OR_RETURN(ParsedHeader h, GetHeaderAndSize(f.reader));
+  return GetRawPayloadLegacy(f.reader, h, f.version, path).status();
+}
+
+// ---------------------------------------------------------------------------
+// TensorFileView.
+
+Result<TensorFileView> TensorFileView::Open(const std::string& path) {
+  UCP_ASSIGN_OR_RETURN(RandomAccessFile f, RandomAccessFile::Open(path));
+  if (f.size() < 16) {
+    return DataLossError("tensor file truncated: " + path);
+  }
+  uint8_t prologue[12];
+  UCP_RETURN_IF_ERROR(f.ReadAt(0, prologue, sizeof(prologue)));
+  UCP_ASSIGN_OR_RETURN(uint32_t version, SniffPrologue(prologue, kTensorMagic, "tensor", path));
+  TensorFileView view;
+  view.path_ = path;
+  if (version == 3) {
+    UCP_ASSIGN_OR_RETURN(std::vector<uint8_t> prefix, ReadV3Prefix(f, "tensor"));
+    UCP_ASSIGN_OR_RETURN(V3TensorHeader h,
+                         ParseV3TensorPrefix(prefix.data(), prefix.size(), path));
+    if (prefix.size() + h.info.payload_bytes + 4 != f.size()) {
+      return DataLossError("tensor file truncated: " + path);
+    }
+    view.info_ = std::move(h.info);
+    view.chunk_crcs_ = std::move(h.chunk_crcs);
+    view.chunk_verified_.assign(view.chunk_crcs_.size(), false);
+    view.payload_offset_ = prefix.size();
+    view.file_ = std::move(f);
+    return view;
+  }
+  // Legacy: read and fully verify the whole file once; ranges are then served from memory.
+  UCP_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  CountRead(contents.size());
+  UCP_ASSIGN_OR_RETURN(LegacyFile lf, OpenLegacyOrV3(contents, kTensorMagic, "tensor", path));
+  UCP_ASSIGN_OR_RETURN(ParsedHeader h, GetHeaderAndSize(lf.reader));
+  UCP_ASSIGN_OR_RETURN(view.legacy_payload_,
+                       GetRawPayloadLegacy(lf.reader, h, lf.version, path));
+  view.info_.shape = std::move(h.shape);
+  view.info_.dtype = h.dtype;
+  view.info_.payload_bytes = h.payload_bytes;
+  view.info_.format_version = lf.version;
+  return view;
+}
+
+Status TensorFileView::ReadElements(int64_t elem_begin, int64_t elem_count, float* out) {
+  if (elem_begin < 0 || elem_count < 0 || elem_begin + elem_count > numel()) {
+    return InvalidArgumentError("ReadElements range [" + std::to_string(elem_begin) + ", " +
+                                std::to_string(elem_begin + elem_count) +
+                                ") out of bounds for " + path_);
+  }
+  if (!file_.open()) {
+    DecodeElements(legacy_payload_.data() +
+                       static_cast<uint64_t>(elem_begin) * DTypeSize(info_.dtype),
+                   info_.dtype, elem_count, out);
+    return OkStatus();
+  }
+  return ReadChunkedRange(file_, payload_offset_, info_.payload_bytes, info_.chunk_bytes,
+                          chunk_crcs_, chunk_verified_, scratch_, info_.dtype, elem_begin,
+                          elem_count, out, path_);
+}
+
+Result<Tensor> TensorFileView::ReadRange(int64_t row_begin, int64_t row_count) {
+  if (row_begin < 0 || row_count < 0 || row_begin + row_count > rows()) {
+    return InvalidArgumentError("ReadRange rows [" + std::to_string(row_begin) + ", " +
+                                std::to_string(row_begin + row_count) +
+                                ") out of bounds for " + path_);
+  }
+  Shape out_shape;
+  if (!info_.shape.empty()) {
+    out_shape.push_back(row_count);
+    out_shape.insert(out_shape.end(), info_.shape.begin() + 1, info_.shape.end());
+  }
+  Tensor t = Tensor::Zeros(std::move(out_shape));
+  UCP_RETURN_IF_ERROR(
+      ReadElements(row_begin * row_numel(), row_count * row_numel(), t.data()));
+  return t;
+}
+
+Result<Tensor> TensorFileView::ReadAll() {
+  Tensor t = Tensor::Zeros(info_.shape);
+  UCP_RETURN_IF_ERROR(ReadElements(0, numel(), t.data()));
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// TensorBundle.
+
+void TensorBundle::Add(std::string name, Tensor t) {
+  tensors.emplace_back(std::move(name), std::move(t));
+  index_.clear();  // rebuilt lazily on the next Find
 }
 
 const Tensor* TensorBundle::Find(const std::string& name) const {
-  for (const auto& [n, t] : tensors) {
-    if (n == name) {
-      return &t;
+  if (tensors.empty()) {
+    return nullptr;
+  }
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (index_.empty()) {
+      for (size_t i = 0; i < tensors.size(); ++i) {
+        index_.emplace(tensors[i].first, i);  // emplace keeps the first duplicate
+      }
     }
+    auto it = index_.find(name);
+    if (it == index_.end()) {
+      if (index_.size() == tensors.size()) {
+        return nullptr;
+      }
+    } else if (it->second < tensors.size() && tensors[it->second].first == name) {
+      return &tensors[it->second].second;
+    }
+    // The index is stale (tensors was edited directly, e.g. the snapshot writer's
+    // resize-then-Add); rebuild once and retry.
+    index_.clear();
   }
   return nullptr;
 }
 
+// ---------------------------------------------------------------------------
+// Bundle files.
+
 Status SaveBundle(const std::string& path, const TensorBundle& bundle, DType dtype) {
+  std::vector<std::vector<uint8_t>> payloads;
+  payloads.reserve(bundle.tensors.size());
+  for (const auto& [name, tensor] : bundle.tensors) {
+    payloads.push_back(EncodePayload(tensor, dtype));
+  }
   ByteWriter w;
   w.PutU32(kBundleMagic);
   w.PutU32(kEndianTag);
   w.PutU32(kFormatVersion);
+  w.PutU64(0);  // header_bytes, patched by CommitV3
   w.PutString(bundle.meta.Dump());
   w.PutU32(static_cast<uint32_t>(bundle.tensors.size()));
-  for (const auto& [name, tensor] : bundle.tensors) {
+  std::vector<size_t> offset_positions;
+  std::vector<const std::vector<uint8_t>*> payload_ptrs;
+  for (size_t i = 0; i < bundle.tensors.size(); ++i) {
+    const auto& [name, tensor] = bundle.tensors[i];
     w.PutString(name);
     PutHeader(w, tensor, dtype);
-    PutPayloadChecked(w, tensor, dtype);
+    w.PutU64(payloads[i].size());
+    PutChunkTable(w, payloads[i], PickChunkBytes(payloads[i].size()));
+    offset_positions.push_back(w.size());
+    w.PutU64(0);  // payload_offset, patched by CommitV3
+    payload_ptrs.push_back(&payloads[i]);
   }
-  return Commit(path, w);
+  return CommitV3(path, w, payload_ptrs, offset_positions);
 }
 
 Result<TensorBundle> LoadBundle(const std::string& path) {
   UCP_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
-  UCP_ASSIGN_OR_RETURN(ByteReader r, OpenChecked(contents, kBundleMagic, "bundle", path));
+  CountRead(contents.size());
+  UCP_ASSIGN_OR_RETURN(LegacyFile f, OpenLegacyOrV3(contents, kBundleMagic, "bundle", path));
   TensorBundle bundle;
-  UCP_ASSIGN_OR_RETURN(std::string meta_text, r.GetString());
+  if (f.version == 3) {
+    const uint8_t* data = reinterpret_cast<const uint8_t*>(contents.data());
+    uint64_t header_bytes = LoadU64(data + 12);
+    if (header_bytes < 24 || header_bytes + 4 > contents.size()) {
+      return DataLossError("bundle header size out of range in " + path);
+    }
+    UCP_ASSIGN_OR_RETURN(V3BundleHeader h, ParseV3BundlePrefix(data, header_bytes, path));
+    if (h.payload_end + 4 != contents.size()) {
+      return DataLossError("bundle file truncated: " + path);
+    }
+    bundle.meta = std::move(h.meta);
+    for (size_t i = 0; i < h.entries.size(); ++i) {
+      const TensorFileInfo& info = h.entries[i].second;
+      const V3BundleHeader::Member& m = h.members[i];
+      const std::string what = path + ":" + h.entries[i].first;
+      UCP_RETURN_IF_ERROR(VerifyChunks(data + m.payload_offset, info.payload_bytes,
+                                       m.chunk_bytes, m.chunk_crcs, what));
+      Tensor t = Tensor::Zeros(info.shape);
+      DecodeElements(data + m.payload_offset, info.dtype, t.numel(), t.data());
+      bundle.Add(h.entries[i].first, std::move(t));
+    }
+    return bundle;
+  }
+  UCP_ASSIGN_OR_RETURN(std::string meta_text, f.reader.GetString());
   UCP_ASSIGN_OR_RETURN(bundle.meta, Json::Parse(meta_text));
-  UCP_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  UCP_ASSIGN_OR_RETURN(uint32_t count, f.reader.GetU32());
   for (uint32_t i = 0; i < count; ++i) {
-    UCP_ASSIGN_OR_RETURN(std::string name, r.GetString());
-    UCP_ASSIGN_OR_RETURN(ParsedHeader h, GetHeaderAndSize(r));
-    UCP_ASSIGN_OR_RETURN(Tensor t, GetPayload(r, h, path + ":" + name));
+    UCP_ASSIGN_OR_RETURN(std::string name, f.reader.GetString());
+    UCP_ASSIGN_OR_RETURN(ParsedHeader h, GetHeaderAndSize(f.reader));
+    UCP_ASSIGN_OR_RETURN(Tensor t, GetPayloadLegacy(f.reader, h, f.version, path + ":" + name));
     bundle.Add(std::move(name), std::move(t));
   }
   return bundle;
 }
 
 Result<BundleInfo> StatBundle(const std::string& path) {
-  UCP_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
-  UCP_ASSIGN_OR_RETURN(ByteReader r, OpenChecked(contents, kBundleMagic, "bundle", path));
+  UCP_ASSIGN_OR_RETURN(BundleFileView view, BundleFileView::Open(path));
   BundleInfo info;
-  UCP_ASSIGN_OR_RETURN(std::string meta_text, r.GetString());
-  UCP_ASSIGN_OR_RETURN(info.meta, Json::Parse(meta_text));
-  UCP_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
-  for (uint32_t i = 0; i < count; ++i) {
-    UCP_ASSIGN_OR_RETURN(std::string name, r.GetString());
-    UCP_ASSIGN_OR_RETURN(ParsedHeader h, GetHeaderAndSize(r));
-    UCP_RETURN_IF_ERROR(SkipPayloadChecked(r, h, path + ":" + name));
-    info.entries.emplace_back(std::move(name),
-                              TensorFileInfo{h.shape, h.dtype, h.payload_bytes});
-  }
+  info.meta = view.meta();
+  info.entries = view.entries();
   return info;
+}
+
+Status DeepVerifyBundleFile(const std::string& path) {
+  UCP_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  CountRead(contents.size());
+  UCP_ASSIGN_OR_RETURN(LegacyFile f, OpenLegacyOrV3(contents, kBundleMagic, "bundle", path));
+  if (f.version == 3) {
+    const uint8_t* data = reinterpret_cast<const uint8_t*>(contents.data());
+    uint64_t header_bytes = LoadU64(data + 12);
+    if (header_bytes < 24 || header_bytes + 4 > contents.size()) {
+      return DataLossError("bundle header size out of range in " + path);
+    }
+    UCP_ASSIGN_OR_RETURN(V3BundleHeader h, ParseV3BundlePrefix(data, header_bytes, path));
+    if (h.payload_end + 4 != contents.size()) {
+      return DataLossError("bundle file truncated: " + path);
+    }
+    for (size_t i = 0; i < h.entries.size(); ++i) {
+      const V3BundleHeader::Member& m = h.members[i];
+      UCP_RETURN_IF_ERROR(VerifyChunks(data + m.payload_offset,
+                                       h.entries[i].second.payload_bytes, m.chunk_bytes,
+                                       m.chunk_crcs, path + ":" + h.entries[i].first));
+    }
+    return OkStatus();
+  }
+  UCP_ASSIGN_OR_RETURN(std::string meta_text, f.reader.GetString());
+  UCP_ASSIGN_OR_RETURN(Json meta, Json::Parse(meta_text));
+  (void)meta;
+  UCP_ASSIGN_OR_RETURN(uint32_t count, f.reader.GetU32());
+  for (uint32_t i = 0; i < count; ++i) {
+    UCP_ASSIGN_OR_RETURN(std::string name, f.reader.GetString());
+    UCP_ASSIGN_OR_RETURN(ParsedHeader h, GetHeaderAndSize(f.reader));
+    UCP_RETURN_IF_ERROR(
+        GetRawPayloadLegacy(f.reader, h, f.version, path + ":" + name).status());
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// BundleFileView.
+
+Result<BundleFileView> BundleFileView::Open(const std::string& path) {
+  UCP_ASSIGN_OR_RETURN(RandomAccessFile f, RandomAccessFile::Open(path));
+  if (f.size() < 16) {
+    return DataLossError("bundle file truncated: " + path);
+  }
+  uint8_t prologue[12];
+  UCP_RETURN_IF_ERROR(f.ReadAt(0, prologue, sizeof(prologue)));
+  UCP_ASSIGN_OR_RETURN(uint32_t version, SniffPrologue(prologue, kBundleMagic, "bundle", path));
+  BundleFileView view;
+  view.path_ = path;
+  if (version == 3) {
+    UCP_ASSIGN_OR_RETURN(std::vector<uint8_t> prefix, ReadV3Prefix(f, "bundle"));
+    UCP_ASSIGN_OR_RETURN(V3BundleHeader h,
+                         ParseV3BundlePrefix(prefix.data(), prefix.size(), path));
+    if (h.payload_end + 4 != f.size()) {
+      return DataLossError("bundle file truncated: " + path);
+    }
+    view.meta_ = std::move(h.meta);
+    view.entries_ = std::move(h.entries);
+    for (V3BundleHeader::Member& m : h.members) {
+      Member member;
+      member.payload_offset = m.payload_offset;
+      member.chunk_bytes = m.chunk_bytes;
+      member.chunk_verified.assign(m.chunk_crcs.size(), false);
+      member.chunk_crcs = std::move(m.chunk_crcs);
+      view.members_.push_back(std::move(member));
+    }
+    view.file_ = std::move(f);
+    return view;
+  }
+  // Legacy: one verified whole-file read; members become offsets into the raw payload blob.
+  UCP_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  CountRead(contents.size());
+  UCP_ASSIGN_OR_RETURN(LegacyFile lf, OpenLegacyOrV3(contents, kBundleMagic, "bundle", path));
+  UCP_ASSIGN_OR_RETURN(std::string meta_text, lf.reader.GetString());
+  UCP_ASSIGN_OR_RETURN(view.meta_, Json::Parse(meta_text));
+  UCP_ASSIGN_OR_RETURN(uint32_t count, lf.reader.GetU32());
+  for (uint32_t i = 0; i < count; ++i) {
+    UCP_ASSIGN_OR_RETURN(std::string name, lf.reader.GetString());
+    UCP_ASSIGN_OR_RETURN(ParsedHeader h, GetHeaderAndSize(lf.reader));
+    UCP_ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
+                         GetRawPayloadLegacy(lf.reader, h, lf.version, path + ":" + name));
+    Member member;
+    member.payload_offset = view.legacy_payload_.size();
+    view.legacy_payload_.insert(view.legacy_payload_.end(), raw.begin(), raw.end());
+    view.members_.push_back(std::move(member));
+    TensorFileInfo info;
+    info.shape = std::move(h.shape);
+    info.dtype = h.dtype;
+    info.payload_bytes = h.payload_bytes;
+    info.format_version = lf.version;
+    view.entries_.emplace_back(std::move(name), std::move(info));
+  }
+  return view;
+}
+
+int BundleFileView::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].first == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Result<Tensor> BundleFileView::ReadTensor(const std::string& name) {
+  int idx = IndexOf(name);
+  if (idx < 0) {
+    return NotFoundError("bundle " + path_ + " has no tensor " + name);
+  }
+  const TensorFileInfo& info = entries_[static_cast<size_t>(idx)].second;
+  Tensor t = Tensor::Zeros(info.shape);
+  UCP_RETURN_IF_ERROR(
+      ReadTensorElements(static_cast<size_t>(idx), 0, t.numel(), t.data()));
+  return t;
+}
+
+Status BundleFileView::ReadTensorElements(size_t entry_index, int64_t elem_begin,
+                                          int64_t elem_count, float* out) {
+  if (entry_index >= entries_.size()) {
+    return InvalidArgumentError("bundle entry index out of range for " + path_);
+  }
+  const TensorFileInfo& info = entries_[entry_index].second;
+  if (elem_begin < 0 || elem_count < 0 ||
+      elem_begin + elem_count > ShapeNumel(info.shape)) {
+    return InvalidArgumentError("ReadTensorElements range out of bounds for " + path_ + ":" +
+                                entries_[entry_index].first);
+  }
+  Member& m = members_[entry_index];
+  if (!file_.open()) {
+    DecodeElements(legacy_payload_.data() + m.payload_offset +
+                       static_cast<uint64_t>(elem_begin) * DTypeSize(info.dtype),
+                   info.dtype, elem_count, out);
+    return OkStatus();
+  }
+  return ReadChunkedRange(file_, m.payload_offset, info.payload_bytes, m.chunk_bytes,
+                          m.chunk_crcs, m.chunk_verified, scratch_, info.dtype, elem_begin,
+                          elem_count, out, path_ + ":" + entries_[entry_index].first);
 }
 
 }  // namespace ucp

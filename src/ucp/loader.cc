@@ -1,8 +1,13 @@
 #include "src/ucp/loader.h"
 
 #include <algorithm>
+#include <cstring>
+#include <optional>
 
 #include "src/common/fs.h"
+#include "src/common/thread_pool.h"
+#include "src/tensor/tensor_file.h"
+#include "src/ucp/slice_cache.h"
 
 namespace ucp {
 
@@ -22,6 +27,11 @@ Json RankLoadPlan::ToJson() const {
     JsonObject item;
     item["name"] = a.name;
     item["flat_offset"] = a.flat_offset;
+    JsonArray full_shape;
+    for (int64_t d : a.full_shape) {
+      full_shape.push_back(Json(d));
+    }
+    item["full_shape"] = Json(std::move(full_shape));
     JsonArray shape;
     for (int64_t d : a.shard_shape) {
       shape.push_back(Json(d));
@@ -49,6 +59,7 @@ RankLoadPlan GenUcpMetadata(const ModelConfig& model, const ParallelConfig& targ
     AtomAssignment assignment;
     assignment.name = entry.param.name;
     assignment.flat_offset = offset;
+    assignment.full_shape = entry.param.full_shape;
     assignment.shard_shape = shard_shape;
     assignment.target_spec = spec;
     plan.assignments.push_back(std::move(assignment));
@@ -91,9 +102,70 @@ struct UcpLocalState {
   int64_t steps = 0;
 };
 
+constexpr const char* kStateFiles[3] = {"fp32", "exp_avg", "exp_avg_sq"};
+
+// Reads the parts of one atom state file that land inside this rank's partition, directly
+// into the partition buffer. `want_lo`/`want_hi` bound the wanted range in shard-flat
+// coordinates; `runs` maps shard-flat to file-flat ranges. Each run clips to the wanted
+// window and becomes one contiguous range read (dim-0 shards: a single run; dim>0 shards: a
+// strided gather). The TensorFileView opens lazily — with a warm slice cache a fully
+// deduplicated task never touches the file.
+Status ReadAssignedSlices(const std::string& path, const AtomAssignment& a,
+                          const std::vector<ShardRun>& runs, int64_t want_lo,
+                          int64_t want_hi, int64_t partition_offset, float* partition_data,
+                          bool use_cache,
+                          std::vector<std::shared_ptr<const Tensor>>& keepalive) {
+  std::optional<TensorFileView> view;
+  auto ensure_view = [&]() -> Status {
+    if (view.has_value()) {
+      return OkStatus();
+    }
+    UCP_ASSIGN_OR_RETURN(TensorFileView opened, TensorFileView::Open(path));
+    if (opened.info().shape != a.full_shape) {
+      return DataLossError("atom file " + path + " has shape " +
+                           ShapeToString(opened.info().shape) + ", plan expects " +
+                           ShapeToString(a.full_shape));
+    }
+    view.emplace(std::move(opened));
+    return OkStatus();
+  };
+
+  for (const ShardRun& run : runs) {
+    const int64_t lo = std::max(run.shard_offset, want_lo);
+    const int64_t hi = std::min(run.shard_offset + run.numel, want_hi);
+    if (lo >= hi) {
+      continue;
+    }
+    const int64_t file_begin = run.full_offset + (lo - run.shard_offset);
+    const int64_t count = hi - lo;
+    float* out = partition_data + (a.flat_offset + lo - partition_offset);
+    if (use_cache) {
+      // Ranks that differ only in TP (and, under ZeRO-0, DP) build identical keys for
+      // replicated atoms, so the first one reads and the rest copy.
+      std::string key =
+          path + "#" + std::to_string(file_begin) + "+" + std::to_string(count);
+      UCP_ASSIGN_OR_RETURN(
+          std::shared_ptr<const Tensor> slice,
+          AtomSliceCache::Global().GetOrLoad(key, [&]() -> Result<Tensor> {
+            UCP_RETURN_IF_ERROR(ensure_view());
+            Tensor t = Tensor::Zeros({count});
+            UCP_RETURN_IF_ERROR(view->ReadElements(file_begin, count, t.data()));
+            return t;
+          }));
+      std::memcpy(out, slice->data(), static_cast<size_t>(count) * sizeof(float));
+      keepalive.push_back(std::move(slice));
+    } else {
+      UCP_RETURN_IF_ERROR(ensure_view());
+      UCP_RETURN_IF_ERROR(view->ReadElements(file_begin, count, out));
+    }
+  }
+  return OkStatus();
+}
+
 // Per-rank phase: planning, atom reads, flat assembly — no collectives (failures here must
 // not strand peers; see the agreement in LoadUcpCheckpoint).
-Result<UcpLocalState> LoadUcpLocal(const std::string& ucp_dir, RankTrainer& trainer) {
+Result<UcpLocalState> LoadUcpLocal(const std::string& ucp_dir, RankTrainer& trainer,
+                                   const UcpLoadOptions& options) {
   // A metadata file without the converter's `complete` marker is an aborted conversion:
   // atoms may be missing or half-written even though the manifest parses.
   if (FileExists(PathJoin(ucp_dir, "ucp_meta.json")) && !IsUcpComplete(ucp_dir)) {
@@ -127,41 +199,107 @@ Result<UcpLocalState> LoadUcpLocal(const std::string& ucp_dir, RankTrainer& trai
     }
   }
 
-  // Assemble the full flat buffers from atom slices. Working memory could be reduced by
-  // filling only [partition_offset, partition_offset + partition_numel), but at simulator
-  // scale clarity wins; the partition is sliced at the end.
-  Tensor flat_fp32 = Tensor::Zeros({plan.layout.padded_total});
-  Tensor flat_m = Tensor::Zeros({plan.layout.padded_total});
-  Tensor flat_v = Tensor::Zeros({plan.layout.padded_total});
+  if (!options.sliced) {
+    // Reference arm: whole-file atom reads, full padded flat assembly, partition sliced at
+    // the end. Kept for bit-exactness testing and as the BENCH_load_cost serial baseline.
+    Tensor flat_fp32 = Tensor::Zeros({plan.layout.padded_total});
+    Tensor flat_m = Tensor::Zeros({plan.layout.padded_total});
+    Tensor flat_v = Tensor::Zeros({plan.layout.padded_total});
 
-  for (const AtomAssignment& a : plan.assignments) {
-    UCP_ASSIGN_OR_RETURN(ParamState atom, ReadAtom(ucp_dir, a.name));
-    Tensor fp32_shard = ShardOf(a.target_spec, atom.fp32, target.tp, coord.tp);
-    Tensor m_shard = ShardOf(a.target_spec, atom.exp_avg, target.tp, coord.tp);
-    Tensor v_shard = ShardOf(a.target_spec, atom.exp_avg_sq, target.tp, coord.tp);
-    if (fp32_shard.shape() != a.shard_shape) {
-      return DataLossError("atom " + a.name + " yields shard " +
-                           ShapeToString(fp32_shard.shape()) + ", plan expects " +
-                           ShapeToString(a.shard_shape));
+    for (const AtomAssignment& a : plan.assignments) {
+      UCP_ASSIGN_OR_RETURN(ParamState atom, ReadAtom(ucp_dir, a.name));
+      Tensor fp32_shard = ShardOf(a.target_spec, atom.fp32, target.tp, coord.tp);
+      Tensor m_shard = ShardOf(a.target_spec, atom.exp_avg, target.tp, coord.tp);
+      Tensor v_shard = ShardOf(a.target_spec, atom.exp_avg_sq, target.tp, coord.tp);
+      if (fp32_shard.shape() != a.shard_shape) {
+        return DataLossError("atom " + a.name + " yields shard " +
+                             ShapeToString(fp32_shard.shape()) + ", plan expects " +
+                             ShapeToString(a.shard_shape));
+      }
+      Tensor::ViewOf(flat_fp32, a.flat_offset, {fp32_shard.numel()})
+          .CopyFrom(fp32_shard.Flatten());
+      Tensor::ViewOf(flat_m, a.flat_offset, {m_shard.numel()}).CopyFrom(m_shard.Flatten());
+      Tensor::ViewOf(flat_v, a.flat_offset, {v_shard.numel()}).CopyFrom(v_shard.Flatten());
     }
-    Tensor::ViewOf(flat_fp32, a.flat_offset, {fp32_shard.numel()})
-        .CopyFrom(fp32_shard.Flatten());
-    Tensor::ViewOf(flat_m, a.flat_offset, {m_shard.numel()}).CopyFrom(m_shard.Flatten());
-    Tensor::ViewOf(flat_v, a.flat_offset, {v_shard.numel()}).CopyFrom(v_shard.Flatten());
+
+    UcpLocalState state;
+    state.master = flat_fp32.Narrow(0, plan.partition_offset, plan.partition_numel);
+    state.exp_avg = flat_m.Narrow(0, plan.partition_offset, plan.partition_numel);
+    state.exp_avg_sq = flat_v.Narrow(0, plan.partition_offset, plan.partition_numel);
+    state.steps = meta.iteration;
+    return state;
   }
 
+  // Sliced arm: allocate only this rank's partition (padding stays zero, matching the
+  // reference arm bit-for-bit) and read just the atom ranges that intersect it.
+  const int64_t p0 = plan.partition_offset;
+  const int64_t p1 = plan.partition_offset + plan.partition_numel;
   UcpLocalState state;
-  state.master = flat_fp32.Narrow(0, plan.partition_offset, plan.partition_numel);
-  state.exp_avg = flat_m.Narrow(0, plan.partition_offset, plan.partition_numel);
-  state.exp_avg_sq = flat_v.Narrow(0, plan.partition_offset, plan.partition_numel);
+  state.master = Tensor::Zeros({plan.partition_numel});
+  state.exp_avg = Tensor::Zeros({plan.partition_numel});
+  state.exp_avg_sq = Tensor::Zeros({plan.partition_numel});
   state.steps = meta.iteration;
+  float* buffers[3] = {state.master.data(), state.exp_avg.data(), state.exp_avg_sq.data()};
+
+  // One task per (intersecting assignment) × (fp32 | exp_avg | exp_avg_sq) file; the shard
+  // runs are computed once per assignment and shared by its three tasks.
+  struct SliceTask {
+    const AtomAssignment* assignment = nullptr;
+    const std::vector<ShardRun>* runs = nullptr;
+    int64_t want_lo = 0;  // in shard-flat coordinates
+    int64_t want_hi = 0;
+    int state_index = 0;  // indexes kStateFiles / buffers
+  };
+  std::vector<std::vector<ShardRun>> all_runs;
+  all_runs.reserve(plan.assignments.size());
+  std::vector<SliceTask> tasks;
+  for (const AtomAssignment& a : plan.assignments) {
+    const int64_t shard_numel = ShapeNumel(a.shard_shape);
+    const int64_t lo = std::max<int64_t>(0, p0 - a.flat_offset);
+    const int64_t hi = std::min<int64_t>(shard_numel, p1 - a.flat_offset);
+    if (lo >= hi) {
+      continue;  // atom wholly outside this rank's partition: skipped, never opened
+    }
+    all_runs.push_back(ShardRuns(a.target_spec, a.full_shape, target.tp, coord.tp));
+    for (int s = 0; s < 3; ++s) {
+      SliceTask task;
+      task.assignment = &a;
+      task.runs = &all_runs.back();
+      task.want_lo = lo;
+      task.want_hi = hi;
+      task.state_index = s;
+      tasks.push_back(task);
+    }
+  }
+
+  std::vector<Status> results(tasks.size());
+  // Keepalives pin cached slices until every co-located rank has had a chance to hit them;
+  // per-task vectors so worker threads never share one.
+  std::vector<std::vector<std::shared_ptr<const Tensor>>> keepalive(tasks.size());
+  ThreadPool pool(static_cast<size_t>(std::max(options.num_threads, 0)));
+  pool.ParallelFor(tasks.size(), [&](size_t i) {
+    const SliceTask& t = tasks[i];
+    const AtomAssignment& a = *t.assignment;
+    std::string path = PathJoin(AtomDir(ucp_dir, a.name), kStateFiles[t.state_index]);
+    results[i] = ReadAssignedSlices(path, a, *t.runs, t.want_lo, t.want_hi, p0,
+                                    buffers[t.state_index], options.use_slice_cache,
+                                    keepalive[i]);
+  });
+  for (const Status& s : results) {
+    UCP_RETURN_IF_ERROR(s);
+  }
   return state;
 }
 
 }  // namespace
 
 Status LoadUcpCheckpoint(const std::string& ucp_dir, RankTrainer& trainer) {
-  Result<UcpLocalState> local = LoadUcpLocal(ucp_dir, trainer);
+  return LoadUcpCheckpoint(ucp_dir, trainer, UcpLoadOptions{});
+}
+
+Status LoadUcpCheckpoint(const std::string& ucp_dir, RankTrainer& trainer,
+                         const UcpLoadOptions& options) {
+  Result<UcpLocalState> local = LoadUcpLocal(ucp_dir, trainer, options);
   // Collective agreement before LoadState's DP all-gather (same rationale as the native
   // loader): every rank reaches this reduction, so one rank's failure fails all ranks
   // instead of deadlocking the collective.

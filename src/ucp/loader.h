@@ -16,6 +16,7 @@ namespace ucp {
 struct AtomAssignment {
   std::string name;
   int64_t flat_offset = 0;    // element offset of this rank's TP shard in the flat buffer
+  Shape full_shape;           // consolidated atom shape (for range planning without I/O)
   Shape shard_shape;          // TP-shard shape on the target
   PartitionSpec target_spec;  // how to slice the consolidated atom for this rank
 };
@@ -38,11 +39,29 @@ struct RankLoadPlan {
 RankLoadPlan GenUcpMetadata(const ModelConfig& model, const ParallelConfig& target,
                             const RankCoord& coord);
 
+// Knobs for the load executor. Defaults give the optimized path: partition-pruned sliced
+// reads fanned out on a thread pool, with the process-wide slice cache deduplicating
+// replicated-atom reads across co-located ranks.
+struct UcpLoadOptions {
+  // Loader threads per rank (0 = read inline on the calling thread).
+  int num_threads = 8;
+  // Sliced reads: intersect every atom assignment with this rank's ZeRO partition, skip
+  // atoms wholly outside it, and pread only the intersecting ranges into partition-sized
+  // buffers. false falls back to the v1-era reference path: whole-file atom reads, full
+  // padded flat assembly, partition sliced at the end. Both are bit-exact (tested).
+  bool sliced = true;
+  // Dedup identical (file, range) reads across concurrently-loading co-located ranks.
+  // Only consulted on the sliced path.
+  bool use_slice_cache = true;
+};
+
 // Load: reads the atoms named by the plan, slices each per the target spec, assembles this
 // rank's flat fp32/exp_avg/exp_avg_sq partition, and installs it into the trainer's
 // optimizer (which republishes parameter values). Also restores the Adam step count.
 // The trainer's model config must match the UCP checkpoint's.
 Status LoadUcpCheckpoint(const std::string& ucp_dir, RankTrainer& trainer);
+Status LoadUcpCheckpoint(const std::string& ucp_dir, RankTrainer& trainer,
+                         const UcpLoadOptions& options);
 
 }  // namespace ucp
 

@@ -35,14 +35,16 @@ Result<ExtractedRank> Extract(const std::string& tag_dir, const ParallelConfig& 
 
   for (int dp = 0; dp < src.dp; ++dp) {
     const std::string path = PathJoin(tag_dir, OptimStatesFileName(dp, tp, pp, sp));
-    UCP_ASSIGN_OR_RETURN(TensorBundle bundle, LoadBundle(path));
-    UCP_ASSIGN_OR_RETURN(int64_t stage, bundle.meta.GetInt("zero_stage"));
-    UCP_ASSIGN_OR_RETURN(out.steps_taken, bundle.meta.GetInt("steps_taken"));
-    if (!bundle.meta.Has("flat_layout")) {
+    // Parse metadata once and range-read just the three flat tensors (v3 bundles verify
+    // only the chunks those tensors occupy).
+    UCP_ASSIGN_OR_RETURN(BundleFileView bundle, BundleFileView::Open(path));
+    UCP_ASSIGN_OR_RETURN(int64_t stage, bundle.meta().GetInt("zero_stage"));
+    UCP_ASSIGN_OR_RETURN(out.steps_taken, bundle.meta().GetInt("steps_taken"));
+    if (!bundle.meta().Has("flat_layout")) {
       return DataLossError("optimizer bundle missing flat_layout: " + path);
     }
     UCP_ASSIGN_OR_RETURN(FlatLayout this_layout,
-                         FlatLayout::FromJson(bundle.meta.AsObject().at("flat_layout")));
+                         FlatLayout::FromJson(bundle.meta().AsObject().at("flat_layout")));
     if (dp == 0) {
       layout = std::move(this_layout);
       out.zero_stage = static_cast<int>(stage);
@@ -51,15 +53,16 @@ Result<ExtractedRank> Extract(const std::string& tag_dir, const ParallelConfig& 
       return DataLossError("inconsistent flat layouts across DP partitions in " + path);
     }
 
-    const Tensor* master = bundle.Find("fp32_flat");
-    const Tensor* exp_avg = bundle.Find("exp_avg");
-    const Tensor* exp_avg_sq = bundle.Find("exp_avg_sq");
-    if (master == nullptr || exp_avg == nullptr || exp_avg_sq == nullptr) {
+    if (bundle.IndexOf("fp32_flat") < 0 || bundle.IndexOf("exp_avg") < 0 ||
+        bundle.IndexOf("exp_avg_sq") < 0) {
       return DataLossError("optimizer bundle missing tensors: " + path);
     }
-    master_parts.push_back(master->Clone());
-    exp_avg_parts.push_back(exp_avg->Clone());
-    exp_avg_sq_parts.push_back(exp_avg_sq->Clone());
+    UCP_ASSIGN_OR_RETURN(Tensor master, bundle.ReadTensor("fp32_flat"));
+    UCP_ASSIGN_OR_RETURN(Tensor exp_avg, bundle.ReadTensor("exp_avg"));
+    UCP_ASSIGN_OR_RETURN(Tensor exp_avg_sq, bundle.ReadTensor("exp_avg_sq"));
+    master_parts.push_back(std::move(master));
+    exp_avg_parts.push_back(std::move(exp_avg));
+    exp_avg_sq_parts.push_back(std::move(exp_avg_sq));
 
     if (out.zero_stage == 0) {
       break;  // stage 0 saves the full state in every DP file; one copy suffices

@@ -1,0 +1,84 @@
+#include "src/ucp/slice_cache.h"
+
+namespace ucp {
+
+AtomSliceCache& AtomSliceCache::Global() {
+  static AtomSliceCache* cache = new AtomSliceCache();
+  return *cache;
+}
+
+Result<std::shared_ptr<const Tensor>> AtomSliceCache::GetOrLoad(
+    const std::string& key, const std::function<Result<Tensor>()>& load) {
+  std::shared_ptr<Entry> entry;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      entry = it->second.lock();
+    }
+    if (entry == nullptr) {
+      entry = std::make_shared<Entry>();
+      entries_[key] = entry;
+      owner = true;
+      ++misses_;
+      // Opportunistic prune: drop map slots whose entries every owner has released. Bounds
+      // the map without an eviction policy (lifetime is the refcount, see header).
+      if (entries_.size() % 64 == 0) {
+        for (auto e = entries_.begin(); e != entries_.end();) {
+          e = e->second.expired() ? entries_.erase(e) : std::next(e);
+        }
+      }
+    } else {
+      ++hits_;
+    }
+  }
+
+  if (owner) {
+    Result<Tensor> loaded = load();
+    {
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      if (loaded.ok()) {
+        entry->tensor = std::move(*loaded);
+      } else {
+        entry->status = loaded.status();
+      }
+      entry->done = true;
+    }
+    entry->cv.notify_all();
+    if (!entry->status.ok()) {
+      // Don't leave a poisoned entry behind; a later caller should retry the read.
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(key);
+      if (it != entries_.end() && it->second.lock() == entry) {
+        entries_.erase(it);
+      }
+      return entry->status;
+    }
+  } else {
+    std::unique_lock<std::mutex> lock(entry->mutex);
+    entry->cv.wait(lock, [&] { return entry->done; });
+    if (!entry->status.ok()) {
+      return entry->status;
+    }
+  }
+  // Aliasing pointer: owns the Entry, points at its tensor, so the cache slot stays live
+  // exactly as long as some caller holds the slice.
+  return std::shared_ptr<const Tensor>(entry, &entry->tensor);
+}
+
+AtomSliceCache::Stats AtomSliceCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  return s;
+}
+
+void AtomSliceCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace ucp

@@ -1,0 +1,68 @@
+// A process-wide, refcounted cache of atom file slices, shared by co-located simulated
+// ranks during a UCP load.
+//
+// Why it exists: ranks that differ only in their TP coordinate have identical flat layouts,
+// so for a replicated atom they request the exact same element range of the exact same file
+// (and under ZeRO-0, ranks differing only in DP do too). Without dedup, a TP2·DP2 node reads
+// every layer norm four times. The cache keys on (path, element range) and guarantees each
+// slice is read from disk once while any requester still holds it.
+//
+// Lifetime is refcount-driven, not LRU: the map holds weak references, each GetOrLoad
+// returns an owning pointer (aliased to the cache entry), and the entry dies when the last
+// owner drops it. Loaders keep their slices alive until the whole rank load finishes, which
+// widens the dedup window across concurrently-loading ranks without pinning checkpoint data
+// in memory after the load.
+
+#ifndef UCP_SRC_UCP_SLICE_CACHE_H_
+#define UCP_SRC_UCP_SLICE_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/tensor/tensor.h"
+
+namespace ucp {
+
+class AtomSliceCache {
+ public:
+  static AtomSliceCache& Global();
+
+  // Returns the slice cached under `key`, or runs `load` to produce it. Concurrent callers
+  // with the same key coordinate: exactly one runs `load`, the rest block until it finishes
+  // (a failed load is returned to every waiter but not cached — a retry reloads).
+  Result<std::shared_ptr<const Tensor>> GetOrLoad(
+      const std::string& key, const std::function<Result<Tensor>()>& load);
+
+  struct Stats {
+    uint64_t hits = 0;    // served from a live entry (including waits on an in-flight load)
+    uint64_t misses = 0;  // ran the loader
+  };
+  Stats stats() const;
+  void ResetStats();
+
+ private:
+  struct Entry {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+    Tensor tensor;
+  };
+
+  AtomSliceCache() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::weak_ptr<Entry>> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_UCP_SLICE_CACHE_H_

@@ -6,6 +6,7 @@
 #include "src/ckpt/checkpoint.h"
 #include "src/common/fs.h"
 #include "src/common/strings.h"
+#include "src/common/thread_pool.h"
 #include "src/model/inventory.h"
 #include "src/tensor/tensor_file.h"
 #include "src/ucp/atom.h"
@@ -27,18 +28,42 @@ std::string ValidationReport::ToString() const {
 
 namespace {
 
-void CheckFile(const std::string& path, ValidationReport& report,
-               const std::function<Status()>& check) {
-  Result<uint64_t> size = FileSize(path);
-  if (!size.ok()) {
-    report.problems.push_back("missing file: " + path);
-    return;
-  }
-  ++report.files_checked;
-  report.bytes_checked += static_cast<int64_t>(*size);
-  Status status = check();
-  if (!status.ok()) {
-    report.problems.push_back(path + ": " + status.ToString());
+// A deferred per-file integrity check. Checks are collected first, fanned out on a
+// ThreadPool, and merged into the report in submission order, so the findings are
+// deterministic no matter how the pool schedules them.
+struct FileCheck {
+  std::string path;
+  std::function<Status()> fn;
+};
+
+void RunChecks(const std::vector<FileCheck>& checks, const ValidateOptions& options,
+               ValidationReport& report) {
+  struct Slot {
+    bool missing = false;
+    uint64_t size = 0;
+    Status status;
+  };
+  std::vector<Slot> slots(checks.size());
+  ThreadPool pool(options.num_threads > 0 ? static_cast<size_t>(options.num_threads) : 0);
+  pool.ParallelFor(checks.size(), [&](size_t i) {
+    Result<uint64_t> size = FileSize(checks[i].path);
+    if (!size.ok()) {
+      slots[i].missing = true;
+      return;
+    }
+    slots[i].size = *size;
+    slots[i].status = checks[i].fn();
+  });
+  for (size_t i = 0; i < checks.size(); ++i) {
+    if (slots[i].missing) {
+      report.problems.push_back("missing file: " + checks[i].path);
+      continue;
+    }
+    ++report.files_checked;
+    report.bytes_checked += static_cast<int64_t>(slots[i].size);
+    if (!slots[i].status.ok()) {
+      report.problems.push_back(checks[i].path + ": " + slots[i].status.ToString());
+    }
   }
 }
 
@@ -55,7 +80,8 @@ Result<CheckpointMeta> ReadMetaUngated(const std::string& dir, const std::string
 }  // namespace
 
 Result<ValidationReport> ValidateNativeCheckpoint(const std::string& dir,
-                                                  const std::string& tag) {
+                                                  const std::string& tag,
+                                                  const ValidateOptions& options) {
   ValidationReport report;
   if (!IsTagComplete(dir, tag)) {
     report.problems.push_back("missing 'complete' marker: the save of " + tag +
@@ -69,51 +95,95 @@ Result<ValidationReport> ValidateNativeCheckpoint(const std::string& dir,
   const ParallelConfig& s = meta->strategy;
   const std::string tag_dir = PathJoin(dir, tag);
 
+  std::vector<FileCheck> checks;
+  // Layouts must agree across each DP group; each optimizer check deposits its
+  // padded_total here (indexed densely by (pp, sp, tp, dp)) for the post-pass below.
+  // Distinct checks write distinct slots, so the parallel phase needs no locking.
+  std::vector<int64_t> padded_totals(
+      static_cast<size_t>(s.pp) * s.sp * s.tp * s.dp, -1);
+  std::vector<std::string> optim_paths(padded_totals.size());
+
   for (int pp = 0; pp < s.pp; ++pp) {
     for (int sp = 0; sp < s.sp; ++sp) {
       for (int tp = 0; tp < s.tp; ++tp) {
         // Model states (one per model-parallel rank).
         std::string ms_path = PathJoin(tag_dir, ModelStatesFileName(tp, pp, sp));
-        CheckFile(ms_path, report, [&] {
+        checks.push_back({ms_path, [ms_path, &s, &options] {
           UCP_ASSIGN_OR_RETURN(BundleInfo info, StatBundle(ms_path));
           if (s.zero_stage < 3 && info.entries.empty()) {
             return DataLossError("model states unexpectedly empty for ZeRO stage " +
                                  std::to_string(s.zero_stage));
           }
+          if (options.deep) {
+            return DeepVerifyBundleFile(ms_path);
+          }
           return OkStatus();
-        });
+        }});
 
-        // Optimizer partitions: layouts must agree across the DP group.
-        int64_t padded_total = -1;
         for (int dp = 0; dp < s.dp; ++dp) {
+          size_t slot = static_cast<size_t>(((pp * s.sp + sp) * s.tp + tp) * s.dp + dp);
           std::string optim_path = PathJoin(tag_dir, OptimStatesFileName(dp, tp, pp, sp));
-          CheckFile(optim_path, report, [&] {
-            UCP_ASSIGN_OR_RETURN(TensorBundle bundle, LoadBundle(optim_path));
+          optim_paths[slot] = optim_path;
+          int64_t* padded_out = &padded_totals[slot];
+          checks.push_back({optim_path, [optim_path, &s, &options, padded_out] {
+            UCP_ASSIGN_OR_RETURN(BundleInfo info, StatBundle(optim_path));
+            const TensorFileInfo* fp32 = nullptr;
             for (const char* key : {"fp32_flat", "exp_avg", "exp_avg_sq"}) {
-              if (bundle.Find(key) == nullptr) {
+              const TensorFileInfo* found = nullptr;
+              for (const auto& [name, entry] : info.entries) {
+                if (name == key) {
+                  found = &entry;
+                  break;
+                }
+              }
+              if (found == nullptr) {
                 return DataLossError(std::string("missing tensor ") + key);
               }
+              if (std::string(key) == "fp32_flat") {
+                fp32 = found;
+              }
             }
-            if (!bundle.meta.Has("flat_layout")) {
+            if (!info.meta.Has("flat_layout")) {
               return DataLossError("missing flat_layout metadata");
             }
             UCP_ASSIGN_OR_RETURN(
                 FlatLayout layout,
-                FlatLayout::FromJson(bundle.meta.AsObject().at("flat_layout")));
+                FlatLayout::FromJson(info.meta.AsObject().at("flat_layout")));
             int64_t expected =
                 s.zero_stage == 0 ? layout.padded_total : layout.partition_size;
-            if (bundle.Find("fp32_flat")->numel() != expected) {
+            if (ShapeNumel(fp32->shape) != expected) {
               return DataLossError(StrFormat(
                   "fp32_flat has %lld elements, layout expects %lld",
-                  static_cast<long long>(bundle.Find("fp32_flat")->numel()),
+                  static_cast<long long>(ShapeNumel(fp32->shape)),
                   static_cast<long long>(expected)));
             }
-            if (padded_total >= 0 && layout.padded_total != padded_total) {
-              return DataLossError("flat layout disagrees with DP peers");
+            *padded_out = layout.padded_total;
+            if (options.deep) {
+              return DeepVerifyBundleFile(optim_path);
             }
-            padded_total = layout.padded_total;
             return OkStatus();
-          });
+          }});
+        }
+      }
+    }
+  }
+  RunChecks(checks, options, report);
+
+  // Cross-DP agreement post-pass, once every file has reported in.
+  for (int pp = 0; pp < s.pp; ++pp) {
+    for (int sp = 0; sp < s.sp; ++sp) {
+      for (int tp = 0; tp < s.tp; ++tp) {
+        int64_t group_total = -1;
+        for (int dp = 0; dp < s.dp; ++dp) {
+          size_t slot = static_cast<size_t>(((pp * s.sp + sp) * s.tp + tp) * s.dp + dp);
+          if (padded_totals[slot] < 0) {
+            continue;  // file was missing/damaged; already reported
+          }
+          if (group_total >= 0 && padded_totals[slot] != group_total) {
+            report.problems.push_back(optim_paths[slot] +
+                                      ": flat layout disagrees with DP peers");
+          }
+          group_total = padded_totals[slot];
         }
       }
     }
@@ -121,7 +191,8 @@ Result<ValidationReport> ValidateNativeCheckpoint(const std::string& dir,
   return report;
 }
 
-Result<ValidationReport> ValidateUcpCheckpoint(const std::string& ucp_dir) {
+Result<ValidationReport> ValidateUcpCheckpoint(const std::string& ucp_dir,
+                                               const ValidateOptions& options) {
   ValidationReport report;
   if (FileExists(PathJoin(ucp_dir, "ucp_meta.json")) && !IsUcpComplete(ucp_dir)) {
     report.problems.push_back("missing 'complete' marker: the conversion into " + ucp_dir +
@@ -138,6 +209,7 @@ Result<ValidationReport> ValidateUcpCheckpoint(const std::string& ucp_dir) {
     expected[entry.param.name] = entry.param.full_shape;
   }
 
+  std::vector<FileCheck> checks;
   std::map<std::string, bool> seen;
   for (const std::string& name : meta->atom_names) {
     seen[name] = true;
@@ -148,16 +220,21 @@ Result<ValidationReport> ValidateUcpCheckpoint(const std::string& ucp_dir) {
     }
     for (const char* file : {"fp32", "exp_avg", "exp_avg_sq"}) {
       std::string path = PathJoin(AtomDir(ucp_dir, name), file);
-      CheckFile(path, report, [&] {
+      const Shape* want = &it->second;
+      checks.push_back({path, [path, want, &options] {
         UCP_ASSIGN_OR_RETURN(TensorFileInfo info, StatTensor(path));
-        if (info.shape != it->second) {
+        if (info.shape != *want) {
           return DataLossError("shape " + ShapeToString(info.shape) +
-                               " does not match inventory " + ShapeToString(it->second));
+                               " does not match inventory " + ShapeToString(*want));
+        }
+        if (options.deep) {
+          return DeepVerifyTensorFile(path);
         }
         return OkStatus();
-      });
+      }});
     }
   }
+  RunChecks(checks, options, report);
   for (const auto& [name, shape] : expected) {
     if (!seen.count(name)) {
       report.problems.push_back("inventory parameter missing from UCP checkpoint: " + name);
@@ -220,15 +297,19 @@ void QuarantineDir(const std::string& dir, FsckReport& out) {
 
 }  // namespace
 
-Result<FsckReport> Fsck(const std::string& path, bool quarantine) {
+Result<FsckReport> Fsck(const std::string& path, const FsckOptions& options) {
   if (!DirExists(path)) {
     return NotFoundError("no such directory: " + path);
   }
+  const bool quarantine = options.quarantine;
+  ValidateOptions vopts;
+  vopts.deep = !options.fast;
+  vopts.num_threads = options.num_threads;
   FsckReport out;
 
   // A UCP atom directory checks as one unit.
   if (LooksLikeUcpDir(path)) {
-    UCP_ASSIGN_OR_RETURN(ValidationReport report, ValidateUcpCheckpoint(path));
+    UCP_ASSIGN_OR_RETURN(ValidationReport report, ValidateUcpCheckpoint(path, vopts));
     bool damaged = !report.ok();
     out.entries.push_back({path, std::move(report)});
     if (damaged && quarantine) {
@@ -241,7 +322,7 @@ Result<FsckReport> Fsck(const std::string& path, bool quarantine) {
   // staging debris left by a crashed save or conversion.
   UCP_ASSIGN_OR_RETURN(std::vector<std::string> tags, ListCheckpointTags(path));
   for (const std::string& tag : tags) {
-    UCP_ASSIGN_OR_RETURN(ValidationReport report, ValidateNativeCheckpoint(path, tag));
+    UCP_ASSIGN_OR_RETURN(ValidationReport report, ValidateNativeCheckpoint(path, tag, vopts));
     bool damaged = !report.ok();
     out.entries.push_back({tag, std::move(report)});
     if (damaged && quarantine) {
@@ -253,7 +334,7 @@ Result<FsckReport> Fsck(const std::string& path, bool quarantine) {
   for (const std::string& name : names) {
     const std::string child = PathJoin(path, name);
     if (EndsWith(name, ".ucp") && DirExists(child)) {
-      UCP_ASSIGN_OR_RETURN(ValidationReport report, ValidateUcpCheckpoint(child));
+      UCP_ASSIGN_OR_RETURN(ValidationReport report, ValidateUcpCheckpoint(child, vopts));
       bool damaged = !report.ok();
       out.entries.push_back({name, std::move(report)});
       if (damaged && quarantine) {

@@ -21,16 +21,27 @@ struct ValidationReport {
   std::string ToString() const;
 };
 
+struct ValidateOptions {
+  // deep = verify every payload CRC (chunked for format v3). false ("--fast") trusts the
+  // header CRCs only — structure and shapes are still checked, but payload bit rot past the
+  // headers goes unnoticed; use it for quick pre-resume sanity sweeps, not for audits.
+  bool deep = true;
+  // Per-file checks fan out on a ThreadPool; 0 runs them inline.
+  int num_threads = 4;
+};
+
 // Native distributed checkpoint: metadata parses; every expected shard file (per the saved
 // strategy) exists, passes its CRC, and carries tensors consistent with the flat-layout
 // metadata; flat layouts agree across DP partitions.
 Result<ValidationReport> ValidateNativeCheckpoint(const std::string& dir,
-                                                  const std::string& tag);
+                                                  const std::string& tag,
+                                                  const ValidateOptions& options = {});
 
 // UCP atom directory: the manifest parses; every listed atom has its three state tensors
 // with matching shapes and CRCs; atom shapes match the model inventory; no inventory
 // parameter is missing.
-Result<ValidationReport> ValidateUcpCheckpoint(const std::string& ucp_dir);
+Result<ValidationReport> ValidateUcpCheckpoint(const std::string& ucp_dir,
+                                               const ValidateOptions& options = {});
 
 // Whole-tree integrity check ("ucp_tool fsck"). `path` is either a UCP atom directory
 // (detected by ucp_meta.json / atoms/) or a checkpoint root holding global_stepN tags; in
@@ -51,7 +62,19 @@ struct FsckReport {
   std::string ToString() const;
 };
 
-Result<FsckReport> Fsck(const std::string& path, bool quarantine);
+struct FsckOptions {
+  bool quarantine = false;
+  bool fast = false;  // header-only integrity (ValidateOptions::deep = false)
+  int num_threads = 4;
+};
+
+Result<FsckReport> Fsck(const std::string& path, const FsckOptions& options);
+
+inline Result<FsckReport> Fsck(const std::string& path, bool quarantine) {
+  FsckOptions options;
+  options.quarantine = quarantine;
+  return Fsck(path, options);
+}
 
 }  // namespace ucp
 

@@ -22,11 +22,17 @@
 //   ucp_tool plan     <ucp_dir> <tp> <pp> <dp> <sp> <zero_stage> [rank]
 //       Print the GenUcpMetadata load plan (JSON) for one target rank.
 //
-//   ucp_tool fsck     <path> [--quarantine]
+//   ucp_tool fsck     <path> [--quarantine] [--fast] [--threads N]
 //       Walk a checkpoint root (every tag, cached .ucp dirs, the latest pointer, staging
 //       debris) or a single UCP atom directory, verifying CRCs and manifest agreement.
 //       Exits 0 when clean, 1 when damage was found. With --quarantine, damaged
-//       tags/UCP dirs are renamed to <name>.quarantined so resumes skip them.
+//       tags/UCP dirs are renamed to <name>.quarantined so resumes skip them. --fast
+//       checks headers and metadata only (no payload CRC verification); file checks fan
+//       out over --threads workers.
+//
+//   ucp_tool stat     <ucp_dir>
+//       Header-only report of a UCP checkpoint: per-atom shape, bytes, and CRC chunk
+//       counts (reads tensor headers only — no payload I/O).
 
 #include <cstdio>
 #include <cstring>
@@ -35,6 +41,7 @@
 
 #include "src/ckpt/checkpoint.h"
 #include "src/common/fs.h"
+#include "src/tensor/tensor_file.h"
 #include "src/ucp/converter.h"
 #include "src/ucp/loader.h"
 #include "src/ucp/validate.h"
@@ -53,7 +60,8 @@ int Usage() {
                "  ucp_tool plan <ucp_dir> <tp> <pp> <dp> <sp> <zero_stage> [rank]\n"
                "  ucp_tool validate <ucp_dir>\n"
                "  ucp_tool validate-ckpt <ckpt_dir> <tag>\n"
-               "  ucp_tool fsck <path> [--quarantine]\n"
+               "  ucp_tool fsck <path> [--quarantine] [--fast] [--threads N]\n"
+               "  ucp_tool stat <ucp_dir>\n"
                "  ucp_tool prune <ckpt_dir> <keep_last>\n"
                "  ucp_tool gc <ckpt_dir> <keep_last> [--dry-run]\n");
   return 2;
@@ -68,6 +76,7 @@ struct Flags {
   int threads = 4;
   std::string spec_file;
   bool quarantine = false;
+  bool fast = false;
   bool dry_run = false;
   std::vector<std::string> positional;
 };
@@ -81,6 +90,8 @@ Flags ParseFlags(int argc, char** argv, int first) {
       flags.spec_file = argv[++i];
     } else if (std::strcmp(argv[i], "--quarantine") == 0) {
       flags.quarantine = true;
+    } else if (std::strcmp(argv[i], "--fast") == 0) {
+      flags.fast = true;
     } else if (std::strcmp(argv[i], "--dry-run") == 0) {
       flags.dry_run = true;
     } else {
@@ -236,12 +247,63 @@ int CmdFsck(const Flags& flags) {
   if (flags.positional.size() != 1) {
     return Usage();
   }
-  Result<FsckReport> report = Fsck(flags.positional[0], flags.quarantine);
+  FsckOptions options;
+  options.quarantine = flags.quarantine;
+  options.fast = flags.fast;
+  options.num_threads = flags.threads;
+  Result<FsckReport> report = Fsck(flags.positional[0], options);
   if (!report.ok()) {
     return Fail(report.status());
   }
   std::printf("%s", report->ToString().c_str());
   return report->clean() ? 0 : 1;
+}
+
+// Header-only: StatTensor parses the v3 metadata prefix without touching payload bytes, so
+// this stays fast even on checkpoints too large to re-read.
+int CmdStat(const Flags& flags) {
+  if (flags.positional.size() != 1) {
+    return Usage();
+  }
+  const std::string& ucp_dir = flags.positional[0];
+  Result<UcpMeta> meta = ReadUcpMeta(ucp_dir);
+  if (!meta.ok()) {
+    return Fail(meta.status());
+  }
+  std::printf("UCP checkpoint: %s  (%zu atoms, iteration %lld)\n", ucp_dir.c_str(),
+              meta->atom_names.size(), static_cast<long long>(meta->iteration));
+  std::printf("  %-70s %-16s %6s %12s %7s\n", "atom", "shape", "ver", "bytes/state",
+              "chunks");
+  uint64_t total_bytes = 0;
+  uint64_t total_chunks = 0;
+  constexpr const char* kStates[3] = {"fp32", "exp_avg", "exp_avg_sq"};
+  for (const std::string& name : meta->atom_names) {
+    const std::string dir = AtomDir(ucp_dir, name);
+    TensorFileInfo first;
+    uint64_t atom_bytes = 0;
+    uint64_t atom_chunks = 0;
+    for (int s = 0; s < 3; ++s) {
+      Result<TensorFileInfo> info = StatTensor(PathJoin(dir, kStates[s]));
+      if (!info.ok()) {
+        return Fail(info.status());
+      }
+      if (s == 0) {
+        first = *info;
+      }
+      atom_bytes += info->payload_bytes;
+      atom_chunks += info->num_chunks;
+    }
+    total_bytes += atom_bytes;
+    total_chunks += atom_chunks;
+    std::printf("  %-70s %-16s %6d %12llu %7llu\n", name.c_str(),
+                ShapeToString(first.shape).c_str(), first.format_version,
+                static_cast<unsigned long long>(first.payload_bytes),
+                static_cast<unsigned long long>(atom_chunks));
+  }
+  std::printf("  total: %llu payload bytes across %llu CRC chunks (3 states per atom)\n",
+              static_cast<unsigned long long>(total_bytes),
+              static_cast<unsigned long long>(total_chunks));
+  return 0;
 }
 
 int CmdPrune(const Flags& flags) {
@@ -315,6 +377,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "fsck") {
     return CmdFsck(flags);
+  }
+  if (command == "stat") {
+    return CmdStat(flags);
   }
   if (command == "prune") {
     return CmdPrune(flags);
