@@ -1,0 +1,98 @@
+// Recovery-time split after a mid-run rank failure: native restart vs reconfigured resume.
+//
+// Both arms share one kill scenario — TP2.PP2.DP2 (8 ranks), async checkpoint every 5
+// iterations, the last rank killed inside the gradient all-reduce of iteration 8, a short
+// watchdog so detection dominates neither arm. The supervisor then recovers two ways:
+//
+//   native_restart      — rebuild_same_strategy: the failed slot is assumed re-provisioned,
+//                         so resume loads the committed global_step5 through the strict
+//                         native loader (the "wait for a replacement node" baseline).
+//   reconfigured_resume — the UCP path: shrink to the 7 surviving slots (DP first ->
+//                         TP2.PP2.DP1 on 4 ranks), convert the checkpoint through UCP, and
+//                         continue degraded immediately.
+//
+// BENCH_recovery.json reports the detect / teardown / rebuild / convert / load split per
+// arm (RecoveryTiming, as measured by the supervisor). The paper-level point: the
+// reconfigured arm pays a one-time conversion but needs no replacement hardware, and the
+// split shows where that time goes.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/common/json.h"
+#include "src/runtime/supervisor.h"
+
+namespace ucp {
+namespace {
+
+constexpr int64_t kLastIteration = 15;
+constexpr int64_t kKillIteration = 8;
+constexpr int kVictim = 7;
+
+Json RunArm(const char* label, bool rebuild_same_strategy) {
+  const std::string dir = bench::FreshDir(std::string("fig13_") + label);
+  TrainerConfig cfg = bench::MakeConfig(Gpt3Scaled(), {2, 2, 2, 1, 1, 1});
+
+  SupervisorOptions options;
+  options.ckpt_dir = dir + "/ckpt";
+  options.checkpoint_every = 5;
+  options.watchdog_timeout = std::chrono::milliseconds(300);
+  options.rebuild_same_strategy = rebuild_same_strategy;
+  Supervisor supervisor(cfg, options);
+
+  ArmRankFault({kVictim, kKillIteration, FaultSite::kAllReduce, /*nth=*/1});
+  SupervisorReport report = supervisor.Train(1, kLastIteration);
+  DisarmRankFaults();
+  UCP_CHECK(report.ok) << report.status.ToString();
+  UCP_CHECK(report.recoveries == 1);
+  const RecoveryTiming& t = report.timings[0];
+
+  std::printf(
+      "fig13/%s: detect=%.3fs teardown=%.3fs rebuild=%.3fs convert=%.3fs load=%.3fs "
+      "total=%.3fs (%s -> %s, resumed %s)\n",
+      label, t.detect_seconds, t.teardown_seconds, t.rebuild_seconds, t.convert_seconds,
+      t.load_seconds, t.total_seconds, t.old_strategy.ToString().c_str(),
+      t.new_strategy.ToString().c_str(), t.resumed_tag.c_str());
+
+  JsonObject arm;
+  arm["arm"] = label;
+  arm["old_strategy"] = t.old_strategy.ToString();
+  arm["new_strategy"] = t.new_strategy.ToString();
+  arm["resumed_tag"] = t.resumed_tag;
+  arm["resume_path"] = t.resume_path == ResumeReport::Path::kNative ? "native" : "ucp";
+  arm["detect_seconds"] = t.detect_seconds;
+  arm["teardown_seconds"] = t.teardown_seconds;
+  arm["rebuild_seconds"] = t.rebuild_seconds;
+  arm["convert_seconds"] = t.convert_seconds;
+  arm["load_seconds"] = t.load_seconds;
+  arm["total_seconds"] = t.total_seconds;
+  return Json(std::move(arm));
+}
+
+}  // namespace
+}  // namespace ucp
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  ucp::JsonArray arms;
+  arms.emplace_back(ucp::RunArm("native_restart", /*rebuild_same_strategy=*/true));
+  arms.emplace_back(ucp::RunArm("reconfigured_resume", /*rebuild_same_strategy=*/false));
+
+  ucp::JsonObject doc;
+  doc["benchmark"] = "fig13_recovery_time";
+  doc["strategy"] = ucp::ParallelConfig{2, 2, 2, 1, 1, 1}.ToString();
+  doc["world_size"] = 8;
+  doc["victim_rank"] = ucp::kVictim;
+  doc["kill_iteration"] = ucp::kKillIteration;
+  doc["watchdog_ms"] = 300;
+  doc["arms"] = std::move(arms);
+
+  const std::string out = "BENCH_recovery.json";
+  UCP_CHECK(ucp::WriteFileAtomic(out, ucp::Json(std::move(doc)).Dump(2)).ok());
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

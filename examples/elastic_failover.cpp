@@ -1,21 +1,18 @@
-// Elastic failover: the paper's motivating scenario (Fig. 1).
+// Elastic failover: the paper's motivating scenario (Fig. 1), fully automated.
 //
-// A job trains on 8 ranks with periodic distributed checkpointing. Mid-run, "hardware
-// fails" — half the ranks disappear. A strict native load on the new 4-rank shape fails
-// loudly (exactly the runtime error current frameworks give); converting the surviving
-// checkpoint to UCP lets training continue on the remaining healthy hardware. When capacity
-// returns, the job scales back up to 8 ranks from another UCP conversion — opportunistic
-// use of elastic capacity.
+// A job trains on 8 ranks with periodic async checkpointing under the recovery supervisor.
+// Mid-run, "hardware fails": an armed fault kills rank 7 inside a gradient all-reduce. The
+// surviving ranks block, the world watchdog converts the hang into a detected RankFailure,
+// and the supervisor tears the run down, shrinks the strategy for the 7 remaining slots
+// (DP first: TP2.PP2.DP2 -> TP2.PP2.DP1, 4 ranks), converts the newest committed
+// checkpoint through UCP, and resumes — no operator in the loop. When capacity returns,
+// the job scales back up to 8 ranks from another on-demand UCP conversion.
 
 #include <cstdio>
 
-#include "src/ckpt/async/engine.h"
-#include "src/ckpt/checkpoint.h"
 #include "src/common/fs.h"
-#include "src/runtime/trainer.h"
-#include "src/ucp/converter.h"
+#include "src/runtime/supervisor.h"
 #include "src/ucp/elastic.h"
-#include "src/ucp/loader.h"
 
 namespace {
 
@@ -36,75 +33,57 @@ int main() {
   const std::string workdir = "/tmp/ucp_elastic";
   UCP_CHECK(RemoveAll(workdir).ok());
 
-  // Phase 1: full cluster — 8 ranks, TP2 x PP2 x DP2. Checkpoints go through the async
-  // engine: each save blocks training for the snapshot memcpy only, while the flush and
-  // commit overlap the following iterations.
+  // Phase 1+2 in one call: the supervisor owns train -> fail -> shrink -> resume. The armed
+  // plan kills rank 7 at iteration 25, past the committed global_step20 checkpoint.
   std::printf(
-      "phase 1: 8 ranks (TP2.PP2.DP2, ZeRO-1), async checkpoint every 10 iterations\n");
-  TrainingRun full(ConfigFor({2, 2, 2, 1, 1, 1}));
-  {
-    AsyncCheckpointEngine engine(workdir + "/ckpt", full.world_size());
-    auto losses = full.Train(1, 30, [&](RankTrainer& t, int64_t it) {
-      if (it % 10 == 0) {
-        UCP_CHECK(engine.SaveAsync(t, it).ok());
-      }
-    });
-    UCP_CHECK(engine.WaitAll().ok());
-    AsyncSaveStats stats = engine.stats();
-    for (int64_t it = 10; it <= 30; it += 10) {
-      std::printf("  iter %3lld loss %.4f  (checkpointed)\n", static_cast<long long>(it),
-                  losses[static_cast<size_t>(it - 1)]);
-    }
-    std::printf("  %lld async saves committed; worst per-save stall %.1f ms\n",
-                static_cast<long long>(stats.commits),
-                stats.max_blocking_seconds * 1e3);
+      "phase 1: 8 ranks (TP2.PP2.DP2, ZeRO-1), async checkpoint every 10 iterations,\n"
+      "         supervised with a 2s watchdog; rank 7 will die at iteration 25\n");
+  SupervisorOptions options;
+  options.ckpt_dir = workdir + "/ckpt";
+  options.checkpoint_every = 10;
+  options.watchdog_timeout = std::chrono::milliseconds(2000);
+  Supervisor supervisor(ConfigFor({2, 2, 2, 1, 1, 1}), options);
+
+  ArmRankFault({/*rank=*/7, /*iteration=*/25, FaultSite::kAllReduce, /*nth=*/1});
+  SupervisorReport report = supervisor.Train(1, 50);
+  DisarmRankFaults();
+  UCP_CHECK(report.ok) << report.status.ToString();
+  UCP_CHECK(report.recoveries == 1);
+
+  const RecoveryTiming& t = report.timings[0];
+  std::printf("\nphase 2: failure detected and survived automatically\n");
+  std::printf("  failure   : %s\n", t.failure.ToString().c_str());
+  std::printf("  strategy  : %s -> %s\n", t.old_strategy.ToString().c_str(),
+              t.new_strategy.ToString().c_str());
+  std::printf("  resumed   : %s (%s)\n", t.resumed_tag.c_str(),
+              t.resume_path == ResumeReport::Path::kNative ? "native load" : "via UCP");
+  std::printf("  recovery  : detect %.2fs, teardown %.3fs, rebuild %.3fs, convert %.3fs, "
+              "load %.3fs -> total %.2fs\n",
+              t.detect_seconds, t.teardown_seconds, t.rebuild_seconds, t.convert_seconds,
+              t.load_seconds, t.total_seconds);
+  for (int64_t it = 10; it <= 50; it += 10) {
+    std::printf("  iter %3lld loss %.4f%s\n", static_cast<long long>(it),
+                report.losses[static_cast<size_t>(it - 1)],
+                it > 20 ? "  (re-run on 4 ranks)" : "");
   }
+  std::printf("  final strategy: %s on %d ranks\n",
+              report.final_strategy.ToString().c_str(), report.final_strategy.world_size());
 
-  // Phase 2: failure — only 4 ranks remain. Strict native resume fails by design. The tag
-  // comes from FindLatestValidTag — never from the advisory `latest` pointer.
-  std::printf("\nphase 2: node failure! 4 ranks remain -> try native resume as TP2.DP2\n");
-  Result<std::string> tag = FindLatestValidTag(workdir + "/ckpt");
-  UCP_CHECK(tag.ok()) << tag.status().ToString();
-  TrainingRun degraded(ConfigFor({2, 1, 2, 1, 1, 1}));
-  std::vector<Status> strict(4);
-  degraded.Run([&](RankTrainer& t) {
-    strict[static_cast<size_t>(t.rank())] =
-        LoadDistributedCheckpoint(workdir + "/ckpt", *tag, t);
-  });
-  std::printf("  native load: %s\n", strict[0].ToString().c_str());
-  UCP_CHECK(strict[0].code() == StatusCode::kFailedPrecondition);
-
-  std::printf("  -> converting the surviving checkpoint to UCP instead\n");
-  Result<ConvertStats> stats =
-      ConvertToUcp(workdir + "/ckpt", *tag, workdir + "/ucp30");
-  UCP_CHECK(stats.ok()) << stats.status().ToString();
-  degraded.Run([&](RankTrainer& t) {
-    UCP_CHECK(LoadUcpCheckpoint(workdir + "/ucp30", t).ok());
-  });
-  for (int64_t start = 31; start <= 50; start += 10) {
-    auto losses = degraded.Train(start, start + 9);
-    degraded.Run([&](RankTrainer& t) {
-      UCP_CHECK(SaveDistributedCheckpoint(workdir + "/ckpt4", t, start + 9).ok());
-    });
-    std::printf("  iter %3lld loss %.4f  (on 4 ranks)\n",
-                static_cast<long long>(start + 9), losses.back());
-  }
-
-  // Phase 3: capacity restored — scale back up to 8 ranks, now pure ZeRO-3 DP. This time
-  // use the one-call driver: ResumeElastic detects the strategy change, converts on demand
-  // (cached beside the checkpoint), and loads through UCP.
+  // Phase 3: capacity restored — scale back up to 8 ranks, now pure ZeRO-3 DP.
+  // ResumeElastic detects the strategy change, converts the supervisor's last checkpoint on
+  // demand (cached beside it), and loads through UCP.
   std::printf("\nphase 3: capacity restored -> scale up to 8 ranks as DP8 (ZeRO-3)\n");
   TrainingRun restored(ConfigFor({1, 1, 8, 1, 3, 1}));
-  restored.Run([&](RankTrainer& t) {
-    Result<ResumeReport> report = ResumeElastic(workdir + "/ckpt4", t);
-    UCP_CHECK(report.ok()) << report.status().ToString();
-    UCP_CHECK(report->path == ResumeReport::Path::kUcpConverted ||
-              report->path == ResumeReport::Path::kUcpCached);
+  restored.Run([&](RankTrainer& trainer) {
+    Result<ResumeReport> resume = ResumeElastic(workdir + "/ckpt", trainer);
+    UCP_CHECK(resume.ok()) << resume.status().ToString();
+    UCP_CHECK(resume->path == ResumeReport::Path::kUcpConverted ||
+              resume->path == ResumeReport::Path::kUcpCached);
+    UCP_CHECK(resume->iteration == 50);
   });
-  std::printf("  ResumeElastic converted %s on demand and loaded it\n",
-              FindLatestValidTag(workdir + "/ckpt4")->c_str());
-  auto losses = restored.Train(51, 70);
-  std::printf("  iter  70 loss %.4f  (on 8 ranks again)\n", losses.back());
-  std::printf("\ntraining survived shrink (8->4) and grow (4->8) without losing a step.\n");
+  auto losses = restored.Train(51, 60);
+  std::printf("  iter  60 loss %.4f  (on 8 ranks again)\n", losses.back());
+  std::printf("\ntraining survived a mid-run rank death (8->4) and grew back (4->8) "
+              "without losing a step.\n");
   return 0;
 }

@@ -260,6 +260,26 @@ Status AsyncCheckpointEngine::WaitForIteration(int64_t iteration) {
   return it->second;
 }
 
+int AsyncCheckpointEngine::AbandonIncomplete() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<PendingSave>> victims;
+  for (const auto& save : inflight_) {
+    // No flusher job exists yet for a gathering save (submission happens on the last
+    // arrival), so resolving it here races with nothing.
+    if (!save->resolved && save->arrived < world_size_) {
+      victims.push_back(save);
+    }
+  }
+  for (const auto& save : victims) {
+    save->cancelled = true;  // keeps ResolveLocked from counting this as a flush failure
+    ResolveLocked(save, FailedPreconditionError(
+                            "save " + save->tag +
+                            " abandoned: gather incomplete after rank failure"));
+    ++stats_.drops;
+  }
+  return static_cast<int>(victims.size());
+}
+
 Status AsyncCheckpointEngine::WaitAll() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [&] { return inflight_.empty(); });

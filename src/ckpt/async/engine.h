@@ -103,6 +103,13 @@ class AsyncCheckpointEngine {
   // observed over the engine's lifetime (sticky), OkStatus when all commits landed.
   Status WaitAll();
 
+  // After a rank failure, a save some ranks never reached stays gathering forever (its dead
+  // peer will never call SaveAsync) and would park WaitAll / the destructor. Resolves every
+  // not-fully-gathered save as abandoned (counted as a drop, not a failure) and returns how
+  // many were abandoned; fully-gathered saves keep flushing — a checkpoint whose snapshots
+  // all arrived is still perfectly good, and is typically exactly the one recovery wants.
+  int AbandonIncomplete();
+
   AsyncSaveStats stats() const;
   const std::string& dir() const { return dir_; }
 

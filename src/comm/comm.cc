@@ -1,13 +1,53 @@
 #include "src/comm/comm.h"
 
 #include <algorithm>
+#include <sstream>
 #include <thread>
 
 namespace ucp {
 namespace internal {
+namespace {
 
-GroupState::GroupState(std::vector<int> member_ranks) : members_(std::move(member_ranks)) {
+// Poll quantum for abortable waits. Waiters re-check their predicate, the abort flag, and
+// the watchdog deadline at least this often, so a world abort unwinds every blocked rank
+// within ~one quantum without any cross-group notification plumbing.
+constexpr std::chrono::milliseconds kWaitQuantum{2};
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+thread_local int tl_watchdog_suspend_depth = 0;
+
+}  // namespace
+
+bool WatchdogSuspended() { return tl_watchdog_suspend_depth > 0; }
+
+RankFailure AbortState::Abort(RankFailure failure) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!aborted_.load(std::memory_order_relaxed)) {
+    failure_ = std::move(failure);
+    aborted_.store(true, std::memory_order_release);
+  }
+  return failure_;
+}
+
+RankFailure AbortState::failure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failure_;
+}
+
+void AbortState::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  aborted_.store(false, std::memory_order_release);
+  failure_ = RankFailure{};
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+GroupState::GroupState(std::vector<int> member_ranks, std::shared_ptr<AbortState> abort)
+    : members_(std::move(member_ranks)), abort_(std::move(abort)) {
   UCP_CHECK(!members_.empty());
+  UCP_CHECK(abort_ != nullptr);
   slots_.resize(members_.size(), nullptr);
 }
 
@@ -20,14 +60,49 @@ int GroupState::IndexOf(int global_rank) const {
   return -1;
 }
 
+void GroupState::FailWatchdog(std::chrono::steady_clock::time_point wait_start,
+                              const char* wait_site, int suspect_rank) {
+  const FaultContext ctx = CurrentFaultContext();
+  RankFailure failure;
+  failure.kind = RankFailure::Kind::kWatchdog;
+  failure.rank = suspect_rank;
+  failure.iteration = ctx.iteration;
+  failure.site = wait_site;
+  failure.blocked_seconds = SecondsSince(wait_start);
+  std::ostringstream detail;
+  detail << "rank " << ctx.rank << " watchdog expired after "
+         << abort_->watchdog().count() << "ms in " << wait_site;
+  failure.detail = detail.str();
+  // First caller wins: if another rank already aborted the world, propagate its (earlier)
+  // root cause instead of ours.
+  throw RankFailureError(abort_->Abort(std::move(failure)));
+}
+
 const std::vector<const void*>& GroupState::Exchange(int index, const void* p) {
   std::unique_lock<std::mutex> lock(mu_);
-  // Wait for the previous collective on this group to fully retire.
-  cv_.wait(lock, [this] { return !consuming_; });
+  const auto wait_start = std::chrono::steady_clock::now();
+  const auto deadline = wait_start + abort_->watchdog();
+
+  // Wait for the previous collective on this group to fully retire. The predicate is checked
+  // before the abort flag: if the op retired we are free to proceed even in an aborted world
+  // (the deposit-time check below still refuses to start a new op).
+  while (consuming_) {
+    if (abort_->aborted()) throw RankFailureError(abort_->failure());
+    if (!WatchdogSuspended() && std::chrono::steady_clock::now() >= deadline) {
+      // Retirement is normally guaranteed (see Done()); reaching this means the world is
+      // genuinely wedged. No specific peer to blame.
+      FailWatchdog(wait_start, "collective-entry", /*suspect_rank=*/-1);
+    }
+    cv_.wait_for(lock, kWaitQuantum);
+  }
   UCP_CHECK_GE(index, 0);
   UCP_CHECK_LT(index, size());
   UCP_CHECK(slots_[static_cast<size_t>(index)] == nullptr)
       << "rank deposited twice into one collective";
+  // Abort check immediately before depositing, in the same critical section: a member of an
+  // aborted world must never deposit, or a lagging peer could complete the op and read this
+  // frame's buffer after we unwound.
+  if (abort_->aborted()) throw RankFailureError(abort_->failure());
   slots_[static_cast<size_t>(index)] = p;
   ++deposited_;
   if (deposited_ == size()) {
@@ -35,7 +110,31 @@ const std::vector<const void*>& GroupState::Exchange(int index, const void* p) {
     consumed_ = 0;
     cv_.notify_all();
   } else {
-    cv_.wait(lock, [this] { return consuming_; });
+    // Predicate before abort flag: once the last member flips consuming_, the op WILL be
+    // read by peers, so we must stay and complete it normally; only an op that can still be
+    // cancelled (consuming_ false, our retraction below) may unwind.
+    while (!consuming_) {
+      const bool aborted = abort_->aborted();
+      const bool expired =
+          !WatchdogSuspended() && std::chrono::steady_clock::now() >= deadline;
+      if (aborted || expired) {
+        // Retract our deposit so the op can never complete and read our unwound frame. Any
+        // member that would have completed it instead observes the abort flag at its own
+        // deposit-time check and unwinds too.
+        slots_[static_cast<size_t>(index)] = nullptr;
+        --deposited_;
+        if (aborted) throw RankFailureError(abort_->failure());
+        int suspect = -1;
+        for (size_t i = 0; i < slots_.size(); ++i) {
+          if (slots_[i] == nullptr) {
+            suspect = members_[i];
+            break;
+          }
+        }
+        FailWatchdog(wait_start, "collective-deposit", suspect);
+      }
+      cv_.wait_for(lock, kWaitQuantum);
+    }
   }
   return slots_;
 }
@@ -51,12 +150,16 @@ void GroupState::Done() {
     cv_.notify_all();
   } else {
     // Block until the op retires so no member can race ahead and mutate its deposited
-    // buffer while peers are still reading it.
+    // buffer while peers are still reading it. Deliberately not abort-sensitive: every
+    // member deposited, so every member is alive on the straight-line path to Done() and
+    // retirement is guaranteed (see header comment).
     cv_.wait(lock, [this] { return !consuming_; });
   }
 }
 
 void Mailbox::Send(int src, int dst, Tensor t) {
+  // Fail fast instead of queueing into a poisoned world.
+  if (abort_->aborted()) throw RankFailureError(abort_->failure());
   {
     std::lock_guard<std::mutex> lock(mu_);
     channels_[{src, dst}].push_back(std::move(t));
@@ -66,11 +169,31 @@ void Mailbox::Send(int src, int dst, Tensor t) {
 
 Tensor Mailbox::Recv(int src, int dst) {
   std::unique_lock<std::mutex> lock(mu_);
+  const auto wait_start = std::chrono::steady_clock::now();
+  const auto deadline = wait_start + abort_->watchdog();
   auto key = std::make_pair(src, dst);
-  cv_.wait(lock, [this, &key] {
+  auto has_message = [this, &key] {
     auto it = channels_.find(key);
     return it != channels_.end() && !it->second.empty();
-  });
+  };
+  // Predicate before abort flag: an already-delivered message is consumed normally.
+  while (!has_message()) {
+    if (abort_->aborted()) throw RankFailureError(abort_->failure());
+    if (!WatchdogSuspended() && std::chrono::steady_clock::now() >= deadline) {
+      const FaultContext ctx = CurrentFaultContext();
+      RankFailure failure;
+      failure.kind = RankFailure::Kind::kWatchdog;
+      failure.rank = src;  // the peer that never sent
+      failure.iteration = ctx.iteration;
+      failure.site = "p2p-recv";
+      failure.blocked_seconds = SecondsSince(wait_start);
+      std::ostringstream detail;
+      detail << "rank " << dst << " watchdog expired waiting for message from rank " << src;
+      failure.detail = detail.str();
+      throw RankFailureError(abort_->Abort(std::move(failure)));
+    }
+    cv_.wait_for(lock, kWaitQuantum);
+  }
   Tensor t = std::move(channels_[key].front());
   channels_[key].pop_front();
   return t;
@@ -78,7 +201,17 @@ Tensor Mailbox::Recv(int src, int dst) {
 
 }  // namespace internal
 
-World::World(int size) : size_(size) { UCP_CHECK_GT(size, 0); }
+ScopedWatchdogSuspend::ScopedWatchdogSuspend() { ++internal::tl_watchdog_suspend_depth; }
+ScopedWatchdogSuspend::~ScopedWatchdogSuspend() { --internal::tl_watchdog_suspend_depth; }
+
+World::World(int size, WorldOptions options)
+    : size_(size),
+      options_(options),
+      abort_(std::make_shared<internal::AbortState>(options.watchdog_timeout)),
+      mailbox_(abort_) {
+  UCP_CHECK_GT(size, 0);
+  UCP_CHECK_GT(options_.watchdog_timeout.count(), 0);
+}
 
 std::shared_ptr<internal::GroupState> World::CreateGroup(const std::vector<int>& ranks) {
   UCP_CHECK(!ranks.empty());
@@ -86,14 +219,18 @@ std::shared_ptr<internal::GroupState> World::CreateGroup(const std::vector<int>&
     UCP_CHECK_GE(r, 0);
     UCP_CHECK_LT(r, size_);
   }
-  return std::make_shared<internal::GroupState>(ranks);
+  return std::make_shared<internal::GroupState>(ranks, abort_);
 }
 
 void World::Send(int src_rank, int dst_rank, const Tensor& t) {
+  CheckRankFault(FaultSite::kP2PSend);
   mailbox_.Send(src_rank, dst_rank, t.Clone());
 }
 
-Tensor World::Recv(int src_rank, int dst_rank) { return mailbox_.Recv(src_rank, dst_rank); }
+Tensor World::Recv(int src_rank, int dst_rank) {
+  CheckRankFault(FaultSite::kP2PRecv);
+  return mailbox_.Recv(src_rank, dst_rank);
+}
 
 ProcessGroup::ProcessGroup(std::shared_ptr<internal::GroupState> state, int global_rank)
     : state_(std::move(state)) {
@@ -102,6 +239,7 @@ ProcessGroup::ProcessGroup(std::shared_ptr<internal::GroupState> state, int glob
 }
 
 void ProcessGroup::AllReduceSum(Tensor& t) const {
+  CheckRankFault(FaultSite::kAllReduce);
   const auto& slots = state_->Exchange(index_, &t);
   // Accumulate in group order into a temporary; writing into `t` before Done() would corrupt
   // peers that still read our slot.
@@ -116,6 +254,7 @@ void ProcessGroup::AllReduceSum(Tensor& t) const {
 }
 
 void ProcessGroup::AllReduceMax(Tensor& t) const {
+  CheckRankFault(FaultSite::kAllReduce);
   const auto& slots = state_->Exchange(index_, &t);
   Tensor result = Tensor::Full(t.shape(), -std::numeric_limits<float>::infinity());
   float* out = result.data();
@@ -132,6 +271,7 @@ void ProcessGroup::AllReduceMax(Tensor& t) const {
 }
 
 double ProcessGroup::AllReduceSumScalar(double v) const {
+  CheckRankFault(FaultSite::kAllReduce);
   const auto& slots = state_->Exchange(index_, &v);
   double sum = 0.0;
   for (const void* slot : slots) {
@@ -142,6 +282,7 @@ double ProcessGroup::AllReduceSumScalar(double v) const {
 }
 
 double ProcessGroup::AllReduceMaxScalar(double v) const {
+  CheckRankFault(FaultSite::kAllReduce);
   const auto& slots = state_->Exchange(index_, &v);
   double m = -std::numeric_limits<double>::infinity();
   for (const void* slot : slots) {
@@ -152,6 +293,7 @@ double ProcessGroup::AllReduceMaxScalar(double v) const {
 }
 
 std::vector<Tensor> ProcessGroup::AllGatherTensors(const Tensor& t) const {
+  CheckRankFault(FaultSite::kAllGather);
   const auto& slots = state_->Exchange(index_, &t);
   std::vector<Tensor> out;
   out.reserve(slots.size());
@@ -168,6 +310,7 @@ Tensor ProcessGroup::AllGatherConcat(const Tensor& t, int dim) const {
 }
 
 void ProcessGroup::ReduceScatterSum(const Tensor& full, Tensor& shard) const {
+  CheckRankFault(FaultSite::kReduceScatter);
   UCP_CHECK_EQ(full.numel() % size(), 0) << "ReduceScatterSum: numel not divisible by group";
   int64_t shard_numel = full.numel() / size();
   UCP_CHECK_EQ(shard.numel(), shard_numel) << "ReduceScatterSum: bad shard size";
@@ -189,6 +332,7 @@ void ProcessGroup::ReduceScatterSum(const Tensor& full, Tensor& shard) const {
 }
 
 void ProcessGroup::Broadcast(Tensor& t, int root_index) const {
+  CheckRankFault(FaultSite::kBroadcast);
   UCP_CHECK_GE(root_index, 0);
   UCP_CHECK_LT(root_index, size());
   const auto& slots = state_->Exchange(index_, &t);
@@ -202,6 +346,7 @@ void ProcessGroup::Broadcast(Tensor& t, int root_index) const {
 }
 
 void ProcessGroup::Barrier() const {
+  CheckRankFault(FaultSite::kBarrier);
   int token = 0;
   state_->Exchange(index_, &token);
   state_->Done();
@@ -211,11 +356,40 @@ void RunSpmd(int world_size, const std::function<void(int)>& body) {
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(world_size));
   for (int r = 0; r < world_size; ++r) {
-    threads.emplace_back([&body, r] { body(r); });
+    threads.emplace_back([&body, r] {
+      SetFaultContext(r, -1);
+      try {
+        body(r);
+      } catch (const RankFailureError& e) {
+        UCP_CHECK(false) << "unhandled rank failure in RunSpmd (use RunSpmdFallible): "
+                         << e.what();
+      }
+    });
   }
   for (std::thread& t : threads) {
     t.join();
   }
+}
+
+std::vector<std::optional<RankFailure>> RunSpmdFallible(
+    int world_size, const std::function<void(int)>& body) {
+  std::vector<std::optional<RankFailure>> failures(static_cast<size_t>(world_size));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(world_size));
+  for (int r = 0; r < world_size; ++r) {
+    threads.emplace_back([&body, &failures, r] {
+      SetFaultContext(r, -1);
+      try {
+        body(r);
+      } catch (const RankFailureError& e) {
+        failures[static_cast<size_t>(r)] = e.failure();
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  return failures;
 }
 
 }  // namespace ucp

@@ -11,23 +11,86 @@
 // thread arrival order. Each rank computes the reduction locally from the same ordered slot
 // vector, so all ranks observe bit-identical results and repeated runs are reproducible —
 // the property the resume-bit-exactness tests rely on.
+//
+// Fault tolerance: every blocking wait (collective rendezvous, P2P receive) is abortable.
+// The World carries an epoch'd abort flag plus a watchdog deadline; a rank blocked longer
+// than `WorldOptions::watchdog_timeout` declares the suspected peer failed, aborts the whole
+// world (first caller wins), and every blocked rank unwinds with a RankFailureError instead
+// of deadlocking. An aborted World is poisoned — subsequent collective calls throw — and is
+// expected to be torn down and rebuilt by the recovery supervisor (src/runtime/supervisor.h).
+// See docs/fault_tolerance.md for the failure model and the safety argument for deposited
+// stack buffers.
 
 #ifndef UCP_SRC_COMM_COMM_H_
 #define UCP_SRC_COMM_COMM_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
+#include "src/comm/rank_fault.h"
 #include "src/tensor/tensor.h"
 
 namespace ucp {
 
+// Tunables for one simulated cluster.
+struct WorldOptions {
+  // A rank blocked inside a collective or P2P receive for longer than this is treated as
+  // evidence of a peer failure: the waiter aborts the world and unwinds. Generous default so
+  // ordinary tests never trip it; fault-tolerance tests dial it down to seconds.
+  std::chrono::milliseconds watchdog_timeout{60000};
+};
+
+// While an instance is in scope on the calling rank's thread, that rank's collective and
+// P2P waits skip the watchdog deadline (world-abort checks stay active, so the rank still
+// unwinds promptly when a failure is detected elsewhere). For phases where a peer
+// legitimately performs unbounded-duration local work while others wait — e.g. rank 0
+// converting a checkpoint to UCP behind the resume barrier — which would otherwise read as
+// a silent hang. Nests; every rank entering such a phase suspends its own waits.
+class ScopedWatchdogSuspend {
+ public:
+  ScopedWatchdogSuspend();
+  ~ScopedWatchdogSuspend();
+  ScopedWatchdogSuspend(const ScopedWatchdogSuspend&) = delete;
+  ScopedWatchdogSuspend& operator=(const ScopedWatchdogSuspend&) = delete;
+};
+
 namespace internal {
+
+// True while a ScopedWatchdogSuspend is live on this thread.
+bool WatchdogSuspended();
+
+// World-wide abort flag shared by every group and the mailbox. First Abort() wins and pins
+// the canonical root-cause failure; later callers get the existing failure back. Clear()
+// bumps the epoch and re-arms the world (used by tests; the supervisor rebuilds instead).
+class AbortState {
+ public:
+  explicit AbortState(std::chrono::milliseconds watchdog) : watchdog_(watchdog) {}
+
+  std::chrono::milliseconds watchdog() const { return watchdog_; }
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  // Records `failure` and trips the flag if not already aborted; returns the canonical
+  // (first) failure either way.
+  RankFailure Abort(RankFailure failure);
+  // Valid once aborted(); returns the canonical failure.
+  RankFailure failure() const;
+  void Clear();
+
+ private:
+  std::chrono::milliseconds watchdog_;
+  std::atomic<bool> aborted_{false};
+  std::atomic<uint64_t> epoch_{0};
+  mutable std::mutex mu_;
+  RankFailure failure_;
+};
 
 // Rendezvous shared by all member ranks of one group. Implements a deposit/consume protocol:
 // every member deposits a pointer, all members see the full slot vector, and the op retires
@@ -35,7 +98,7 @@ namespace internal {
 // until the collective returns.
 class GroupState {
  public:
-  explicit GroupState(std::vector<int> member_ranks);
+  GroupState(std::vector<int> member_ranks, std::shared_ptr<AbortState> abort);
 
   int size() const { return static_cast<int>(members_.size()); }
   const std::vector<int>& members() const { return members_; }
@@ -43,13 +106,25 @@ class GroupState {
   int IndexOf(int global_rank) const;
 
   // Deposits `p` at `index`; returns once all members have deposited. The returned vector is
-  // ordered by group index and stays valid until Done() is called.
+  // ordered by group index and stays valid until Done() is called. Throws RankFailureError
+  // if the world aborts or the watchdog deadline passes while waiting; on that path this
+  // member's deposit (if any) is retracted first, so a poisoned op can never complete and
+  // read an unwound frame's buffer.
   const std::vector<const void*>& Exchange(int index, const void* p);
   // Marks this member finished with the slot vector; returns once all members are finished.
+  // Deliberately NOT abort-sensitive: once every member has deposited, every member is alive
+  // and runs straight-line code to Done() (no waits, no injection sites), so retirement is
+  // guaranteed; an abortable wait here would let a member unwind while peers still read its
+  // deposited buffer.
   void Done();
 
  private:
+  // Aborts the world blaming `suspect_rank` and throws. Requires mu_ held.
+  [[noreturn]] void FailWatchdog(std::chrono::steady_clock::time_point wait_start,
+                                 const char* wait_site, int suspect_rank);
+
   std::vector<int> members_;
+  std::shared_ptr<AbortState> abort_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::vector<const void*> slots_;
@@ -58,13 +133,17 @@ class GroupState {
   bool consuming_ = false;
 };
 
-// Blocking FIFO channels for point-to-point messages, keyed by (src, dst).
+// Blocking FIFO channels for point-to-point messages, keyed by (src, dst). Recv is abortable
+// with the same watchdog semantics as GroupState (the suspect is the sender).
 class Mailbox {
  public:
+  explicit Mailbox(std::shared_ptr<AbortState> abort) : abort_(std::move(abort)) {}
+
   void Send(int src, int dst, Tensor t);
   Tensor Recv(int src, int dst);
 
  private:
+  std::shared_ptr<AbortState> abort_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::map<std::pair<int, int>, std::deque<Tensor>> channels_;
@@ -79,20 +158,33 @@ class ProcessGroup;
 // rank threads.
 class World {
  public:
-  explicit World(int size);
+  explicit World(int size, WorldOptions options = {});
 
   int size() const { return size_; }
+  const WorldOptions& options() const { return options_; }
 
   // Creates the shared state for a group over the given global ranks (must be distinct,
   // in-range; order defines the group's canonical reduction order).
   std::shared_ptr<internal::GroupState> CreateGroup(const std::vector<int>& ranks);
 
-  // Point-to-point (used by pipeline parallelism). Send copies; Recv blocks.
+  // Point-to-point (used by pipeline parallelism). Send copies; Recv blocks until a message
+  // arrives, the world aborts, or the watchdog expires.
   void Send(int src_rank, int dst_rank, const Tensor& t);
   Tensor Recv(int src_rank, int dst_rank);
 
+  // Fault handling. Abort is first-caller-wins and returns the canonical failure; every
+  // blocked rank then unwinds with RankFailureError within one wait quantum. An aborted
+  // world is poisoned until ClearAbort() (tests) or, normally, destruction.
+  RankFailure Abort(RankFailure failure) { return abort_->Abort(std::move(failure)); }
+  bool aborted() const { return abort_->aborted(); }
+  RankFailure failure() const { return abort_->failure(); }
+  void ClearAbort() { abort_->Clear(); }
+  uint64_t abort_epoch() const { return abort_->epoch(); }
+
  private:
   int size_;
+  WorldOptions options_;
+  std::shared_ptr<internal::AbortState> abort_;
   internal::Mailbox mailbox_;
 };
 
@@ -136,8 +228,15 @@ class ProcessGroup {
 };
 
 // Runs `body(rank)` on world_size threads and joins them. UCP_CHECK failures abort the whole
-// process, matching how a fatal rank error kills a real job.
+// process, matching how a fatal rank error kills a real job; so does an unhandled rank
+// failure (use RunSpmdFallible when failures are expected).
 void RunSpmd(int world_size, const std::function<void(int)>& body);
+
+// Like RunSpmd, but catches RankFailureError at each rank thread's top level instead of
+// aborting. Always joins all world_size threads; element r of the result holds rank r's
+// failure, or nullopt if the rank ran to completion.
+std::vector<std::optional<RankFailure>> RunSpmdFallible(
+    int world_size, const std::function<void(int)>& body);
 
 }  // namespace ucp
 

@@ -67,6 +67,15 @@ FaultAction CheckFault(FsOp op, const std::string& path) {
     return action;
   }
   ++s.matching_ops;
+  if (s.plan.kind == FaultPlan::Kind::kTransient) {
+    // Fail a window of [nth, nth + fail_count) consecutive matching attempts, then let the
+    // retry succeed. `fired` latches on the first failed attempt.
+    if (s.matching_ops >= s.plan.nth && s.matching_ops < s.plan.nth + s.plan.fail_count) {
+      s.fired = true;
+      action.transient = true;
+    }
+    return action;
+  }
   if (s.fired || s.matching_ops != s.plan.nth) {
     return action;
   }
@@ -85,6 +94,8 @@ FaultAction CheckFault(FsOp op, const std::string& path) {
       action.bitrot = true;
       action.bitrot_bit = Mix64(s.plan.seed + 1);
       break;
+    case FaultPlan::Kind::kTransient:
+      break;  // handled above
   }
   return action;
 }

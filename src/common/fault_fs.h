@@ -14,6 +14,10 @@
 //                journaled but whose data blocks never fully hit the platter.
 //   kBitRot    — the write completes, then one seed-determined bit of the file is flipped:
 //                silent media corruption, detectable only by checksums.
+//   kTransient — the operation returns kUnavailable for `fail_count` consecutive matching
+//                attempts starting at the nth, then succeeds: a flaky NFS mount or
+//                rate-limited object store. Unlike the permanent modes, callers are
+//                expected to survive this via retry-with-backoff (see fs.h IoRetryPolicy).
 //
 // All state is guarded for concurrent use from the converter thread pool and the
 // multi-threaded rank simulator.
@@ -29,12 +33,13 @@ namespace ucp {
 enum class FsOp { kWrite = 0, kFsync = 1, kRename = 2 };
 
 struct FaultPlan {
-  enum class Kind { kFailStop, kTornWrite, kBitRot };
+  enum class Kind { kFailStop, kTornWrite, kBitRot, kTransient };
   Kind kind = Kind::kFailStop;
   FsOp op = FsOp::kWrite;
   int nth = 1;              // fire on the nth matching operation (1-based)
   std::string path_substr;  // only operations whose path contains this match; empty = all
   uint64_t seed = 0;        // determinism source for the torn length / flipped bit
+  int fail_count = 1;       // kTransient only: consecutive matching attempts that fail
 };
 
 // Arms `plan` (replacing any armed plan) and resets counters.
@@ -63,9 +68,10 @@ namespace fault_internal {
 
 // What fs.cc should do for one hooked operation. At most one flag is set.
 struct FaultAction {
-  bool fail = false;    // abort the operation with kIoError
-  bool torn = false;    // persist only `torn_bytes` bytes directly under the final name
-  bool bitrot = false;  // complete the operation, then flip `bitrot_bit` of the file
+  bool fail = false;       // abort the operation with kIoError
+  bool torn = false;       // persist only `torn_bytes` bytes directly under the final name
+  bool bitrot = false;     // complete the operation, then flip `bitrot_bit` of the file
+  bool transient = false;  // abort the operation with kUnavailable (retry will succeed)
   uint64_t torn_bytes = 0;
   uint64_t bitrot_bit = 0;  // absolute bit index, reduced mod file size by the caller
 };

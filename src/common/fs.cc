@@ -10,7 +10,9 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <system_error>
+#include <thread>
 
 #include "src/common/fault_fs.h"
 #include "src/common/strings.h"
@@ -23,6 +25,36 @@ namespace {
 
 using fault_internal::CheckFault;
 using fault_internal::FaultAction;
+
+std::mutex g_retry_policy_mu;
+IoRetryPolicy g_retry_policy;
+
+std::atomic<uint64_t> g_transient_errors{0};
+std::atomic<uint64_t> g_retries{0};
+std::atomic<uint64_t> g_giveups{0};
+
+// Runs `op` until it returns something other than kUnavailable, backing off exponentially
+// (capped) between attempts. The last status — success, permanent error, or the final
+// transient error once max_attempts is exhausted — is returned as-is.
+template <typename Op>
+Status RetryTransient(Op&& op) {
+  const IoRetryPolicy policy = GetIoRetryPolicy();
+  std::chrono::milliseconds backoff = policy.base_backoff;
+  for (int attempt = 1;; ++attempt) {
+    Status s = op();
+    if (s.ok() || s.code() != StatusCode::kUnavailable) {
+      return s;
+    }
+    g_transient_errors.fetch_add(1, std::memory_order_relaxed);
+    if (attempt >= policy.max_attempts) {
+      g_giveups.fetch_add(1, std::memory_order_relaxed);
+      return s;
+    }
+    g_retries.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, policy.max_backoff);
+  }
+}
 
 // Writes `size` bytes to a freshly-created `path` and (fault permitting) fsyncs it. Used for
 // both the atomic tmp file and the torn-write injection path.
@@ -51,6 +83,10 @@ Status WriteWholeFile(const std::string& path, const void* data, size_t size,
     if (fa.fail) {
       ::close(fd);
       return IoError("fault injection: fsync " + path);
+    }
+    if (fa.transient) {
+      ::close(fd);
+      return UnavailableError("fault injection: transient fsync " + path);
     }
     if (::fsync(fd) != 0) {
       ::close(fd);
@@ -86,6 +122,9 @@ Status FsyncExistingFile(const std::string& path) {
   if (fa.fail) {
     return IoError("fault injection: fsync " + path);
   }
+  if (fa.transient) {
+    return UnavailableError("fault injection: transient fsync " + path);
+  }
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return IoError("open for fsync failed: " + path + ": " + std::strerror(errno));
@@ -110,10 +149,34 @@ ScopedFsyncBatch::~ScopedFsyncBatch() { g_active_fsync_batch = previous_; }
 
 Status ScopedFsyncBatch::SyncAll() {
   for (const std::string& path : paths_) {
-    UCP_RETURN_IF_ERROR(FsyncExistingFile(path));
+    UCP_RETURN_IF_ERROR(RetryTransient([&path] { return FsyncExistingFile(path); }));
   }
   paths_.clear();
   return OkStatus();
+}
+
+void SetIoRetryPolicy(const IoRetryPolicy& policy) {
+  std::lock_guard<std::mutex> lock(g_retry_policy_mu);
+  g_retry_policy = policy;
+}
+
+IoRetryPolicy GetIoRetryPolicy() {
+  std::lock_guard<std::mutex> lock(g_retry_policy_mu);
+  return g_retry_policy;
+}
+
+IoRetryStats GetIoRetryStats() {
+  IoRetryStats stats;
+  stats.transient_errors = g_transient_errors.load(std::memory_order_relaxed);
+  stats.retries = g_retries.load(std::memory_order_relaxed);
+  stats.giveups = g_giveups.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ResetIoRetryStats() {
+  g_transient_errors.store(0, std::memory_order_relaxed);
+  g_retries.store(0, std::memory_order_relaxed);
+  g_giveups.store(0, std::memory_order_relaxed);
 }
 
 Status MakeDirs(const std::string& path) {
@@ -145,9 +208,15 @@ Result<uint64_t> FileSize(const std::string& path) {
 }
 
 Status WriteFileAtomic(const std::string& path, const void* data, size_t size) {
+  // The whole tmp-write + fsync + rename sequence is one retry unit: a transient failure
+  // anywhere restarts from a fresh tmp file, so partial attempts never survive.
+  return RetryTransient([&]() -> Status {
   FaultAction wa = CheckFault(FsOp::kWrite, path);
   if (wa.fail) {
     return IoError("fault injection: write " + path);
+  }
+  if (wa.transient) {
+    return UnavailableError("fault injection: transient write " + path);
   }
   if (wa.torn) {
     // Torn write: only a prefix of the data persists under the *final* name and the caller
@@ -172,6 +241,12 @@ Status WriteFileAtomic(const std::string& path, const void* data, size_t size) {
     // real crash would; callers and fsck must tolerate the debris.
     return IoError("fault injection: rename " + tmp + " -> " + path);
   }
+  if (ra.transient) {
+    // Unlike fail-stop, a transient rename failure is observed by a live process that will
+    // retry with a fresh tmp file — clean this one up instead of leaving debris.
+    std::remove(tmp.c_str());
+    return UnavailableError("fault injection: transient rename " + tmp + " -> " + path);
+  }
   std::error_code ec;
   stdfs::rename(tmp, path, ec);
   if (ec) {
@@ -185,6 +260,7 @@ Status WriteFileAtomic(const std::string& path, const void* data, size_t size) {
     batch->Record(path);
   }
   return OkStatus();
+  });
 }
 
 Status WriteFileAtomic(const std::string& path, const std::string& contents) {
@@ -192,16 +268,22 @@ Status WriteFileAtomic(const std::string& path, const std::string& contents) {
 }
 
 Status RenamePath(const std::string& from, const std::string& to) {
-  FaultAction ra = CheckFault(FsOp::kRename, to);
-  if (ra.fail) {
-    return IoError("fault injection: rename " + from + " -> " + to);
-  }
-  std::error_code ec;
-  stdfs::rename(from, to, ec);
-  if (ec) {
-    return IoError("rename " + from + " -> " + to + ": " + ec.message());
-  }
-  return OkStatus();
+  // Commit-point rename: retried on transient failure like the write path.
+  return RetryTransient([&]() -> Status {
+    FaultAction ra = CheckFault(FsOp::kRename, to);
+    if (ra.fail) {
+      return IoError("fault injection: rename " + from + " -> " + to);
+    }
+    if (ra.transient) {
+      return UnavailableError("fault injection: transient rename " + from + " -> " + to);
+    }
+    std::error_code ec;
+    stdfs::rename(from, to, ec);
+    if (ec) {
+      return IoError("rename " + from + " -> " + to + ": " + ec.message());
+    }
+    return OkStatus();
+  });
 }
 
 RandomAccessFile::~RandomAccessFile() {

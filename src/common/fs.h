@@ -9,6 +9,7 @@
 #ifndef UCP_SRC_COMMON_FS_H_
 #define UCP_SRC_COMMON_FS_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -16,6 +17,29 @@
 #include "src/common/status.h"
 
 namespace ucp {
+
+// Retry policy for transient (kUnavailable) I/O failures — a flaky network mount or a
+// rate-limited object store. Only kUnavailable is retried: permanent failures (kIoError)
+// and corruption (kDataLoss) return immediately, and the crash-consistency fault modes
+// (fail-stop, torn write, bit rot) are permanent by design.
+struct IoRetryPolicy {
+  int max_attempts = 4;                     // total attempts, including the first
+  std::chrono::milliseconds base_backoff{1};   // doubles per retry ...
+  std::chrono::milliseconds max_backoff{100};  // ... capped here
+};
+
+// Process-global; read at the start of each retried operation. Tests shrink the backoff.
+void SetIoRetryPolicy(const IoRetryPolicy& policy);
+IoRetryPolicy GetIoRetryPolicy();
+
+// Process-global counters for transient-retry activity (same pattern as TensorIoStats).
+struct IoRetryStats {
+  uint64_t transient_errors = 0;  // kUnavailable results observed across all attempts
+  uint64_t retries = 0;           // re-attempts made after a transient error
+  uint64_t giveups = 0;           // operations that exhausted max_attempts
+};
+IoRetryStats GetIoRetryStats();
+void ResetIoRetryStats();
 
 // Creates `path` and any missing parents.
 Status MakeDirs(const std::string& path);
@@ -25,7 +49,9 @@ bool DirExists(const std::string& path);
 
 Result<uint64_t> FileSize(const std::string& path);
 
-// Atomically replaces `path` with `contents` (tmp file + fsync + rename).
+// Atomically replaces `path` with `contents` (tmp file + fsync + rename). Transient
+// (kUnavailable) failures are retried per the IoRetryPolicy with capped exponential
+// backoff; all other failures return immediately.
 Status WriteFileAtomic(const std::string& path, const void* data, size_t size);
 Status WriteFileAtomic(const std::string& path, const std::string& contents);
 

@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DATA_LOSS";
     case StatusCode::kIoError:
       return "IO_ERROR";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
     case StatusCode::kInternal:
@@ -60,6 +62,9 @@ Status DataLossError(std::string message) {
   return Status(StatusCode::kDataLoss, std::move(message));
 }
 Status IoError(std::string message) { return Status(StatusCode::kIoError, std::move(message)); }
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
 Status UnimplementedError(std::string message) {
   return Status(StatusCode::kUnimplemented, std::move(message));
 }

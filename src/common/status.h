@@ -27,7 +27,8 @@ enum class StatusCode {
   kFailedPrecondition,// object in wrong state for this call
   kOutOfRange,        // index / offset outside valid range
   kDataLoss,          // corruption detected (CRC mismatch, truncated file)
-  kIoError,           // underlying filesystem call failed
+  kIoError,           // underlying filesystem call failed (permanent: retrying won't help)
+  kUnavailable,       // transient environmental failure; safe to retry with backoff
   kUnimplemented,     // feature intentionally not supported
   kInternal,          // invariant violation surfaced as recoverable error
 };
@@ -70,6 +71,7 @@ Status FailedPreconditionError(std::string message);
 Status OutOfRangeError(std::string message);
 Status DataLossError(std::string message);
 Status IoError(std::string message);
+Status UnavailableError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 

@@ -1,5 +1,7 @@
 #include "src/runtime/trainer.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 
 namespace ucp {
@@ -43,6 +45,10 @@ RankTrainer::RankTrainer(Topology* topology, int rank, const TrainerConfig& conf
 
 double RankTrainer::TrainIteration(int64_t iteration) {
   UCP_CHECK_GE(iteration, 1);
+  // Keep the fault machinery's view of "where is this rank" current: watchdog reports and
+  // injected kills are both attributed to this (rank, iteration).
+  SetFaultContext(rank_, iteration);
+  CheckRankFault(FaultSite::kIterationStart);
   const ParallelConfig& s = config_.strategy;
   const int seq_total = config_.model.max_seq_len;
   const int seq_local = seq_total / s.sp;
@@ -157,9 +163,10 @@ void RankTrainer::SyncGradients() {
   // 3. DP/ZeRO sync happens inside ZeroOptimizer::Step.
 }
 
-TrainingRun::TrainingRun(const TrainerConfig& config) : config_(config) {
+TrainingRun::TrainingRun(const TrainerConfig& config, WorldOptions world_options)
+    : config_(config) {
   config_.Validate();
-  world_ = std::make_unique<World>(config.strategy.world_size());
+  world_ = std::make_unique<World>(config.strategy.world_size(), world_options);
   topology_ = std::make_unique<Topology>(world_.get(), config.strategy);
   trainers_.resize(static_cast<size_t>(world_->size()));
   // Construction materializes parameters; do it in parallel — rank construction performs no
@@ -194,6 +201,61 @@ std::vector<double> TrainingRun::Train(
     }
   });
   return losses;
+}
+
+TrainOutcome TrainingRun::TryTrain(
+    int64_t first_iteration, int64_t last_iteration,
+    const std::function<void(RankTrainer&, int64_t)>& after_iteration) {
+  const int n = world_->size();
+  std::vector<double> rank0_losses(
+      static_cast<size_t>(last_iteration - first_iteration + 1), 0.0);
+  std::vector<int64_t> completed(static_cast<size_t>(n), first_iteration - 1);
+  std::vector<std::optional<RankFailure>> failures =
+      RunSpmdFallible(n, [&](int rank) {
+        RankTrainer& trainer = *trainers_[static_cast<size_t>(rank)];
+        for (int64_t it = first_iteration; it <= last_iteration; ++it) {
+          double loss = trainer.TrainIteration(it);
+          if (rank == 0) {
+            rank0_losses[static_cast<size_t>(it - first_iteration)] = loss;
+          }
+          // The step itself is done: a kill inside the checkpoint hook below must not
+          // discard the iteration it follows.
+          completed[static_cast<size_t>(rank)] = it;
+          if (after_iteration) {
+            after_iteration(trainer, it);
+          }
+        }
+      });
+
+  TrainOutcome outcome;
+  outcome.completed_iteration = last_iteration;
+  for (int64_t c : completed) {
+    outcome.completed_iteration = std::min(outcome.completed_iteration, c);
+  }
+  outcome.losses.assign(
+      rank0_losses.begin(),
+      rank0_losses.begin() + (outcome.completed_iteration - first_iteration + 1));
+  for (const std::optional<RankFailure>& f : failures) {
+    if (!f.has_value()) {
+      continue;
+    }
+    // Every surviving rank reports the same canonical watchdog failure; the victim's own
+    // kInjected report (when the kill was injected) is the more precise root cause.
+    if (!outcome.failed || (outcome.failure.kind != RankFailure::Kind::kInjected &&
+                            f->kind == RankFailure::Kind::kInjected)) {
+      outcome.failure = *f;
+    }
+    outcome.failed = true;
+  }
+  // Detection is complete only once the last blocked survivor declared the failure: report
+  // the longest watchdog wait even when the root cause is the victim's instant kInjected.
+  for (const std::optional<RankFailure>& f : failures) {
+    if (f.has_value()) {
+      outcome.failure.blocked_seconds =
+          std::max(outcome.failure.blocked_seconds, f->blocked_seconds);
+    }
+  }
+  return outcome;
 }
 
 }  // namespace ucp

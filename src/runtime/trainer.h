@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/comm/rank_fault.h"
 #include "src/data/dataset.h"
 #include "src/model/stage_model.h"
 #include "src/optim/adam.h"
@@ -64,12 +65,22 @@ class RankTrainer {
   int64_t hidden_activation_numel_ = 0;
 };
 
+// What a fallible training call observed. When a rank fails (injected kill or watchdog
+// detection), surviving ranks unwind via the world abort instead of deadlocking, and the
+// caller gets the root cause plus how far training verifiably got.
+struct TrainOutcome {
+  bool failed = false;
+  RankFailure failure;              // root cause; prefers the injected kill over watchdog echoes
+  int64_t completed_iteration = 0;  // last iteration completed on EVERY rank; first-1 if none
+  std::vector<double> losses;       // rank-0 losses for [first_iteration, completed_iteration]
+};
+
 // Convenience driver: builds a World/Topology for `config.strategy`, constructs one
 // RankTrainer per rank, and runs `body(trainer)` on each rank's thread. Checkpoint save /
 // resume logic composes through `body`.
 class TrainingRun {
  public:
-  explicit TrainingRun(const TrainerConfig& config);
+  explicit TrainingRun(const TrainerConfig& config, WorldOptions world_options = {});
 
   // Runs body on all ranks (blocking). May be called repeatedly; trainers persist across
   // calls so train -> save -> train-more sequences keep optimizer state.
@@ -86,7 +97,17 @@ class TrainingRun {
       int64_t first_iteration, int64_t last_iteration,
       const std::function<void(RankTrainer&, int64_t)>& after_iteration);
 
+  // Fault-tolerant variant: rank failures (injected or watchdog-detected) are caught at each
+  // rank thread's top level instead of aborting the process. On failure the World is left
+  // aborted (poisoned) — the caller is expected to tear this run down and rebuild, which is
+  // what the recovery Supervisor does. An iteration counts as completed only once every rank
+  // finished it; a kill inside `after_iteration` does not un-complete the step it follows.
+  TrainOutcome TryTrain(
+      int64_t first_iteration, int64_t last_iteration,
+      const std::function<void(RankTrainer&, int64_t)>& after_iteration = nullptr);
+
   Topology& topology() { return *topology_; }
+  World& world() { return *world_; }
   RankTrainer& trainer(int rank) { return *trainers_[static_cast<size_t>(rank)]; }
   int world_size() const { return world_->size(); }
 

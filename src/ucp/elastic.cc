@@ -1,5 +1,7 @@
 #include "src/ucp/elastic.h"
 
+#include <chrono>
+
 #include "src/ckpt/checkpoint.h"
 #include "src/common/fs.h"
 #include "src/common/logging.h"
@@ -18,9 +20,18 @@ bool RetryOlderTag(StatusCode code) {
          code == StatusCode::kNotFound;
 }
 
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
 }  // namespace
 
 Result<ResumeReport> ResumeElastic(const std::string& dir, RankTrainer& trainer) {
+  // Resume barriers wait on peers doing unbounded local work (rank 0's debris sweep, and —
+  // in ResumeElasticFromTag — a whole UCP conversion), so a short training watchdog would
+  // misread a live-but-busy rank as dead. All ranks run this straight-line path right after
+  // the world was (re)built, so suspending the deadline here is safe; abort checks remain.
+  ScopedWatchdogSuspend suspend_watchdog;
   // A resume means no save is in flight, so any `<tag>.staging` directory is debris of a
   // save (sync or async flush) the crash interrupted. Sweep it now — readers never trust
   // it, but leaving it would surprise the next save of the same iteration and clutter
@@ -44,6 +55,12 @@ Result<ResumeReport> ResumeElastic(const std::string& dir, RankTrainer& trainer)
   Status first_failure = OkStatus();
   for (auto it = tags.rbegin(); it != tags.rend(); ++it) {
     if (!IsTagComplete(dir, *it)) {
+      // Rank 0 speaks for everyone: all ranks see the same directory and skip identically.
+      if (trainer.rank() == 0) {
+        UCP_LOG(Warning) << "skipping checkpoint tag " << *it << ": missing commit marker "
+                         << PathJoin(PathJoin(dir, *it), "complete")
+                         << " (aborted or in-flight save)";
+      }
       continue;
     }
     Result<ResumeReport> report = ResumeElasticFromTag(dir, *it, trainer);
@@ -56,8 +73,10 @@ Result<ResumeReport> ResumeElastic(const std::string& dir, RankTrainer& trainer)
     if (!RetryOlderTag(report.status().code())) {
       return report.status();
     }
-    UCP_LOG(Warning) << "resume from " << *it << " failed (" << report.status().ToString()
-                  << "); falling back to an older checkpoint";
+    if (trainer.rank() == 0) {
+      UCP_LOG(Warning) << "resume from " << *it << " failed (" << report.status().ToString()
+                       << "); falling back to an older checkpoint";
+    }
   }
   if (!first_failure.ok()) {
     return first_failure;
@@ -67,15 +86,18 @@ Result<ResumeReport> ResumeElastic(const std::string& dir, RankTrainer& trainer)
 
 Result<ResumeReport> ResumeElasticFromTag(const std::string& dir, const std::string& tag,
                                           RankTrainer& trainer) {
+  ScopedWatchdogSuspend suspend_watchdog;  // see ResumeElastic; also callable directly
   ResumeReport report;
   report.tag = tag;
   UCP_ASSIGN_OR_RETURN(CheckpointMeta meta, ReadCheckpointMeta(dir, tag));
   report.iteration = meta.iteration;
 
   // Fast path: unchanged strategy and hardware — plain distributed load.
+  const auto native_start = std::chrono::steady_clock::now();
   Status native = LoadDistributedCheckpoint(dir, tag, trainer);
   if (native.ok()) {
     report.path = ResumeReport::Path::kNative;
+    report.load_seconds = SecondsSince(native_start);
     return report;
   }
   if (native.code() != StatusCode::kFailedPrecondition) {
@@ -88,6 +110,7 @@ Result<ResumeReport> ResumeElasticFromTag(const std::string& dir, const std::str
   const std::string ucp_dir = PathJoin(dir, tag + ".ucp");
   bool cached = IsUcpComplete(ucp_dir);
   Status convert = OkStatus();
+  const auto convert_start = std::chrono::steady_clock::now();
   if (trainer.rank() == 0 && !cached) {
     UCP_LOG(Info) << "strategy changed (" << meta.strategy.ToString() << " -> "
                   << trainer.config().strategy.ToString() << "); converting " << tag
@@ -101,7 +124,10 @@ Result<ResumeReport> ResumeElasticFromTag(const std::string& dir, const std::str
   // rank 0's conversion failed. The loaders' internal agreement is what keeps the world
   // collectives aligned; rank 0 returning early here would strand its peers.
   trainer.groups().world.Barrier();
+  report.convert_seconds = SecondsSince(convert_start);
+  const auto load_start = std::chrono::steady_clock::now();
   Status load = LoadUcpCheckpoint(ucp_dir, trainer);
+  report.load_seconds = SecondsSince(load_start);
   if (!convert.ok()) {
     return convert;  // the root cause, not the knock-on load failure
   }

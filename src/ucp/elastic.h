@@ -21,6 +21,9 @@ struct ResumeReport {
   enum class Path { kNative, kUcpConverted, kUcpCached } path = Path::kNative;
   std::string tag;        // the checkpoint tag that was resumed
   int64_t iteration = 0;  // training resumes at iteration + 1
+  // Phase timing for recovery accounting (bench/fig13_recovery_time). On this rank:
+  double convert_seconds = 0.0;  // UCP convert + the barrier waiting for it (0 on native)
+  double load_seconds = 0.0;     // the load that actually restored the state
 };
 
 // Resumes `trainer` from the newest committed checkpoint under `dir`, converting through

@@ -273,6 +273,55 @@ std::string FsckReport::ToString() const {
   return out;
 }
 
+std::string FsckReport::QuarantineSummary() const {
+  int intact = 0;
+  for (const Entry& entry : entries) {
+    if (entry.report.ok()) {
+      ++intact;
+    }
+  }
+  std::string out = "fsck --quarantine: " + std::to_string(quarantined.size()) +
+                    " quarantined";
+  if (!quarantined.empty()) {
+    out += " (";
+    for (size_t i = 0; i < quarantined.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += quarantined[i];
+    }
+    out += ")";
+  }
+  if (quarantine_failures > 0) {
+    out += ", " + std::to_string(quarantine_failures) + " failed";
+  }
+  out += "; " + std::to_string(intact) + " intact entr" + (intact == 1 ? "y" : "ies") +
+         " remain" + (intact == 1 ? "s" : "");
+  return out;
+}
+
+int FsckReport::ExitCode(bool quarantine_mode) const {
+  if (!quarantine_mode) {
+    return clean() ? 0 : 1;
+  }
+  if (clean() && quarantined.empty()) {
+    return 0;
+  }
+  if (quarantine_failures > 0) {
+    return 2;
+  }
+  bool any_damaged = false;
+  bool any_intact = false;
+  for (const Entry& entry : entries) {
+    (entry.report.ok() ? any_intact : any_damaged) = true;
+  }
+  if (any_intact) {
+    return 1;  // repaired: damage renamed aside, resumable state remains
+  }
+  // Only staging debris was cleaned up, or the directory held no entries at all.
+  return any_damaged ? 2 : 1;
+}
+
 namespace {
 
 bool LooksLikeUcpDir(const std::string& path) {
@@ -291,6 +340,7 @@ void QuarantineDir(const std::string& dir, FsckReport& out) {
   if (status.ok()) {
     out.quarantined.push_back(target);
   } else {
+    ++out.quarantine_failures;
     out.notes.push_back("failed to quarantine " + dir + ": " + status.ToString());
   }
 }

@@ -57,9 +57,20 @@ struct FsckReport {
   std::vector<Entry> entries;
   std::vector<std::string> notes;        // dangling `latest`, stale staging dirs, ...
   std::vector<std::string> quarantined;  // paths renamed to <name>.quarantined
+  int quarantine_failures = 0;           // damaged entries that could not be renamed aside
 
   bool clean() const;  // no per-entry problems and no notes
   std::string ToString() const;
+
+  // One-line outcome for `ucp_tool fsck --quarantine`: how many entries were renamed aside
+  // (and to where), how many quarantines failed, how many intact entries remain.
+  std::string QuarantineSummary() const;
+
+  // CLI exit code. Without quarantine: 0 clean / 1 problems (unchanged behavior). With
+  // quarantine: 0 clean (nothing to do), 1 repaired (all damage renamed aside or removed,
+  // usable state remains), 2 unrecoverable (a quarantine failed, or every checkpoint entry
+  // was damaged so nothing resumable is left).
+  int ExitCode(bool quarantine_mode) const;
 };
 
 struct FsckOptions {

@@ -26,7 +26,10 @@
 //       Walk a checkpoint root (every tag, cached .ucp dirs, the latest pointer, staging
 //       debris) or a single UCP atom directory, verifying CRCs and manifest agreement.
 //       Exits 0 when clean, 1 when damage was found. With --quarantine, damaged
-//       tags/UCP dirs are renamed to <name>.quarantined so resumes skip them. --fast
+//       tags/UCP dirs are renamed to <name>.quarantined so resumes skip them, a one-line
+//       summary of what was renamed is printed, and the exit code distinguishes 0 clean /
+//       1 repaired (intact checkpoints remain) / 2 unrecoverable (a rename failed or no
+//       usable checkpoint is left). --fast
 //       checks headers and metadata only (no payload CRC verification); file checks fan
 //       out over --threads workers.
 //
@@ -256,7 +259,10 @@ int CmdFsck(const Flags& flags) {
     return Fail(report.status());
   }
   std::printf("%s", report->ToString().c_str());
-  return report->clean() ? 0 : 1;
+  if (flags.quarantine) {
+    std::printf("%s\n", report->QuarantineSummary().c_str());
+  }
+  return report->ExitCode(flags.quarantine);
 }
 
 // Header-only: StatTensor parses the v3 metadata prefix without touching payload bytes, so
