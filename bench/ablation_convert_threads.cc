@@ -65,6 +65,7 @@ void BM_Convert(benchmark::State& state) {
 }  // namespace ucp
 
 int main(int argc, char** argv) {
+  const std::string trace_file = ucp::bench::ExtractTraceFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RegisterBenchmark("ablation/convert_threads", ucp::BM_Convert)
       ->Arg(0)   // inline (memory-minimal)
@@ -75,5 +76,6 @@ int main(int argc, char** argv) {
       ->Unit(benchmark::kMillisecond)
       ->MinTime(0.3);
   benchmark::RunSpecifiedBenchmarks();
+  ucp::bench::WriteTraceIfRequested(trace_file);
   return 0;
 }

@@ -64,6 +64,7 @@ void BM_SlicedLoad(benchmark::State& state) {
 }  // namespace ucp
 
 int main(int argc, char** argv) {
+  const std::string trace_file = ucp::bench::ExtractTraceFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RegisterBenchmark("ablation/load_threads", ucp::BM_SlicedLoad)
       ->Arg(0)  // inline on the rank thread
@@ -74,5 +75,6 @@ int main(int argc, char** argv) {
       ->Unit(benchmark::kMillisecond)
       ->MinTime(0.3);
   benchmark::RunSpecifiedBenchmarks();
+  ucp::bench::WriteTraceIfRequested(trace_file);
   return 0;
 }

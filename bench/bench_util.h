@@ -7,11 +7,15 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "src/ckpt/checkpoint.h"
 #include "src/common/fs.h"
+#include "src/common/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/trainer.h"
 #include "src/ucp/converter.h"
 #include "src/ucp/loader.h"
@@ -54,6 +58,68 @@ inline std::string FreshDir(const std::string& name) {
   UCP_CHECK(RemoveAll(dir).ok());
   UCP_CHECK(MakeDirs(dir).ok());
   return dir;
+}
+
+// The metrics registry as a JSON object: metric name -> value (counters/gauges) or
+// {count, sum, mean, max, p50, p99} (histograms). Embedded into every BENCH_*.json so a
+// result file carries the io/comm/save counters that produced it.
+inline Json MetricsJson() {
+  JsonObject doc;
+  for (const obs::MetricValue& m : obs::SnapshotMetrics()) {
+    switch (m.kind) {
+      case obs::MetricValue::Kind::kCounter:
+        doc[m.name] = m.counter;
+        break;
+      case obs::MetricValue::Kind::kGauge:
+        doc[m.name] = m.gauge;
+        break;
+      case obs::MetricValue::Kind::kHistogram: {
+        JsonObject h;
+        h["count"] = m.count;
+        h["sum"] = m.sum;
+        h["mean"] = m.mean;
+        h["max"] = m.max;
+        h["p50"] = m.p50;
+        h["p99"] = m.p99;
+        doc[m.name] = std::move(h);
+        break;
+      }
+    }
+  }
+  return Json(std::move(doc));
+}
+
+// Stamps the process metrics snapshot into `doc` and writes it atomically. Every bench
+// report goes through here so BENCH_*.json files share the metrics embed.
+inline void WriteBenchReport(const std::string& path, JsonObject doc) {
+  doc["metrics"] = MetricsJson();
+  UCP_CHECK(WriteFileAtomic(path, Json(std::move(doc)).Dump(2)).ok());
+  std::printf("wrote %s\n", path.c_str());
+}
+
+// Strips a `--trace=FILE` argument (call before benchmark::Initialize, which rejects
+// unknown flags). Returns the FILE, or "" when absent.
+inline std::string ExtractTraceFlag(int* argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::strncmp(argv[r], "--trace=", 8) == 0) {
+      path = argv[r] + 8;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  *argc = w;
+  return path;
+}
+
+// Writes the process Chrome trace to `path` when non-empty (call once, at process end).
+inline void WriteTraceIfRequested(const std::string& path) {
+  if (path.empty()) {
+    return;
+  }
+  UCP_CHECK(WriteFileAtomic(path, obs::ExportChromeTraceJson()).ok());
+  std::printf("wrote %s\n", path.c_str());
 }
 
 // Prints a loss series as CSV rows: <series>,<iteration>,<loss>.

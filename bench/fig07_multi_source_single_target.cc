@@ -69,4 +69,9 @@ int Main() {
 }  // namespace
 }  // namespace ucp
 
-int main() { return ucp::Main(); }
+int main(int argc, char** argv) {
+  const std::string trace_file = ucp::bench::ExtractTraceFlag(&argc, argv);
+  const int rc = ucp::Main();
+  ucp::bench::WriteTraceIfRequested(trace_file);
+  return rc;
+}

@@ -6,9 +6,12 @@
 
 #include "bench/bench_util.h"
 
-int main() {
-  return ucp::bench::RunArchFigure(
+int main(int argc, char** argv) {
+  const std::string trace_file = ucp::bench::ExtractTraceFlag(&argc, argv);
+  const int rc = ucp::bench::RunArchFigure(
       "fig08_llama", ucp::LlamaScaled(), /*source=*/{2, 2, 2, 1, 1, 1},
       /*targets=*/{{2, 1, 2, 1, 1, 1}, {2, 2, 1, 1, 1, 1}},
       /*resume_at=*/100, /*last_iteration=*/200);
+  ucp::bench::WriteTraceIfRequested(trace_file);
+  return rc;
 }

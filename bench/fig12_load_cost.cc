@@ -106,7 +106,7 @@ void run_with_options(TrainingRun& run, const std::string& ucp_dir,
 // Serial whole-file assembly vs the sliced parallel executor, on an already-converted UCP
 // checkpoint (the one-time conversion cost is fig12's other comparison, above). Reports
 // wall-clock and bytes-read-per-rank for both arms into BENCH_load_cost.json.
-Json RunLoadComparison() {
+JsonObject RunLoadComparison() {
   using Clock = std::chrono::steady_clock;
   auto seconds_between = [](Clock::time_point a, Clock::time_point b) {
     return std::chrono::duration<double>(b - a).count();
@@ -179,7 +179,7 @@ Json RunLoadComparison() {
   doc["loader_threads"] = 8;
   doc["loads_per_arm"] = kReps;
   doc["arms"] = std::move(arms);
-  return Json(std::move(doc));
+  return doc;
 }
 
 }  // namespace
@@ -222,6 +222,7 @@ void PrintModeledProjection() {
 }  // namespace ucp
 
 int main(int argc, char** argv) {
+  const std::string trace_file = ucp::bench::ExtractTraceFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   for (const auto& arm : ucp::Arms()) {
     benchmark::RegisterBenchmark(
@@ -237,10 +238,8 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
 
-  ucp::Json report = ucp::RunLoadComparison();
-  const std::string out = "BENCH_load_cost.json";
-  UCP_CHECK(ucp::WriteFileAtomic(out, report.Dump(2)).ok());
-  std::printf("wrote %s\n", out.c_str());
+  ucp::bench::WriteBenchReport("BENCH_load_cost.json", ucp::RunLoadComparison());
+  ucp::bench::WriteTraceIfRequested(trace_file);
 
   ucp::PrintModeledProjection();
   return 0;

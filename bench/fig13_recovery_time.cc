@@ -76,6 +76,7 @@ Json RunArm(const char* label, bool rebuild_same_strategy) {
 }  // namespace ucp
 
 int main(int argc, char** argv) {
+  const std::string trace_file = ucp::bench::ExtractTraceFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
 
   ucp::JsonArray arms;
@@ -91,8 +92,7 @@ int main(int argc, char** argv) {
   doc["watchdog_ms"] = 300;
   doc["arms"] = std::move(arms);
 
-  const std::string out = "BENCH_recovery.json";
-  UCP_CHECK(ucp::WriteFileAtomic(out, ucp::Json(std::move(doc)).Dump(2)).ok());
-  std::printf("wrote %s\n", out.c_str());
+  ucp::bench::WriteBenchReport("BENCH_recovery.json", std::move(doc));
+  ucp::bench::WriteTraceIfRequested(trace_file);
   return 0;
 }

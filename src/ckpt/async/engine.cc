@@ -5,6 +5,8 @@
 
 #include "src/common/fs.h"
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace ucp {
 
@@ -13,6 +15,28 @@ namespace {
 double SecondsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
+
+// Global mirror of the per-engine AsyncSaveStats: the struct getter keeps engine-local
+// semantics, the registry aggregates across engines for `ucp_tool metrics` and benches.
+struct AsyncMetrics {
+  obs::Counter& started = obs::MetricsRegistry::Global().GetCounter("save.async.started");
+  obs::Counter& commits = obs::MetricsRegistry::Global().GetCounter("save.async.commits");
+  obs::Counter& failures = obs::MetricsRegistry::Global().GetCounter("save.async.failures");
+  obs::Counter& drops = obs::MetricsRegistry::Global().GetCounter("save.async.drops");
+  obs::Counter& bytes_flushed =
+      obs::MetricsRegistry::Global().GetCounter("save.async.bytes_flushed");
+  obs::Histogram& block_seconds =
+      obs::MetricsRegistry::Global().GetHistogram("save.async.block_seconds");
+  obs::Histogram& flush_seconds =
+      obs::MetricsRegistry::Global().GetHistogram("save.async.flush_seconds");
+  obs::Gauge& last_committed =
+      obs::MetricsRegistry::Global().GetGauge("save.async.last_committed_iteration");
+
+  static AsyncMetrics& Get() {
+    static AsyncMetrics* m = new AsyncMetrics();
+    return *m;
+  }
+};
 
 }  // namespace
 
@@ -78,6 +102,7 @@ void AsyncCheckpointEngine::ResolveLocked(const std::shared_ptr<PendingSave>& sa
   outcomes_[save->iteration] = result;
   if (!result.ok() && !save->cancelled) {
     ++stats_.failures;
+    AsyncMetrics::Get().failures.Add(1);
     if (first_error_.ok()) {
       first_error_ = result;
     }
@@ -94,6 +119,8 @@ void AsyncCheckpointEngine::ResolveLocked(const std::shared_ptr<PendingSave>& sa
 }
 
 Status AsyncCheckpointEngine::SaveAsync(RankTrainer& trainer, int64_t iteration) {
+  UCP_TRACE_NAMED_SPAN(span, "save.async.enqueue");
+  UCP_TRACE_SPAN_ARG_I(span, "iteration", iteration);
   const auto t0 = std::chrono::steady_clock::now();
   const int rank = trainer.rank();
   UCP_CHECK_LT(rank, world_size_);
@@ -119,6 +146,7 @@ Status AsyncCheckpointEngine::SaveAsync(RankTrainer& trainer, int64_t iteration)
       if (options_.backpressure == AsyncCheckpointOptions::Backpressure::kDropOldest &&
           DropOldestLocked()) {
         ++stats_.drops;
+        AsyncMetrics::Get().drops.Add(1);
         continue;  // the drop freed a slot immediately; cleanup happens on the flusher
       }
       cv_.wait(lock);
@@ -133,7 +161,10 @@ Status AsyncCheckpointEngine::SaveAsync(RankTrainer& trainer, int64_t iteration)
   if (buf == nullptr) {
     buf = std::make_unique<RankCheckpointSnapshot>();
   }
-  buf->CaptureFrom(trainer);  // the only heavy work on the rank thread
+  {
+    UCP_TRACE_SPAN("save.async.snapshot");
+    buf->CaptureFrom(trainer);  // the only heavy work on the rank thread
+  }
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -144,6 +175,7 @@ Status AsyncCheckpointEngine::SaveAsync(RankTrainer& trainer, int64_t iteration)
     save->snaps[static_cast<size_t>(rank)] = std::move(buf);
     if (++save->arrived == world_size_) {
       ++stats_.saves_started;
+      AsyncMetrics::Get().started.Add(1);
       // Gathering saves are never drop targets, so the save cannot be cancelled yet; the
       // flusher owns all cancellation handling from here on.
       pool_->Submit([this, save] { Flush(save); });
@@ -151,12 +183,14 @@ Status AsyncCheckpointEngine::SaveAsync(RankTrainer& trainer, int64_t iteration)
     const double blocked = SecondsSince(t0);
     stats_.blocking_seconds += blocked;
     stats_.max_blocking_seconds = std::max(stats_.max_blocking_seconds, blocked);
+    AsyncMetrics::Get().block_seconds.Observe(blocked);
   }
   return OkStatus();
 }
 
 Status AsyncCheckpointEngine::FlushShards(const std::shared_ptr<PendingSave>& save,
                                           const std::string& staging) {
+  UCP_TRACE_SPAN_ARGS("save.async.write_shards", ::ucp::obs::TraceArgs().S("tag", save->tag));
   UCP_RETURN_IF_ERROR(RemoveAll(staging));
   UCP_RETURN_IF_ERROR(MakeDirs(staging));
   ScopedFsyncBatch batch;
@@ -178,6 +212,8 @@ Status AsyncCheckpointEngine::FlushShards(const std::shared_ptr<PendingSave>& sa
 }
 
 void AsyncCheckpointEngine::Flush(std::shared_ptr<PendingSave> save) {
+  UCP_TRACE_NAMED_SPAN(span, "save.async.flush");
+  UCP_TRACE_SPAN_ARG_S(span, "tag", save->tag);
   if (options_.pre_flush_hook) {
     options_.pre_flush_hook(save->iteration);
   }
@@ -241,10 +277,18 @@ void AsyncCheckpointEngine::Flush(std::shared_ptr<PendingSave> save) {
     ++stats_.commits;
     stats_.last_committed_iteration =
         std::max(stats_.last_committed_iteration, save->iteration);
-    stats_.flush_seconds += SecondsSince(save->started);
+    const double flush_s = SecondsSince(save->started);
+    stats_.flush_seconds += flush_s;
+    uint64_t save_bytes = 0;
     for (int r = 0; r < world_size_; ++r) {
-      stats_.bytes_flushed += save->snaps[static_cast<size_t>(r)]->bytes;
+      save_bytes += save->snaps[static_cast<size_t>(r)]->bytes;
     }
+    stats_.bytes_flushed += save_bytes;
+    AsyncMetrics& am = AsyncMetrics::Get();
+    am.commits.Add(1);
+    am.bytes_flushed.Add(save_bytes);
+    am.flush_seconds.Observe(flush_s);
+    am.last_committed.Max(save->iteration);
   }
   ResolveLocked(save, committed);
 }
@@ -276,6 +320,7 @@ int AsyncCheckpointEngine::AbandonIncomplete() {
                             "save " + save->tag +
                             " abandoned: gather incomplete after rank failure"));
     ++stats_.drops;
+    AsyncMetrics::Get().drops.Add(1);
   }
   return static_cast<int>(victims.size());
 }

@@ -4,9 +4,13 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include <chrono>
+
 #include "src/ckpt/async/snapshot.h"
 #include "src/common/fs.h"
 #include "src/common/strings.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/tensor/tensor_file.h"
 
 namespace ucp {
@@ -71,7 +75,11 @@ constexpr char kStagingSuffix[] = ".staging";
 // collectives, no early returns across barriers; the caller aggregates outcomes.
 Status WriteRankShards(const std::string& staging, RankTrainer& trainer) {
   RankCheckpointSnapshot snap;
-  snap.CaptureFrom(trainer);
+  {
+    UCP_TRACE_SPAN("save.snapshot");
+    snap.CaptureFrom(trainer);
+  }
+  UCP_TRACE_SPAN("save.write_shards");
   return WriteSnapshotShards(staging, snap);
 }
 
@@ -97,6 +105,9 @@ CheckpointMeta MetaForSave(const RankTrainer& trainer, int64_t iteration) {
 // reader handles (no tag / unmarked tag / marked tag with a stale `latest`).
 Status CommitCheckpointTag(const std::string& dir, const std::string& tag,
                            const CheckpointMeta& meta) {
+  UCP_TRACE_SPAN_ARGS("save.commit", ::ucp::obs::TraceArgs().S("tag", tag));
+  static obs::Counter& commits =
+      obs::MetricsRegistry::Global().GetCounter("save.commits");
   const std::string tag_dir = PathJoin(dir, tag);
   const std::string staging = StagingDirForTag(dir, tag);
   UCP_RETURN_IF_ERROR(
@@ -105,7 +116,9 @@ Status CommitCheckpointTag(const std::string& dir, const std::string& tag,
   UCP_RETURN_IF_ERROR(RemoveAll(tag_dir));
   UCP_RETURN_IF_ERROR(RenamePath(staging, tag_dir));
   UCP_RETURN_IF_ERROR(WriteFileAtomic(PathJoin(tag_dir, kCompleteMarker), tag));
-  return WriteFileAtomic(PathJoin(dir, "latest"), tag);
+  UCP_RETURN_IF_ERROR(WriteFileAtomic(PathJoin(dir, "latest"), tag));
+  commits.Add(1);
+  return OkStatus();
 }
 
 Result<int> CleanStagingDebris(const std::string& dir) {
@@ -126,6 +139,11 @@ Result<int> CleanStagingDebris(const std::string& dir) {
 
 Status SaveDistributedCheckpoint(const std::string& dir, RankTrainer& trainer,
                                  int64_t iteration) {
+  UCP_TRACE_NAMED_SPAN(span, "save.distributed");
+  UCP_TRACE_SPAN_ARG_I(span, "iteration", iteration);
+  static obs::Histogram& save_seconds =
+      obs::MetricsRegistry::Global().GetHistogram("save.distributed.seconds");
+  const auto save_start = std::chrono::steady_clock::now();
   const std::string tag = TagForIteration(iteration);
   const std::string staging = StagingDirForTag(dir, tag);
 
@@ -163,6 +181,8 @@ Status SaveDistributedCheckpoint(const std::string& dir, RankTrainer& trainer,
     commit = CommitCheckpointTag(dir, tag, MetaForSave(trainer, iteration));
   }
   trainer.groups().world.Barrier();
+  save_seconds.Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - save_start).count());
   return commit;
 }
 

@@ -4,6 +4,9 @@
 #include <sstream>
 #include <thread>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace ucp {
 namespace internal {
 namespace {
@@ -201,6 +204,30 @@ Tensor Mailbox::Recv(int src, int dst) {
 
 }  // namespace internal
 
+namespace {
+
+// Per-op comm metrics, resolved once per callsite (`static CollectiveMetrics m("allreduce")`).
+// `wait` records time blocked in Exchange/Recv — the part attributable to peer skew — as
+// opposed to the local reduce/copy work, which the enclosing span captures as the remainder.
+struct CollectiveMetrics {
+  obs::Counter& calls;
+  obs::Counter& bytes;
+  obs::Histogram& wait;
+
+  explicit CollectiveMetrics(const std::string& op)
+      : calls(obs::MetricsRegistry::Global().GetCounter("comm." + op + ".calls")),
+        bytes(obs::MetricsRegistry::Global().GetCounter("comm." + op + ".bytes")),
+        wait(obs::MetricsRegistry::Global().GetHistogram("comm." + op + ".wait_seconds")) {}
+
+  void Record(uint64_t nbytes, double wait_seconds) {
+    calls.Add(1);
+    bytes.Add(nbytes);
+    wait.Observe(wait_seconds);
+  }
+};
+
+}  // namespace
+
 ScopedWatchdogSuspend::ScopedWatchdogSuspend() { ++internal::tl_watchdog_suspend_depth; }
 ScopedWatchdogSuspend::~ScopedWatchdogSuspend() { --internal::tl_watchdog_suspend_depth; }
 
@@ -223,13 +250,29 @@ std::shared_ptr<internal::GroupState> World::CreateGroup(const std::vector<int>&
 }
 
 void World::Send(int src_rank, int dst_rank, const Tensor& t) {
+  const uint64_t nbytes = static_cast<uint64_t>(t.numel()) * sizeof(float);
+  UCP_TRACE_NAMED_SPAN(span, "comm.p2p.send");
+  UCP_TRACE_SPAN_ARG_I(span, "dst", dst_rank);
+  UCP_TRACE_SPAN_ARG_I(span, "bytes", static_cast<int64_t>(nbytes));
   CheckRankFault(FaultSite::kP2PSend);
   mailbox_.Send(src_rank, dst_rank, t.Clone());
+  static CollectiveMetrics m("p2p.send");
+  m.Record(nbytes, 0.0);
 }
 
 Tensor World::Recv(int src_rank, int dst_rank) {
+  UCP_TRACE_NAMED_SPAN(span, "comm.p2p.recv");
+  UCP_TRACE_SPAN_ARG_I(span, "src", src_rank);
   CheckRankFault(FaultSite::kP2PRecv);
-  return mailbox_.Recv(src_rank, dst_rank);
+  const auto wait_start = std::chrono::steady_clock::now();
+  Tensor t = mailbox_.Recv(src_rank, dst_rank);
+  const double wait_s = internal::SecondsSince(wait_start);
+  const uint64_t nbytes = static_cast<uint64_t>(t.numel()) * sizeof(float);
+  static CollectiveMetrics m("p2p.recv");
+  m.Record(nbytes, wait_s);
+  UCP_TRACE_SPAN_ARG_I(span, "bytes", static_cast<int64_t>(nbytes));
+  UCP_TRACE_SPAN_ARG_D(span, "wait_ms", wait_s * 1e3);
+  return t;
 }
 
 ProcessGroup::ProcessGroup(std::shared_ptr<internal::GroupState> state, int global_rank)
@@ -239,8 +282,14 @@ ProcessGroup::ProcessGroup(std::shared_ptr<internal::GroupState> state, int glob
 }
 
 void ProcessGroup::AllReduceSum(Tensor& t) const {
+  const uint64_t nbytes = static_cast<uint64_t>(t.numel()) * sizeof(float);
+  UCP_TRACE_NAMED_SPAN(span, "comm.allreduce");
+  UCP_TRACE_SPAN_ARG_S(span, "op", "sum");
+  UCP_TRACE_SPAN_ARG_I(span, "bytes", static_cast<int64_t>(nbytes));
   CheckRankFault(FaultSite::kAllReduce);
+  const auto wait_start = std::chrono::steady_clock::now();
   const auto& slots = state_->Exchange(index_, &t);
+  const double wait_s = internal::SecondsSince(wait_start);
   // Accumulate in group order into a temporary; writing into `t` before Done() would corrupt
   // peers that still read our slot.
   Tensor result = Tensor::Zeros(t.shape());
@@ -251,11 +300,20 @@ void ProcessGroup::AllReduceSum(Tensor& t) const {
   }
   state_->Done();
   t.CopyFrom(result);
+  static CollectiveMetrics m("allreduce");
+  m.Record(nbytes, wait_s);
+  UCP_TRACE_SPAN_ARG_D(span, "wait_ms", wait_s * 1e3);
 }
 
 void ProcessGroup::AllReduceMax(Tensor& t) const {
+  const uint64_t nbytes = static_cast<uint64_t>(t.numel()) * sizeof(float);
+  UCP_TRACE_NAMED_SPAN(span, "comm.allreduce");
+  UCP_TRACE_SPAN_ARG_S(span, "op", "max");
+  UCP_TRACE_SPAN_ARG_I(span, "bytes", static_cast<int64_t>(nbytes));
   CheckRankFault(FaultSite::kAllReduce);
+  const auto wait_start = std::chrono::steady_clock::now();
   const auto& slots = state_->Exchange(index_, &t);
+  const double wait_s = internal::SecondsSince(wait_start);
   Tensor result = Tensor::Full(t.shape(), -std::numeric_limits<float>::infinity());
   float* out = result.data();
   for (const void* slot : slots) {
@@ -268,39 +326,62 @@ void ProcessGroup::AllReduceMax(Tensor& t) const {
   }
   state_->Done();
   t.CopyFrom(result);
+  static CollectiveMetrics m("allreduce");
+  m.Record(nbytes, wait_s);
+  UCP_TRACE_SPAN_ARG_D(span, "wait_ms", wait_s * 1e3);
 }
 
 double ProcessGroup::AllReduceSumScalar(double v) const {
+  UCP_TRACE_NAMED_SPAN(span, "comm.allreduce_scalar");
   CheckRankFault(FaultSite::kAllReduce);
+  const auto wait_start = std::chrono::steady_clock::now();
   const auto& slots = state_->Exchange(index_, &v);
+  const double wait_s = internal::SecondsSince(wait_start);
   double sum = 0.0;
   for (const void* slot : slots) {
     sum += *static_cast<const double*>(slot);
   }
   state_->Done();
+  static CollectiveMetrics m("allreduce_scalar");
+  m.Record(sizeof(double), wait_s);
+  UCP_TRACE_SPAN_ARG_D(span, "wait_ms", wait_s * 1e3);
   return sum;
 }
 
 double ProcessGroup::AllReduceMaxScalar(double v) const {
+  UCP_TRACE_NAMED_SPAN(span, "comm.allreduce_scalar");
   CheckRankFault(FaultSite::kAllReduce);
+  const auto wait_start = std::chrono::steady_clock::now();
   const auto& slots = state_->Exchange(index_, &v);
-  double m = -std::numeric_limits<double>::infinity();
+  const double wait_s = internal::SecondsSince(wait_start);
+  double max_v = -std::numeric_limits<double>::infinity();
   for (const void* slot : slots) {
-    m = std::max(m, *static_cast<const double*>(slot));
+    max_v = std::max(max_v, *static_cast<const double*>(slot));
   }
   state_->Done();
-  return m;
+  static CollectiveMetrics m("allreduce_scalar");
+  m.Record(sizeof(double), wait_s);
+  UCP_TRACE_SPAN_ARG_D(span, "wait_ms", wait_s * 1e3);
+  return max_v;
 }
 
 std::vector<Tensor> ProcessGroup::AllGatherTensors(const Tensor& t) const {
+  const uint64_t nbytes = static_cast<uint64_t>(t.numel()) * sizeof(float);
+  UCP_TRACE_NAMED_SPAN(span, "comm.allgather");
+  UCP_TRACE_SPAN_ARG_I(span, "bytes", static_cast<int64_t>(nbytes));
   CheckRankFault(FaultSite::kAllGather);
+  const auto wait_start = std::chrono::steady_clock::now();
   const auto& slots = state_->Exchange(index_, &t);
+  const double wait_s = internal::SecondsSince(wait_start);
   std::vector<Tensor> out;
   out.reserve(slots.size());
   for (const void* slot : slots) {
     out.push_back(static_cast<const Tensor*>(slot)->Clone());
   }
   state_->Done();
+  static CollectiveMetrics m("allgather");
+  m.Record(nbytes, wait_s);
+  UCP_TRACE_SPAN_ARG_D(span, "wait_ms", wait_s * 1e3);
   return out;
 }
 
@@ -310,12 +391,17 @@ Tensor ProcessGroup::AllGatherConcat(const Tensor& t, int dim) const {
 }
 
 void ProcessGroup::ReduceScatterSum(const Tensor& full, Tensor& shard) const {
+  const uint64_t nbytes = static_cast<uint64_t>(full.numel()) * sizeof(float);
+  UCP_TRACE_NAMED_SPAN(span, "comm.reduce_scatter");
+  UCP_TRACE_SPAN_ARG_I(span, "bytes", static_cast<int64_t>(nbytes));
   CheckRankFault(FaultSite::kReduceScatter);
   UCP_CHECK_EQ(full.numel() % size(), 0) << "ReduceScatterSum: numel not divisible by group";
   int64_t shard_numel = full.numel() / size();
   UCP_CHECK_EQ(shard.numel(), shard_numel) << "ReduceScatterSum: bad shard size";
 
+  const auto wait_start = std::chrono::steady_clock::now();
   const auto& slots = state_->Exchange(index_, &full);
+  const double wait_s = internal::SecondsSince(wait_start);
   Tensor result = Tensor::Zeros({shard_numel});
   float* out = result.data();
   int64_t base = static_cast<int64_t>(index_) * shard_numel;
@@ -329,13 +415,21 @@ void ProcessGroup::ReduceScatterSum(const Tensor& full, Tensor& shard) const {
   }
   state_->Done();
   shard.CopyFrom(result);
+  static CollectiveMetrics m("reduce_scatter");
+  m.Record(nbytes, wait_s);
+  UCP_TRACE_SPAN_ARG_D(span, "wait_ms", wait_s * 1e3);
 }
 
 void ProcessGroup::Broadcast(Tensor& t, int root_index) const {
+  const uint64_t nbytes = static_cast<uint64_t>(t.numel()) * sizeof(float);
+  UCP_TRACE_NAMED_SPAN(span, "comm.broadcast");
+  UCP_TRACE_SPAN_ARG_I(span, "bytes", static_cast<int64_t>(nbytes));
   CheckRankFault(FaultSite::kBroadcast);
   UCP_CHECK_GE(root_index, 0);
   UCP_CHECK_LT(root_index, size());
+  const auto wait_start = std::chrono::steady_clock::now();
   const auto& slots = state_->Exchange(index_, &t);
+  const double wait_s = internal::SecondsSince(wait_start);
   const auto* root = static_cast<const Tensor*>(slots[static_cast<size_t>(root_index)]);
   UCP_CHECK_EQ(root->numel(), t.numel()) << "Broadcast shape mismatch";
   Tensor copy = root->Clone();
@@ -343,13 +437,22 @@ void ProcessGroup::Broadcast(Tensor& t, int root_index) const {
   if (index_ != root_index) {
     t.CopyFrom(copy);
   }
+  static CollectiveMetrics m("broadcast");
+  m.Record(nbytes, wait_s);
+  UCP_TRACE_SPAN_ARG_D(span, "wait_ms", wait_s * 1e3);
 }
 
 void ProcessGroup::Barrier() const {
+  UCP_TRACE_NAMED_SPAN(span, "comm.barrier");
   CheckRankFault(FaultSite::kBarrier);
+  const auto wait_start = std::chrono::steady_clock::now();
   int token = 0;
   state_->Exchange(index_, &token);
+  const double wait_s = internal::SecondsSince(wait_start);
   state_->Done();
+  static CollectiveMetrics m("barrier");
+  m.Record(0, wait_s);
+  UCP_TRACE_SPAN_ARG_D(span, "wait_ms", wait_s * 1e3);
 }
 
 void RunSpmd(int world_size, const std::function<void(int)>& body) {
@@ -358,6 +461,7 @@ void RunSpmd(int world_size, const std::function<void(int)>& body) {
   for (int r = 0; r < world_size; ++r) {
     threads.emplace_back([&body, r] {
       SetFaultContext(r, -1);
+      obs::SetThreadRank(r);
       try {
         body(r);
       } catch (const RankFailureError& e) {
@@ -379,6 +483,7 @@ std::vector<std::optional<RankFailure>> RunSpmdFallible(
   for (int r = 0; r < world_size; ++r) {
     threads.emplace_back([&body, &failures, r] {
       SetFaultContext(r, -1);
+      obs::SetThreadRank(r);
       try {
         body(r);
       } catch (const RankFailureError& e) {

@@ -16,6 +16,8 @@
 
 #include "src/common/fault_fs.h"
 #include "src/common/strings.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace ucp {
 
@@ -29,9 +31,20 @@ using fault_internal::FaultAction;
 std::mutex g_retry_policy_mu;
 IoRetryPolicy g_retry_policy;
 
-std::atomic<uint64_t> g_transient_errors{0};
-std::atomic<uint64_t> g_retries{0};
-std::atomic<uint64_t> g_giveups{0};
+// Registry-backed (see src/obs/metrics.h); GetIoRetryStats reads these back out.
+obs::Counter& TransientErrorsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("fs.retry.transient_errors");
+  return c;
+}
+obs::Counter& RetriesCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter("fs.retry.retries");
+  return c;
+}
+obs::Counter& GiveupsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter("fs.retry.giveups");
+  return c;
+}
 
 // Runs `op` until it returns something other than kUnavailable, backing off exponentially
 // (capped) between attempts. The last status — success, permanent error, or the final
@@ -45,12 +58,12 @@ Status RetryTransient(Op&& op) {
     if (s.ok() || s.code() != StatusCode::kUnavailable) {
       return s;
     }
-    g_transient_errors.fetch_add(1, std::memory_order_relaxed);
+    TransientErrorsCounter().Add(1);
     if (attempt >= policy.max_attempts) {
-      g_giveups.fetch_add(1, std::memory_order_relaxed);
+      GiveupsCounter().Add(1);
       return s;
     }
-    g_retries.fetch_add(1, std::memory_order_relaxed);
+    RetriesCounter().Add(1);
     std::this_thread::sleep_for(backoff);
     backoff = std::min(backoff * 2, policy.max_backoff);
   }
@@ -148,6 +161,13 @@ ScopedFsyncBatch::ScopedFsyncBatch() : previous_(g_active_fsync_batch) {
 ScopedFsyncBatch::~ScopedFsyncBatch() { g_active_fsync_batch = previous_; }
 
 Status ScopedFsyncBatch::SyncAll() {
+  if (paths_.empty()) {
+    return OkStatus();
+  }
+  UCP_TRACE_NAMED_SPAN(span, "fs.fsync_batch");
+  UCP_TRACE_SPAN_ARG_I(span, "files", static_cast<int64_t>(paths_.size()));
+  static obs::Counter& fsyncs = obs::MetricsRegistry::Global().GetCounter("fs.fsync.calls");
+  fsyncs.Add(paths_.size());
   for (const std::string& path : paths_) {
     UCP_RETURN_IF_ERROR(RetryTransient([&path] { return FsyncExistingFile(path); }));
   }
@@ -167,16 +187,16 @@ IoRetryPolicy GetIoRetryPolicy() {
 
 IoRetryStats GetIoRetryStats() {
   IoRetryStats stats;
-  stats.transient_errors = g_transient_errors.load(std::memory_order_relaxed);
-  stats.retries = g_retries.load(std::memory_order_relaxed);
-  stats.giveups = g_giveups.load(std::memory_order_relaxed);
+  stats.transient_errors = TransientErrorsCounter().Value();
+  stats.retries = RetriesCounter().Value();
+  stats.giveups = GiveupsCounter().Value();
   return stats;
 }
 
 void ResetIoRetryStats() {
-  g_transient_errors.store(0, std::memory_order_relaxed);
-  g_retries.store(0, std::memory_order_relaxed);
-  g_giveups.store(0, std::memory_order_relaxed);
+  TransientErrorsCounter().Reset();
+  RetriesCounter().Reset();
+  GiveupsCounter().Reset();
 }
 
 Status MakeDirs(const std::string& path) {

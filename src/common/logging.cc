@@ -1,13 +1,47 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+
+#include "src/obs/trace.h"
 
 namespace ucp {
 namespace {
 
-std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
+// The UCP_LOG_LEVEL env var (debug|info|warning|error|off, or 0-4) sets the initial
+// threshold; SetLogLevel still overrides it at runtime.
+LogLevel InitialLogLevel() {
+  const char* env = std::getenv("UCP_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') {
+    return LogLevel::kWarning;
+  }
+  if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "0") == 0) {
+    return LogLevel::kDebug;
+  }
+  if (std::strcmp(env, "info") == 0 || std::strcmp(env, "1") == 0) {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(env, "warning") == 0 || std::strcmp(env, "warn") == 0 ||
+      std::strcmp(env, "2") == 0) {
+    return LogLevel::kWarning;
+  }
+  if (std::strcmp(env, "error") == 0 || std::strcmp(env, "3") == 0) {
+    return LogLevel::kError;
+  }
+  if (std::strcmp(env, "off") == 0 || std::strcmp(env, "none") == 0 ||
+      std::strcmp(env, "4") == 0) {
+    return LogLevel::kOff;
+  }
+  return LogLevel::kWarning;
+}
+
+std::atomic<LogLevel>& LogLevelFlag() {
+  static std::atomic<LogLevel> level{InitialLogLevel()};
+  return level;
+}
+
 std::mutex g_log_mutex;
 
 const char* LevelTag(LogLevel level) {
@@ -34,16 +68,30 @@ const char* Basename(const char* path) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_log_level.store(level, std::memory_order_relaxed); }
-LogLevel GetLogLevel() { return g_log_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) {
+  LogLevelFlag().store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return LogLevelFlag().load(std::memory_order_relaxed); }
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
-  stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line << "] ";
+  stream_ << "[" << LevelTag(level);
+  // Rank-tagged threads (inside RunSpmd) prefix their simulated rank so interleaved
+  // SPMD output stays attributable.
+  const int rank = obs::CurrentThreadRank();
+  if (rank >= 0) {
+    stream_ << " r" << rank;
+  }
+  stream_ << " " << Basename(file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
+  // Re-check the threshold: the level may have been raised (e.g. a bench silencing the
+  // runtime) between the macro's filter and this flush.
+  if (level_ < GetLogLevel()) {
+    return;
+  }
   std::lock_guard<std::mutex> lock(g_log_mutex);
   std::ostream& out = level_ >= LogLevel::kWarning ? std::cerr : std::clog;
   out << stream_.str() << "\n";

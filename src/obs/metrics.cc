@@ -1,0 +1,195 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace ucp {
+namespace obs {
+
+namespace {
+
+constexpr double kMicro = 1e-6;
+
+uint64_t ToMicros(double value) {
+  if (value <= 0.0) {
+    return 0;
+  }
+  double scaled = value * 1e6;
+  if (scaled >= 1.8e19) {
+    return UINT64_MAX;
+  }
+  return static_cast<uint64_t>(scaled);
+}
+
+int BucketIndex(uint64_t micros) {
+  if (micros == 0) {
+    return 0;
+  }
+  int idx = 63 - std::countl_zero(micros);
+  return std::min(idx, Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+void Histogram::Observe(double value) {
+  const uint64_t micros = ToMicros(value);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+  uint64_t cur = max_micros_.load(std::memory_order_relaxed);
+  while (micros > cur &&
+         !max_micros_.compare_exchange_weak(cur, micros, std::memory_order_relaxed)) {
+  }
+  buckets_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::Sum() const {
+  return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) * kMicro;
+}
+
+double Histogram::MaxValue() const {
+  return static_cast<double>(max_micros_.load(std::memory_order_relaxed)) * kMicro;
+}
+
+double Histogram::ApproxQuantile(double q) const {
+  const uint64_t n = Count();
+  if (n == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= target) {
+      // Midpoint of bucket [2^i, 2^(i+1)) micros; bucket 0 also holds sub-micro samples.
+      const double lo = i == 0 ? 0.0 : static_cast<double>(uint64_t{1} << i);
+      const double hi = static_cast<double>(uint64_t{1} << (i + 1));
+      return (lo + hi) * 0.5 * kMicro;
+    }
+  }
+  return MaxValue();
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_micros_.store(0, std::memory_order_relaxed);
+  max_micros_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricValue::Kind::kCounter;
+    v.counter = counter->Value();
+    snapshot.push_back(std::move(v));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricValue::Kind::kGauge;
+    v.gauge = gauge->Value();
+    snapshot.push_back(std::move(v));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricValue::Kind::kHistogram;
+    v.count = histogram->Count();
+    v.sum = histogram->Sum();
+    v.mean = histogram->Mean();
+    v.max = histogram->MaxValue();
+    v.p50 = histogram->ApproxQuantile(0.5);
+    v.p99 = histogram->ApproxQuantile(0.99);
+    snapshot.push_back(std::move(v));
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const MetricValue& a, const MetricValue& b) { return a.name < b.name; });
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+MetricsSnapshot SnapshotMetrics() { return MetricsRegistry::Global().Snapshot(); }
+void ResetMetrics() { MetricsRegistry::Global().ResetAll(); }
+
+std::string DumpMetricsText() {
+  const MetricsSnapshot snapshot = SnapshotMetrics();
+  std::string out;
+  char line[256];
+  for (const MetricValue& v : snapshot) {
+    switch (v.kind) {
+      case MetricValue::Kind::kCounter:
+        std::snprintf(line, sizeof(line), "%-48s counter   %llu\n", v.name.c_str(),
+                      static_cast<unsigned long long>(v.counter));
+        break;
+      case MetricValue::Kind::kGauge:
+        std::snprintf(line, sizeof(line), "%-48s gauge     %lld\n", v.name.c_str(),
+                      static_cast<long long>(v.gauge));
+        break;
+      case MetricValue::Kind::kHistogram:
+        std::snprintf(line, sizeof(line),
+                      "%-48s histogram count=%llu sum=%.6f mean=%.6f max=%.6f p50=%.6f "
+                      "p99=%.6f\n",
+                      v.name.c_str(), static_cast<unsigned long long>(v.count), v.sum,
+                      v.mean, v.max, v.p50, v.p99);
+        break;
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace ucp

@@ -8,6 +8,9 @@
 
 #include "src/ckpt/checkpoint.h"
 #include "src/common/logging.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace ucp {
 
@@ -114,11 +117,16 @@ SupervisorReport Supervisor::Train(int64_t first_iteration, int64_t last_iterati
     const auto rebuild_start = std::chrono::steady_clock::now();
     WorldOptions world_options;
     world_options.watchdog_timeout = options_.watchdog_timeout;
-    auto run = std::make_unique<TrainingRun>(cfg, world_options);
+    std::unique_ptr<TrainingRun> run;
     std::unique_ptr<AsyncCheckpointEngine> engine;
-    if (!options_.ckpt_dir.empty() && options_.checkpoint_every > 0) {
-      engine = std::make_unique<AsyncCheckpointEngine>(
-          options_.ckpt_dir, cfg.strategy.world_size(), options_.async);
+    {
+      UCP_TRACE_SPAN_ARGS("recovery.rebuild",
+                          ::ucp::obs::TraceArgs().S("strategy", cfg.strategy.ToString()));
+      run = std::make_unique<TrainingRun>(cfg, world_options);
+      if (!options_.ckpt_dir.empty() && options_.checkpoint_every > 0) {
+        engine = std::make_unique<AsyncCheckpointEngine>(
+            options_.ckpt_dir, cfg.strategy.world_size(), options_.async);
+      }
     }
     const double rebuild_seconds = SecondsSince(rebuild_start);
 
@@ -126,6 +134,7 @@ SupervisorReport Supervisor::Train(int64_t first_iteration, int64_t last_iterati
     ResumeReport resume_report;
     bool resumed = false;
     if (!options_.ckpt_dir.empty() && FindLatestValidTag(options_.ckpt_dir).ok()) {
+      UCP_TRACE_SPAN("recovery.resume");
       Status resume_status = OkStatus();
       std::mutex resume_mu;
       run->Run([&](RankTrainer& trainer) {
@@ -162,6 +171,13 @@ SupervisorReport Supervisor::Train(int64_t first_iteration, int64_t last_iterati
       pending->total_seconds = pending->detect_seconds + pending->teardown_seconds +
                                pending->rebuild_seconds + pending->convert_seconds +
                                pending->load_seconds;
+      static obs::Histogram& recovery_seconds =
+          obs::MetricsRegistry::Global().GetHistogram("recovery.total_seconds");
+      recovery_seconds.Observe(pending->total_seconds);
+      UCP_TRACE_INSTANT("recovery.complete",
+                        ::ucp::obs::TraceArgs()
+                            .S("strategy", cfg.strategy.ToString())
+                            .D("total_seconds", pending->total_seconds));
       UCP_LOG(Info) << "recovered on " << cfg.strategy.ToString()
                     << (resumed ? " from tag " + pending->resumed_tag
                                 : " from scratch (no committed checkpoint)")
@@ -209,6 +225,24 @@ SupervisorReport Supervisor::Train(int64_t first_iteration, int64_t last_iterati
     timing.old_strategy = cfg.strategy;
     timing.detect_seconds = outcome.failure.blocked_seconds;
     UCP_LOG(Warning) << "rank failure detected: " << outcome.failure.ToString();
+    static obs::Counter& failures =
+        obs::MetricsRegistry::Global().GetCounter("recovery.rank_failures");
+    failures.Add(1);
+    UCP_TRACE_INSTANT("recovery.detected",
+                      ::ucp::obs::TraceArgs()
+                          .I("rank", outcome.failure.rank)
+                          .D("detect_seconds", timing.detect_seconds));
+    // Dump the in-memory rings before teardown reuses them: the dossier should show what
+    // every rank was doing when the failure hit, not what the rebuilt world did after.
+    if (!options_.ckpt_dir.empty()) {
+      std::string trace_path;
+      std::string dump_err;
+      if (obs::DumpFlightRecord(options_.ckpt_dir, "rank-failure", &trace_path, &dump_err)) {
+        UCP_LOG(Info) << "flight record dumped to " << trace_path;
+      } else {
+        UCP_LOG(Warning) << "flight record dump failed: " << dump_err;
+      }
+    }
     if (report.recoveries > options_.max_recoveries) {
       report.timings.push_back(timing);
       report.status = FailedPreconditionError(
@@ -218,22 +252,27 @@ SupervisorReport Supervisor::Train(int64_t first_iteration, int64_t last_iterati
     }
 
     const auto teardown_start = std::chrono::steady_clock::now();
-    if (engine != nullptr) {
-      const int abandoned = engine->AbandonIncomplete();
-      if (abandoned > 0) {
-        UCP_LOG(Info) << "abandoned " << abandoned
-                      << " checkpoint save(s) stranded by the failed rank";
+    {
+      UCP_TRACE_SPAN("recovery.teardown");
+      if (engine != nullptr) {
+        const int abandoned = engine->AbandonIncomplete();
+        if (abandoned > 0) {
+          UCP_LOG(Info) << "abandoned " << abandoned
+                        << " checkpoint save(s) stranded by the failed rank";
+        }
+        Status drained = engine->WaitAll();
+        if (!drained.ok()) {
+          UCP_LOG(Warning) << "checkpoint flush failed before teardown: "
+                           << drained.ToString();
+        }
+        engine.reset();
       }
-      Status drained = engine->WaitAll();
-      if (!drained.ok()) {
-        UCP_LOG(Warning) << "checkpoint flush failed before teardown: " << drained.ToString();
-      }
-      engine.reset();
+      run.reset();  // rank threads already joined; this destroys the poisoned World
     }
-    run.reset();  // rank threads already joined; this destroys the poisoned World
     timing.teardown_seconds = SecondsSince(teardown_start);
 
     if (!options_.rebuild_same_strategy) {
+      UCP_TRACE_SPAN("recovery.shrink");
       available_ranks -= 1;  // the failed rank's slot is gone
       Result<ParallelConfig> shrunk = ShrinkStrategy(
           cfg.model, cfg.global_batch, cfg.strategy, available_ranks, options_.shrink_order);

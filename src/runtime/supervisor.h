@@ -67,7 +67,9 @@ struct SupervisorOptions {
 
 // One recovery's phase timing, in seconds of wall clock on the supervising thread (detect is
 // the failed collective's blocked time as reported by the watchdog; 0 for injected kills
-// observed without a watchdog wait).
+// observed without a watchdog wait). The same phases are emitted as "recovery.*" trace
+// spans (src/obs/trace.h) on the supervising thread; this struct remains the programmatic
+// report, the spans feed the Chrome trace and flight recorder.
 struct RecoveryTiming {
   RankFailure failure;
   ParallelConfig old_strategy;

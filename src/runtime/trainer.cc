@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace ucp {
 
@@ -48,6 +49,7 @@ double RankTrainer::TrainIteration(int64_t iteration) {
   // Keep the fault machinery's view of "where is this rank" current: watchdog reports and
   // injected kills are both attributed to this (rank, iteration).
   SetFaultContext(rank_, iteration);
+  UCP_TRACE_SPAN_ARGS("train.iteration", ::ucp::obs::TraceArgs().I("iteration", iteration));
   CheckRankFault(FaultSite::kIterationStart);
   const ParallelConfig& s = config_.strategy;
   const int seq_total = config_.model.max_seq_len;

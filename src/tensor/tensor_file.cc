@@ -6,6 +6,7 @@
 #include "src/common/bytes.h"
 #include "src/common/crc32.h"
 #include "src/common/fs.h"
+#include "src/obs/metrics.h"
 
 namespace ucp {
 namespace {
@@ -35,13 +36,24 @@ uint32_t NumChunksFor(uint64_t payload_bytes, uint32_t chunk_bytes) {
   return static_cast<uint32_t>((payload_bytes + chunk_bytes - 1) / chunk_bytes);
 }
 
-std::atomic<uint64_t> g_bytes_read{0};
-std::atomic<uint64_t> g_read_calls{0};
-std::atomic<uint64_t> g_chunks_verified{0};
+// Registry-backed (see src/obs/metrics.h); GetTensorIoStats reads these back out.
+obs::Counter& BytesReadCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter("tensor.io.bytes_read");
+  return c;
+}
+obs::Counter& ReadCallsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter("tensor.io.read_calls");
+  return c;
+}
+obs::Counter& ChunksVerifiedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("tensor.io.chunks_verified");
+  return c;
+}
 
 void CountRead(uint64_t bytes) {
-  g_bytes_read.fetch_add(bytes, std::memory_order_relaxed);
-  g_read_calls.fetch_add(1, std::memory_order_relaxed);
+  BytesReadCounter().Add(bytes);
+  ReadCallsCounter().Add(1);
 }
 
 uint32_t LoadU32(const uint8_t* p) {
@@ -171,7 +183,7 @@ Status VerifyChunks(const uint8_t* payload, uint64_t payload_bytes, uint32_t chu
     if (Crc32(payload + start, static_cast<size_t>(size)) != crcs[ci]) {
       return DataLossError(ChunkCrcErr(what, ci, crcs.size()));
     }
-    g_chunks_verified.fetch_add(1, std::memory_order_relaxed);
+    ChunksVerifiedCounter().Add(1);
   }
   return OkStatus();
 }
@@ -470,7 +482,7 @@ Status ReadChunkedRange(const RandomAccessFile& f, uint64_t payload_offset,
         return DataLossError(ChunkCrcErr(what, ci, crcs.size()));
       }
       verified[ci] = true;
-      g_chunks_verified.fetch_add(1, std::memory_order_relaxed);
+      ChunksVerifiedCounter().Add(1);
       DecodeElements(scratch.data() + (overlap_begin - chunk_start), dtype,
                      static_cast<int64_t>(overlap_bytes / esize), dst);
     } else {
@@ -497,16 +509,16 @@ Status Commit(const std::string& path, ByteWriter& w) {
 
 TensorIoStats GetTensorIoStats() {
   TensorIoStats s;
-  s.bytes_read = g_bytes_read.load(std::memory_order_relaxed);
-  s.read_calls = g_read_calls.load(std::memory_order_relaxed);
-  s.chunks_verified = g_chunks_verified.load(std::memory_order_relaxed);
+  s.bytes_read = BytesReadCounter().Value();
+  s.read_calls = ReadCallsCounter().Value();
+  s.chunks_verified = ChunksVerifiedCounter().Value();
   return s;
 }
 
 void ResetTensorIoStats() {
-  g_bytes_read.store(0, std::memory_order_relaxed);
-  g_read_calls.store(0, std::memory_order_relaxed);
-  g_chunks_verified.store(0, std::memory_order_relaxed);
+  BytesReadCounter().Reset();
+  ReadCallsCounter().Reset();
+  ChunksVerifiedCounter().Reset();
 }
 
 // ---------------------------------------------------------------------------

@@ -9,6 +9,8 @@
 #include "src/common/fs.h"
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/tensor/tensor_file.h"
 
 namespace ucp {
@@ -110,25 +112,30 @@ Result<ConvertStats> ConvertToUcpImpl(const std::string& ckpt_dir, const std::st
   int64_t steps_taken = 0;
   Status first_error = OkStatus();
 
-  pool.ParallelFor(model_ranks.size(), [&](size_t i) {
-    const ModelRank& mr = model_ranks[i];
-    Result<ExtractedRank> extracted = Extract(tag_dir, src, mr.tp, mr.pp, mr.sp);
-    std::lock_guard<std::mutex> lock(mu);
-    if (!extracted.ok()) {
-      if (first_error.ok()) {
-        first_error = extracted.status();
+  {
+    UCP_TRACE_SPAN_ARGS(
+        "convert.extract_phase",
+        ::ucp::obs::TraceArgs().I("model_ranks", static_cast<int64_t>(model_ranks.size())));
+    pool.ParallelFor(model_ranks.size(), [&](size_t i) {
+      const ModelRank& mr = model_ranks[i];
+      Result<ExtractedRank> extracted = Extract(tag_dir, src, mr.tp, mr.pp, mr.sp);
+      std::lock_guard<std::mutex> lock(mu);
+      if (!extracted.ok()) {
+        if (first_error.ok()) {
+          first_error = extracted.status();
+        }
+        return;
       }
-      return;
-    }
-    steps_taken = extracted->steps_taken;
-    for (ParamState& state : extracted->params) {
-      ShardContribution contribution;
-      contribution.coord = extracted->coord;
-      contribution.state = std::move(state);
-      contributions[contribution.state.name].push_back(std::move(contribution));
-    }
-    ++stats.model_ranks_extracted;
-  });
+      steps_taken = extracted->steps_taken;
+      for (ParamState& state : extracted->params) {
+        ShardContribution contribution;
+        contribution.coord = extracted->coord;
+        contribution.state = std::move(state);
+        contributions[contribution.state.name].push_back(std::move(contribution));
+      }
+      ++stats.model_ranks_extracted;
+    });
+  }
   if (!first_error.ok()) {
     return first_error;
   }
@@ -153,34 +160,38 @@ Result<ConvertStats> ConvertToUcpImpl(const std::string& ckpt_dir, const std::st
   }
 
   std::vector<std::string> atom_names(names.size());
-  pool.ParallelFor(names.size(), [&](size_t i) {
-    const std::string& name = names[i];
-    auto shape_it = full_shapes.find(name);
-    Result<PatternRule> rule = library.Match(name);
-    Status status = OkStatus();
-    if (shape_it == full_shapes.end()) {
-      status = DataLossError("checkpoint contains unknown parameter: " + name);
-    } else if (!rule.ok()) {
-      status = rule.status();
-    } else {
-      Result<ParamState> merged =
-          UnionParam(*rule, shape_it->second, std::move(contributions[name]), src.tp);
-      if (!merged.ok()) {
-        status = merged.status();
+  {
+    UCP_TRACE_SPAN_ARGS("convert.union_phase", ::ucp::obs::TraceArgs().I(
+                                                   "params", static_cast<int64_t>(names.size())));
+    pool.ParallelFor(names.size(), [&](size_t i) {
+      const std::string& name = names[i];
+      auto shape_it = full_shapes.find(name);
+      Result<PatternRule> rule = library.Match(name);
+      Status status = OkStatus();
+      if (shape_it == full_shapes.end()) {
+        status = DataLossError("checkpoint contains unknown parameter: " + name);
+      } else if (!rule.ok()) {
+        status = rule.status();
       } else {
-        status = WriteAtom(ucp_dir, *merged, *rule);
+        Result<ParamState> merged =
+            UnionParam(*rule, shape_it->second, std::move(contributions[name]), src.tp);
+        if (!merged.ok()) {
+          status = merged.status();
+        } else {
+          status = WriteAtom(ucp_dir, *merged, *rule);
+        }
       }
-    }
-    std::lock_guard<std::mutex> lock(mu);
-    if (!status.ok()) {
-      if (first_error.ok()) {
-        first_error = status;
+      std::lock_guard<std::mutex> lock(mu);
+      if (!status.ok()) {
+        if (first_error.ok()) {
+          first_error = status;
+        }
+        return;
       }
-      return;
-    }
-    atom_names[i] = name;
-    ++stats.atoms_written;
-  });
+      atom_names[i] = name;
+      ++stats.atoms_written;
+    });
+  }
   if (!first_error.ok()) {
     return first_error;
   }
@@ -265,11 +276,32 @@ Result<ConvertStats> ConvertForeignToUcpImpl(const std::string& foreign_dir,
   return stats;
 }
 
+// The per-call ConvertStats return stays the API; the registry accumulates across calls so
+// `ucp_tool metrics` and bench snapshots see conversion work without threading the struct.
+void PublishConvertStats(const ConvertStats& stats) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  static obs::Counter& runs = reg.GetCounter("convert.runs");
+  static obs::Counter& atoms = reg.GetCounter("convert.atoms_written");
+  static obs::Counter& ranks = reg.GetCounter("convert.model_ranks_extracted");
+  static obs::Counter& bytes_read = reg.GetCounter("convert.bytes_read");
+  static obs::Counter& bytes_written = reg.GetCounter("convert.bytes_written");
+  static obs::Histogram& extract_s = reg.GetHistogram("convert.extract_seconds");
+  static obs::Histogram& union_s = reg.GetHistogram("convert.union_seconds");
+  runs.Add(1);
+  atoms.Add(static_cast<uint64_t>(stats.atoms_written));
+  ranks.Add(static_cast<uint64_t>(stats.model_ranks_extracted));
+  bytes_read.Add(static_cast<uint64_t>(stats.bytes_read));
+  bytes_written.Add(static_cast<uint64_t>(stats.bytes_written));
+  extract_s.Observe(stats.extract_seconds);
+  union_s.Observe(stats.union_seconds);
+}
+
 }  // namespace
 
 Result<ConvertStats> ConvertToUcp(const std::string& ckpt_dir, const std::string& tag,
                                   const std::string& ucp_dir,
                                   const ConvertOptions& options) {
+  UCP_TRACE_SPAN_ARGS("convert.to_ucp", ::ucp::obs::TraceArgs().S("tag", tag));
   UCP_ASSIGN_OR_RETURN(std::string staging, BeginUcpStaging(ucp_dir));
   Result<ConvertStats> stats = ConvertToUcpImpl(ckpt_dir, tag, staging, options);
   if (!stats.ok()) {
@@ -277,6 +309,7 @@ Result<ConvertStats> ConvertToUcp(const std::string& ckpt_dir, const std::string
     return stats.status();
   }
   UCP_RETURN_IF_ERROR(CommitUcpStaging(staging, ucp_dir));
+  PublishConvertStats(*stats);
   UCP_LOG(Info) << "converted " << PathJoin(ckpt_dir, tag) << " -> " << ucp_dir << " ("
                 << stats->atoms_written << " atoms, extract " << stats->extract_seconds
                 << "s, union " << stats->union_seconds << "s)";
@@ -286,6 +319,7 @@ Result<ConvertStats> ConvertToUcp(const std::string& ckpt_dir, const std::string
 Result<ConvertStats> ConvertForeignToUcp(const std::string& foreign_dir,
                                          const std::string& tag, const std::string& ucp_dir,
                                          const ConvertOptions& options) {
+  UCP_TRACE_SPAN_ARGS("convert.foreign_to_ucp", ::ucp::obs::TraceArgs().S("tag", tag));
   UCP_ASSIGN_OR_RETURN(std::string staging, BeginUcpStaging(ucp_dir));
   Result<ConvertStats> stats = ConvertForeignToUcpImpl(foreign_dir, tag, staging, options);
   if (!stats.ok()) {
@@ -293,6 +327,7 @@ Result<ConvertStats> ConvertForeignToUcp(const std::string& foreign_dir,
     return stats.status();
   }
   UCP_RETURN_IF_ERROR(CommitUcpStaging(staging, ucp_dir));
+  PublishConvertStats(*stats);
   return stats;
 }
 

@@ -5,6 +5,7 @@
 #include "src/ckpt/checkpoint.h"
 #include "src/common/fs.h"
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 #include "src/ucp/converter.h"
 #include "src/ucp/loader.h"
 
@@ -27,6 +28,7 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
 }  // namespace
 
 Result<ResumeReport> ResumeElastic(const std::string& dir, RankTrainer& trainer) {
+  UCP_TRACE_SPAN("resume.elastic");
   // Resume barriers wait on peers doing unbounded local work (rank 0's debris sweep, and —
   // in ResumeElasticFromTag — a whole UCP conversion), so a short training watchdog would
   // misread a live-but-busy rank as dead. All ranks run this straight-line path right after
@@ -86,6 +88,8 @@ Result<ResumeReport> ResumeElastic(const std::string& dir, RankTrainer& trainer)
 
 Result<ResumeReport> ResumeElasticFromTag(const std::string& dir, const std::string& tag,
                                           RankTrainer& trainer) {
+  UCP_TRACE_NAMED_SPAN(span, "resume.from_tag");
+  UCP_TRACE_SPAN_ARG_S(span, "tag", tag);
   ScopedWatchdogSuspend suspend_watchdog;  // see ResumeElastic; also callable directly
   ResumeReport report;
   report.tag = tag;
@@ -94,7 +98,11 @@ Result<ResumeReport> ResumeElasticFromTag(const std::string& dir, const std::str
 
   // Fast path: unchanged strategy and hardware — plain distributed load.
   const auto native_start = std::chrono::steady_clock::now();
-  Status native = LoadDistributedCheckpoint(dir, tag, trainer);
+  Status native;
+  {
+    UCP_TRACE_SPAN("resume.native_load");
+    native = LoadDistributedCheckpoint(dir, tag, trainer);
+  }
   if (native.ok()) {
     report.path = ResumeReport::Path::kNative;
     report.load_seconds = SecondsSince(native_start);
@@ -111,19 +119,22 @@ Result<ResumeReport> ResumeElasticFromTag(const std::string& dir, const std::str
   bool cached = IsUcpComplete(ucp_dir);
   Status convert = OkStatus();
   const auto convert_start = std::chrono::steady_clock::now();
-  if (trainer.rank() == 0 && !cached) {
-    UCP_LOG(Info) << "strategy changed (" << meta.strategy.ToString() << " -> "
-                  << trainer.config().strategy.ToString() << "); converting " << tag
-                  << " to UCP";
-    Result<ConvertStats> stats = ConvertToUcp(dir, tag, ucp_dir);
-    if (!stats.ok() && stats.status().code() != StatusCode::kAlreadyExists) {
-      convert = stats.status();
+  {
+    UCP_TRACE_SPAN("resume.convert");  // rank 0 converts; peers wait at the barrier
+    if (trainer.rank() == 0 && !cached) {
+      UCP_LOG(Info) << "strategy changed (" << meta.strategy.ToString() << " -> "
+                    << trainer.config().strategy.ToString() << "); converting " << tag
+                    << " to UCP";
+      Result<ConvertStats> stats = ConvertToUcp(dir, tag, ucp_dir);
+      if (!stats.ok() && stats.status().code() != StatusCode::kAlreadyExists) {
+        convert = stats.status();
+      }
     }
+    // Everyone waits for the conversion to land, then everyone runs the load — even when
+    // rank 0's conversion failed. The loaders' internal agreement is what keeps the world
+    // collectives aligned; rank 0 returning early here would strand its peers.
+    trainer.groups().world.Barrier();
   }
-  // Everyone waits for the conversion to land, then everyone runs the load — even when
-  // rank 0's conversion failed. The loaders' internal agreement is what keeps the world
-  // collectives aligned; rank 0 returning early here would strand its peers.
-  trainer.groups().world.Barrier();
   report.convert_seconds = SecondsSince(convert_start);
   const auto load_start = std::chrono::steady_clock::now();
   Status load = LoadUcpCheckpoint(ucp_dir, trainer);

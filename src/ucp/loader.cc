@@ -1,11 +1,14 @@
 #include "src/ucp/loader.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <optional>
 
 #include "src/common/fs.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/tensor/tensor_file.h"
 #include "src/ucp/slice_cache.h"
 
@@ -207,6 +210,7 @@ Result<UcpLocalState> LoadUcpLocal(const std::string& ucp_dir, RankTrainer& trai
     Tensor flat_v = Tensor::Zeros({plan.layout.padded_total});
 
     for (const AtomAssignment& a : plan.assignments) {
+      UCP_TRACE_SPAN_ARGS("ucp.load.atom", ::ucp::obs::TraceArgs().S("atom", a.name));
       UCP_ASSIGN_OR_RETURN(ParamState atom, ReadAtom(ucp_dir, a.name));
       Tensor fp32_shard = ShardOf(a.target_spec, atom.fp32, target.tp, coord.tp);
       Tensor m_shard = ShardOf(a.target_spec, atom.exp_avg, target.tp, coord.tp);
@@ -280,6 +284,10 @@ Result<UcpLocalState> LoadUcpLocal(const std::string& ucp_dir, RankTrainer& trai
   pool.ParallelFor(tasks.size(), [&](size_t i) {
     const SliceTask& t = tasks[i];
     const AtomAssignment& a = *t.assignment;
+    UCP_TRACE_SPAN_ARGS("ucp.load.slice", ::ucp::obs::TraceArgs()
+                                              .S("atom", a.name)
+                                              .S("state", kStateFiles[t.state_index])
+                                              .I("numel", t.want_hi - t.want_lo));
     std::string path = PathJoin(AtomDir(ucp_dir, a.name), kStateFiles[t.state_index]);
     results[i] = ReadAssignedSlices(path, a, *t.runs, t.want_lo, t.want_hi, p0,
                                     buffers[t.state_index], options.use_slice_cache,
@@ -299,6 +307,12 @@ Status LoadUcpCheckpoint(const std::string& ucp_dir, RankTrainer& trainer) {
 
 Status LoadUcpCheckpoint(const std::string& ucp_dir, RankTrainer& trainer,
                          const UcpLoadOptions& options) {
+  UCP_TRACE_NAMED_SPAN(span, "ucp.load");
+  UCP_TRACE_SPAN_ARG_S(span, "mode", options.sliced ? "sliced" : "serial");
+  static obs::Counter& loads = obs::MetricsRegistry::Global().GetCounter("ucp.loads");
+  static obs::Histogram& load_seconds =
+      obs::MetricsRegistry::Global().GetHistogram("ucp.load.seconds");
+  const auto load_start = std::chrono::steady_clock::now();
   Result<UcpLocalState> local = LoadUcpLocal(ucp_dir, trainer, options);
   // Collective agreement before LoadState's DP all-gather (same rationale as the native
   // loader): every rank reaches this reduction, so one rank's failure fails all ranks
@@ -311,8 +325,12 @@ Status LoadUcpCheckpoint(const std::string& ucp_dir, RankTrainer& trainer,
   if (peer_failed > 0.0) {
     return DataLossError("aborting UCP load: a peer rank failed to read the checkpoint");
   }
-  return trainer.optimizer().LoadState(local->master, local->exp_avg, local->exp_avg_sq,
-                                       local->steps);
+  UCP_RETURN_IF_ERROR(trainer.optimizer().LoadState(local->master, local->exp_avg,
+                                                    local->exp_avg_sq, local->steps));
+  loads.Add(1);
+  load_seconds.Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - load_start).count());
+  return OkStatus();
 }
 
 }  // namespace ucp

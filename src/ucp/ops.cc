@@ -4,11 +4,15 @@
 
 #include "src/ckpt/checkpoint.h"
 #include "src/common/fs.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/tensor/tensor_file.h"
 
 namespace ucp {
 
 Result<Tensor> StripPadding(const Tensor& flat, int64_t logical_total) {
+  UCP_TRACE_SPAN_ARGS("ucp.strip_padding",
+                      ::ucp::obs::TraceArgs().I("logical_total", logical_total));
   if (flat.ndim() != 1) {
     return InvalidArgumentError("StripPadding expects a flat (1-d) tensor");
   }
@@ -25,6 +29,11 @@ Result<Tensor> StripPadding(const Tensor& flat, int64_t logical_total) {
 
 Result<ExtractedRank> Extract(const std::string& tag_dir, const ParallelConfig& src, int tp,
                               int pp, int sp) {
+  UCP_TRACE_SPAN_ARGS(
+      "ucp.extract",
+      ::ucp::obs::TraceArgs().I("tp", tp).I("pp", pp).I("sp", sp).I("src_dp", src.dp));
+  static obs::Counter& extracts = obs::MetricsRegistry::Global().GetCounter("ucp.extracts");
+  extracts.Add(1);
   ExtractedRank out;
   out.coord = {tp, sp, pp, 0};
 
@@ -139,6 +148,12 @@ Result<ParamState> UnionParam(const PatternRule& rule, const Shape& full_shape,
     return InvalidArgumentError("UnionParam with no contributions");
   }
   const std::string& name = contributions[0].state.name;
+  UCP_TRACE_SPAN_ARGS("ucp.union_param",
+                      ::ucp::obs::TraceArgs()
+                          .S("param", name)
+                          .I("contributions", static_cast<int64_t>(contributions.size())));
+  static obs::Counter& unions = obs::MetricsRegistry::Global().GetCounter("ucp.unions");
+  unions.Add(1);
   SortContributions(contributions);
 
   switch (rule.pattern) {

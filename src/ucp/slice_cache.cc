@@ -1,6 +1,23 @@
 #include "src/ucp/slice_cache.h"
 
+#include "src/obs/metrics.h"
+
 namespace ucp {
+
+namespace {
+
+obs::Counter& HitsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter("ucp.slice_cache.hits");
+  return c;
+}
+
+obs::Counter& MissesCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("ucp.slice_cache.misses");
+  return c;
+}
+
+}  // namespace
 
 AtomSliceCache& AtomSliceCache::Global() {
   static AtomSliceCache* cache = new AtomSliceCache();
@@ -21,7 +38,7 @@ Result<std::shared_ptr<const Tensor>> AtomSliceCache::GetOrLoad(
       entry = std::make_shared<Entry>();
       entries_[key] = entry;
       owner = true;
-      ++misses_;
+      MissesCounter().Add(1);
       // Opportunistic prune: drop map slots whose entries every owner has released. Bounds
       // the map without an eviction policy (lifetime is the refcount, see header).
       if (entries_.size() % 64 == 0) {
@@ -30,7 +47,7 @@ Result<std::shared_ptr<const Tensor>> AtomSliceCache::GetOrLoad(
         }
       }
     } else {
-      ++hits_;
+      HitsCounter().Add(1);
     }
   }
 
@@ -68,17 +85,15 @@ Result<std::shared_ptr<const Tensor>> AtomSliceCache::GetOrLoad(
 }
 
 AtomSliceCache::Stats AtomSliceCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   Stats s;
-  s.hits = hits_;
-  s.misses = misses_;
+  s.hits = HitsCounter().Value();
+  s.misses = MissesCounter().Value();
   return s;
 }
 
 void AtomSliceCache::ResetStats() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  hits_ = 0;
-  misses_ = 0;
+  HitsCounter().Reset();
+  MissesCounter().Reset();
 }
 
 }  // namespace ucp

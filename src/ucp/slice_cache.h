@@ -43,6 +43,8 @@ class AtomSliceCache {
     uint64_t hits = 0;    // served from a live entry (including waits on an in-flight load)
     uint64_t misses = 0;  // ran the loader
   };
+  // Backed by the metrics registry (`ucp.slice_cache.hits`/`.misses`); this getter and
+  // SnapshotMetrics() always agree.
   Stats stats() const;
   void ResetStats();
 
@@ -59,8 +61,6 @@ class AtomSliceCache {
 
   mutable std::mutex mutex_;
   std::map<std::string, std::weak_ptr<Entry>> entries_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
 };
 
 }  // namespace ucp

@@ -36,14 +36,30 @@
 //   ucp_tool stat     <ucp_dir>
 //       Header-only report of a UCP checkpoint: per-atom shape, bytes, and CRC chunk
 //       counts (reads tensor headers only — no payload I/O).
+//
+//   ucp_tool metrics  [<subcommand> <args...>]
+//       Run the nested subcommand, then print the process metrics registry
+//       (src/obs/metrics.h) as text. Metrics are process-local, so wrapping the command
+//       is how a CLI run gets a non-empty snapshot; with no nested command it prints
+//       whatever the (fresh) process has — useful to list registered metric names.
+//
+//   ucp_tool trace-cat <file>
+//       Summarize a Chrome trace JSON (as written by --trace=FILE or the flight
+//       recorder): per-process event counts and a per-span-name table of count/total/mean
+//       wall time, sorted by total.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/ckpt/checkpoint.h"
 #include "src/common/fs.h"
+#include "src/common/json.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
 #include "src/tensor/tensor_file.h"
 #include "src/ucp/converter.h"
 #include "src/ucp/loader.h"
@@ -66,7 +82,9 @@ int Usage() {
                "  ucp_tool fsck <path> [--quarantine] [--fast] [--threads N]\n"
                "  ucp_tool stat <ucp_dir>\n"
                "  ucp_tool prune <ckpt_dir> <keep_last>\n"
-               "  ucp_tool gc <ckpt_dir> <keep_last> [--dry-run]\n");
+               "  ucp_tool gc <ckpt_dir> <keep_last> [--dry-run]\n"
+               "  ucp_tool metrics [<subcommand> <args...>]\n"
+               "  ucp_tool trace-cat <file>\n");
   return 2;
 }
 
@@ -262,7 +280,20 @@ int CmdFsck(const Flags& flags) {
   if (flags.quarantine) {
     std::printf("%s\n", report->QuarantineSummary().c_str());
   }
-  return report->ExitCode(flags.quarantine);
+  const int code = report->ExitCode(flags.quarantine);
+  if (code == 2) {
+    // Unrecoverable damage: leave a flight-recorder dossier beside the wreckage so the
+    // operator sees what this process observed (per-file verdicts live in the report; the
+    // dossier adds trace spans and io/retry counters).
+    std::string trace_path;
+    std::string dump_err;
+    if (obs::DumpFlightRecord(flags.positional[0], "fsck", &trace_path, &dump_err)) {
+      std::fprintf(stderr, "flight record dumped to %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "flight record dump failed: %s\n", dump_err.c_str());
+    }
+  }
+  return code;
 }
 
 // Header-only: StatTensor parses the v3 metadata prefix without touching payload bytes, so
@@ -351,6 +382,108 @@ int CmdGc(const Flags& flags) {
   return 0;
 }
 
+int Main(int argc, char** argv);
+
+// Wraps another subcommand and prints the metrics registry once it returns, so a CLI run
+// (convert, fsck, ...) ends with the counters/histograms it produced. Metrics are
+// process-local; `ucp_tool metrics` alone prints a fresh process's (near-empty) registry.
+int CmdMetrics(int argc, char** argv) {
+  int code = 0;
+  if (argc >= 3) {
+    code = Main(argc - 1, argv + 1);
+  }
+  std::printf("%s", obs::DumpMetricsText().c_str());
+  return code;
+}
+
+// Summarizes a Chrome trace JSON written by ExportChromeTraceJson (via --trace=FILE or the
+// flight recorder): per-process event counts, then a per-span-name table sorted by total
+// wall time. Parsing uses src/common/json — the same schema the obs tests validate.
+int CmdTraceCat(const Flags& flags) {
+  if (flags.positional.size() != 1) {
+    return Usage();
+  }
+  Result<std::string> text = ReadFileToString(flags.positional[0]);
+  if (!text.ok()) {
+    return Fail(text.status());
+  }
+  Result<Json> parsed = Json::Parse(*text);
+  if (!parsed.ok()) {
+    return Fail(parsed.status());
+  }
+  Result<const JsonArray*> events = parsed->GetArray("traceEvents");
+  if (!events.ok()) {
+    return Fail(events.status());
+  }
+
+  struct SpanAgg {
+    uint64_t count = 0;
+    double total_us = 0.0;
+    double max_us = 0.0;
+  };
+  std::map<std::string, SpanAgg> spans;
+  std::map<int64_t, uint64_t> events_by_pid;   // spans + instants per process
+  std::map<int64_t, std::string> pid_names;    // from "process_name" metadata
+  uint64_t instants = 0;
+  for (const Json& e : **events) {
+    Result<std::string> ph = e.GetString("ph");
+    Result<std::string> name = e.GetString("name");
+    Result<int64_t> pid = e.GetInt("pid");
+    if (!ph.ok() || !name.ok() || !pid.ok()) {
+      return Fail(DataLossError("malformed trace event: " + e.Dump()));
+    }
+    if (*ph == "M") {
+      if (*name == "process_name" && e.Has("args")) {
+        Result<std::string> pname = e.AsObject().at("args").GetString("name");
+        if (pname.ok()) {
+          pid_names[*pid] = *pname;
+        }
+      }
+      continue;
+    }
+    ++events_by_pid[*pid];
+    if (*ph == "i") {
+      ++instants;
+      continue;
+    }
+    if (*ph != "X") {
+      continue;  // forward-compatible: ignore phases we did not emit
+    }
+    Result<double> dur = e.GetDouble("dur");
+    if (!dur.ok()) {
+      return Fail(DataLossError("complete event without dur: " + e.Dump()));
+    }
+    SpanAgg& agg = spans[*name];
+    agg.count += 1;
+    agg.total_us += *dur;
+    agg.max_us = std::max(agg.max_us, *dur);
+  }
+
+  std::printf("trace: %s\n", flags.positional[0].c_str());
+  std::printf("  processes (%zu):\n", events_by_pid.size());
+  for (const auto& [pid, count] : events_by_pid) {
+    auto named = pid_names.find(pid);
+    std::printf("    %-12s %8llu events\n",
+                named != pid_names.end() ? named->second.c_str()
+                                         : std::to_string(pid).c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("  instants: %llu\n", static_cast<unsigned long long>(instants));
+  std::vector<std::pair<std::string, SpanAgg>> rows(spans.begin(), spans.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_us > b.second.total_us;
+  });
+  std::printf("  spans by total wall time:\n");
+  std::printf("    %-40s %8s %12s %12s %12s\n", "name", "count", "total_ms", "mean_us",
+              "max_us");
+  for (const auto& [name, agg] : rows) {
+    std::printf("    %-40s %8llu %12.3f %12.1f %12.1f\n", name.c_str(),
+                static_cast<unsigned long long>(agg.count), agg.total_us / 1e3,
+                agg.total_us / static_cast<double>(agg.count), agg.max_us);
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -392,6 +525,12 @@ int Main(int argc, char** argv) {
   }
   if (command == "gc") {
     return CmdGc(flags);
+  }
+  if (command == "metrics") {
+    return CmdMetrics(argc, argv);
+  }
+  if (command == "trace-cat") {
+    return CmdTraceCat(flags);
   }
   return Usage();
 }
