@@ -137,7 +137,7 @@ Status AsyncCheckpointEngine::SaveAsync(RankTrainer& trainer, int64_t iteration)
       if (ActiveCountLocked() < options_.max_in_flight) {
         save = std::make_shared<PendingSave>();
         save->iteration = iteration;
-        save->tag = TagForIteration(iteration);
+        save->tag = TagForIteration(options_.job, iteration);
         save->snaps.resize(static_cast<size_t>(world_size_));
         save->started = t0;
         inflight_.push_back(save);
@@ -266,7 +266,8 @@ void AsyncCheckpointEngine::Flush(std::shared_ptr<PendingSave> save) {
   if (committed.ok() && options_.keep_last > 0) {
     // Retention rides the commit ticket (no other commit can interleave), so a concurrent
     // flusher's staging/rename is never swept mid-flight.
-    Result<GcReport> gc = GcCheckpoints(dir_, options_.keep_last);
+    Result<GcReport> gc =
+        GcCheckpoints(dir_, options_.keep_last, /*dry_run=*/false, options_.job);
     if (!gc.ok()) {
       UCP_LOG(Warning) << "post-commit gc failed: " << gc.status().ToString();
     }

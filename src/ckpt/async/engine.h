@@ -58,8 +58,12 @@ struct AsyncCheckpointOptions {
   // Defer per-file fsyncs and issue them in one batch right before the commit rename
   // (ScopedFsyncBatch). Same durability, fewer stalls inside the write loop.
   bool batch_fsyncs = true;
-  // > 0: run GcCheckpoints(dir, keep_last) after every successful commit.
+  // > 0: run GcCheckpoints(dir, keep_last) after every successful commit (scoped to
+  // `job`'s namespace).
   int keep_last = 0;
+  // Tag namespace inside a shared store: saves commit `<job>.global_stepN` tags and move
+  // the `latest.<job>` pointer. Empty = the default namespace.
+  std::string job;
   // Test hook: runs on the flusher thread after a save is picked up and before its shards
   // are written. Lets tests hold a flush open deterministically (snapshot isolation,
   // backpressure) without timing assumptions.

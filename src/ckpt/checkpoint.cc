@@ -1,6 +1,7 @@
 #include "src/ckpt/checkpoint.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 
@@ -53,8 +54,79 @@ Result<CheckpointMeta> CheckpointMeta::FromJson(const Json& json) {
   return meta;
 }
 
+bool IsValidJobId(const std::string& job) {
+  if (job.empty()) {
+    return true;  // the default namespace
+  }
+  if (job.size() > 64 || job == "latest") {  // `latest` would collide with pointer files
+    return false;
+  }
+  for (char c : job) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string JobTagPrefix(const std::string& job) {
+  return job.empty() ? std::string() : job + ".";
+}
+
+std::string LatestFileName(const std::string& job) {
+  return job.empty() ? std::string("latest") : "latest." + job;
+}
+
+bool ParseTagName(const std::string& name, std::string* job, int64_t* iteration) {
+  constexpr char kPrefix[] = "global_step";
+  // Job ids contain no '.', so the first dot (if any) separates job from tag body. Names
+  // with trailing suffixes (".staging", ".ucp", ".quarantined") fail the strict digit
+  // parse below and never match.
+  std::string j;
+  std::string rest;
+  const size_t dot = name.find('.');
+  if (dot == std::string::npos) {
+    rest = name;
+  } else {
+    j = name.substr(0, dot);
+    rest = name.substr(dot + 1);
+    if (j.empty() || !IsValidJobId(j)) {
+      return false;
+    }
+  }
+  if (!StartsWith(rest, kPrefix)) {
+    return false;
+  }
+  const char* digits = rest.c_str() + sizeof(kPrefix) - 1;
+  if (*digits == '\0') {
+    return false;
+  }
+  for (const char* p = digits; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      return false;
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(digits, &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') {
+    return false;
+  }
+  if (job != nullptr) {
+    *job = j;
+  }
+  if (iteration != nullptr) {
+    *iteration = parsed;
+  }
+  return true;
+}
+
 std::string TagForIteration(int64_t iteration) {
   return "global_step" + std::to_string(iteration);
+}
+
+std::string TagForIteration(const std::string& job, int64_t iteration) {
+  return JobTagPrefix(job) + TagForIteration(iteration);
 }
 
 std::string ModelStatesFileName(int tp, int pp, int sp) {
@@ -116,35 +188,62 @@ Status CommitCheckpointTag(const std::string& dir, const std::string& tag,
   UCP_RETURN_IF_ERROR(RemoveAll(tag_dir));
   UCP_RETURN_IF_ERROR(RenamePath(staging, tag_dir));
   UCP_RETURN_IF_ERROR(WriteFileAtomic(PathJoin(tag_dir, kCompleteMarker), tag));
-  UCP_RETURN_IF_ERROR(WriteFileAtomic(PathJoin(dir, "latest"), tag));
+  // The latest pointer belongs to the namespace the tag name carries; free-form tags
+  // (tools, tests) fall back to the default job's pointer.
+  std::string job;
+  if (!ParseTagName(tag, &job, nullptr)) {
+    job.clear();
+  }
+  UCP_RETURN_IF_ERROR(WriteFileAtomic(PathJoin(dir, LatestFileName(job)), tag));
   commits.Add(1);
   return OkStatus();
 }
 
-Result<int> CleanStagingDebris(const std::string& dir) {
+Result<int> CleanStagingDebris(const std::string& dir, const std::string& job) {
+  if (!IsValidJobId(job)) {
+    return InvalidArgumentError("bad job id: " + job);
+  }
   if (!DirExists(dir)) {
     return 0;
   }
   UCP_ASSIGN_OR_RETURN(std::vector<std::string> entries, ListDir(dir));
   int removed = 0;
   for (const std::string& name : entries) {
-    if (name.size() > sizeof(kStagingSuffix) - 1 && EndsWith(name, kStagingSuffix) &&
-        DirExists(PathJoin(dir, name))) {
-      UCP_RETURN_IF_ERROR(RemoveAll(PathJoin(dir, name)));
-      ++removed;
+    if (name.size() <= sizeof(kStagingSuffix) - 1 || !EndsWith(name, kStagingSuffix) ||
+        !DirExists(PathJoin(dir, name))) {
+      continue;
     }
+    // Ownership of a staging dir is decided by the tag name under the suffixes: both save
+    // debris (`<tag>.staging`) and converter debris (`<tag>.ucp.staging`) belong to the
+    // job the tag names. Staging dirs that parse to no job at all (free-form tags) are
+    // swept by the default job only — they cannot belong to a namespaced job.
+    std::string base = name.substr(0, name.size() - (sizeof(kStagingSuffix) - 1));
+    if (EndsWith(base, ".ucp")) {
+      base.resize(base.size() - 4);
+    }
+    std::string tag_job;
+    const bool parsed = ParseTagName(base, &tag_job, nullptr);
+    const bool owned = parsed ? tag_job == job : job.empty();
+    if (!owned) {
+      continue;
+    }
+    UCP_RETURN_IF_ERROR(RemoveAll(PathJoin(dir, name)));
+    ++removed;
   }
   return removed;
 }
 
 Status SaveDistributedCheckpoint(const std::string& dir, RankTrainer& trainer,
-                                 int64_t iteration) {
+                                 int64_t iteration, const std::string& job) {
+  if (!IsValidJobId(job)) {
+    return InvalidArgumentError("bad job id: " + job);
+  }
   UCP_TRACE_NAMED_SPAN(span, "save.distributed");
   UCP_TRACE_SPAN_ARG_I(span, "iteration", iteration);
   static obs::Histogram& save_seconds =
       obs::MetricsRegistry::Global().GetHistogram("save.distributed.seconds");
   const auto save_start = std::chrono::steady_clock::now();
-  const std::string tag = TagForIteration(iteration);
+  const std::string tag = TagForIteration(job, iteration);
   const std::string staging = StagingDirForTag(dir, tag);
 
   // Rank 0 resets the staging directory (debris of a previous crashed save) before any rank
@@ -186,28 +285,51 @@ Status SaveDistributedCheckpoint(const std::string& dir, RankTrainer& trainer,
   return commit;
 }
 
-Result<std::string> ReadLatestTag(const std::string& dir) {
-  return ReadFileToString(PathJoin(dir, "latest"));
+Result<std::string> ReadLatestTag(const std::string& dir, const std::string& job) {
+  if (!IsValidJobId(job)) {
+    return InvalidArgumentError("bad job id: " + job);
+  }
+  return ReadFileToString(PathJoin(dir, LatestFileName(job)));
 }
 
-Result<std::vector<std::string>> ListCheckpointTags(const std::string& dir) {
+Result<std::vector<std::string>> ListCheckpointTags(const std::string& dir,
+                                                    const std::string& job) {
+  if (!IsValidJobId(job)) {
+    return InvalidArgumentError("bad job id: " + job);
+  }
   UCP_ASSIGN_OR_RETURN(std::vector<std::string> entries, ListDir(dir));
   std::vector<std::pair<int64_t, std::string>> tagged;
   for (const std::string& name : entries) {
-    constexpr char kPrefix[] = "global_step";
-    if (StartsWith(name, kPrefix) && DirExists(PathJoin(dir, name))) {
-      errno = 0;
-      char* end = nullptr;
-      long long iteration = std::strtoll(name.c_str() + sizeof(kPrefix) - 1, &end, 10);
-      if (errno == 0 && end != nullptr && *end == '\0') {
-        tagged.emplace_back(iteration, name);
-      }
+    std::string tag_job;
+    int64_t iteration = 0;
+    if (ParseTagName(name, &tag_job, &iteration) && tag_job == job &&
+        DirExists(PathJoin(dir, name))) {
+      tagged.emplace_back(iteration, name);
     }
   }
   std::sort(tagged.begin(), tagged.end());
   std::vector<std::string> tags;
   tags.reserve(tagged.size());
   for (auto& [iteration, name] : tagged) {
+    tags.push_back(std::move(name));
+  }
+  return tags;
+}
+
+Result<std::vector<std::string>> ListAllCheckpointTags(const std::string& dir) {
+  UCP_ASSIGN_OR_RETURN(std::vector<std::string> entries, ListDir(dir));
+  std::vector<std::tuple<std::string, int64_t, std::string>> tagged;
+  for (const std::string& name : entries) {
+    std::string tag_job;
+    int64_t iteration = 0;
+    if (ParseTagName(name, &tag_job, &iteration) && DirExists(PathJoin(dir, name))) {
+      tagged.emplace_back(tag_job, iteration, name);
+    }
+  }
+  std::sort(tagged.begin(), tagged.end());
+  std::vector<std::string> tags;
+  tags.reserve(tagged.size());
+  for (auto& [job, iteration, name] : tagged) {
     tags.push_back(std::move(name));
   }
   return tags;
@@ -245,20 +367,32 @@ std::string GcReport::ToString() const {
   return out;
 }
 
-Result<GcReport> GcCheckpoints(const std::string& dir, int keep_last, bool dry_run) {
+Result<GcReport> GcCheckpoints(const std::string& dir, int keep_last, bool dry_run,
+                               const std::string& job) {
   if (keep_last < 1) {
     return InvalidArgumentError("keep_last must be >= 1");
   }
-  UCP_ASSIGN_OR_RETURN(std::vector<std::string> tags, ListCheckpointTags(dir));
+  UCP_ASSIGN_OR_RETURN(std::vector<std::string> tags, ListCheckpointTags(dir, job));
   std::vector<std::string> committed;
   for (const std::string& tag : tags) {
     if (IsTagComplete(dir, tag)) {
       committed.push_back(tag);  // ascending iteration order, inherited from ListCheckpointTags
     }
   }
+  // The `latest` guard reads this job's own pointer — a sibling job's pointer naming its
+  // own newest tag must not pin anything in this namespace (and can't: tags differ).
   std::string latest;
-  if (Result<std::string> latest_tag = ReadLatestTag(dir); latest_tag.ok()) {
+  if (Result<std::string> latest_tag = ReadLatestTag(dir, job); latest_tag.ok()) {
     latest = *latest_tag;
+  }
+  // Recency alone can destroy resumability: when every tag inside the keep window is
+  // damaged (a torn write that still committed), the newest *readable* tag sits outside
+  // the window, and deleting it would leave the job nothing to resume from. Pin it like
+  // `latest`. Readability here is meta-readability — the same frontier definition resume's
+  // tag walk starts from; a deep shard scan per GC would be disproportionate.
+  std::string valid;
+  if (Result<std::string> valid_tag = FindLatestValidTag(dir, job); valid_tag.ok()) {
+    valid = *valid_tag;
   }
   GcReport report;
   // Protect the newest keep_last committed tags AND whatever `latest` names — when the
@@ -268,7 +402,7 @@ Result<GcReport> GcCheckpoints(const std::string& dir, int keep_last, bool dry_r
                                 : 0;
   for (size_t i = 0; i < committed.size(); ++i) {
     const std::string& tag = committed[i];
-    if (i < first_kept && tag != latest) {
+    if (i < first_kept && tag != latest && tag != valid) {
       if (!dry_run) {
         UCP_RETURN_IF_ERROR(RemoveAll(PathJoin(dir, tag)));
         // A cached UCP conversion belongs to its tag; don't orphan it.
@@ -286,8 +420,8 @@ bool IsTagComplete(const std::string& dir, const std::string& tag) {
   return FileExists(PathJoin(PathJoin(dir, tag), kCompleteMarker));
 }
 
-Result<std::string> FindLatestValidTag(const std::string& dir) {
-  UCP_ASSIGN_OR_RETURN(std::vector<std::string> tags, ListCheckpointTags(dir));
+Result<std::string> FindLatestValidTag(const std::string& dir, const std::string& job) {
+  UCP_ASSIGN_OR_RETURN(std::vector<std::string> tags, ListCheckpointTags(dir, job));
   for (auto it = tags.rbegin(); it != tags.rend(); ++it) {
     if (!IsTagComplete(dir, *it)) {
       continue;  // aborted save — the marker is written last

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <mutex>
+#include <utility>
 
 #include "src/common/rng.h"
+#include "src/common/status.h"
 
 namespace ucp {
 namespace {
@@ -23,7 +25,87 @@ InjectorState& State() {
   return *state;
 }
 
+const char* FsOpName(FsOp op) {
+  switch (op) {
+    case FsOp::kWrite: return "write";
+    case FsOp::kFsync: return "fsync";
+    case FsOp::kRename: return "rename";
+    case FsOp::kRead: return "read";
+  }
+  return "?";
+}
+
+struct AuditState {
+  std::mutex mu;
+  bool active = false;
+  std::vector<IoAuditBucket> buckets;
+  IoAuditReport report;
+};
+
+std::atomic<bool> g_audit_active{false};
+AuditState& Audit() {
+  static AuditState* state = new AuditState();
+  return *state;
+}
+
+// Leaked on thread exit by design (trivially destructible storage keeps the hook safe to
+// call from detached/static-destruction contexts).
+thread_local std::string* t_audit_context = nullptr;
+
+std::string CurrentAuditContext() {
+  return t_audit_context == nullptr ? std::string() : *t_audit_context;
+}
+
 }  // namespace
+
+std::string IoAuditViolation::ToString() const {
+  return std::string("thread[") + thread_context + "] " + FsOpName(op) + " on bucket[" +
+         bucket + "] path " + path;
+}
+
+void SetThreadIoAuditContext(const std::string& context) {
+  if (t_audit_context == nullptr) {
+    t_audit_context = new std::string();
+  }
+  *t_audit_context = context;
+}
+
+ScopedIoAuditContext::ScopedIoAuditContext(std::string context)
+    : previous_(CurrentAuditContext()) {
+  if (t_audit_context == nullptr) {
+    t_audit_context = new std::string();
+  }
+  *t_audit_context = std::move(context);
+}
+
+ScopedIoAuditContext::~ScopedIoAuditContext() { *t_audit_context = previous_; }
+
+ScopedIoAudit::ScopedIoAudit(std::vector<IoAuditBucket> buckets) {
+  AuditState& a = Audit();
+  std::lock_guard<std::mutex> lock(a.mu);
+  UCP_CHECK(!a.active) << "nested ScopedIoAudit";
+  a.active = true;
+  a.buckets = std::move(buckets);
+  a.report = IoAuditReport();
+  for (const IoAuditBucket& bucket : a.buckets) {
+    a.report.ops_per_bucket[bucket.name] = 0;
+  }
+  g_audit_active.store(true, std::memory_order_release);
+}
+
+ScopedIoAudit::~ScopedIoAudit() {
+  AuditState& a = Audit();
+  std::lock_guard<std::mutex> lock(a.mu);
+  g_audit_active.store(false, std::memory_order_release);
+  a.active = false;
+  a.buckets.clear();
+}
+
+IoAuditReport ScopedIoAudit::Report() const {
+  AuditState& a = Audit();
+  std::lock_guard<std::mutex> lock(a.mu);
+  return a.report;
+}
 
 void ArmFault(const FaultPlan& plan) {
   InjectorState& s = State();
@@ -98,6 +180,43 @@ FaultAction CheckFault(FsOp op, const std::string& path) {
       break;  // handled above
   }
   return action;
+}
+
+void NoteFsOp(FsOp op, const std::string& path) {
+  if (!g_audit_active.load(std::memory_order_acquire)) {
+    return;
+  }
+  const std::string context = CurrentAuditContext();
+  AuditState& a = Audit();
+  std::lock_guard<std::mutex> lock(a.mu);
+  if (!a.active) {
+    return;
+  }
+  const IoAuditBucket* matched = nullptr;
+  for (const IoAuditBucket& bucket : a.buckets) {
+    for (const std::string& substr : bucket.path_substrs) {
+      if (!substr.empty() && path.find(substr) != std::string::npos) {
+        matched = &bucket;
+        break;
+      }
+    }
+    if (matched != nullptr) {
+      break;
+    }
+  }
+  if (matched == nullptr) {
+    ++a.report.unmatched_ops;
+    return;
+  }
+  ++a.report.ops_per_bucket[matched->name];
+  if (!context.empty() && context != matched->name) {
+    IoAuditViolation violation;
+    violation.thread_context = context;
+    violation.bucket = matched->name;
+    violation.op = op;
+    violation.path = path;
+    a.report.violations.push_back(std::move(violation));
+  }
 }
 
 }  // namespace fault_internal

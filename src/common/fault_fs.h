@@ -26,11 +26,15 @@
 #define UCP_SRC_COMMON_FAULT_FS_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <vector>
 
 namespace ucp {
 
-enum class FsOp { kWrite = 0, kFsync = 1, kRename = 2 };
+// kRead hooks ReadFileToString / RandomAccessFile::Open: only kFailStop and kTransient
+// make sense there (a torn or bit-rotted *read* is modelled by injecting the write).
+enum class FsOp { kWrite = 0, kFsync = 1, kRename = 2, kRead = 3 };
 
 struct FaultPlan {
   enum class Kind { kFailStop, kTornWrite, kBitRot, kTransient };
@@ -64,6 +68,63 @@ class ScopedFault {
   ScopedFault& operator=(const ScopedFault&) = delete;
 };
 
+// ---- I/O attribution audit ---------------------------------------------------------------
+//
+// The multi-job soak harness proves store isolation ("job A never touches job B's files")
+// by accounting rather than trust: while an audit is active, every hooked fs operation is
+// attributed to (a) the calling thread's declared context and (b) the first bucket whose
+// substring list matches the operation's path. An operation whose path belongs to bucket B
+// while the thread declares a different, non-empty context C != B is recorded as a
+// violation. Disarmed (the default) the hook is a single relaxed atomic load.
+
+struct IoAuditBucket {
+  std::string name;                       // e.g. a job id
+  std::vector<std::string> path_substrs;  // the path matches if it contains any of these
+};
+
+struct IoAuditViolation {
+  std::string thread_context;  // what the thread claimed to be working on
+  std::string bucket;          // whose files it actually touched
+  FsOp op = FsOp::kWrite;
+  std::string path;
+  std::string ToString() const;
+};
+
+struct IoAuditReport {
+  std::map<std::string, int64_t> ops_per_bucket;  // hooked ops matched, by bucket name
+  int64_t unmatched_ops = 0;                      // hooked ops matching no bucket
+  std::vector<IoAuditViolation> violations;
+};
+
+// Sticky variant: tags the calling thread until overwritten (for threads whose lifetime
+// the caller doesn't control, e.g. a checkpoint engine's flusher via pre_flush_hook).
+void SetThreadIoAuditContext(const std::string& context);
+
+// Declares the calling thread's audit context (typically the job id its rank works for)
+// for the lifetime of the object. Nesting restores the previous context on destruction.
+class ScopedIoAuditContext {
+ public:
+  explicit ScopedIoAuditContext(std::string context);
+  ~ScopedIoAuditContext();
+  ScopedIoAuditContext(const ScopedIoAuditContext&) = delete;
+  ScopedIoAuditContext& operator=(const ScopedIoAuditContext&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+// Process-global audit; at most one active at a time (a second construction aborts).
+class ScopedIoAudit {
+ public:
+  explicit ScopedIoAudit(std::vector<IoAuditBucket> buckets);
+  ~ScopedIoAudit();
+  ScopedIoAudit(const ScopedIoAudit&) = delete;
+  ScopedIoAudit& operator=(const ScopedIoAudit&) = delete;
+
+  // Snapshot of the counts and violations accumulated so far.
+  IoAuditReport Report() const;
+};
+
 namespace fault_internal {
 
 // What fs.cc should do for one hooked operation. At most one flag is set.
@@ -79,6 +140,9 @@ struct FaultAction {
 // Consulted by fs.cc on every hooked operation. Counts matching operations and returns the
 // armed action when the count reaches the plan's nth. Cheap when disarmed.
 FaultAction CheckFault(FsOp op, const std::string& path);
+
+// Audit hook, called by fs.cc alongside CheckFault. Cheap when no audit is active.
+void NoteFsOp(FsOp op, const std::string& path);
 
 }  // namespace fault_internal
 

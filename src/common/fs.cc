@@ -27,6 +27,7 @@ namespace {
 
 using fault_internal::CheckFault;
 using fault_internal::FaultAction;
+using fault_internal::NoteFsOp;
 
 std::mutex g_retry_policy_mu;
 IoRetryPolicy g_retry_policy;
@@ -92,6 +93,7 @@ Status WriteWholeFile(const std::string& path, const void* data, size_t size,
     left -= static_cast<size_t>(n);
   }
   if (want_fsync) {
+    NoteFsOp(FsOp::kFsync, path);
     FaultAction fa = CheckFault(FsOp::kFsync, path);
     if (fa.fail) {
       ::close(fd);
@@ -131,6 +133,7 @@ thread_local ScopedFsyncBatch* g_active_fsync_batch = nullptr;
 
 // Fsyncs an already-written file in place (the deferred half of a batched write).
 Status FsyncExistingFile(const std::string& path) {
+  NoteFsOp(FsOp::kFsync, path);
   FaultAction fa = CheckFault(FsOp::kFsync, path);
   if (fa.fail) {
     return IoError("fault injection: fsync " + path);
@@ -231,6 +234,7 @@ Status WriteFileAtomic(const std::string& path, const void* data, size_t size) {
   // The whole tmp-write + fsync + rename sequence is one retry unit: a transient failure
   // anywhere restarts from a fresh tmp file, so partial attempts never survive.
   return RetryTransient([&]() -> Status {
+  NoteFsOp(FsOp::kWrite, path);
   FaultAction wa = CheckFault(FsOp::kWrite, path);
   if (wa.fail) {
     return IoError("fault injection: write " + path);
@@ -255,6 +259,7 @@ Status WriteFileAtomic(const std::string& path, const void* data, size_t size) {
     std::remove(tmp.c_str());
     return written;
   }
+  NoteFsOp(FsOp::kRename, path);
   FaultAction ra = CheckFault(FsOp::kRename, path);
   if (ra.fail) {
     // A simulated kill between flush and rename leaves the tmp file behind, exactly as a
@@ -290,6 +295,7 @@ Status WriteFileAtomic(const std::string& path, const std::string& contents) {
 Status RenamePath(const std::string& from, const std::string& to) {
   // Commit-point rename: retried on transient failure like the write path.
   return RetryTransient([&]() -> Status {
+    NoteFsOp(FsOp::kRename, to);
     FaultAction ra = CheckFault(FsOp::kRename, to);
     if (ra.fail) {
       return IoError("fault injection: rename " + from + " -> " + to);
@@ -333,6 +339,16 @@ RandomAccessFile& RandomAccessFile::operator=(RandomAccessFile&& other) noexcept
 }
 
 Result<RandomAccessFile> RandomAccessFile::Open(const std::string& path) {
+  NoteFsOp(FsOp::kRead, path);
+  {
+    FaultAction fa = CheckFault(FsOp::kRead, path);
+    if (fa.fail) {
+      return IoError("fault injection: read " + path);
+    }
+    if (fa.transient) {
+      return UnavailableError("fault injection: transient read " + path);
+    }
+  }
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return NotFoundError("cannot open " + path + ": " + std::strerror(errno));
@@ -372,6 +388,16 @@ Status RandomAccessFile::ReadAt(uint64_t offset, void* out, size_t size) const {
 }
 
 Result<std::string> ReadFileToString(const std::string& path) {
+  NoteFsOp(FsOp::kRead, path);
+  {
+    FaultAction fa = CheckFault(FsOp::kRead, path);
+    if (fa.fail) {
+      return IoError("fault injection: read " + path);
+    }
+    if (fa.transient) {
+      return UnavailableError("fault injection: transient read " + path);
+    }
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return NotFoundError("cannot open " + path);

@@ -15,6 +15,7 @@ namespace {
 
 std::atomic<bool> g_trace_enabled{true};
 std::atomic<size_t> g_ring_capacity{8192};
+std::atomic<size_t> g_orphan_ring_limit{512};
 
 uint64_t MonotonicNs() {
   return static_cast<uint64_t>(
@@ -39,7 +40,8 @@ struct Ring {
   uint64_t dropped = 0;           // overwritten events
   uint64_t next_seq = 0;
   int tid = 0;
-  int rank = -1;  // last rank this thread recorded under
+  int rank = -1;       // last rank this thread recorded under
+  bool orphaned = false;  // recording thread has exited
 };
 
 struct RingRegistry {
@@ -66,6 +68,42 @@ struct ThreadState {
     std::lock_guard<std::mutex> lock(reg.mu);
     ring->tid = reg.next_tid++;
     reg.rings.push_back(ring);
+  }
+
+  // Thread exit: the ring stays registered (its events feed post-mortem dumps) but is
+  // marked orphaned, and the registry sheds orphans beyond the retention limit — without
+  // this, every rebuilt world would leak world_size rings for the life of the process.
+  ~ThreadState() {
+    {
+      std::lock_guard<std::mutex> lock(ring->mu);
+      ring->orphaned = true;
+    }
+    const size_t limit = g_orphan_ring_limit.load(std::memory_order_relaxed);
+    RingRegistry& reg = Registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    std::vector<std::shared_ptr<Ring>> live;
+    std::vector<std::shared_ptr<Ring>> orphans;  // registration (= tid) order
+    live.reserve(reg.rings.size());
+    for (auto& r : reg.rings) {
+      bool orphaned;
+      bool empty;
+      {
+        std::lock_guard<std::mutex> ring_lock(r->mu);
+        orphaned = r->orphaned;
+        empty = r->size == 0 && r->dropped == 0;
+      }
+      if (!orphaned) {
+        live.push_back(r);
+      } else if (!empty) {
+        orphans.push_back(r);  // never-recorded orphans are dropped outright
+      }
+    }
+    if (orphans.size() > limit) {
+      orphans.erase(orphans.begin(),
+                    orphans.end() - static_cast<ptrdiff_t>(limit));
+    }
+    reg.rings = std::move(orphans);
+    reg.rings.insert(reg.rings.end(), live.begin(), live.end());
   }
 };
 
@@ -173,6 +211,16 @@ bool TraceEnabled() { return g_trace_enabled.load(std::memory_order_relaxed); }
 
 void SetTraceRingCapacity(size_t capacity) {
   g_ring_capacity.store(capacity, std::memory_order_relaxed);
+}
+
+void SetTraceOrphanRingLimit(size_t limit) {
+  g_orphan_ring_limit.store(limit, std::memory_order_relaxed);
+}
+
+size_t TraceRingCount() {
+  RingRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.rings.size();
 }
 
 void ResetTrace() {

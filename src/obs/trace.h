@@ -54,6 +54,18 @@ bool TraceEnabled();
 // re-sizes existing buffers too. Default 8192.
 void SetTraceRingCapacity(size_t capacity);
 
+// Rings outlive their recording thread so a post-failure dump can show what the (joined)
+// rank threads were doing — but a long-lived process that rebuilds its world many times
+// (elastic recovery, the soak driver) would otherwise accumulate one ring per exited
+// thread forever. At each thread exit the registry drops orphaned rings that never
+// recorded, and keeps at most `limit` non-empty orphaned rings (newest first).
+// Default 512 — comfortably above one full rebuilt world, bounded across hundreds.
+void SetTraceOrphanRingLimit(size_t limit);
+
+// Rings currently registered (live threads + retained orphans). The soak stress mode
+// asserts this stays flat while worlds are rebuilt.
+size_t TraceRingCount();
+
 // Drops every recorded event (all threads). Buffers and thread registrations survive.
 void ResetTrace();
 

@@ -133,12 +133,14 @@ SupervisorReport Supervisor::Train(int64_t first_iteration, int64_t last_iterati
     int64_t next = first_iteration;
     ResumeReport resume_report;
     bool resumed = false;
-    if (!options_.ckpt_dir.empty() && FindLatestValidTag(options_.ckpt_dir).ok()) {
+    if (!options_.ckpt_dir.empty() &&
+        FindLatestValidTag(options_.ckpt_dir, options_.async.job).ok()) {
       UCP_TRACE_SPAN("recovery.resume");
       Status resume_status = OkStatus();
       std::mutex resume_mu;
       run->Run([&](RankTrainer& trainer) {
-        Result<ResumeReport> rr = ResumeElastic(options_.ckpt_dir, trainer);
+        Result<ResumeReport> rr =
+            ResumeElastic(options_.ckpt_dir, trainer, options_.async.job);
         std::lock_guard<std::mutex> lock(resume_mu);
         if (!rr.ok()) {
           if (resume_status.ok()) {

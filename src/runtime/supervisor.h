@@ -51,6 +51,8 @@ struct SupervisorOptions {
   std::string ckpt_dir;
   // SaveAsync every N completed iterations (0 disables checkpointing).
   int checkpoint_every = 10;
+  // `async.job` doubles as the supervisor's tag namespace: saves, retention, debris sweeps
+  // and resumes all stay inside it, so several supervised jobs can share one ckpt_dir.
   AsyncCheckpointOptions async;
   // Passed to each rebuilt World; how long a silent hang takes to become a detected failure.
   std::chrono::milliseconds watchdog_timeout{60000};

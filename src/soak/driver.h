@@ -1,0 +1,71 @@
+// The randomized-schedule soak driver.
+//
+// RunSoak composes the repo's fault injectors — rank kills (src/comm/rank_fault.h), torn
+// writes / bit rot / transient I/O (src/common/fault_fs.h), retention GC and async-flush
+// backpressure — into a long interleaved schedule against supervised training segments
+// (Supervisor::Train), checking the store invariants of src/soak/invariants.h after every
+// event.
+//
+// Determinism contract: the entire run is a pure function of the serialized SoakOptions
+// (seed, shape, strategy, namespace). The JSONL log therefore contains no wall-clock times
+// and no absolute paths — only event specs, training/loss observations, invariant
+// observations and violations — which is what lets `ucp_tool soak-replay <failure.jsonl>`
+// re-execute a failure log in a fresh directory and produce a byte-identical log. Two
+// driver choices exist solely for this contract: the async engine runs a single flusher
+// thread (so the nth-matching-operation counter of a filesystem fault always lands on the
+// same operation), and backpressure stays in kBlock mode (kDropOldest makes the committed
+// set timing-dependent).
+
+#ifndef UCP_SRC_SOAK_DRIVER_H_
+#define UCP_SRC_SOAK_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/soak/schedule.h"
+
+namespace ucp {
+
+struct SoakRunReport {
+  bool ok = false;  // the driver executed the whole schedule (violations may still exist)
+  Status status;    // why the run aborted, when !ok
+
+  int events_run = 0;
+  int64_t iterations_trained = 0;
+  int invariant_checks = 0;
+  int fs_faults_fired = 0;
+  int kills_fired = 0;
+  int recoveries = 0;
+  std::vector<std::string> violations;
+
+  // The JSONL failure log: header line, one line per event, summary line. Also written to
+  // options.log_path when set.
+  std::vector<std::string> log_lines;
+
+  std::string LogText() const;  // log_lines joined with '\n', trailing newline
+};
+
+// Executes an explicit event list (replay path, hand-built regression schedules).
+SoakRunReport RunSoakSchedule(const SoakOptions& options, const std::vector<SoakEvent>& events);
+
+// Generates the schedule from options.seed and executes it.
+SoakRunReport RunSoak(const SoakOptions& options);
+
+// A parsed failure log: the options that identify the run plus the exact events executed
+// (the event *prefix* when the original run aborted early).
+struct SoakLog {
+  SoakOptions options;
+  std::vector<SoakEvent> events;
+};
+Result<SoakLog> ParseSoakLog(const std::string& text);
+
+// Re-executes a failure log against a fresh directory. The returned report's LogText() is
+// byte-identical to the input for a deterministic driver — the property soak-replay and the
+// soak tests assert.
+Result<SoakRunReport> ReplaySoakLog(const std::string& log_text, const std::string& dir);
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_SOAK_DRIVER_H_

@@ -13,12 +13,13 @@ namespace ucp {
 
 namespace {
 
-// Failure codes worth retrying on an older tag: damage or absence of *this* tag's data. A
+// Failure codes worth retrying on an older tag: damage, absence, or transient unavailability
+// of *this* tag's data (kUnavailable is what an exhausted transient-I/O retry surfaces). A
 // FailedPrecondition (wrong model architecture, bad format version) would hold for every
 // tag, so it aborts the walk instead.
 bool RetryOlderTag(StatusCode code) {
   return code == StatusCode::kDataLoss || code == StatusCode::kIoError ||
-         code == StatusCode::kNotFound;
+         code == StatusCode::kNotFound || code == StatusCode::kUnavailable;
 }
 
 double SecondsSince(std::chrono::steady_clock::time_point t0) {
@@ -27,19 +28,22 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-Result<ResumeReport> ResumeElastic(const std::string& dir, RankTrainer& trainer) {
+Result<ResumeReport> ResumeElastic(const std::string& dir, RankTrainer& trainer,
+                                   const std::string& job) {
   UCP_TRACE_SPAN("resume.elastic");
   // Resume barriers wait on peers doing unbounded local work (rank 0's debris sweep, and —
   // in ResumeElasticFromTag — a whole UCP conversion), so a short training watchdog would
   // misread a live-but-busy rank as dead. All ranks run this straight-line path right after
   // the world was (re)built, so suspending the deadline here is safe; abort checks remain.
   ScopedWatchdogSuspend suspend_watchdog;
-  // A resume means no save is in flight, so any `<tag>.staging` directory is debris of a
-  // save (sync or async flush) the crash interrupted. Sweep it now — readers never trust
-  // it, but leaving it would surprise the next save of the same iteration and clutter
-  // fsck. Rank 0 sweeps; the barrier keeps peers from racing the removal.
+  // A resume means no save is in flight *for this job*, so any `<tag>.staging` directory
+  // in its namespace is debris of a save (sync or async flush) the crash interrupted.
+  // Sweep it now — readers never trust it, but leaving it would surprise the next save of
+  // the same iteration and clutter fsck. The sweep is job-scoped: other jobs sharing the
+  // store may have flushes in flight whose staging must survive. Rank 0 sweeps; the
+  // barrier keeps peers from racing the removal.
   if (trainer.rank() == 0) {
-    Result<int> swept = CleanStagingDebris(dir);
+    Result<int> swept = CleanStagingDebris(dir, job);
     if (swept.ok() && *swept > 0) {
       UCP_LOG(Info) << "removed " << *swept << " stale .staging director"
                     << (*swept == 1 ? "y" : "ies") << " under " << dir;
@@ -53,7 +57,7 @@ Result<ResumeReport> ResumeElastic(const std::string& dir, RankTrainer& trainer)
   // makes the same skip/retry decisions and the collectives inside the loaders stay
   // aligned. The first failure is remembered: when no tag resumes, the caller learns about
   // the damage, not just "nothing found".
-  UCP_ASSIGN_OR_RETURN(std::vector<std::string> tags, ListCheckpointTags(dir));
+  UCP_ASSIGN_OR_RETURN(std::vector<std::string> tags, ListCheckpointTags(dir, job));
   Status first_failure = OkStatus();
   for (auto it = tags.rbegin(); it != tags.rend(); ++it) {
     if (!IsTagComplete(dir, *it)) {
@@ -72,7 +76,14 @@ Result<ResumeReport> ResumeElastic(const std::string& dir, RankTrainer& trainer)
     if (first_failure.ok()) {
       first_failure = report.status();
     }
-    if (!RetryOlderTag(report.status().code())) {
+    // The retry-vs-abort decision must be collective too: ranks can hold *different*
+    // failure codes for the same tag (the rank that hit the damage has the root cause,
+    // its peers the synthesized peer-failure status), and one rank walking on to an older
+    // tag while another aborts would strand the walker in the next attempt's collectives.
+    // Any rank's non-retryable code aborts the walk for everyone.
+    const double abort_any = trainer.groups().world.AllReduceMaxScalar(
+        RetryOlderTag(report.status().code()) ? 0.0 : 1.0);
+    if (abort_any > 0.0) {
       return report.status();
     }
     if (trainer.rank() == 0) {
@@ -93,7 +104,23 @@ Result<ResumeReport> ResumeElasticFromTag(const std::string& dir, const std::str
   ScopedWatchdogSuspend suspend_watchdog;  // see ResumeElastic; also callable directly
   ResumeReport report;
   report.tag = tag;
-  UCP_ASSIGN_OR_RETURN(CheckpointMeta meta, ReadCheckpointMeta(dir, tag));
+  // The meta read is rank-local I/O before the first collective of any load path, so its
+  // outcome must be agreed collectively: damage hitting one rank's read (torn meta, bit
+  // rot) has to fail the tag for *everyone*. An early return here would strand the healthy
+  // peers inside the loaders' collectives — and, with resume collectives answering to no
+  // watchdog, strand them forever. The soak driver (src/soak/driver.h) exercises exactly
+  // this with nth-matching read faults that fire on a single rank.
+  Result<CheckpointMeta> meta_read = ReadCheckpointMeta(dir, tag);
+  const double meta_failed =
+      trainer.groups().world.AllReduceMaxScalar(meta_read.ok() ? 0.0 : 1.0);
+  if (!meta_read.ok()) {
+    return meta_read.status();
+  }
+  if (meta_failed > 0.0) {
+    return DataLossError("aborting resume from " + tag +
+                         ": a peer rank failed to read its checkpoint metadata");
+  }
+  const CheckpointMeta meta = *meta_read;
   report.iteration = meta.iteration;
 
   // Fast path: unchanged strategy and hardware — plain distributed load.

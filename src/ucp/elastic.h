@@ -26,14 +26,17 @@ struct ResumeReport {
   double load_seconds = 0.0;     // the load that actually restored the state
 };
 
-// Resumes `trainer` from the newest committed checkpoint under `dir`, converting through
-// UCP only if the native strict load rejects the current strategy. The UCP cache lives at
-// <dir>/<tag>.ucp. Tags without the `complete` marker (aborted saves) are skipped, and a
-// committed tag whose data turns out damaged (kDataLoss/kIoError/kNotFound) falls back to
-// the next older committed tag; the first failure is reported when nothing resumes.
+// Resumes `trainer` from the newest committed checkpoint in `job`'s tag namespace under
+// `dir`, converting through UCP only if the native strict load rejects the current
+// strategy. The UCP cache lives at <dir>/<tag>.ucp. Tags without the `complete` marker
+// (aborted saves) are skipped, and a committed tag whose data turns out damaged
+// (kDataLoss/kIoError/kNotFound) falls back to the next older committed tag; the first
+// failure is reported when nothing resumes. The pre-resume debris sweep is scoped to
+// `job`, so resuming one job of a shared store never disturbs a sibling's in-flight save.
 // Collective: every rank of the run must call it; rank 0 performs the conversion while the
 // others wait at a barrier.
-Result<ResumeReport> ResumeElastic(const std::string& dir, RankTrainer& trainer);
+Result<ResumeReport> ResumeElastic(const std::string& dir, RankTrainer& trainer,
+                                   const std::string& job = "");
 
 // Same, for an explicit tag.
 Result<ResumeReport> ResumeElasticFromTag(const std::string& dir, const std::string& tag,

@@ -84,6 +84,20 @@ Result<std::shared_ptr<const Tensor>> AtomSliceCache::GetOrLoad(
   return std::shared_ptr<const Tensor>(entry, &entry->tensor);
 }
 
+size_t AtomSliceCache::EntryCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+size_t AtomSliceCache::LiveEntryCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t live = 0;
+  for (const auto& [key, weak] : entries_) {
+    live += weak.expired() ? 0 : 1;
+  }
+  return live;
+}
+
 AtomSliceCache::Stats AtomSliceCache::stats() const {
   Stats s;
   s.hits = HitsCounter().Value();

@@ -48,6 +48,12 @@ class AtomSliceCache {
   Stats stats() const;
   void ResetStats();
 
+  // Map slots currently held (live entries + not-yet-pruned expired ones). The soak
+  // stress mode asserts this stays bounded while large worlds load repeatedly.
+  size_t EntryCount() const;
+  // Slots whose slice some caller still holds.
+  size_t LiveEntryCount() const;
+
  private:
   struct Entry {
     std::mutex mutex;

@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <map>
+#include <set>
 
 #include "src/ckpt/checkpoint.h"
 #include "src/common/fs.h"
@@ -368,9 +369,9 @@ Result<FsckReport> Fsck(const std::string& path, const FsckOptions& options) {
     return out;
   }
 
-  // Checkpoint root: every tag, every cached <tag>.ucp dir, the `latest` pointer, and any
-  // staging debris left by a crashed save or conversion.
-  UCP_ASSIGN_OR_RETURN(std::vector<std::string> tags, ListCheckpointTags(path));
+  // Checkpoint root: every tag across every job namespace, every cached <tag>.ucp dir, the
+  // per-job `latest` pointers, and any staging debris left by a crashed save or conversion.
+  UCP_ASSIGN_OR_RETURN(std::vector<std::string> tags, ListAllCheckpointTags(path));
   for (const std::string& tag : tags) {
     UCP_ASSIGN_OR_RETURN(ValidationReport report, ValidateNativeCheckpoint(path, tag, vopts));
     bool damaged = !report.ok();
@@ -403,16 +404,46 @@ Result<FsckReport> Fsck(const std::string& path, const FsckOptions& options) {
     }
   }
 
-  if (FileExists(PathJoin(path, "latest"))) {
-    Result<std::string> latest = ReadLatestTag(path);
-    if (!latest.ok()) {
-      out.notes.push_back("latest: " + latest.status().ToString());
-    } else if (!IsTagComplete(path, *latest)) {
-      out.notes.push_back("latest points at '" + *latest +
-                          "', which is missing or uncommitted");
+  // Each job namespace gets its own pointer check: `latest` / `latest.<job>` must name a
+  // committed tag, and a namespace with tags but no pointer is worth a note.
+  std::set<std::string> jobs;
+  for (const std::string& tag : tags) {
+    std::string job;
+    if (ParseTagName(tag, &job, nullptr)) {
+      jobs.insert(job);
     }
-  } else if (!tags.empty()) {
-    out.notes.push_back("checkpoint tags exist but there is no `latest` pointer");
+  }
+  for (const std::string& name : names) {
+    // Pointer files can outlive their namespace's tags (all quarantined); check them too.
+    if (name == "latest") {
+      jobs.insert("");
+    } else if (StartsWith(name, "latest.") && IsValidJobId(name.substr(7)) &&
+               name.size() > 7) {
+      jobs.insert(name.substr(7));
+    }
+  }
+  for (const std::string& job : jobs) {
+    const std::string pointer = LatestFileName(job);
+    bool has_tags = false;
+    for (const std::string& tag : tags) {
+      std::string tag_job;
+      if (ParseTagName(tag, &tag_job, nullptr) && tag_job == job) {
+        has_tags = true;
+        break;
+      }
+    }
+    if (FileExists(PathJoin(path, pointer))) {
+      Result<std::string> latest = ReadLatestTag(path, job);
+      if (!latest.ok()) {
+        out.notes.push_back(pointer + ": " + latest.status().ToString());
+      } else if (!IsTagComplete(path, *latest)) {
+        out.notes.push_back(pointer + " points at '" + *latest +
+                            "', which is missing or uncommitted");
+      }
+    } else if (has_tags) {
+      out.notes.push_back("checkpoint tags exist but there is no `" + pointer +
+                          "` pointer");
+    }
   }
   return out;
 }

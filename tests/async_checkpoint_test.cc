@@ -349,6 +349,29 @@ TEST_F(AsyncCheckpointTest, GcNeverDeletesWhatLatestNamesEvenWhenStale) {
   EXPECT_TRUE(DirExists(Sub("ckpt/global_step6")));  // newest committed survives
 }
 
+TEST_F(AsyncCheckpointTest, GcNeverDeletesTheResumeFrontierWhenNewerTagsAreDamaged) {
+  TrainerConfig cfg = ConfigFor({1, 1, 1, 1, 0, 1});
+  TrainingRun run(cfg);
+  for (int64_t it = 2; it <= 6; it += 2) {
+    run.Train(it - 1, it);
+    SaveAllSync(run, Sub("ckpt"), it);
+  }
+  // Tear the metadata of both newer tags (committed, but unreadable — what a torn write
+  // that raced the commit marker leaves behind). global_step2 is now the resume frontier.
+  ASSERT_TRUE(WriteFileAtomic(Sub("ckpt/global_step4/checkpoint_meta.json"), "{\"trunc").ok());
+  ASSERT_TRUE(WriteFileAtomic(Sub("ckpt/global_step6/checkpoint_meta.json"), "{\"trunc").ok());
+  ASSERT_EQ(*FindLatestValidTag(Sub("ckpt")), "global_step2");
+
+  // keep_last=1 would keep only damaged global_step6 by recency; the frontier must be
+  // pinned anyway or the job has nothing left to resume from.
+  Result<GcReport> gc = GcCheckpoints(Sub("ckpt"), 1);
+  ASSERT_TRUE(gc.ok()) << gc.status();
+  EXPECT_EQ(gc->removed, std::vector<std::string>{"global_step4"});
+  EXPECT_TRUE(DirExists(Sub("ckpt/global_step2")));  // the frontier survives
+  EXPECT_TRUE(DirExists(Sub("ckpt/global_step6")));  // newest committed survives
+  EXPECT_EQ(*FindLatestValidTag(Sub("ckpt")), "global_step2");
+}
+
 TEST_F(AsyncCheckpointTest, CleanStagingDebrisSweepsOnlyStagingDirectories) {
   TrainerConfig cfg = ConfigFor({1, 1, 1, 1, 0, 1});
   TrainingRun run(cfg);

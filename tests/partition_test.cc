@@ -243,6 +243,83 @@ TEST(ParallelConfigTest, JsonRoundTrip) {
   EXPECT_EQ(config.ToString(), "TP2.PP4.DP2.SP1.Z3");
 }
 
+// ---------------------------------------------------------------------------
+// ShardRuns at large worlds. A 512-rank world factors into TP x PP x DP as e.g.
+// TP512, TP128.PP2.DP2, TP32.PP4.DP4, TP8.PP8.DP8 or TP2.PP16.DP16 — the run
+// decomposition only ever sees the TP degree, so the property is checked at
+// every TP degree those factorizations produce, for every rank. Pure arithmetic
+// over specs and shapes: no payload I/O, no files.
+// ---------------------------------------------------------------------------
+
+// The ShardRuns contract: for every rank, runs tile the rank's shard contiguously
+// (ascending shard_offset with no gaps), full offsets are strictly ascending and
+// non-overlapping, and every run's elements are bit-equal to the ShardOf copy.
+// For fragment specs the ranks' runs must additionally cover the full tensor
+// exactly once.
+void CheckShardRunsProperty(const PartitionSpec& spec, const Tensor& full, int degree) {
+  SCOPED_TRACE("kind=" + std::string(PartitionKindName(spec.kind)) +
+               " dim=" + std::to_string(spec.dim) + " degree=" + std::to_string(degree));
+  std::vector<int> coverage(static_cast<size_t>(full.numel()), 0);
+  for (int rank = 0; rank < degree; ++rank) {
+    Tensor shard = ShardOf(spec, full, degree, rank);
+    std::vector<ShardRun> runs = ShardRuns(spec, full.shape(), degree, rank);
+    int64_t tiled = 0;
+    int64_t prev_full_end = -1;
+    for (const ShardRun& run : runs) {
+      ASSERT_GT(run.numel, 0);
+      ASSERT_EQ(run.shard_offset, tiled) << "rank " << rank << " leaves a gap in its shard";
+      ASSERT_GT(run.full_offset, prev_full_end) << "rank " << rank << " runs not ascending";
+      ASSERT_LE(run.full_offset + run.numel, full.numel());
+      for (int64_t i = 0; i < run.numel; ++i) {
+        ASSERT_EQ(shard.at(run.shard_offset + i), full.at(run.full_offset + i))
+            << "rank " << rank << " run mismatch at element " << i;
+        ++coverage[static_cast<size_t>(run.full_offset + i)];
+      }
+      tiled += run.numel;
+      prev_full_end = run.full_offset + run.numel - 1;
+    }
+    ASSERT_EQ(tiled, shard.numel()) << "rank " << rank << " runs do not tile its shard";
+  }
+  if (spec.kind == PartitionKind::kFragment) {
+    for (size_t i = 0; i < coverage.size(); ++i) {
+      ASSERT_EQ(coverage[i], 1) << "full element " << i << " covered " << coverage[i]
+                                << " times across ranks";
+    }
+  } else {
+    // Replicated / to-average: every rank covers the whole tensor once.
+    for (size_t i = 0; i < coverage.size(); ++i) {
+      ASSERT_EQ(coverage[i], degree);
+    }
+  }
+}
+
+TEST(ShardRunsPropertyTest, HoldsAtEveryTpDegreeOfA512RankWorld) {
+  const std::vector<int> degrees = {2, 8, 32, 128, 512};
+  for (int degree : degrees) {
+    // dim-0 fragment: one pread-sized run per rank.
+    CheckShardRunsProperty(PartitionSpec::Fragment(0), Iota({1024, 3}), degree);
+    // dim-1 fragment: strided gather, one run per leading row.
+    CheckShardRunsProperty(PartitionSpec::Fragment(1), Iota({4, 1024}), degree);
+    // Fused-QKV sections, each divisible by the largest degree.
+    CheckShardRunsProperty(PartitionSpec::FragmentSections(0, {2048, 512, 512}),
+                           Iota({3072, 2}), degree);
+    // 3-d MoE expert tensor split on an inner dim.
+    CheckShardRunsProperty(PartitionSpec::Fragment(1), Iota({4, 512, 2}), degree);
+  }
+}
+
+TEST(ShardRunsPropertyTest, ReplicatedSpecsYieldIdentityRunsAtLargeDegree) {
+  for (const PartitionSpec& spec : {PartitionSpec::Replicated(), PartitionSpec::ToAverage()}) {
+    Tensor full = Iota({16, 8});
+    std::vector<ShardRun> runs = ShardRuns(spec, full.shape(), 512, 511);
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].shard_offset, 0);
+    EXPECT_EQ(runs[0].full_offset, 0);
+    EXPECT_EQ(runs[0].numel, full.numel());
+    CheckShardRunsProperty(spec, full, 32);
+  }
+}
+
 TEST(ParallelConfigTest, MalformedJsonRejected) {
   Json bad = *Json::Parse(R"({"tp":0,"pp":1,"dp":1,"sp":1,"zero_stage":0,"micro_batches":1})");
   EXPECT_FALSE(ParallelConfig::FromJson(bad).ok());

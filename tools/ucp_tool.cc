@@ -47,6 +47,12 @@
 //       Summarize a Chrome trace JSON (as written by --trace=FILE or the flight
 //       recorder): per-process event counts and a per-span-name table of count/total/mean
 //       wall time, sorted by total.
+//
+//   ucp_tool soak-replay <failure.jsonl> [<replay_dir>]
+//       Deterministically re-execute a soak failure log (tests/soak_test.cc, docs/soak.md)
+//       against a fresh directory (or <replay_dir>) and diff the regenerated log against
+//       the input. Exits 0 when the replay is byte-identical, 1 on divergence or replayed
+//       invariant violations.
 
 #include <algorithm>
 #include <cstdio>
@@ -60,6 +66,7 @@
 #include "src/common/json.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/soak/driver.h"
 #include "src/tensor/tensor_file.h"
 #include "src/ucp/converter.h"
 #include "src/ucp/loader.h"
@@ -84,7 +91,8 @@ int Usage() {
                "  ucp_tool prune <ckpt_dir> <keep_last>\n"
                "  ucp_tool gc <ckpt_dir> <keep_last> [--dry-run]\n"
                "  ucp_tool metrics [<subcommand> <args...>]\n"
-               "  ucp_tool trace-cat <file>\n");
+               "  ucp_tool trace-cat <file>\n"
+               "  ucp_tool soak-replay <failure.jsonl> [<replay_dir>]\n");
   return 2;
 }
 
@@ -484,6 +492,72 @@ int CmdTraceCat(const Flags& flags) {
   return 0;
 }
 
+// Replays a soak failure log and diffs the regenerated JSONL against the input. The soak
+// driver's determinism contract (src/soak/driver.h) is what makes a byte-level diff the
+// right check: any divergence means the recorded failure is not reproducible from its log.
+int CmdSoakReplay(const Flags& flags) {
+  if (flags.positional.empty() || flags.positional.size() > 2) {
+    return Usage();
+  }
+  Result<std::string> original = ReadFileToString(flags.positional[0]);
+  if (!original.ok()) {
+    return Fail(original.status());
+  }
+  std::string dir;
+  if (flags.positional.size() == 2) {
+    dir = flags.positional[1];
+  } else {
+    Result<std::string> temp = MakeTempDir("ucp_soak_replay");
+    if (!temp.ok()) {
+      return Fail(temp.status());
+    }
+    dir = *temp;
+  }
+  Result<SoakRunReport> replay = ReplaySoakLog(*original, dir);
+  if (!replay.ok()) {
+    return Fail(replay.status());
+  }
+  std::printf(
+      "replayed %d events in %s: %lld iterations, %d invariant checks, %d kills, "
+      "%d fs faults, %zu violations\n",
+      replay->events_run, dir.c_str(),
+      static_cast<long long>(replay->iterations_trained), replay->invariant_checks,
+      replay->kills_fired, replay->fs_faults_fired, replay->violations.size());
+  for (const std::string& violation : replay->violations) {
+    std::printf("  violation: %s\n", violation.c_str());
+  }
+  const std::string replayed_text = replay->LogText();
+  if (replayed_text != *original) {
+    // Point at the first divergent line: that is where determinism broke.
+    auto split_lines = [](const std::string& text) {
+      std::vector<std::string> lines;
+      size_t start = 0;
+      while (start < text.size()) {
+        size_t end = text.find('\n', start);
+        if (end == std::string::npos) end = text.size();
+        lines.push_back(text.substr(start, end - start));
+        start = end + 1;
+      }
+      return lines;
+    };
+    const std::vector<std::string> a = split_lines(*original);
+    const std::vector<std::string> b = split_lines(replayed_text);
+    for (size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+      const std::string* left = i < a.size() ? &a[i] : nullptr;
+      const std::string* right = i < b.size() ? &b[i] : nullptr;
+      if (left == nullptr || right == nullptr || *left != *right) {
+        std::fprintf(stderr, "replay DIVERGED at line %zu:\n  recorded: %s\n  replayed: %s\n",
+                     i + 1, left != nullptr ? left->c_str() : "<missing>",
+                     right != nullptr ? right->c_str() : "<missing>");
+        break;
+      }
+    }
+    return 1;
+  }
+  std::printf("replay is byte-identical to the recorded log\n");
+  return replay->violations.empty() ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -531,6 +605,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "trace-cat") {
     return CmdTraceCat(flags);
+  }
+  if (command == "soak-replay") {
+    return CmdSoakReplay(flags);
   }
   return Usage();
 }
