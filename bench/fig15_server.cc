@@ -1,0 +1,239 @@
+// Checkpoint-server characterization: save/load throughput and latency through the Store
+// abstraction, local (direct FS) vs remote (ucp_serverd wire protocol), at 1 / 4 / 16
+// concurrent clients.
+//
+// Arm grid: {save, load} x {local, remote} x {1, 4, 16 clients}. Every client runs the
+// same op loop in its own namespace — a save op is the full staged-commit cycle
+// (ResetTagStaging / WriteFile / CommitTag), a load op reads one committed payload back
+// through OpenRead/ReadAt in wire-chunk-sized pieces. Per-op latencies aggregate to
+// p50/p99; throughput is payload bytes moved over the arm's wall time. The remote arms
+// all talk to one in-process daemon over a Unix socket, so the numbers measure the wire
+// protocol + session/admission machinery against the direct-FS baseline it wraps.
+//
+// BENCH_server.json carries every arm plus the process metrics (store.server.*,
+// io.retry.*) that produced it.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/json.h"
+#include "src/store/remote_store.h"
+#include "src/store/server.h"
+
+namespace ucp {
+namespace {
+
+constexpr size_t kPayloadBytes = 1u << 20;  // one wire chunk per shard file
+constexpr int kSaveOpsPerClient = 6;
+constexpr int kLoadOpsPerClient = 12;
+
+double Percentile(std::vector<double> sorted_ms, double q) {
+  if (sorted_ms.empty()) {
+    return 0.0;
+  }
+  std::sort(sorted_ms.begin(), sorted_ms.end());
+  const size_t idx = std::min(sorted_ms.size() - 1,
+                              static_cast<size_t>(q * static_cast<double>(sorted_ms.size())));
+  return sorted_ms[idx];
+}
+
+std::string BenchMetaJson() {
+  CheckpointMeta meta;
+  meta.model = TinyGpt();
+  meta.strategy = ParallelConfig{1, 1, 1, 1, 0, 1};
+  meta.iteration = 1;
+  meta.global_batch = bench::kGlobalBatch;
+  return meta.ToJson().Dump(2);
+}
+
+// One store handle per client: local clients each wrap the dir, remote clients each dial
+// their own connection (one session per client, like one training job per rank).
+std::shared_ptr<Store> ClientStore(const std::string& backend, const std::string& dir,
+                                   const StoreServer* server) {
+  if (backend == "remote") {
+    Result<std::shared_ptr<RemoteStore>> store = RemoteStore::Connect(server->endpoint());
+    UCP_CHECK(store.ok()) << store.status();
+    return *store;
+  }
+  return std::make_shared<LocalStore>(dir);
+}
+
+struct ArmResult {
+  double seconds = 0.0;
+  double throughput_mib_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  int64_t ops = 0;
+};
+
+ArmResult RunSaveArm(const std::string& backend, const std::string& dir,
+                     const StoreServer* server, int clients) {
+  const std::string meta_json = BenchMetaJson();
+  std::vector<uint8_t> payload(kPayloadBytes);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>((i * 167) & 0xff);
+  }
+
+  std::vector<std::vector<double>> latencies(clients);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::shared_ptr<Store> store = ClientStore(backend, dir, server);
+      const std::string job = "c" + std::to_string(c);
+      for (int op = 0; op < kSaveOpsPerClient; ++op) {
+        const std::string tag = job + ".global_step" + std::to_string(op + 1);
+        const auto t0 = std::chrono::steady_clock::now();
+        UCP_CHECK(store->ResetTagStaging(tag).ok());
+        Result<std::unique_ptr<StoreWriter>> writer = store->OpenTagForWrite(tag);
+        UCP_CHECK(writer.ok()) << writer.status();
+        UCP_CHECK((*writer)->WriteFile("shard", payload).ok());
+        UCP_CHECK(store->CommitTag(tag, meta_json).ok());
+        latencies[c].push_back(
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                .count());
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  ArmResult result;
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  std::vector<double> all;
+  for (const std::vector<double>& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  result.ops = static_cast<int64_t>(all.size());
+  result.throughput_mib_s =
+      result.seconds > 0.0
+          ? static_cast<double>(result.ops) * static_cast<double>(kPayloadBytes) /
+                (1024.0 * 1024.0) / result.seconds
+          : 0.0;
+  result.p50_ms = Percentile(all, 0.50);
+  result.p99_ms = Percentile(all, 0.99);
+  return result;
+}
+
+ArmResult RunLoadArm(const std::string& backend, const std::string& dir,
+                     const StoreServer* server, int clients) {
+  std::vector<std::vector<double>> latencies(clients);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::shared_ptr<Store> store = ClientStore(backend, dir, server);
+      // Spread readers across the tags the save arms committed for this client count.
+      const std::string rel =
+          "c" + std::to_string(c) + ".global_step" + std::to_string(kSaveOpsPerClient) +
+          "/shard";
+      std::vector<uint8_t> buf(kWireChunkBytes);
+      for (int op = 0; op < kLoadOpsPerClient; ++op) {
+        const auto t0 = std::chrono::steady_clock::now();
+        Result<std::unique_ptr<ByteSource>> source = store->OpenRead(rel);
+        UCP_CHECK(source.ok()) << source.status();
+        uint64_t offset = 0;
+        while (offset < (*source)->size()) {
+          const size_t n =
+              std::min<uint64_t>(buf.size(), (*source)->size() - offset);
+          UCP_CHECK((*source)->ReadAt(offset, buf.data(), n).ok());
+          offset += n;
+        }
+        latencies[c].push_back(
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                .count());
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  ArmResult result;
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  std::vector<double> all;
+  for (const std::vector<double>& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  result.ops = static_cast<int64_t>(all.size());
+  result.throughput_mib_s =
+      result.seconds > 0.0
+          ? static_cast<double>(result.ops) * static_cast<double>(kPayloadBytes) /
+                (1024.0 * 1024.0) / result.seconds
+          : 0.0;
+  result.p50_ms = Percentile(all, 0.50);
+  result.p99_ms = Percentile(all, 0.99);
+  return result;
+}
+
+Json ArmJson(const std::string& workload, const std::string& backend, int clients,
+             const ArmResult& r) {
+  std::printf("fig15/%s/%s/%d: %.3fs, %.1f MiB/s, p50 %.2f ms, p99 %.2f ms (%lld ops)\n",
+              workload.c_str(), backend.c_str(), clients, r.seconds, r.throughput_mib_s,
+              r.p50_ms, r.p99_ms, static_cast<long long>(r.ops));
+  JsonObject arm;
+  arm["arm"] = workload + "/" + backend + "/" + std::to_string(clients);
+  arm["workload"] = workload;
+  arm["backend"] = backend;
+  arm["clients"] = static_cast<int64_t>(clients);
+  arm["payload_bytes"] = static_cast<int64_t>(kPayloadBytes);
+  arm["ops"] = r.ops;
+  arm["seconds"] = r.seconds;
+  arm["throughput_mib_s"] = r.throughput_mib_s;
+  arm["p50_ms"] = r.p50_ms;
+  arm["p99_ms"] = r.p99_ms;
+  return Json(std::move(arm));
+}
+
+}  // namespace
+}  // namespace ucp
+
+int main(int argc, char** argv) {
+  const std::string trace_file = ucp::bench::ExtractTraceFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+
+  ucp::JsonArray arms;
+  for (const char* backend : {"local", "remote"}) {
+    const std::string dir =
+        ucp::bench::FreshDir(std::string("fig15_server_") + backend);
+    std::unique_ptr<ucp::StoreServer> server;
+    if (std::string(backend) == "remote") {
+      ucp::StoreServerOptions options;
+      options.root = dir;
+      options.listen = "unix:" + dir + ".sock";
+      ucp::Result<std::unique_ptr<ucp::StoreServer>> started =
+          ucp::StoreServer::Start(std::move(options));
+      UCP_CHECK(started.ok()) << started.status();
+      server = std::move(*started);
+    }
+    for (int clients : {1, 4, 16}) {
+      arms.emplace_back(ucp::ArmJson(
+          "save", backend, clients,
+          ucp::RunSaveArm(backend, dir, server.get(), clients)));
+      arms.emplace_back(ucp::ArmJson(
+          "load", backend, clients,
+          ucp::RunLoadArm(backend, dir, server.get(), clients)));
+    }
+    if (server != nullptr) {
+      server->Shutdown();
+    }
+  }
+
+  ucp::JsonObject doc;
+  doc["benchmark"] = "fig15_server";
+  doc["arms"] = std::move(arms);
+  ucp::bench::WriteBenchReport("BENCH_server.json", std::move(doc));
+  ucp::bench::WriteTraceIfRequested(trace_file);
+  return 0;
+}

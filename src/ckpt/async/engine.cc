@@ -42,7 +42,12 @@ struct AsyncMetrics {
 
 AsyncCheckpointEngine::AsyncCheckpointEngine(std::string dir, int world_size,
                                              AsyncCheckpointOptions options)
-    : dir_(std::move(dir)), world_size_(world_size), options_(std::move(options)) {
+    : AsyncCheckpointEngine(std::make_shared<LocalStore>(std::move(dir)), world_size,
+                            std::move(options)) {}
+
+AsyncCheckpointEngine::AsyncCheckpointEngine(std::shared_ptr<Store> store, int world_size,
+                                             AsyncCheckpointOptions options)
+    : store_(std::move(store)), world_size_(world_size), options_(std::move(options)) {
   UCP_CHECK_GE(world_size_, 1);
   UCP_CHECK_GE(options_.max_in_flight, 1);
   free_snaps_.resize(static_cast<size_t>(world_size_));
@@ -188,12 +193,14 @@ Status AsyncCheckpointEngine::SaveAsync(RankTrainer& trainer, int64_t iteration)
   return OkStatus();
 }
 
-Status AsyncCheckpointEngine::FlushShards(const std::shared_ptr<PendingSave>& save,
-                                          const std::string& staging) {
+Status AsyncCheckpointEngine::FlushShards(const std::shared_ptr<PendingSave>& save) {
   UCP_TRACE_SPAN_ARGS("save.async.write_shards", ::ucp::obs::TraceArgs().S("tag", save->tag));
-  UCP_RETURN_IF_ERROR(RemoveAll(staging));
-  UCP_RETURN_IF_ERROR(MakeDirs(staging));
+  UCP_RETURN_IF_ERROR(store_->ResetTagStaging(save->tag));
+  // The batch applies to LocalStore writers (which stage through WriteFileAtomic on this
+  // thread); remote writers fsync server-side at commit.
   ScopedFsyncBatch batch;
+  UCP_ASSIGN_OR_RETURN(std::unique_ptr<StoreWriter> writer,
+                       store_->OpenTagForWrite(save->tag));
   for (int r = 0; r < world_size_; ++r) {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -202,7 +209,7 @@ Status AsyncCheckpointEngine::FlushShards(const std::shared_ptr<PendingSave>& sa
       }
     }
     UCP_RETURN_IF_ERROR(
-        WriteSnapshotShards(staging, *save->snaps[static_cast<size_t>(r)]));
+        WriteSnapshotShards(*writer, *save->snaps[static_cast<size_t>(r)]));
     if (!options_.batch_fsyncs) {
       UCP_RETURN_IF_ERROR(batch.SyncAll());  // eager mode: flush after every rank's shards
     }
@@ -218,13 +225,12 @@ void AsyncCheckpointEngine::Flush(std::shared_ptr<PendingSave> save) {
     options_.pre_flush_hook(save->iteration);
   }
 
-  const std::string staging = StagingDirForTag(dir_, save->tag);
-  Status flushed = FlushShards(save, staging);
+  Status flushed = FlushShards(save);
 
   std::unique_lock<std::mutex> lock(mu_);
   if (!flushed.ok()) {
     lock.unlock();
-    RemoveAll(staging).ok();  // best effort: keep the directory retryable
+    store_->AbortTag(save->tag).ok();  // best effort: keep the tag retryable
     lock.lock();
     ResolveLocked(save, save->cancelled
                             ? FailedPreconditionError("save " + save->tag +
@@ -252,7 +258,7 @@ void AsyncCheckpointEngine::Flush(std::shared_ptr<PendingSave> save) {
   });
   if (save->cancelled) {
     lock.unlock();
-    RemoveAll(staging).ok();
+    store_->AbortTag(save->tag).ok();
     lock.lock();
     ResolveLocked(save, FailedPreconditionError("save " + save->tag +
                                                 " dropped by backpressure"));
@@ -262,12 +268,11 @@ void AsyncCheckpointEngine::Flush(std::shared_ptr<PendingSave> save) {
   const CheckpointMeta meta = save->meta;
   lock.unlock();
 
-  Status committed = CommitCheckpointTag(dir_, save->tag, meta);
+  Status committed = store_->CommitTag(save->tag, meta.ToJson().Dump(2));
   if (committed.ok() && options_.keep_last > 0) {
     // Retention rides the commit ticket (no other commit can interleave), so a concurrent
     // flusher's staging/rename is never swept mid-flight.
-    Result<GcReport> gc =
-        GcCheckpoints(dir_, options_.keep_last, /*dry_run=*/false, options_.job);
+    Result<GcReport> gc = store_->Gc(options_.job, options_.keep_last, /*dry_run=*/false);
     if (!gc.ok()) {
       UCP_LOG(Warning) << "post-commit gc failed: " << gc.status().ToString();
     }

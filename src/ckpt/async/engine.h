@@ -8,8 +8,9 @@
 //      per-rank freelist — in steady state a pure host memcpy, the only part of a save
 //      that stalls TrainIteration.
 //   2. FLUSH (background): once every rank's snapshot for an iteration has arrived, a
-//      flusher job on a ThreadPool serializes all shards into the standard `<tag>.staging`
-//      directory with batched fsyncs, then runs the PR 1 commit protocol
+//      flusher job on a ThreadPool serializes all shards into the tag's staged area through
+//      the engine's Store (local: the standard `<tag>.staging` directory with batched
+//      fsyncs; remote: chunked frames to ucp_serverd), then runs the PR 1 commit protocol
 //      (rename -> `complete` marker -> `latest`). Commits land in save order, so `latest`
 //      never regresses even with several saves in flight.
 //
@@ -84,8 +85,12 @@ struct AsyncSaveStats {
 
 class AsyncCheckpointEngine {
  public:
-  // One engine per checkpoint directory, shared by every rank thread of the run.
+  // One engine per checkpoint store, shared by every rank thread of the run. The dir form
+  // wraps a LocalStore on `dir`; the Store form takes any backend (a RemoteStore here puts
+  // the whole flush — staging, commit, GC — on the other side of the wire).
   AsyncCheckpointEngine(std::string dir, int world_size,
+                        AsyncCheckpointOptions options = {});
+  AsyncCheckpointEngine(std::shared_ptr<Store> store, int world_size,
                         AsyncCheckpointOptions options = {});
   // Drains in-flight saves (equivalent to WaitAll) before tearing down the pool.
   ~AsyncCheckpointEngine();
@@ -115,7 +120,7 @@ class AsyncCheckpointEngine {
   int AbandonIncomplete();
 
   AsyncSaveStats stats() const;
-  const std::string& dir() const { return dir_; }
+  Store& store() const { return *store_; }
 
  private:
   struct PendingSave {
@@ -138,9 +143,9 @@ class AsyncCheckpointEngine {
   bool DropOldestLocked();
   void ResolveLocked(const std::shared_ptr<PendingSave>& save, Status result);
   void Flush(std::shared_ptr<PendingSave> save);
-  Status FlushShards(const std::shared_ptr<PendingSave>& save, const std::string& staging);
+  Status FlushShards(const std::shared_ptr<PendingSave>& save);
 
-  const std::string dir_;
+  const std::shared_ptr<Store> store_;
   const int world_size_;
   const AsyncCheckpointOptions options_;
 

@@ -69,6 +69,22 @@ void RankCheckpointSnapshot::CaptureFrom(const RankTrainer& trainer) {
   }
 }
 
+Status WriteSnapshotShards(StoreWriter& writer, const RankCheckpointSnapshot& snap) {
+  {
+    UCP_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, SerializeBundle(snap.optim));
+    UCP_RETURN_IF_ERROR(writer.WriteFile(
+        OptimStatesFileName(snap.coord.dp, snap.coord.tp, snap.coord.pp, snap.coord.sp),
+        bytes));
+  }
+  if (snap.has_model_states) {
+    UCP_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                         SerializeBundle(snap.model_states, snap.compute_dtype));
+    UCP_RETURN_IF_ERROR(writer.WriteFile(
+        ModelStatesFileName(snap.coord.tp, snap.coord.pp, snap.coord.sp), bytes));
+  }
+  return OkStatus();
+}
+
 Status WriteSnapshotShards(const std::string& staging,
                            const RankCheckpointSnapshot& snap) {
   UCP_RETURN_IF_ERROR(SaveBundle(

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "src/runtime/trainer.h"
+#include "src/store/store.h"
 #include "src/tensor/tensor_file.h"
 
 namespace ucp {
@@ -32,8 +33,13 @@ struct RankCheckpointSnapshot {
   void CaptureFrom(const RankTrainer& trainer);
 };
 
-// Serializes one captured snapshot into a staging directory using the standard shard file
-// names. Shared by the synchronous save path and the async flusher; pure local I/O.
+// Serializes one captured snapshot into a store's staged tag using the standard shard file
+// names. Shared by the synchronous save path and the async flusher; no collectives. The
+// shard bytes are built in memory (SerializeBundle) and handed to the writer — the local
+// backend does the same tmp-write/fsync/rename it always did, the remote backend streams
+// them to ucp_serverd.
+Status WriteSnapshotShards(StoreWriter& writer, const RankCheckpointSnapshot& snap);
+// Direct-FS form (tests, tools): writes into an existing staging directory.
 Status WriteSnapshotShards(const std::string& staging, const RankCheckpointSnapshot& snap);
 
 }  // namespace ucp

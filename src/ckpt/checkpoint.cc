@@ -1,165 +1,33 @@
 #include "src/ckpt/checkpoint.h"
 
-#include <algorithm>
-#include <cctype>
-#include <cerrno>
-#include <cstdlib>
-
 #include <chrono>
+#include <string>
 
 #include "src/ckpt/async/snapshot.h"
 #include "src/common/fs.h"
-#include "src/common/strings.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/tensor/tensor_file.h"
 
 namespace ucp {
 
-Json CheckpointMeta::ToJson() const {
-  JsonObject obj;
-  obj["model"] = model.ToJson();
-  obj["strategy"] = strategy.ToJson();
-  obj["iteration"] = iteration;
-  obj["global_batch"] = global_batch;
-  obj["data_seed"] = static_cast<int64_t>(data_seed);
-  obj["compute_dtype"] = static_cast<int64_t>(compute_dtype);
-  obj["format_version"] = 1;
-  return Json(std::move(obj));
-}
-
-Result<CheckpointMeta> CheckpointMeta::FromJson(const Json& json) {
-  CheckpointMeta meta;
-  UCP_ASSIGN_OR_RETURN(int64_t version, json.GetInt("format_version"));
-  if (version != 1) {
-    return FailedPreconditionError("unsupported checkpoint format version " +
-                                   std::to_string(version));
-  }
-  if (!json.Has("model") || !json.Has("strategy")) {
-    return DataLossError("checkpoint meta missing model/strategy");
-  }
-  UCP_ASSIGN_OR_RETURN(meta.model, ModelConfig::FromJson(json.AsObject().at("model")));
-  UCP_ASSIGN_OR_RETURN(meta.strategy,
-                       ParallelConfig::FromJson(json.AsObject().at("strategy")));
-  UCP_ASSIGN_OR_RETURN(meta.iteration, json.GetInt("iteration"));
-  UCP_ASSIGN_OR_RETURN(int64_t batch, json.GetInt("global_batch"));
-  meta.global_batch = static_cast<int>(batch);
-  UCP_ASSIGN_OR_RETURN(int64_t seed, json.GetInt("data_seed"));
-  meta.data_seed = static_cast<uint64_t>(seed);
-  UCP_ASSIGN_OR_RETURN(int64_t dtype, json.GetInt("compute_dtype"));
-  if (dtype < 0 || dtype > static_cast<int64_t>(DType::kF16)) {
-    return DataLossError("bad compute dtype in checkpoint meta");
-  }
-  meta.compute_dtype = static_cast<DType>(dtype);
-  return meta;
-}
-
-bool IsValidJobId(const std::string& job) {
-  if (job.empty()) {
-    return true;  // the default namespace
-  }
-  if (job.size() > 64 || job == "latest") {  // `latest` would collide with pointer files
-    return false;
-  }
-  for (char c : job) {
-    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '-') {
-      return false;
-    }
-  }
-  return true;
-}
-
-std::string JobTagPrefix(const std::string& job) {
-  return job.empty() ? std::string() : job + ".";
-}
-
-std::string LatestFileName(const std::string& job) {
-  return job.empty() ? std::string("latest") : "latest." + job;
-}
-
-bool ParseTagName(const std::string& name, std::string* job, int64_t* iteration) {
-  constexpr char kPrefix[] = "global_step";
-  // Job ids contain no '.', so the first dot (if any) separates job from tag body. Names
-  // with trailing suffixes (".staging", ".ucp", ".quarantined") fail the strict digit
-  // parse below and never match.
-  std::string j;
-  std::string rest;
-  const size_t dot = name.find('.');
-  if (dot == std::string::npos) {
-    rest = name;
-  } else {
-    j = name.substr(0, dot);
-    rest = name.substr(dot + 1);
-    if (j.empty() || !IsValidJobId(j)) {
-      return false;
-    }
-  }
-  if (!StartsWith(rest, kPrefix)) {
-    return false;
-  }
-  const char* digits = rest.c_str() + sizeof(kPrefix) - 1;
-  if (*digits == '\0') {
-    return false;
-  }
-  for (const char* p = digits; *p != '\0'; ++p) {
-    if (*p < '0' || *p > '9') {
-      return false;
-    }
-  }
-  errno = 0;
-  char* end = nullptr;
-  const long long parsed = std::strtoll(digits, &end, 10);
-  if (errno != 0 || end == nullptr || *end != '\0') {
-    return false;
-  }
-  if (job != nullptr) {
-    *job = j;
-  }
-  if (iteration != nullptr) {
-    *iteration = parsed;
-  }
-  return true;
-}
-
-std::string TagForIteration(int64_t iteration) {
-  return "global_step" + std::to_string(iteration);
-}
-
-std::string TagForIteration(const std::string& job, int64_t iteration) {
-  return JobTagPrefix(job) + TagForIteration(iteration);
-}
-
-std::string ModelStatesFileName(int tp, int pp, int sp) {
-  return StrFormat("mp_rank_%02d_%03d_sp_%02d_model_states", tp, pp, sp);
-}
-
-std::string OptimStatesFileName(int dp, int tp, int pp, int sp) {
-  return StrFormat("zero_pp_rank_%d_mp_rank_%02d_%03d_sp_%02d_optim_states", dp, tp, pp, sp);
-}
-
 namespace {
 
-constexpr char kCompleteMarker[] = "complete";
-constexpr char kStagingSuffix[] = ".staging";
-
-// This rank's shard writes into the staging directory: a fresh snapshot, serialized
-// immediately (the synchronous save has no one to hand the copy to). Pure local I/O — no
-// collectives, no early returns across barriers; the caller aggregates outcomes.
-Status WriteRankShards(const std::string& staging, RankTrainer& trainer) {
+// This rank's shard writes into the tag's staged area: a fresh snapshot, serialized
+// immediately (the synchronous save has no one to hand the copy to). No collectives, no
+// early returns across barriers; the caller aggregates outcomes.
+Status WriteRankShards(Store& store, const std::string& tag, RankTrainer& trainer) {
   RankCheckpointSnapshot snap;
   {
     UCP_TRACE_SPAN("save.snapshot");
     snap.CaptureFrom(trainer);
   }
   UCP_TRACE_SPAN("save.write_shards");
-  return WriteSnapshotShards(staging, snap);
+  UCP_ASSIGN_OR_RETURN(std::unique_ptr<StoreWriter> writer, store.OpenTagForWrite(tag));
+  return WriteSnapshotShards(*writer, snap);
 }
 
 }  // namespace
-
-std::string StagingDirForTag(const std::string& dir, const std::string& tag) {
-  return PathJoin(dir, tag) + kStagingSuffix;
-}
 
 CheckpointMeta MetaForSave(const RankTrainer& trainer, int64_t iteration) {
   CheckpointMeta meta;
@@ -172,69 +40,8 @@ CheckpointMeta MetaForSave(const RankTrainer& trainer, int64_t iteration) {
   return meta;
 }
 
-// The commit: metadata into staging, publish via rename, marker last, then `latest`. The
-// ordering is the whole protocol — a crash between any two steps leaves a state every
-// reader handles (no tag / unmarked tag / marked tag with a stale `latest`).
-Status CommitCheckpointTag(const std::string& dir, const std::string& tag,
-                           const CheckpointMeta& meta) {
-  UCP_TRACE_SPAN_ARGS("save.commit", ::ucp::obs::TraceArgs().S("tag", tag));
-  static obs::Counter& commits =
-      obs::MetricsRegistry::Global().GetCounter("save.commits");
-  const std::string tag_dir = PathJoin(dir, tag);
-  const std::string staging = StagingDirForTag(dir, tag);
-  UCP_RETURN_IF_ERROR(
-      WriteFileAtomic(PathJoin(staging, "checkpoint_meta.json"), meta.ToJson().Dump(2)));
-  // Re-saving a tag replaces the previous commit wholesale.
-  UCP_RETURN_IF_ERROR(RemoveAll(tag_dir));
-  UCP_RETURN_IF_ERROR(RenamePath(staging, tag_dir));
-  UCP_RETURN_IF_ERROR(WriteFileAtomic(PathJoin(tag_dir, kCompleteMarker), tag));
-  // The latest pointer belongs to the namespace the tag name carries; free-form tags
-  // (tools, tests) fall back to the default job's pointer.
-  std::string job;
-  if (!ParseTagName(tag, &job, nullptr)) {
-    job.clear();
-  }
-  UCP_RETURN_IF_ERROR(WriteFileAtomic(PathJoin(dir, LatestFileName(job)), tag));
-  commits.Add(1);
-  return OkStatus();
-}
-
-Result<int> CleanStagingDebris(const std::string& dir, const std::string& job) {
-  if (!IsValidJobId(job)) {
-    return InvalidArgumentError("bad job id: " + job);
-  }
-  if (!DirExists(dir)) {
-    return 0;
-  }
-  UCP_ASSIGN_OR_RETURN(std::vector<std::string> entries, ListDir(dir));
-  int removed = 0;
-  for (const std::string& name : entries) {
-    if (name.size() <= sizeof(kStagingSuffix) - 1 || !EndsWith(name, kStagingSuffix) ||
-        !DirExists(PathJoin(dir, name))) {
-      continue;
-    }
-    // Ownership of a staging dir is decided by the tag name under the suffixes: both save
-    // debris (`<tag>.staging`) and converter debris (`<tag>.ucp.staging`) belong to the
-    // job the tag names. Staging dirs that parse to no job at all (free-form tags) are
-    // swept by the default job only — they cannot belong to a namespaced job.
-    std::string base = name.substr(0, name.size() - (sizeof(kStagingSuffix) - 1));
-    if (EndsWith(base, ".ucp")) {
-      base.resize(base.size() - 4);
-    }
-    std::string tag_job;
-    const bool parsed = ParseTagName(base, &tag_job, nullptr);
-    const bool owned = parsed ? tag_job == job : job.empty();
-    if (!owned) {
-      continue;
-    }
-    UCP_RETURN_IF_ERROR(RemoveAll(PathJoin(dir, name)));
-    ++removed;
-  }
-  return removed;
-}
-
-Status SaveDistributedCheckpoint(const std::string& dir, RankTrainer& trainer,
-                                 int64_t iteration, const std::string& job) {
+Status SaveDistributedCheckpoint(Store& store, RankTrainer& trainer, int64_t iteration,
+                                 const std::string& job) {
   if (!IsValidJobId(job)) {
     return InvalidArgumentError("bad job id: " + job);
   }
@@ -244,30 +51,26 @@ Status SaveDistributedCheckpoint(const std::string& dir, RankTrainer& trainer,
       obs::MetricsRegistry::Global().GetHistogram("save.distributed.seconds");
   const auto save_start = std::chrono::steady_clock::now();
   const std::string tag = TagForIteration(job, iteration);
-  const std::string staging = StagingDirForTag(dir, tag);
 
-  // Rank 0 resets the staging directory (debris of a previous crashed save) before any rank
+  // Rank 0 resets the staging area (debris of a previous crashed save) before any rank
   // writes into it.
   Status local = OkStatus();
   if (trainer.rank() == 0) {
-    local = RemoveAll(staging);
-    if (local.ok()) {
-      local = MakeDirs(staging);
-    }
+    local = store.ResetTagStaging(tag);
   }
   trainer.groups().world.Barrier();
 
   if (local.ok()) {
-    local = WriteRankShards(staging, trainer);
+    local = WriteRankShards(store, tag, trainer);
   }
 
   // Collective agreement before committing: the marker must never be written while a peer's
-  // shard is missing. The all-reduce doubles as the "all shards on disk" barrier, and —
+  // shard is missing. The all-reduce doubles as the "all shards staged" barrier, and —
   // unlike an early return — keeps every rank in the collective so nobody strands.
   double peer_failed = trainer.groups().world.AllReduceMaxScalar(local.ok() ? 0.0 : 1.0);
   if (!local.ok() || peer_failed > 0.0) {
     if (trainer.rank() == 0) {
-      RemoveAll(staging).ok();  // best effort: make the failed save retryable
+      store.AbortTag(tag).ok();  // best effort: make the failed save retryable
     }
     if (!local.ok()) {
       return local;
@@ -277,7 +80,7 @@ Status SaveDistributedCheckpoint(const std::string& dir, RankTrainer& trainer,
 
   Status commit = OkStatus();
   if (trainer.rank() == 0) {
-    commit = CommitCheckpointTag(dir, tag, MetaForSave(trainer, iteration));
+    commit = store.CommitTag(tag, MetaForSave(trainer, iteration).ToJson().Dump(2));
   }
   trainer.groups().world.Barrier();
   save_seconds.Observe(
@@ -285,164 +88,10 @@ Status SaveDistributedCheckpoint(const std::string& dir, RankTrainer& trainer,
   return commit;
 }
 
-Result<std::string> ReadLatestTag(const std::string& dir, const std::string& job) {
-  if (!IsValidJobId(job)) {
-    return InvalidArgumentError("bad job id: " + job);
-  }
-  return ReadFileToString(PathJoin(dir, LatestFileName(job)));
-}
-
-Result<std::vector<std::string>> ListCheckpointTags(const std::string& dir,
-                                                    const std::string& job) {
-  if (!IsValidJobId(job)) {
-    return InvalidArgumentError("bad job id: " + job);
-  }
-  UCP_ASSIGN_OR_RETURN(std::vector<std::string> entries, ListDir(dir));
-  std::vector<std::pair<int64_t, std::string>> tagged;
-  for (const std::string& name : entries) {
-    std::string tag_job;
-    int64_t iteration = 0;
-    if (ParseTagName(name, &tag_job, &iteration) && tag_job == job &&
-        DirExists(PathJoin(dir, name))) {
-      tagged.emplace_back(iteration, name);
-    }
-  }
-  std::sort(tagged.begin(), tagged.end());
-  std::vector<std::string> tags;
-  tags.reserve(tagged.size());
-  for (auto& [iteration, name] : tagged) {
-    tags.push_back(std::move(name));
-  }
-  return tags;
-}
-
-Result<std::vector<std::string>> ListAllCheckpointTags(const std::string& dir) {
-  UCP_ASSIGN_OR_RETURN(std::vector<std::string> entries, ListDir(dir));
-  std::vector<std::tuple<std::string, int64_t, std::string>> tagged;
-  for (const std::string& name : entries) {
-    std::string tag_job;
-    int64_t iteration = 0;
-    if (ParseTagName(name, &tag_job, &iteration) && DirExists(PathJoin(dir, name))) {
-      tagged.emplace_back(tag_job, iteration, name);
-    }
-  }
-  std::sort(tagged.begin(), tagged.end());
-  std::vector<std::string> tags;
-  tags.reserve(tagged.size());
-  for (auto& [job, iteration, name] : tagged) {
-    tags.push_back(std::move(name));
-  }
-  return tags;
-}
-
-Status PruneCheckpoints(const std::string& dir, int keep_last) {
-  if (keep_last < 1) {
-    return InvalidArgumentError("keep_last must be >= 1");
-  }
-  UCP_ASSIGN_OR_RETURN(std::vector<std::string> tags, ListCheckpointTags(dir));
-  std::string latest;
-  if (Result<std::string> latest_tag = ReadLatestTag(dir); latest_tag.ok()) {
-    latest = *latest_tag;
-  }
-  int excess = static_cast<int>(tags.size()) - keep_last;
-  for (int i = 0; i < static_cast<int>(tags.size()) && excess > 0; ++i) {
-    if (tags[static_cast<size_t>(i)] == latest) {
-      continue;
-    }
-    UCP_RETURN_IF_ERROR(RemoveAll(PathJoin(dir, tags[static_cast<size_t>(i)])));
-    --excess;
-  }
-  return OkStatus();
-}
-
-std::string GcReport::ToString() const {
-  std::string out = "gc: removed " + std::to_string(removed.size()) + ", kept " +
-                    std::to_string(kept.size()) + "\n";
-  for (const std::string& tag : removed) {
-    out += "  removed " + tag + "\n";
-  }
-  for (const std::string& tag : kept) {
-    out += "  kept    " + tag + "\n";
-  }
-  return out;
-}
-
-Result<GcReport> GcCheckpoints(const std::string& dir, int keep_last, bool dry_run,
-                               const std::string& job) {
-  if (keep_last < 1) {
-    return InvalidArgumentError("keep_last must be >= 1");
-  }
-  UCP_ASSIGN_OR_RETURN(std::vector<std::string> tags, ListCheckpointTags(dir, job));
-  std::vector<std::string> committed;
-  for (const std::string& tag : tags) {
-    if (IsTagComplete(dir, tag)) {
-      committed.push_back(tag);  // ascending iteration order, inherited from ListCheckpointTags
-    }
-  }
-  // The `latest` guard reads this job's own pointer — a sibling job's pointer naming its
-  // own newest tag must not pin anything in this namespace (and can't: tags differ).
-  std::string latest;
-  if (Result<std::string> latest_tag = ReadLatestTag(dir, job); latest_tag.ok()) {
-    latest = *latest_tag;
-  }
-  // Recency alone can destroy resumability: when every tag inside the keep window is
-  // damaged (a torn write that still committed), the newest *readable* tag sits outside
-  // the window, and deleting it would leave the job nothing to resume from. Pin it like
-  // `latest`. Readability here is meta-readability — the same frontier definition resume's
-  // tag walk starts from; a deep shard scan per GC would be disproportionate.
-  std::string valid;
-  if (Result<std::string> valid_tag = FindLatestValidTag(dir, job); valid_tag.ok()) {
-    valid = *valid_tag;
-  }
-  GcReport report;
-  // Protect the newest keep_last committed tags AND whatever `latest` names — when the
-  // pointer lags (or was rolled back by hand), retention must not strand the resume.
-  const size_t first_kept = committed.size() > static_cast<size_t>(keep_last)
-                                ? committed.size() - static_cast<size_t>(keep_last)
-                                : 0;
-  for (size_t i = 0; i < committed.size(); ++i) {
-    const std::string& tag = committed[i];
-    if (i < first_kept && tag != latest && tag != valid) {
-      if (!dry_run) {
-        UCP_RETURN_IF_ERROR(RemoveAll(PathJoin(dir, tag)));
-        // A cached UCP conversion belongs to its tag; don't orphan it.
-        UCP_RETURN_IF_ERROR(RemoveAll(PathJoin(dir, tag + ".ucp")));
-      }
-      report.removed.push_back(tag);
-    } else {
-      report.kept.push_back(tag);
-    }
-  }
-  return report;
-}
-
-bool IsTagComplete(const std::string& dir, const std::string& tag) {
-  return FileExists(PathJoin(PathJoin(dir, tag), kCompleteMarker));
-}
-
-Result<std::string> FindLatestValidTag(const std::string& dir, const std::string& job) {
-  UCP_ASSIGN_OR_RETURN(std::vector<std::string> tags, ListCheckpointTags(dir, job));
-  for (auto it = tags.rbegin(); it != tags.rend(); ++it) {
-    if (!IsTagComplete(dir, *it)) {
-      continue;  // aborted save — the marker is written last
-    }
-    if (ReadCheckpointMeta(dir, *it).ok()) {
-      return *it;
-    }
-  }
-  return NotFoundError("no committed checkpoint tag under " + dir);
-}
-
-Result<CheckpointMeta> ReadCheckpointMeta(const std::string& dir, const std::string& tag) {
-  const std::string tag_dir = PathJoin(dir, tag);
-  if (DirExists(tag_dir) && !FileExists(PathJoin(tag_dir, kCompleteMarker))) {
-    return DataLossError("checkpoint tag " + tag +
-                         " is not committed (missing 'complete' marker)");
-  }
-  UCP_ASSIGN_OR_RETURN(std::string text,
-                       ReadFileToString(PathJoin(tag_dir, "checkpoint_meta.json")));
-  UCP_ASSIGN_OR_RETURN(Json json, Json::Parse(text));
-  return CheckpointMeta::FromJson(json);
+Status SaveDistributedCheckpoint(const std::string& dir, RankTrainer& trainer,
+                                 int64_t iteration, const std::string& job) {
+  LocalStore store(dir);
+  return SaveDistributedCheckpoint(store, trainer, iteration, job);
 }
 
 namespace {

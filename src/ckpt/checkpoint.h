@@ -21,6 +21,11 @@
 // updated. A crash at any point leaves either no tag, ignorable staging debris, or an
 // unmarked tag — never a tag that readers would trust. See docs/durability.md.
 //
+// All storage primitives (tag grammar, CheckpointMeta, commit/list/GC, the dir-based free
+// functions) live in src/store/ behind the Store interface, so the same save runs against
+// a local directory or a ucp_serverd daemon; this header re-exports them and adds the
+// trainer-coupled collectives on top.
+//
 // Loading is strict, reproducing the Fig. 1 failure mode: resuming under a different
 // parallelism strategy or world size fails with FAILED_PRECONDITION instead of silently
 // mis-mapping state. UCP (src/ucp) is the sanctioned way to reshape checkpoints.
@@ -31,131 +36,28 @@
 #include <string>
 
 #include "src/runtime/trainer.h"
+#include "src/store/ckpt_meta.h"
+#include "src/store/local_store.h"
+#include "src/store/store.h"
+#include "src/store/tags.h"
 
 namespace ucp {
 
-struct CheckpointMeta {
-  ModelConfig model;
-  ParallelConfig strategy;
-  int64_t iteration = 0;
-  int global_batch = 0;
-  uint64_t data_seed = 0;
-  DType compute_dtype = DType::kF32;
-
-  Json ToJson() const;
-  static Result<CheckpointMeta> FromJson(const Json& json);
-};
-
-// ---- Job namespaces --------------------------------------------------------------------
-//
-// Several training jobs may share one checkpoint store directory. Each job owns a tag
-// namespace: the default job ("") keeps the historical `global_stepN` names and the plain
-// `latest` pointer; job "j" tags are named `j.global_stepN` with a `latest.j` pointer.
-// Every reader/retention/debris path below is namespace-scoped, so one job's GC, staging
-// sweep, or resume can never touch another job's files (tests/soak_test.cc holds the
-// regression matrix for this isolation).
-
-// Job ids are [A-Za-z0-9_-], 1..64 chars. The empty id names the default namespace and is
-// also valid (it is every pre-multi-job caller).
-bool IsValidJobId(const std::string& job);
-
-// "" for the default job, "<job>." otherwise.
-std::string JobTagPrefix(const std::string& job);
-
-// "latest" for the default job, "latest.<job>" otherwise.
-std::string LatestFileName(const std::string& job);
-
-// Parses a directory-entry name as a checkpoint tag: `global_stepN` or
-// `<job>.global_stepN`. Returns true and fills job/iteration on match. Names with extra
-// suffixes (".staging", ".ucp", ".quarantined") never match.
-bool ParseTagName(const std::string& name, std::string* job, int64_t* iteration);
-
-// Tag helpers ("global_step123" / "jobA.global_step123").
-std::string TagForIteration(int64_t iteration);
-std::string TagForIteration(const std::string& job, int64_t iteration);
-
-// File-name helpers (shared with the UCP converter).
-std::string ModelStatesFileName(int tp, int pp, int sp);
-std::string OptimStatesFileName(int dp, int tp, int pp, int sp);
-
 // Saves this rank's shard. Every rank of the run must call it (collective: ends with a
 // world barrier; rank 0 additionally writes checkpoint_meta.json and updates the job's
-// `latest` pointer). `job` selects the tag namespace inside a shared store.
+// `latest` pointer). `job` selects the tag namespace inside a shared store. The Store
+// overload is the canonical path; the dir overload wraps a LocalStore on `dir`.
+Status SaveDistributedCheckpoint(Store& store, RankTrainer& trainer, int64_t iteration,
+                                 const std::string& job = "");
 Status SaveDistributedCheckpoint(const std::string& dir, RankTrainer& trainer,
                                  int64_t iteration, const std::string& job = "");
 
 // The checkpoint metadata a save of `trainer` at `iteration` would commit.
 CheckpointMeta MetaForSave(const RankTrainer& trainer, int64_t iteration);
 
-// The commit sequence shared by the synchronous save and the async flusher: metadata into
-// `staging`, wholesale replacement of any previous `<tag>` commit, atomic rename, marker,
-// then the owning job's `latest` pointer (the namespace is parsed from the tag name).
-// Single-caller (rank 0 / the flusher); `staging` must hold every shard.
-Status CommitCheckpointTag(const std::string& dir, const std::string& tag,
-                           const CheckpointMeta& meta);
-
-// Name of the staging sibling a save of `tag` writes into before committing.
-std::string StagingDirForTag(const std::string& dir, const std::string& tag);
-
-// Removes stale `<tag>.staging` / `<tag>.ucp.staging` directories belonging to `job`'s
-// namespace (debris of crashed or interrupted saves/conversions; never trusted by any
-// reader). Returns the number removed. Call from one process only, with no save in flight
-// for that job — other jobs sharing the store may keep flushing: their staging dirs are
-// never touched (sweeping a concurrent job's in-flight staging would fail its commit
-// rename and silently lose its checkpoint).
-Result<int> CleanStagingDebris(const std::string& dir, const std::string& job = "");
-
-// Reads the job's latest pointer (<dir>/latest, or <dir>/latest.<job>). This pointer is
-// advisory — it is written *after* the commit marker, so a crash can leave it one save
-// behind, and fsck quarantine can orphan it. Resume paths must use FindLatestValidTag
-// instead; keep ReadLatestTag for diagnostics and for retention's "never delete what
-// latest names" guard.
-Result<std::string> ReadLatestTag(const std::string& dir, const std::string& job = "");
-
-// True when the tag's `complete` commit marker exists (the save finished).
-bool IsTagComplete(const std::string& dir, const std::string& tag);
-
-// Newest committed tag in `job`'s namespace whose metadata parses — the tag a resume
-// should trust. Incomplete or damaged-meta tags are skipped; kNotFound when no valid tag
-// exists.
-Result<std::string> FindLatestValidTag(const std::string& dir, const std::string& job = "");
-
-// Fails with kDataLoss on a tag whose save never committed (missing `complete` marker).
-Result<CheckpointMeta> ReadCheckpointMeta(const std::string& dir, const std::string& tag);
-
 // Strict native load: the trainer's model + strategy must match the checkpoint exactly.
 Status LoadDistributedCheckpoint(const std::string& dir, const std::string& tag,
                                  RankTrainer& trainer);
-
-// All checkpoint tags in `job`'s namespace under `dir`, ascending iteration order.
-Result<std::vector<std::string>> ListCheckpointTags(const std::string& dir,
-                                                    const std::string& job = "");
-
-// Every checkpoint tag under `dir` across all job namespaces (ascending by job id then
-// iteration). For store-wide sweeps — fsck, tools — never for resume or retention, which
-// must stay namespace-scoped.
-Result<std::vector<std::string>> ListAllCheckpointTags(const std::string& dir);
-
-// Retention: deletes the oldest checkpoints so at most `keep_last` tags remain. The tag
-// named by `latest` is never deleted. Call from one process only (e.g. rank 0 after save).
-Status PruneCheckpoints(const std::string& dir, int keep_last);
-
-// Retention policy for steady-state training (`ucp_tool gc`, AsyncCheckpointOptions
-// .keep_last). Unlike PruneCheckpoints it only counts *committed* tags toward the keep
-// budget and never touches uncommitted tags or `.staging` debris — those belong to
-// crashed-save recovery (fsck / the next save), and a tag mid-commit by a concurrent
-// flusher must not be swept. Scoped to `job`'s namespace: tags and the `latest` guard of
-// other jobs sharing the store are invisible to it. Never deletes the tag the job's
-// `latest` names, nor the newest tag whose metadata still reads back — when every tag in
-// the keep window is damaged, that older tag is the job's only resume point and outlives
-// the window. Call from one process per job.
-struct GcReport {
-  std::vector<std::string> removed;  // committed tags deleted (ascending iteration)
-  std::vector<std::string> kept;     // committed tags surviving
-  std::string ToString() const;
-};
-Result<GcReport> GcCheckpoints(const std::string& dir, int keep_last, bool dry_run = false,
-                               const std::string& job = "");
 
 }  // namespace ucp
 

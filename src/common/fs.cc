@@ -387,6 +387,11 @@ Status RandomAccessFile::ReadAt(uint64_t offset, void* out, size_t size) const {
   return OkStatus();
 }
 
+Result<std::unique_ptr<ByteSource>> FileByteSource::Open(const std::string& path) {
+  UCP_ASSIGN_OR_RETURN(RandomAccessFile file, RandomAccessFile::Open(path));
+  return std::unique_ptr<ByteSource>(new FileByteSource(std::move(file)));
+}
+
 Result<std::string> ReadFileToString(const std::string& path) {
   NoteFsOp(FsOp::kRead, path);
   {

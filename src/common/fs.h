@@ -11,6 +11,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -120,6 +121,36 @@ class RandomAccessFile {
   int fd_ = -1;
   uint64_t size_ = 0;
   std::string path_;
+};
+
+// Abstract positional byte reader: what the checkpoint file readers actually need from a
+// file. Implemented by FileByteSource below (pread on a local file) and by the checkpoint
+// store's remote backend (each ReadAt becomes a READ_RANGE request to ucp_serverd), so
+// TensorFileView/BundleFileView serve local and remote files through one code path.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  virtual uint64_t size() const = 0;
+  // Stable identifier for error messages and cache keys (a path or a store URL).
+  virtual const std::string& name() const = 0;
+  // Reads exactly `size` bytes at `offset` into `out`; kDataLoss on short reads.
+  virtual Status ReadAt(uint64_t offset, void* out, size_t size) = 0;
+};
+
+// ByteSource over a local file.
+class FileByteSource final : public ByteSource {
+ public:
+  static Result<std::unique_ptr<ByteSource>> Open(const std::string& path);
+  explicit FileByteSource(RandomAccessFile file) : file_(std::move(file)) {}
+
+  uint64_t size() const override { return file_.size(); }
+  const std::string& name() const override { return file_.path(); }
+  Status ReadAt(uint64_t offset, void* out, size_t size) override {
+    return file_.ReadAt(offset, out, size);
+  }
+
+ private:
+  RandomAccessFile file_;
 };
 
 Result<std::string> ReadFileToString(const std::string& path);

@@ -10,13 +10,17 @@
 #include "src/common/fs.h"
 #include "src/model/config.h"
 #include "src/runtime/trainer.h"
+#include "src/store/server.h"
 #include "src/ucp/elastic.h"
 #include "src/ucp/validate.h"
 
 namespace ucp {
 namespace {
 
-MultiJobReport::JobResult RunOneJob(const MultiJobOptions& options, const std::string& job) {
+// `endpoint` empty = the engine writes the directory itself (LocalStore); otherwise each
+// phase dials the soak's daemon, modelling a restarted job reconnecting.
+MultiJobReport::JobResult RunOneJob(const MultiJobOptions& options, const std::string& job,
+                                    const std::string& endpoint) {
   MultiJobReport::JobResult result;
   result.job = job;
 
@@ -46,7 +50,17 @@ MultiJobReport::JobResult RunOneJob(const MultiJobOptions& options, const std::s
     engine_options.flush_threads = 1;
     engine_options.max_in_flight = 2;
     engine_options.pre_flush_hook = [job](int64_t) { SetThreadIoAuditContext(job); };
-    AsyncCheckpointEngine engine(options.dir, run.world_size(), engine_options);
+    std::optional<AsyncCheckpointEngine> engine;
+    if (endpoint.empty()) {
+      engine.emplace(options.dir, run.world_size(), engine_options);
+    } else {
+      Result<std::shared_ptr<Store>> store = OpenStore(endpoint);
+      if (!store.ok()) {
+        note(store.status());
+        break;
+      }
+      engine.emplace(*std::move(store), run.world_size(), engine_options);
+    }
 
     const int64_t first =
         static_cast<int64_t>(phase) * options.iterations_per_phase + 1;
@@ -71,10 +85,10 @@ MultiJobReport::JobResult RunOneJob(const MultiJobOptions& options, const std::s
     run.Train(first, last, [&](RankTrainer& trainer, int64_t iteration) {
       SetThreadIoAuditContext(job);
       if (options.checkpoint_every > 0 && iteration % options.checkpoint_every == 0) {
-        note(engine.SaveAsync(trainer, iteration));
+        note(engine->SaveAsync(trainer, iteration));
       }
     });
-    note(engine.WaitAll());
+    note(engine->WaitAll());
   }
 
   // Final store state, still under this job's audit identity.
@@ -132,6 +146,24 @@ MultiJobReport RunMultiJobSoak(const MultiJobOptions& options) {
     jobs.push_back("job" + std::to_string(j));
   }
 
+  // In daemon mode one in-process StoreServer owns the save path for every job; it starts
+  // before the audit/faults arm so only checkpoint traffic (not daemon setup) is measured.
+  std::unique_ptr<StoreServer> server;
+  std::string endpoint;
+  if (options.through_daemon) {
+    StoreServerOptions server_options;
+    server_options.root = options.dir;
+    server_options.listen = "unix:" + options.dir + "/soak_serverd.sock";
+    Result<std::unique_ptr<StoreServer>> started =
+        StoreServer::Start(std::move(server_options));
+    if (!started.ok()) {
+      report.violations.push_back("daemon: " + started.status().ToString());
+      return report;
+    }
+    server = std::move(*started);
+    endpoint = server->endpoint();
+  }
+
   std::optional<ScopedIoAudit> audit;
   if (options.audit) {
     std::vector<IoAuditBucket> buckets;
@@ -163,10 +195,14 @@ MultiJobReport RunMultiJobSoak(const MultiJobOptions& options) {
   std::vector<std::thread> threads;
   threads.reserve(jobs.size());
   for (size_t j = 0; j < jobs.size(); ++j) {
-    threads.emplace_back([&, j] { report.jobs[j] = RunOneJob(options, jobs[j]); });
+    threads.emplace_back([&, j] { report.jobs[j] = RunOneJob(options, jobs[j], endpoint); });
   }
   for (std::thread& thread : threads) {
     thread.join();
+  }
+  if (server != nullptr) {
+    // Every session closed when its job's engines were destroyed; drain is a formality.
+    server->Shutdown();
   }
 
   if (options.inject_fault && !jobs.empty()) {

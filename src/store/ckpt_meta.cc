@@ -1,0 +1,43 @@
+#include "src/store/ckpt_meta.h"
+
+namespace ucp {
+
+Json CheckpointMeta::ToJson() const {
+  JsonObject obj;
+  obj["model"] = model.ToJson();
+  obj["strategy"] = strategy.ToJson();
+  obj["iteration"] = iteration;
+  obj["global_batch"] = global_batch;
+  obj["data_seed"] = static_cast<int64_t>(data_seed);
+  obj["compute_dtype"] = static_cast<int64_t>(compute_dtype);
+  obj["format_version"] = 1;
+  return Json(std::move(obj));
+}
+
+Result<CheckpointMeta> CheckpointMeta::FromJson(const Json& json) {
+  CheckpointMeta meta;
+  UCP_ASSIGN_OR_RETURN(int64_t version, json.GetInt("format_version"));
+  if (version != 1) {
+    return FailedPreconditionError("unsupported checkpoint format version " +
+                                   std::to_string(version));
+  }
+  if (!json.Has("model") || !json.Has("strategy")) {
+    return DataLossError("checkpoint meta missing model/strategy");
+  }
+  UCP_ASSIGN_OR_RETURN(meta.model, ModelConfig::FromJson(json.AsObject().at("model")));
+  UCP_ASSIGN_OR_RETURN(meta.strategy,
+                       ParallelConfig::FromJson(json.AsObject().at("strategy")));
+  UCP_ASSIGN_OR_RETURN(meta.iteration, json.GetInt("iteration"));
+  UCP_ASSIGN_OR_RETURN(int64_t batch, json.GetInt("global_batch"));
+  meta.global_batch = static_cast<int>(batch);
+  UCP_ASSIGN_OR_RETURN(int64_t seed, json.GetInt("data_seed"));
+  meta.data_seed = static_cast<uint64_t>(seed);
+  UCP_ASSIGN_OR_RETURN(int64_t dtype, json.GetInt("compute_dtype"));
+  if (dtype < 0 || dtype > static_cast<int64_t>(DType::kF16)) {
+    return DataLossError("bad compute dtype in checkpoint meta");
+  }
+  meta.compute_dtype = static_cast<DType>(dtype);
+  return meta;
+}
+
+}  // namespace ucp

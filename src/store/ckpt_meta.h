@@ -1,0 +1,36 @@
+// The committed-checkpoint metadata record (checkpoint_meta.json).
+//
+// Lives at the store layer so both storage backends (and ucp_serverd's GC) can decide tag
+// validity with the *same* definition resume uses: a tag is valid iff its metadata parses
+// all the way through ModelConfig/ParallelConfig. Commit carries the serialized JSON
+// through the Store interface, keeping the wire protocol meta-agnostic.
+
+#ifndef UCP_SRC_STORE_CKPT_META_H_
+#define UCP_SRC_STORE_CKPT_META_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/json.h"
+#include "src/common/status.h"
+#include "src/model/config.h"
+#include "src/parallel/topology.h"
+#include "src/tensor/bf16.h"
+
+namespace ucp {
+
+struct CheckpointMeta {
+  ModelConfig model;
+  ParallelConfig strategy;
+  int64_t iteration = 0;
+  int global_batch = 0;
+  uint64_t data_seed = 0;
+  DType compute_dtype = DType::kF32;
+
+  Json ToJson() const;
+  static Result<CheckpointMeta> FromJson(const Json& json);
+};
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_STORE_CKPT_META_H_

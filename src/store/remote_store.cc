@@ -1,0 +1,373 @@
+#include "src/store/remote_store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "src/common/bytes.h"
+#include "src/common/crc32.h"
+#include "src/obs/metrics.h"
+
+namespace ucp {
+
+namespace {
+
+Status DecodeError(const WireFrame& frame) {
+  ByteReader r(frame.payload.data(), frame.payload.size());
+  UCP_ASSIGN_OR_RETURN(uint8_t code, r.GetU8());
+  UCP_ASSIGN_OR_RETURN(std::string message, r.GetString());
+  if (code == 0 || code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return DataLossError("malformed error frame (code " + std::to_string(code) + "): " +
+                         message);
+  }
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+Result<std::vector<std::string>> DecodeStrList(const WireFrame& frame) {
+  ByteReader r(frame.payload.data(), frame.payload.size());
+  UCP_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    UCP_ASSIGN_OR_RETURN(std::string s, r.GetString());
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<uint8_t> EncodeStr(const std::string& s) {
+  ByteWriter w;
+  w.PutString(s);
+  return w.TakeBuffer();
+}
+
+}  // namespace
+
+// Keeps the connection alive (shared_ptr) past the owning Store's death, so views opened
+// through a store can outlive it — mirroring how a RandomAccessFile outlives the path
+// string it was opened from.
+class RemoteByteSource final : public ByteSource {
+ public:
+  RemoteByteSource(std::shared_ptr<RemoteStore> store, uint64_t handle, uint64_t size,
+                   std::string name)
+      : store_(std::move(store)), handle_(handle), size_(size), name_(std::move(name)) {}
+  ~RemoteByteSource() override { store_->CloseRead(handle_); }
+
+  uint64_t size() const override { return size_; }
+  const std::string& name() const override { return name_; }
+  Status ReadAt(uint64_t offset, void* out, size_t size) override {
+    return store_->ReadRange(handle_, offset, out, size);
+  }
+
+ private:
+  std::shared_ptr<RemoteStore> store_;
+  uint64_t handle_;
+  uint64_t size_;
+  std::string name_;
+};
+
+// Streams one staged file per WriteFile call: BEGIN (admission-checked, retried on
+// backpressure), CHUNK*, END carrying the whole-file CRC the server verifies before the
+// bytes become a staged file.
+class RemoteStoreWriter final : public StoreWriter {
+ public:
+  RemoteStoreWriter(std::shared_ptr<RemoteStore> store, std::string tag)
+      : StoreWriter(std::move(tag)), store_(std::move(store)) {}
+
+  Status WriteFile(const std::string& rel, const void* data, size_t size) override {
+    ByteWriter begin;
+    begin.PutString(tag());
+    begin.PutString(rel);
+    begin.PutU64(size);
+    std::lock_guard<std::mutex> lock(store_->mu_);
+    // Admission control happens at BEGIN: a kUnavailable response means the daemon's
+    // staged-bytes budget is full and this session is not the oldest — back off and retry
+    // the whole file (nothing was staged).
+    const IoRetryPolicy policy = GetIoRetryPolicy();
+    std::chrono::milliseconds backoff = policy.base_backoff;
+    static obs::Counter& transient =
+        obs::MetricsRegistry::Global().GetCounter("io.retry.transient_errors");
+    static obs::Counter& retries =
+        obs::MetricsRegistry::Global().GetCounter("io.retry.retries");
+    static obs::Counter& giveups =
+        obs::MetricsRegistry::Global().GetCounter("io.retry.giveups");
+    for (int attempt = 1;; ++attempt) {
+      Result<WireFrame> opened = store_->RoundtripLocked(
+          WireOp::kWriteBegin, begin.buffer(), WireOp::kOk);
+      if (opened.ok()) {
+        break;
+      }
+      if (opened.status().code() != StatusCode::kUnavailable) {
+        return opened.status();
+      }
+      transient.Add(1);
+      if (attempt >= policy.max_attempts) {
+        giveups.Add(1);
+        return opened.status();
+      }
+      retries.Add(1);
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, policy.max_backoff);
+    }
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    size_t left = size;
+    while (left > 0) {
+      const size_t n = std::min<size_t>(left, kWireChunkBytes);
+      UCP_RETURN_IF_ERROR(SendFrame(store_->fd_, WireOp::kWriteChunk, p, n));
+      p += n;
+      left -= n;
+    }
+    ByteWriter end;
+    end.PutU32(Crc32(data, size));
+    UCP_ASSIGN_OR_RETURN(
+        WireFrame done,
+        store_->RoundtripLocked(WireOp::kWriteEnd, end.buffer(), WireOp::kOk));
+    (void)done;
+    return OkStatus();
+  }
+
+ private:
+  std::shared_ptr<RemoteStore> store_;
+};
+
+Result<std::shared_ptr<RemoteStore>> RemoteStore::Connect(const std::string& endpoint) {
+  UCP_ASSIGN_OR_RETURN(Endpoint ep, ParseEndpoint(endpoint));
+  UCP_ASSIGN_OR_RETURN(int fd, DialEndpoint(ep));
+  ByteWriter hello;
+  hello.PutU32(kWireVersion);
+  hello.PutU32(kWireVersion);
+  Status sent = SendFrame(fd, WireOp::kHello, hello.buffer());
+  if (!sent.ok()) {
+    ::close(fd);
+    return sent;
+  }
+  Result<WireFrame> reply = RecvFrame(fd);
+  if (!reply.ok()) {
+    ::close(fd);
+    return reply.status();
+  }
+  if (reply->op == WireOp::kError) {
+    const Status err = DecodeError(*reply);
+    ::close(fd);
+    return err;
+  }
+  if (reply->op != WireOp::kHelloOk) {
+    ::close(fd);
+    return DataLossError("handshake: unexpected frame type from server");
+  }
+  ByteReader r(reply->payload.data(), reply->payload.size());
+  Result<uint32_t> version = r.GetU32();
+  Result<uint64_t> session = r.GetU64();
+  Result<uint32_t> max_frame = r.GetU32();
+  if (!version.ok() || !session.ok() || !max_frame.ok()) {
+    ::close(fd);
+    return DataLossError("handshake: malformed HELLO_OK payload");
+  }
+  if (*version != kWireVersion) {
+    ::close(fd);
+    return FailedPreconditionError("server negotiated unsupported protocol version " +
+                                   std::to_string(*version));
+  }
+  return std::shared_ptr<RemoteStore>(
+      new RemoteStore(fd, endpoint, *session, std::min(*max_frame, kMaxFramePayload)));
+}
+
+RemoteStore::~RemoteStore() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void RemoteStore::CloseForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<WireFrame> RemoteStore::RoundtripLocked(WireOp op,
+                                               const std::vector<uint8_t>& payload,
+                                               WireOp ok_op) {
+  if (fd_ < 0) {
+    return UnavailableError("connection to " + endpoint_ + " is closed");
+  }
+  UCP_RETURN_IF_ERROR(SendFrame(fd_, op, payload));
+  UCP_ASSIGN_OR_RETURN(WireFrame reply, RecvFrame(fd_, max_frame_));
+  if (reply.op == WireOp::kError) {
+    return DecodeError(reply);
+  }
+  if (reply.op != ok_op) {
+    return DataLossError("unexpected response frame type " +
+                         std::to_string(static_cast<int>(reply.op)) + " from " + endpoint_);
+  }
+  return reply;
+}
+
+Result<WireFrame> RemoteStore::Roundtrip(WireOp op, const std::vector<uint8_t>& payload,
+                                         WireOp ok_op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RoundtripLocked(op, payload, ok_op);
+}
+
+Result<WireFrame> RemoteStore::RoundtripWithRetry(WireOp op,
+                                                  const std::vector<uint8_t>& payload,
+                                                  WireOp ok_op) {
+  const IoRetryPolicy policy = GetIoRetryPolicy();
+  std::chrono::milliseconds backoff = policy.base_backoff;
+  static obs::Counter& transient =
+      obs::MetricsRegistry::Global().GetCounter("io.retry.transient_errors");
+  static obs::Counter& retries =
+      obs::MetricsRegistry::Global().GetCounter("io.retry.retries");
+  static obs::Counter& giveups =
+      obs::MetricsRegistry::Global().GetCounter("io.retry.giveups");
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int attempt = 1;; ++attempt) {
+    Result<WireFrame> reply = RoundtripLocked(op, payload, ok_op);
+    // Only *response-level* kUnavailable (server backpressure) retries: once the transport
+    // itself failed the stream position is unknown and a resend could misframe.
+    if (reply.ok() || reply.status().code() != StatusCode::kUnavailable || fd_ < 0) {
+      return reply;
+    }
+    transient.Add(1);
+    if (attempt >= policy.max_attempts) {
+      giveups.Add(1);
+      return reply;
+    }
+    retries.Add(1);
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, policy.max_backoff);
+  }
+}
+
+Result<std::unique_ptr<ByteSource>> RemoteStore::OpenRead(const std::string& rel) {
+  UCP_ASSIGN_OR_RETURN(WireFrame reply,
+                       Roundtrip(WireOp::kOpenRead, EncodeStr(rel), WireOp::kOpenReadOk));
+  ByteReader r(reply.payload.data(), reply.payload.size());
+  UCP_ASSIGN_OR_RETURN(uint64_t handle, r.GetU64());
+  UCP_ASSIGN_OR_RETURN(uint64_t size, r.GetU64());
+  return std::unique_ptr<ByteSource>(
+      new RemoteByteSource(shared_from_this(), handle, size, CacheKey(rel)));
+}
+
+Status RemoteStore::ReadRange(uint64_t handle, uint64_t offset, void* out, size_t size) {
+  uint8_t* p = static_cast<uint8_t*>(out);
+  size_t left = size;
+  while (left > 0) {
+    const size_t n = std::min<size_t>(left, kWireChunkBytes);
+    ByteWriter req;
+    req.PutU64(handle);
+    req.PutU64(offset);
+    req.PutU32(static_cast<uint32_t>(n));
+    UCP_ASSIGN_OR_RETURN(WireFrame reply,
+                         Roundtrip(WireOp::kReadRange, req.buffer(), WireOp::kBytes));
+    if (reply.payload.size() != n) {
+      return DataLossError("short READ_RANGE response from " + endpoint_);
+    }
+    std::memcpy(p, reply.payload.data(), n);
+    p += n;
+    offset += n;
+    left -= n;
+  }
+  return OkStatus();
+}
+
+void RemoteStore::CloseRead(uint64_t handle) {
+  ByteWriter req;
+  req.PutU64(handle);
+  Roundtrip(WireOp::kCloseRead, req.buffer(), WireOp::kOk).ok();  // best effort
+}
+
+Result<std::string> RemoteStore::ReadSmallFile(const std::string& rel) {
+  UCP_ASSIGN_OR_RETURN(WireFrame reply,
+                       Roundtrip(WireOp::kReadSmall, EncodeStr(rel), WireOp::kBytes));
+  return std::string(reply.payload.begin(), reply.payload.end());
+}
+
+Result<bool> RemoteStore::Exists(const std::string& rel) {
+  UCP_ASSIGN_OR_RETURN(WireFrame reply,
+                       Roundtrip(WireOp::kExists, EncodeStr(rel), WireOp::kBool));
+  ByteReader r(reply.payload.data(), reply.payload.size());
+  UCP_ASSIGN_OR_RETURN(uint8_t v, r.GetU8());
+  return v != 0;
+}
+
+Result<std::vector<std::string>> RemoteStore::List(const std::string& rel) {
+  UCP_ASSIGN_OR_RETURN(WireFrame reply,
+                       Roundtrip(WireOp::kList, EncodeStr(rel), WireOp::kStrList));
+  return DecodeStrList(reply);
+}
+
+Result<std::vector<std::string>> RemoteStore::ListTags(const std::string& job) {
+  UCP_ASSIGN_OR_RETURN(WireFrame reply,
+                       Roundtrip(WireOp::kListTags, EncodeStr(job), WireOp::kStrList));
+  return DecodeStrList(reply);
+}
+
+Result<std::unique_ptr<StoreWriter>> RemoteStore::OpenTagForWrite(const std::string& tag) {
+  if (!IsSafeStoreName(tag)) {
+    return InvalidArgumentError("bad checkpoint tag: " + tag);
+  }
+  return std::unique_ptr<StoreWriter>(new RemoteStoreWriter(shared_from_this(), tag));
+}
+
+Status RemoteStore::ResetTagStaging(const std::string& tag) {
+  return RoundtripWithRetry(WireOp::kResetStaging, EncodeStr(tag), WireOp::kOk).status();
+}
+
+Status RemoteStore::CommitTag(const std::string& tag, const std::string& meta_json) {
+  ByteWriter req;
+  req.PutString(tag);
+  req.PutString(meta_json);
+  return Roundtrip(WireOp::kCommitTag, req.buffer(), WireOp::kOk).status();
+}
+
+Status RemoteStore::AbortTag(const std::string& tag) {
+  return RoundtripWithRetry(WireOp::kAbortTag, EncodeStr(tag), WireOp::kOk).status();
+}
+
+Status RemoteStore::DeleteTag(const std::string& tag) {
+  return RoundtripWithRetry(WireOp::kDeleteTag, EncodeStr(tag), WireOp::kOk).status();
+}
+
+Result<GcReport> RemoteStore::Gc(const std::string& job, int keep_last, bool dry_run) {
+  if (keep_last < 1) {
+    return InvalidArgumentError("keep_last must be >= 1");
+  }
+  ByteWriter req;
+  req.PutString(job);
+  req.PutU32(static_cast<uint32_t>(keep_last));
+  req.PutU8(dry_run ? 1 : 0);
+  UCP_ASSIGN_OR_RETURN(WireFrame reply,
+                       Roundtrip(WireOp::kGc, req.buffer(), WireOp::kGcReport));
+  ByteReader r(reply.payload.data(), reply.payload.size());
+  GcReport report;
+  UCP_ASSIGN_OR_RETURN(uint32_t n_removed, r.GetU32());
+  for (uint32_t i = 0; i < n_removed; ++i) {
+    UCP_ASSIGN_OR_RETURN(std::string tag, r.GetString());
+    report.removed.push_back(std::move(tag));
+  }
+  UCP_ASSIGN_OR_RETURN(uint32_t n_kept, r.GetU32());
+  for (uint32_t i = 0; i < n_kept; ++i) {
+    UCP_ASSIGN_OR_RETURN(std::string tag, r.GetString());
+    report.kept.push_back(std::move(tag));
+  }
+  return report;
+}
+
+Result<int> RemoteStore::SweepStagingDebris(const std::string& job) {
+  UCP_ASSIGN_OR_RETURN(WireFrame reply,
+                       Roundtrip(WireOp::kSweepDebris, EncodeStr(job), WireOp::kInt));
+  ByteReader r(reply.payload.data(), reply.payload.size());
+  UCP_ASSIGN_OR_RETURN(int64_t v, r.GetI64());
+  return static_cast<int>(v);
+}
+
+Status RemoteStore::Ping() {
+  return Roundtrip(WireOp::kPing, {}, WireOp::kOk).status();
+}
+
+}  // namespace ucp

@@ -1,0 +1,93 @@
+// Store backend that speaks the wire protocol to a running ucp_serverd.
+//
+// One connection per RemoteStore; a mutex serializes request/response exchanges, so the
+// simulator's rank threads can share a single store the way they share a directory today.
+// ReadAt on an opened file becomes a READ_RANGE request (verified server-side against the
+// file's chunk-CRC table); staged writes stream as WRITE_BEGIN / WRITE_CHUNK* / WRITE_END
+// with a whole-file CRC the server checks before the file lands in staging.
+//
+// Retry semantics: admission-control rejections (the daemon's staged-bytes cap) arrive as
+// kUnavailable responses on a healthy connection and are retried here with IoRetryPolicy
+// backoff; transport-level kUnavailable (daemon died) is not retried — there is no
+// reconnect, matching how a failed rank mid-save is handled everywhere else.
+
+#ifndef UCP_SRC_STORE_REMOTE_STORE_H_
+#define UCP_SRC_STORE_REMOTE_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/store/store.h"
+#include "src/store/wire.h"
+
+namespace ucp {
+
+class RemoteStore final : public Store, public std::enable_shared_from_this<RemoteStore> {
+ public:
+  // Dials `endpoint` ("unix:/path" or "tcp:host:port") and runs the version handshake.
+  static Result<std::shared_ptr<RemoteStore>> Connect(const std::string& endpoint);
+
+  ~RemoteStore() override;
+  RemoteStore(const RemoteStore&) = delete;
+  RemoteStore& operator=(const RemoteStore&) = delete;
+
+  std::string Describe() const override { return endpoint_; }
+  std::string CacheKey(const std::string& rel) const override {
+    return endpoint_ + "!" + rel;
+  }
+  uint64_t session_id() const { return session_id_; }
+
+  Result<std::unique_ptr<ByteSource>> OpenRead(const std::string& rel) override;
+  Result<std::string> ReadSmallFile(const std::string& rel) override;
+  Result<bool> Exists(const std::string& rel) override;
+  Result<std::vector<std::string>> List(const std::string& rel) override;
+  Result<std::vector<std::string>> ListTags(const std::string& job) override;
+
+  Result<std::unique_ptr<StoreWriter>> OpenTagForWrite(const std::string& tag) override;
+  Status ResetTagStaging(const std::string& tag) override;
+  Status CommitTag(const std::string& tag, const std::string& meta_json) override;
+  Status AbortTag(const std::string& tag) override;
+
+  Status DeleteTag(const std::string& tag) override;
+  Result<GcReport> Gc(const std::string& job, int keep_last, bool dry_run) override;
+  Result<int> SweepStagingDebris(const std::string& job) override;
+
+  // Liveness probe (PING round trip).
+  Status Ping();
+
+  // Drops the connection, failing all further calls with kUnavailable. Used by tests to
+  // simulate a client crash mid-stream (the server must discard the partial staging).
+  void CloseForTest();
+
+ private:
+  friend class RemoteByteSource;
+  friend class RemoteStoreWriter;
+
+  RemoteStore(int fd, std::string endpoint, uint64_t session_id, uint32_t max_frame)
+      : fd_(fd), endpoint_(std::move(endpoint)), session_id_(session_id),
+        max_frame_(max_frame) {}
+
+  // One request/response exchange under the connection lock. `ok_op` is the expected
+  // response type; a kError response decodes into its carried Status.
+  Result<WireFrame> Roundtrip(WireOp op, const std::vector<uint8_t>& payload, WireOp ok_op);
+  Result<WireFrame> RoundtripLocked(WireOp op, const std::vector<uint8_t>& payload,
+                                    WireOp ok_op);
+  // Roundtrip with IoRetryPolicy backoff on kUnavailable *responses* (admission control).
+  Result<WireFrame> RoundtripWithRetry(WireOp op, const std::vector<uint8_t>& payload,
+                                       WireOp ok_op);
+
+  Status ReadRange(uint64_t handle, uint64_t offset, void* out, size_t size);
+  void CloseRead(uint64_t handle);
+
+  std::mutex mu_;
+  int fd_ = -1;
+  const std::string endpoint_;
+  const uint64_t session_id_ = 0;
+  const uint32_t max_frame_ = kMaxFramePayload;
+};
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_STORE_REMOTE_STORE_H_

@@ -1,0 +1,706 @@
+#include "src/store/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <utility>
+
+#include "src/common/bytes.h"
+#include "src/common/crc32.h"
+#include "src/common/logging.h"
+#include "src/obs/metrics.h"
+#include "src/tensor/tensor_file.h"
+
+namespace ucp {
+
+namespace {
+
+struct ServerMetrics {
+  obs::Counter& ops = obs::MetricsRegistry::Global().GetCounter("store.server.ops");
+  obs::Counter& bytes_in =
+      obs::MetricsRegistry::Global().GetCounter("store.server.bytes_in");
+  obs::Counter& bytes_out =
+      obs::MetricsRegistry::Global().GetCounter("store.server.bytes_out");
+  obs::Counter& admission_rejects =
+      obs::MetricsRegistry::Global().GetCounter("store.server.admission_rejects");
+  obs::Counter& frame_errors =
+      obs::MetricsRegistry::Global().GetCounter("store.server.frame_crc_errors");
+  obs::Counter& chunk_crc_failures =
+      obs::MetricsRegistry::Global().GetCounter("store.server.chunk_crc_failures");
+  obs::Gauge& sessions = obs::MetricsRegistry::Global().GetGauge("store.server.sessions");
+  obs::Gauge& staged =
+      obs::MetricsRegistry::Global().GetGauge("store.server.staged_bytes");
+
+  static ServerMetrics& Get() {
+    static ServerMetrics* m = new ServerMetrics();
+    return *m;
+  }
+};
+
+Status SendError(int fd, const Status& error) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(error.code()));
+  w.PutString(error.message());
+  return SendFrame(fd, WireOp::kError, w.buffer());
+}
+
+std::vector<uint8_t> EncodeStrList(const std::vector<std::string>& items) {
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(items.size()));
+  for (const std::string& s : items) {
+    w.PutString(s);
+  }
+  return w.TakeBuffer();
+}
+
+}  // namespace
+
+// Read handles carry the file's v3 chunk index so READ_RANGE responses are verified
+// *before* any payload byte crosses the wire — a client never sees bytes the server knows
+// are rotten. Each chunk verifies at most once per handle (same memoization the local
+// views use).
+struct StoreServer::OpenRead {
+  std::unique_ptr<ByteSource> source;
+  std::string rel;
+  // nullopt: legacy v1/v2 or non-container file — served unverified (the client's own
+  // whole-file CRC checks still apply).
+  std::optional<FileChunkIndex> index;
+  std::vector<std::vector<bool>> verified;  // parallel to index->regions
+};
+
+struct StoreServer::Session {
+  uint64_t id = 0;
+  int fd = -1;
+  std::atomic<uint64_t> staged_bytes{0};  // admitted via WRITE_BEGIN, not yet released
+  uint64_t ops = 0;
+
+  // In-flight streamed write (between WRITE_BEGIN and WRITE_END).
+  bool write_open = false;
+  std::string write_tag;
+  std::string write_rel;
+  uint64_t write_total = 0;
+  std::vector<uint8_t> write_buf;
+
+  uint64_t next_handle = 1;
+  std::map<uint64_t, OpenRead> reads;
+};
+
+Result<std::unique_ptr<StoreServer>> StoreServer::Start(StoreServerOptions options) {
+  if (options.root.empty()) {
+    return InvalidArgumentError("store server needs a root directory");
+  }
+  UCP_RETURN_IF_ERROR(MakeDirs(options.root));
+  UCP_ASSIGN_OR_RETURN(Endpoint ep, ParseEndpoint(options.listen));
+  std::unique_ptr<StoreServer> server(new StoreServer(std::move(options)));
+  UCP_ASSIGN_OR_RETURN(server->listen_fd_, ListenEndpoint(ep));
+  if (!ep.is_unix && ep.port == 0) {
+    UCP_ASSIGN_OR_RETURN(ep.port, BoundSocketPort(server->listen_fd_));
+  }
+  server->endpoint_ = EndpointToString(ep);
+  if (!server->options_.http_listen.empty()) {
+    UCP_ASSIGN_OR_RETURN(Endpoint hep, ParseEndpoint(server->options_.http_listen));
+    if (hep.is_unix) {
+      return InvalidArgumentError("http endpoint must be tcp:host:port");
+    }
+    UCP_ASSIGN_OR_RETURN(server->http_fd_, ListenEndpoint(hep));
+    if (hep.port == 0) {
+      UCP_ASSIGN_OR_RETURN(hep.port, BoundSocketPort(server->http_fd_));
+    }
+    server->http_endpoint_ = EndpointToString(hep);
+    server->http_thread_ = std::thread([s = server.get()] { s->HttpLoop(); });
+  }
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+StoreServer::~StoreServer() { Shutdown(false); }
+
+int StoreServer::active_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(sessions_.size());
+}
+
+void StoreServer::Shutdown(bool drain) {
+  if (stopping_.exchange(true)) {
+    // Second call: still join anything the first caller raced past.
+  }
+  const int listen_fd = listen_fd_.exchange(-1);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
+  }
+  const int http_fd = http_fd_.exchange(-1);
+  if (http_fd >= 0) {
+    ::shutdown(http_fd, SHUT_RDWR);
+    ::close(http_fd);
+  }
+  if (drain) {
+    // Busy sessions finish their current exchange; idle ones notice the shutdown when
+    // their client closes or on the next request. Bounded wait, then hard-close.
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (active_sessions() > 0 && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, session] : sessions_) {
+      ::shutdown(session->fd, SHUT_RDWR);  // unblocks the handler's recv
+    }
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  if (http_thread_.joinable()) {
+    http_thread_.join();
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(session_threads_);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+}
+
+void StoreServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    const int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) {
+      return;
+    }
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // listen socket closed by Shutdown
+    }
+    std::shared_ptr<Session> session;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_.load() ||
+          static_cast<int>(sessions_.size()) >= options_.max_sessions) {
+        // Over the session cap: reject before the handshake so the client fails typed.
+        SendError(fd, UnavailableError("server at max_sessions capacity")).ok();
+        ::close(fd);
+        continue;
+      }
+      session = std::make_shared<Session>();
+      session->id = next_session_id_++;
+      session->fd = fd;
+      sessions_[session->id] = session;
+      ServerMetrics::Get().sessions.Set(static_cast<int64_t>(sessions_.size()));
+      session_threads_.emplace_back(
+          [this, fd, session] { ServeConnection(fd, session); });
+    }
+  }
+}
+
+void StoreServer::ServeConnectionForTest(int fd) {
+  auto session = std::make_shared<Session>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    session->id = next_session_id_++;
+    session->fd = fd;
+    sessions_[session->id] = session;
+    ServerMetrics::Get().sessions.Set(static_cast<int64_t>(sessions_.size()));
+  }
+  ServeConnection(fd, session);
+}
+
+void StoreServer::ServeConnection(int fd, std::shared_ptr<Session> session) {
+  // Handshake first: anything else is a protocol error and the connection dies typed.
+  bool greeted = false;
+  for (;;) {
+    Result<WireFrame> frame = RecvFrame(fd);
+    if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kDataLoss) {
+        ServerMetrics::Get().frame_errors.Add(1);
+        SendError(fd, frame.status()).ok();  // best effort before closing
+      }
+      break;  // peer gone or stream unusable
+    }
+    ServerMetrics::Get().ops.Add(1);
+    ServerMetrics::Get().bytes_in.Add(9 + frame->payload.size() + 4);
+    session->ops++;
+    if (!greeted) {
+      if (frame->op != WireOp::kHello) {
+        SendError(fd, FailedPreconditionError("expected HELLO as the first frame")).ok();
+        break;
+      }
+      ByteReader r(frame->payload.data(), frame->payload.size());
+      Result<uint32_t> min_v = r.GetU32();
+      Result<uint32_t> max_v = r.GetU32();
+      if (!min_v.ok() || !max_v.ok() || *min_v > *max_v) {
+        SendError(fd, InvalidArgumentError("malformed HELLO")).ok();
+        break;
+      }
+      if (kWireVersion < *min_v || kWireVersion > *max_v) {
+        SendError(fd, FailedPreconditionError(
+                          "no common protocol version: server speaks v" +
+                          std::to_string(kWireVersion)))
+            .ok();
+        break;
+      }
+      ByteWriter w;
+      w.PutU32(kWireVersion);
+      w.PutU64(session->id);
+      w.PutU32(kMaxFramePayload);
+      if (!SendFrame(fd, WireOp::kHelloOk, w.buffer()).ok()) {
+        break;
+      }
+      greeted = true;
+      continue;
+    }
+    if (!HandleFrame(fd, *frame, *session)) {
+      break;
+    }
+  }
+  // Teardown: a half-streamed write or unreleased admission budget dies with the session —
+  // nothing it staged past a WRITE_END is deleted (it is inert staging debris the next
+  // save's ResetTagStaging or a debris sweep clears), but the budget frees immediately.
+  ReleaseStagedBytes(*session);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.erase(session->id);
+    ServerMetrics::Get().sessions.Set(static_cast<int64_t>(sessions_.size()));
+  }
+  ::close(fd);
+}
+
+void StoreServer::ReleaseStagedBytes(Session& session) {
+  const uint64_t held = session.staged_bytes.exchange(0);
+  if (held > 0) {
+    staged_bytes_.fetch_sub(held);
+    ServerMetrics::Get().staged.Set(static_cast<int64_t>(staged_bytes_.load()));
+  }
+}
+
+Status StoreServer::HandleWriteBegin(const WireFrame& frame, Session& session) {
+  if (session.write_open) {
+    return FailedPreconditionError("WRITE_BEGIN with a write already open");
+  }
+  ByteReader r(frame.payload.data(), frame.payload.size());
+  UCP_ASSIGN_OR_RETURN(std::string tag, r.GetString());
+  UCP_ASSIGN_OR_RETURN(std::string rel, r.GetString());
+  UCP_ASSIGN_OR_RETURN(uint64_t total, r.GetU64());
+  if (!IsSafeStoreName(tag) || !IsSafeStoreRelPath(rel)) {
+    return InvalidArgumentError("bad tag or file name in WRITE_BEGIN");
+  }
+  // Admission control. The oldest session holding staged bytes is always admitted: its
+  // save is the one whose completion releases budget, so stalling it would livelock.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t in_flight = staged_bytes_.load();
+    if (in_flight > 0 && in_flight + total > options_.max_staged_bytes) {
+      uint64_t oldest_with_staging = 0;
+      for (const auto& [id, s] : sessions_) {
+        if (s->staged_bytes.load() > 0) {
+          oldest_with_staging = id;
+          break;  // map iterates in id order
+        }
+      }
+      if (session.id != oldest_with_staging) {
+        ServerMetrics::Get().admission_rejects.Add(1);
+        return UnavailableError("staging budget exhausted (" +
+                                std::to_string(in_flight) + " bytes in flight); retry");
+      }
+    }
+    session.staged_bytes.fetch_add(total);
+    staged_bytes_.fetch_add(total);
+    ServerMetrics::Get().staged.Set(static_cast<int64_t>(staged_bytes_.load()));
+  }
+  UCP_RETURN_IF_ERROR(MakeDirs(StagingDirForTag(store_.root(), tag)));
+  session.write_open = true;
+  session.write_tag = std::move(tag);
+  session.write_rel = std::move(rel);
+  session.write_total = total;
+  session.write_buf.clear();
+  session.write_buf.reserve(total);
+  return OkStatus();
+}
+
+Status StoreServer::HandleWriteEnd(const WireFrame& frame, Session& session) {
+  if (!session.write_open) {
+    return FailedPreconditionError("WRITE_END without WRITE_BEGIN");
+  }
+  session.write_open = false;
+  ByteReader r(frame.payload.data(), frame.payload.size());
+  UCP_ASSIGN_OR_RETURN(uint32_t want_crc, r.GetU32());
+  if (session.write_buf.size() != session.write_total) {
+    return DataLossError("write stream for " + session.write_rel + " truncated: " +
+                         std::to_string(session.write_buf.size()) + " of " +
+                         std::to_string(session.write_total) + " bytes");
+  }
+  if (Crc32(session.write_buf.data(), session.write_buf.size()) != want_crc) {
+    ServerMetrics::Get().chunk_crc_failures.Add(1);
+    return DataLossError("write stream CRC mismatch for " + session.write_rel);
+  }
+  // Only now do the bytes touch disk — through the same WriteFileAtomic (and fault
+  // injector) the direct-FS path uses.
+  const std::string staging = StagingDirForTag(store_.root(), session.write_tag);
+  Status written = WriteFileAtomic(PathJoin(staging, session.write_rel),
+                                   session.write_buf.data(), session.write_buf.size());
+  session.write_buf.clear();
+  session.write_buf.shrink_to_fit();
+  return written;
+}
+
+Result<std::vector<uint8_t>> StoreServer::HandleOpenRead(const WireFrame& frame,
+                                                         Session& session) {
+  ByteReader r(frame.payload.data(), frame.payload.size());
+  UCP_ASSIGN_OR_RETURN(std::string rel, r.GetString());
+  UCP_ASSIGN_OR_RETURN(std::unique_ptr<ByteSource> source, store_.OpenRead(rel));
+  OpenRead open;
+  open.rel = rel;
+  UCP_ASSIGN_OR_RETURN(open.index, ReadFileChunkIndex(*source));
+  if (open.index.has_value()) {
+    open.verified.resize(open.index->regions.size());
+    for (size_t i = 0; i < open.index->regions.size(); ++i) {
+      open.verified[i].assign(open.index->regions[i].chunk_crcs.size(), false);
+    }
+  }
+  open.source = std::move(source);
+  const uint64_t handle = session.next_handle++;
+  const uint64_t size = open.source->size();
+  session.reads[handle] = std::move(open);
+  ByteWriter w;
+  w.PutU64(handle);
+  w.PutU64(size);
+  return w.TakeBuffer();
+}
+
+Result<std::vector<uint8_t>> StoreServer::HandleReadRange(const WireFrame& frame,
+                                                          Session& session) {
+  ByteReader r(frame.payload.data(), frame.payload.size());
+  UCP_ASSIGN_OR_RETURN(uint64_t handle, r.GetU64());
+  UCP_ASSIGN_OR_RETURN(uint64_t offset, r.GetU64());
+  UCP_ASSIGN_OR_RETURN(uint32_t len, r.GetU32());
+  auto it = session.reads.find(handle);
+  if (it == session.reads.end()) {
+    return InvalidArgumentError("READ_RANGE on unknown handle");
+  }
+  OpenRead& open = it->second;
+  if (len > kMaxFramePayload) {
+    return InvalidArgumentError("READ_RANGE larger than max frame");
+  }
+  if (offset + len > open.source->size()) {
+    return OutOfRangeError("READ_RANGE past end of " + open.rel);
+  }
+  // Server-side verification: every chunk the range touches must pass its CRC before the
+  // payload ships (each chunk checked at most once per handle).
+  if (open.index.has_value()) {
+    std::vector<uint8_t> chunk_buf;
+    for (size_t ri = 0; ri < open.index->regions.size(); ++ri) {
+      const ChunkRegion& region = open.index->regions[ri];
+      const uint64_t lo = std::max<uint64_t>(offset, region.begin);
+      const uint64_t hi = std::min<uint64_t>(offset + len, region.end);
+      if (lo >= hi || region.chunk_bytes == 0) {
+        continue;
+      }
+      const uint64_t c0 = (lo - region.begin) / region.chunk_bytes;
+      const uint64_t c1 = (hi - 1 - region.begin) / region.chunk_bytes;
+      for (uint64_t c = c0; c <= c1; ++c) {
+        if (open.verified[ri][static_cast<size_t>(c)]) {
+          continue;
+        }
+        const uint64_t chunk_begin = region.begin + c * region.chunk_bytes;
+        const uint64_t chunk_end =
+            std::min<uint64_t>(chunk_begin + region.chunk_bytes, region.end);
+        chunk_buf.resize(static_cast<size_t>(chunk_end - chunk_begin));
+        UCP_RETURN_IF_ERROR(
+            open.source->ReadAt(chunk_begin, chunk_buf.data(), chunk_buf.size()));
+        if (Crc32(chunk_buf.data(), chunk_buf.size()) !=
+            region.chunk_crcs[static_cast<size_t>(c)]) {
+          ServerMetrics::Get().chunk_crc_failures.Add(1);
+          return DataLossError("per-tensor CRC mismatch in " + open.rel + " (chunk " +
+                               std::to_string(c) + " of " +
+                               std::to_string(region.chunk_crcs.size()) + ")");
+        }
+        open.verified[ri][static_cast<size_t>(c)] = true;
+      }
+    }
+  }
+  std::vector<uint8_t> out(len);
+  UCP_RETURN_IF_ERROR(open.source->ReadAt(offset, out.data(), out.size()));
+  return out;
+}
+
+bool StoreServer::HandleFrame(int fd, const WireFrame& frame, Session& session) {
+  // WRITE_CHUNK is the streaming hot path: no response frame, just append.
+  if (frame.op == WireOp::kWriteChunk) {
+    if (!session.write_open) {
+      SendError(fd, FailedPreconditionError("WRITE_CHUNK without WRITE_BEGIN")).ok();
+      return false;
+    }
+    if (session.write_buf.size() + frame.payload.size() > session.write_total) {
+      session.write_open = false;
+      SendError(fd, DataLossError("write stream overruns declared size for " +
+                                  session.write_rel))
+          .ok();
+      return false;
+    }
+    session.write_buf.insert(session.write_buf.end(), frame.payload.begin(),
+                             frame.payload.end());
+    return true;
+  }
+
+  Status status = OkStatus();
+  Result<std::vector<uint8_t>> payload = std::vector<uint8_t>();
+  WireOp reply_op = WireOp::kOk;
+  switch (frame.op) {
+    case WireOp::kPing:
+      break;
+    case WireOp::kListTags: {
+      ByteReader r(frame.payload.data(), frame.payload.size());
+      Result<std::string> job = r.GetString();
+      if (!job.ok()) {
+        status = job.status();
+        break;
+      }
+      Result<std::vector<std::string>> tags = store_.ListTags(*job);
+      if (!tags.ok()) {
+        status = tags.status();
+        break;
+      }
+      payload = EncodeStrList(*tags);
+      reply_op = WireOp::kStrList;
+      break;
+    }
+    case WireOp::kList: {
+      ByteReader r(frame.payload.data(), frame.payload.size());
+      Result<std::string> rel = r.GetString();
+      if (!rel.ok()) {
+        status = rel.status();
+        break;
+      }
+      Result<std::vector<std::string>> entries = store_.List(*rel);
+      if (!entries.ok()) {
+        status = entries.status();
+        break;
+      }
+      payload = EncodeStrList(*entries);
+      reply_op = WireOp::kStrList;
+      break;
+    }
+    case WireOp::kReadSmall: {
+      ByteReader r(frame.payload.data(), frame.payload.size());
+      Result<std::string> rel = r.GetString();
+      if (!rel.ok()) {
+        status = rel.status();
+        break;
+      }
+      Result<std::string> text = store_.ReadSmallFile(*rel);
+      if (!text.ok()) {
+        status = text.status();
+        break;
+      }
+      if (text->size() > kMaxFramePayload) {
+        status = OutOfRangeError("file too large for READ_SMALL: " + *rel);
+        break;
+      }
+      payload = std::vector<uint8_t>(text->begin(), text->end());
+      reply_op = WireOp::kBytes;
+      break;
+    }
+    case WireOp::kOpenRead: {
+      payload = HandleOpenRead(frame, session);
+      if (!payload.ok()) {
+        status = payload.status();
+      }
+      reply_op = WireOp::kOpenReadOk;
+      break;
+    }
+    case WireOp::kReadRange: {
+      payload = HandleReadRange(frame, session);
+      if (!payload.ok()) {
+        status = payload.status();
+      }
+      reply_op = WireOp::kBytes;
+      break;
+    }
+    case WireOp::kCloseRead: {
+      ByteReader r(frame.payload.data(), frame.payload.size());
+      Result<uint64_t> handle = r.GetU64();
+      if (!handle.ok()) {
+        status = handle.status();
+        break;
+      }
+      session.reads.erase(*handle);
+      break;
+    }
+    case WireOp::kExists: {
+      ByteReader r(frame.payload.data(), frame.payload.size());
+      Result<std::string> rel = r.GetString();
+      if (!rel.ok()) {
+        status = rel.status();
+        break;
+      }
+      Result<bool> exists = store_.Exists(*rel);
+      if (!exists.ok()) {
+        status = exists.status();
+        break;
+      }
+      ByteWriter w;
+      w.PutU8(*exists ? 1 : 0);
+      payload = w.TakeBuffer();
+      reply_op = WireOp::kBool;
+      break;
+    }
+    case WireOp::kResetStaging: {
+      ByteReader r(frame.payload.data(), frame.payload.size());
+      Result<std::string> tag = r.GetString();
+      status = tag.ok() ? store_.ResetTagStaging(*tag) : tag.status();
+      if (status.ok()) {
+        ReleaseStagedBytes(session);  // the reset discarded whatever this session staged
+      }
+      break;
+    }
+    case WireOp::kWriteBegin:
+      status = HandleWriteBegin(frame, session);
+      break;
+    case WireOp::kWriteEnd:
+      status = HandleWriteEnd(frame, session);
+      break;
+    case WireOp::kCommitTag: {
+      ByteReader r(frame.payload.data(), frame.payload.size());
+      Result<std::string> tag = r.GetString();
+      Result<std::string> meta = tag.ok() ? r.GetString() : Result<std::string>(tag.status());
+      status = meta.ok() ? store_.CommitTag(*tag, *meta) : meta.status();
+      if (status.ok()) {
+        ReleaseStagedBytes(session);
+      }
+      break;
+    }
+    case WireOp::kAbortTag: {
+      ByteReader r(frame.payload.data(), frame.payload.size());
+      Result<std::string> tag = r.GetString();
+      status = tag.ok() ? store_.AbortTag(*tag) : tag.status();
+      if (status.ok()) {
+        ReleaseStagedBytes(session);
+      }
+      break;
+    }
+    case WireOp::kDeleteTag: {
+      ByteReader r(frame.payload.data(), frame.payload.size());
+      Result<std::string> tag = r.GetString();
+      status = tag.ok() ? store_.DeleteTag(*tag) : tag.status();
+      break;
+    }
+    case WireOp::kGc: {
+      ByteReader r(frame.payload.data(), frame.payload.size());
+      Result<std::string> job = r.GetString();
+      Result<uint32_t> keep = job.ok() ? r.GetU32() : Result<uint32_t>(job.status());
+      Result<uint8_t> dry = keep.ok() ? r.GetU8() : Result<uint8_t>(keep.status());
+      if (!dry.ok()) {
+        status = dry.status();
+        break;
+      }
+      Result<GcReport> report =
+          store_.Gc(*job, static_cast<int>(*keep), *dry != 0);
+      if (!report.ok()) {
+        status = report.status();
+        break;
+      }
+      ByteWriter w;
+      w.PutU32(static_cast<uint32_t>(report->removed.size()));
+      for (const std::string& tag : report->removed) {
+        w.PutString(tag);
+      }
+      w.PutU32(static_cast<uint32_t>(report->kept.size()));
+      for (const std::string& tag : report->kept) {
+        w.PutString(tag);
+      }
+      payload = w.TakeBuffer();
+      reply_op = WireOp::kGcReport;
+      break;
+    }
+    case WireOp::kSweepDebris: {
+      ByteReader r(frame.payload.data(), frame.payload.size());
+      Result<std::string> job = r.GetString();
+      Result<int> removed = job.ok() ? store_.SweepStagingDebris(*job)
+                                     : Result<int>(job.status());
+      if (!removed.ok()) {
+        status = removed.status();
+        break;
+      }
+      ByteWriter w;
+      w.PutI64(*removed);
+      payload = w.TakeBuffer();
+      reply_op = WireOp::kInt;
+      break;
+    }
+    default:
+      status = UnimplementedError("unknown wire op " +
+                                  std::to_string(static_cast<int>(frame.op)));
+      break;
+  }
+
+  Status sent;
+  if (!status.ok()) {
+    sent = SendError(fd, status);
+  } else {
+    sent = SendFrame(fd, reply_op, *payload);
+    ServerMetrics::Get().bytes_out.Add(9 + payload->size() + 4);
+  }
+  return sent.ok();
+}
+
+void StoreServer::HttpLoop() {
+  while (!stopping_.load()) {
+    const int http_fd = http_fd_.load();
+    if (http_fd < 0) {
+      return;
+    }
+    const int fd = ::accept(http_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    // One tiny blocking exchange per connection: read the request head, answer, close.
+    char buf[2048];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+    std::string body;
+    std::string code = "200 OK";
+    if (n > 0) {
+      buf[n] = '\0';
+      const std::string head(buf);
+      if (head.rfind("GET /healthz", 0) == 0) {
+        body = "ok\n";
+      } else if (head.rfind("GET /metrics", 0) == 0) {
+        body = obs::DumpMetricsText();
+      } else {
+        code = "404 Not Found";
+        body = "not found\n";
+      }
+    } else {
+      ::close(fd);
+      continue;
+    }
+    const std::string response = "HTTP/1.1 " + code +
+                                 "\r\nContent-Type: text/plain; version=0.0.4"
+                                 "\r\nContent-Length: " +
+                                 std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
+                                 body;
+    size_t off = 0;
+    while (off < response.size()) {
+      const ssize_t sent = ::send(fd, response.data() + off, response.size() - off, 0);
+      if (sent <= 0) {
+        break;
+      }
+      off += static_cast<size_t>(sent);
+    }
+    ::close(fd);
+  }
+}
+
+}  // namespace ucp

@@ -1,0 +1,109 @@
+// The checkpoint store daemon: serves a LocalStore root to many concurrent clients over
+// the wire protocol, with per-client sessions, admission control on staged bytes, and a
+// plaintext HTTP /metrics + /healthz endpoint surfacing the process metrics registry.
+//
+// `tools/ucp_serverd.cc` is the thin CLI around this class; tests embed it in-process
+// (which also routes the process-global fault injector through the *server's* threads, so
+// the crash-consistency fault matrix exercises the daemon's own commit path).
+//
+// Admission control: every WRITE_BEGIN reserves its file's bytes against
+// `max_staged_bytes`. When the budget is exhausted, the request is rejected with
+// kUnavailable (clients back off and retry per IoRetryPolicy) — except for the *oldest*
+// session currently holding staged bytes, which is always admitted. That exception is the
+// progress guarantee: the oldest save in flight can always finish and release its budget,
+// so backpressure never deadlocks into livelock.
+
+#ifndef UCP_SRC_STORE_SERVER_H_
+#define UCP_SRC_STORE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/store/local_store.h"
+#include "src/store/wire.h"
+
+namespace ucp {
+
+struct StoreServerOptions {
+  std::string root;                           // directory the daemon serves
+  std::string listen = "unix:/tmp/ucp.sock";  // "unix:/path" or "tcp:host:port" (port 0 ok)
+  std::string http_listen;                    // optional "tcp:host:port" for /metrics
+  int max_sessions = 64;
+  uint64_t max_staged_bytes = 256ull << 20;   // admission budget for in-flight staging
+  bool drain_on_shutdown = true;              // wait for idle sessions before closing them
+};
+
+class StoreServer {
+ public:
+  // Binds, spawns the accept (and optional HTTP) threads, returns a running server.
+  static Result<std::unique_ptr<StoreServer>> Start(StoreServerOptions options);
+
+  ~StoreServer();
+  StoreServer(const StoreServer&) = delete;
+  StoreServer& operator=(const StoreServer&) = delete;
+
+  // Resolved endpoints (TCP port 0 replaced by the kernel's choice).
+  const std::string& endpoint() const { return endpoint_; }
+  const std::string& http_endpoint() const { return http_endpoint_; }
+
+  // Stops accepting, then closes sessions: with drain, idle sessions are closed
+  // immediately and busy ones get to finish their current exchange; without, every
+  // connection is torn down at once (the "daemon killed" arm of the fault tests).
+  void Shutdown(bool drain);
+  void Shutdown() { Shutdown(options_.drain_on_shutdown); }
+
+  int active_sessions() const;
+  uint64_t staged_bytes() const { return staged_bytes_.load(); }
+
+  // Runs the full per-connection protocol on the calling thread until the peer closes —
+  // the socketpair test hook (no accept loop involved).
+  void ServeConnectionForTest(int fd);
+
+ private:
+  struct Session;
+  struct OpenRead;
+
+  explicit StoreServer(StoreServerOptions options)
+      : options_(std::move(options)), store_(options_.root) {}
+
+  void AcceptLoop();
+  void HttpLoop();
+  void ServeConnection(int fd, std::shared_ptr<Session> session);
+  // One request frame -> one (or zero, for chunks) response frame. Returns false when the
+  // connection must close.
+  bool HandleFrame(int fd, const WireFrame& frame, Session& session);
+  Status HandleWriteBegin(const WireFrame& frame, Session& session);
+  Status HandleWriteEnd(const WireFrame& frame, Session& session);
+  Result<std::vector<uint8_t>> HandleReadRange(const WireFrame& frame, Session& session);
+  Result<std::vector<uint8_t>> HandleOpenRead(const WireFrame& frame, Session& session);
+  void ReleaseStagedBytes(Session& session);
+
+  StoreServerOptions options_;
+  LocalStore store_;
+  std::string endpoint_;
+  std::string http_endpoint_;
+
+  // Atomic: Shutdown swaps them to -1 while the accept/http loops are still reading them
+  // to call accept().
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<int> http_fd_{-1};
+  std::thread accept_thread_;
+  std::thread http_thread_;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex mu_;
+  uint64_t next_session_id_ = 1;
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+  std::vector<std::thread> session_threads_;
+  std::atomic<uint64_t> staged_bytes_{0};
+};
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_STORE_SERVER_H_

@@ -1,0 +1,132 @@
+// The ucp_serverd wire protocol: length-prefixed, CRC32-covered binary frames over a
+// Unix-domain or TCP stream socket.
+//
+// Frame layout (all integers little-endian):
+//
+//   u32 magic    'UCPW' (0x57504355)
+//   u8  type     frame type (below)
+//   u32 len      payload byte count, <= kMaxFramePayload
+//   ...          payload
+//   u32 crc      CRC32 over the type byte followed by the payload
+//
+// A frame whose magic, length bound, or CRC fails is a *torn frame*: the receiver reports
+// kDataLoss and the connection is unusable (stream framing is lost). Protocol version is
+// negotiated by the first exchange — HELLO carries the client's [min,max] supported
+// versions, HELLO_OK picks one — so old clients and new servers fail closed with a typed
+// error instead of misparsing each other.
+//
+// Transport-level transient errors (EINTR/EAGAIN, partial send/recv progress) are retried
+// inside SendAll/RecvAll with IoRetryPolicy backoff and surfaced in the io.retry.*
+// metrics; a peer that goes away mid-frame surfaces as kUnavailable (connection-level,
+// maybe the daemon restarts) while torn payloads surface as kDataLoss.
+
+#ifndef UCP_SRC_STORE_WIRE_H_
+#define UCP_SRC_STORE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ucp {
+
+inline constexpr uint32_t kWireMagic = 0x57504355;  // "UCPW" little-endian
+inline constexpr uint32_t kWireVersion = 1;
+// Bound on one frame's payload; larger files stream as multiple WRITE_CHUNK / READ_RANGE
+// exchanges. Also the admission unit for the server's torn-frame defense: a corrupt length
+// field can never make the server allocate more than this.
+inline constexpr uint32_t kMaxFramePayload = 4u << 20;
+// Chunk size the clients use for streaming writes and large range reads.
+inline constexpr uint32_t kWireChunkBytes = 1u << 20;
+
+// Frame types. Requests < 64, responses >= 64.
+enum class WireOp : uint8_t {
+  kHello = 1,         // u32 min_version | u32 max_version
+  kListTags = 2,      // str job
+  kList = 3,          // str rel ("" = root)
+  kReadSmall = 4,     // str rel
+  kOpenRead = 5,      // str rel
+  kReadRange = 6,     // u64 handle | u64 offset | u32 len
+  kCloseRead = 7,     // u64 handle
+  kExists = 8,        // str rel
+  kResetStaging = 9,  // str tag
+  kWriteBegin = 10,   // str tag | str rel | u64 total_bytes
+  kWriteChunk = 11,   // raw bytes (appended to the open write)
+  kWriteEnd = 12,     // u32 crc32 of the whole file body
+  kCommitTag = 13,    // str tag | str meta_json
+  kAbortTag = 14,     // str tag
+  kDeleteTag = 15,    // str tag
+  kGc = 16,           // str job | u32 keep_last | u8 dry_run
+  kSweepDebris = 17,  // str job
+  kPing = 18,         // empty
+
+  kOk = 64,           // empty
+  kError = 65,        // u8 status_code | str message
+  kHelloOk = 66,      // u32 version | u64 session_id | u32 max_frame
+  kStrList = 67,      // u32 count | count * str
+  kBytes = 68,        // raw bytes
+  kOpenReadOk = 69,   // u64 handle | u64 file_size
+  kBool = 70,         // u8
+  kGcReport = 71,     // u32 n_removed | n * str | u32 n_kept | n * str
+  kInt = 72,          // i64
+};
+
+struct WireFrame {
+  WireOp op = WireOp::kPing;
+  std::vector<uint8_t> payload;
+};
+
+// Sends one complete frame. kUnavailable when the peer is gone (EPIPE/ECONNRESET) or
+// transient retries exhaust.
+Status SendFrame(int fd, WireOp op, const void* payload, size_t len);
+inline Status SendFrame(int fd, WireOp op, const std::vector<uint8_t>& payload) {
+  return SendFrame(fd, op, payload.data(), payload.size());
+}
+
+// Receives one complete frame. kUnavailable on clean EOF before any byte (idle peer went
+// away) and on mid-frame disconnect; kDataLoss on bad magic / oversized length / CRC
+// mismatch (torn frame).
+Result<WireFrame> RecvFrame(int fd, uint32_t max_payload = kMaxFramePayload);
+
+// ---- Endpoints ---------------------------------------------------------------------------
+
+// "unix:/path/to.sock" or "tcp:host:port".
+struct Endpoint {
+  bool is_unix = true;
+  std::string path;  // unix
+  std::string host;  // tcp
+  int port = 0;      // tcp; 0 asks the kernel for an ephemeral port (server side)
+};
+
+Result<Endpoint> ParseEndpoint(const std::string& spec);
+std::string EndpointToString(const Endpoint& ep);
+
+// Client connect / server listen. Both return an owned fd.
+Result<int> DialEndpoint(const Endpoint& ep);
+Result<int> ListenEndpoint(const Endpoint& ep);
+// The locally-bound port of a listening TCP socket (after port-0 resolution).
+Result<int> BoundSocketPort(int fd);
+
+// ---- Test-only socket fault injection ----------------------------------------------------
+//
+// Arms a one-shot fault on the Nth send/recv syscall (process-wide, counted from arming).
+// The retry unit test uses this with a socketpair to prove EINTR/EAGAIN and short
+// transfers are absorbed by the IoRetryPolicy and surfaced in io.retry.*.
+struct SocketFault {
+  enum class Op { kSend, kRecv };
+  enum class Kind {
+    kEintr,   // syscall returns -1/EINTR
+    kEagain,  // syscall returns -1/EAGAIN
+    kShort,   // syscall transfers at most 1 byte (exercises the partial-progress loop)
+  };
+  Op op = Op::kRecv;
+  Kind kind = Kind::kEintr;
+  int nth = 0;  // 0 = next matching syscall
+};
+void ArmSocketFault(const SocketFault& fault);
+void ClearSocketFaults();
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_STORE_WIRE_H_

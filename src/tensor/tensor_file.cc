@@ -211,9 +211,9 @@ void PutChunkTable(ByteWriter& w, const std::vector<uint8_t>& payload, uint32_t 
   }
 }
 
-Status CommitV3(const std::string& path, ByteWriter& header,
-                const std::vector<const std::vector<uint8_t>*>& payloads,
-                const std::vector<size_t>& offset_patch_positions) {
+std::vector<uint8_t> BuildV3(ByteWriter& header,
+                             const std::vector<const std::vector<uint8_t>*>& payloads,
+                             const std::vector<size_t>& offset_patch_positions) {
   std::vector<uint8_t> buf = header.TakeBuffer();
   uint64_t header_bytes = buf.size() + 4;  // + header_crc
   PatchU64(buf, 12, header_bytes);
@@ -227,7 +227,7 @@ Status CommitV3(const std::string& path, ByteWriter& header,
     buf.insert(buf.end(), p->begin(), p->end());
   }
   AppendU32(buf, Crc32(buf.data(), buf.size()));  // file_crc
-  return WriteFileAtomic(path, buf.data(), buf.size());
+  return buf;
 }
 
 // ---------------------------------------------------------------------------
@@ -430,16 +430,16 @@ Result<V3BundleHeader> ParseV3BundlePrefix(const uint8_t* prefix, uint64_t size,
   return out;
 }
 
-// Reads the [0, header_bytes) prefix of an on-disk v3 file (prologue already sniffed).
-Result<std::vector<uint8_t>> ReadV3Prefix(const RandomAccessFile& f, const char* kind) {
+// Reads the [0, header_bytes) prefix of a v3 file (prologue already sniffed).
+Result<std::vector<uint8_t>> ReadV3Prefix(ByteSource& f, const char* kind) {
   if (f.size() < 24) {
-    return DataLossError(std::string(kind) + " file truncated: " + f.path());
+    return DataLossError(std::string(kind) + " file truncated: " + f.name());
   }
   uint8_t head[20];
   UCP_RETURN_IF_ERROR(f.ReadAt(0, head, sizeof(head)));
   uint64_t header_bytes = LoadU64(head + 12);
   if (header_bytes < 24 || header_bytes + 4 > f.size()) {
-    return DataLossError(std::string(kind) + " header size out of range in " + f.path());
+    return DataLossError(std::string(kind) + " header size out of range in " + f.name());
   }
   std::vector<uint8_t> prefix(static_cast<size_t>(header_bytes));
   UCP_RETURN_IF_ERROR(f.ReadAt(0, prefix.data(), prefix.size()));
@@ -451,7 +451,7 @@ Result<std::vector<uint8_t>> ReadV3Prefix(const RandomAccessFile& f, const char*
 // elements [elem_begin, elem_begin + elem_count) of a payload living at `payload_offset` in
 // `f`. Unverified chunks are read whole (and their CRC checked once); already-verified
 // chunks are read only where the range overlaps them.
-Status ReadChunkedRange(const RandomAccessFile& f, uint64_t payload_offset,
+Status ReadChunkedRange(ByteSource& f, uint64_t payload_offset,
                         uint64_t payload_bytes, uint32_t chunk_bytes,
                         const std::vector<uint32_t>& crcs, std::vector<bool>& verified,
                         std::vector<uint8_t>& scratch, DType dtype, int64_t elem_begin,
@@ -528,22 +528,30 @@ Status SaveTensor(const std::string& path, const Tensor& tensor, DType dtype) {
   return SaveTensorAtVersion(path, tensor, dtype, kFormatVersion);
 }
 
+Result<std::vector<uint8_t>> SerializeTensor(const Tensor& tensor, DType dtype) {
+  if (!tensor.defined()) {
+    return InvalidArgumentError("SerializeTensor of undefined tensor");
+  }
+  std::vector<uint8_t> payload = EncodePayload(tensor, dtype);
+  ByteWriter w;
+  w.PutU32(kTensorMagic);
+  w.PutU32(kEndianTag);
+  w.PutU32(3);
+  w.PutU64(0);  // header_bytes, patched by BuildV3
+  PutHeader(w, tensor, dtype);
+  w.PutU64(payload.size());
+  PutChunkTable(w, payload, PickChunkBytes(payload.size()));
+  return BuildV3(w, {&payload}, {});
+}
+
 Status SaveTensorAtVersion(const std::string& path, const Tensor& tensor, DType dtype,
                            uint32_t version) {
   if (!tensor.defined()) {
     return InvalidArgumentError("SaveTensor of undefined tensor: " + path);
   }
   if (version == 3) {
-    std::vector<uint8_t> payload = EncodePayload(tensor, dtype);
-    ByteWriter w;
-    w.PutU32(kTensorMagic);
-    w.PutU32(kEndianTag);
-    w.PutU32(3);
-    w.PutU64(0);  // header_bytes, patched by CommitV3
-    PutHeader(w, tensor, dtype);
-    w.PutU64(payload.size());
-    PutChunkTable(w, payload, PickChunkBytes(payload.size()));
-    return CommitV3(path, w, {&payload}, {});
+    UCP_ASSIGN_OR_RETURN(std::vector<uint8_t> buf, SerializeTensor(tensor, dtype));
+    return WriteFileAtomic(path, buf.data(), buf.size());
   }
   if (version != 1 && version != 2) {
     return InvalidArgumentError("unknown tensor format version " + std::to_string(version));
@@ -621,31 +629,37 @@ Status DeepVerifyTensorFile(const std::string& path) {
 // TensorFileView.
 
 Result<TensorFileView> TensorFileView::Open(const std::string& path) {
-  UCP_ASSIGN_OR_RETURN(RandomAccessFile f, RandomAccessFile::Open(path));
-  if (f.size() < 16) {
+  UCP_ASSIGN_OR_RETURN(std::unique_ptr<ByteSource> source, FileByteSource::Open(path));
+  return Open(std::move(source));
+}
+
+Result<TensorFileView> TensorFileView::Open(std::unique_ptr<ByteSource> source) {
+  const std::string path = source->name();
+  if (source->size() < 16) {
     return DataLossError("tensor file truncated: " + path);
   }
   uint8_t prologue[12];
-  UCP_RETURN_IF_ERROR(f.ReadAt(0, prologue, sizeof(prologue)));
+  UCP_RETURN_IF_ERROR(source->ReadAt(0, prologue, sizeof(prologue)));
   UCP_ASSIGN_OR_RETURN(uint32_t version, SniffPrologue(prologue, kTensorMagic, "tensor", path));
   TensorFileView view;
   view.path_ = path;
   if (version == 3) {
-    UCP_ASSIGN_OR_RETURN(std::vector<uint8_t> prefix, ReadV3Prefix(f, "tensor"));
+    UCP_ASSIGN_OR_RETURN(std::vector<uint8_t> prefix, ReadV3Prefix(*source, "tensor"));
     UCP_ASSIGN_OR_RETURN(V3TensorHeader h,
                          ParseV3TensorPrefix(prefix.data(), prefix.size(), path));
-    if (prefix.size() + h.info.payload_bytes + 4 != f.size()) {
+    if (prefix.size() + h.info.payload_bytes + 4 != source->size()) {
       return DataLossError("tensor file truncated: " + path);
     }
     view.info_ = std::move(h.info);
     view.chunk_crcs_ = std::move(h.chunk_crcs);
     view.chunk_verified_.assign(view.chunk_crcs_.size(), false);
     view.payload_offset_ = prefix.size();
-    view.file_ = std::move(f);
+    view.source_ = std::move(source);
     return view;
   }
   // Legacy: read and fully verify the whole file once; ranges are then served from memory.
-  UCP_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  std::string contents(source->size(), '\0');
+  UCP_RETURN_IF_ERROR(source->ReadAt(0, contents.data(), contents.size()));
   CountRead(contents.size());
   UCP_ASSIGN_OR_RETURN(LegacyFile lf, OpenLegacyOrV3(contents, kTensorMagic, "tensor", path));
   UCP_ASSIGN_OR_RETURN(ParsedHeader h, GetHeaderAndSize(lf.reader));
@@ -664,13 +678,13 @@ Status TensorFileView::ReadElements(int64_t elem_begin, int64_t elem_count, floa
                                 std::to_string(elem_begin + elem_count) +
                                 ") out of bounds for " + path_);
   }
-  if (!file_.open()) {
+  if (source_ == nullptr) {
     DecodeElements(legacy_payload_.data() +
                        static_cast<uint64_t>(elem_begin) * DTypeSize(info_.dtype),
                    info_.dtype, elem_count, out);
     return OkStatus();
   }
-  return ReadChunkedRange(file_, payload_offset_, info_.payload_bytes, info_.chunk_bytes,
+  return ReadChunkedRange(*source_, payload_offset_, info_.payload_bytes, info_.chunk_bytes,
                           chunk_crcs_, chunk_verified_, scratch_, info_.dtype, elem_begin,
                           elem_count, out, path_);
 }
@@ -734,17 +748,20 @@ const Tensor* TensorBundle::Find(const std::string& name) const {
 // ---------------------------------------------------------------------------
 // Bundle files.
 
-Status SaveBundle(const std::string& path, const TensorBundle& bundle, DType dtype) {
+Result<std::vector<uint8_t>> SerializeBundle(const TensorBundle& bundle, DType dtype) {
   std::vector<std::vector<uint8_t>> payloads;
   payloads.reserve(bundle.tensors.size());
   for (const auto& [name, tensor] : bundle.tensors) {
+    if (!tensor.defined()) {
+      return InvalidArgumentError("SerializeBundle of undefined tensor " + name);
+    }
     payloads.push_back(EncodePayload(tensor, dtype));
   }
   ByteWriter w;
   w.PutU32(kBundleMagic);
   w.PutU32(kEndianTag);
   w.PutU32(kFormatVersion);
-  w.PutU64(0);  // header_bytes, patched by CommitV3
+  w.PutU64(0);  // header_bytes, patched by BuildV3
   w.PutString(bundle.meta.Dump());
   w.PutU32(static_cast<uint32_t>(bundle.tensors.size()));
   std::vector<size_t> offset_positions;
@@ -756,10 +773,15 @@ Status SaveBundle(const std::string& path, const TensorBundle& bundle, DType dty
     w.PutU64(payloads[i].size());
     PutChunkTable(w, payloads[i], PickChunkBytes(payloads[i].size()));
     offset_positions.push_back(w.size());
-    w.PutU64(0);  // payload_offset, patched by CommitV3
+    w.PutU64(0);  // payload_offset, patched by BuildV3
     payload_ptrs.push_back(&payloads[i]);
   }
-  return CommitV3(path, w, payload_ptrs, offset_positions);
+  return BuildV3(w, payload_ptrs, offset_positions);
+}
+
+Status SaveBundle(const std::string& path, const TensorBundle& bundle, DType dtype) {
+  UCP_ASSIGN_OR_RETURN(std::vector<uint8_t> buf, SerializeBundle(bundle, dtype));
+  return WriteFileAtomic(path, buf.data(), buf.size());
 }
 
 Result<TensorBundle> LoadBundle(const std::string& path) {
@@ -849,20 +871,25 @@ Status DeepVerifyBundleFile(const std::string& path) {
 // BundleFileView.
 
 Result<BundleFileView> BundleFileView::Open(const std::string& path) {
-  UCP_ASSIGN_OR_RETURN(RandomAccessFile f, RandomAccessFile::Open(path));
-  if (f.size() < 16) {
+  UCP_ASSIGN_OR_RETURN(std::unique_ptr<ByteSource> source, FileByteSource::Open(path));
+  return Open(std::move(source));
+}
+
+Result<BundleFileView> BundleFileView::Open(std::unique_ptr<ByteSource> source) {
+  const std::string path = source->name();
+  if (source->size() < 16) {
     return DataLossError("bundle file truncated: " + path);
   }
   uint8_t prologue[12];
-  UCP_RETURN_IF_ERROR(f.ReadAt(0, prologue, sizeof(prologue)));
+  UCP_RETURN_IF_ERROR(source->ReadAt(0, prologue, sizeof(prologue)));
   UCP_ASSIGN_OR_RETURN(uint32_t version, SniffPrologue(prologue, kBundleMagic, "bundle", path));
   BundleFileView view;
   view.path_ = path;
   if (version == 3) {
-    UCP_ASSIGN_OR_RETURN(std::vector<uint8_t> prefix, ReadV3Prefix(f, "bundle"));
+    UCP_ASSIGN_OR_RETURN(std::vector<uint8_t> prefix, ReadV3Prefix(*source, "bundle"));
     UCP_ASSIGN_OR_RETURN(V3BundleHeader h,
                          ParseV3BundlePrefix(prefix.data(), prefix.size(), path));
-    if (h.payload_end + 4 != f.size()) {
+    if (h.payload_end + 4 != source->size()) {
       return DataLossError("bundle file truncated: " + path);
     }
     view.meta_ = std::move(h.meta);
@@ -875,11 +902,12 @@ Result<BundleFileView> BundleFileView::Open(const std::string& path) {
       member.chunk_crcs = std::move(m.chunk_crcs);
       view.members_.push_back(std::move(member));
     }
-    view.file_ = std::move(f);
+    view.source_ = std::move(source);
     return view;
   }
   // Legacy: one verified whole-file read; members become offsets into the raw payload blob.
-  UCP_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  std::string contents(source->size(), '\0');
+  UCP_RETURN_IF_ERROR(source->ReadAt(0, contents.data(), contents.size()));
   CountRead(contents.size());
   UCP_ASSIGN_OR_RETURN(LegacyFile lf, OpenLegacyOrV3(contents, kBundleMagic, "bundle", path));
   UCP_ASSIGN_OR_RETURN(std::string meta_text, lf.reader.GetString());
@@ -937,15 +965,66 @@ Status BundleFileView::ReadTensorElements(size_t entry_index, int64_t elem_begin
                                 entries_[entry_index].first);
   }
   Member& m = members_[entry_index];
-  if (!file_.open()) {
+  if (source_ == nullptr) {
     DecodeElements(legacy_payload_.data() + m.payload_offset +
                        static_cast<uint64_t>(elem_begin) * DTypeSize(info.dtype),
                    info.dtype, elem_count, out);
     return OkStatus();
   }
-  return ReadChunkedRange(file_, m.payload_offset, info.payload_bytes, m.chunk_bytes,
+  return ReadChunkedRange(*source_, m.payload_offset, info.payload_bytes, m.chunk_bytes,
                           m.chunk_crcs, m.chunk_verified, scratch_, info.dtype, elem_begin,
                           elem_count, out, path_ + ":" + entries_[entry_index].first);
+}
+
+// ---------------------------------------------------------------------------
+// Chunk index (server-side READ_RANGE verification).
+
+Result<std::optional<FileChunkIndex>> ReadFileChunkIndex(ByteSource& source) {
+  if (source.size() < 16) {
+    return std::optional<FileChunkIndex>(std::nullopt);
+  }
+  uint8_t prologue[12];
+  UCP_RETURN_IF_ERROR(source.ReadAt(0, prologue, sizeof(prologue)));
+  const uint32_t magic = LoadU32(prologue);
+  const bool is_tensor = magic == kTensorMagic;
+  if (!is_tensor && magic != kBundleMagic) {
+    return std::optional<FileChunkIndex>(std::nullopt);
+  }
+  const char* kind = is_tensor ? "tensor" : "bundle";
+  UCP_ASSIGN_OR_RETURN(uint32_t version, SniffPrologue(prologue, magic, kind, source.name()));
+  if (version != 3) {
+    return std::optional<FileChunkIndex>(std::nullopt);  // v1/v2 have no chunk table
+  }
+  UCP_ASSIGN_OR_RETURN(std::vector<uint8_t> prefix, ReadV3Prefix(source, kind));
+  FileChunkIndex index;
+  if (is_tensor) {
+    UCP_ASSIGN_OR_RETURN(V3TensorHeader h,
+                         ParseV3TensorPrefix(prefix.data(), prefix.size(), source.name()));
+    if (prefix.size() + h.info.payload_bytes + 4 != source.size()) {
+      return DataLossError("tensor file truncated: " + source.name());
+    }
+    ChunkRegion region;
+    region.begin = prefix.size();
+    region.end = prefix.size() + h.info.payload_bytes;
+    region.chunk_bytes = h.info.chunk_bytes;
+    region.chunk_crcs = std::move(h.chunk_crcs);
+    index.regions.push_back(std::move(region));
+  } else {
+    UCP_ASSIGN_OR_RETURN(V3BundleHeader h,
+                         ParseV3BundlePrefix(prefix.data(), prefix.size(), source.name()));
+    if (h.payload_end + 4 != source.size()) {
+      return DataLossError("bundle file truncated: " + source.name());
+    }
+    for (size_t i = 0; i < h.members.size(); ++i) {
+      ChunkRegion region;
+      region.begin = h.members[i].payload_offset;
+      region.end = h.members[i].payload_offset + h.entries[i].second.payload_bytes;
+      region.chunk_bytes = h.members[i].chunk_bytes;
+      region.chunk_crcs = std::move(h.members[i].chunk_crcs);
+      index.regions.push_back(std::move(region));
+    }
+  }
+  return std::optional<FileChunkIndex>(std::move(index));
 }
 
 }  // namespace ucp

@@ -31,6 +31,8 @@
 #define UCP_SRC_TENSOR_TENSOR_FILE_H_
 
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -47,6 +49,12 @@ namespace ucp {
 // back to fp32 (lossy round-trip for bf16/f16, by design).
 Status SaveTensor(const std::string& path, const Tensor& tensor, DType dtype = DType::kF32);
 Result<Tensor> LoadTensor(const std::string& path);
+
+// The exact bytes SaveTensor/SaveBundle would write, without writing them. The checkpoint
+// store's write path streams these through a StoreWriter (local: the same WriteFileAtomic
+// as before; remote: chunked frames to ucp_serverd), so serialization is shared between
+// both backends.
+Result<std::vector<uint8_t>> SerializeTensor(const Tensor& tensor, DType dtype = DType::kF32);
 
 // Writes the legacy format `version` (1 or 2) instead of the current one. Exists for
 // backward-compatibility tests and migration tooling; production saves use SaveTensor.
@@ -90,6 +98,9 @@ void ResetTensorIoStats();
 class TensorFileView {
  public:
   static Result<TensorFileView> Open(const std::string& path);
+  // Same view over any ByteSource (e.g. a remote store file). Ranges become positional
+  // reads against the source; chunk CRCs are still verified on this side of the wire.
+  static Result<TensorFileView> Open(std::unique_ptr<ByteSource> source);
 
   const TensorFileInfo& info() const { return info_; }
   const std::string& path() const { return path_; }
@@ -113,7 +124,7 @@ class TensorFileView {
 
   std::string path_;
   TensorFileInfo info_;
-  RandomAccessFile file_;            // open only for v3 files
+  std::unique_ptr<ByteSource> source_;  // held only for v3 files
   uint64_t payload_offset_ = 0;      // absolute file offset of the raw payload (v3)
   std::vector<uint32_t> chunk_crcs_;
   std::vector<bool> chunk_verified_;
@@ -139,6 +150,8 @@ struct TensorBundle {
 
 Status SaveBundle(const std::string& path, const TensorBundle& bundle,
                   DType dtype = DType::kF32);
+Result<std::vector<uint8_t>> SerializeBundle(const TensorBundle& bundle,
+                                             DType dtype = DType::kF32);
 Result<TensorBundle> LoadBundle(const std::string& path);
 
 // Bundle metadata + member names/shapes without payloads. Header-only for v3 (see
@@ -156,6 +169,7 @@ Result<BundleInfo> StatBundle(const std::string& path);
 class BundleFileView {
  public:
   static Result<BundleFileView> Open(const std::string& path);
+  static Result<BundleFileView> Open(std::unique_ptr<ByteSource> source);
 
   const Json& meta() const { return meta_; }
   const std::string& path() const { return path_; }
@@ -185,10 +199,30 @@ class BundleFileView {
   Json meta_;
   std::vector<std::pair<std::string, TensorFileInfo>> entries_;
   std::vector<Member> members_;
-  RandomAccessFile file_;  // open only for v3 files
+  std::unique_ptr<ByteSource> source_;  // held only for v3 files
   std::vector<uint8_t> scratch_;
   std::vector<uint8_t> legacy_payload_;  // v1/v2: all payloads back to back, verified
 };
+
+// The per-chunk CRC layout of one v3 container file (tensor or bundle), expressed in
+// absolute file offsets. ucp_serverd builds this per open file so READ_RANGE requests can
+// be verified server-side before any payload byte crosses the wire. One region per payload
+// (a tensor file has one; a bundle has one per member, each with its own chunk size).
+struct ChunkRegion {
+  uint64_t begin = 0;  // absolute offset of the payload this region covers
+  uint64_t end = 0;    // one past its last byte
+  uint32_t chunk_bytes = 0;
+  std::vector<uint32_t> chunk_crcs;
+};
+struct FileChunkIndex {
+  std::vector<ChunkRegion> regions;
+};
+
+// Parses the self-checksummed v3 header prefix of `source` into a chunk index. Returns
+// nullopt (not an error) for legacy v1/v2 files and for files that are not UCT1/UCB1
+// containers at all — those are served without server-side payload verification (readers
+// still run their own whole-file checks). kDataLoss when a v3 header is damaged.
+Result<std::optional<FileChunkIndex>> ReadFileChunkIndex(ByteSource& source);
 
 }  // namespace ucp
 

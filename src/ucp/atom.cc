@@ -54,6 +54,23 @@ std::string AtomDir(const std::string& ucp_dir, const std::string& param_name) {
   return PathJoin(PathJoin(ucp_dir, "atoms"), param_name);
 }
 
+std::string AtomRel(const std::string& ucp_rel, const std::string& param_name) {
+  return JoinRel(ucp_rel, JoinRel("atoms", param_name));
+}
+
+namespace {
+
+// Whole-tensor read through a Store's positional source (ReadAtom's remote-capable arm).
+Result<Tensor> LoadTensorFromStore(Store& store, const std::string& rel) {
+  UCP_ASSIGN_OR_RETURN(std::unique_ptr<ByteSource> source, store.OpenRead(rel));
+  UCP_ASSIGN_OR_RETURN(TensorFileView view, TensorFileView::Open(std::move(source)));
+  Tensor t = Tensor::Zeros(view.info().shape);
+  UCP_RETURN_IF_ERROR(view.ReadElements(0, t.numel(), t.data()));
+  return t;
+}
+
+}  // namespace
+
 Status WriteAtom(const std::string& ucp_dir, const ParamState& state,
                  const PatternRule& source_pattern) {
   const std::string dir = AtomDir(ucp_dir, state.name);
@@ -93,6 +110,21 @@ Result<ParamState> ReadAtom(const std::string& ucp_dir, const std::string& param
   return state;
 }
 
+Result<ParamState> ReadAtom(Store& store, const std::string& ucp_rel,
+                            const std::string& param_name) {
+  const std::string dir = AtomRel(ucp_rel, param_name);
+  ParamState state;
+  state.name = param_name;
+  UCP_ASSIGN_OR_RETURN(state.fp32, LoadTensorFromStore(store, JoinRel(dir, "fp32")));
+  UCP_ASSIGN_OR_RETURN(state.exp_avg, LoadTensorFromStore(store, JoinRel(dir, "exp_avg")));
+  UCP_ASSIGN_OR_RETURN(state.exp_avg_sq,
+                       LoadTensorFromStore(store, JoinRel(dir, "exp_avg_sq")));
+  if (!state.fp32.SameShape(state.exp_avg) || !state.fp32.SameShape(state.exp_avg_sq)) {
+    return DataLossError("atom tensors of " + param_name + " have inconsistent shapes");
+  }
+  return state;
+}
+
 Result<Shape> ReadAtomShape(const std::string& ucp_dir, const std::string& param_name) {
   UCP_ASSIGN_OR_RETURN(TensorFileInfo info,
                        StatTensor(PathJoin(AtomDir(ucp_dir, param_name), "fp32")));
@@ -108,9 +140,22 @@ bool IsUcpComplete(const std::string& ucp_dir) {
          FileExists(PathJoin(ucp_dir, "complete"));
 }
 
+bool IsUcpComplete(Store& store, const std::string& ucp_rel) {
+  Result<bool> meta = store.Exists(JoinRel(ucp_rel, "ucp_meta.json"));
+  Result<bool> marker = store.Exists(JoinRel(ucp_rel, "complete"));
+  return meta.ok() && *meta && marker.ok() && *marker;
+}
+
 Result<UcpMeta> ReadUcpMeta(const std::string& ucp_dir) {
   UCP_ASSIGN_OR_RETURN(std::string text,
                        ReadFileToString(PathJoin(ucp_dir, "ucp_meta.json")));
+  UCP_ASSIGN_OR_RETURN(Json json, Json::Parse(text));
+  return UcpMeta::FromJson(json);
+}
+
+Result<UcpMeta> ReadUcpMeta(Store& store, const std::string& ucp_rel) {
+  UCP_ASSIGN_OR_RETURN(std::string text,
+                       store.ReadSmallFile(JoinRel(ucp_rel, "ucp_meta.json")));
   UCP_ASSIGN_OR_RETURN(Json json, Json::Parse(text));
   return UcpMeta::FromJson(json);
 }

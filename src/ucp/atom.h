@@ -16,6 +16,7 @@
 
 #include "src/model/config.h"
 #include "src/parallel/topology.h"
+#include "src/store/store.h"
 #include "src/tensor/tensor.h"
 #include "src/ucp/patterns.h"
 
@@ -43,21 +44,29 @@ struct UcpMeta {
 
 std::string AtomDir(const std::string& ucp_dir, const std::string& param_name);
 
+// Store-relative sibling of AtomDir: the atom directory of `param_name` inside the UCP
+// checkpoint at `ucp_rel` ("" = the store root). Same layout either way.
+std::string AtomRel(const std::string& ucp_rel, const std::string& param_name);
+
 // Writes one atom (three tensor files + sidecar). Thread-safe across distinct params.
 Status WriteAtom(const std::string& ucp_dir, const ParamState& state,
                  const PatternRule& source_pattern);
 
 Result<ParamState> ReadAtom(const std::string& ucp_dir, const std::string& param_name);
+Result<ParamState> ReadAtom(Store& store, const std::string& ucp_rel,
+                            const std::string& param_name);
 
 // Header-only shape probe (used by GenUcpMetadata-style planning and tests).
 Result<Shape> ReadAtomShape(const std::string& ucp_dir, const std::string& param_name);
 
 Status WriteUcpMeta(const std::string& ucp_dir, const UcpMeta& meta);
 Result<UcpMeta> ReadUcpMeta(const std::string& ucp_dir);
+Result<UcpMeta> ReadUcpMeta(Store& store, const std::string& ucp_rel);
 
 // True when the UCP dir carries both its metadata and the `complete` commit marker the
 // converter drops last. A dir without the marker is an aborted conversion.
 bool IsUcpComplete(const std::string& ucp_dir);
+bool IsUcpComplete(Store& store, const std::string& ucp_rel);
 
 }  // namespace ucp
 

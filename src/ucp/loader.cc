@@ -7,6 +7,7 @@
 
 #include "src/common/fs.h"
 #include "src/common/thread_pool.h"
+#include "src/store/local_store.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/tensor/tensor_file.h"
@@ -113,7 +114,7 @@ constexpr const char* kStateFiles[3] = {"fp32", "exp_avg", "exp_avg_sq"};
 // window and becomes one contiguous range read (dim-0 shards: a single run; dim>0 shards: a
 // strided gather). The TensorFileView opens lazily — with a warm slice cache a fully
 // deduplicated task never touches the file.
-Status ReadAssignedSlices(const std::string& path, const AtomAssignment& a,
+Status ReadAssignedSlices(Store& store, const std::string& rel, const AtomAssignment& a,
                           const std::vector<ShardRun>& runs, int64_t want_lo,
                           int64_t want_hi, int64_t partition_offset, float* partition_data,
                           bool use_cache,
@@ -123,9 +124,10 @@ Status ReadAssignedSlices(const std::string& path, const AtomAssignment& a,
     if (view.has_value()) {
       return OkStatus();
     }
-    UCP_ASSIGN_OR_RETURN(TensorFileView opened, TensorFileView::Open(path));
+    UCP_ASSIGN_OR_RETURN(std::unique_ptr<ByteSource> source, store.OpenRead(rel));
+    UCP_ASSIGN_OR_RETURN(TensorFileView opened, TensorFileView::Open(std::move(source)));
     if (opened.info().shape != a.full_shape) {
-      return DataLossError("atom file " + path + " has shape " +
+      return DataLossError("atom file " + rel + " has shape " +
                            ShapeToString(opened.info().shape) + ", plan expects " +
                            ShapeToString(a.full_shape));
     }
@@ -144,9 +146,10 @@ Status ReadAssignedSlices(const std::string& path, const AtomAssignment& a,
     float* out = partition_data + (a.flat_offset + lo - partition_offset);
     if (use_cache) {
       // Ranks that differ only in TP (and, under ZeRO-0, DP) build identical keys for
-      // replicated atoms, so the first one reads and the rest copy.
-      std::string key =
-          path + "#" + std::to_string(file_begin) + "+" + std::to_string(count);
+      // replicated atoms, so the first one reads and the rest copy. CacheKey keeps
+      // LocalStore keys identical to the historical absolute-path keys.
+      std::string key = store.CacheKey(rel) + "#" + std::to_string(file_begin) + "+" +
+                        std::to_string(count);
       UCP_ASSIGN_OR_RETURN(
           std::shared_ptr<const Tensor> slice,
           AtomSliceCache::Global().GetOrLoad(key, [&]() -> Result<Tensor> {
@@ -167,15 +170,16 @@ Status ReadAssignedSlices(const std::string& path, const AtomAssignment& a,
 
 // Per-rank phase: planning, atom reads, flat assembly — no collectives (failures here must
 // not strand peers; see the agreement in LoadUcpCheckpoint).
-Result<UcpLocalState> LoadUcpLocal(const std::string& ucp_dir, RankTrainer& trainer,
-                                   const UcpLoadOptions& options) {
+Result<UcpLocalState> LoadUcpLocal(Store& store, const std::string& ucp_rel,
+                                   RankTrainer& trainer, const UcpLoadOptions& options) {
   // A metadata file without the converter's `complete` marker is an aborted conversion:
   // atoms may be missing or half-written even though the manifest parses.
-  if (FileExists(PathJoin(ucp_dir, "ucp_meta.json")) && !IsUcpComplete(ucp_dir)) {
-    return DataLossError("UCP checkpoint at " + ucp_dir +
+  Result<bool> has_meta = store.Exists(JoinRel(ucp_rel, "ucp_meta.json"));
+  if (has_meta.ok() && *has_meta && !IsUcpComplete(store, ucp_rel)) {
+    return DataLossError("UCP checkpoint at " + JoinRel(store.Describe(), ucp_rel) +
                          " is not committed (missing 'complete' marker)");
   }
-  UCP_ASSIGN_OR_RETURN(UcpMeta meta, ReadUcpMeta(ucp_dir));
+  UCP_ASSIGN_OR_RETURN(UcpMeta meta, ReadUcpMeta(store, ucp_rel));
   if (!SameLogicalModel(meta.model, trainer.config().model)) {
     return FailedPreconditionError(
         "UCP checkpoint was produced by a different model architecture");
@@ -211,7 +215,7 @@ Result<UcpLocalState> LoadUcpLocal(const std::string& ucp_dir, RankTrainer& trai
 
     for (const AtomAssignment& a : plan.assignments) {
       UCP_TRACE_SPAN_ARGS("ucp.load.atom", ::ucp::obs::TraceArgs().S("atom", a.name));
-      UCP_ASSIGN_OR_RETURN(ParamState atom, ReadAtom(ucp_dir, a.name));
+      UCP_ASSIGN_OR_RETURN(ParamState atom, ReadAtom(store, ucp_rel, a.name));
       Tensor fp32_shard = ShardOf(a.target_spec, atom.fp32, target.tp, coord.tp);
       Tensor m_shard = ShardOf(a.target_spec, atom.exp_avg, target.tp, coord.tp);
       Tensor v_shard = ShardOf(a.target_spec, atom.exp_avg_sq, target.tp, coord.tp);
@@ -288,8 +292,8 @@ Result<UcpLocalState> LoadUcpLocal(const std::string& ucp_dir, RankTrainer& trai
                                               .S("atom", a.name)
                                               .S("state", kStateFiles[t.state_index])
                                               .I("numel", t.want_hi - t.want_lo));
-    std::string path = PathJoin(AtomDir(ucp_dir, a.name), kStateFiles[t.state_index]);
-    results[i] = ReadAssignedSlices(path, a, *t.runs, t.want_lo, t.want_hi, p0,
+    std::string rel = JoinRel(AtomRel(ucp_rel, a.name), kStateFiles[t.state_index]);
+    results[i] = ReadAssignedSlices(store, rel, a, *t.runs, t.want_lo, t.want_hi, p0,
                                     buffers[t.state_index], options.use_slice_cache,
                                     keepalive[i]);
   });
@@ -307,13 +311,19 @@ Status LoadUcpCheckpoint(const std::string& ucp_dir, RankTrainer& trainer) {
 
 Status LoadUcpCheckpoint(const std::string& ucp_dir, RankTrainer& trainer,
                          const UcpLoadOptions& options) {
+  LocalStore store(ucp_dir);
+  return LoadUcpCheckpoint(store, "", trainer, options);
+}
+
+Status LoadUcpCheckpoint(Store& store, const std::string& ucp_rel, RankTrainer& trainer,
+                         const UcpLoadOptions& options) {
   UCP_TRACE_NAMED_SPAN(span, "ucp.load");
   UCP_TRACE_SPAN_ARG_S(span, "mode", options.sliced ? "sliced" : "serial");
   static obs::Counter& loads = obs::MetricsRegistry::Global().GetCounter("ucp.loads");
   static obs::Histogram& load_seconds =
       obs::MetricsRegistry::Global().GetHistogram("ucp.load.seconds");
   const auto load_start = std::chrono::steady_clock::now();
-  Result<UcpLocalState> local = LoadUcpLocal(ucp_dir, trainer, options);
+  Result<UcpLocalState> local = LoadUcpLocal(store, ucp_rel, trainer, options);
   // Collective agreement before LoadState's DP all-gather (same rationale as the native
   // loader): every rank reaches this reduction, so one rank's failure fails all ranks
   // instead of deadlocking the collective.

@@ -59,6 +59,15 @@ struct UcpLoadOptions {
 // rank's flat fp32/exp_avg/exp_avg_sq partition, and installs it into the trainer's
 // optimizer (which republishes parameter values). Also restores the Adam step count.
 // The trainer's model config must match the UCP checkpoint's.
+//
+// The Store form is the canonical path: `ucp_rel` names the UCP checkpoint inside the store
+// ("" = the store root, "global_step10.ucp" inside a checkpoint store). The sliced arm
+// issues range reads for exactly the ShardRuns byte ranges it computes — against a
+// RemoteStore those become READ_RANGE frames to ucp_serverd, chunk-CRC-verified
+// server-side. The dir form wraps a LocalStore on `ucp_dir` (identical I/O and slice-cache
+// keys to the historical direct-FS path).
+Status LoadUcpCheckpoint(Store& store, const std::string& ucp_rel, RankTrainer& trainer,
+                         const UcpLoadOptions& options = {});
 Status LoadUcpCheckpoint(const std::string& ucp_dir, RankTrainer& trainer);
 Status LoadUcpCheckpoint(const std::string& ucp_dir, RankTrainer& trainer,
                          const UcpLoadOptions& options);

@@ -384,6 +384,33 @@ TEST_F(SoakTest, FourConcurrentJobsOnOneStoreStayIsolated) {
   EXPECT_EQ(report.audit.ops_per_bucket.size(), 4u);
 }
 
+// The same soak with every job's save path routed through one live in-process daemon:
+// the engines flush over RemoteStore connections while the path-scoped torn-write fault
+// fires inside the daemon's own session threads (server-side injection). Isolation,
+// fault fallback, and retention must hold exactly as in the direct-FS run.
+TEST_F(SoakTest, ConcurrentJobsThroughOneDaemonStayIsolated) {
+  MultiJobOptions options;
+  options.dir = Sub("daemon_store");
+  options.jobs = 3;
+  options.through_daemon = true;
+  MultiJobReport report = RunMultiJobSoak(options);
+
+  EXPECT_TRUE(report.ok()) << JoinLines(report.violations);
+  EXPECT_TRUE(report.fault_fired);
+  ASSERT_EQ(report.jobs.size(), 3u);
+  for (const MultiJobReport::JobResult& job : report.jobs) {
+    EXPECT_TRUE(job.ok) << job.job << ": " << job.status.ToString();
+    EXPECT_TRUE(job.deep_valid) << job.job;
+    EXPECT_TRUE(job.reloaded) << job.job;
+    EXPECT_GT(job.committed_tags, 0) << job.job;
+    EXPECT_LE(job.committed_tags, options.keep_last) << job.job;
+  }
+  // Every job's files saw real (server-side) I/O, and no thread that declared a job
+  // identity ever touched a sibling's files.
+  EXPECT_TRUE(report.audit.violations.empty());
+  EXPECT_EQ(report.audit.ops_per_bucket.size(), 3u);
+}
+
 // ---------------------------------------------------------------------------
 // Large-world stress flatness: per-rank footprint at 128 ranks stays within 2x
 // of the 32-rank baseline.

@@ -1,0 +1,637 @@
+// The Store abstraction and the ucp_serverd wire path, as properties:
+//
+//  1. Conformance: LocalStore and RemoteStore satisfy the same contract — staged
+//     write/commit/read-back, uncommitted tags invisible, wholesale commit replacement,
+//     job-scoped GC, idempotent delete — exercised by one parameterized suite.
+//  2. Torn frames are rejected with a typed kDataLoss at the wire layer, and a server
+//     that receives one closes the connection instead of misparsing the stream.
+//  3. Transient socket errors (EINTR/EAGAIN/short transfers) are absorbed by the
+//     IoRetryPolicy and surfaced in io.retry.*; they never fail a healthy exchange.
+//  4. Admission control bounds in-flight staged bytes: a newcomer is rejected with
+//     kUnavailable while the budget is held, and admitted once the holder commits.
+//  5. A range read over a corrupted chunk fails kDataLoss on both backends (the daemon
+//     verifies chunk CRCs server-side; the file views verify again client-side).
+//  6. Kill-mid-save safety: a client that vanishes mid-stream or a daemon killed before
+//     commit never yields a tag that resume/fsck would accept.
+//  7. The sliced UCP loader is bit-exact over RemoteStore vs LocalStore across a
+//     {TP}x{PP}x{DP} reconfiguration sweep.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/ckpt/checkpoint.h"
+#include "src/common/fs.h"
+#include "src/model/config.h"
+#include "src/obs/metrics.h"
+#include "src/runtime/trainer.h"
+#include "src/store/remote_store.h"
+#include "src/store/server.h"
+#include "src/store/wire.h"
+#include "src/tensor/tensor_file.h"
+#include "src/ucp/converter.h"
+#include "src/ucp/elastic.h"
+#include "src/ucp/loader.h"
+#include "src/ucp/validate.h"
+
+namespace ucp {
+namespace {
+
+uint64_t CounterValue(const std::string& name) {
+  return obs::MetricsRegistry::Global().GetCounter(name).Value();
+}
+
+std::string MetaJson(int64_t iteration) {
+  CheckpointMeta meta;
+  meta.model = TinyGpt();
+  meta.strategy = ParallelConfig{1, 1, 1, 1, 0, 1};
+  meta.iteration = iteration;
+  meta.global_batch = 8;
+  return meta.ToJson().Dump(2);
+}
+
+// ---------------------------------------------------------------------------
+// Property 1: backend conformance. Every test below runs once against a
+// LocalStore on a temp dir and once against a RemoteStore talking to an
+// in-process daemon serving the same dir.
+// ---------------------------------------------------------------------------
+
+class StoreConformanceTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    dir_ = *MakeTempDir("store_conf");
+    if (remote()) {
+      StoreServerOptions options;
+      options.root = dir_;
+      options.listen = "unix:" + dir_ + ".sock";  // sibling path: keeps List("") clean
+      Result<std::unique_ptr<StoreServer>> started =
+          StoreServer::Start(std::move(options));
+      ASSERT_TRUE(started.ok()) << started.status();
+      server_ = std::move(*started);
+      Result<std::shared_ptr<Store>> opened = OpenStore(server_->endpoint());
+      ASSERT_TRUE(opened.ok()) << opened.status();
+      store_ = *opened;
+    } else {
+      store_ = std::make_shared<LocalStore>(dir_);
+    }
+  }
+
+  void TearDown() override {
+    store_.reset();
+    if (server_ != nullptr) {
+      server_->Shutdown();
+      server_.reset();
+    }
+    ASSERT_TRUE(RemoveAll(dir_).ok());
+  }
+
+  bool remote() const { return std::string(GetParam()) == std::string("remote"); }
+
+  void CommitSimpleTag(const std::string& tag, int64_t iteration,
+                       const std::string& file = "shard",
+                       const std::string& payload = "payload") {
+    ASSERT_TRUE(store_->ResetTagStaging(tag).ok());
+    Result<std::unique_ptr<StoreWriter>> writer = store_->OpenTagForWrite(tag);
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    ASSERT_TRUE((*writer)->WriteFile(file, payload).ok());
+    Status committed = store_->CommitTag(tag, MetaJson(iteration));
+    ASSERT_TRUE(committed.ok()) << committed.ToString();
+  }
+
+  std::string dir_;
+  std::unique_ptr<StoreServer> server_;
+  std::shared_ptr<Store> store_;
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, StoreConformanceTest,
+                         ::testing::Values("local", "remote"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+TEST_P(StoreConformanceTest, StagedCommitRoundTrip) {
+  const std::string tag = "global_step1";
+  ASSERT_TRUE(store_->ResetTagStaging(tag).ok());
+  Result<std::unique_ptr<StoreWriter>> writer = store_->OpenTagForWrite(tag);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  EXPECT_EQ((*writer)->tag(), tag);
+
+  // One small file and one file large enough to stream as several wire chunks.
+  ASSERT_TRUE((*writer)->WriteFile("small", std::string("hello store")).ok());
+  std::vector<uint8_t> big(3u * 1024 * 1024 + 7);
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<uint8_t>((i * 131) & 0xff);
+  }
+  ASSERT_TRUE((*writer)->WriteFile("big", big).ok());
+
+  // Nothing is visible before commit.
+  EXPECT_FALSE(IsTagComplete(*store_, tag));
+  ASSERT_TRUE(store_->CommitTag(tag, MetaJson(1)).ok());
+  EXPECT_TRUE(IsTagComplete(*store_, tag));
+
+  Result<std::string> small = store_->ReadSmallFile(JoinRel(tag, "small"));
+  ASSERT_TRUE(small.ok()) << small.status();
+  EXPECT_EQ(*small, "hello store");
+
+  Result<std::unique_ptr<ByteSource>> source = store_->OpenRead(JoinRel(tag, "big"));
+  ASSERT_TRUE(source.ok()) << source.status();
+  EXPECT_EQ((*source)->size(), big.size());
+  // Positional reads at the start, across the 1 MiB wire-chunk boundary, and the tail.
+  for (uint64_t offset : {uint64_t{0}, uint64_t{(1u << 20) - 3}, uint64_t{big.size() - 9}}) {
+    uint8_t buf[16] = {0};
+    const size_t n = std::min<size_t>(sizeof(buf), big.size() - offset);
+    ASSERT_TRUE((*source)->ReadAt(offset, buf, n).ok()) << offset;
+    EXPECT_EQ(std::memcmp(buf, big.data() + offset, n), 0) << offset;
+  }
+
+  Result<std::vector<std::string>> entries = store_->List(tag);
+  ASSERT_TRUE(entries.ok()) << entries.status();
+  EXPECT_NE(std::find(entries->begin(), entries->end(), "big"), entries->end());
+  EXPECT_NE(std::find(entries->begin(), entries->end(), "small"), entries->end());
+  EXPECT_NE(std::find(entries->begin(), entries->end(), "complete"), entries->end());
+
+  Result<std::vector<std::string>> tags = store_->ListTags("");
+  ASSERT_TRUE(tags.ok()) << tags.status();
+  EXPECT_EQ(*tags, std::vector<std::string>{tag});
+  Result<std::string> latest = ReadLatestTag(*store_);
+  ASSERT_TRUE(latest.ok()) << latest.status();
+  EXPECT_EQ(*latest, tag);
+  Result<std::string> valid = FindLatestValidTag(*store_);
+  ASSERT_TRUE(valid.ok()) << valid.status();
+  EXPECT_EQ(*valid, tag);
+  Result<CheckpointMeta> meta = ReadCheckpointMeta(*store_, tag);
+  ASSERT_TRUE(meta.ok()) << meta.status();
+  EXPECT_EQ(meta->iteration, 1);
+}
+
+TEST_P(StoreConformanceTest, UncommittedTagsAreInvisibleAndSweepable) {
+  const std::string tag = "global_step5";
+  ASSERT_TRUE(store_->ResetTagStaging(tag).ok());
+  Result<std::unique_ptr<StoreWriter>> writer = store_->OpenTagForWrite(tag);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->WriteFile("shard", std::string("half a save")).ok());
+  writer->reset();
+
+  EXPECT_FALSE(IsTagComplete(*store_, tag));
+  EXPECT_EQ(FindLatestValidTag(*store_).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(ReadCheckpointMeta(*store_, tag).ok());
+
+  // Abort drops the staging dir; a second abort of the now-absent staging is OK.
+  ASSERT_TRUE(store_->AbortTag(tag).ok());
+  ASSERT_TRUE(store_->AbortTag(tag).ok());
+  Result<bool> staged = store_->Exists(tag + ".staging");
+  ASSERT_TRUE(staged.ok());
+  EXPECT_FALSE(*staged);
+
+  // Fresh debris (a crashed save that never aborted) is picked up by the sweeper.
+  ASSERT_TRUE(store_->ResetTagStaging(tag).ok());
+  Result<int> swept = store_->SweepStagingDebris("");
+  ASSERT_TRUE(swept.ok()) << swept.status();
+  EXPECT_GE(*swept, 1);
+}
+
+TEST_P(StoreConformanceTest, CommitWholesaleReplacesPreviousCommit) {
+  CommitSimpleTag("global_step2", 2, "old_shard", "v1");
+  CommitSimpleTag("global_step2", 2, "new_shard", "v2");
+  Result<std::vector<std::string>> entries = store_->List("global_step2");
+  ASSERT_TRUE(entries.ok()) << entries.status();
+  EXPECT_NE(std::find(entries->begin(), entries->end(), "new_shard"), entries->end());
+  EXPECT_EQ(std::find(entries->begin(), entries->end(), "old_shard"), entries->end());
+}
+
+TEST_P(StoreConformanceTest, GcIsJobScopedAndDryRunIsInert) {
+  CommitSimpleTag("global_step1", 1);
+  CommitSimpleTag("global_step2", 2);
+  CommitSimpleTag("global_step3", 3);
+  CommitSimpleTag("jobA.global_step7", 7);
+
+  Result<GcReport> dry = store_->Gc("", 2, /*dry_run=*/true);
+  ASSERT_TRUE(dry.ok()) << dry.status();
+  EXPECT_EQ(dry->removed, std::vector<std::string>{"global_step1"});
+  EXPECT_TRUE(IsTagComplete(*store_, "global_step1"));  // dry run deleted nothing
+
+  Result<GcReport> wet = store_->Gc("", 2, /*dry_run=*/false);
+  ASSERT_TRUE(wet.ok()) << wet.status();
+  EXPECT_EQ(wet->removed, std::vector<std::string>{"global_step1"});
+  EXPECT_FALSE(IsTagComplete(*store_, "global_step1"));
+  EXPECT_TRUE(IsTagComplete(*store_, "global_step3"));
+  // The sibling job's namespace was invisible to the sweep.
+  EXPECT_TRUE(IsTagComplete(*store_, "jobA.global_step7"));
+  Result<std::vector<std::string>> job_tags = store_->ListTags("jobA");
+  ASSERT_TRUE(job_tags.ok());
+  EXPECT_EQ(*job_tags, std::vector<std::string>{"jobA.global_step7"});
+}
+
+TEST_P(StoreConformanceTest, DeleteTagIsIdempotent) {
+  CommitSimpleTag("global_step4", 4);
+  ASSERT_TRUE(store_->DeleteTag("global_step4").ok());
+  Result<bool> exists = store_->Exists("global_step4");
+  ASSERT_TRUE(exists.ok());
+  EXPECT_FALSE(*exists);
+  ASSERT_TRUE(store_->DeleteTag("global_step4").ok());
+}
+
+// Property 5: a range read that touches a corrupted chunk is a typed kDataLoss through
+// either backend; ranges that avoid the chunk still read clean.
+TEST_P(StoreConformanceTest, RangeReadOverCorruptChunkIsTypedDataLoss) {
+  // 256x320 fp32 = 327680 payload bytes = 5 chunks of 64 KiB.
+  Tensor t = Tensor::Zeros({256, 320});
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(i % 977) * 0.5f;
+  }
+  Result<std::vector<uint8_t>> bytes = SerializeTensor(t);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+
+  const std::string tag = "global_step9";
+  ASSERT_TRUE(store_->ResetTagStaging(tag).ok());
+  Result<std::unique_ptr<StoreWriter>> writer = store_->OpenTagForWrite(tag);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->WriteFile("t", *bytes).ok());
+  ASSERT_TRUE(store_->CommitTag(tag, MetaJson(9)).ok());
+
+  // Flip one byte inside chunk 2, directly on the disk both backends bottom out in.
+  const std::string path = PathJoin(dir_, PathJoin(tag, "t"));
+  std::string raw = *ReadFileToString(path);
+  uint64_t header_bytes = 0;
+  std::memcpy(&header_bytes, raw.data() + 12, sizeof(header_bytes));
+  raw[header_bytes + 2 * 65536 + 123] ^= 0x40;
+  ASSERT_TRUE(WriteFileAtomic(path, raw).ok());
+
+  Result<std::unique_ptr<ByteSource>> source = store_->OpenRead(JoinRel(tag, "t"));
+  ASSERT_TRUE(source.ok()) << source.status();
+  Result<TensorFileView> view = TensorFileView::Open(std::move(*source));
+  ASSERT_TRUE(view.ok()) << view.status();
+  // Rows [0, 50) live in chunk 0 — clean and bit-exact.
+  Result<Tensor> head = view->ReadRange(0, 50);
+  ASSERT_TRUE(head.ok()) << head.status();
+  EXPECT_TRUE(Tensor::BitEqual(*head, t.Narrow(0, 0, 50)));
+  // Rows [100, 120) straddle the corrupted chunk 2.
+  EXPECT_EQ(view->ReadRange(100, 20).status().code(), StatusCode::kDataLoss);
+}
+
+// ---------------------------------------------------------------------------
+// Property 2: torn frames.
+// ---------------------------------------------------------------------------
+
+void PutU32Le(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v & 0xff));
+  out.push_back(static_cast<uint8_t>((v >> 8) & 0xff));
+  out.push_back(static_cast<uint8_t>((v >> 16) & 0xff));
+  out.push_back(static_cast<uint8_t>((v >> 24) & 0xff));
+}
+
+std::vector<uint8_t> RawFrame(uint32_t magic, uint8_t type, uint32_t len,
+                              const std::string& payload, uint32_t crc) {
+  std::vector<uint8_t> out;
+  PutU32Le(out, magic);
+  out.push_back(type);
+  PutU32Le(out, len);
+  out.insert(out.end(), payload.begin(), payload.end());
+  PutU32Le(out, crc);
+  return out;
+}
+
+TEST(WireTest, TornFramesAreTypedDataLoss) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  // A well-formed frame round-trips.
+  const std::string payload = "abcd";
+  ASSERT_TRUE(SendFrame(fds[0], WireOp::kPing, payload.data(), payload.size()).ok());
+  Result<WireFrame> good = RecvFrame(fds[1]);
+  ASSERT_TRUE(good.ok()) << good.status();
+  EXPECT_EQ(good->op, WireOp::kPing);
+  ASSERT_EQ(good->payload.size(), payload.size());
+  EXPECT_EQ(std::memcmp(good->payload.data(), payload.data(), payload.size()), 0);
+
+  // Same frame with a wrong CRC: torn.
+  std::vector<uint8_t> bad_crc = RawFrame(
+      kWireMagic, static_cast<uint8_t>(WireOp::kPing), 4, payload, 0xDEADBEEFu);
+  ASSERT_EQ(::write(fds[0], bad_crc.data(), bad_crc.size()),
+            static_cast<ssize_t>(bad_crc.size()));
+  EXPECT_EQ(RecvFrame(fds[1]).status().code(), StatusCode::kDataLoss);
+
+  // Bad magic.
+  int more[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, more), 0);
+  std::vector<uint8_t> bad_magic = RawFrame(
+      0x12345678u, static_cast<uint8_t>(WireOp::kPing), 4, payload, 0u);
+  ASSERT_EQ(::write(more[0], bad_magic.data(), bad_magic.size()),
+            static_cast<ssize_t>(bad_magic.size()));
+  EXPECT_EQ(RecvFrame(more[1]).status().code(), StatusCode::kDataLoss);
+
+  // A length beyond the frame bound is rejected before any allocation that size.
+  int oversized[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, oversized), 0);
+  std::vector<uint8_t> too_big = RawFrame(
+      kWireMagic, static_cast<uint8_t>(WireOp::kPing), kMaxFramePayload + 1, "", 0u);
+  ASSERT_EQ(::write(oversized[0], too_big.data(), too_big.size()),
+            static_cast<ssize_t>(too_big.size()));
+  EXPECT_EQ(RecvFrame(oversized[1]).status().code(), StatusCode::kDataLoss);
+
+  for (int fd : {fds[0], fds[1], more[0], more[1], oversized[0], oversized[1]}) {
+    ::close(fd);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Remote-only properties: a live in-process daemon.
+// ---------------------------------------------------------------------------
+
+class StoreServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = *MakeTempDir("store_srv");
+    StoreServerOptions options;
+    options.root = dir_;
+    options.listen = "unix:" + dir_ + ".sock";
+    StartServer(std::move(options));
+  }
+
+  void StartServer(StoreServerOptions options) {
+    Result<std::unique_ptr<StoreServer>> started = StoreServer::Start(std::move(options));
+    ASSERT_TRUE(started.ok()) << started.status();
+    server_ = std::move(*started);
+  }
+
+  void TearDown() override {
+    ClearSocketFaults();
+    if (server_ != nullptr) {
+      server_->Shutdown();
+    }
+    ASSERT_TRUE(RemoveAll(dir_).ok());
+  }
+
+  std::shared_ptr<RemoteStore> Connect() {
+    Result<std::shared_ptr<RemoteStore>> store = RemoteStore::Connect(server_->endpoint());
+    UCP_CHECK(store.ok()) << store.status();
+    return *store;
+  }
+
+  std::string dir_;
+  std::unique_ptr<StoreServer> server_;
+};
+
+// A server that receives a torn frame closes the connection rather than resynchronize a
+// stream whose framing is lost.
+TEST_F(StoreServerTest, ServerClosesConnectionOnTornFrame) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread serve([&] { server_->ServeConnectionForTest(fds[1]); });
+
+  std::vector<uint8_t> hello;
+  PutU32Le(hello, kWireVersion);
+  PutU32Le(hello, kWireVersion);
+  ASSERT_TRUE(SendFrame(fds[0], WireOp::kHello, hello).ok());
+  Result<WireFrame> ok = RecvFrame(fds[0]);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  ASSERT_EQ(ok->op, WireOp::kHelloOk);
+
+  const uint64_t crc_errors_before = CounterValue("store.server.frame_crc_errors");
+  std::vector<uint8_t> torn = RawFrame(
+      kWireMagic, static_cast<uint8_t>(WireOp::kPing), 4, "abcd", 0xDEADBEEFu);
+  ASSERT_EQ(::write(fds[0], torn.data(), torn.size()), static_cast<ssize_t>(torn.size()));
+
+  // The server sends one best-effort typed error frame, then hangs up: the read after it
+  // sees EOF (kUnavailable), never a reply to the torn request.
+  Result<WireFrame> err = RecvFrame(fds[0]);
+  ASSERT_TRUE(err.ok()) << err.status();
+  EXPECT_EQ(err->op, WireOp::kError);
+  EXPECT_EQ(RecvFrame(fds[0]).status().code(), StatusCode::kUnavailable);
+  serve.join();
+  EXPECT_GT(CounterValue("store.server.frame_crc_errors"), crc_errors_before);
+  ::close(fds[0]);
+}
+
+// A client whose supported version window misses the server's fails closed with a typed
+// error frame instead of misparsing later exchanges.
+TEST_F(StoreServerTest, VersionMismatchFailsClosed) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread serve([&] { server_->ServeConnectionForTest(fds[1]); });
+
+  std::vector<uint8_t> hello;
+  PutU32Le(hello, kWireVersion + 7);
+  PutU32Le(hello, kWireVersion + 9);
+  ASSERT_TRUE(SendFrame(fds[0], WireOp::kHello, hello).ok());
+  Result<WireFrame> reply = RecvFrame(fds[0]);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->op, WireOp::kError);
+  serve.join();
+  ::close(fds[0]);
+}
+
+// Property 3: transient socket errors on either side of an exchange are retried, counted
+// in io.retry.*, and invisible to the caller.
+TEST_F(StoreServerTest, TransientSocketErrorsAreRetriedNotFatal) {
+  std::shared_ptr<RemoteStore> store = Connect();
+  const uint64_t retries_before = CounterValue("io.retry.retries");
+  const uint64_t transient_before = CounterValue("io.retry.transient_errors");
+  const uint64_t giveups_before = CounterValue("io.retry.giveups");
+
+  const SocketFault::Op ops[] = {SocketFault::Op::kSend, SocketFault::Op::kRecv};
+  const SocketFault::Kind kinds[] = {SocketFault::Kind::kEintr, SocketFault::Kind::kEagain,
+                                     SocketFault::Kind::kShort};
+  int injected = 0;
+  for (SocketFault::Op op : ops) {
+    for (SocketFault::Kind kind : kinds) {
+      SocketFault fault;
+      fault.op = op;
+      fault.kind = kind;
+      fault.nth = 0;
+      ArmSocketFault(fault);
+      Status ping = store->Ping();
+      EXPECT_TRUE(ping.ok()) << ping.ToString();
+      // A short transfer is partial progress, not an error: only the EINTR/EAGAIN arms
+      // count toward io.retry.transient_errors.
+      if (kind != SocketFault::Kind::kShort) {
+        ++injected;
+      }
+    }
+  }
+  ClearSocketFaults();
+
+  EXPECT_GE(CounterValue("io.retry.transient_errors") - transient_before,
+            static_cast<uint64_t>(injected));
+  EXPECT_GT(CounterValue("io.retry.retries"), retries_before);
+  EXPECT_EQ(CounterValue("io.retry.giveups"), giveups_before);
+}
+
+// Property 4: the staged-bytes budget rejects a newcomer while held and admits it after
+// the holder commits — backpressure, not deadlock.
+TEST_F(StoreServerTest, AdmissionControlRejectsThenAdmits) {
+  server_->Shutdown();
+  StoreServerOptions options;
+  options.root = dir_;
+  options.listen = "unix:" + dir_ + ".sock";
+  options.max_staged_bytes = 64 * 1024;
+  StartServer(std::move(options));
+
+  std::shared_ptr<RemoteStore> first = Connect();
+  std::shared_ptr<RemoteStore> second = Connect();
+  const std::string blob(60 * 1024, 'x');
+
+  ASSERT_TRUE(first->ResetTagStaging("global_step1").ok());
+  Result<std::unique_ptr<StoreWriter>> w1 = first->OpenTagForWrite("global_step1");
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE((*w1)->WriteFile("shard", blob).ok());
+  EXPECT_EQ(server_->staged_bytes(), blob.size());
+
+  // The budget is held by the first session; the second is turned away (after its
+  // bounded client-side retries) with kUnavailable.
+  const uint64_t rejects_before = CounterValue("store.server.admission_rejects");
+  ASSERT_TRUE(second->ResetTagStaging("global_step2").ok());
+  Result<std::unique_ptr<StoreWriter>> w2 = second->OpenTagForWrite("global_step2");
+  ASSERT_TRUE(w2.ok());
+  EXPECT_EQ((*w2)->WriteFile("shard", blob).code(), StatusCode::kUnavailable);
+  EXPECT_GT(CounterValue("store.server.admission_rejects"), rejects_before);
+
+  // Commit releases the budget; the same write now goes through and commits.
+  ASSERT_TRUE(first->CommitTag("global_step1", MetaJson(1)).ok());
+  EXPECT_EQ(server_->staged_bytes(), 0u);
+  ASSERT_TRUE((*w2)->WriteFile("shard", blob).ok());
+  ASSERT_TRUE(second->CommitTag("global_step2", MetaJson(2)).ok());
+  EXPECT_TRUE(IsTagComplete(dir_, "global_step2"));
+}
+
+// Property 6a: a client that vanishes mid-save leaves no visible tag, the server releases
+// its admission budget, and the next client saves normally.
+TEST_F(StoreServerTest, ClientCrashMidSaveLeavesNoVisibleTag) {
+  std::shared_ptr<RemoteStore> doomed = Connect();
+  ASSERT_TRUE(doomed->ResetTagStaging("global_step3").ok());
+  Result<std::unique_ptr<StoreWriter>> writer = doomed->OpenTagForWrite("global_step3");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->WriteFile("shard", std::string(128 * 1024, 'y')).ok());
+  doomed->CloseForTest();  // the "client crashed before commit" arm
+
+  // The server notices the hangup, drops the session, and releases its staged bytes.
+  for (int i = 0; i < 100 && server_->staged_bytes() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(server_->staged_bytes(), 0u);
+  EXPECT_FALSE(IsTagComplete(dir_, "global_step3"));
+  EXPECT_EQ(FindLatestValidTag(dir_).status().code(), StatusCode::kNotFound);
+
+  std::shared_ptr<RemoteStore> next = Connect();
+  ASSERT_TRUE(next->ResetTagStaging("global_step3").ok());
+  Result<std::unique_ptr<StoreWriter>> retry = next->OpenTagForWrite("global_step3");
+  ASSERT_TRUE(retry.ok());
+  ASSERT_TRUE((*retry)->WriteFile("shard", std::string("fresh")).ok());
+  ASSERT_TRUE(next->CommitTag("global_step3", MetaJson(3)).ok());
+  EXPECT_TRUE(IsTagComplete(dir_, "global_step3"));
+}
+
+// Property 6b (the acceptance gate): killing the daemon mid-save never leaves a tag that
+// fsck or ResumeElastic accepts; resume lands on the last committed save.
+TEST_F(StoreServerTest, DaemonKillMidSaveNeverLeavesAcceptedTag) {
+  // A real save through the daemon first: the sync save path over RemoteStore.
+  TrainerConfig config;
+  config.model = TinyGpt();
+  config.strategy = ParallelConfig{1, 1, 1, 1, 0, 1};
+  config.global_batch = 8;
+  {
+    std::shared_ptr<RemoteStore> store = Connect();
+    TrainingRun run(config);
+    run.Train(1, 2);
+    run.Run([&](RankTrainer& trainer) {
+      Status saved = SaveDistributedCheckpoint(*store, trainer, 2);
+      UCP_CHECK(saved.ok()) << saved.ToString();
+    });
+  }
+  ASSERT_TRUE(IsTagComplete(dir_, "global_step2"));
+
+  // Stage the next save and kill the daemon (no drain) before it commits.
+  std::shared_ptr<RemoteStore> store = Connect();
+  ASSERT_TRUE(store->ResetTagStaging("global_step3").ok());
+  Result<std::unique_ptr<StoreWriter>> writer = store->OpenTagForWrite("global_step3");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->WriteFile("shard", std::string(64 * 1024, 'z')).ok());
+  server_->Shutdown(/*drain=*/false);
+  EXPECT_FALSE(store->CommitTag("global_step3", MetaJson(3)).ok());
+
+  // The interrupted tag is invisible to every acceptance path.
+  EXPECT_FALSE(IsTagComplete(dir_, "global_step3"));
+  Result<std::string> valid = FindLatestValidTag(dir_);
+  ASSERT_TRUE(valid.ok()) << valid.status();
+  EXPECT_EQ(*valid, "global_step2");
+  Result<FsckReport> fsck = Fsck(dir_, /*quarantine=*/false);
+  ASSERT_TRUE(fsck.ok()) << fsck.status();
+
+  TrainingRun resumed(config);
+  resumed.Run([&](RankTrainer& trainer) {
+    Result<ResumeReport> report = ResumeElastic(dir_, trainer);
+    UCP_CHECK(report.ok()) << report.status();
+    UCP_CHECK(report->tag == "global_step2") << report->tag;
+    UCP_CHECK(report->iteration == 2) << report->iteration;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Property 7: the sliced loader is bit-exact over the wire.
+// ---------------------------------------------------------------------------
+
+TEST_F(StoreServerTest, SlicedLoadOverRemoteBitExactWithLocalAcrossSweep) {
+  ModelConfig model = TinyGpt();
+  TrainerConfig source_config;
+  source_config.model = model;
+  source_config.strategy = ParallelConfig{1, 1, 2, 1, 1, 1};
+  source_config.global_batch = 8;
+  TrainingRun source(source_config);
+  source.Train(1, 3);
+  source.Run([&](RankTrainer& trainer) {
+    Status saved = SaveDistributedCheckpoint(dir_, trainer, 3);
+    UCP_CHECK(saved.ok()) << saved.ToString();
+  });
+  Result<ConvertStats> converted =
+      ConvertToUcp(dir_, "global_step3", PathJoin(dir_, "ucp"), {.num_threads = 2});
+  ASSERT_TRUE(converted.ok()) << converted.status();
+
+  std::shared_ptr<RemoteStore> remote = Connect();
+  for (int tp : {1, 2, 4}) {
+    for (int pp : {1, 2}) {
+      for (int dp : {1, 2}) {
+        ParallelConfig target{tp, pp, dp, 1, 1, 1};
+        SCOPED_TRACE(target.ToString());
+        TrainerConfig config;
+        config.model = model;
+        config.strategy = target;
+        config.global_batch = 8;
+
+        UcpLoadOptions load_options;
+        load_options.num_threads = 2;
+        load_options.sliced = true;
+
+        TrainingRun local_run(config);
+        local_run.Run([&](RankTrainer& trainer) {
+          Status loaded = LoadUcpCheckpoint(PathJoin(dir_, "ucp"), trainer, load_options);
+          UCP_CHECK(loaded.ok()) << loaded.ToString();
+        });
+        TrainingRun remote_run(config);
+        remote_run.Run([&](RankTrainer& trainer) {
+          Status loaded = LoadUcpCheckpoint(*remote, "ucp", trainer, load_options);
+          UCP_CHECK(loaded.ok()) << loaded.ToString();
+        });
+
+        for (int r = 0; r < local_run.world_size(); ++r) {
+          const ZeroOptimizer& a = remote_run.trainer(r).optimizer();
+          const ZeroOptimizer& b = local_run.trainer(r).optimizer();
+          EXPECT_TRUE(Tensor::BitEqual(a.MasterState(), b.MasterState())) << "rank " << r;
+          EXPECT_TRUE(Tensor::BitEqual(a.ExpAvgState(), b.ExpAvgState())) << "rank " << r;
+          EXPECT_TRUE(Tensor::BitEqual(a.ExpAvgSqState(), b.ExpAvgSqState()))
+              << "rank " << r;
+          EXPECT_EQ(a.steps_taken(), b.steps_taken()) << "rank " << r;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ucp

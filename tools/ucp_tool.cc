@@ -53,12 +53,29 @@
 //       against a fresh directory (or <replay_dir>) and diff the regenerated log against
 //       the input. Exits 0 when the replay is byte-identical, 1 on divergence or replayed
 //       invariant violations.
+//
+//   ucp_tool tags [--store ENDPOINT | <ckpt_dir>]
+//       List every checkpoint tag in the store with its commit status and the `latest`
+//       pointer(s).
+//
+//   ucp_tool help
+//       Print this usage text to stdout and exit 0.
+//
+// Store-aware subcommands (tags, gc, inspect-ckpt) accept `--store unix:/path` or
+// `--store tcp:host:port` in place of <ckpt_dir> to run against a live ucp_serverd
+// (docs/store.md). Every subcommand prints usage to stderr and exits 2 on bad arguments;
+// operational failures exit 1.
 
 #include <algorithm>
+#include <cerrno>
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "src/ckpt/checkpoint.h"
@@ -75,24 +92,32 @@
 namespace ucp {
 namespace {
 
-int Usage() {
-  std::fprintf(stderr,
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
                "usage:\n"
                "  ucp_tool convert <ckpt_dir> <tag> <ucp_dir> [--threads N] [--spec FILE]\n"
                "  ucp_tool convert-foreign <foreign_dir> <tag> <ucp_dir> [--threads N]\n"
                "  ucp_tool inspect <ucp_dir>\n"
-               "  ucp_tool inspect-ckpt <ckpt_dir> <tag>\n"
+               "  ucp_tool inspect-ckpt [--store ENDPOINT | <ckpt_dir>] <tag>\n"
                "  ucp_tool spec <ckpt_dir> <tag>\n"
                "  ucp_tool plan <ucp_dir> <tp> <pp> <dp> <sp> <zero_stage> [rank]\n"
                "  ucp_tool validate <ucp_dir>\n"
                "  ucp_tool validate-ckpt <ckpt_dir> <tag>\n"
                "  ucp_tool fsck <path> [--quarantine] [--fast] [--threads N]\n"
                "  ucp_tool stat <ucp_dir>\n"
+               "  ucp_tool tags [--store ENDPOINT | <ckpt_dir>]\n"
                "  ucp_tool prune <ckpt_dir> <keep_last>\n"
-               "  ucp_tool gc <ckpt_dir> <keep_last> [--dry-run]\n"
+               "  ucp_tool gc [--store ENDPOINT | <ckpt_dir>] <keep_last> [--dry-run]\n"
                "  ucp_tool metrics [<subcommand> <args...>]\n"
                "  ucp_tool trace-cat <file>\n"
-               "  ucp_tool soak-replay <failure.jsonl> [<replay_dir>]\n");
+               "  ucp_tool soak-replay <failure.jsonl> [<replay_dir>]\n"
+               "  ucp_tool help\n"
+               "\n"
+               "ENDPOINT is unix:/path or tcp:host:port, naming a running ucp_serverd.\n");
+}
+
+int Usage() {
+  PrintUsage(stderr);
   return 2;
 }
 
@@ -104,30 +129,79 @@ int Fail(const Status& status) {
 struct Flags {
   int threads = 4;
   std::string spec_file;
+  std::string store;  // remote endpoint for store-aware subcommands
   bool quarantine = false;
   bool fast = false;
   bool dry_run = false;
+  std::string bad_flag;  // first unknown/malformed --flag, "" when parsing was clean
   std::vector<std::string> positional;
 };
+
+// Strict integer parse for positional numeric arguments — `ucp_tool gc dir x` must be a
+// usage error, not atoi's silent 0.
+bool ParseInt(const std::string& text, int* out) {
+  if (text.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(text.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0' || parsed < INT_MIN || parsed > INT_MAX) {
+    return false;
+  }
+  *out = static_cast<int>(parsed);
+  return true;
+}
 
 Flags ParseFlags(int argc, char** argv, int first) {
   Flags flags;
   for (int i = first; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      flags.threads = std::atoi(argv[++i]);
+      if (!ParseInt(argv[++i], &flags.threads)) {
+        flags.bad_flag = "--threads";
+      }
     } else if (std::strcmp(argv[i], "--spec") == 0 && i + 1 < argc) {
       flags.spec_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
+      flags.store = argv[++i];
+    } else if (std::strncmp(argv[i], "--store=", 8) == 0) {
+      flags.store = argv[i] + 8;
     } else if (std::strcmp(argv[i], "--quarantine") == 0) {
       flags.quarantine = true;
     } else if (std::strcmp(argv[i], "--fast") == 0) {
       flags.fast = true;
     } else if (std::strcmp(argv[i], "--dry-run") == 0) {
       flags.dry_run = true;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      // A flag no subcommand knows (or one missing its value). Treating it as a positional
+      // used to surface as a confusing downstream error; it is a usage error.
+      if (flags.bad_flag.empty()) {
+        flags.bad_flag = argv[i];
+      }
     } else {
       flags.positional.push_back(argv[i]);
     }
   }
   return flags;
+}
+
+// Opens the store a subcommand addresses: --store dials a daemon, otherwise the first
+// positional is a local directory (consumed from `positional`). nullptr = usage error.
+std::shared_ptr<Store> OpenToolStore(Flags& flags, Status* error) {
+  if (!flags.store.empty()) {
+    Result<std::shared_ptr<Store>> opened = OpenStore(flags.store);
+    if (!opened.ok()) {
+      *error = opened.status();
+      return nullptr;
+    }
+    return *opened;
+  }
+  if (flags.positional.empty()) {
+    return nullptr;  // neither --store nor a directory: usage error
+  }
+  std::shared_ptr<Store> store = std::make_shared<LocalStore>(flags.positional.front());
+  flags.positional.erase(flags.positional.begin());
+  return store;
 }
 
 int CmdConvert(const Flags& flags, bool foreign) {
@@ -195,27 +269,76 @@ int CmdInspect(const Flags& flags) {
   return 0;
 }
 
-int CmdInspectCkpt(const Flags& flags) {
-  if (flags.positional.size() != 2) {
+int CmdInspectCkpt(Flags flags) {
+  Status open_error = OkStatus();
+  std::shared_ptr<Store> store = OpenToolStore(flags, &open_error);
+  if (store == nullptr) {
+    return open_error.ok() ? Usage() : Fail(open_error);
+  }
+  if (flags.positional.size() != 1) {
     return Usage();
   }
-  Result<CheckpointMeta> meta = ReadCheckpointMeta(flags.positional[0], flags.positional[1]);
+  const std::string& tag = flags.positional[0];
+  Result<CheckpointMeta> meta = ReadCheckpointMeta(*store, tag);
   if (!meta.ok()) {
     return Fail(meta.status());
   }
-  std::printf("native checkpoint: %s/%s\n", flags.positional[0].c_str(),
-              flags.positional[1].c_str());
+  std::printf("native checkpoint: %s/%s\n", store->Describe().c_str(), tag.c_str());
   std::printf("  arch: %s  strategy: %s  iteration: %lld  world size: %d\n",
               ArchKindName(meta->model.arch), meta->strategy.ToString().c_str(),
               static_cast<long long>(meta->iteration), meta->strategy.world_size());
-  Result<std::vector<std::string>> files =
-      ListDir(PathJoin(flags.positional[0], flags.positional[1]));
+  Result<std::vector<std::string>> files = store->List(tag);
   if (!files.ok()) {
     return Fail(files.status());
   }
   std::printf("  shard files (%zu):\n", files->size());
   for (const std::string& file : *files) {
     std::printf("    %s\n", file.c_str());
+  }
+  return 0;
+}
+
+// Every tag in the store (all job namespaces), its commit status, and the latest pointers.
+int CmdTags(Flags flags) {
+  Status open_error = OkStatus();
+  std::shared_ptr<Store> store = OpenToolStore(flags, &open_error);
+  if (store == nullptr) {
+    return open_error.ok() ? Usage() : Fail(open_error);
+  }
+  if (!flags.positional.empty()) {
+    return Usage();
+  }
+  Result<std::vector<std::string>> entries = store->List("");
+  if (!entries.ok()) {
+    return Fail(entries.status());
+  }
+  struct TagRow {
+    std::string job;
+    int64_t iteration = 0;
+    std::string name;
+  };
+  std::vector<TagRow> rows;
+  for (const std::string& name : *entries) {
+    TagRow row;
+    if (ParseTagName(name, &row.job, &row.iteration)) {
+      row.name = name;
+      rows.push_back(std::move(row));
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const TagRow& a, const TagRow& b) {
+    return std::tie(a.job, a.iteration) < std::tie(b.job, b.iteration);
+  });
+  std::printf("store: %s  (%zu tags)\n", store->Describe().c_str(), rows.size());
+  for (const TagRow& row : rows) {
+    std::printf("  %-40s %s\n", row.name.c_str(),
+                IsTagComplete(*store, row.name) ? "committed" : "UNCOMMITTED");
+  }
+  for (const std::string& name : *entries) {
+    if (name == "latest" || name.rfind("latest.", 0) == 0) {
+      Result<std::string> target = store->ReadSmallFile(name);
+      std::printf("  %-40s -> %s\n", name.c_str(),
+                  target.ok() ? target->c_str() : "(unreadable)");
+    }
   }
   return 0;
 }
@@ -242,12 +365,16 @@ int CmdPlan(const Flags& flags) {
     return Fail(meta.status());
   }
   ParallelConfig target;
-  target.tp = std::atoi(flags.positional[1].c_str());
-  target.pp = std::atoi(flags.positional[2].c_str());
-  target.dp = std::atoi(flags.positional[3].c_str());
-  target.sp = std::atoi(flags.positional[4].c_str());
-  target.zero_stage = std::atoi(flags.positional[5].c_str());
-  int rank = flags.positional.size() == 7 ? std::atoi(flags.positional[6].c_str()) : 0;
+  int rank = 0;
+  if (!ParseInt(flags.positional[1], &target.tp) ||
+      !ParseInt(flags.positional[2], &target.pp) ||
+      !ParseInt(flags.positional[3], &target.dp) ||
+      !ParseInt(flags.positional[4], &target.sp) ||
+      !ParseInt(flags.positional[5], &target.zero_stage) ||
+      (flags.positional.size() == 7 && !ParseInt(flags.positional[6], &rank))) {
+    std::fprintf(stderr, "plan arguments after <ucp_dir> must be integers\n");
+    return Usage();
+  }
   if (rank < 0 || rank >= target.world_size()) {
     return Fail(InvalidArgumentError("rank out of range for target grid"));
   }
@@ -355,7 +482,11 @@ int CmdPrune(const Flags& flags) {
   if (flags.positional.size() != 2) {
     return Usage();
   }
-  int keep = std::atoi(flags.positional[1].c_str());
+  int keep = 0;
+  if (!ParseInt(flags.positional[1], &keep)) {
+    std::fprintf(stderr, "bad keep_last: %s\n", flags.positional[1].c_str());
+    return Usage();
+  }
   Status status = PruneCheckpoints(flags.positional[0], keep);
   if (!status.ok()) {
     return Fail(status);
@@ -374,12 +505,21 @@ int CmdPrune(const Flags& flags) {
 // Retention for steady-state training: keep the newest `keep_last` *committed* tags (plus
 // whatever `latest` names), leave uncommitted tags and `.staging` debris to fsck / the
 // next save. `prune` is the blunter tool that counts every tag.
-int CmdGc(const Flags& flags) {
-  if (flags.positional.size() != 2) {
+int CmdGc(Flags flags) {
+  Status open_error = OkStatus();
+  std::shared_ptr<Store> store = OpenToolStore(flags, &open_error);
+  if (store == nullptr) {
+    return open_error.ok() ? Usage() : Fail(open_error);
+  }
+  if (flags.positional.size() != 1) {
     return Usage();
   }
-  int keep = std::atoi(flags.positional[1].c_str());
-  Result<GcReport> report = GcCheckpoints(flags.positional[0], keep, flags.dry_run);
+  int keep = 0;
+  if (!ParseInt(flags.positional[0], &keep)) {
+    std::fprintf(stderr, "bad keep_last: %s\n", flags.positional[0].c_str());
+    return Usage();
+  }
+  Result<GcReport> report = store->Gc(/*job=*/"", keep, flags.dry_run);
   if (!report.ok()) {
     return Fail(report.status());
   }
@@ -563,7 +703,15 @@ int Main(int argc, char** argv) {
     return Usage();
   }
   const std::string command = argv[1];
+  if (command == "help" || command == "--help") {
+    PrintUsage(stdout);
+    return 0;
+  }
   Flags flags = ParseFlags(argc, argv, 2);
+  if (!flags.bad_flag.empty() && command != "metrics") {
+    std::fprintf(stderr, "unknown or malformed flag: %s\n", flags.bad_flag.c_str());
+    return Usage();
+  }
   if (command == "convert") {
     return CmdConvert(flags, /*foreign=*/false);
   }
@@ -593,6 +741,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "stat") {
     return CmdStat(flags);
+  }
+  if (command == "tags") {
+    return CmdTags(flags);
   }
   if (command == "prune") {
     return CmdPrune(flags);
