@@ -77,6 +77,10 @@ struct StoreServer::Session {
   uint64_t id = 0;
   int fd = -1;
   std::atomic<uint64_t> staged_bytes{0};  // admitted via WRITE_BEGIN, not yet released
+  // Attribution of staged_bytes by tag, so releasing one tag (commit/abort/reset) leaves
+  // the budget of other in-flight saves on this connection intact. Only the session's
+  // serving thread touches it; the atomic total above is what other threads read.
+  std::map<std::string, uint64_t> staged_by_tag;
   uint64_t ops = 0;
 
   // In-flight streamed write (between WRITE_BEGIN and WRITE_END).
@@ -125,6 +129,24 @@ int StoreServer::active_sessions() const {
   return static_cast<int>(sessions_.size());
 }
 
+size_t StoreServer::session_thread_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return session_threads_.size() + dead_threads_.size();
+}
+
+void StoreServer::ReapDeadThreads() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done.swap(dead_threads_);
+  }
+  // Each handle here was parked by its own thread on the way out of ServeConnection, so
+  // the join is (at most) a momentary wait for that thread to finish returning.
+  for (std::thread& t : done) {
+    t.join();
+  }
+}
+
 void StoreServer::Shutdown(bool drain) {
   if (stopping_.exchange(true)) {
     // Second call: still join anything the first caller raced past.
@@ -162,7 +184,11 @@ void StoreServer::Shutdown(bool drain) {
   std::vector<std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    threads.swap(session_threads_);
+    threads.swap(dead_threads_);
+    for (auto& [id, t] : session_threads_) {
+      threads.push_back(std::move(t));
+    }
+    session_threads_.clear();
   }
   for (std::thread& t : threads) {
     t.join();
@@ -182,6 +208,9 @@ void StoreServer::AcceptLoop() {
       }
       return;  // listen socket closed by Shutdown
     }
+    // Join connection threads that finished while we were blocked in accept — a
+    // long-lived daemon must not hoard one zombie thread stack per past connection.
+    ReapDeadThreads();
     std::shared_ptr<Session> session;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -197,8 +226,9 @@ void StoreServer::AcceptLoop() {
       session->fd = fd;
       sessions_[session->id] = session;
       ServerMetrics::Get().sessions.Set(static_cast<int64_t>(sessions_.size()));
-      session_threads_.emplace_back(
-          [this, fd, session] { ServeConnection(fd, session); });
+      session_threads_.emplace(
+          session->id,
+          std::thread([this, fd, session] { ServeConnection(fd, session); }));
     }
   }
 }
@@ -273,11 +303,38 @@ void StoreServer::ServeConnection(int fd, std::shared_ptr<Session> session) {
     ServerMetrics::Get().sessions.Set(static_cast<int64_t>(sessions_.size()));
   }
   ::close(fd);
+  // Park our own thread handle for the accept loop (or Shutdown) to join — a thread
+  // can't join itself, and leaving it in session_threads_ would leak the stack until
+  // shutdown. Absent entry = test-hook path (ServeConnectionForTest) or Shutdown
+  // already claimed the handle.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = session_threads_.find(session->id);
+    if (it != session_threads_.end()) {
+      dead_threads_.push_back(std::move(it->second));
+      session_threads_.erase(it);
+    }
+  }
 }
 
 void StoreServer::ReleaseStagedBytes(Session& session) {
+  session.staged_by_tag.clear();
   const uint64_t held = session.staged_bytes.exchange(0);
   if (held > 0) {
+    staged_bytes_.fetch_sub(held);
+    ServerMetrics::Get().staged.Set(static_cast<int64_t>(staged_bytes_.load()));
+  }
+}
+
+void StoreServer::ReleaseStagedBytesForTag(Session& session, const std::string& tag) {
+  auto it = session.staged_by_tag.find(tag);
+  if (it == session.staged_by_tag.end()) {
+    return;
+  }
+  const uint64_t held = it->second;
+  session.staged_by_tag.erase(it);
+  if (held > 0) {
+    session.staged_bytes.fetch_sub(held);
     staged_bytes_.fetch_sub(held);
     ServerMetrics::Get().staged.Set(static_cast<int64_t>(staged_bytes_.load()));
   }
@@ -294,6 +351,19 @@ Status StoreServer::HandleWriteBegin(const WireFrame& frame, Session& session) {
   if (!IsSafeStoreName(tag) || !IsSafeStoreRelPath(rel)) {
     return InvalidArgumentError("bad tag or file name in WRITE_BEGIN");
   }
+  // The declared total is client-supplied and sizes a server-side buffer, so it is
+  // validated against the operator-set budget *before* anything is reserved or charged: a
+  // hostile or corrupt u64 must never drive an allocation. This is a hard bound, not
+  // backpressure — kFailedPrecondition, so clients surface it instead of retrying.
+  if (total > options_.max_staged_bytes) {
+    ServerMetrics::Get().admission_rejects.Add(1);
+    return FailedPreconditionError(
+        "WRITE_BEGIN declares " + std::to_string(total) +
+        " bytes, above the staging budget of " +
+        std::to_string(options_.max_staged_bytes) + "; raise --max-staged-bytes");
+  }
+  // Create the staging dir before charging the budget so a failure here leaks nothing.
+  UCP_RETURN_IF_ERROR(MakeDirs(StagingDirForTag(store_.root(), tag)));
   // Admission control. The oldest session holding staged bytes is always admitted: its
   // save is the one whose completion releases budget, so stalling it would livelock.
   {
@@ -317,13 +387,13 @@ Status StoreServer::HandleWriteBegin(const WireFrame& frame, Session& session) {
     staged_bytes_.fetch_add(total);
     ServerMetrics::Get().staged.Set(static_cast<int64_t>(staged_bytes_.load()));
   }
-  UCP_RETURN_IF_ERROR(MakeDirs(StagingDirForTag(store_.root(), tag)));
+  session.staged_by_tag[tag] += total;
   session.write_open = true;
   session.write_tag = std::move(tag);
   session.write_rel = std::move(rel);
   session.write_total = total;
   session.write_buf.clear();
-  session.write_buf.reserve(total);
+  session.write_buf.reserve(total);  // bounded: total <= max_staged_bytes, just admitted
   return OkStatus();
 }
 
@@ -391,7 +461,9 @@ Result<std::vector<uint8_t>> StoreServer::HandleReadRange(const WireFrame& frame
   if (len > kMaxFramePayload) {
     return InvalidArgumentError("READ_RANGE larger than max frame");
   }
-  if (offset + len > open.source->size()) {
+  // Overflow-safe: `offset + len` can wrap for a hostile u64 offset.
+  const uint64_t size = open.source->size();
+  if (offset > size || len > size - offset) {
     return OutOfRangeError("READ_RANGE past end of " + open.rel);
   }
   // Server-side verification: every chunk the range touches must pass its CRC before the
@@ -559,7 +631,9 @@ bool StoreServer::HandleFrame(int fd, const WireFrame& frame, Session& session) 
       Result<std::string> tag = r.GetString();
       status = tag.ok() ? store_.ResetTagStaging(*tag) : tag.status();
       if (status.ok()) {
-        ReleaseStagedBytes(session);  // the reset discarded whatever this session staged
+        // The reset discarded this tag's staging — other tags' saves on this connection
+        // keep their admitted budget.
+        ReleaseStagedBytesForTag(session, *tag);
       }
       break;
     }
@@ -575,7 +649,7 @@ bool StoreServer::HandleFrame(int fd, const WireFrame& frame, Session& session) 
       Result<std::string> meta = tag.ok() ? r.GetString() : Result<std::string>(tag.status());
       status = meta.ok() ? store_.CommitTag(*tag, *meta) : meta.status();
       if (status.ok()) {
-        ReleaseStagedBytes(session);
+        ReleaseStagedBytesForTag(session, *tag);
       }
       break;
     }
@@ -584,7 +658,7 @@ bool StoreServer::HandleFrame(int fd, const WireFrame& frame, Session& session) 
       Result<std::string> tag = r.GetString();
       status = tag.ok() ? store_.AbortTag(*tag) : tag.status();
       if (status.ok()) {
-        ReleaseStagedBytes(session);
+        ReleaseStagedBytesForTag(session, *tag);
       }
       break;
     }

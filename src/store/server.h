@@ -7,11 +7,16 @@
 // the crash-consistency fault matrix exercises the daemon's own commit path).
 //
 // Admission control: every WRITE_BEGIN reserves its file's bytes against
-// `max_staged_bytes`. When the budget is exhausted, the request is rejected with
+// `max_staged_bytes`. A single file declaring more than the whole budget is rejected
+// outright with kFailedPrecondition *before* any buffer is sized from the declared
+// length, so a malicious or corrupt total can never drive an allocation past the
+// operator-set budget. Within the budget, an exhausted pool rejects newcomers with
 // kUnavailable (clients back off and retry per IoRetryPolicy) — except for the *oldest*
 // session currently holding staged bytes, which is always admitted. That exception is the
 // progress guarantee: the oldest save in flight can always finish and release its budget,
-// so backpressure never deadlocks into livelock.
+// so backpressure never deadlocks into livelock. Staged bytes are attributed per
+// (session, tag): commit/abort/reset of one tag releases only that tag's bytes, so two
+// saves multiplexed over one connection can't free each other's budget.
 
 #ifndef UCP_SRC_STORE_SERVER_H_
 #define UCP_SRC_STORE_SERVER_H_
@@ -60,6 +65,9 @@ class StoreServer {
 
   int active_sessions() const;
   uint64_t staged_bytes() const { return staged_bytes_.load(); }
+  // Thread handles still tracked (live sessions plus finished-but-unjoined ones):
+  // bounded by active_sessions() plus whatever the accept loop hasn't reaped yet.
+  size_t session_thread_count() const;
 
   // Runs the full per-connection protocol on the calling thread until the peer closes —
   // the socketpair test hook (no accept loop involved).
@@ -83,6 +91,10 @@ class StoreServer {
   Result<std::vector<uint8_t>> HandleReadRange(const WireFrame& frame, Session& session);
   Result<std::vector<uint8_t>> HandleOpenRead(const WireFrame& frame, Session& session);
   void ReleaseStagedBytes(Session& session);
+  void ReleaseStagedBytesForTag(Session& session, const std::string& tag);
+  // Joins connection threads that finished serving (they park their own handle on
+  // dead_threads_ on the way out). Called from the accept loop and Shutdown.
+  void ReapDeadThreads();
 
   StoreServerOptions options_;
   LocalStore store_;
@@ -100,7 +112,11 @@ class StoreServer {
   mutable std::mutex mu_;
   uint64_t next_session_id_ = 1;
   std::map<uint64_t, std::shared_ptr<Session>> sessions_;
-  std::vector<std::thread> session_threads_;
+  // Keyed by session id so a finishing connection can move its own handle to
+  // dead_threads_; the accept loop joins those opportunistically (a long-lived daemon
+  // serving many short connections must not accumulate zombie thread stacks).
+  std::map<uint64_t, std::thread> session_threads_;
+  std::vector<std::thread> dead_threads_;
   std::atomic<uint64_t> staged_bytes_{0};
 };
 

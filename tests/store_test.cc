@@ -22,12 +22,14 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/ckpt/checkpoint.h"
+#include "src/common/bytes.h"
 #include "src/common/fs.h"
 #include "src/model/config.h"
 #include "src/obs/metrics.h"
@@ -499,6 +501,148 @@ TEST_F(StoreServerTest, AdmissionControlRejectsThenAdmits) {
   ASSERT_TRUE((*w2)->WriteFile("shard", blob).ok());
   ASSERT_TRUE(second->CommitTag("global_step2", MetaJson(2)).ok());
   EXPECT_TRUE(IsTagComplete(dir_, "global_step2"));
+}
+
+// Property 4b: the declared WRITE_BEGIN size is untrusted input. A hostile u64 (here
+// 2^63) must be rejected with a typed error before the server sizes any buffer from it —
+// never an uncaught std::length_error that takes the daemon (and every other job's
+// checkpoint service) down with it.
+TEST_F(StoreServerTest, HostileWriteBeginTotalIsRejectedNotFatal) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread serve([&] { server_->ServeConnectionForTest(fds[1]); });
+
+  std::vector<uint8_t> hello;
+  PutU32Le(hello, kWireVersion);
+  PutU32Le(hello, kWireVersion);
+  ASSERT_TRUE(SendFrame(fds[0], WireOp::kHello, hello).ok());
+  Result<WireFrame> ok = RecvFrame(fds[0]);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  ASSERT_EQ(ok->op, WireOp::kHelloOk);
+
+  ByteWriter begin;
+  begin.PutString("global_step1");
+  begin.PutString("shard");
+  begin.PutU64(uint64_t{1} << 63);
+  ASSERT_TRUE(SendFrame(fds[0], WireOp::kWriteBegin, begin.buffer()).ok());
+  Result<WireFrame> reply = RecvFrame(fds[0]);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->op, WireOp::kError);
+  ASSERT_FALSE(reply->payload.empty());
+  EXPECT_EQ(reply->payload[0], static_cast<uint8_t>(StatusCode::kFailedPrecondition));
+  EXPECT_EQ(server_->staged_bytes(), 0u);
+
+  // The connection (and the daemon) survive: the next request on the same session works.
+  ASSERT_TRUE(SendFrame(fds[0], WireOp::kPing, nullptr, 0).ok());
+  Result<WireFrame> pong = RecvFrame(fds[0]);
+  ASSERT_TRUE(pong.ok()) << pong.status();
+  EXPECT_EQ(pong->op, WireOp::kOk);
+
+  ::close(fds[0]);
+  serve.join();
+}
+
+// Property 4c: an honest file bigger than the whole staging budget fails typed and fast
+// (kFailedPrecondition — "raise --max-staged-bytes"), not kUnavailable: the client must
+// surface it instead of burning its retry budget on a request that can never be admitted.
+TEST_F(StoreServerTest, WriteLargerThanBudgetFailsTypedWithoutRetry) {
+  server_->Shutdown();
+  StoreServerOptions options;
+  options.root = dir_;
+  options.listen = "unix:" + dir_ + ".sock";
+  options.max_staged_bytes = 64 * 1024;
+  StartServer(std::move(options));
+
+  std::shared_ptr<RemoteStore> store = Connect();
+  const uint64_t retries_before = CounterValue("io.retry.retries");
+  ASSERT_TRUE(store->ResetTagStaging("global_step1").ok());
+  Result<std::unique_ptr<StoreWriter>> writer = store->OpenTagForWrite("global_step1");
+  ASSERT_TRUE(writer.ok());
+  EXPECT_EQ((*writer)->WriteFile("shard", std::string(80 * 1024, 'x')).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(CounterValue("io.retry.retries"), retries_before);
+  EXPECT_EQ(server_->staged_bytes(), 0u);
+
+  // Within-budget saves on the same connection still go through.
+  ASSERT_TRUE((*writer)->WriteFile("shard", std::string(16 * 1024, 'y')).ok());
+  ASSERT_TRUE(store->CommitTag("global_step1", MetaJson(1)).ok());
+  EXPECT_TRUE(IsTagComplete(dir_, "global_step1"));
+}
+
+// Property 4d: staged bytes are attributed per (session, tag). With two async saves
+// multiplexed over one connection, save N+1's ResetTagStaging (or either commit) must
+// release only its own tag's budget — never save N's still-staged bytes.
+TEST_F(StoreServerTest, ResetReleasesOnlyThatTagsStagedBytes) {
+  std::shared_ptr<RemoteStore> store = Connect();
+  const std::string a(8 * 1024, 'a');
+  const std::string b(16 * 1024, 'b');
+
+  ASSERT_TRUE(store->ResetTagStaging("global_step1").ok());
+  Result<std::unique_ptr<StoreWriter>> w1 = store->OpenTagForWrite("global_step1");
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE((*w1)->WriteFile("shard", a).ok());
+  EXPECT_EQ(server_->staged_bytes(), a.size());
+
+  // Save 2 begins while save 1 is still staged: its reset must not free save 1's budget.
+  ASSERT_TRUE(store->ResetTagStaging("global_step2").ok());
+  EXPECT_EQ(server_->staged_bytes(), a.size());
+  Result<std::unique_ptr<StoreWriter>> w2 = store->OpenTagForWrite("global_step2");
+  ASSERT_TRUE(w2.ok());
+  ASSERT_TRUE((*w2)->WriteFile("shard", b).ok());
+  EXPECT_EQ(server_->staged_bytes(), a.size() + b.size());
+
+  // Each commit releases exactly its own tag's bytes.
+  ASSERT_TRUE(store->CommitTag("global_step2", MetaJson(2)).ok());
+  EXPECT_EQ(server_->staged_bytes(), a.size());
+  ASSERT_TRUE(store->CommitTag("global_step1", MetaJson(1)).ok());
+  EXPECT_EQ(server_->staged_bytes(), 0u);
+}
+
+// A READ_RANGE whose offset+len wraps around u64 is the bounds check's kOutOfRange, not
+// a short-read kDataLoss from the underlying pread.
+TEST_F(StoreServerTest, ReadRangeOverflowingOffsetIsTypedOutOfRange) {
+  std::shared_ptr<RemoteStore> store = Connect();
+  ASSERT_TRUE(store->ResetTagStaging("global_step1").ok());
+  Result<std::unique_ptr<StoreWriter>> writer = store->OpenTagForWrite("global_step1");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->WriteFile("shard", std::string("0123456789")).ok());
+  ASSERT_TRUE(store->CommitTag("global_step1", MetaJson(1)).ok());
+
+  Result<std::unique_ptr<ByteSource>> source =
+      store->OpenRead(JoinRel("global_step1", "shard"));
+  ASSERT_TRUE(source.ok()) << source.status();
+  uint8_t buf[16] = {0};
+  EXPECT_EQ((*source)
+                ->ReadAt(std::numeric_limits<uint64_t>::max() - 4, buf, sizeof(buf))
+                .code(),
+            StatusCode::kOutOfRange);
+  // The handle is still good for in-range reads.
+  ASSERT_TRUE((*source)->ReadAt(2, buf, 3).ok());
+  EXPECT_EQ(std::memcmp(buf, "234", 3), 0);
+}
+
+// A long-lived daemon serving many short-lived connections (the multi-job
+// reconnect-per-phase pattern) must join finished session threads as it goes, not hoard
+// one zombie thread stack per past connection until shutdown.
+TEST_F(StoreServerTest, FinishedConnectionThreadsAreReaped) {
+  for (int i = 0; i < 8; ++i) {
+    std::shared_ptr<RemoteStore> store = Connect();
+    ASSERT_TRUE(store->Ping().ok());
+  }
+  for (int i = 0; i < 100 && server_->active_sessions() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // Each new accept reaps previously finished threads, so the tracked handle count
+  // converges to at most the one most-recent connection, not the connection history.
+  size_t tracked = server_->session_thread_count();
+  for (int i = 0; i < 100 && tracked > 1; ++i) {
+    std::shared_ptr<RemoteStore> probe = Connect();
+    ASSERT_TRUE(probe->Ping().ok());
+    probe.reset();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    tracked = server_->session_thread_count();
+  }
+  EXPECT_LE(tracked, 1u);
 }
 
 // Property 6a: a client that vanishes mid-save leaves no visible tag, the server releases
