@@ -69,18 +69,31 @@ void RankCheckpointSnapshot::CaptureFrom(const RankTrainer& trainer) {
   }
 }
 
-Status WriteSnapshotShards(StoreWriter& writer, const RankCheckpointSnapshot& snap) {
+Result<std::vector<SnapshotShard>> SerializeSnapshotShards(
+    const RankCheckpointSnapshot& snap) {
+  std::vector<SnapshotShard> shards;
   {
-    UCP_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, SerializeBundle(snap.optim));
-    UCP_RETURN_IF_ERROR(writer.WriteFile(
-        OptimStatesFileName(snap.coord.dp, snap.coord.tp, snap.coord.pp, snap.coord.sp),
-        bytes));
+    SnapshotShard shard;
+    shard.rel =
+        OptimStatesFileName(snap.coord.dp, snap.coord.tp, snap.coord.pp, snap.coord.sp);
+    UCP_ASSIGN_OR_RETURN(shard.bytes, SerializeBundle(snap.optim));
+    shards.push_back(std::move(shard));
   }
   if (snap.has_model_states) {
-    UCP_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+    SnapshotShard shard;
+    shard.rel = ModelStatesFileName(snap.coord.tp, snap.coord.pp, snap.coord.sp);
+    UCP_ASSIGN_OR_RETURN(shard.bytes,
                          SerializeBundle(snap.model_states, snap.compute_dtype));
-    UCP_RETURN_IF_ERROR(writer.WriteFile(
-        ModelStatesFileName(snap.coord.tp, snap.coord.pp, snap.coord.sp), bytes));
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+Status WriteSnapshotShards(StoreWriter& writer, const RankCheckpointSnapshot& snap) {
+  UCP_ASSIGN_OR_RETURN(std::vector<SnapshotShard> shards, SerializeSnapshotShards(snap));
+  for (const SnapshotShard& shard : shards) {
+    UCP_RETURN_IF_ERROR(writer.WriteFile(shard.rel, shard.bytes.data(),
+                                         shard.bytes.size()));
   }
   return OkStatus();
 }

@@ -11,6 +11,7 @@
 #define UCP_SRC_CKPT_ASYNC_SNAPSHOT_H_
 
 #include <string>
+#include <vector>
 
 #include "src/runtime/trainer.h"
 #include "src/store/store.h"
@@ -33,11 +34,25 @@ struct RankCheckpointSnapshot {
   void CaptureFrom(const RankTrainer& trainer);
 };
 
+// One serialized shard file of a snapshot: the store-relative name and the exact bytes the
+// synchronous save would have written. The incremental flusher works from this form — it
+// needs the serialized bytes in hand to digest them chunk by chunk before deciding what to
+// ship.
+struct SnapshotShard {
+  std::string rel;
+  std::vector<uint8_t> bytes;
+};
+
+// Serializes a captured snapshot into its shard files (standard shard names, same bytes as
+// the synchronous save) without touching any store.
+Result<std::vector<SnapshotShard>> SerializeSnapshotShards(
+    const RankCheckpointSnapshot& snap);
+
 // Serializes one captured snapshot into a store's staged tag using the standard shard file
 // names. Shared by the synchronous save path and the async flusher; no collectives. The
-// shard bytes are built in memory (SerializeBundle) and handed to the writer — the local
-// backend does the same tmp-write/fsync/rename it always did, the remote backend streams
-// them to ucp_serverd.
+// shard bytes are built in memory (SerializeSnapshotShards) and handed to the writer — the
+// local backend does the same tmp-write/fsync/rename it always did, the remote backend
+// streams them to ucp_serverd.
 Status WriteSnapshotShards(StoreWriter& writer, const RankCheckpointSnapshot& snap);
 // Direct-FS form (tests, tools): writes into an existing staging directory.
 Status WriteSnapshotShards(const std::string& staging, const RankCheckpointSnapshot& snap);

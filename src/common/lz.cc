@@ -1,0 +1,165 @@
+#include "src/common/lz.h"
+
+#include <cstring>
+
+namespace ucp {
+namespace {
+
+// Stream grammar (LZ4-block-style):
+//   sequence := token [lit-ext...] literals [offset_lo offset_hi [match-ext...]]
+//   token    := (literal_len:4 | match_len_minus_4:4); nibble 15 means "read 255-run
+//               extension bytes and sum them in".
+// The final sequence of a stream carries literals only (no offset/match), signalled by
+// simply ending after its literals.
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr int kHashBits = 13;
+
+inline uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint32_t HashQuad(uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+// Emits a nibble-extended length: `base` already folded into the token by the caller.
+void PutLengthExt(std::vector<uint8_t>* out, size_t len) {
+  while (len >= 255) {
+    out->push_back(255);
+    len -= 255;
+  }
+  out->push_back(static_cast<uint8_t>(len));
+}
+
+void EmitSequence(std::vector<uint8_t>* out, const uint8_t* lit, size_t lit_len,
+                  size_t offset, size_t match_len) {
+  const uint8_t lit_nibble = lit_len >= 15 ? 15 : static_cast<uint8_t>(lit_len);
+  uint8_t match_nibble = 0;
+  if (match_len > 0) {
+    const size_t m = match_len - kMinMatch;
+    match_nibble = m >= 15 ? 15 : static_cast<uint8_t>(m);
+  }
+  out->push_back(static_cast<uint8_t>(lit_nibble << 4 | match_nibble));
+  if (lit_nibble == 15) PutLengthExt(out, lit_len - 15);
+  out->insert(out->end(), lit, lit + lit_len);
+  if (match_len > 0) {
+    out->push_back(static_cast<uint8_t>(offset & 0xff));
+    out->push_back(static_cast<uint8_t>(offset >> 8));
+    if (match_nibble == 15) PutLengthExt(out, match_len - kMinMatch - 15);
+  }
+}
+
+}  // namespace
+
+size_t LzCompressBound(size_t raw_size) {
+  // Worst case is one all-literal sequence: token + ceil(raw/255)+1 extension bytes +
+  // literals. 16-byte slack covers the token and rounding.
+  return raw_size + raw_size / 255 + 16;
+}
+
+LzCompressOutcome LzCompress(const void* data, size_t size, std::vector<uint8_t>* out) {
+  const uint8_t* src = static_cast<const uint8_t*>(data);
+  out->clear();
+  if (size < kMinMatch + 1) return LzCompressOutcome::kIncompressible;
+  // Give up as soon as the output crosses the keep threshold: compressed chunks must
+  // save at least 1/16 of the raw bytes to be worth the decompress on every read.
+  const size_t budget = size - size / 16;
+  out->reserve(budget + 64);
+
+  uint32_t table[1u << kHashBits];  // position + 1 of the last quad with this hash; 0 = empty
+  std::memset(table, 0, sizeof(table));
+
+  const size_t match_limit = size - kMinMatch;  // last position a match may start at
+  size_t pos = 0;
+  size_t lit_start = 0;
+  while (pos <= match_limit) {
+    const uint32_t quad = Load32(src + pos);
+    const uint32_t h = HashQuad(quad);
+    const uint32_t cand_plus_1 = table[h];
+    table[h] = static_cast<uint32_t>(pos + 1);
+    if (cand_plus_1 != 0) {
+      const size_t cand = cand_plus_1 - 1;
+      if (pos - cand <= kMaxOffset && Load32(src + cand) == quad) {
+        // Extend the match forward.
+        size_t len = kMinMatch;
+        while (pos + len < size && src[cand + len] == src[pos + len]) ++len;
+        EmitSequence(out, src + lit_start, pos - lit_start, pos - cand, len);
+        if (out->size() >= budget) return LzCompressOutcome::kIncompressible;
+        // Seed the table sparsely inside the match so later data can still find it.
+        const size_t next = pos + len;
+        for (size_t p = pos + 1; p + kMinMatch <= next && p <= match_limit; p += 7) {
+          table[HashQuad(Load32(src + p))] = static_cast<uint32_t>(p + 1);
+        }
+        pos = next;
+        lit_start = next;
+        continue;
+      }
+    }
+    ++pos;
+  }
+  // Trailing literals-only sequence.
+  EmitSequence(out, src + lit_start, size - lit_start, 0, 0);
+  if (out->size() >= budget) return LzCompressOutcome::kIncompressible;
+  return LzCompressOutcome::kCompressed;
+}
+
+Status LzDecompress(const void* in, size_t in_size, void* out, size_t raw_size) {
+  const uint8_t* ip = static_cast<const uint8_t*>(in);
+  const uint8_t* const iend = ip + in_size;
+  uint8_t* op = static_cast<uint8_t*>(out);
+  uint8_t* const oend = op + raw_size;
+
+  auto read_ext = [&](size_t base, size_t* len) -> bool {
+    *len = base;
+    if (base != 15) return true;
+    uint8_t b;
+    do {
+      if (ip >= iend) return false;
+      b = *ip++;
+      *len += b;
+    } while (b == 255);
+    return true;
+  };
+
+  while (ip < iend) {
+    const uint8_t token = *ip++;
+    size_t lit_len;
+    if (!read_ext(token >> 4, &lit_len)) {
+      return DataLossError("lz: truncated literal length");
+    }
+    if (static_cast<size_t>(iend - ip) < lit_len ||
+        static_cast<size_t>(oend - op) < lit_len) {
+      return DataLossError("lz: literal run past end of stream");
+    }
+    std::memcpy(op, ip, lit_len);
+    ip += lit_len;
+    op += lit_len;
+    if (ip == iend) break;  // final literals-only sequence
+    if (iend - ip < 2) return DataLossError("lz: truncated match offset");
+    const size_t offset = static_cast<size_t>(ip[0]) | static_cast<size_t>(ip[1]) << 8;
+    ip += 2;
+    size_t match_len;
+    if (!read_ext(token & 0xf, &match_len)) {
+      return DataLossError("lz: truncated match length");
+    }
+    match_len += kMinMatch;
+    if (offset == 0 || offset > static_cast<size_t>(op - static_cast<uint8_t*>(out))) {
+      return DataLossError("lz: match offset before start of output");
+    }
+    if (static_cast<size_t>(oend - op) < match_len) {
+      return DataLossError("lz: match run past declared raw size");
+    }
+    // Overlapping copies are the point (offset < match_len repeats a pattern), so copy
+    // byte-wise.
+    const uint8_t* mp = op - offset;
+    for (size_t i = 0; i < match_len; ++i) op[i] = mp[i];
+    op += match_len;
+  }
+  if (op != oend) return DataLossError("lz: stream ended short of declared raw size");
+  return OkStatus();
+}
+
+}  // namespace ucp

@@ -1,0 +1,47 @@
+// Byte-oriented LZ compression for checkpoint chunks.
+//
+// The codec is an LZ4-block-style format: a stream of tokens, each carrying a literal run
+// followed by a back-reference match (16-bit offset, minimum match length 4). It is built
+// for the checkpoint flush path, where chunks are small (64 KiB), throughput matters more
+// than ratio, and incompressible fp32/bf16 payloads are common — so compression declares
+// bailout (kIncompressible) as soon as the output would not beat the input by at least
+// 1/16, and callers store such chunks raw.
+//
+// The format is internal to the chunk store: compressed bytes are always wrapped in a
+// chunk object header carrying the raw size and a CRC of the *raw* bytes, so decompression
+// errors (truncated stream, bad offset) surface as typed kDataLoss and corruption that
+// decompresses "successfully" is still caught by the CRC.
+
+#ifndef UCP_SRC_COMMON_LZ_H_
+#define UCP_SRC_COMMON_LZ_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ucp {
+
+// Upper bound on the compressed size of `raw_size` input bytes (worst case: all literals).
+size_t LzCompressBound(size_t raw_size);
+
+// Result of a compression attempt.
+enum class LzCompressOutcome {
+  kCompressed,     // `out` holds the compressed stream, smaller than raw * 15/16
+  kIncompressible, // not worth storing compressed; `out` is unspecified
+};
+
+// Compresses [data, data+size) into `out` (resized as needed). Returns kIncompressible
+// when the compressed form would not save at least 1/16 of the input — callers should
+// then store the raw bytes. size == 0 is always incompressible.
+LzCompressOutcome LzCompress(const void* data, size_t size, std::vector<uint8_t>* out);
+
+// Decompresses `in` into exactly `raw_size` bytes at `out` (caller-sized buffer).
+// Any malformed stream (truncation, offset before start, size mismatch) returns
+// kDataLoss; nothing is read or written out of bounds.
+Status LzDecompress(const void* in, size_t in_size, void* out, size_t raw_size);
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_COMMON_LZ_H_

@@ -160,6 +160,7 @@ SoakRunReport RunSoakSchedule(const SoakOptions& options,
         supervisor_options.async.flush_threads = 1;
         supervisor_options.async.max_in_flight = current_max_in_flight;
         supervisor_options.async.backpressure = AsyncCheckpointOptions::Backpressure::kBlock;
+        supervisor_options.async.incremental = options.incremental;
         supervisor_options.watchdog_timeout = std::chrono::milliseconds(options.watchdog_ms);
         Supervisor supervisor(config, supervisor_options);
         SupervisorReport trained = supervisor.Train(first, last);
@@ -234,6 +235,8 @@ SoakRunReport RunSoakSchedule(const SoakOptions& options,
     line["committed"] = checked.committed_tags;
     line["damaged"] = checked.damaged_tags;
     line["staging"] = checked.staging_dirs;
+    line["chunk_objects"] = checked.chunk_objects;
+    line["orphan_chunks"] = checked.orphan_chunks;
     if (!checked.violations.empty()) {
       JsonArray violations;
       for (const std::string& v : checked.violations) {

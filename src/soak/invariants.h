@@ -14,6 +14,12 @@
 //       (crash debris is swept at resume; a leak here is an engine bug).
 //   I5  The namespace's `latest` pointer, when present, names a tag of this namespace, and
 //       never a tag that exists but was not committed.
+//   I6  No chunk referenced by a committed tag's chunk manifest is ever missing from the
+//       content-addressed index (a dangling reference means GC dropped a live chunk).
+//   I7  Chunk refcounts converge: once every tag referencing a chunk is deleted and a GC
+//       sweep has run, the chunk object itself is gone. Orphans are observed every check
+//       and become a violation only when the driver asserts `expect_no_orphans` (set after
+//       a sweep with no live incremental tags).
 //
 // Checks are read-only and must run with no fault plan armed (the checker's own I/O would
 // otherwise consume the plan).
@@ -41,6 +47,9 @@ struct SoakInvariantContext {
   bool corruption_since_last_check = false;
   // The driver sets this after a fault-free segment that resumed from a valid tag (I4).
   bool expect_no_staging = false;
+  // The driver sets this after deleting every incremental tag and running a GC sweep:
+  // unreferenced chunk objects must then be gone (I7).
+  bool expect_no_orphans = false;
 };
 
 struct SoakInvariantResult {
@@ -53,6 +62,8 @@ struct SoakInvariantResult {
   int committed_tags = 0;
   int damaged_tags = 0;  // committed tags failing deep validation, newest-first until clean
   int staging_dirs = 0;  // `.staging` entries owned by the namespace
+  int chunk_objects = 0;  // content-addressed chunk objects in the store (all namespaces)
+  int orphan_chunks = 0;  // chunk objects referenced by no tag manifest (I7 observation)
 };
 
 SoakInvariantResult CheckSoakInvariants(const SoakInvariantContext& context);

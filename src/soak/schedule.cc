@@ -68,6 +68,7 @@ Json SoakOptions::ToJson() const {
   o["checkpoint_every"] = checkpoint_every;
   o["watchdog_ms"] = watchdog_ms;
   o["job"] = job;
+  o["incremental"] = incremental;
   return Json(std::move(o));
 }
 
@@ -92,6 +93,10 @@ Result<SoakOptions> SoakOptions::FromJson(const Json& json) {
   UCP_ASSIGN_OR_RETURN(int64_t watchdog, json.GetInt("watchdog_ms"));
   options.watchdog_ms = static_cast<int>(watchdog);
   UCP_ASSIGN_OR_RETURN(options.job, json.GetString("job"));
+  // Absent in logs recorded before incremental saves existed; replay as full saves.
+  if (json.Has("incremental")) {
+    UCP_ASSIGN_OR_RETURN(options.incremental, json.GetBool("incremental"));
+  }
   return options;
 }
 

@@ -45,6 +45,10 @@ struct SoakOptions {
   int checkpoint_every = 1;  // SaveAsync every iteration: maximum commit-protocol traffic
   int watchdog_ms = 2000;
   std::string job;  // tag namespace the run saves/resumes under ("" = default)
+  // Incremental (dirty-chunk) saves: the supervisor's async engine writes chunk manifests
+  // and content-addressed chunk objects instead of full shard files, which puts the chunk
+  // index and its GC under the fault schedule (invariants I6/I7).
+  bool incremental = false;
 
   // Runtime bindings, not part of the schedule identity.
   std::string dir;       // checkpoint store (required)

@@ -9,6 +9,7 @@
 
 #include "src/common/bytes.h"
 #include "src/common/crc32.h"
+#include "src/common/lz.h"
 #include "src/obs/metrics.h"
 
 namespace ucp {
@@ -129,15 +130,106 @@ class RemoteStoreWriter final : public StoreWriter {
     return OkStatus();
   }
 
+  bool SupportsChunked() const override { return store_->negotiated_version() >= 2; }
+
+  // Incremental path: CHUNK_QUERY pins + asks which digests the daemon already holds,
+  // then only the missing chunks ship — compressed *client-side* (the whole point of wire
+  // compression is fewer bytes on the socket; the daemon stores the object as received
+  // after verifying it decodes). The manifest is accumulated here and staged as a normal
+  // file by FinalizeManifest.
+  Result<ChunkedWriteStats> WriteFileChunked(const std::string& rel, const void* data,
+                                             size_t size,
+                                             const std::vector<uint64_t>& digests,
+                                             bool compress, uint64_t inherited) override {
+    if (!SupportsChunked()) {
+      return StoreWriter::WriteFileChunked(rel, data, size, digests, compress, inherited);
+    }
+    if (!IsSafeStoreRelPath(rel)) {
+      return InvalidArgumentError("bad store file name: " + rel);
+    }
+    if (digests.size() != (size + kManifestChunkBytes - 1) / kManifestChunkBytes) {
+      return InvalidArgumentError("digest count does not match size for " + rel);
+    }
+    ChunkedWriteStats stats;
+    stats.bytes_total = size;
+    stats.chunks_total = digests.size();
+    ByteWriter query;
+    query.PutString(tag());
+    query.PutU32(static_cast<uint32_t>(digests.size()));
+    for (uint64_t digest : digests) {
+      query.PutU64(digest);
+    }
+    UCP_ASSIGN_OR_RETURN(WireFrame mask_frame,
+                         store_->RoundtripWithRetry(WireOp::kChunkQuery, query.buffer(),
+                                                    WireOp::kChunkMask));
+    ByteReader mask(mask_frame.payload.data(), mask_frame.payload.size());
+    UCP_ASSIGN_OR_RETURN(uint32_t count, mask.GetU32());
+    if (count != digests.size()) {
+      return DataLossError("CHUNK_MASK count mismatch from " + store_->endpoint_);
+    }
+    const uint8_t* bytes = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < digests.size(); ++i) {
+      UCP_ASSIGN_OR_RETURN(uint8_t present, mask.GetU8());
+      if (present != 0) {
+        ++stats.chunks_deduped;
+        continue;
+      }
+      const size_t off = i * kManifestChunkBytes;
+      const size_t n = std::min(kManifestChunkBytes, size - off);
+      const uint32_t raw_crc = Crc32(bytes + off, n);
+      std::vector<uint8_t> encoded;
+      if (compress) {
+        std::vector<uint8_t> packed;
+        if (LzCompress(bytes + off, n, &packed) == LzCompressOutcome::kCompressed) {
+          encoded = EncodeChunkObject(ChunkCodec::kLz, static_cast<uint32_t>(n), raw_crc,
+                                      packed.data(), packed.size());
+          ++stats.chunks_compressed;
+        }
+      }
+      if (encoded.empty()) {
+        encoded = EncodeChunkObject(ChunkCodec::kRaw, static_cast<uint32_t>(n), raw_crc,
+                                    bytes + off, n);
+      }
+      ByteWriter put;
+      put.PutU64(digests[i]);
+      put.PutBytes(encoded.data(), encoded.size());
+      UCP_RETURN_IF_ERROR(
+          store_->RoundtripWithRetry(WireOp::kChunkPut, put.buffer(), WireOp::kOk)
+              .status());
+      stats.bytes_written += encoded.size();
+    }
+    ChunkManifestEntry entry;
+    entry.name = rel;
+    entry.size = size;
+    entry.crc32 = Crc32(data, size);
+    entry.chunks = digests;
+    entry.inherited = inherited;
+    entries_.push_back(std::move(entry));
+    return stats;
+  }
+
+  Status FinalizeManifest(const std::string& parent_tag) override {
+    if (entries_.empty()) {
+      return OkStatus();  // nothing was chunked (v1 peer fallback) — no manifest
+    }
+    ChunkManifest manifest;
+    manifest.parent = parent_tag;
+    manifest.files = std::move(entries_);
+    entries_.clear();
+    const std::string body = SerializeChunkManifest(manifest);
+    return WriteFile(kChunkManifestName, body.data(), body.size());
+  }
+
  private:
   std::shared_ptr<RemoteStore> store_;
+  std::vector<ChunkManifestEntry> entries_;
 };
 
 Result<std::shared_ptr<RemoteStore>> RemoteStore::Connect(const std::string& endpoint) {
   UCP_ASSIGN_OR_RETURN(Endpoint ep, ParseEndpoint(endpoint));
   UCP_ASSIGN_OR_RETURN(int fd, DialEndpoint(ep));
   ByteWriter hello;
-  hello.PutU32(kWireVersion);
+  hello.PutU32(kWireMinVersion);
   hello.PutU32(kWireVersion);
   Status sent = SendFrame(fd, WireOp::kHello, hello.buffer());
   if (!sent.ok()) {
@@ -166,13 +258,13 @@ Result<std::shared_ptr<RemoteStore>> RemoteStore::Connect(const std::string& end
     ::close(fd);
     return DataLossError("handshake: malformed HELLO_OK payload");
   }
-  if (*version != kWireVersion) {
+  if (*version < kWireMinVersion || *version > kWireVersion) {
     ::close(fd);
     return FailedPreconditionError("server negotiated unsupported protocol version " +
                                    std::to_string(*version));
   }
-  return std::shared_ptr<RemoteStore>(
-      new RemoteStore(fd, endpoint, *session, std::min(*max_frame, kMaxFramePayload)));
+  return std::shared_ptr<RemoteStore>(new RemoteStore(
+      fd, endpoint, *session, std::min(*max_frame, kMaxFramePayload), *version));
 }
 
 RemoteStore::~RemoteStore() {

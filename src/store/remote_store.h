@@ -38,6 +38,10 @@ class RemoteStore final : public Store, public std::enable_shared_from_this<Remo
     return endpoint_ + "!" + rel;
   }
   uint64_t session_id() const { return session_id_; }
+  // Protocol version agreed at HELLO: min(server max, client max). Chunk ops (incremental
+  // saves over the wire) need >= 2; against a v1 daemon WriteFileChunked degrades to
+  // full-file writes.
+  uint32_t negotiated_version() const { return version_; }
 
   Result<std::unique_ptr<ByteSource>> OpenRead(const std::string& rel) override;
   Result<std::string> ReadSmallFile(const std::string& rel) override;
@@ -65,9 +69,10 @@ class RemoteStore final : public Store, public std::enable_shared_from_this<Remo
   friend class RemoteByteSource;
   friend class RemoteStoreWriter;
 
-  RemoteStore(int fd, std::string endpoint, uint64_t session_id, uint32_t max_frame)
+  RemoteStore(int fd, std::string endpoint, uint64_t session_id, uint32_t max_frame,
+              uint32_t version)
       : fd_(fd), endpoint_(std::move(endpoint)), session_id_(session_id),
-        max_frame_(max_frame) {}
+        max_frame_(max_frame), version_(version) {}
 
   // One request/response exchange under the connection lock. `ok_op` is the expected
   // response type; a kError response decodes into its carried Status.
@@ -86,6 +91,7 @@ class RemoteStore final : public Store, public std::enable_shared_from_this<Remo
   const std::string endpoint_;
   const uint64_t session_id_ = 0;
   const uint32_t max_frame_ = kMaxFramePayload;
+  const uint32_t version_ = kWireVersion;
 };
 
 }  // namespace ucp

@@ -8,12 +8,15 @@
 #include <chrono>
 #include <cstring>
 #include <optional>
+#include <set>
 #include <utility>
 
 #include "src/common/bytes.h"
 #include "src/common/crc32.h"
 #include "src/common/logging.h"
 #include "src/obs/metrics.h"
+#include "src/store/chunk_index.h"
+#include "src/store/tags.h"
 #include "src/tensor/tensor_file.h"
 
 namespace ucp {
@@ -76,6 +79,13 @@ struct StoreServer::OpenRead {
 struct StoreServer::Session {
   uint64_t id = 0;
   int fd = -1;
+  // Negotiated at HELLO: min(server max, client max). Chunk ops require >= 2.
+  uint32_t version = 0;
+  // Tags this session pinned chunks under (CHUNK_QUERY). Commit/abort/reset release a
+  // tag's pins through LocalStore; this set covers the remaining case — the session dying
+  // mid-save — so a crashed client's pins don't outlive it (its uncommitted chunks become
+  // sweepable, exactly like its staging debris).
+  std::set<std::string> pinned_tags;
   std::atomic<uint64_t> staged_bytes{0};  // admitted via WRITE_BEGIN, not yet released
   // Attribution of staged_bytes by tag, so releasing one tag (commit/abort/reset) leaves
   // the budget of other in-flight saves on this connection intact. Only the session's
@@ -272,15 +282,17 @@ void StoreServer::ServeConnection(int fd, std::shared_ptr<Session> session) {
         SendError(fd, InvalidArgumentError("malformed HELLO")).ok();
         break;
       }
-      if (kWireVersion < *min_v || kWireVersion > *max_v) {
+      if (*max_v < kWireMinVersion || *min_v > kWireVersion) {
         SendError(fd, FailedPreconditionError(
                           "no common protocol version: server speaks v" +
+                          std::to_string(kWireMinVersion) + "..v" +
                           std::to_string(kWireVersion)))
             .ok();
         break;
       }
+      session->version = std::min(kWireVersion, *max_v);
       ByteWriter w;
-      w.PutU32(kWireVersion);
+      w.PutU32(session->version);
       w.PutU64(session->id);
       w.PutU32(kMaxFramePayload);
       if (!SendFrame(fd, WireOp::kHelloOk, w.buffer()).ok()) {
@@ -324,6 +336,13 @@ void StoreServer::ReleaseStagedBytes(Session& session) {
     staged_bytes_.fetch_sub(held);
     ServerMetrics::Get().staged.Set(static_cast<int64_t>(staged_bytes_.load()));
   }
+  // Chunk pins taken by this session's CHUNK_QUERYs die with it. Committed tags already
+  // released theirs (CommitTag); this catches a client that crashed mid-save, so its
+  // uncommitted chunks become sweepable like its staging debris.
+  for (const std::string& tag : session.pinned_tags) {
+    ChunkIndex::ForRoot(store_.root())->ReleaseTagPins(tag);
+  }
+  session.pinned_tags.clear();
 }
 
 void StoreServer::ReleaseStagedBytesForTag(Session& session, const std::string& tag) {
@@ -709,6 +728,74 @@ bool StoreServer::HandleFrame(int fd, const WireFrame& frame, Session& session) 
       w.PutI64(*removed);
       payload = w.TakeBuffer();
       reply_op = WireOp::kInt;
+      break;
+    }
+    case WireOp::kChunkQuery: {
+      if (session.version < 2) {
+        status = FailedPreconditionError("CHUNK_QUERY requires protocol v2");
+        break;
+      }
+      ByteReader r(frame.payload.data(), frame.payload.size());
+      Result<std::string> tag = r.GetString();
+      Result<uint32_t> count = tag.ok() ? r.GetU32() : Result<uint32_t>(tag.status());
+      if (!count.ok()) {
+        status = count.status();
+        break;
+      }
+      if (!IsSafeStoreName(*tag)) {
+        status = InvalidArgumentError("unsafe tag name: " + *tag);
+        break;
+      }
+      // The payload size already bounds count * 8 bytes; a forged count fails in GetU64.
+      std::vector<uint64_t> digests;
+      digests.reserve(*count);
+      for (uint32_t i = 0; i < *count; ++i) {
+        Result<uint64_t> d = r.GetU64();
+        if (!d.ok()) {
+          status = d.status();
+          break;
+        }
+        digests.push_back(*d);
+      }
+      if (!status.ok()) {
+        break;
+      }
+      // Pins are taken before presence is answered so a concurrent sweep can't delete a
+      // chunk the client was just told exists (invariant I6).
+      std::vector<uint8_t> present =
+          ChunkIndex::ForRoot(store_.root())->PinAndQuery(*tag, digests);
+      session.pinned_tags.insert(*tag);
+      ByteWriter w;
+      w.PutU32(static_cast<uint32_t>(present.size()));
+      for (uint8_t p : present) {
+        w.PutU8(p);
+      }
+      payload = w.TakeBuffer();
+      reply_op = WireOp::kChunkMask;
+      break;
+    }
+    case WireOp::kChunkPut: {
+      if (session.version < 2) {
+        status = FailedPreconditionError("CHUNK_PUT requires protocol v2");
+        break;
+      }
+      // Chunk puts deliberately bypass the staged-bytes admission budget: each put is
+      // bounded by the frame cap, decode-verified, and written straight to the index with
+      // no server-side accumulation — there is no declared-total buffer to defend, unlike
+      // WRITE_BEGIN streams.
+      ByteReader r(frame.payload.data(), frame.payload.size());
+      Result<uint64_t> digest = r.GetU64();
+      if (!digest.ok()) {
+        status = digest.status();
+        break;
+      }
+      if (frame.payload.size() < 8 + kChunkHeaderBytes) {
+        status = DataLossError("CHUNK_PUT frame too short for a chunk object");
+        break;
+      }
+      status = ChunkIndex::ForRoot(store_.root())
+                   ->PutEncoded(*digest, frame.payload.data() + 8,
+                                frame.payload.size() - 8);
       break;
     }
     default:

@@ -28,6 +28,7 @@
 
 #include "src/common/fs.h"
 #include "src/common/status.h"
+#include "src/store/chunk_index.h"
 #include "src/store/ckpt_meta.h"
 #include "src/store/tags.h"
 
@@ -59,6 +60,28 @@ class StoreWriter {
   }
   Status WriteFile(const std::string& rel, const std::string& text) {
     return WriteFile(rel, text.data(), text.size());
+  }
+
+  // ---- Incremental (chunked) staging ----------------------------------------------------
+  //
+  // A chunked-capable writer stages `rel` as content-addressed chunk objects instead of a
+  // whole file: `digests` is the per-64KiB-span digest list of [data, data+size) (see
+  // ComputeChunkDigests), chunks already in the store's index are skipped (dedup), and the
+  // file's chunk list is accumulated into a per-tag manifest published by
+  // FinalizeManifest — which must be called once, after every WriteFileChunked of the tag
+  // and before CommitTag. `inherited` counts chunks the caller knows are unchanged vs the
+  // parent tag (provenance stats in the manifest; dedup itself never trusts it).
+  // The base implementation is a plain WriteFile, so callers can use this path
+  // unconditionally and older backends (a v1 wire peer) degrade to full saves.
+
+  virtual bool SupportsChunked() const { return false; }
+  virtual Result<ChunkedWriteStats> WriteFileChunked(const std::string& rel,
+                                                     const void* data, size_t size,
+                                                     const std::vector<uint64_t>& digests,
+                                                     bool compress, uint64_t inherited);
+  virtual Status FinalizeManifest(const std::string& parent_tag) {
+    (void)parent_tag;
+    return OkStatus();
   }
 
  protected:

@@ -32,7 +32,12 @@
 namespace ucp {
 
 inline constexpr uint32_t kWireMagic = 0x57504355;  // "UCPW" little-endian
-inline constexpr uint32_t kWireVersion = 1;
+// Version 2 added the chunk ops (CHUNK_QUERY / CHUNK_PUT) for incremental saves. Both
+// sides still speak version 1: the negotiated version is min(server max, client max)
+// within the overlapping [min,max] ranges, and a client on a v1 peer silently degrades to
+// full-file writes (WriteFileChunked falls back to WriteFile).
+inline constexpr uint32_t kWireVersion = 2;
+inline constexpr uint32_t kWireMinVersion = 1;
 // Bound on one frame's payload; larger files stream as multiple WRITE_CHUNK / READ_RANGE
 // exchanges. Also the admission unit for the server's torn-frame defense: a corrupt length
 // field can never make the server allocate more than this.
@@ -60,6 +65,9 @@ enum class WireOp : uint8_t {
   kGc = 16,           // str job | u32 keep_last | u8 dry_run
   kSweepDebris = 17,  // str job
   kPing = 18,         // empty
+  // v2+ only (negotiated version >= 2; a v1 session gets kFailedPrecondition):
+  kChunkQuery = 19,   // str tag | u32 count | count * u64 digest — pins + presence query
+  kChunkPut = 20,     // u64 digest | encoded chunk object bytes (UCK1 header + payload)
 
   kOk = 64,           // empty
   kError = 65,        // u8 status_code | str message
@@ -70,6 +78,7 @@ enum class WireOp : uint8_t {
   kBool = 70,         // u8
   kGcReport = 71,     // u32 n_removed | n * str | u32 n_kept | n * str
   kInt = 72,          // i64
+  kChunkMask = 73,    // u32 count | count * u8 present (response to kChunkQuery)
 };
 
 struct WireFrame {

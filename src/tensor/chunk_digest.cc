@@ -1,0 +1,124 @@
+#include "src/tensor/chunk_digest.h"
+
+#include <cstring>
+
+namespace ucp {
+namespace {
+
+// XXH64 constants.
+constexpr uint64_t kP1 = 0x9E3779B185EBCA87ull;
+constexpr uint64_t kP2 = 0xC2B2AE3D27D4EB4Full;
+constexpr uint64_t kP3 = 0x165667B19E3779F9ull;
+constexpr uint64_t kP4 = 0x85EBCA77C2B2AE63ull;
+constexpr uint64_t kP5 = 0x27D4EB2F165667C5ull;
+
+inline uint64_t Rotl64(uint64_t v, int r) { return (v << r) | (v >> (64 - r)); }
+
+inline uint64_t Load64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint64_t Round(uint64_t acc, uint64_t input) {
+  acc += input * kP2;
+  acc = Rotl64(acc, 31);
+  return acc * kP1;
+}
+
+inline uint64_t MergeRound(uint64_t acc, uint64_t val) {
+  acc ^= Round(0, val);
+  return acc * kP1 + kP4;
+}
+
+}  // namespace
+
+uint64_t ChunkDigest(const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const uint8_t* const end = p + size;
+  uint64_t h;
+  if (size >= 32) {
+    uint64_t v1 = kP1 + kP2, v2 = kP2, v3 = 0, v4 = 0ull - kP1;
+    const uint8_t* const limit = end - 32;
+    do {
+      v1 = Round(v1, Load64(p));
+      v2 = Round(v2, Load64(p + 8));
+      v3 = Round(v3, Load64(p + 16));
+      v4 = Round(v4, Load64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = Rotl64(v1, 1) + Rotl64(v2, 7) + Rotl64(v3, 12) + Rotl64(v4, 18);
+    h = MergeRound(h, v1);
+    h = MergeRound(h, v2);
+    h = MergeRound(h, v3);
+    h = MergeRound(h, v4);
+  } else {
+    h = kP5;
+  }
+  h += static_cast<uint64_t>(size);
+  while (p + 8 <= end) {
+    h ^= Round(0, Load64(p));
+    h = Rotl64(h, 27) * kP1 + kP4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<uint64_t>(Load32(p)) * kP1;
+    h = Rotl64(h, 23) * kP2 + kP3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<uint64_t>(*p) * kP5;
+    h = Rotl64(h, 11) * kP1;
+    ++p;
+  }
+  h ^= h >> 33;
+  h *= kP2;
+  h ^= h >> 29;
+  h *= kP3;
+  h ^= h >> 32;
+  return h;
+}
+
+std::vector<uint64_t> ComputeChunkDigests(const void* data, size_t size,
+                                          size_t chunk_bytes) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  std::vector<uint64_t> digests;
+  if (chunk_bytes == 0) chunk_bytes = kManifestChunkBytes;
+  digests.reserve((size + chunk_bytes - 1) / chunk_bytes);
+  for (size_t off = 0; off < size; off += chunk_bytes) {
+    const size_t n = size - off < chunk_bytes ? size - off : chunk_bytes;
+    digests.push_back(ChunkDigest(p + off, n));
+  }
+  return digests;
+}
+
+std::string DigestToHex(uint64_t digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[digest & 0xf];
+    digest >>= 4;
+  }
+  return out;
+}
+
+std::optional<uint64_t> DigestFromHex(const std::string& hex) {
+  if (hex.size() != 16) return std::nullopt;
+  uint64_t v = 0;
+  for (char c : hex) {
+    uint64_t d;
+    if (c >= '0' && c <= '9') d = static_cast<uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') d = static_cast<uint64_t>(c - 'a' + 10);
+    else return std::nullopt;
+    v = v << 4 | d;
+  }
+  return v;
+}
+
+}  // namespace ucp

@@ -1,0 +1,45 @@
+// Fast 64-bit content digests for checkpoint chunks.
+//
+// The incremental flush path identifies chunks by content: a chunk whose digest matches
+// the parent tag's digest at the same position is not rewritten, and a chunk whose digest
+// already exists in the content-addressed index is stored once regardless of which rank or
+// tag produced it. The digest is an XXH64-style non-cryptographic hash — collision of two
+// *different* chunks would silently alias them, but every chunk object carries a CRC32 of
+// its raw bytes and every serialized file keeps its own v3 per-chunk CRC table, so an
+// aliased (or forged) chunk is caught as kDataLoss on first read, localized to the chunk.
+//
+// Digests are rendered as fixed-width 16-hex-digit strings in manifests and object paths
+// (u64 does not round-trip through JSON numbers).
+
+#ifndef UCP_SRC_TENSOR_CHUNK_DIGEST_H_
+#define UCP_SRC_TENSOR_CHUNK_DIGEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ucp {
+
+// Chunking granularity of the incremental manifest layer: fixed-size spans over the
+// serialized file bytes. Independent of the v3 format's internal CRC chunking (which
+// adapts to tensor size); 64 KiB matches the v3 default so a dirty tensor region
+// invalidates a comparable number of chunks in both layers.
+inline constexpr size_t kManifestChunkBytes = 64 * 1024;
+
+// One-shot 64-bit digest of a buffer.
+uint64_t ChunkDigest(const void* data, size_t size);
+
+// Digests of consecutive `chunk_bytes`-sized spans of [data, data+size); the last span
+// may be short. Empty input yields an empty vector.
+std::vector<uint64_t> ComputeChunkDigests(const void* data, size_t size,
+                                          size_t chunk_bytes = kManifestChunkBytes);
+
+// Fixed-width lowercase hex rendering ("00f3ab..." — always 16 digits) and its inverse.
+std::string DigestToHex(uint64_t digest);
+std::optional<uint64_t> DigestFromHex(const std::string& hex);
+
+}  // namespace ucp
+
+#endif  // UCP_SRC_TENSOR_CHUNK_DIGEST_H_

@@ -604,9 +604,37 @@ Result<TensorFileInfo> StatTensor(const std::string& path) {
   return view.info();
 }
 
+namespace {
+
+// Reads the full contents of a source into memory for a deep-verify pass.
+Result<std::string> SlurpSource(ByteSource& source) {
+  std::string contents(source.size(), '\0');
+  if (!contents.empty()) {
+    UCP_RETURN_IF_ERROR(source.ReadAt(0, contents.data(), contents.size()));
+  }
+  CountRead(contents.size());
+  return contents;
+}
+
+Status DeepVerifyTensorContents(const std::string& contents, const std::string& path);
+Status DeepVerifyBundleContents(const std::string& contents, const std::string& path);
+
+}  // namespace
+
 Status DeepVerifyTensorFile(const std::string& path) {
   UCP_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
   CountRead(contents.size());
+  return DeepVerifyTensorContents(contents, path);
+}
+
+Status DeepVerifyTensorFile(std::unique_ptr<ByteSource> source) {
+  UCP_ASSIGN_OR_RETURN(std::string contents, SlurpSource(*source));
+  return DeepVerifyTensorContents(contents, source->name());
+}
+
+namespace {
+
+Status DeepVerifyTensorContents(const std::string& contents, const std::string& path) {
   UCP_ASSIGN_OR_RETURN(LegacyFile f, OpenLegacyOrV3(contents, kTensorMagic, "tensor", path));
   const uint8_t* data = reinterpret_cast<const uint8_t*>(contents.data());
   if (f.version == 3) {
@@ -624,6 +652,8 @@ Status DeepVerifyTensorFile(const std::string& path) {
   UCP_ASSIGN_OR_RETURN(ParsedHeader h, GetHeaderAndSize(f.reader));
   return GetRawPayloadLegacy(f.reader, h, f.version, path).status();
 }
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // TensorFileView.
@@ -832,9 +862,28 @@ Result<BundleInfo> StatBundle(const std::string& path) {
   return info;
 }
 
+Result<BundleInfo> StatBundle(std::unique_ptr<ByteSource> source) {
+  UCP_ASSIGN_OR_RETURN(BundleFileView view, BundleFileView::Open(std::move(source)));
+  BundleInfo info;
+  info.meta = view.meta();
+  info.entries = view.entries();
+  return info;
+}
+
 Status DeepVerifyBundleFile(const std::string& path) {
   UCP_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
   CountRead(contents.size());
+  return DeepVerifyBundleContents(contents, path);
+}
+
+Status DeepVerifyBundleFile(std::unique_ptr<ByteSource> source) {
+  UCP_ASSIGN_OR_RETURN(std::string contents, SlurpSource(*source));
+  return DeepVerifyBundleContents(contents, source->name());
+}
+
+namespace {
+
+Status DeepVerifyBundleContents(const std::string& contents, const std::string& path) {
   UCP_ASSIGN_OR_RETURN(LegacyFile f, OpenLegacyOrV3(contents, kBundleMagic, "bundle", path));
   if (f.version == 3) {
     const uint8_t* data = reinterpret_cast<const uint8_t*>(contents.data());
@@ -866,6 +915,8 @@ Status DeepVerifyBundleFile(const std::string& path) {
   }
   return OkStatus();
 }
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // BundleFileView.

@@ -75,9 +75,13 @@ struct TensorFileInfo {
 Result<TensorFileInfo> StatTensor(const std::string& path);
 
 // Full-integrity pass without materializing tensors: whole-file CRC plus every per-tensor /
-// per-chunk CRC. What `ucp_tool fsck` runs in its default (deep) mode.
+// per-chunk CRC. What `ucp_tool fsck` runs in its default (deep) mode. The ByteSource
+// forms verify the same bytes through any source — e.g. a shard materialized from a chunk
+// manifest — so fsck's deep mode covers incremental tags too.
 Status DeepVerifyTensorFile(const std::string& path);
+Status DeepVerifyTensorFile(std::unique_ptr<ByteSource> source);
 Status DeepVerifyBundleFile(const std::string& path);
+Status DeepVerifyBundleFile(std::unique_ptr<ByteSource> source);
 
 // Cumulative counters for checkpoint-file reads (payload + header bytes actually fetched,
 // whether via pread or whole-file reads). Process-global and thread-safe; the load benches
@@ -161,6 +165,7 @@ struct BundleInfo {
   std::vector<std::pair<std::string, TensorFileInfo>> entries;
 };
 Result<BundleInfo> StatBundle(const std::string& path);
+Result<BundleInfo> StatBundle(std::unique_ptr<ByteSource> source);
 
 // Bundle twin of TensorFileView: one header parse/verify at Open, then per-member range
 // reads via pread with chunk-granular CRC verification. The native checkpoint load path
