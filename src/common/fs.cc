@@ -1,6 +1,7 @@
 #include "src/common/fs.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -228,6 +229,14 @@ Result<uint64_t> FileSize(const std::string& path) {
     return IoError("file_size(" + path + "): " + ec.message());
   }
   return size;
+}
+
+Result<int64_t> FileMtimeSeconds(const std::string& path) {
+  struct ::stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return IoError("stat(" + path + "): " + std::strerror(errno));
+  }
+  return static_cast<int64_t>(st.st_mtime);
 }
 
 Status WriteFileAtomic(const std::string& path, const void* data, size_t size) {

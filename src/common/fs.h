@@ -50,6 +50,9 @@ bool DirExists(const std::string& path);
 
 Result<uint64_t> FileSize(const std::string& path);
 
+// Last-modification time of `path` in whole seconds since the POSIX epoch.
+Result<int64_t> FileMtimeSeconds(const std::string& path);
+
 // Atomically replaces `path` with `contents` (tmp file + fsync + rename). Transient
 // (kUnavailable) failures are retried per the IoRetryPolicy with capped exponential
 // backoff; all other failures return immediately.

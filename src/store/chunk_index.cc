@@ -1,6 +1,7 @@
 #include "src/store/chunk_index.h"
 
 #include <stdlib.h>
+#include <time.h>
 
 #include <algorithm>
 #include <cstring>
@@ -12,6 +13,7 @@
 #include "src/common/lz.h"
 #include "src/obs/metrics.h"
 #include "src/store/tags.h"
+#include "src/tensor/chunk_digest.h"
 
 namespace ucp {
 
@@ -26,6 +28,22 @@ std::string Dirname(const std::string& path) {
     return "/";
   }
   return path.substr(0, slash);
+}
+
+// Header of the object at `path` without reading its payload.
+Result<ChunkObjectHeader> ReadObjectHeader(const std::string& path) {
+  UCP_ASSIGN_OR_RETURN(RandomAccessFile file, RandomAccessFile::Open(path));
+  uint8_t header[kChunkHeaderBytes];
+  UCP_RETURN_IF_ERROR(file.ReadAt(0, header, sizeof(header)));
+  return ParseChunkObjectHeader(header, sizeof(header));
+}
+
+// Does the stored object's header say it holds exactly these raw bytes? (Combined with
+// the 64-bit address digest this is a ~96-bit equality check — the dedup paths use it so
+// a digest collision can never silently substitute one chunk's content for another's.)
+bool HeaderMatchesRaw(const ChunkObjectHeader& header, uint32_t raw_size,
+                      uint32_t raw_crc) {
+  return header.raw_size == raw_size && header.raw_crc == raw_crc;
 }
 
 }  // namespace
@@ -122,13 +140,24 @@ std::string ChunkIndex::ObjectPath(uint64_t digest) const {
 }
 
 std::vector<uint8_t> ChunkIndex::PinAndQuery(const std::string& tag,
-                                             const std::vector<uint64_t>& digests) {
+                                             const std::vector<ChunkProbe>& probes) {
   std::lock_guard<std::mutex> lock(mu_);
   std::set<uint64_t>& pinned = pins_[tag];
-  std::vector<uint8_t> present(digests.size(), 0);
-  for (size_t i = 0; i < digests.size(); ++i) {
-    pinned.insert(digests[i]);
-    present[i] = FileExists(ObjectPath(digests[i])) ? 1 : 0;
+  std::vector<uint8_t> present(probes.size(), 0);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    pinned.insert(probes[i].digest);
+    const std::string path = ObjectPath(probes[i].digest);
+    if (!FileExists(path)) {
+      continue;
+    }
+    // "Present" means present *with this content*: an aliased digest (collision) or a
+    // damaged object answers 0, routing the writer to Put, which either heals the object
+    // or fails the collision typed.
+    Result<ChunkObjectHeader> header = ReadObjectHeader(path);
+    present[i] = header.ok() && HeaderMatchesRaw(*header, probes[i].raw_size,
+                                                 probes[i].raw_crc)
+                     ? 1
+                     : 0;
   }
   return present;
 }
@@ -137,10 +166,22 @@ Status ChunkIndex::Put(uint64_t digest, const void* raw, size_t raw_size,
                        bool try_compress, ChunkedWriteStats* stats) {
   std::lock_guard<std::mutex> lock(mu_);
   const std::string path = ObjectPath(digest);
-  if (FileExists(path)) {
-    return OkStatus();  // content-addressed: same digest, same bytes
-  }
   const uint32_t raw_crc = Crc32(raw, raw_size);
+  if (FileExists(path)) {
+    Result<ChunkObjectHeader> existing = ReadObjectHeader(path);
+    if (existing.ok()) {
+      if (HeaderMatchesRaw(*existing, static_cast<uint32_t>(raw_size), raw_crc)) {
+        return OkStatus();  // dedup hit, content verified via size+crc
+      }
+      // Two different contents hash to one 64-bit digest. Storing either under the
+      // shared address would silently corrupt whoever references the other, so the save
+      // fails loudly here, while every committed tag is still intact.
+      return FailedPreconditionError(
+          "chunk digest collision: object " + DigestToHex(digest) +
+          " already holds different content (size/crc mismatch); refusing to alias");
+    }
+    // Existing object is torn/unparseable — fall through and rewrite it with good bytes.
+  }
   std::vector<uint8_t> encoded;
   if (try_compress) {
     std::vector<uint8_t> compressed;
@@ -165,15 +206,35 @@ Status ChunkIndex::Put(uint64_t digest, const void* raw, size_t raw_size,
 }
 
 Status ChunkIndex::PutEncoded(uint64_t digest, const void* encoded, size_t encoded_size) {
-  // Decode-verify before publishing: the object must at minimum be internally consistent
-  // (header parses, payload decompresses, raw CRC matches) so a truncated or corrupted
-  // upload can never land in the shared index under a digest other tags may reference.
-  UCP_RETURN_IF_ERROR(
-      DecodeChunkObject(encoded, encoded_size, "chunk " + DigestToHex(digest)).status());
+  // Decode-verify before publishing: the object must be internally consistent (header
+  // parses, payload decompresses, raw CRC matches) so a truncated or corrupted upload can
+  // never land in the shared index under a digest other tags may reference.
+  UCP_ASSIGN_OR_RETURN(
+      const std::vector<uint8_t> raw,
+      DecodeChunkObject(encoded, encoded_size, "chunk " + DigestToHex(digest)));
+  // And the decoded content must actually hash to the claimed digest — otherwise a buggy
+  // or malicious client could publish arbitrary (self-consistent) content under any
+  // address, poisoning every tag that later dedups against it.
+  const uint64_t actual = ChunkDigest(raw.data(), raw.size());
+  if (actual != digest) {
+    return InvalidArgumentError("chunk content hashes to " + DigestToHex(actual) +
+                                ", not its claimed digest " + DigestToHex(digest) +
+                                " (forged upload rejected)");
+  }
   std::lock_guard<std::mutex> lock(mu_);
   const std::string path = ObjectPath(digest);
   if (FileExists(path)) {
-    return OkStatus();
+    Result<ChunkObjectHeader> existing = ReadObjectHeader(path);
+    if (existing.ok()) {
+      if (HeaderMatchesRaw(*existing, static_cast<uint32_t>(raw.size()),
+                           Crc32(raw.data(), raw.size()))) {
+        return OkStatus();
+      }
+      return FailedPreconditionError(
+          "chunk digest collision: object " + DigestToHex(digest) +
+          " already holds different content (size/crc mismatch); refusing to alias");
+    }
+    // Torn/unparseable existing object: rewrite it with the verified upload.
   }
   UCP_RETURN_IF_ERROR(MakeDirs(Dirname(path)));
   return WriteFileAtomic(path, encoded, encoded_size);
@@ -196,15 +257,11 @@ Result<ChunkIndex::ChunkStat> ChunkIndex::StatChunk(uint64_t digest) {
   if (!FileExists(path)) {
     return stat;
   }
-  UCP_ASSIGN_OR_RETURN(RandomAccessFile file, RandomAccessFile::Open(path));
-  uint8_t header[kChunkHeaderBytes];
-  UCP_RETURN_IF_ERROR(file.ReadAt(0, header, sizeof(header)));
-  UCP_ASSIGN_OR_RETURN(ChunkObjectHeader parsed,
-                       ParseChunkObjectHeader(header, sizeof(header)));
+  UCP_ASSIGN_OR_RETURN(ChunkObjectHeader parsed, ReadObjectHeader(path));
+  UCP_ASSIGN_OR_RETURN(stat.stored_size, FileSize(path));
   stat.exists = true;
   stat.codec = parsed.codec;
   stat.raw_size = parsed.raw_size;
-  stat.stored_size = file.size();
   return stat;
 }
 
@@ -222,7 +279,7 @@ size_t ChunkIndex::PinnedCountForTest() {
   return count;
 }
 
-Result<ChunkIndex::SweepReport> ChunkIndex::Sweep(bool dry_run) {
+Result<ChunkIndex::SweepReport> ChunkIndex::Sweep(bool dry_run, int64_t grace_seconds) {
   // The lock spans mark AND sweep: a PinAndQuery between the two could otherwise see
   // "present" for an object the sweep is about to delete.
   std::lock_guard<std::mutex> lock(mu_);
@@ -270,6 +327,7 @@ Result<ChunkIndex::SweepReport> ChunkIndex::Sweep(bool dry_run) {
   }
 
   SweepReport report;
+  const int64_t now = static_cast<int64_t>(::time(nullptr));
   const std::string chunk_root = PathJoin(root_, kChunkDirName);
   if (!DirExists(chunk_root)) {
     sweeps.Add(1);
@@ -292,6 +350,16 @@ Result<ChunkIndex::SweepReport> ChunkIndex::Sweep(bool dry_run) {
         continue;
       }
       const std::string path = PathJoin(fanout_dir, object);
+      if (grace_seconds > 0) {
+        // Quarantine, don't delete: a young unreferenced object may be a dirty chunk of
+        // another process's in-flight save whose pins this process cannot see (its
+        // manifest lands at FinalizeManifest). It becomes sweepable once it ages out.
+        if (Result<int64_t> mtime = FileMtimeSeconds(path);
+            mtime.ok() && now - *mtime < grace_seconds) {
+          ++report.skipped_young;
+          continue;
+        }
+      }
       uint64_t size = 0;
       if (Result<uint64_t> file_size = FileSize(path); file_size.ok()) {
         size = *file_size;

@@ -23,6 +23,15 @@
 // One index instance exists per root per process (ForRoot), which covers every supported
 // topology: direct-FS jobs in one process, or many clients behind one ucp_serverd.
 //
+// Pins are per-process, so a sweep running in a *different* process (`ucp_tool gc` on a
+// live direct-FS root, or one of several direct-FS jobs sharing a root) cannot see the
+// in-flight saves of its neighbours. Sweep therefore quarantines unreferenced objects
+// younger than a grace window (mtime-based) instead of deleting them: dirty chunks
+// written before their manifest lands survive any out-of-process sweep, and genuinely
+// orphaned objects are reclaimed once they age past the window. Callers that provably
+// hold every pin for the root in-process (the daemon, which is the sole accessor of the
+// roots it serves; tests asserting convergence) may pass grace 0 for immediate reclaim.
+//
 // Soak invariants (checked by CheckSoakInvariants, documented in docs/incremental.md):
 //   I6: every chunk referenced by a committed tag's manifest exists in the index.
 //   I7: after DeleteTag of every referer and a Gc, no orphan chunk objects remain.
@@ -46,6 +55,11 @@ namespace ucp {
 
 // Directory under the store root holding chunk objects.
 inline constexpr char kChunkDirName[] = "chunks";
+
+// Default quarantine window for unreferenced chunk objects (see Sweep). One hour bounds
+// the manifest-less window of any realistic save; the only cost of generosity is that
+// orphan reclaim lags by one window.
+inline constexpr int64_t kChunkSweepGraceSeconds = 3600;
 
 inline constexpr uint32_t kChunkMagic = 0x314B4355;  // "UCK1", little-endian
 inline constexpr size_t kChunkHeaderBytes = 13;      // magic + codec + raw_size + raw_crc
@@ -102,20 +116,40 @@ class ChunkIndex {
 
   const std::string& root() const { return root_; }
 
-  // Pins `digests` under `tag` and returns one presence byte (0/1) per digest. The pin
-  // happens before the existence answer, so "present" stays true until ReleaseTagPins.
+  // What a writer knows about a chunk it is about to store: its content digest plus the
+  // raw size and CRC32 of the bytes. Carrying size+crc lets every dedup decision verify
+  // that the already-stored object really holds the same content — an accidental 64-bit
+  // digest collision (or a forged object) answers "absent"/fails typed instead of
+  // silently aliasing two different chunks.
+  struct ChunkProbe {
+    uint64_t digest = 0;
+    uint32_t raw_size = 0;
+    uint32_t raw_crc = 0;
+  };
+
+  // Pins each probe's digest under `tag` and returns one presence byte (0/1) per probe.
+  // The pin happens before the existence answer, so "present" stays true until
+  // ReleaseTagPins. "Present" additionally requires the stored object's header to match
+  // the probe's raw_size and raw_crc — a digest whose object holds different content (or
+  // an unreadable object) reports 0, so the writer re-Puts and the collision surfaces as
+  // a typed error there rather than as silent content substitution.
   std::vector<uint8_t> PinAndQuery(const std::string& tag,
-                                   const std::vector<uint64_t>& digests);
+                                   const std::vector<ChunkProbe>& probes);
 
   // Stores digest -> raw bytes unless already present. With `try_compress`, the payload
   // is LZ-compressed and kept only if it beats the raw size by >= 1/16. Updates `stats`
-  // (bytes_written / chunks_compressed; presence accounting is the caller's).
+  // (bytes_written / chunks_compressed; presence accounting is the caller's). A dedup
+  // hit verifies the existing object's header against the incoming bytes: a mismatch is
+  // kFailedPrecondition (digest collision — refusing to alias), and an object whose
+  // header no longer parses is rewritten in place (heals torn objects).
   Status Put(uint64_t digest, const void* raw, size_t raw_size, bool try_compress,
              ChunkedWriteStats* stats);
 
   // Stores an already-encoded object (the daemon accepting a client's pre-compressed
-  // chunk). The encoding is decoded and CRC-verified before anything is published, so a
-  // bad client cannot poison the shared index with an object that fails its own header.
+  // chunk). The encoding is decoded and CRC-verified, and the decoded bytes must hash to
+  // `digest` (kInvalidArgument otherwise), before anything is published — a bad client
+  // can neither poison the shared index with an object that fails its own header nor
+  // publish arbitrary content under a digest other tags may dedup against.
   Status PutEncoded(uint64_t digest, const void* encoded, size_t encoded_size);
 
   // Reads and fully verifies one chunk to raw bytes. A missing object is kDataLoss (a
@@ -134,17 +168,23 @@ class ChunkIndex {
   void ReleaseTagPins(const std::string& tag);
 
   struct SweepReport {
-    uint64_t live = 0;         // distinct digests still referenced or pinned
-    uint64_t swept = 0;        // objects deleted
-    uint64_t bytes_swept = 0;  // their on-disk size
+    uint64_t live = 0;           // distinct digests still referenced or pinned
+    uint64_t swept = 0;          // objects deleted
+    uint64_t bytes_swept = 0;    // their on-disk size
+    uint64_t skipped_young = 0;  // unreferenced but inside the grace window — kept
   };
   // Mark-and-sweep GC of the object directory. Marks every digest referenced by any
   // manifest in any tag directory (all jobs) or staging directory under the root, plus
   // all in-memory pins. A corrupt manifest in a *committed* tag aborts the sweep typed
   // (fail closed: never delete what a live tag might reference); a corrupt manifest in
   // staging debris is skipped (the tag never committed — its chunks are only protected
-  // by pins, which the owning in-flight save still holds).
-  Result<SweepReport> Sweep(bool dry_run);
+  // by pins, which the owning in-flight save still holds). Unreferenced objects whose
+  // mtime is within `grace_seconds` are quarantined, not deleted — pins are per-process,
+  // and the grace window is what protects another process's in-flight save from this
+  // one's sweep (see the file comment). Pass 0 only when this process holds every pin
+  // for the root.
+  Result<SweepReport> Sweep(bool dry_run,
+                            int64_t grace_seconds = kChunkSweepGraceSeconds);
 
   // Test hook: number of digests currently pinned across all tags.
   size_t PinnedCountForTest();

@@ -89,8 +89,9 @@ Result<ChunkManifest> ParseChunkManifest(const std::string& text) {
   ChunkManifest manifest;
   UCP_ASSIGN_OR_RETURN(manifest.parent, json.GetString("parent"));
   UCP_ASSIGN_OR_RETURN(int64_t chunk_bytes, json.GetInt("chunk_bytes"));
-  if (chunk_bytes <= 0) {
-    return DataLossError("chunk manifest: non-positive chunk_bytes");
+  if (chunk_bytes <= 0 ||
+      static_cast<uint64_t>(chunk_bytes) > kMaxManifestChunkBytes) {
+    return DataLossError("chunk manifest: chunk_bytes out of range");
   }
   manifest.chunk_bytes = static_cast<uint64_t>(chunk_bytes);
   UCP_ASSIGN_OR_RETURN(const JsonArray* files, json.GetArray("files"));

@@ -36,6 +36,11 @@ namespace ucp {
 // Name of the manifest file inside a tag (and its staging) directory.
 inline constexpr char kChunkManifestName[] = "chunk_manifest.ucm";
 
+// Parse-time sanity bound on a manifest's chunk_bytes. Real manifests use 64 KiB; the
+// bound keeps a corrupt or hostile value from overflowing downstream arithmetic (readers
+// index chunks with 32-bit-safe math only below ~2^32).
+inline constexpr uint64_t kMaxManifestChunkBytes = 1ull << 30;
+
 struct ChunkManifestEntry {
   std::string name;              // file name inside the tag (e.g. an optim shard)
   uint64_t size = 0;             // raw file size in bytes

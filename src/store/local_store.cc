@@ -44,10 +44,18 @@ class LocalStoreWriter final : public StoreWriter {
     ChunkedWriteStats stats;
     stats.bytes_total = size;
     stats.chunks_total = digests.size();
+    const uint8_t* bytes = static_cast<const uint8_t*>(data);
+    // Probes carry each chunk's size+crc so a dedup hit is content-verified, not just
+    // digest-matched (a 64-bit collision must not alias two different chunks).
+    std::vector<ChunkIndex::ChunkProbe> probes(digests.size());
+    for (size_t i = 0; i < digests.size(); ++i) {
+      const size_t off = i * kManifestChunkBytes;
+      const size_t n = std::min(kManifestChunkBytes, size - off);
+      probes[i] = {digests[i], static_cast<uint32_t>(n), Crc32(bytes + off, n)};
+    }
     // Pins land before the presence answer: a "present" chunk stays present until this
     // tag commits or aborts, whatever GC does in between.
-    const std::vector<uint8_t> present = index->PinAndQuery(tag(), digests);
-    const uint8_t* bytes = static_cast<const uint8_t*>(data);
+    const std::vector<uint8_t> present = index->PinAndQuery(tag(), probes);
     for (size_t i = 0; i < digests.size(); ++i) {
       if (present[i] != 0) {
         ++stats.chunks_deduped;
@@ -282,7 +290,8 @@ Result<GcReport> LocalStore::Gc(const std::string& job, int keep_last, bool dry_
   // is the arbiter). A sweep refusal (damaged committed manifest) must not fail the Gc:
   // tags were already retired per policy, space reclaim just waits for fsck.
   if (!dry_run) {
-    Result<ChunkIndex::SweepReport> sweep = ChunkIndex::ForRoot(root_)->Sweep(false);
+    Result<ChunkIndex::SweepReport> sweep =
+        ChunkIndex::ForRoot(root_)->Sweep(false, chunk_sweep_grace_seconds_);
     if (!sweep.ok()) {
       UCP_LOG(Warning) << "chunk sweep skipped: " << sweep.status().ToString();
     }

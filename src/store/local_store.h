@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/store/chunk_index.h"
 #include "src/store/store.h"
 
 namespace ucp {
@@ -41,8 +42,17 @@ class LocalStore final : public Store {
   Result<GcReport> Gc(const std::string& job, int keep_last, bool dry_run) override;
   Result<int> SweepStagingDebris(const std::string& job) override;
 
+  // Grace window Gc's chunk sweep quarantines young unreferenced objects for (see
+  // ChunkIndex::Sweep). The default is safe for any topology — chunk pins are per-process
+  // and another process may be mid-save against this root. Set 0 only when this process
+  // provably holds every pin for the root (the daemon does; so do convergence tests).
+  void set_chunk_sweep_grace_seconds(int64_t seconds) {
+    chunk_sweep_grace_seconds_ = seconds;
+  }
+
  private:
   std::string root_;
+  int64_t chunk_sweep_grace_seconds_ = kChunkSweepGraceSeconds;
 };
 
 // ---- Dir-based convenience API (the historical checkpoint free functions) ----------------

@@ -153,30 +153,51 @@ class RemoteStoreWriter final : public StoreWriter {
     ChunkedWriteStats stats;
     stats.bytes_total = size;
     stats.chunks_total = digests.size();
-    ByteWriter query;
-    query.PutString(tag());
-    query.PutU32(static_cast<uint32_t>(digests.size()));
-    for (uint64_t digest : digests) {
-      query.PutU64(digest);
-    }
-    UCP_ASSIGN_OR_RETURN(WireFrame mask_frame,
-                         store_->RoundtripWithRetry(WireOp::kChunkQuery, query.buffer(),
-                                                    WireOp::kChunkMask));
-    ByteReader mask(mask_frame.payload.data(), mask_frame.payload.size());
-    UCP_ASSIGN_OR_RETURN(uint32_t count, mask.GetU32());
-    if (count != digests.size()) {
-      return DataLossError("CHUNK_MASK count mismatch from " + store_->endpoint_);
-    }
     const uint8_t* bytes = static_cast<const uint8_t*>(data);
+    // Per-chunk raw CRCs ride the query so the server answers "present" only for objects
+    // that verifiably hold the same content (not merely the same 64-bit digest), and are
+    // reused below when the chunk ships. Queries are batched to stay under the wire frame
+    // cap whatever the file size.
+    std::vector<uint32_t> chunk_crcs(digests.size());
     for (size_t i = 0; i < digests.size(); ++i) {
-      UCP_ASSIGN_OR_RETURN(uint8_t present, mask.GetU8());
-      if (present != 0) {
+      const size_t off = i * kManifestChunkBytes;
+      chunk_crcs[i] = Crc32(bytes + off, std::min(kManifestChunkBytes, size - off));
+    }
+    constexpr size_t kQueryBatch = 65536;  // 16 B/entry -> 1 MiB per frame
+    std::vector<uint8_t> present_all;
+    present_all.reserve(digests.size());
+    for (size_t begin = 0; begin < digests.size(); begin += kQueryBatch) {
+      const size_t batch = std::min(kQueryBatch, digests.size() - begin);
+      ByteWriter query;
+      query.PutString(tag());
+      query.PutU32(static_cast<uint32_t>(batch));
+      for (size_t i = begin; i < begin + batch; ++i) {
+        const size_t off = i * kManifestChunkBytes;
+        query.PutU64(digests[i]);
+        query.PutU32(static_cast<uint32_t>(std::min(kManifestChunkBytes, size - off)));
+        query.PutU32(chunk_crcs[i]);
+      }
+      UCP_ASSIGN_OR_RETURN(WireFrame mask_frame,
+                           store_->RoundtripWithRetry(WireOp::kChunkQuery, query.buffer(),
+                                                      WireOp::kChunkMask));
+      ByteReader mask(mask_frame.payload.data(), mask_frame.payload.size());
+      UCP_ASSIGN_OR_RETURN(uint32_t count, mask.GetU32());
+      if (count != batch) {
+        return DataLossError("CHUNK_MASK count mismatch from " + store_->endpoint_);
+      }
+      for (uint32_t i = 0; i < count; ++i) {
+        UCP_ASSIGN_OR_RETURN(uint8_t present, mask.GetU8());
+        present_all.push_back(present);
+      }
+    }
+    for (size_t i = 0; i < digests.size(); ++i) {
+      if (present_all[i] != 0) {
         ++stats.chunks_deduped;
         continue;
       }
       const size_t off = i * kManifestChunkBytes;
       const size_t n = std::min(kManifestChunkBytes, size - off);
-      const uint32_t raw_crc = Crc32(bytes + off, n);
+      const uint32_t raw_crc = chunk_crcs[i];
       std::vector<uint8_t> encoded;
       if (compress) {
         std::vector<uint8_t> packed;

@@ -86,6 +86,11 @@ struct StoreServer::Session {
   // mid-save — so a crashed client's pins don't outlive it (its uncommitted chunks become
   // sweepable, exactly like its staging debris).
   std::set<std::string> pinned_tags;
+  // Digests this session has pinned, by tag and in total, charged against
+  // options_.max_pinned_chunks (digests re-queried under the same tag are re-counted —
+  // an upper bound is all admission needs). Serving-thread-only, like staged_by_tag.
+  std::map<std::string, uint64_t> pinned_by_tag;
+  uint64_t pinned_total = 0;
   std::atomic<uint64_t> staged_bytes{0};  // admitted via WRITE_BEGIN, not yet released
   // Attribution of staged_bytes by tag, so releasing one tag (commit/abort/reset) leaves
   // the budget of other in-flight saves on this connection intact. Only the session's
@@ -343,6 +348,17 @@ void StoreServer::ReleaseStagedBytes(Session& session) {
     ChunkIndex::ForRoot(store_.root())->ReleaseTagPins(tag);
   }
   session.pinned_tags.clear();
+  session.pinned_by_tag.clear();
+  session.pinned_total = 0;
+}
+
+void StoreServer::ReleaseSessionPinsForTag(Session& session, const std::string& tag) {
+  session.pinned_tags.erase(tag);
+  auto it = session.pinned_by_tag.find(tag);
+  if (it != session.pinned_by_tag.end()) {
+    session.pinned_total -= std::min(session.pinned_total, it->second);
+    session.pinned_by_tag.erase(it);
+  }
 }
 
 void StoreServer::ReleaseStagedBytesForTag(Session& session, const std::string& tag) {
@@ -653,6 +669,7 @@ bool StoreServer::HandleFrame(int fd, const WireFrame& frame, Session& session) 
         // The reset discarded this tag's staging — other tags' saves on this connection
         // keep their admitted budget.
         ReleaseStagedBytesForTag(session, *tag);
+        ReleaseSessionPinsForTag(session, *tag);
       }
       break;
     }
@@ -669,6 +686,7 @@ bool StoreServer::HandleFrame(int fd, const WireFrame& frame, Session& session) 
       status = meta.ok() ? store_.CommitTag(*tag, *meta) : meta.status();
       if (status.ok()) {
         ReleaseStagedBytesForTag(session, *tag);
+        ReleaseSessionPinsForTag(session, *tag);
       }
       break;
     }
@@ -678,6 +696,7 @@ bool StoreServer::HandleFrame(int fd, const WireFrame& frame, Session& session) 
       status = tag.ok() ? store_.AbortTag(*tag) : tag.status();
       if (status.ok()) {
         ReleaseStagedBytesForTag(session, *tag);
+        ReleaseSessionPinsForTag(session, *tag);
       }
       break;
     }
@@ -746,16 +765,34 @@ bool StoreServer::HandleFrame(int fd, const WireFrame& frame, Session& session) 
         status = InvalidArgumentError("unsafe tag name: " + *tag);
         break;
       }
-      // The payload size already bounds count * 8 bytes; a forged count fails in GetU64.
-      std::vector<uint64_t> digests;
-      digests.reserve(*count);
+      // Admission: pins are server memory and block chunk reclaim, so they are budgeted
+      // per session like staged bytes. The check runs before anything is pinned, against
+      // the declared count — a hostile count either fails here or in the reader below.
+      if (session.pinned_total + *count > options_.max_pinned_chunks) {
+        status = FailedPreconditionError(
+            "session pinned-chunk budget exceeded: " +
+            std::to_string(session.pinned_total) + " held + " + std::to_string(*count) +
+            " requested > " + std::to_string(options_.max_pinned_chunks));
+        break;
+      }
+      // The payload size already bounds count * 16 bytes; a forged count fails in the
+      // reader.
+      std::vector<ChunkIndex::ChunkProbe> probes;
+      probes.reserve(*count);
       for (uint32_t i = 0; i < *count; ++i) {
+        ChunkIndex::ChunkProbe probe;
         Result<uint64_t> d = r.GetU64();
-        if (!d.ok()) {
-          status = d.status();
+        Result<uint32_t> raw_size = d.ok() ? r.GetU32() : Result<uint32_t>(d.status());
+        Result<uint32_t> raw_crc =
+            raw_size.ok() ? r.GetU32() : Result<uint32_t>(raw_size.status());
+        if (!raw_crc.ok()) {
+          status = raw_crc.status();
           break;
         }
-        digests.push_back(*d);
+        probe.digest = *d;
+        probe.raw_size = *raw_size;
+        probe.raw_crc = *raw_crc;
+        probes.push_back(probe);
       }
       if (!status.ok()) {
         break;
@@ -763,8 +800,10 @@ bool StoreServer::HandleFrame(int fd, const WireFrame& frame, Session& session) 
       // Pins are taken before presence is answered so a concurrent sweep can't delete a
       // chunk the client was just told exists (invariant I6).
       std::vector<uint8_t> present =
-          ChunkIndex::ForRoot(store_.root())->PinAndQuery(*tag, digests);
+          ChunkIndex::ForRoot(store_.root())->PinAndQuery(*tag, probes);
       session.pinned_tags.insert(*tag);
+      session.pinned_by_tag[*tag] += probes.size();
+      session.pinned_total += probes.size();
       ByteWriter w;
       w.PutU32(static_cast<uint32_t>(present.size()));
       for (uint8_t p : present) {

@@ -41,6 +41,13 @@ struct StoreServerOptions {
   std::string http_listen;                    // optional "tcp:host:port" for /metrics
   int max_sessions = 64;
   uint64_t max_staged_bytes = 256ull << 20;   // admission budget for in-flight staging
+  // Cap on chunk digests one session may hold pinned via CHUNK_QUERY (the chunk-side
+  // analogue of max_staged_bytes): each pin costs server memory and blocks reclaim of
+  // that chunk until the tag commits/aborts or the session dies, so an unbounded count
+  // would let one misbehaving client grow the pin map and freeze GC store-wide. The
+  // default admits ~64 GiB of 64 KiB-chunked state per session. Exceeding it is
+  // kFailedPrecondition (a protocol violation, not backpressure — clients don't retry).
+  uint64_t max_pinned_chunks = 1ull << 20;
   bool drain_on_shutdown = true;              // wait for idle sessions before closing them
 };
 
@@ -78,7 +85,12 @@ class StoreServer {
   struct OpenRead;
 
   explicit StoreServer(StoreServerOptions options)
-      : options_(std::move(options)), store_(options_.root) {}
+      : options_(std::move(options)), store_(options_.root) {
+    // The daemon is the sole accessor of the roots it serves, and every client's chunk
+    // pins live in this process's ChunkIndex — its sweeps reclaim immediately, no
+    // cross-process grace window needed.
+    store_.set_chunk_sweep_grace_seconds(0);
+  }
 
   void AcceptLoop();
   void HttpLoop();
@@ -92,6 +104,9 @@ class StoreServer {
   Result<std::vector<uint8_t>> HandleOpenRead(const WireFrame& frame, Session& session);
   void ReleaseStagedBytes(Session& session);
   void ReleaseStagedBytesForTag(Session& session, const std::string& tag);
+  // Drops the session's pin accounting for `tag` (the index-side pins are released by
+  // LocalStore's commit/abort/reset, or by ReleaseStagedBytes on disconnect).
+  void ReleaseSessionPinsForTag(Session& session, const std::string& tag);
   // Joins connection threads that finished serving (they park their own handle on
   // dead_threads_ on the way out). Called from the accept loop and Shutdown.
   void ReapDeadThreads();

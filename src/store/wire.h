@@ -66,7 +66,8 @@ enum class WireOp : uint8_t {
   kSweepDebris = 17,  // str job
   kPing = 18,         // empty
   // v2+ only (negotiated version >= 2; a v1 session gets kFailedPrecondition):
-  kChunkQuery = 19,   // str tag | u32 count | count * u64 digest — pins + presence query
+  kChunkQuery = 19,   // str tag | u32 count | count * (u64 digest | u32 raw_size |
+                      // u32 raw_crc) — pins + content-verified presence query
   kChunkPut = 20,     // u64 digest | encoded chunk object bytes (UCK1 header + payload)
 
   kOk = 64,           // empty

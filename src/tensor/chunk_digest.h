@@ -3,10 +3,13 @@
 // The incremental flush path identifies chunks by content: a chunk whose digest matches
 // the parent tag's digest at the same position is not rewritten, and a chunk whose digest
 // already exists in the content-addressed index is stored once regardless of which rank or
-// tag produced it. The digest is an XXH64-style non-cryptographic hash — collision of two
-// *different* chunks would silently alias them, but every chunk object carries a CRC32 of
-// its raw bytes and every serialized file keeps its own v3 per-chunk CRC table, so an
-// aliased (or forged) chunk is caught as kDataLoss on first read, localized to the chunk.
+// tag produced it. The digest is an XXH64-style non-cryptographic hash, so it is never
+// trusted alone: every dedup decision in the chunk index also compares the stored
+// object's raw size and CRC32 against the incoming chunk (~96 bits of combined check), a
+// collision is refused typed at save time instead of aliased, the daemon re-hashes every
+// uploaded chunk before publishing it under a claimed digest, and every serialized file
+// keeps its own v3 per-chunk CRC table so anything that still slips through is kDataLoss
+// on first read, localized to the chunk.
 //
 // Digests are rendered as fixed-width 16-hex-digit strings in manifests and object paths
 // (u64 does not round-trip through JSON numbers).

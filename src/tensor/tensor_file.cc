@@ -745,8 +745,35 @@ Result<Tensor> TensorFileView::ReadAll() {
 // ---------------------------------------------------------------------------
 // TensorBundle.
 
+TensorBundle::TensorBundle(const TensorBundle& other)
+    : tensors(other.tensors), meta(other.meta) {}
+
+TensorBundle& TensorBundle::operator=(const TensorBundle& other) {
+  if (this != &other) {
+    tensors = other.tensors;
+    meta = other.meta;
+    std::lock_guard<std::mutex> lock(index_mu_);
+    index_.clear();
+  }
+  return *this;
+}
+
+TensorBundle::TensorBundle(TensorBundle&& other) noexcept
+    : tensors(std::move(other.tensors)), meta(std::move(other.meta)) {}
+
+TensorBundle& TensorBundle::operator=(TensorBundle&& other) noexcept {
+  if (this != &other) {
+    tensors = std::move(other.tensors);
+    meta = std::move(other.meta);
+    std::lock_guard<std::mutex> lock(index_mu_);
+    index_.clear();
+  }
+  return *this;
+}
+
 void TensorBundle::Add(std::string name, Tensor t) {
   tensors.emplace_back(std::move(name), std::move(t));
+  std::lock_guard<std::mutex> lock(index_mu_);
   index_.clear();  // rebuilt lazily on the next Find
 }
 
@@ -754,6 +781,7 @@ const Tensor* TensorBundle::Find(const std::string& name) const {
   if (tensors.empty()) {
     return nullptr;
   }
+  std::lock_guard<std::mutex> lock(index_mu_);
   for (int attempt = 0; attempt < 2; ++attempt) {
     if (index_.empty()) {
       for (size_t i = 0; i < tensors.size(); ++i) {

@@ -32,6 +32,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -142,13 +143,24 @@ struct TensorBundle {
   std::vector<std::pair<std::string, Tensor>> tensors;
   Json meta;  // iteration number, strategy descriptor, RNG state, ...
 
+  // Copies and moves carry only `tensors` and `meta`; the lazy name index (and the lock
+  // that makes concurrent const Finds safe) are per-instance and rebuilt on first Find.
+  TensorBundle() = default;
+  TensorBundle(const TensorBundle& other);
+  TensorBundle& operator=(const TensorBundle& other);
+  TensorBundle(TensorBundle&& other) noexcept;
+  TensorBundle& operator=(TensorBundle&& other) noexcept;
+
   void Add(std::string name, Tensor t);
   // nullptr when absent. O(1) via a name index (rebuilt lazily if `tensors` was edited
   // directly); first insertion wins for duplicate names, matching the old linear scan.
+  // Safe to call from many threads at once (the converter's parallel ingest does) as
+  // long as no thread is mutating the bundle.
   const Tensor* Find(const std::string& name) const;
   bool Has(const std::string& name) const { return Find(name) != nullptr; }
 
  private:
+  mutable std::mutex index_mu_;
   mutable std::unordered_map<std::string, size_t> index_;
 };
 

@@ -140,7 +140,7 @@ Result<ValidationReport> ValidateNativeCheckpoint(const std::string& dir,
       for (const ChunkManifestEntry& entry : m.files) {
         const std::string entry_path = PathJoin(tag_dir, entry.name) + " (via manifest)";
         const std::string dir_copy = dir;
-        const uint32_t chunk_bytes = m.chunk_bytes;
+        const uint64_t chunk_bytes = m.chunk_bytes;
         const ChunkManifestEntry entry_copy = entry;
         checks.push_back({entry_path,
                           [dir_copy, entry_copy, chunk_bytes, entry_path] {

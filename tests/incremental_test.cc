@@ -547,8 +547,9 @@ TEST_F(IncrementalFaultTest, GcKeepsLiveChunksAndRefcountsConverge) {
   // Delete every referer, sweep, and the index must be empty.
   ASSERT_TRUE(store.DeleteTag("global_step4").ok());
   ASSERT_TRUE(store.DeleteTag("global_step5").ok());
+  // Grace 0: this process holds every pin for the root, so convergence is immediate.
   Result<ChunkIndex::SweepReport> swept =
-      ChunkIndex::ForRoot(dir_)->Sweep(/*dry_run=*/false);
+      ChunkIndex::ForRoot(dir_)->Sweep(/*dry_run=*/false, /*grace_seconds=*/0);
   ASSERT_TRUE(swept.ok()) << swept.status();
   EXPECT_TRUE(ChunkObjectPaths(dir_).empty());
 
@@ -642,6 +643,155 @@ TEST_F(IncrementalFaultTest, CompressedIncrementalSaveResumesBitExact) {
   ASSERT_EQ(resumed_losses.size(), 2u);
   EXPECT_DOUBLE_EQ(resumed_losses[0], ref_losses[2]);
   EXPECT_DOUBLE_EQ(resumed_losses[1], ref_losses[3]);
+}
+
+// A self-consistent chunk object whose content does not hash to its claimed digest must
+// be rejected at publish time (kInvalidArgument), before any tag can dedup against it —
+// not discovered as kDataLoss at load time when the checkpoint is already lost.
+TEST_F(IncrementalFaultTest, PutEncodedRejectsForgedDigest) {
+  std::shared_ptr<ChunkIndex> index = ChunkIndex::ForRoot(dir_);
+  std::vector<uint8_t> a(64 * 1024, 0x11);
+  std::vector<uint8_t> b(64 * 1024, 0x22);
+  const uint64_t digest_a = ChunkDigest(a.data(), a.size());
+
+  std::vector<uint8_t> forged =
+      EncodeChunkObject(ChunkCodec::kRaw, static_cast<uint32_t>(b.size()),
+                        Crc32(b.data(), b.size()), b.data(), b.size());
+  Status put = index->PutEncoded(digest_a, forged.data(), forged.size());
+  EXPECT_EQ(put.code(), StatusCode::kInvalidArgument) << put.ToString();
+  EXPECT_FALSE(FileExists(PathJoin(dir_, ChunkObjectRel(digest_a))));
+
+  // The honest object under the same digest still lands (and re-putting it dedups).
+  std::vector<uint8_t> honest =
+      EncodeChunkObject(ChunkCodec::kRaw, static_cast<uint32_t>(a.size()),
+                        Crc32(a.data(), a.size()), a.data(), a.size());
+  ASSERT_TRUE(index->PutEncoded(digest_a, honest.data(), honest.size()).ok());
+  EXPECT_TRUE(FileExists(PathJoin(dir_, ChunkObjectRel(digest_a))));
+  ASSERT_TRUE(index->PutEncoded(digest_a, honest.data(), honest.size()).ok());
+}
+
+// A 64-bit digest collision (two different contents, one address) must fail the save
+// typed instead of silently substituting one chunk's bytes for the other's.
+TEST_F(IncrementalFaultTest, DigestCollisionRefusedNotAliased) {
+  std::shared_ptr<ChunkIndex> index = ChunkIndex::ForRoot(dir_);
+  std::vector<uint8_t> a(64 * 1024, 0x11);
+  std::vector<uint8_t> b(64 * 1024, 0x22);
+  const uint64_t digest_a = ChunkDigest(a.data(), a.size());
+  ASSERT_TRUE(index->Put(digest_a, a.data(), a.size(), false, nullptr).ok());
+
+  // Same content under the same digest: a verified dedup hit.
+  ASSERT_TRUE(index->Put(digest_a, a.data(), a.size(), false, nullptr).ok());
+  // Different content under the same digest (a simulated collision): refused.
+  Status collided = index->Put(digest_a, b.data(), b.size(), false, nullptr);
+  EXPECT_EQ(collided.code(), StatusCode::kFailedPrecondition) << collided.ToString();
+
+  // The presence query is content-verified too: the colliding probe reports "absent",
+  // routing its writer into the refusing Put above instead of a silent by-reference skip.
+  std::vector<ChunkIndex::ChunkProbe> probes = {
+      {digest_a, static_cast<uint32_t>(a.size()), Crc32(a.data(), a.size())},
+      {digest_a, static_cast<uint32_t>(b.size()), Crc32(b.data(), b.size())},
+  };
+  std::vector<uint8_t> present = index->PinAndQuery("global_step9", probes);
+  ASSERT_EQ(present.size(), 2u);
+  EXPECT_EQ(present[0], 1);
+  EXPECT_EQ(present[1], 0);
+  index->ReleaseTagPins("global_step9");
+}
+
+// Chunk pins are per-process, so a sweep must quarantine young unreferenced objects:
+// they may be dirty chunks of another process's in-flight save whose manifest has not
+// landed yet. Grace 0 (single-process ownership) reclaims immediately.
+TEST_F(IncrementalFaultTest, SweepQuarantinesYoungUnreferencedChunks) {
+  std::shared_ptr<ChunkIndex> index = ChunkIndex::ForRoot(dir_);
+  std::vector<uint8_t> orphan(1024, 0x5A);
+  const uint64_t digest = ChunkDigest(orphan.data(), orphan.size());
+  ASSERT_TRUE(index->Put(digest, orphan.data(), orphan.size(), false, nullptr).ok());
+  const std::string path = PathJoin(dir_, ChunkObjectRel(digest));
+  ASSERT_TRUE(FileExists(path));
+
+  Result<ChunkIndex::SweepReport> kept = index->Sweep(/*dry_run=*/false);
+  ASSERT_TRUE(kept.ok()) << kept.status();
+  EXPECT_EQ(kept->swept, 0u);
+  EXPECT_EQ(kept->skipped_young, 1u);
+  EXPECT_TRUE(FileExists(path));
+
+  Result<ChunkIndex::SweepReport> swept =
+      index->Sweep(/*dry_run=*/false, /*grace_seconds=*/0);
+  ASSERT_TRUE(swept.ok()) << swept.status();
+  EXPECT_EQ(swept->swept, 1u);
+  EXPECT_FALSE(FileExists(path));
+}
+
+// A corrupt or hostile manifest declaring chunk_bytes >= 2^32 must fail parsing typed —
+// downstream consumers index chunks with arithmetic that is only safe below that.
+TEST(ChunkManifestBoundsTest, RejectsOutOfRangeChunkBytes) {
+  ChunkManifest manifest;
+  manifest.chunk_bytes = 1ull << 32;  // would truncate to 0 in a 32-bit consumer
+  Result<ChunkManifest> parsed = ParseChunkManifest(SerializeChunkManifest(manifest));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss) << parsed.status();
+
+  manifest.chunk_bytes = kManifestChunkBytes;
+  Result<ChunkManifest> ok = ParseChunkManifest(SerializeChunkManifest(manifest));
+  EXPECT_TRUE(ok.ok()) << ok.status();
+}
+
+// CHUNK_QUERY pins are admission-controlled like staged bytes: a session over its budget
+// is refused typed before anything is pinned, and commit/abort of the tag refunds it.
+TEST(StoreServerChunkBudgetTest, BoundsPinnedChunksPerSession) {
+  const std::string dir = *MakeTempDir("ucp_pin_budget");
+  StoreServerOptions options;
+  options.root = dir;
+  options.listen = "unix:" + dir + ".sock";
+  options.max_pinned_chunks = 4;
+  Result<std::unique_ptr<StoreServer>> started = StoreServer::Start(std::move(options));
+  ASSERT_TRUE(started.ok()) << started.status();
+  std::unique_ptr<StoreServer> server = std::move(*started);
+  Result<std::shared_ptr<Store>> opened = OpenStore(server->endpoint());
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  std::shared_ptr<Store> store = *opened;
+
+  // Distinct per-chunk content so every write queries distinct digests.
+  auto chunk_data = [](size_t chunks, uint8_t seed) {
+    std::vector<uint8_t> data(chunks * kManifestChunkBytes);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<uint8_t>(seed + i / kManifestChunkBytes + (i * 131) % 251);
+    }
+    return data;
+  };
+  auto write_chunked = [&](StoreWriter& writer, const std::string& rel,
+                           const std::vector<uint8_t>& data) {
+    std::vector<uint64_t> digests = ComputeChunkDigests(data.data(), data.size());
+    return writer.WriteFileChunked(rel, data.data(), data.size(), digests,
+                                   /*compress=*/false, /*inherited=*/0);
+  };
+
+  Result<std::unique_ptr<StoreWriter>> writer = store->OpenTagForWrite("global_step1");
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  // 6 probes against a budget of 4: refused before any pin lands.
+  std::vector<uint8_t> big = chunk_data(6, 0);
+  Result<ChunkedWriteStats> over = write_chunked(**writer, "big.bin", big);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kFailedPrecondition) << over.status();
+  // 2 probes fit...
+  std::vector<uint8_t> small = chunk_data(2, 50);
+  ASSERT_TRUE(write_chunked(**writer, "small.bin", small).ok());
+  // ...but 3 more would hold 5 > 4.
+  std::vector<uint8_t> more = chunk_data(3, 100);
+  Result<ChunkedWriteStats> third = write_chunked(**writer, "more.bin", more);
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kFailedPrecondition) << third.status();
+
+  // Aborting the tag refunds the session's pin budget; the same write then fits.
+  ASSERT_TRUE(store->AbortTag("global_step1").ok());
+  Result<std::unique_ptr<StoreWriter>> retry = store->OpenTagForWrite("global_step1");
+  ASSERT_TRUE(retry.ok()) << retry.status();
+  ASSERT_TRUE(write_chunked(**retry, "more.bin", more).ok());
+
+  store.reset();
+  server->Shutdown();
+  server.reset();
+  ASSERT_TRUE(RemoveAll(dir).ok());
 }
 
 }  // namespace
