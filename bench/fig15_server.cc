@@ -25,6 +25,7 @@
 
 #include "bench/bench_util.h"
 #include "src/common/json.h"
+#include "src/obs/metrics.h"
 #include "src/store/remote_store.h"
 #include "src/store/server.h"
 
@@ -177,6 +178,109 @@ ArmResult RunLoadArm(const std::string& backend, const std::string& dir,
   return result;
 }
 
+// Chaos arm: one client streaming multi-chunk saves through the daemon while the socket
+// injector drops the connection mid-WRITE every op. What the arm measures is the
+// *resume economics* of the v3 protocol: after each drop the client reconnects under its
+// lease, asks WRITE_RESUME how far the server got, and re-sends only the tail. The
+// store.client metric deltas split the traffic into resumed (acknowledged, not re-sent)
+// vs restarted (sent before the drop, then sent again) bytes — the survivability
+// acceptance bound is restarted < 50% of resumed.
+struct ChaosResult {
+  ArmResult arm;
+  int64_t reconnects = 0;
+  uint64_t resumed_bytes = 0;
+  uint64_t restarted_bytes = 0;
+};
+
+ChaosResult RunChaosSaveArm(const StoreServer* server) {
+  constexpr size_t kChaosPayloadBytes = 4u << 20;  // 4 wire chunks: drops land mid-file
+  constexpr int kChaosOps = 8;
+  const std::string meta_json = BenchMetaJson();
+  std::vector<uint8_t> payload(kChaosPayloadBytes);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>((i * 131) & 0xff);
+  }
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Counter& reconnects = metrics.GetCounter("store.client.reconnects");
+  obs::Counter& resumed = metrics.GetCounter("store.client.resumed_bytes");
+  obs::Counter& restarted = metrics.GetCounter("store.client.restarted_bytes");
+  const uint64_t reconnects0 = reconnects.Value();
+  const uint64_t resumed0 = resumed.Value();
+  const uint64_t restarted0 = restarted.Value();
+
+  Result<std::shared_ptr<RemoteStore>> store = RemoteStore::Connect(server->endpoint());
+  UCP_CHECK(store.ok()) << store.status();
+
+  ChaosResult result;
+  std::vector<double> latencies;
+  const auto start = std::chrono::steady_clock::now();
+  for (int op = 0; op < kChaosOps; ++op) {
+    const std::string tag = "chaos.global_step" + std::to_string(op + 1);
+    // Drop the connection partway into the op's chunk stream; cycling nth moves the cut
+    // point across the file so resumes see varying acked prefixes. (nth counts send
+    // *syscalls* — a 1 MiB chunk takes several against a default unix socket buffer.)
+    SocketFault fault;
+    fault.op = SocketFault::Op::kSend;
+    fault.kind = SocketFault::Kind::kEconnreset;
+    fault.nth = 5 + 2 * (op % 4);
+    ArmSocketFault(fault);
+    const auto t0 = std::chrono::steady_clock::now();
+    UCP_CHECK((*store)->ResetTagStaging(tag).ok());
+    Result<std::unique_ptr<StoreWriter>> writer = (*store)->OpenTagForWrite(tag);
+    UCP_CHECK(writer.ok()) << writer.status();
+    UCP_CHECK((*writer)->WriteFile("shard", payload).ok());
+    UCP_CHECK((*store)->CommitTag(tag, meta_json).ok());
+    latencies.push_back(
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count());
+    ClearSocketFaults();
+  }
+  result.arm.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  result.arm.ops = static_cast<int64_t>(latencies.size());
+  result.arm.throughput_mib_s =
+      result.arm.seconds > 0.0
+          ? static_cast<double>(result.arm.ops) * static_cast<double>(kChaosPayloadBytes) /
+                (1024.0 * 1024.0) / result.arm.seconds
+          : 0.0;
+  result.arm.p50_ms = Percentile(latencies, 0.50);
+  result.arm.p99_ms = Percentile(latencies, 0.99);
+  result.reconnects = static_cast<int64_t>(reconnects.Value() - reconnects0);
+  result.resumed_bytes = resumed.Value() - resumed0;
+  result.restarted_bytes = restarted.Value() - restarted0;
+  return result;
+}
+
+Json ChaosArmJson(const ChaosResult& r) {
+  const double resumed_mib = static_cast<double>(r.resumed_bytes) / (1024.0 * 1024.0);
+  const double restarted_mib = static_cast<double>(r.restarted_bytes) / (1024.0 * 1024.0);
+  const double restart_fraction =
+      r.resumed_bytes > 0
+          ? static_cast<double>(r.restarted_bytes) / static_cast<double>(r.resumed_bytes)
+          : 0.0;
+  std::printf(
+      "fig15/save-chaos/remote/1: %.3fs, %.1f MiB/s, %lld reconnects, resumed %.1f MiB, "
+      "re-sent %.1f MiB (%.0f%% of acked)\n",
+      r.arm.seconds, r.arm.throughput_mib_s, static_cast<long long>(r.reconnects),
+      resumed_mib, restarted_mib, restart_fraction * 100.0);
+  JsonObject arm;
+  arm["arm"] = std::string("save-chaos/remote/1");
+  arm["workload"] = std::string("save-chaos");
+  arm["backend"] = std::string("remote");
+  arm["clients"] = static_cast<int64_t>(1);
+  arm["ops"] = r.arm.ops;
+  arm["seconds"] = r.arm.seconds;
+  arm["throughput_mib_s"] = r.arm.throughput_mib_s;
+  arm["p50_ms"] = r.arm.p50_ms;
+  arm["p99_ms"] = r.arm.p99_ms;
+  arm["reconnects"] = r.reconnects;
+  arm["resumed_bytes"] = static_cast<int64_t>(r.resumed_bytes);
+  arm["restarted_bytes"] = static_cast<int64_t>(r.restarted_bytes);
+  arm["restart_fraction_of_acked"] = restart_fraction;
+  return Json(std::move(arm));
+}
+
 Json ArmJson(const std::string& workload, const std::string& backend, int clients,
              const ArmResult& r) {
   std::printf("fig15/%s/%s/%d: %.3fs, %.1f MiB/s, p50 %.2f ms, p99 %.2f ms (%lld ops)\n",
@@ -226,6 +330,7 @@ int main(int argc, char** argv) {
           ucp::RunLoadArm(backend, dir, server.get(), clients)));
     }
     if (server != nullptr) {
+      arms.emplace_back(ucp::ChaosArmJson(ucp::RunChaosSaveArm(server.get())));
       server->Shutdown();
     }
   }

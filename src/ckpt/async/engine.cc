@@ -24,6 +24,8 @@ struct AsyncMetrics {
   obs::Counter& commits = obs::MetricsRegistry::Global().GetCounter("save.async.commits");
   obs::Counter& failures = obs::MetricsRegistry::Global().GetCounter("save.async.failures");
   obs::Counter& drops = obs::MetricsRegistry::Global().GetCounter("save.async.drops");
+  obs::Counter& skipped_unavailable =
+      obs::MetricsRegistry::Global().GetCounter("save.async.skipped_unavailable");
   obs::Counter& bytes_flushed =
       obs::MetricsRegistry::Global().GetCounter("save.async.bytes_flushed");
   obs::Counter& bytes_written =
@@ -113,10 +115,20 @@ void AsyncCheckpointEngine::ResolveLocked(const std::shared_ptr<PendingSave>& sa
   save->resolved = true;
   outcomes_[save->iteration] = result;
   if (!result.ok() && !save->cancelled) {
-    ++stats_.failures;
-    AsyncMetrics::Get().failures.Add(1);
-    if (first_error_.ok()) {
-      first_error_ = result;
+    if (result.code() == StatusCode::kUnavailable) {
+      // The store was unreachable past the client's reconnect deadline. That is a
+      // property of the moment, not of the run: the save is skipped (resume falls back
+      // to the previous committed tag) and the next periodic save retries the daemon.
+      // It neither counts as a failure nor poisons first_error_ — a transient partition
+      // must not abort training.
+      ++stats_.skipped_unavailable;
+      AsyncMetrics::Get().skipped_unavailable.Add(1);
+    } else {
+      ++stats_.failures;
+      AsyncMetrics::Get().failures.Add(1);
+      if (first_error_.ok()) {
+        first_error_ = result;
+      }
     }
   }
   // Recycle the snapshot buffers and drop the entry from the in-flight window.

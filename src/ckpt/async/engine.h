@@ -86,6 +86,10 @@ struct AsyncSaveStats {
   int64_t commits = 0;
   int64_t drops = 0;           // saves cancelled by kDropOldest
   int64_t failures = 0;
+  // Saves that failed with kUnavailable (store unreachable past the reconnect deadline):
+  // skipped-and-retried-next-save rather than treated as a training-run abort — they do
+  // not count as failures and do not poison WaitAll's sticky first error.
+  int64_t skipped_unavailable = 0;
   double blocking_seconds = 0.0;      // total rank time spent inside SaveAsync
   double max_blocking_seconds = 0.0;  // worst single SaveAsync call
   double flush_seconds = 0.0;         // per committed save: first snapshot -> commit done

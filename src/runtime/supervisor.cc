@@ -124,8 +124,19 @@ SupervisorReport Supervisor::Train(int64_t first_iteration, int64_t last_iterati
                           ::ucp::obs::TraceArgs().S("strategy", cfg.strategy.ToString()));
       run = std::make_unique<TrainingRun>(cfg, world_options);
       if (!options_.ckpt_dir.empty() && options_.checkpoint_every > 0) {
-        engine = std::make_unique<AsyncCheckpointEngine>(
-            options_.ckpt_dir, cfg.strategy.world_size(), options_.async);
+        if (!options_.store_endpoint.empty()) {
+          Result<std::shared_ptr<RemoteStore>> remote =
+              RemoteStore::Connect(options_.store_endpoint, options_.store_options);
+          if (!remote.ok()) {
+            report.status = remote.status();
+            break;
+          }
+          engine = std::make_unique<AsyncCheckpointEngine>(
+              *remote, cfg.strategy.world_size(), options_.async);
+        } else {
+          engine = std::make_unique<AsyncCheckpointEngine>(
+              options_.ckpt_dir, cfg.strategy.world_size(), options_.async);
+        }
       }
     }
     const double rebuild_seconds = SecondsSince(rebuild_start);

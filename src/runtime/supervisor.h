@@ -27,6 +27,7 @@
 
 #include "src/ckpt/async/engine.h"
 #include "src/runtime/trainer.h"
+#include "src/store/remote_store.h"
 #include "src/ucp/elastic.h"
 
 namespace ucp {
@@ -49,6 +50,14 @@ Result<ParallelConfig> ShrinkStrategy(
 struct SupervisorOptions {
   // Checkpoint directory. Required: recovery without a checkpoint restarts from scratch.
   std::string ckpt_dir;
+  // When set ("unix:/path" / "tcp:host:port"), saves go through a ucp_serverd at this
+  // endpoint (the daemon must serve the same root as ckpt_dir — the shared-filesystem
+  // deployment) while resume/validation read ckpt_dir directly. Each rebuilt engine dials
+  // fresh; transport loss during a save is handled by the RemoteStore's lease/reconnect
+  // machinery per store_options, and a save that stays unreachable past the reconnect
+  // deadline is skipped (save.async.skipped_unavailable), not a training abort.
+  std::string store_endpoint;
+  RemoteStoreOptions store_options;
   // SaveAsync every N completed iterations (0 disables checkpointing).
   int checkpoint_every = 10;
   // `async.job` doubles as the supervisor's tag namespace: saves, retention, debris sweeps

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <optional>
+#include <set>
 
 #include "src/ckpt/checkpoint.h"
 #include "src/common/fault_fs.h"
@@ -10,6 +12,8 @@
 #include "src/model/config.h"
 #include "src/runtime/supervisor.h"
 #include "src/soak/invariants.h"
+#include "src/store/server.h"
+#include "src/store/wire.h"
 #include "src/ucp/validate.h"
 
 namespace ucp {
@@ -25,6 +29,34 @@ std::string FormatDouble(double v) {
 
 bool IsCorruptionKind(FaultPlan::Kind kind) {
   return kind == FaultPlan::Kind::kTornWrite || kind == FaultPlan::Kind::kBitRot;
+}
+
+// Resolves a kConnDrop event's raw draws into a concrete socket fault. The three errno
+// kinds all drop the connection for real (wire.h), so every draw exercises the client's
+// reconnect + WRITE_RESUME path; they differ only in which errno the victim observes.
+SocketFault ResolveConnFault(const SoakEvent& event) {
+  SocketFault fault;
+  fault.op = event.conn_op_raw % 2 == 0 ? SocketFault::Op::kSend : SocketFault::Op::kRecv;
+  switch (event.conn_kind_raw % 3) {
+    case 0: fault.kind = SocketFault::Kind::kEpipe; break;
+    case 1: fault.kind = SocketFault::Kind::kEconnreset; break;
+    default: fault.kind = SocketFault::Kind::kEtimedout; break;
+  }
+  fault.nth = static_cast<int>(event.conn_nth_raw % 64);
+  return fault;
+}
+
+const char* SocketFaultOpName(SocketFault::Op op) {
+  return op == SocketFault::Op::kSend ? "send" : "recv";
+}
+
+const char* SocketFaultKindName(SocketFault::Kind kind) {
+  switch (kind) {
+    case SocketFault::Kind::kEpipe: return "epipe";
+    case SocketFault::Kind::kEconnreset: return "econnreset";
+    case SocketFault::Kind::kEtimedout: return "etimedout";
+    default: return "other";
+  }
 }
 
 }  // namespace
@@ -49,6 +81,22 @@ SoakRunReport RunSoakSchedule(const SoakOptions& options,
   if (!made.ok()) {
     report.status = made;
     return report;
+  }
+
+  // through_daemon: every save goes through this in-process ucp_serverd serving the same
+  // root over a unix socket. The server object is restartable in place (kDaemonRestart),
+  // which is what exercises lease-journal recovery.
+  std::unique_ptr<StoreServer> server;
+  StoreServerOptions server_options;
+  if (options.through_daemon) {
+    server_options.root = options.dir;
+    server_options.listen = "unix:" + PathJoin(options.dir, ".ucp_soak.sock");
+    Result<std::unique_ptr<StoreServer>> started = StoreServer::Start(server_options);
+    if (!started.ok()) {
+      report.status = started.status();
+      return report;
+    }
+    server = std::move(*started);
   }
 
   auto emit = [&](const Json& line) { report.log_lines.push_back(line.Dump()); };
@@ -76,6 +124,11 @@ SoakRunReport RunSoakSchedule(const SoakOptions& options,
   int current_max_in_flight = 1;
   std::optional<SoakEvent> pending_kill;
   std::optional<SoakEvent> pending_fs;
+  std::optional<SoakEvent> pending_conn;
+  // I8 state: every tag observed committed, minus the ones GC legitimately removed. A tag
+  // in this set that later vanishes (or loses its marker) is a lost commit.
+  std::set<std::string> must_exist;
+  bool any_commit_observed = false;
 
   for (size_t i = 0; i < events.size(); ++i) {
     const SoakEvent& event = events[i];
@@ -92,6 +145,35 @@ SoakRunReport RunSoakSchedule(const SoakOptions& options,
       case SoakEventKind::kFsFault:
         pending_fs = event;
         break;
+      case SoakEventKind::kConnDrop:
+        // Armed at the next train segment, like the other injectors. Resolved values are
+        // logged here (they are a pure function of the event's raw draws); whether the nth
+        // syscall is ever reached is timing-dependent and deliberately *not* logged — the
+        // invariants must hold either way, which is the point of the chaos.
+        if (server != nullptr) {
+          const SocketFault fault = ResolveConnFault(event);
+          line["conn_op"] = SocketFaultOpName(fault.op);
+          line["conn_kind"] = SocketFaultKindName(fault.kind);
+          line["conn_nth"] = fault.nth;
+          pending_conn = event;
+        }
+        break;
+      case SoakEventKind::kDaemonRestart:
+        // Kill (no drain) and restart the daemon between segments: journal recovery must
+        // re-adopt whatever live-leased state the previous incarnation held, and the next
+        // segment's engine must dial the fresh incarnation without ceremony.
+        if (server != nullptr) {
+          server->Shutdown(/*drain=*/false);
+          server.reset();
+          Result<std::unique_ptr<StoreServer>> restarted = StoreServer::Start(server_options);
+          if (!restarted.ok()) {
+            report.status = restarted.status();
+            return report;
+          }
+          server = std::move(*restarted);
+          ++report.daemon_restarts;
+        }
+        break;
       case SoakEventKind::kBackpressure:
         current_max_in_flight = std::max(1, event.max_in_flight);
         break;
@@ -101,6 +183,9 @@ SoakRunReport RunSoakSchedule(const SoakOptions& options,
         if (gc.ok()) {
           line["gc_removed"] = static_cast<int64_t>(gc->removed.size());
           line["gc_kept"] = static_cast<int64_t>(gc->kept.size());
+          for (const std::string& removed : gc->removed) {
+            must_exist.erase(removed);  // a GC removal is not a lost commit (I8)
+          }
         } else {
           line["gc_error"] = StatusCodeName(gc.status().code());
         }
@@ -129,7 +214,8 @@ SoakRunReport RunSoakSchedule(const SoakOptions& options,
         const int64_t first = completed + 1;
         const int64_t last = completed + event.iterations;
         const bool had_resume_tag = FindLatestValidTag(options.dir, options.job).ok();
-        const bool clean_segment = !pending_kill.has_value() && !pending_fs.has_value();
+        const bool clean_segment = !pending_kill.has_value() && !pending_fs.has_value() &&
+                                   !pending_conn.has_value();
 
         if (pending_kill.has_value()) {
           RankFaultPlan plan;
@@ -148,6 +234,9 @@ SoakRunReport RunSoakSchedule(const SoakOptions& options,
         if (pending_fs.has_value()) {
           ArmFault(pending_fs->ToFaultPlan());
         }
+        if (pending_conn.has_value() && server != nullptr) {
+          ArmSocketFault(ResolveConnFault(*pending_conn));
+        }
 
         TrainerConfig config = base_config;
         config.strategy = strategy;
@@ -162,6 +251,13 @@ SoakRunReport RunSoakSchedule(const SoakOptions& options,
         supervisor_options.async.backpressure = AsyncCheckpointOptions::Backpressure::kBlock;
         supervisor_options.async.incremental = options.incremental;
         supervisor_options.watchdog_timeout = std::chrono::milliseconds(options.watchdog_ms);
+        if (server != nullptr) {
+          supervisor_options.store_endpoint = server->endpoint();
+          // The daemon is in-process and restarts are synchronous schedule events, so a
+          // drop only ever needs a quick redial; a short deadline keeps a real wedge from
+          // stalling the flusher behind the 2s watchdog for long.
+          supervisor_options.store_options.reconnect_deadline = std::chrono::milliseconds(2000);
+        }
         Supervisor supervisor(config, supervisor_options);
         SupervisorReport trained = supervisor.Train(first, last);
         strategy = supervisor.current_strategy();
@@ -170,6 +266,11 @@ SoakRunReport RunSoakSchedule(const SoakOptions& options,
         const bool fs_fired = FaultFired();
         DisarmRankFaults();
         DisarmFaults();
+        if (pending_conn.has_value()) {
+          ClearSocketFaults();
+          ++report.conn_drops_armed;
+          pending_conn.reset();
+        }
 
         if (pending_kill.has_value()) {
           report.kills_fired += kill_fired ? 1 : 0;
@@ -193,7 +294,12 @@ SoakRunReport RunSoakSchedule(const SoakOptions& options,
         line["recoveries"] = trained.recoveries;
         line["strategy"] = strategy.ToString();
         if (!trained.ok) {
-          line["status"] = StatusCodeName(trained.status.code());
+          // Which rank's error surfaces for a failed segment is a thread race once the
+          // daemon is in play (the injected fault can land on a rank thread, the flusher,
+          // or a server thread, and the peers abort with a different code), so
+          // through_daemon logs record only the deterministic fact of the failure.
+          line["status"] =
+              server != nullptr ? "failed" : StatusCodeName(trained.status.code());
         }
         double loss_sum = 0.0;
         for (double loss : trained.losses) {
@@ -223,8 +329,13 @@ SoakRunReport RunSoakSchedule(const SoakOptions& options,
     context.corruptions_fired_total = corruptions_total;
     context.corruption_since_last_check = corruption_since_check;
     context.expect_no_staging = expect_no_staging;
+    context.must_exist_tags.assign(must_exist.begin(), must_exist.end());
     SoakInvariantResult checked = CheckSoakInvariants(context);
     report.invariant_checks += checked.checks_run;
+    for (const std::string& tag : checked.committed_tag_names) {
+      must_exist.insert(tag);
+      any_commit_observed = true;
+    }
     if (checked.latest_valid_iteration >= 0 || prev_latest_valid >= 0) {
       prev_latest_valid = checked.latest_valid_iteration;
     }
@@ -249,6 +360,16 @@ SoakRunReport RunSoakSchedule(const SoakOptions& options,
     ++report.events_run;
   }
 
+  if (server != nullptr) {
+    // Liveness half of I8: chaos may delay commits, but a whole schedule that never lands
+    // one means the survivability machinery is stalling saves rather than riding them out.
+    if (!any_commit_observed) {
+      report.violations.push_back("I8: schedule completed without ever committing a tag");
+    }
+    server->Shutdown(/*drain=*/true);
+    server.reset();
+  }
+
   {
     JsonObject summary;
     summary["type"] = "soak_summary";
@@ -258,6 +379,10 @@ SoakRunReport RunSoakSchedule(const SoakOptions& options,
     summary["kills_fired"] = report.kills_fired;
     summary["fs_faults_fired"] = report.fs_faults_fired;
     summary["recoveries"] = report.recoveries;
+    if (options.through_daemon) {
+      summary["conn_drops_armed"] = report.conn_drops_armed;
+      summary["daemon_restarts"] = report.daemon_restarts;
+    }
     summary["violations"] = static_cast<int64_t>(report.violations.size());
     emit(Json(std::move(summary)));
   }

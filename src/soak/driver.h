@@ -38,6 +38,10 @@ struct SoakRunReport {
   int fs_faults_fired = 0;
   int kills_fired = 0;
   int recoveries = 0;
+  // through_daemon runs only. "Armed" rather than "fired" for conn drops: whether the nth
+  // matching syscall is reached is timing-dependent, and the log must stay deterministic.
+  int conn_drops_armed = 0;
+  int daemon_restarts = 0;
   std::vector<std::string> violations;
 
   // The JSONL failure log: header line, one line per event, summary line. Also written to

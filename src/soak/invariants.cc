@@ -66,6 +66,7 @@ SoakInvariantResult CheckSoakInvariants(const SoakInvariantContext& context) {
     }
   }
   result.committed_tags = static_cast<int>(committed.size());
+  result.committed_tag_names = committed;
 
   // I2 — the resumable frontier is monotone absent corruption.
   ++result.checks_run;
@@ -206,6 +207,18 @@ SoakInvariantResult CheckSoakInvariants(const SoakInvariantContext& context) {
   if (context.expect_no_orphans && result.orphan_chunks > 0) {
     violation("I7: " + std::to_string(result.orphan_chunks) +
               " orphan chunk object(s) survive a sweep with no live referers");
+  }
+
+  // I8 — commit durability under wire chaos: a tag once committed (and not GC'd) never
+  // disappears or loses its complete marker. Corruption faults damage bytes inside a tag
+  // (I3's domain); only a protocol bug deletes or un-commits one, so there is no excuse.
+  ++result.checks_run;
+  for (const std::string& tag : context.must_exist_tags) {
+    if (!DirExists(PathJoin(context.dir, tag))) {
+      violation("I8: committed tag " + tag + " vanished from the store");
+    } else if (!IsTagComplete(context.dir, tag)) {
+      violation("I8: committed tag " + tag + " lost its complete marker");
+    }
   }
 
   return result;

@@ -20,6 +20,9 @@
 //       sweep has run, the chunk object itself is gone. Orphans are observed every check
 //       and become a violation only when the driver asserts `expect_no_orphans` (set after
 //       a sweep with no live incremental tags).
+//   I8  No committed tag is ever lost: every tag the driver has observed committed (minus
+//       the ones GC legitimately removed) is still present with its complete marker. Wire
+//       chaos — connection drops, daemon kill+restart — must never un-commit a tag.
 //
 // Checks are read-only and must run with no fault plan armed (the checker's own I/O would
 // otherwise consume the plan).
@@ -50,6 +53,10 @@ struct SoakInvariantContext {
   // The driver sets this after deleting every incremental tag and running a GC sweep:
   // unreferenced chunk objects must then be gone (I7).
   bool expect_no_orphans = false;
+  // Tags previously observed committed and not since removed by GC (I8): each must still
+  // exist with its complete marker. The driver maintains this set from
+  // `committed_tag_names` observations minus GC removals.
+  std::vector<std::string> must_exist_tags;
 };
 
 struct SoakInvariantResult {
@@ -60,6 +67,7 @@ struct SoakInvariantResult {
   int64_t latest_valid_iteration = -1;  // -1 when no resumable tag exists
   std::string latest_valid_tag;
   int committed_tags = 0;
+  std::vector<std::string> committed_tag_names;  // the tags behind committed_tags (I8 feed)
   int damaged_tags = 0;  // committed tags failing deep validation, newest-first until clean
   int staging_dirs = 0;  // `.staging` entries owned by the namespace
   int chunk_objects = 0;  // content-addressed chunk objects in the store (all namespaces)

@@ -69,6 +69,7 @@ Json SoakOptions::ToJson() const {
   o["watchdog_ms"] = watchdog_ms;
   o["job"] = job;
   o["incremental"] = incremental;
+  o["through_daemon"] = through_daemon;
   return Json(std::move(o));
 }
 
@@ -97,6 +98,10 @@ Result<SoakOptions> SoakOptions::FromJson(const Json& json) {
   if (json.Has("incremental")) {
     UCP_ASSIGN_OR_RETURN(options.incremental, json.GetBool("incremental"));
   }
+  // Absent in logs recorded before the daemon-chaos events existed; replay direct-FS.
+  if (json.Has("through_daemon")) {
+    UCP_ASSIGN_OR_RETURN(options.through_daemon, json.GetBool("through_daemon"));
+  }
   return options;
 }
 
@@ -108,6 +113,8 @@ const char* SoakEventKindName(SoakEventKind kind) {
     case SoakEventKind::kGc: return "gc";
     case SoakEventKind::kBackpressure: return "backpressure";
     case SoakEventKind::kFsck: return "fsck";
+    case SoakEventKind::kConnDrop: return "conn_drop";
+    case SoakEventKind::kDaemonRestart: return "daemon_restart";
   }
   return "?";
 }
@@ -157,6 +164,12 @@ Json SoakEvent::ToJson() const {
     case SoakEventKind::kBackpressure:
       o["max_in_flight"] = max_in_flight;
       break;
+    case SoakEventKind::kConnDrop:
+      o["op_raw"] = conn_op_raw;
+      o["kind_raw"] = conn_kind_raw;
+      o["nth_raw"] = conn_nth_raw;
+      break;
+    case SoakEventKind::kDaemonRestart:
     case SoakEventKind::kFsck:
       break;
   }
@@ -205,6 +218,16 @@ Result<SoakEvent> SoakEvent::FromJson(const Json& json) {
     event.max_in_flight = static_cast<int>(in_flight);
   } else if (kind == "fsck") {
     event.kind = SoakEventKind::kFsck;
+  } else if (kind == "conn_drop") {
+    event.kind = SoakEventKind::kConnDrop;
+    UCP_ASSIGN_OR_RETURN(int64_t op_raw, json.GetInt("op_raw"));
+    event.conn_op_raw = static_cast<uint64_t>(op_raw);
+    UCP_ASSIGN_OR_RETURN(int64_t kind_raw, json.GetInt("kind_raw"));
+    event.conn_kind_raw = static_cast<uint64_t>(kind_raw);
+    UCP_ASSIGN_OR_RETURN(int64_t nth_raw, json.GetInt("nth_raw"));
+    event.conn_nth_raw = static_cast<uint64_t>(nth_raw);
+  } else if (kind == "daemon_restart") {
+    event.kind = SoakEventKind::kDaemonRestart;
   } else {
     return InvalidArgumentError("unknown soak event kind: " + kind);
   }
@@ -223,6 +246,16 @@ std::vector<SoakEvent> GenerateSoakSchedule(const SoakOptions& options) {
   const int kill_block = static_cast<int>(bounded(static_cast<uint64_t>(blocks)));
   const int fs_block = static_cast<int>(bounded(static_cast<uint64_t>(blocks)));
   const int gc_block = static_cast<int>(bounded(static_cast<uint64_t>(blocks)));
+  // Daemon-chaos draws happen only under through_daemon, so direct-FS schedules keep the
+  // exact counter layout (and therefore byte-identical logs) they had before these events
+  // existed. Both wire injectors get one unconditional placement each, extending the
+  // coverage guarantee to >= 5 distinct injector types.
+  int conn_block = -1;
+  int restart_block = -1;
+  if (options.through_daemon) {
+    conn_block = static_cast<int>(bounded(static_cast<uint64_t>(blocks)));
+    restart_block = static_cast<int>(bounded(static_cast<uint64_t>(blocks)));
+  }
 
   auto make_fs_fault = [&] {
     SoakEvent event;
@@ -258,6 +291,23 @@ std::vector<SoakEvent> GenerateSoakSchedule(const SoakOptions& options) {
     const bool coin_fs = bounded(100) < 35;  // drawn unconditionally: stable counter layout
     if (b == fs_block || coin_fs) {
       events.push_back(make_fs_fault());
+    }
+    if (options.through_daemon) {
+      const bool coin_conn = bounded(100) < 35;
+      if (b == conn_block || coin_conn) {
+        SoakEvent event;
+        event.kind = SoakEventKind::kConnDrop;
+        event.conn_op_raw = draw64();
+        event.conn_kind_raw = draw64();
+        event.conn_nth_raw = draw64();
+        events.push_back(event);
+      }
+      const bool coin_restart = bounded(100) < 20;
+      if (b == restart_block || coin_restart) {
+        SoakEvent event;
+        event.kind = SoakEventKind::kDaemonRestart;
+        events.push_back(event);
+      }
     }
     const bool coin_kill = bounded(100) < 20;
     if ((b == kill_block || coin_kill) && kills < options.max_kills) {
@@ -306,6 +356,12 @@ std::vector<std::string> ScheduleInjectorKinds(const std::vector<SoakEvent>& eve
         break;
       case SoakEventKind::kBackpressure:
         kinds.insert("backpressure");
+        break;
+      case SoakEventKind::kConnDrop:
+        kinds.insert("conn_drop");
+        break;
+      case SoakEventKind::kDaemonRestart:
+        kinds.insert("daemon_restart");
         break;
       case SoakEventKind::kTrain:
       case SoakEventKind::kFsck:

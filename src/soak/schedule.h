@@ -49,6 +49,12 @@ struct SoakOptions {
   // and content-addressed chunk objects instead of full shard files, which puts the chunk
   // index and its GC under the fault schedule (invariants I6/I7).
   bool incremental = false;
+  // Route every save through an in-process ucp_serverd StoreServer serving `dir` over a
+  // unix socket (the shared-filesystem deployment). Unlocks the wire-level chaos events —
+  // connection drops (kConnDrop) and daemon kill+restart with journal recovery
+  // (kDaemonRestart) — and invariant I8 (no committed tag is ever lost, and the schedule
+  // eventually commits a tag).
+  bool through_daemon = false;
 
   // Runtime bindings, not part of the schedule identity.
   std::string dir;       // checkpoint store (required)
@@ -65,6 +71,8 @@ enum class SoakEventKind {
   kGc,            // GcCheckpoints(keep_last) in the run's namespace
   kBackpressure,  // set the async engine's max_in_flight for subsequent segments
   kFsck,          // store-wide integrity scan (no quarantine)
+  kConnDrop,      // arm a socket fault (errno + peer drop) for the next train segment
+  kDaemonRestart, // kill the in-process daemon (no drain) and restart it on the same root
 };
 
 const char* SoakEventKindName(SoakEventKind kind);
@@ -99,6 +107,12 @@ struct SoakEvent {
 
   // kBackpressure
   int max_in_flight = 1;
+
+  // kConnDrop — raw draws (resolved at execution, like kRankKill): which side of the
+  // exchange fails, which drop errno, and after how many matching syscalls.
+  uint64_t conn_op_raw = 0;    // mod 2 -> send / recv
+  uint64_t conn_kind_raw = 0;  // mod 3 -> EPIPE / ECONNRESET / ETIMEDOUT
+  uint64_t conn_nth_raw = 0;   // mod 64 -> nth matching syscall
 
   FaultPlan ToFaultPlan() const;  // kFsFault only
 

@@ -186,8 +186,10 @@ Status LocalStore::ResetTagStaging(const std::string& tag) {
   }
   const std::string staging = StagingDirForTag(root_, tag);
   // The debris being cleared held the only references to any chunks its crashed save
-  // pinned; this process's pins for the tag are stale with it.
+  // pinned; this process's pins for the tag are stale with it. Any half-streamed spool
+  // files the daemon kept for WRITE_RESUME are part of the same debris.
   ChunkIndex::ForRoot(root_)->ReleaseTagPins(tag);
+  UCP_RETURN_IF_ERROR(RemoveAll(WipDirForTag(root_, tag)));
   UCP_RETURN_IF_ERROR(RemoveAll(staging));
   return MakeDirs(staging);
 }
@@ -219,8 +221,10 @@ Status LocalStore::CommitTag(const std::string& tag, const std::string& meta_jso
   UCP_RETURN_IF_ERROR(WriteFileAtomic(PathJoin(root_, LatestFileName(job)), tag));
   commits.Add(1);
   // Committed: the tag's manifest (if the save was incremental) now holds the references
-  // that keep its chunks alive; the write-time pins have done their job.
+  // that keep its chunks alive; the write-time pins have done their job. A leftover spool
+  // dir (resumed uploads that were superseded) is dead weight now.
   ChunkIndex::ForRoot(root_)->ReleaseTagPins(tag);
+  UCP_RETURN_IF_ERROR(RemoveAll(WipDirForTag(root_, tag)));
   return OkStatus();
 }
 
@@ -229,6 +233,7 @@ Status LocalStore::AbortTag(const std::string& tag) {
     return InvalidArgumentError("bad checkpoint tag: " + tag);
   }
   ChunkIndex::ForRoot(root_)->ReleaseTagPins(tag);
+  UCP_RETURN_IF_ERROR(RemoveAll(WipDirForTag(root_, tag)));
   return RemoveAll(StagingDirForTag(root_, tag));
 }
 
@@ -309,7 +314,15 @@ Result<int> LocalStore::SweepStagingDebris(const std::string& job) {
   UCP_ASSIGN_OR_RETURN(std::vector<std::string> entries, ListDir(root_));
   int removed = 0;
   for (const std::string& name : entries) {
-    if (name.size() <= sizeof(kStagingSuffix) - 1 || !EndsWith(name, kStagingSuffix) ||
+    // `.staging` dirs are save/converter debris; `.wip` dirs are the daemon's upload
+    // spools, orphaned once no live lease can resume into them.
+    size_t suffix_len = 0;
+    if (EndsWith(name, kStagingSuffix)) {
+      suffix_len = sizeof(kStagingSuffix) - 1;
+    } else if (EndsWith(name, kWipSuffix)) {
+      suffix_len = sizeof(kWipSuffix) - 1;
+    }
+    if (suffix_len == 0 || name.size() <= suffix_len ||
         !DirExists(PathJoin(root_, name))) {
       continue;
     }
@@ -317,7 +330,7 @@ Result<int> LocalStore::SweepStagingDebris(const std::string& job) {
     // debris (`<tag>.staging`) and converter debris (`<tag>.ucp.staging`) belong to the
     // job the tag names. Staging dirs that parse to no job at all (free-form tags) are
     // swept by the default job only — they cannot belong to a namespaced job.
-    std::string base = name.substr(0, name.size() - (sizeof(kStagingSuffix) - 1));
+    std::string base = name.substr(0, name.size() - suffix_len);
     if (EndsWith(base, ".ucp")) {
       base.resize(base.size() - 4);
     }

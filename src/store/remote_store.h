@@ -6,14 +6,22 @@
 // file's chunk-CRC table); staged writes stream as WRITE_BEGIN / WRITE_CHUNK* / WRITE_END
 // with a whole-file CRC the server checks before the file lands in staging.
 //
-// Retry semantics: admission-control rejections (the daemon's staged-bytes cap) arrive as
-// kUnavailable responses on a healthy connection and are retried here with IoRetryPolicy
-// backoff; transport-level kUnavailable (daemon died) is not retried — there is no
-// reconnect, matching how a failed rank mid-save is handled everywhere else.
+// Retry semantics, two distinct layers:
+//  - Admission-control rejections (the daemon's staged-bytes cap) arrive as kUnavailable
+//    *responses* on a healthy connection and are retried with IoRetryPolicy backoff.
+//  - Transport failures (daemon died, connection dropped, network partitioned) also map
+//    to kUnavailable. When the session holds a lease (wire v3 + reconnect enabled), the
+//    store transparently redials under `reconnect_deadline` with exponential backoff +
+//    jitter, re-presents its lease token, and resumes: streamed uploads continue from the
+//    server-acknowledged offset (WRITE_RESUME), open read handles are reopened by path,
+//    and an interrupted COMMIT_TAG is checked for completion before being retried. When
+//    there is no lease (v1/v2 peer, leases disabled, reconnect off) the historical
+//    semantics hold: the transport failure surfaces typed and nothing is retried.
 
 #ifndef UCP_SRC_STORE_REMOTE_STORE_H_
 #define UCP_SRC_STORE_REMOTE_STORE_H_
 
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -24,10 +32,40 @@
 
 namespace ucp {
 
+struct RemoteStoreOptions {
+  // Redial + re-adopt the lease on transport failure. Only effective when the session
+  // actually holds a lease (negotiated v3 and lease_ttl_ms > 0 and the server grants it).
+  bool reconnect = true;
+  // Total wall-clock budget for one reconnect episode (dial + handshake + SESSION_OPEN,
+  // retried with backoff). Past it the original transport error surfaces as kUnavailable.
+  std::chrono::milliseconds reconnect_deadline{5000};
+  // TTL requested at SESSION_OPEN; the server clamps to its own max. Should comfortably
+  // exceed reconnect_deadline or the server reaps the lease mid-reconnect. 0 skips the
+  // lease entirely (release-on-disconnect semantics, no reconnect).
+  uint32_t lease_ttl_ms = 15000;
+  // Highest protocol version offered at HELLO. Production leaves the default; the
+  // downgrade conformance tests pin v1/v2 client behavior with it.
+  uint32_t max_version = kWireVersion;
+};
+
+// Snapshot returned by SERVER_STAT (v3) — surfaced by `ucp_tool ping`.
+struct RemoteServerStat {
+  uint32_t max_wire_version = 0;
+  uint32_t sessions = 0;
+  uint32_t leases = 0;  // named leases only
+  uint64_t staged_bytes = 0;
+  bool draining = false;
+};
+
+class RemoteByteSource;
+
 class RemoteStore final : public Store, public std::enable_shared_from_this<RemoteStore> {
  public:
-  // Dials `endpoint` ("unix:/path" or "tcp:host:port") and runs the version handshake.
+  // Dials `endpoint` ("unix:/path" or "tcp:host:port"), runs the version handshake, and
+  // (v3, lease_ttl_ms > 0) binds a session lease under a freshly generated token.
   static Result<std::shared_ptr<RemoteStore>> Connect(const std::string& endpoint);
+  static Result<std::shared_ptr<RemoteStore>> Connect(const std::string& endpoint,
+                                                      const RemoteStoreOptions& options);
 
   ~RemoteStore() override;
   RemoteStore(const RemoteStore&) = delete;
@@ -37,11 +75,13 @@ class RemoteStore final : public Store, public std::enable_shared_from_this<Remo
   std::string CacheKey(const std::string& rel) const override {
     return endpoint_ + "!" + rel;
   }
-  uint64_t session_id() const { return session_id_; }
+  uint64_t session_id() const;
   // Protocol version agreed at HELLO: min(server max, client max). Chunk ops (incremental
   // saves over the wire) need >= 2; against a v1 daemon WriteFileChunked degrades to
-  // full-file writes.
-  uint32_t negotiated_version() const { return version_; }
+  // full-file writes. Leases / resumable writes need >= 3.
+  uint32_t negotiated_version() const;
+  // Empty when the session holds no lease (v1/v2 peer, leases disabled, ttl 0).
+  const std::string& lease_token() const { return lease_token_; }
 
   Result<std::unique_ptr<ByteSource>> OpenRead(const std::string& rel) override;
   Result<std::string> ReadSmallFile(const std::string& rel) override;
@@ -60,9 +100,12 @@ class RemoteStore final : public Store, public std::enable_shared_from_this<Remo
 
   // Liveness probe (PING round trip).
   Status Ping();
+  // Server-side counters snapshot (v3; kUnimplemented against older daemons).
+  Result<RemoteServerStat> ServerStat();
 
-  // Drops the connection, failing all further calls with kUnavailable. Used by tests to
-  // simulate a client crash mid-stream (the server must discard the partial staging).
+  // Drops the connection and disables reconnect, failing all further calls with
+  // kUnavailable. Used by tests to simulate a client crash mid-stream (the server must
+  // discard — or, under a lease, preserve until expiry — the partial staging).
   void CloseForTest();
 
  private:
@@ -70,28 +113,57 @@ class RemoteStore final : public Store, public std::enable_shared_from_this<Remo
   friend class RemoteStoreWriter;
 
   RemoteStore(int fd, std::string endpoint, uint64_t session_id, uint32_t max_frame,
-              uint32_t version)
+              uint32_t version, RemoteStoreOptions options, std::string lease_token)
       : fd_(fd), endpoint_(std::move(endpoint)), session_id_(session_id),
-        max_frame_(max_frame), version_(version) {}
+        max_frame_(max_frame), version_(version), options_(options),
+        lease_token_(std::move(lease_token)) {}
 
-  // One request/response exchange under the connection lock. `ok_op` is the expected
-  // response type; a kError response decodes into its carried Status.
-  Result<WireFrame> Roundtrip(WireOp op, const std::vector<uint8_t>& payload, WireOp ok_op);
+  // One request/response exchange on the current socket — no reconnect. Any send/recv
+  // failure closes the fd (the stream position is unknown; the socket is junk), so
+  // afterwards `fd_ < 0` distinguishes transport death from a typed error *response*.
+  Result<WireFrame> ExchangeLocked(WireOp op, const std::vector<uint8_t>& payload,
+                                   WireOp ok_op);
+  // ExchangeLocked plus transparent reconnect-and-retry on transport failure, for
+  // idempotent ops (reads, lists, tag state transitions, chunk query/put).
   Result<WireFrame> RoundtripLocked(WireOp op, const std::vector<uint8_t>& payload,
                                     WireOp ok_op);
+  Result<WireFrame> Roundtrip(WireOp op, const std::vector<uint8_t>& payload, WireOp ok_op);
   // Roundtrip with IoRetryPolicy backoff on kUnavailable *responses* (admission control).
   Result<WireFrame> RoundtripWithRetry(WireOp op, const std::vector<uint8_t>& payload,
                                        WireOp ok_op);
 
-  Status ReadRange(uint64_t handle, uint64_t offset, void* out, size_t size);
-  void CloseRead(uint64_t handle);
+  bool CanReconnectLocked() const {
+    return options_.reconnect && version_ >= 3 && !lease_token_.empty();
+  }
+  // Redials + HELLO + SESSION_OPEN(token) with backoff + jitter until
+  // options_.reconnect_deadline. On success bumps conn_epoch_ (read handles reopen
+  // lazily). Honors a server retry-after hint as the backoff floor.
+  Status ReconnectLocked();
+  void CloseFdLocked();
 
-  std::mutex mu_;
+  // The full streamed upload of one file, resuming across reconnects (WRITE_RESUME).
+  Status WriteFileLocked(const std::string& tag, const std::string& rel, const void* data,
+                         size_t size);
+  // One BEGIN/CHUNK*/END attempt starting at `resume`; `sent_high` tracks the highest
+  // byte offset ever put on the wire for resumed-vs-restarted accounting.
+  Status WriteFileOnceLocked(const std::string& tag, const std::string& rel,
+                             const void* data, size_t size, uint64_t resume,
+                             uint64_t* sent_high);
+
+  Status ReadRange(RemoteByteSource& src, uint64_t offset, void* out, size_t size);
+  void CloseRead(RemoteByteSource& src);
+
+  mutable std::mutex mu_;
   int fd_ = -1;
   const std::string endpoint_;
-  const uint64_t session_id_ = 0;
-  const uint32_t max_frame_ = kMaxFramePayload;
-  const uint32_t version_ = kWireVersion;
+  uint64_t session_id_ = 0;
+  uint32_t max_frame_ = kMaxFramePayload;
+  uint32_t version_ = kWireVersion;
+  RemoteStoreOptions options_;
+  const std::string lease_token_;
+  // Bumped on every successful reconnect; RemoteByteSource handles stamped with an older
+  // epoch are stale (server-side read state died with the old session) and reopen by path.
+  uint64_t conn_epoch_ = 1;
 };
 
 }  // namespace ucp

@@ -1,6 +1,8 @@
 #include "src/store/server.h"
 
+#include <fcntl.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -13,6 +15,7 @@
 
 #include "src/common/bytes.h"
 #include "src/common/crc32.h"
+#include "src/common/json.h"
 #include "src/common/logging.h"
 #include "src/obs/metrics.h"
 #include "src/store/chunk_index.h"
@@ -35,7 +38,16 @@ struct ServerMetrics {
       obs::MetricsRegistry::Global().GetCounter("store.server.frame_crc_errors");
   obs::Counter& chunk_crc_failures =
       obs::MetricsRegistry::Global().GetCounter("store.server.chunk_crc_failures");
+  obs::Counter& lease_expiries =
+      obs::MetricsRegistry::Global().GetCounter("store.server.lease_expiries");
+  obs::Counter& leases_resumed =
+      obs::MetricsRegistry::Global().GetCounter("store.server.leases_resumed");
+  obs::Counter& journal_adopted =
+      obs::MetricsRegistry::Global().GetCounter("store.server.journal_adopted_leases");
+  obs::Counter& resumed_write_bytes =
+      obs::MetricsRegistry::Global().GetCounter("store.server.resumed_write_bytes");
   obs::Gauge& sessions = obs::MetricsRegistry::Global().GetGauge("store.server.sessions");
+  obs::Gauge& leases = obs::MetricsRegistry::Global().GetGauge("store.server.leases");
   obs::Gauge& staged =
       obs::MetricsRegistry::Global().GetGauge("store.server.staged_bytes");
 
@@ -45,11 +57,70 @@ struct ServerMetrics {
   }
 };
 
-Status SendError(int fd, const Status& error) {
+// Wall clock, not steady: lease expiries are journaled and must stay meaningful across a
+// daemon restart.
+int64_t NowWallMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+// `retry_after_ms` > 0 appends the v3 retry hint; older clients ignore the trailing bytes.
+Status SendError(int fd, const Status& error, uint32_t retry_after_ms = 0) {
   ByteWriter w;
   w.PutU8(static_cast<uint8_t>(error.code()));
   w.PutString(error.message());
+  if (retry_after_ms > 0) {
+    w.PutU32(retry_after_ms);
+  }
   return SendFrame(fd, WireOp::kError, w.buffer());
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+// Total file bytes under `path`, recursively; 0 when it doesn't exist. Used to recompute
+// an adopted lease's staged-byte charge from what actually survived the restart.
+uint64_t DirBytes(const std::string& path) {
+  if (!DirExists(path)) {
+    return 0;
+  }
+  uint64_t total = 0;
+  Result<std::vector<std::string>> entries = ListDir(path);
+  if (!entries.ok()) {
+    return 0;
+  }
+  for (const std::string& name : *entries) {
+    const std::string child = PathJoin(path, name);
+    if (DirExists(child)) {
+      total += DirBytes(child);
+    } else if (Result<uint64_t> size = FileSize(child); size.ok()) {
+      total += *size;
+    }
+  }
+  return total;
+}
+
+// Writes exactly [data, data+size) at `offset` (pwrite loop; EINTR absorbed).
+Status PwriteAll(int fd, const void* data, size_t size, uint64_t offset,
+                 const std::string& path) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t left = size;
+  while (left > 0) {
+    const ssize_t n = ::pwrite(fd, p, left, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return IoError("spool write failed for " + path + ": " + std::strerror(errno));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+    offset += static_cast<uint64_t>(n);
+  }
+  return OkStatus();
 }
 
 std::vector<uint8_t> EncodeStrList(const std::vector<std::string>& items) {
@@ -76,34 +147,59 @@ struct StoreServer::OpenRead {
   std::vector<std::vector<bool>> verified;  // parallel to index->regions
 };
 
+// What the admission budget and chunk pins are attributed to. Every session holds exactly
+// one lease: an *implicit* one (empty token) that dies with the connection — the v1/v2
+// semantics — or a *named* one (SESSION_OPEN) that survives socket death until its TTL
+// lapses, so a reconnecting client can re-adopt its staged state. All fields are guarded
+// by StoreServer::mu_ except expires_at_ms, which the serving thread refreshes per frame
+// and the reaper polls.
+struct StoreServer::Lease {
+  uint64_t id = 0;           // creation order; admission's oldest-first scan keys on it
+  std::string token;         // empty = implicit per-connection lease
+  // Atomics: the serving thread refreshes the expiry on every frame without taking mu_,
+  // and a re-adopting connection may rewrite the TTL while the stale one still reads it.
+  std::atomic<uint32_t> ttl_ms{0};
+  std::atomic<int64_t> expires_at_ms{0};
+  uint64_t bound_session = 0;  // 0 = no live connection attached
+  // Tags this lease pinned chunks under (CHUNK_QUERY). Commit/abort/reset release a
+  // tag's pins through LocalStore; this set covers the remaining case — the lease dying
+  // mid-save — so a crashed client's pins don't outlive its lease (its uncommitted
+  // chunks become sweepable, exactly like its staging debris).
+  std::set<std::string> pinned_tags;
+  // Digests pinned by tag and in total, charged against options_.max_pinned_chunks
+  // (digests re-queried under the same tag are re-counted — an upper bound is all
+  // admission needs).
+  std::map<std::string, uint64_t> pinned_by_tag;
+  uint64_t pinned_total = 0;
+  // Attribution of admitted staged bytes by tag, so releasing one tag (commit/abort/
+  // reset) leaves the budget of other in-flight saves on this lease intact.
+  std::map<std::string, uint64_t> staged_by_tag;
+  uint64_t staged_total = 0;
+
+  bool named() const { return !token.empty(); }
+};
+
 struct StoreServer::Session {
   uint64_t id = 0;
   int fd = -1;
-  // Negotiated at HELLO: min(server max, client max). Chunk ops require >= 2.
+  // Negotiated at HELLO: min(server max, client max). Chunk ops require >= 2, lease and
+  // resume ops >= 3.
   uint32_t version = 0;
-  // Tags this session pinned chunks under (CHUNK_QUERY). Commit/abort/reset release a
-  // tag's pins through LocalStore; this set covers the remaining case — the session dying
-  // mid-save — so a crashed client's pins don't outlive it (its uncommitted chunks become
-  // sweepable, exactly like its staging debris).
-  std::set<std::string> pinned_tags;
-  // Digests this session has pinned, by tag and in total, charged against
-  // options_.max_pinned_chunks (digests re-queried under the same tag are re-counted —
-  // an upper bound is all admission needs). Serving-thread-only, like staged_by_tag.
-  std::map<std::string, uint64_t> pinned_by_tag;
-  uint64_t pinned_total = 0;
-  std::atomic<uint64_t> staged_bytes{0};  // admitted via WRITE_BEGIN, not yet released
-  // Attribution of staged_bytes by tag, so releasing one tag (commit/abort/reset) leaves
-  // the budget of other in-flight saves on this connection intact. Only the session's
-  // serving thread touches it; the atomic total above is what other threads read.
-  std::map<std::string, uint64_t> staged_by_tag;
+  std::shared_ptr<Lease> lease;  // never null once the session is registered
   uint64_t ops = 0;
 
-  // In-flight streamed write (between WRITE_BEGIN and WRITE_END).
+  // In-flight streamed write (between WRITE_BEGIN and WRITE_END). Bytes append to a spool
+  // file under <tag>.wip — on disk, outside the staging dir — so a half-streamed upload
+  // survives connection drops and daemon restarts for WRITE_RESUME, and a commit can
+  // never publish a partial file.
   bool write_open = false;
   std::string write_tag;
   std::string write_rel;
+  std::string spool_path;
   uint64_t write_total = 0;
-  std::vector<uint8_t> write_buf;
+  uint64_t write_spooled = 0;  // server-acknowledged contiguous prefix
+  uint32_t write_crc = 0;      // running (un-finalized) CRC of the spooled prefix
+  int spool_fd = -1;
 
   uint64_t next_handle = 1;
   std::map<uint64_t, OpenRead> reads;
@@ -116,6 +212,14 @@ Result<std::unique_ptr<StoreServer>> StoreServer::Start(StoreServerOptions optio
   UCP_RETURN_IF_ERROR(MakeDirs(options.root));
   UCP_ASSIGN_OR_RETURN(Endpoint ep, ParseEndpoint(options.listen));
   std::unique_ptr<StoreServer> server(new StoreServer(std::move(options)));
+  // Re-adopt what a previous daemon left behind *before* serving anyone. When live
+  // leases were recovered, keep LocalStore's cross-process chunk-sweep grace window:
+  // their owners' pins died with the old process, and the grace window is the only thing
+  // protecting their in-flight chunks until the leases resolve. A clean start has no
+  // such exposure — the daemon holds every client's pins, so sweeps reclaim immediately.
+  if (!server->RecoverJournal()) {
+    server->store_.set_chunk_sweep_grace_seconds(0);
+  }
   UCP_ASSIGN_OR_RETURN(server->listen_fd_, ListenEndpoint(ep));
   if (!ep.is_unix && ep.port == 0) {
     UCP_ASSIGN_OR_RETURN(ep.port, BoundSocketPort(server->listen_fd_));
@@ -134,6 +238,7 @@ Result<std::unique_ptr<StoreServer>> StoreServer::Start(StoreServerOptions optio
     server->http_thread_ = std::thread([s = server.get()] { s->HttpLoop(); });
   }
   server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  server->reaper_thread_ = std::thread([s = server.get()] { s->ReaperLoop(); });
   return server;
 }
 
@@ -143,6 +248,17 @@ int StoreServer::active_sessions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int>(sessions_.size());
 }
+
+int StoreServer::active_leases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int named = 0;
+  for (const auto& [id, lease] : leases_) {
+    named += lease->named() ? 1 : 0;
+  }
+  return named;
+}
+
+void StoreServer::BeginDrain() { draining_.store(true); }
 
 size_t StoreServer::session_thread_count() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -163,6 +279,12 @@ void StoreServer::ReapDeadThreads() {
 }
 
 void StoreServer::Shutdown(bool drain) {
+  if (drain) {
+    // Entering drain first means no new SESSION_OPEN is accepted (typed refusal with a
+    // retry-after hint) while existing sessions get to finish — a lease granted now
+    // would only be killed mid-save below.
+    BeginDrain();
+  }
   if (stopping_.exchange(true)) {
     // Second call: still join anything the first caller raced past.
   }
@@ -195,6 +317,9 @@ void StoreServer::Shutdown(bool drain) {
   }
   if (http_thread_.joinable()) {
     http_thread_.join();
+  }
+  if (reaper_thread_.joinable()) {
+    reaper_thread_.join();
   }
   std::vector<std::thread> threads;
   {
@@ -239,6 +364,10 @@ void StoreServer::AcceptLoop() {
       session = std::make_shared<Session>();
       session->id = next_session_id_++;
       session->fd = fd;
+      session->lease = std::make_shared<Lease>();
+      session->lease->id = next_lease_id_++;
+      session->lease->bound_session = session->id;
+      leases_[session->lease->id] = session->lease;
       sessions_[session->id] = session;
       ServerMetrics::Get().sessions.Set(static_cast<int64_t>(sessions_.size()));
       session_threads_.emplace(
@@ -254,6 +383,10 @@ void StoreServer::ServeConnectionForTest(int fd) {
     std::lock_guard<std::mutex> lock(mu_);
     session->id = next_session_id_++;
     session->fd = fd;
+    session->lease = std::make_shared<Lease>();
+    session->lease->id = next_lease_id_++;
+    session->lease->bound_session = session->id;
+    leases_[session->lease->id] = session->lease;
     sessions_[session->id] = session;
     ServerMetrics::Get().sessions.Set(static_cast<int64_t>(sessions_.size()));
   }
@@ -287,15 +420,16 @@ void StoreServer::ServeConnection(int fd, std::shared_ptr<Session> session) {
         SendError(fd, InvalidArgumentError("malformed HELLO")).ok();
         break;
       }
-      if (*max_v < kWireMinVersion || *min_v > kWireVersion) {
+      const uint32_t server_max = std::min(kWireVersion, options_.max_wire_version);
+      if (*max_v < kWireMinVersion || *min_v > server_max) {
         SendError(fd, FailedPreconditionError(
                           "no common protocol version: server speaks v" +
                           std::to_string(kWireMinVersion) + "..v" +
-                          std::to_string(kWireVersion)))
+                          std::to_string(server_max)))
             .ok();
         break;
       }
-      session->version = std::min(kWireVersion, *max_v);
+      session->version = std::min(server_max, *max_v);
       ByteWriter w;
       w.PutU32(session->version);
       w.PutU64(session->id);
@@ -306,16 +440,37 @@ void StoreServer::ServeConnection(int fd, std::shared_ptr<Session> session) {
       greeted = true;
       continue;
     }
+    // Receiving any frame is proof of life: refresh the lease — unless draining, when
+    // TTLs deliberately stop being extended so the table winds down.
+    if (session->lease->named() && !draining_.load()) {
+      session->lease->expires_at_ms.store(NowWallMs() + session->lease->ttl_ms.load());
+    }
     if (!HandleFrame(fd, *frame, *session)) {
       break;
     }
   }
-  // Teardown: a half-streamed write or unreleased admission budget dies with the session —
-  // nothing it staged past a WRITE_END is deleted (it is inert staging debris the next
-  // save's ResetTagStaging or a debris sweep clears), but the budget frees immediately.
-  ReleaseStagedBytes(*session);
+  // Teardown. The spool keeps its bytes on disk (a reconnecting lease holder resumes
+  // into it; otherwise it is sweepable debris), only the descriptor closes here.
+  AbandonOpenWrite(*session);
   {
     std::lock_guard<std::mutex> lock(mu_);
+    std::shared_ptr<Lease> lease = session->lease;
+    // A named lease another connection re-adopted (bound_session moved on) is no longer
+    // ours to unbind or release — the steal already transferred ownership.
+    if (lease != nullptr &&
+        (!lease->named() || lease->bound_session == session->id)) {
+      if (!lease->named() || NowWallMs() >= lease->expires_at_ms.load()) {
+        // Implicit lease (v1/v2 semantics) or a named lease that already outlived its
+        // TTL while the socket lingered: budget and pins free now. Staged/spooled files
+        // stay — inert debris the next save's ResetTagStaging or a sweep clears.
+        ReleaseLeaseLocked(*lease);
+      } else {
+        // Named and live: the client may come back. The TTL clock started at its last
+        // frame; the reaper collects it if no one re-adopts.
+        lease->bound_session = 0;
+        WriteJournalLocked();
+      }
+    }
     sessions_.erase(session->id);
     ServerMetrics::Get().sessions.Set(static_cast<int64_t>(sessions_.size()));
   }
@@ -334,62 +489,256 @@ void StoreServer::ServeConnection(int fd, std::shared_ptr<Session> session) {
   }
 }
 
-void StoreServer::ReleaseStagedBytes(Session& session) {
-  session.staged_by_tag.clear();
-  const uint64_t held = session.staged_bytes.exchange(0);
+void StoreServer::AbandonOpenWrite(Session& session) {
+  if (session.spool_fd < 0) {
+    session.write_open = false;
+    return;
+  }
+  ::close(session.spool_fd);
+  session.spool_fd = -1;
+  session.write_open = false;
+  // Un-charge the bytes WRITE_BEGIN reserved but the stream never delivered. This keeps
+  // the invariant that a lease's per-tag charge equals its bytes on disk plus declared
+  // still-in-flight remainders — which is exactly what a resumed WRITE_BEGIN re-charges
+  // (total - resume), so drop/resume cycles neither double-charge nor leak budget.
+  const uint64_t undelivered = session.write_total > session.write_spooled
+                                   ? session.write_total - session.write_spooled
+                                   : 0;
+  if (undelivered == 0 || session.lease == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = session.lease->staged_by_tag.find(session.write_tag);
+  if (it == session.lease->staged_by_tag.end()) {
+    return;  // tag charge already released (commit/abort/reset raced the teardown)
+  }
+  const uint64_t give = std::min(it->second, undelivered);
+  it->second -= give;
+  session.lease->staged_total -= std::min(session.lease->staged_total, give);
+  if (give > 0) {
+    staged_bytes_.fetch_sub(give);
+    ServerMetrics::Get().staged.Set(static_cast<int64_t>(staged_bytes_.load()));
+  }
+}
+
+void StoreServer::ReleaseLeaseLocked(Lease& lease) {
+  const uint64_t held = lease.staged_total;
+  lease.staged_by_tag.clear();
+  lease.staged_total = 0;
   if (held > 0) {
     staged_bytes_.fetch_sub(held);
     ServerMetrics::Get().staged.Set(static_cast<int64_t>(staged_bytes_.load()));
   }
-  // Chunk pins taken by this session's CHUNK_QUERYs die with it. Committed tags already
+  // Chunk pins taken by this lease's CHUNK_QUERYs die with it. Committed tags already
   // released theirs (CommitTag); this catches a client that crashed mid-save, so its
   // uncommitted chunks become sweepable like its staging debris.
-  for (const std::string& tag : session.pinned_tags) {
+  for (const std::string& tag : lease.pinned_tags) {
     ChunkIndex::ForRoot(store_.root())->ReleaseTagPins(tag);
   }
-  session.pinned_tags.clear();
-  session.pinned_by_tag.clear();
-  session.pinned_total = 0;
-}
-
-void StoreServer::ReleaseSessionPinsForTag(Session& session, const std::string& tag) {
-  session.pinned_tags.erase(tag);
-  auto it = session.pinned_by_tag.find(tag);
-  if (it != session.pinned_by_tag.end()) {
-    session.pinned_total -= std::min(session.pinned_total, it->second);
-    session.pinned_by_tag.erase(it);
+  lease.pinned_tags.clear();
+  lease.pinned_by_tag.clear();
+  lease.pinned_total = 0;
+  leases_.erase(lease.id);
+  ServerMetrics::Get().leases.Set(static_cast<int64_t>(leases_.size()));
+  if (lease.named()) {
+    WriteJournalLocked();
   }
 }
 
-void StoreServer::ReleaseStagedBytesForTag(Session& session, const std::string& tag) {
-  auto it = session.staged_by_tag.find(tag);
-  if (it == session.staged_by_tag.end()) {
+void StoreServer::ReleaseLeasePinsForTagLocked(Lease& lease, const std::string& tag) {
+  lease.pinned_tags.erase(tag);
+  auto it = lease.pinned_by_tag.find(tag);
+  if (it != lease.pinned_by_tag.end()) {
+    lease.pinned_total -= std::min(lease.pinned_total, it->second);
+    lease.pinned_by_tag.erase(it);
+  }
+}
+
+void StoreServer::ReleaseStagedBytesForTagLocked(Lease& lease, const std::string& tag) {
+  auto it = lease.staged_by_tag.find(tag);
+  if (it == lease.staged_by_tag.end()) {
     return;
   }
   const uint64_t held = it->second;
-  session.staged_by_tag.erase(it);
+  lease.staged_by_tag.erase(it);
+  lease.staged_total -= std::min(lease.staged_total, held);
   if (held > 0) {
-    session.staged_bytes.fetch_sub(held);
     staged_bytes_.fetch_sub(held);
     ServerMetrics::Get().staged.Set(static_cast<int64_t>(staged_bytes_.load()));
   }
+}
+
+void StoreServer::ReaperLoop() {
+  while (!stopping_.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const int64_t now = NowWallMs();
+    std::vector<std::shared_ptr<Lease>> expired;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [id, lease] : leases_) {
+        if (!lease->named() || now < lease->expires_at_ms.load()) {
+          continue;
+        }
+        if (lease->bound_session != 0) {
+          // A bound lease past its TTL means the client went quiet without the socket
+          // dying — a partitioned peer. Force the connection down; teardown completes
+          // the reap. Skipped while draining: drain lets in-flight saves finish.
+          if (!draining_.load()) {
+            auto sit = sessions_.find(lease->bound_session);
+            if (sit != sessions_.end()) {
+              ::shutdown(sit->second->fd, SHUT_RDWR);
+            }
+          }
+          continue;
+        }
+        expired.push_back(lease);
+      }
+      for (const std::shared_ptr<Lease>& lease : expired) {
+        ServerMetrics::Get().lease_expiries.Add(1);
+        ReleaseLeaseLocked(*lease);
+      }
+    }
+  }
+}
+
+// ---- Lease journal ------------------------------------------------------------------------
+//
+// One small JSON file under the root, rewritten atomically whenever the named-lease table
+// changes shape (never per chunk). It records just enough for a restarted daemon to honor
+// the contract: which tokens are still inside their TTL and which tags they were staging.
+// Staged-byte charges are *recomputed* from the surviving spool/staging bytes on recovery
+// — the old process's accounting died with it, the disk is the authority.
+
+std::string StoreServer::JournalPath() const {
+  return PathJoin(options_.root, ".ucp_serverd.journal");
+}
+
+void StoreServer::WriteJournalLocked() {
+  if (!options_.journal) {
+    return;
+  }
+  JsonArray leases;
+  for (const auto& [id, lease] : leases_) {
+    if (!lease->named()) {
+      continue;
+    }
+    JsonObject entry;
+    entry["token"] = lease->token;
+    entry["ttl_ms"] = static_cast<int64_t>(lease->ttl_ms.load());
+    entry["expires_at_ms"] = lease->expires_at_ms.load();
+    JsonArray tags;
+    for (const auto& [tag, bytes] : lease->staged_by_tag) {
+      tags.push_back(Json(tag));
+    }
+    entry["tags"] = std::move(tags);
+    leases.push_back(Json(std::move(entry)));
+  }
+  JsonObject root;
+  root["version"] = 1;
+  root["leases"] = std::move(leases);
+  const Status written = WriteFileAtomic(JournalPath(), Json(std::move(root)).Dump());
+  if (!written.ok()) {
+    UCP_LOG(Warning) << "lease journal write failed: " << written.ToString();
+  }
+}
+
+bool StoreServer::RecoverJournal() {
+  if (!options_.journal || !FileExists(JournalPath())) {
+    return false;
+  }
+  Result<std::string> text = ReadFileToString(JournalPath());
+  if (!text.ok()) {
+    UCP_LOG(Warning) << "lease journal unreadable, starting clean: "
+                     << text.status().ToString();
+    return false;
+  }
+  Result<Json> parsed = Json::Parse(*text);
+  if (!parsed.ok() || !parsed->is_object()) {
+    UCP_LOG(Warning) << "lease journal corrupt, starting clean";
+    return false;
+  }
+  Result<const JsonArray*> entries = parsed->GetArray("leases");
+  if (!entries.ok()) {
+    return false;
+  }
+  const int64_t now = NowWallMs();
+  std::set<std::string> live_tags;
+  std::vector<std::string> expired_tags;
+  bool adopted = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Json& entry : **entries) {
+    if (!entry.is_object()) {
+      continue;
+    }
+    Result<std::string> token = entry.GetString("token");
+    Result<int64_t> ttl = entry.GetInt("ttl_ms");
+    Result<int64_t> expires = entry.GetInt("expires_at_ms");
+    Result<const JsonArray*> tags = entry.GetArray("tags");
+    if (!token.ok() || token->empty() || !ttl.ok() || !expires.ok() || !tags.ok()) {
+      continue;
+    }
+    std::vector<std::string> tag_names;
+    for (const Json& t : **tags) {
+      if (t.is_string() && IsSafeStoreName(t.AsString())) {
+        tag_names.push_back(t.AsString());
+      }
+    }
+    if (*expires <= now) {
+      expired_tags.insert(expired_tags.end(), tag_names.begin(), tag_names.end());
+      continue;
+    }
+    auto lease = std::make_shared<Lease>();
+    lease->id = next_lease_id_++;
+    lease->token = *token;
+    lease->ttl_ms.store(static_cast<uint32_t>(std::max<int64_t>(*ttl, 0)));
+    lease->expires_at_ms.store(*expires);
+    for (const std::string& tag : tag_names) {
+      const uint64_t bytes = DirBytes(WipDirForTag(options_.root, tag)) +
+                             DirBytes(StagingDirForTag(options_.root, tag));
+      lease->staged_by_tag[tag] = bytes;
+      lease->staged_total += bytes;
+      live_tags.insert(tag);
+    }
+    staged_bytes_.fetch_add(lease->staged_total);
+    leases_[lease->id] = lease;
+    ServerMetrics::Get().journal_adopted.Add(1);
+    adopted = true;
+  }
+  // Expired leases are swept: their spools can never be resumed into (the token is gone),
+  // so reclaim them now — unless a live lease is still staging the same tag.
+  for (const std::string& tag : expired_tags) {
+    if (live_tags.count(tag) == 0) {
+      RemoveAll(WipDirForTag(options_.root, tag)).ok();
+    }
+  }
+  ServerMetrics::Get().staged.Set(static_cast<int64_t>(staged_bytes_.load()));
+  ServerMetrics::Get().leases.Set(static_cast<int64_t>(leases_.size()));
+  WriteJournalLocked();
+  return adopted;
 }
 
 Status StoreServer::HandleWriteBegin(const WireFrame& frame, Session& session) {
   if (session.write_open) {
     return FailedPreconditionError("WRITE_BEGIN with a write already open");
   }
+  // A BEGIN while another write is open abandons the old one (protocol misuse, or a
+  // client that gave up on a file) — its undelivered charge must not leak.
+  AbandonOpenWrite(session);
   ByteReader r(frame.payload.data(), frame.payload.size());
   UCP_ASSIGN_OR_RETURN(std::string tag, r.GetString());
   UCP_ASSIGN_OR_RETURN(std::string rel, r.GetString());
   UCP_ASSIGN_OR_RETURN(uint64_t total, r.GetU64());
+  uint64_t resume = 0;
+  if (session.version >= 3 && r.remaining() >= sizeof(uint64_t)) {
+    UCP_ASSIGN_OR_RETURN(resume, r.GetU64());
+  }
   if (!IsSafeStoreName(tag) || !IsSafeStoreRelPath(rel)) {
     return InvalidArgumentError("bad tag or file name in WRITE_BEGIN");
   }
-  // The declared total is client-supplied and sizes a server-side buffer, so it is
-  // validated against the operator-set budget *before* anything is reserved or charged: a
-  // hostile or corrupt u64 must never drive an allocation. This is a hard bound, not
-  // backpressure — kFailedPrecondition, so clients surface it instead of retrying.
+  // The declared total is client-supplied, so it is validated against the operator-set
+  // budget *before* anything is reserved or charged: a hostile or corrupt u64 must never
+  // drive a reservation. This is a hard bound, not backpressure — kFailedPrecondition,
+  // so clients surface it instead of retrying.
   if (total > options_.max_staged_bytes) {
     ServerMetrics::Get().admission_rejects.Add(1);
     return FailedPreconditionError(
@@ -397,38 +746,133 @@ Status StoreServer::HandleWriteBegin(const WireFrame& frame, Session& session) {
         " bytes, above the staging budget of " +
         std::to_string(options_.max_staged_bytes) + "; raise --max-staged-bytes");
   }
-  // Create the staging dir before charging the budget so a failure here leaks nothing.
+  if (resume > total) {
+    return InvalidArgumentError("WRITE_BEGIN resume offset past declared total");
+  }
+  // Create the staging + spool dirs before charging the budget so a failure here leaks
+  // nothing.
   UCP_RETURN_IF_ERROR(MakeDirs(StagingDirForTag(store_.root(), tag)));
-  // Admission control. The oldest session holding staged bytes is always admitted: its
+  const std::string spool = PathJoin(WipDirForTag(store_.root(), tag), rel);
+  UCP_RETURN_IF_ERROR(MakeDirs(ParentDir(spool)));
+  // Open (and, on resume, validate) the spool before admission: the resumed prefix was
+  // charged by this lease's previous incarnation and is still on disk, so only the bytes
+  // that will newly arrive are charged below.
+  const int spool_fd = ::open(spool.c_str(), O_RDWR | O_CREAT, 0644);
+  if (spool_fd < 0) {
+    return IoError("cannot open spool " + spool + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(spool_fd, &st) != 0) {
+    ::close(spool_fd);
+    return IoError("cannot stat spool " + spool);
+  }
+  const uint64_t spooled = static_cast<uint64_t>(st.st_size);
+  if (resume > spooled) {
+    // The client believes the server acked more than the spool holds (stale WRITE_RESUME
+    // answer or a swept spool). Typed so the client restarts the file from zero.
+    ::close(spool_fd);
+    return FailedPreconditionError(
+        "WRITE_BEGIN resume offset " + std::to_string(resume) + " past spooled " +
+        std::to_string(spooled) + " bytes for " + rel + "; restart the file");
+  }
+  if (spooled > resume && ::ftruncate(spool_fd, static_cast<off_t>(resume)) != 0) {
+    ::close(spool_fd);
+    return IoError("cannot truncate spool " + spool);
+  }
+  // Re-seed the running CRC over the prefix being kept.
+  uint32_t crc = Crc32Init();
+  if (resume > 0) {
+    std::vector<uint8_t> buf(64 << 10);
+    uint64_t off = 0;
+    while (off < resume) {
+      const size_t want = static_cast<size_t>(
+          std::min<uint64_t>(buf.size(), resume - off));
+      const ssize_t n = ::pread(spool_fd, buf.data(), want, static_cast<off_t>(off));
+      if (n <= 0) {
+        ::close(spool_fd);
+        return IoError("cannot reread spool prefix of " + spool);
+      }
+      crc = Crc32Update(crc, buf.data(), static_cast<size_t>(n));
+      off += static_cast<uint64_t>(n);
+    }
+    ServerMetrics::Get().resumed_write_bytes.Add(static_cast<int64_t>(resume));
+  }
+  const uint64_t charge = total - resume;
+  // Admission control. The oldest lease holding staged bytes is always admitted: its
   // save is the one whose completion releases budget, so stalling it would livelock.
+  // Lease ids are creation-ordered and survive reconnects, so a resumed session keeps
+  // its seniority.
   {
     std::lock_guard<std::mutex> lock(mu_);
     const uint64_t in_flight = staged_bytes_.load();
-    if (in_flight > 0 && in_flight + total > options_.max_staged_bytes) {
+    if (in_flight > 0 && in_flight + charge > options_.max_staged_bytes) {
       uint64_t oldest_with_staging = 0;
-      for (const auto& [id, s] : sessions_) {
-        if (s->staged_bytes.load() > 0) {
+      for (const auto& [id, lease] : leases_) {
+        if (lease->staged_total > 0) {
           oldest_with_staging = id;
           break;  // map iterates in id order
         }
       }
-      if (session.id != oldest_with_staging) {
+      if (session.lease->id != oldest_with_staging) {
+        ::close(spool_fd);
         ServerMetrics::Get().admission_rejects.Add(1);
         return UnavailableError("staging budget exhausted (" +
                                 std::to_string(in_flight) + " bytes in flight); retry");
       }
     }
-    session.staged_bytes.fetch_add(total);
-    staged_bytes_.fetch_add(total);
+    const bool new_tag = session.lease->staged_by_tag.count(tag) == 0;
+    session.lease->staged_by_tag[tag] += charge;
+    session.lease->staged_total += charge;
+    staged_bytes_.fetch_add(charge);
     ServerMetrics::Get().staged.Set(static_cast<int64_t>(staged_bytes_.load()));
+    if (new_tag && session.lease->named()) {
+      WriteJournalLocked();  // the lease is now staging a tag a restart must know about
+    }
   }
-  session.staged_by_tag[tag] += total;
   session.write_open = true;
   session.write_tag = std::move(tag);
   session.write_rel = std::move(rel);
+  session.spool_path = spool;
   session.write_total = total;
-  session.write_buf.clear();
-  session.write_buf.reserve(total);  // bounded: total <= max_staged_bytes, just admitted
+  session.write_spooled = resume;
+  session.write_crc = crc;
+  session.spool_fd = spool_fd;
+  return OkStatus();
+}
+
+Status StoreServer::HandleWriteChunk(const WireFrame& frame, Session& session) {
+  if (!session.write_open) {
+    return FailedPreconditionError("WRITE_CHUNK without WRITE_BEGIN");
+  }
+  const uint8_t* data = frame.payload.data();
+  size_t n = frame.payload.size();
+  uint64_t offset = session.write_spooled;
+  if (session.version >= 3) {
+    ByteReader r(data, n);
+    UCP_ASSIGN_OR_RETURN(offset, r.GetU64());
+    data += sizeof(uint64_t);
+    n -= sizeof(uint64_t);
+  }
+  if (offset > session.write_spooled) {
+    return DataLossError("write stream gap for " + session.write_rel + ": chunk at " +
+                         std::to_string(offset) + ", spooled " +
+                         std::to_string(session.write_spooled));
+  }
+  // Idempotence: a re-sent chunk overlapping the acknowledged prefix contributes only its
+  // unseen tail (usually nothing).
+  const uint64_t skip = session.write_spooled - offset;
+  if (skip >= n) {
+    return OkStatus();
+  }
+  data += skip;
+  n -= static_cast<size_t>(skip);
+  if (session.write_spooled + n > session.write_total) {
+    return DataLossError("write stream overruns declared size for " + session.write_rel);
+  }
+  UCP_RETURN_IF_ERROR(
+      PwriteAll(session.spool_fd, data, n, session.write_spooled, session.spool_path));
+  session.write_crc = Crc32Update(session.write_crc, data, n);
+  session.write_spooled += n;
   return OkStatus();
 }
 
@@ -439,23 +883,119 @@ Status StoreServer::HandleWriteEnd(const WireFrame& frame, Session& session) {
   session.write_open = false;
   ByteReader r(frame.payload.data(), frame.payload.size());
   UCP_ASSIGN_OR_RETURN(uint32_t want_crc, r.GetU32());
-  if (session.write_buf.size() != session.write_total) {
+  if (session.write_spooled != session.write_total) {
+    AbandonOpenWrite(session);
     return DataLossError("write stream for " + session.write_rel + " truncated: " +
-                         std::to_string(session.write_buf.size()) + " of " +
+                         std::to_string(session.write_spooled) + " of " +
                          std::to_string(session.write_total) + " bytes");
   }
-  if (Crc32(session.write_buf.data(), session.write_buf.size()) != want_crc) {
+  if (Crc32Finalize(session.write_crc) != want_crc) {
+    // The spooled bytes are wrong end to end; resuming into them would re-publish the
+    // corruption, so the spool dies with the error and a retry restarts from zero.
+    AbandonOpenWrite(session);
+    RemoveAll(session.spool_path).ok();
     ServerMetrics::Get().chunk_crc_failures.Add(1);
     return DataLossError("write stream CRC mismatch for " + session.write_rel);
   }
-  // Only now do the bytes touch disk — through the same WriteFileAtomic (and fault
-  // injector) the direct-FS path uses.
-  const std::string staging = StagingDirForTag(store_.root(), session.write_tag);
-  Status written = WriteFileAtomic(PathJoin(staging, session.write_rel),
-                                   session.write_buf.data(), session.write_buf.size());
-  session.write_buf.clear();
-  session.write_buf.shrink_to_fit();
-  return written;
+  if (::fsync(session.spool_fd) != 0) {
+    AbandonOpenWrite(session);
+    return IoError("fsync failed for spool " + session.spool_path);
+  }
+  AbandonOpenWrite(session);
+  // Verified and durable: move the spool into the staging dir (same-filesystem rename,
+  // through the fault injector like the direct-FS path's writes).
+  const std::string dest = PathJoin(StagingDirForTag(store_.root(), session.write_tag),
+                                    session.write_rel);
+  UCP_RETURN_IF_ERROR(MakeDirs(ParentDir(dest)));
+  return RenamePath(session.spool_path, dest);
+}
+
+Result<std::vector<uint8_t>> StoreServer::HandleWriteResume(const WireFrame& frame) {
+  ByteReader r(frame.payload.data(), frame.payload.size());
+  UCP_ASSIGN_OR_RETURN(std::string tag, r.GetString());
+  UCP_ASSIGN_OR_RETURN(std::string rel, r.GetString());
+  if (!IsSafeStoreName(tag) || !IsSafeStoreRelPath(rel)) {
+    return InvalidArgumentError("bad tag or file name in WRITE_RESUME");
+  }
+  uint64_t acked = 0;
+  uint8_t complete = 0;
+  const std::string staged = PathJoin(StagingDirForTag(store_.root(), tag), rel);
+  const std::string spool = PathJoin(WipDirForTag(store_.root(), tag), rel);
+  if (Result<uint64_t> size = FileSize(staged); size.ok()) {
+    // WRITE_END already ran: the file is verified and staged in full.
+    acked = *size;
+    complete = 1;
+  } else if (Result<uint64_t> spooled = FileSize(spool); spooled.ok()) {
+    acked = *spooled;
+  }
+  ByteWriter w;
+  w.PutU64(acked);
+  w.PutU8(complete);
+  return w.TakeBuffer();
+}
+
+Result<std::vector<uint8_t>> StoreServer::HandleSessionOpen(const WireFrame& frame,
+                                                            Session& session) {
+  ByteReader r(frame.payload.data(), frame.payload.size());
+  UCP_ASSIGN_OR_RETURN(std::string token, r.GetString());
+  UCP_ASSIGN_OR_RETURN(uint32_t ttl_ms, r.GetU32());
+  if (token.empty() || token.size() > 128) {
+    return InvalidArgumentError("SESSION_OPEN lease token must be 1..128 bytes");
+  }
+  if (options_.max_lease_ttl_ms == 0) {
+    return FailedPreconditionError("session leases are disabled on this server");
+  }
+  if (draining_.load()) {
+    // Typed refusal with a retry hint (attached by HandleFrame): a lease granted during
+    // drain would only be killed mid-save.
+    return UnavailableError("server is draining; no new session leases");
+  }
+  const uint32_t ttl = std::min(std::max(ttl_ms, 1u), options_.max_lease_ttl_ms);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<Lease> current = session.lease;
+  if (current->named()) {
+    return FailedPreconditionError("session already holds a lease");
+  }
+  if (current->staged_total > 0 || current->pinned_total > 0) {
+    return FailedPreconditionError("SESSION_OPEN must precede staged writes");
+  }
+  std::shared_ptr<Lease> named;
+  for (const auto& [id, lease] : leases_) {
+    if (lease->token == token) {
+      named = lease;
+      break;
+    }
+  }
+  uint8_t resumed = 0;
+  if (named != nullptr) {
+    // Re-adoption. If an older connection still claims the lease (it died without the
+    // server noticing), it is stale by definition — the token holder is here. Kick it.
+    if (named->bound_session != 0 && named->bound_session != session.id) {
+      auto sit = sessions_.find(named->bound_session);
+      if (sit != sessions_.end()) {
+        // Its teardown sees bound_session != its id and leaves the lease alone.
+        ::shutdown(sit->second->fd, SHUT_RDWR);
+      }
+    }
+    resumed = 1;
+    ServerMetrics::Get().leases_resumed.Add(1);
+  } else {
+    named = std::make_shared<Lease>();
+    named->id = next_lease_id_++;
+    named->token = token;
+    leases_[named->id] = named;
+  }
+  named->ttl_ms.store(ttl);
+  named->expires_at_ms.store(NowWallMs() + ttl);
+  named->bound_session = session.id;
+  leases_.erase(current->id);  // the implicit lease is subsumed (it held nothing)
+  session.lease = named;
+  ServerMetrics::Get().leases.Set(static_cast<int64_t>(leases_.size()));
+  WriteJournalLocked();
+  ByteWriter w;
+  w.PutU8(resumed);
+  w.PutU32(ttl);
+  return w.TakeBuffer();
 }
 
 Result<std::vector<uint8_t>> StoreServer::HandleOpenRead(const WireFrame& frame,
@@ -541,21 +1081,14 @@ Result<std::vector<uint8_t>> StoreServer::HandleReadRange(const WireFrame& frame
 }
 
 bool StoreServer::HandleFrame(int fd, const WireFrame& frame, Session& session) {
-  // WRITE_CHUNK is the streaming hot path: no response frame, just append.
+  // WRITE_CHUNK is the streaming hot path: no response frame, just append to the spool.
   if (frame.op == WireOp::kWriteChunk) {
-    if (!session.write_open) {
-      SendError(fd, FailedPreconditionError("WRITE_CHUNK without WRITE_BEGIN")).ok();
+    const Status appended = HandleWriteChunk(frame, session);
+    if (!appended.ok()) {
+      AbandonOpenWrite(session);
+      SendError(fd, appended).ok();
       return false;
     }
-    if (session.write_buf.size() + frame.payload.size() > session.write_total) {
-      session.write_open = false;
-      SendError(fd, DataLossError("write stream overruns declared size for " +
-                                  session.write_rel))
-          .ok();
-      return false;
-    }
-    session.write_buf.insert(session.write_buf.end(), frame.payload.begin(),
-                             frame.payload.end());
     return true;
   }
 
@@ -666,10 +1199,14 @@ bool StoreServer::HandleFrame(int fd, const WireFrame& frame, Session& session) 
       Result<std::string> tag = r.GetString();
       status = tag.ok() ? store_.ResetTagStaging(*tag) : tag.status();
       if (status.ok()) {
-        // The reset discarded this tag's staging — other tags' saves on this connection
-        // keep their admitted budget.
-        ReleaseStagedBytesForTag(session, *tag);
-        ReleaseSessionPinsForTag(session, *tag);
+        // The reset discarded this tag's staging — other tags' saves on this lease keep
+        // their admitted budget.
+        std::lock_guard<std::mutex> lock(mu_);
+        ReleaseStagedBytesForTagLocked(*session.lease, *tag);
+        ReleaseLeasePinsForTagLocked(*session.lease, *tag);
+        if (session.lease->named()) {
+          WriteJournalLocked();
+        }
       }
       break;
     }
@@ -685,8 +1222,12 @@ bool StoreServer::HandleFrame(int fd, const WireFrame& frame, Session& session) 
       Result<std::string> meta = tag.ok() ? r.GetString() : Result<std::string>(tag.status());
       status = meta.ok() ? store_.CommitTag(*tag, *meta) : meta.status();
       if (status.ok()) {
-        ReleaseStagedBytesForTag(session, *tag);
-        ReleaseSessionPinsForTag(session, *tag);
+        std::lock_guard<std::mutex> lock(mu_);
+        ReleaseStagedBytesForTagLocked(*session.lease, *tag);
+        ReleaseLeasePinsForTagLocked(*session.lease, *tag);
+        if (session.lease->named()) {
+          WriteJournalLocked();
+        }
       }
       break;
     }
@@ -695,8 +1236,12 @@ bool StoreServer::HandleFrame(int fd, const WireFrame& frame, Session& session) 
       Result<std::string> tag = r.GetString();
       status = tag.ok() ? store_.AbortTag(*tag) : tag.status();
       if (status.ok()) {
-        ReleaseStagedBytesForTag(session, *tag);
-        ReleaseSessionPinsForTag(session, *tag);
+        std::lock_guard<std::mutex> lock(mu_);
+        ReleaseStagedBytesForTagLocked(*session.lease, *tag);
+        ReleaseLeasePinsForTagLocked(*session.lease, *tag);
+        if (session.lease->named()) {
+          WriteJournalLocked();
+        }
       }
       break;
     }
@@ -766,13 +1311,19 @@ bool StoreServer::HandleFrame(int fd, const WireFrame& frame, Session& session) 
         break;
       }
       // Admission: pins are server memory and block chunk reclaim, so they are budgeted
-      // per session like staged bytes. The check runs before anything is pinned, against
+      // per lease like staged bytes. The check runs before anything is pinned, against
       // the declared count — a hostile count either fails here or in the reader below.
-      if (session.pinned_total + *count > options_.max_pinned_chunks) {
-        status = FailedPreconditionError(
-            "session pinned-chunk budget exceeded: " +
-            std::to_string(session.pinned_total) + " held + " + std::to_string(*count) +
-            " requested > " + std::to_string(options_.max_pinned_chunks));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (session.lease->pinned_total + *count > options_.max_pinned_chunks) {
+          status = FailedPreconditionError(
+              "session pinned-chunk budget exceeded: " +
+              std::to_string(session.lease->pinned_total) + " held + " +
+              std::to_string(*count) + " requested > " +
+              std::to_string(options_.max_pinned_chunks));
+        }
+      }
+      if (!status.ok()) {
         break;
       }
       // The payload size already bounds count * 16 bytes; a forged count fails in the
@@ -801,9 +1352,12 @@ bool StoreServer::HandleFrame(int fd, const WireFrame& frame, Session& session) 
       // chunk the client was just told exists (invariant I6).
       std::vector<uint8_t> present =
           ChunkIndex::ForRoot(store_.root())->PinAndQuery(*tag, probes);
-      session.pinned_tags.insert(*tag);
-      session.pinned_by_tag[*tag] += probes.size();
-      session.pinned_total += probes.size();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        session.lease->pinned_tags.insert(*tag);
+        session.lease->pinned_by_tag[*tag] += probes.size();
+        session.lease->pinned_total += probes.size();
+      }
       ByteWriter w;
       w.PutU32(static_cast<uint32_t>(present.size()));
       for (uint8_t p : present) {
@@ -837,6 +1391,65 @@ bool StoreServer::HandleFrame(int fd, const WireFrame& frame, Session& session) 
                                 frame.payload.size() - 8);
       break;
     }
+    case WireOp::kSessionOpen: {
+      if (session.version < 3) {
+        status = FailedPreconditionError("SESSION_OPEN requires protocol v3");
+        break;
+      }
+      payload = HandleSessionOpen(frame, session);
+      if (!payload.ok()) {
+        status = payload.status();
+      }
+      reply_op = WireOp::kSessionOpenOk;
+      break;
+    }
+    case WireOp::kSessionRenew: {
+      if (session.version < 3) {
+        status = FailedPreconditionError("SESSION_RENEW requires protocol v3");
+        break;
+      }
+      if (!session.lease->named()) {
+        status = FailedPreconditionError("SESSION_RENEW without a lease");
+        break;
+      }
+      if (draining_.load()) {
+        // Drain stops extending TTLs: the lease keeps whatever time it has left.
+        status = UnavailableError("server is draining; lease not renewed");
+        break;
+      }
+      session.lease->expires_at_ms.store(NowWallMs() + session.lease->ttl_ms.load());
+      break;
+    }
+    case WireOp::kWriteResume: {
+      if (session.version < 3) {
+        status = FailedPreconditionError("WRITE_RESUME requires protocol v3");
+        break;
+      }
+      payload = HandleWriteResume(frame);
+      if (!payload.ok()) {
+        status = payload.status();
+      }
+      reply_op = WireOp::kWriteResumeOk;
+      break;
+    }
+    case WireOp::kServerStat: {
+      ByteWriter w;
+      w.PutU32(std::min(kWireVersion, options_.max_wire_version));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        w.PutU32(static_cast<uint32_t>(sessions_.size()));
+        uint32_t named = 0;
+        for (const auto& [id, lease] : leases_) {
+          named += lease->named() ? 1 : 0;
+        }
+        w.PutU32(named);
+      }
+      w.PutU64(staged_bytes_.load());
+      w.PutU8(draining_.load() ? 1 : 0);
+      payload = w.TakeBuffer();
+      reply_op = WireOp::kServerStatOk;
+      break;
+    }
     default:
       status = UnimplementedError("unknown wire op " +
                                   std::to_string(static_cast<int>(frame.op)));
@@ -845,7 +1458,12 @@ bool StoreServer::HandleFrame(int fd, const WireFrame& frame, Session& session) 
 
   Status sent;
   if (!status.ok()) {
-    sent = SendError(fd, status);
+    // Drain-mode lease refusals carry a machine-readable retry-after hint so clients
+    // back off toward another daemon (or the post-restart one) instead of spinning.
+    const bool drain_refusal =
+        draining_.load() && status.code() == StatusCode::kUnavailable &&
+        (frame.op == WireOp::kSessionOpen || frame.op == WireOp::kSessionRenew);
+    sent = SendError(fd, status, drain_refusal ? 1000u : 0u);
   } else {
     sent = SendFrame(fd, reply_op, *payload);
     ServerMetrics::Get().bytes_out.Add(9 + payload->size() + 4);

@@ -1,6 +1,7 @@
 // The checkpoint store daemon: serves a LocalStore root to many concurrent clients over
-// the wire protocol, with per-client sessions, admission control on staged bytes, and a
-// plaintext HTTP /metrics + /healthz endpoint surfacing the process metrics registry.
+// the wire protocol, with per-client sessions, session leases, admission control on staged
+// bytes, and a plaintext HTTP /metrics + /healthz endpoint surfacing the process metrics
+// registry.
 //
 // `tools/ucp_serverd.cc` is the thin CLI around this class; tests embed it in-process
 // (which also routes the process-global fault injector through the *server's* threads, so
@@ -12,11 +13,21 @@
 // length, so a malicious or corrupt total can never drive an allocation past the
 // operator-set budget. Within the budget, an exhausted pool rejects newcomers with
 // kUnavailable (clients back off and retry per IoRetryPolicy) — except for the *oldest*
-// session currently holding staged bytes, which is always admitted. That exception is the
+// lease currently holding staged bytes, which is always admitted. That exception is the
 // progress guarantee: the oldest save in flight can always finish and release its budget,
 // so backpressure never deadlocks into livelock. Staged bytes are attributed per
-// (session, tag): commit/abort/reset of one tag releases only that tag's bytes, so two
+// (lease, tag): commit/abort/reset of one tag releases only that tag's bytes, so two
 // saves multiplexed over one connection can't free each other's budget.
+//
+// Session leases (wire v3): a client may bind a lease (SESSION_OPEN with a self-generated
+// token and TTL). Staged bytes, chunk pins, and half-streamed upload spools of a leased
+// session survive the socket — lease *expiry*, not connection death, is what reaps them.
+// A reconnecting client re-presents its token, re-adopts the lease (same admission
+// seniority), asks WRITE_RESUME how far each upload got, and continues from the
+// acknowledged offset. The lease table is journaled to `<root>/.ucp_serverd.journal` so a
+// restarted daemon re-adopts live-leased half-staged tags and sweeps expired ones.
+// Sessions without a lease (v1/v2 clients, or v3 clients that never SESSION_OPEN) keep
+// the historical semantics: everything releases the moment the connection dies.
 
 #ifndef UCP_SRC_STORE_SERVER_H_
 #define UCP_SRC_STORE_SERVER_H_
@@ -49,11 +60,22 @@ struct StoreServerOptions {
   // kFailedPrecondition (a protocol violation, not backpressure — clients don't retry).
   uint64_t max_pinned_chunks = 1ull << 20;
   bool drain_on_shutdown = true;              // wait for idle sessions before closing them
+  // Highest protocol version this server will negotiate. Production leaves the default;
+  // the downgrade conformance tests pin v1/v2 server behavior with it.
+  uint32_t max_wire_version = kWireVersion;
+  // Upper bound on the TTL a SESSION_OPEN may request (requests above it are clamped,
+  // not refused). 0 disables leases entirely: SESSION_OPEN gets kFailedPrecondition and
+  // every session falls back to release-on-disconnect.
+  uint32_t max_lease_ttl_ms = 60000;
+  // Persist the lease table to `<root>/.ucp_serverd.journal` so a restarted daemon
+  // re-adopts live-leased half-staged uploads instead of stranding them.
+  bool journal = true;
 };
 
 class StoreServer {
  public:
-  // Binds, spawns the accept (and optional HTTP) threads, returns a running server.
+  // Binds, recovers the lease journal (if any), spawns the accept / lease-reaper (and
+  // optional HTTP) threads, returns a running server.
   static Result<std::unique_ptr<StoreServer>> Start(StoreServerOptions options);
 
   ~StoreServer();
@@ -64,6 +86,13 @@ class StoreServer {
   const std::string& endpoint() const { return endpoint_; }
   const std::string& http_endpoint() const { return http_endpoint_; }
 
+  // Enters drain mode without closing anything: new SESSION_OPEN/RENEW requests are
+  // refused with a typed kUnavailable carrying a retry-after hint, and lease TTLs stop
+  // being extended — in-flight saves finish, new long-lived work goes elsewhere.
+  // Shutdown(drain=true) implies it.
+  void BeginDrain();
+  bool draining() const { return draining_.load(); }
+
   // Stops accepting, then closes sessions: with drain, idle sessions are closed
   // immediately and busy ones get to finish their current exchange; without, every
   // connection is torn down at once (the "daemon killed" arm of the fault tests).
@@ -71,6 +100,7 @@ class StoreServer {
   void Shutdown() { Shutdown(options_.drain_on_shutdown); }
 
   int active_sessions() const;
+  int active_leases() const;
   uint64_t staged_bytes() const { return staged_bytes_.load(); }
   // Thread handles still tracked (live sessions plus finished-but-unjoined ones):
   // bounded by active_sessions() plus whatever the accept loop hasn't reaped yet.
@@ -83,30 +113,41 @@ class StoreServer {
  private:
   struct Session;
   struct OpenRead;
+  struct Lease;
 
   explicit StoreServer(StoreServerOptions options)
-      : options_(std::move(options)), store_(options_.root) {
-    // The daemon is the sole accessor of the roots it serves, and every client's chunk
-    // pins live in this process's ChunkIndex — its sweeps reclaim immediately, no
-    // cross-process grace window needed.
-    store_.set_chunk_sweep_grace_seconds(0);
-  }
+      : options_(std::move(options)), store_(options_.root) {}
 
   void AcceptLoop();
   void HttpLoop();
+  void ReaperLoop();
   void ServeConnection(int fd, std::shared_ptr<Session> session);
   // One request frame -> one (or zero, for chunks) response frame. Returns false when the
   // connection must close.
   bool HandleFrame(int fd, const WireFrame& frame, Session& session);
   Status HandleWriteBegin(const WireFrame& frame, Session& session);
+  Status HandleWriteChunk(const WireFrame& frame, Session& session);
   Status HandleWriteEnd(const WireFrame& frame, Session& session);
+  Result<std::vector<uint8_t>> HandleWriteResume(const WireFrame& frame);
+  Result<std::vector<uint8_t>> HandleSessionOpen(const WireFrame& frame, Session& session);
   Result<std::vector<uint8_t>> HandleReadRange(const WireFrame& frame, Session& session);
   Result<std::vector<uint8_t>> HandleOpenRead(const WireFrame& frame, Session& session);
-  void ReleaseStagedBytes(Session& session);
-  void ReleaseStagedBytesForTag(Session& session, const std::string& tag);
-  // Drops the session's pin accounting for `tag` (the index-side pins are released by
-  // LocalStore's commit/abort/reset, or by ReleaseStagedBytes on disconnect).
-  void ReleaseSessionPinsForTag(Session& session, const std::string& tag);
+  void AbandonOpenWrite(Session& session);
+  // Releases every resource the lease holds (budget, pins) and drops it from the table.
+  // Caller holds mu_.
+  void ReleaseLeaseLocked(Lease& lease);
+  void ReleaseStagedBytesForTagLocked(Lease& lease, const std::string& tag);
+  // Drops the lease's pin accounting for `tag` (the index-side pins are released by
+  // LocalStore's commit/abort/reset, or by ReleaseLeaseLocked on lease death).
+  void ReleaseLeasePinsForTagLocked(Lease& lease, const std::string& tag);
+  // Rewrites the lease journal from the current table. Caller holds mu_; no-op when
+  // journaling is off.
+  void WriteJournalLocked();
+  // Reads the journal left by a previous daemon: live leases are re-adopted (staged
+  // budget recomputed from on-disk spool + staging bytes), expired ones have their spool
+  // dirs swept. Returns true when any lease was adopted.
+  bool RecoverJournal();
+  std::string JournalPath() const;
   // Joins connection threads that finished serving (they park their own handle on
   // dead_threads_ on the way out). Called from the accept loop and Shutdown.
   void ReapDeadThreads();
@@ -122,11 +163,18 @@ class StoreServer {
   std::atomic<int> http_fd_{-1};
   std::thread accept_thread_;
   std::thread http_thread_;
+  std::thread reaper_thread_;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
 
   mutable std::mutex mu_;
   uint64_t next_session_id_ = 1;
+  uint64_t next_lease_id_ = 1;
   std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+  // Keyed by lease id == creation order; admission's oldest-first scan depends on it.
+  // Holds one entry per live session (its implicit per-connection lease) plus every
+  // named lease still inside its TTL.
+  std::map<uint64_t, std::shared_ptr<Lease>> leases_;
   // Keyed by session id so a finishing connection can move its own handle to
   // dead_threads_; the accept loop joins those opportunistically (a long-lived daemon
   // serving many short connections must not accumulate zombie thread stacks).

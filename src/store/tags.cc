@@ -92,6 +92,10 @@ std::string OptimStatesFileName(int dp, int tp, int pp, int sp) {
   return StrFormat("zero_pp_rank_%d_mp_rank_%02d_%03d_sp_%02d_optim_states", dp, tp, pp, sp);
 }
 
+std::string WipDirForTag(const std::string& dir, const std::string& tag) {
+  return PathJoin(dir, tag) + kWipSuffix;
+}
+
 std::string StagingDirForTag(const std::string& dir, const std::string& tag) {
   return PathJoin(dir, tag) + kStagingSuffix;
 }

@@ -16,6 +16,11 @@ namespace ucp {
 inline constexpr char kCompleteMarker[] = "complete";
 // Suffix of the sibling directory a save writes into before the commit rename.
 inline constexpr char kStagingSuffix[] = ".staging";
+// Suffix of the spool sibling where the daemon appends in-flight streamed uploads before
+// WRITE_END verifies and moves them into the staging dir. Keeping partial bytes outside
+// `.staging` means a commit can never publish a half-received file, while the spool
+// survives connection drops and daemon restarts for WRITE_RESUME.
+inline constexpr char kWipSuffix[] = ".wip";
 
 // ---- Job namespaces --------------------------------------------------------------------
 //
@@ -50,6 +55,9 @@ std::string OptimStatesFileName(int dp, int tp, int pp, int sp);
 
 // Name of the staging sibling a save of `tag` writes into before committing.
 std::string StagingDirForTag(const std::string& dir, const std::string& tag);
+
+// Name of the spool sibling the daemon streams `tag`'s uploads into (kWipSuffix).
+std::string WipDirForTag(const std::string& dir, const std::string& tag);
 
 // Tag names cross the wire and become path components under the store root on the other
 // side; this is the server's gate against traversal ("..", '/', empty, control bytes).

@@ -64,6 +64,15 @@ bool TakeFault(SocketFault::Op op, SocketFault* out) {
   return false;
 }
 
+// The errno kinds drop the connection for real (shutdown() makes the peer see EOF and
+// later local syscalls fail), so a chaos-injected ECONNRESET behaves like the genuine
+// article on both ends of the socket.
+ssize_t InjectErrnoDrop(int fd, int err) {
+  ::shutdown(fd, SHUT_RDWR);
+  errno = err;
+  return -1;
+}
+
 ssize_t SendSyscall(int fd, const void* buf, size_t len) {
   SocketFault fault;
   if (TakeFault(SocketFault::Op::kSend, &fault)) {
@@ -77,6 +86,18 @@ ssize_t SendSyscall(int fd, const void* buf, size_t len) {
       case SocketFault::Kind::kShort:
         len = len > 1 ? 1 : len;
         break;
+      case SocketFault::Kind::kEpipe:
+        return InjectErrnoDrop(fd, EPIPE);
+      case SocketFault::Kind::kEconnreset:
+        return InjectErrnoDrop(fd, ECONNRESET);
+      case SocketFault::Kind::kEtimedout:
+        return InjectErrnoDrop(fd, ETIMEDOUT);
+      case SocketFault::Kind::kDelay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
+        break;
+      case SocketFault::Kind::kBlackhole:
+        // One-way partition: the bytes vanish but the sender believes they went out.
+        return static_cast<ssize_t>(len);
     }
   }
 #ifdef MSG_NOSIGNAL
@@ -99,6 +120,20 @@ ssize_t RecvSyscall(int fd, void* buf, size_t len) {
       case SocketFault::Kind::kShort:
         len = len > 1 ? 1 : len;
         break;
+      case SocketFault::Kind::kEpipe:
+        return InjectErrnoDrop(fd, EPIPE);
+      case SocketFault::Kind::kEconnreset:
+        return InjectErrnoDrop(fd, ECONNRESET);
+      case SocketFault::Kind::kEtimedout:
+        return InjectErrnoDrop(fd, ETIMEDOUT);
+      case SocketFault::Kind::kDelay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
+        break;
+      case SocketFault::Kind::kBlackhole:
+        // The reply never arrives: model the read-side of a one-way partition as a
+        // timeout after the injected delay.
+        std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
+        return InjectErrnoDrop(fd, ETIMEDOUT);
     }
   }
   return ::recv(fd, buf, len, 0);
@@ -136,8 +171,10 @@ Status SendAll(int fd, const void* data, size_t size) {
       backoff = std::min(backoff * 2, policy.max_backoff);
       continue;
     }
-    return UnavailableError("socket send failed: " +
-                            std::string(n == 0 ? "peer closed" : std::strerror(errno)));
+    if (n == 0) {
+      return UnavailableError("socket send failed: peer closed");
+    }
+    return StatusFromSocketErrno("socket send", errno);
   }
   return OkStatus();
 }
@@ -176,7 +213,7 @@ Status RecvAll(int fd, void* data, size_t size, bool at_frame_boundary) {
       backoff = std::min(backoff * 2, policy.max_backoff);
       continue;
     }
-    return UnavailableError("socket recv failed: " + std::string(std::strerror(errno)));
+    return StatusFromSocketErrno("socket recv", errno);
   }
   return OkStatus();
 }
@@ -191,6 +228,26 @@ uint32_t LoadU32(const uint8_t* p) {
 
 }  // namespace
 
+Status StatusFromSocketErrno(const std::string& op, int err) {
+  const std::string msg = op + " failed: " + std::strerror(err);
+  switch (err) {
+    case EPIPE:
+    case ECONNRESET:
+    case ETIMEDOUT:
+    case ECONNREFUSED:
+    case ECONNABORTED:
+    case ENETUNREACH:
+    case EHOSTUNREACH:
+    case ENETDOWN:
+    case ENOTCONN:
+      // Connection-level: the peer (or the path to it) went away. Retryable — the daemon
+      // may come back, the client may reconnect.
+      return UnavailableError(msg);
+    default:
+      return IoError(msg);
+  }
+}
+
 void ArmSocketFault(const SocketFault& fault) {
   std::lock_guard<std::mutex> lock(g_fault_mu);
   SocketFault f = fault;
@@ -204,25 +261,34 @@ void ClearSocketFaults() {
   g_faults.clear();
 }
 
-Status SendFrame(int fd, WireOp op, const void* payload, size_t len) {
-  if (len > kMaxFramePayload) {
-    return InvalidArgumentError("wire frame payload too large: " + std::to_string(len));
+Status SendFrame(int fd, WireOp op, const void* prefix, size_t prefix_len,
+                 const void* payload, size_t len) {
+  const size_t total = prefix_len + len;
+  if (total > kMaxFramePayload) {
+    return InvalidArgumentError("wire frame payload too large: " + std::to_string(total));
   }
   // Header + payload + trailing CRC in one buffer: a frame is one send (modulo partial
   // progress), which keeps concurrent writers on a shared connection atomic per-frame.
-  std::vector<uint8_t> buf(9 + len + 4);
+  std::vector<uint8_t> buf(9 + total + 4);
   StoreU32(buf.data(), kWireMagic);
   buf[4] = static_cast<uint8_t>(op);
-  StoreU32(buf.data() + 5, static_cast<uint32_t>(len));
+  StoreU32(buf.data() + 5, static_cast<uint32_t>(total));
+  if (prefix_len > 0) {
+    std::memcpy(buf.data() + 9, prefix, prefix_len);
+  }
   if (len > 0) {
-    std::memcpy(buf.data() + 9, payload, len);
+    std::memcpy(buf.data() + 9 + prefix_len, payload, len);
   }
   // CRC covers the type byte + payload (not the length field), matching RecvFrame.
   uint32_t crc = Crc32Init();
   crc = Crc32Update(crc, buf.data() + 4, 1);
-  crc = Crc32Update(crc, buf.data() + 9, len);
-  StoreU32(buf.data() + 9 + len, Crc32Finalize(crc));
+  crc = Crc32Update(crc, buf.data() + 9, total);
+  StoreU32(buf.data() + 9 + total, Crc32Finalize(crc));
   return SendAll(fd, buf.data(), buf.size());
+}
+
+Status SendFrame(int fd, WireOp op, const void* payload, size_t len) {
+  return SendFrame(fd, op, /*prefix=*/nullptr, /*prefix_len=*/0, payload, len);
 }
 
 Result<WireFrame> RecvFrame(int fd, uint32_t max_payload) {
@@ -338,8 +404,13 @@ Result<int> DialEndpoint(const Endpoint& ep) {
     rc = ::connect(fd, reinterpret_cast<sockaddr*>(&*addr), sizeof(*addr));
   }
   if (rc != 0) {
-    const Status err = UnavailableError("cannot connect to " + EndpointToString(ep) + ": " +
-                                        std::strerror(errno));
+    // ENOENT (no such unix socket yet) is "the daemon isn't up" — just as retryable as a
+    // refused TCP connect, so it joins the kUnavailable family rather than kIoError.
+    const Status err =
+        errno == ENOENT
+            ? UnavailableError("cannot connect to " + EndpointToString(ep) + ": " +
+                               std::strerror(ENOENT))
+            : StatusFromSocketErrno("cannot connect to " + EndpointToString(ep), errno);
     ::close(fd);
     return err;
   }

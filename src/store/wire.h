@@ -32,11 +32,14 @@
 namespace ucp {
 
 inline constexpr uint32_t kWireMagic = 0x57504355;  // "UCPW" little-endian
-// Version 2 added the chunk ops (CHUNK_QUERY / CHUNK_PUT) for incremental saves. Both
-// sides still speak version 1: the negotiated version is min(server max, client max)
-// within the overlapping [min,max] ranges, and a client on a v1 peer silently degrades to
-// full-file writes (WriteFileChunked falls back to WriteFile).
-inline constexpr uint32_t kWireVersion = 2;
+// Version 2 added the chunk ops (CHUNK_QUERY / CHUNK_PUT) for incremental saves. Version
+// 3 adds session leases (SESSION_OPEN / SESSION_RENEW), offset-addressed WRITE_CHUNK
+// frames, and the WRITE_RESUME query that together make interrupted uploads resumable
+// across reconnects and daemon restarts. Both sides still speak older versions: the
+// negotiated version is min(server max, client max) within the overlapping [min,max]
+// ranges, and a client on an old peer silently degrades (no lease, full-restart write
+// semantics; on v1 additionally full-file writes instead of chunk dedup).
+inline constexpr uint32_t kWireVersion = 3;
 inline constexpr uint32_t kWireMinVersion = 1;
 // Bound on one frame's payload; larger files stream as multiple WRITE_CHUNK / READ_RANGE
 // exchanges. Also the admission unit for the server's torn-frame defense: a corrupt length
@@ -57,7 +60,12 @@ enum class WireOp : uint8_t {
   kExists = 8,        // str rel
   kResetStaging = 9,  // str tag
   kWriteBegin = 10,   // str tag | str rel | u64 total_bytes
-  kWriteChunk = 11,   // raw bytes (appended to the open write)
+                      // v3 sessions append: | u64 resume_offset (0 = fresh write; > 0
+                      // continues a spooled upload whose first resume_offset bytes the
+                      // server already acknowledged via WRITE_RESUME)
+  kWriteChunk = 11,   // v1/v2: raw bytes (appended to the open write)
+                      // v3: u64 offset | raw bytes — idempotent: a chunk whose byte
+                      // range is already spooled is skipped, a gap is kDataLoss
   kWriteEnd = 12,     // u32 crc32 of the whole file body
   kCommitTag = 13,    // str tag | str meta_json
   kAbortTag = 14,     // str tag
@@ -69,9 +77,16 @@ enum class WireOp : uint8_t {
   kChunkQuery = 19,   // str tag | u32 count | count * (u64 digest | u32 raw_size |
                       // u32 raw_crc) — pins + content-verified presence query
   kChunkPut = 20,     // u64 digest | encoded chunk object bytes (UCK1 header + payload)
+  // v3+ only (negotiated version >= 3; older sessions get kFailedPrecondition):
+  kSessionOpen = 21,  // str lease_token | u32 ttl_ms — bind (or re-adopt) a lease
+  kSessionRenew = 22, // empty — extend the bound lease's TTL (idle keep-alive)
+  kWriteResume = 23,  // str tag | str rel — how many bytes the server already has
+  kServerStat = 24,   // empty — sessions/leases/staged/draining snapshot
 
   kOk = 64,           // empty
   kError = 65,        // u8 status_code | str message
+                      // | optional trailing u32 retry_after_ms hint (v3 servers attach
+                      // it to drain-mode refusals; old clients ignore trailing bytes)
   kHelloOk = 66,      // u32 version | u64 session_id | u32 max_frame
   kStrList = 67,      // u32 count | count * str
   kBytes = 68,        // raw bytes
@@ -80,6 +95,10 @@ enum class WireOp : uint8_t {
   kGcReport = 71,     // u32 n_removed | n * str | u32 n_kept | n * str
   kInt = 72,          // i64
   kChunkMask = 73,    // u32 count | count * u8 present (response to kChunkQuery)
+  kSessionOpenOk = 74,  // u8 resumed | u32 granted_ttl_ms
+  kWriteResumeOk = 75,  // u64 acked_bytes | u8 complete (file already fully staged)
+  kServerStatOk = 76,   // u32 server_version | u32 sessions | u32 leases |
+                        // u64 staged_bytes | u8 draining
 };
 
 struct WireFrame {
@@ -90,6 +109,10 @@ struct WireFrame {
 // Sends one complete frame. kUnavailable when the peer is gone (EPIPE/ECONNRESET) or
 // transient retries exhaust.
 Status SendFrame(int fd, WireOp op, const void* payload, size_t len);
+// Two-part payload (prefix ++ body in one frame): the v3 WRITE_CHUNK path prepends the
+// u64 offset to a chunk that lives in the caller's tensor buffer without an extra copy.
+Status SendFrame(int fd, WireOp op, const void* prefix, size_t prefix_len,
+                 const void* payload, size_t len);
 inline Status SendFrame(int fd, WireOp op, const std::vector<uint8_t>& payload) {
   return SendFrame(fd, op, payload.data(), payload.size());
 }
@@ -118,21 +141,38 @@ Result<int> ListenEndpoint(const Endpoint& ep);
 // The locally-bound port of a listening TCP socket (after port-0 resolution).
 Result<int> BoundSocketPort(int fd);
 
+// Maps a socket-level errno to the typed status the store contract promises: peer-gone /
+// network conditions (EPIPE, ECONNRESET, ETIMEDOUT, ECONNREFUSED, unreachable, ENOTCONN)
+// are kUnavailable — retryable, maybe the daemon restarts — everything else is kIoError.
+// `op` names the failing operation for the message ("socket send", "connect", ...).
+Status StatusFromSocketErrno(const std::string& op, int err);
+
 // ---- Test-only socket fault injection ----------------------------------------------------
 //
 // Arms a one-shot fault on the Nth send/recv syscall (process-wide, counted from arming).
 // The retry unit test uses this with a socketpair to prove EINTR/EAGAIN and short
-// transfers are absorbed by the IoRetryPolicy and surfaced in io.retry.*.
+// transfers are absorbed by the IoRetryPolicy and surfaced in io.retry.*; the chaos tests
+// use the errno/drop kinds to model connection loss, slow links, and one-way partitions.
 struct SocketFault {
   enum class Op { kSend, kRecv };
   enum class Kind {
-    kEintr,   // syscall returns -1/EINTR
-    kEagain,  // syscall returns -1/EAGAIN
-    kShort,   // syscall transfers at most 1 byte (exercises the partial-progress loop)
+    kEintr,      // syscall returns -1/EINTR
+    kEagain,     // syscall returns -1/EAGAIN
+    kShort,      // syscall transfers at most 1 byte (exercises the partial-progress loop)
+    // Chaos kinds. The errno kinds also shutdown() the socket so the *peer* observes a
+    // real connection drop (EOF), not just a local error — "connection drop after N
+    // frames" is ArmSocketFault({kSend, kEconnreset, N}).
+    kEpipe,      // syscall returns -1/EPIPE and drops the connection
+    kEconnreset, // syscall returns -1/ECONNRESET and drops the connection
+    kEtimedout,  // syscall returns -1/ETIMEDOUT and drops the connection
+    kDelay,      // sleep delay_ms, then proceed normally (slow network)
+    kBlackhole,  // send: claim success but drop the bytes (one-way partition);
+                 // recv: sleep delay_ms then -1/ETIMEDOUT (the reply never arrives)
   };
   Op op = Op::kRecv;
   Kind kind = Kind::kEintr;
-  int nth = 0;  // 0 = next matching syscall
+  int nth = 0;       // 0 = next matching syscall
+  int delay_ms = 0;  // kDelay / kBlackhole
 };
 void ArmSocketFault(const SocketFault& fault);
 void ClearSocketFaults();

@@ -21,6 +21,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <limits>
 #include <memory>
@@ -62,7 +63,10 @@ std::string MetaJson(int64_t iteration) {
 // ---------------------------------------------------------------------------
 // Property 1: backend conformance. Every test below runs once against a
 // LocalStore on a temp dir and once against a RemoteStore talking to an
-// in-process daemon serving the same dir.
+// in-process daemon serving the same dir. The remote_v2/remote_v1 rows pin the
+// downgrade path: a v3 client against an older daemon must fall back cleanly
+// (no lease, release-on-disconnect semantics) and still satisfy the identical
+// contract bit-exactly.
 // ---------------------------------------------------------------------------
 
 class StoreConformanceTest : public ::testing::TestWithParam<const char*> {
@@ -73,6 +77,7 @@ class StoreConformanceTest : public ::testing::TestWithParam<const char*> {
       StoreServerOptions options;
       options.root = dir_;
       options.listen = "unix:" + dir_ + ".sock";  // sibling path: keeps List("") clean
+      options.max_wire_version = server_version();
       Result<std::unique_ptr<StoreServer>> started =
           StoreServer::Start(std::move(options));
       ASSERT_TRUE(started.ok()) << started.status();
@@ -80,6 +85,11 @@ class StoreConformanceTest : public ::testing::TestWithParam<const char*> {
       Result<std::shared_ptr<Store>> opened = OpenStore(server_->endpoint());
       ASSERT_TRUE(opened.ok()) << opened.status();
       store_ = *opened;
+      // The downgrade fallback must be visible to the client: no lease against a
+      // pre-lease daemon, a lease (by default) against a v3 one.
+      auto* remote_store = static_cast<RemoteStore*>(store_.get());
+      EXPECT_EQ(remote_store->negotiated_version(), server_version());
+      EXPECT_EQ(remote_store->lease_token().empty(), server_version() < 3);
     } else {
       store_ = std::make_shared<LocalStore>(dir_);
     }
@@ -94,7 +104,13 @@ class StoreConformanceTest : public ::testing::TestWithParam<const char*> {
     ASSERT_TRUE(RemoveAll(dir_).ok());
   }
 
-  bool remote() const { return std::string(GetParam()) == std::string("remote"); }
+  bool remote() const { return std::string(GetParam()).rfind("remote", 0) == 0; }
+  uint32_t server_version() const {
+    const std::string param = GetParam();
+    if (param == "remote_v1") return 1;
+    if (param == "remote_v2") return 2;
+    return kWireVersion;
+  }
 
   void CommitSimpleTag(const std::string& tag, int64_t iteration,
                        const std::string& file = "shard",
@@ -113,7 +129,7 @@ class StoreConformanceTest : public ::testing::TestWithParam<const char*> {
 };
 
 INSTANTIATE_TEST_SUITE_P(Backends, StoreConformanceTest,
-                         ::testing::Values("local", "remote"),
+                         ::testing::Values("local", "remote", "remote_v2", "remote_v1"),
                          [](const ::testing::TestParamInfo<const char*>& info) {
                            return std::string(info.param);
                          });
@@ -371,8 +387,11 @@ class StoreServerTest : public ::testing::Test {
     ASSERT_TRUE(RemoveAll(dir_).ok());
   }
 
-  std::shared_ptr<RemoteStore> Connect() {
-    Result<std::shared_ptr<RemoteStore>> store = RemoteStore::Connect(server_->endpoint());
+  std::shared_ptr<RemoteStore> Connect() { return Connect(RemoteStoreOptions{}); }
+
+  std::shared_ptr<RemoteStore> Connect(const RemoteStoreOptions& options) {
+    Result<std::shared_ptr<RemoteStore>> store =
+        RemoteStore::Connect(server_->endpoint(), options);
     UCP_CHECK(store.ok()) << store.status();
     return *store;
   }
@@ -646,9 +665,14 @@ TEST_F(StoreServerTest, FinishedConnectionThreadsAreReaped) {
 }
 
 // Property 6a: a client that vanishes mid-save leaves no visible tag, the server releases
-// its admission budget, and the next client saves normally.
+// its admission budget, and the next client saves normally. The doomed client runs
+// lease-less (ttl 0): these are the release-on-disconnect semantics every v1/v2 client
+// and every no-lease v3 client gets. A *leased* client's staged state instead survives to
+// lease expiry — that arm lives in chaos_test.cc.
 TEST_F(StoreServerTest, ClientCrashMidSaveLeavesNoVisibleTag) {
-  std::shared_ptr<RemoteStore> doomed = Connect();
+  RemoteStoreOptions no_lease;
+  no_lease.lease_ttl_ms = 0;
+  std::shared_ptr<RemoteStore> doomed = Connect(no_lease);
   ASSERT_TRUE(doomed->ResetTagStaging("global_step3").ok());
   Result<std::unique_ptr<StoreWriter>> writer = doomed->OpenTagForWrite("global_step3");
   ASSERT_TRUE(writer.ok());
@@ -672,6 +696,56 @@ TEST_F(StoreServerTest, ClientCrashMidSaveLeavesNoVisibleTag) {
   EXPECT_TRUE(IsTagComplete(dir_, "global_step3"));
 }
 
+// Errno-mapping regressions: every connection-level errno the injector can raise must
+// surface as a typed kUnavailable (the code the engine treats as skip-and-retry and the
+// reconnect machinery treats as redialable) — never an untyped kIoError. Reconnect is off
+// so the raw transport error reaches the caller instead of being healed.
+class SocketErrnoTest : public StoreServerTest,
+                        public ::testing::WithParamInterface<SocketFault::Kind> {};
+
+TEST_P(SocketErrnoTest, SendSideErrnoIsTypedUnavailable) {
+  RemoteStoreOptions options;
+  options.reconnect = false;
+  std::shared_ptr<RemoteStore> store = Connect(options);
+  ArmSocketFault({SocketFault::Op::kSend, GetParam(), 0});
+  EXPECT_EQ(store->Ping().code(), StatusCode::kUnavailable);
+  ClearSocketFaults();
+}
+
+TEST_P(SocketErrnoTest, RecvSideErrnoIsTypedUnavailable) {
+  RemoteStoreOptions options;
+  options.reconnect = false;
+  std::shared_ptr<RemoteStore> store = Connect(options);
+  ArmSocketFault({SocketFault::Op::kRecv, GetParam(), 0});
+  EXPECT_EQ(store->Ping().code(), StatusCode::kUnavailable);
+  ClearSocketFaults();
+}
+
+INSTANTIATE_TEST_SUITE_P(DropErrnos, SocketErrnoTest,
+                         ::testing::Values(SocketFault::Kind::kEpipe,
+                                           SocketFault::Kind::kEconnreset,
+                                           SocketFault::Kind::kEtimedout),
+                         [](const ::testing::TestParamInfo<SocketFault::Kind>& info) {
+                           switch (info.param) {
+                             case SocketFault::Kind::kEpipe: return std::string("epipe");
+                             case SocketFault::Kind::kEconnreset:
+                               return std::string("econnreset");
+                             default: return std::string("etimedout");
+                           }
+                         });
+
+// The mapping itself, pinned per errno (the injection tests above can observe the drop as
+// a peer EOF instead of the raw errno when the in-process server consumes the fault).
+TEST(WireErrnoTest, ConnectionErrnosMapToUnavailable) {
+  for (int err : {EPIPE, ECONNRESET, ETIMEDOUT, ECONNREFUSED, ECONNABORTED, ENOTCONN}) {
+    EXPECT_EQ(StatusFromSocketErrno("socket recv", err).code(), StatusCode::kUnavailable)
+        << err;
+  }
+  for (int err : {EIO, EBADF, EINVAL}) {
+    EXPECT_EQ(StatusFromSocketErrno("socket send", err).code(), StatusCode::kIoError) << err;
+  }
+}
+
 // Property 6b (the acceptance gate): killing the daemon mid-save never leaves a tag that
 // fsck or ResumeElastic accepts; resume lands on the last committed save.
 TEST_F(StoreServerTest, DaemonKillMidSaveNeverLeavesAcceptedTag) {
@@ -691,8 +765,12 @@ TEST_F(StoreServerTest, DaemonKillMidSaveNeverLeavesAcceptedTag) {
   }
   ASSERT_TRUE(IsTagComplete(dir_, "global_step2"));
 
-  // Stage the next save and kill the daemon (no drain) before it commits.
-  std::shared_ptr<RemoteStore> store = Connect();
+  // Stage the next save and kill the daemon (no drain) before it commits. A short
+  // reconnect deadline keeps the commit's (correct) redial attempts against the
+  // permanently-dead daemon from stalling the test.
+  RemoteStoreOptions short_deadline;
+  short_deadline.reconnect_deadline = std::chrono::milliseconds(200);
+  std::shared_ptr<RemoteStore> store = Connect(short_deadline);
   ASSERT_TRUE(store->ResetTagStaging("global_step3").ok());
   Result<std::unique_ptr<StoreWriter>> writer = store->OpenTagForWrite("global_step3");
   ASSERT_TRUE(writer.ok());

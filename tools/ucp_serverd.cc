@@ -28,7 +28,8 @@ int Usage() {
                "usage:\n"
                "  ucp_serverd --root DIR [--listen unix:/path|tcp:host:port]\n"
                "              [--http tcp:host:port] [--max-staged-bytes N]\n"
-               "              [--max-sessions N] [--no-drain]\n");
+               "              [--max-sessions N] [--lease-ttl-ms N] [--no-journal]\n"
+               "              [--no-drain]\n");
   return 2;
 }
 
@@ -75,6 +76,14 @@ int Main(int argc, char** argv) {
       uint64_t v = 0;
       if (!ParseU64(value(), &v) || v == 0) return Usage();
       options.max_sessions = static_cast<int>(v);
+    } else if (std::strcmp(arg, "--lease-ttl-ms") == 0) {
+      // Max TTL a SESSION_OPEN may bind (longer requests are clamped). 0 disables leases:
+      // every session releases its staged state the moment the connection dies.
+      uint64_t v = 0;
+      if (!ParseU64(value(), &v)) return Usage();
+      options.max_lease_ttl_ms = static_cast<uint32_t>(v);
+    } else if (std::strcmp(arg, "--no-journal") == 0) {
+      options.journal = false;
     } else if (std::strcmp(arg, "--no-drain") == 0) {
       options.drain_on_shutdown = false;
     } else if (std::strcmp(arg, "help") == 0 || std::strcmp(arg, "--help") == 0) {

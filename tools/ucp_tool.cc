@@ -76,6 +76,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
@@ -93,6 +94,7 @@
 #include "src/common/json.h"
 #include "src/store/chunk_index.h"
 #include "src/store/chunk_manifest.h"
+#include "src/store/remote_store.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/soak/driver.h"
@@ -121,6 +123,7 @@ void PrintUsage(std::FILE* out) {
                "  ucp_tool tags [--store ENDPOINT | <ckpt_dir>]\n"
                "  ucp_tool prune <ckpt_dir> <keep_last>\n"
                "  ucp_tool gc [--store ENDPOINT | <ckpt_dir>] <keep_last> [--dry-run]\n"
+               "  ucp_tool ping --store ENDPOINT\n"
                "  ucp_tool metrics [<subcommand> <args...>]\n"
                "  ucp_tool trace-cat <file>\n"
                "  ucp_tool soak-replay <failure.jsonl> [<replay_dir>]\n"
@@ -902,6 +905,45 @@ int CmdSoakReplay(const Flags& flags) {
   return replay->violations.empty() ? 0 : 1;
 }
 
+// `ucp_tool ping --store ENDPOINT` — the first thing to run when saves hang: proves the
+// daemon is reachable, shows the negotiated wire version, the round-trip time, and (v3)
+// the server's session/lease/staged-bytes counters including drain state. Connects
+// lease-less (ttl 0) so the probe leaves no state behind on the server.
+int CmdPing(const Flags& flags) {
+  if (flags.store.empty() || !flags.positional.empty()) {
+    return Usage();
+  }
+  RemoteStoreOptions options;
+  options.lease_ttl_ms = 0;
+  options.reconnect = false;
+  const auto dial_start = std::chrono::steady_clock::now();
+  Result<std::shared_ptr<RemoteStore>> store = RemoteStore::Connect(flags.store, options);
+  if (!store.ok()) {
+    return Fail(store.status());
+  }
+  const auto ping_start = std::chrono::steady_clock::now();
+  Status pinged = (*store)->Ping();
+  const auto ping_end = std::chrono::steady_clock::now();
+  if (!pinged.ok()) {
+    return Fail(pinged);
+  }
+  const double connect_ms =
+      std::chrono::duration<double, std::milli>(ping_start - dial_start).count();
+  const double rtt_ms =
+      std::chrono::duration<double, std::milli>(ping_end - ping_start).count();
+  std::printf("%s: alive  wire v%u  connect %.2f ms  ping %.2f ms\n", flags.store.c_str(),
+              (*store)->negotiated_version(), connect_ms, rtt_ms);
+  Result<RemoteServerStat> stat = (*store)->ServerStat();
+  if (stat.ok()) {
+    std::printf("  sessions %u  named leases %u  staged %llu bytes%s\n", stat->sessions,
+                stat->leases, static_cast<unsigned long long>(stat->staged_bytes),
+                stat->draining ? "  DRAINING (refusing new sessions)" : "");
+  } else if (stat.status().code() != StatusCode::kUnimplemented) {
+    return Fail(stat.status());
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -957,6 +999,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "gc") {
     return CmdGc(flags);
+  }
+  if (command == "ping") {
+    return CmdPing(flags);
   }
   if (command == "metrics") {
     return CmdMetrics(argc, argv);
