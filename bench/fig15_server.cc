@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -26,6 +27,7 @@
 #include "bench/bench_util.h"
 #include "src/common/json.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/store/remote_store.h"
 #include "src/store/server.h"
 
@@ -281,6 +283,104 @@ Json ChaosArmJson(const ChaosResult& r) {
   return Json(std::move(arm));
 }
 
+// Guardrail: wire v4 trace propagation (client RPC spans, the TRACE_CONTEXT header, and
+// the daemon's per-request handling spans) must stay invisible on the remote save path.
+// Same deterministic method as fig11's check — a wall-clock A/B at this scale reads
+// socket and fsync jitter, not the tracer:
+//
+//   1. per-span cost  — tight trivial-span loop, traced minus runtime-disabled, min over
+//                       batches;
+//   2. spans per save — ring-event delta around one traced remote save (counts BOTH
+//                       sides: the daemon is in-process, so its handling spans land in
+//                       the same rings);
+//   3. overhead       = spans_per_save * per_span_cost / untraced remote-save floor.
+//
+// Bound: 2%, matching fig11. Real checkpoints only grow the denominator.
+Json RunRemoteTracerOverheadCheck(const StoreServer* server) {
+  using Clock = std::chrono::steady_clock;
+  constexpr double kRelativeBound = 0.02;
+  constexpr int kSpansPerBatch = 20000;
+  constexpr int kBatches = 5;
+
+  const std::string meta_json = BenchMetaJson();
+  std::vector<uint8_t> payload(kPayloadBytes);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>((i * 193) & 0xff);
+  }
+  Result<std::shared_ptr<RemoteStore>> store = RemoteStore::Connect(server->endpoint());
+  UCP_CHECK(store.ok()) << store.status();
+
+  auto save_seconds = [&](int op) {
+    const std::string tag = "overhead.global_step" + std::to_string(op);
+    const auto t0 = Clock::now();
+    UCP_CHECK((*store)->ResetTagStaging(tag).ok());
+    Result<std::unique_ptr<StoreWriter>> writer = (*store)->OpenTagForWrite(tag);
+    UCP_CHECK(writer.ok()) << writer.status();
+    UCP_CHECK((*writer)->WriteFile("shard", payload).ok());
+    UCP_CHECK((*store)->CommitTag(tag, meta_json).ok());
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  auto events_recorded = [] {
+    uint64_t total = 0;
+    for (const obs::ThreadTrace& t : obs::CollectThreadTraces()) {
+      total += t.dropped + t.events.size();
+    }
+    return total;
+  };
+  auto span_batch_seconds = [] {
+    double best = std::numeric_limits<double>::infinity();
+    for (int b = 0; b < kBatches; ++b) {
+      const auto t0 = Clock::now();
+      for (int i = 0; i < kSpansPerBatch; ++i) {
+        UCP_TRACE_SPAN("fig15.overhead_probe");
+      }
+      best = std::min(best, std::chrono::duration<double>(Clock::now() - t0).count());
+    }
+    return best;
+  };
+
+  const bool was_enabled = obs::TraceEnabled();
+  obs::SetTraceEnabled(true);
+  const double traced_batch = span_batch_seconds();
+  obs::SetTraceEnabled(false);
+  const double disabled_batch = span_batch_seconds();
+  save_seconds(1);  // warm the daemon-side page cache and the session
+  double untraced_save = std::numeric_limits<double>::infinity();
+  for (int op = 2; op <= 4; ++op) {
+    untraced_save = std::min(untraced_save, save_seconds(op));
+  }
+
+  obs::SetTraceEnabled(true);
+  const uint64_t before = events_recorded();
+  const double traced_save = save_seconds(5);
+  const uint64_t spans_per_save = events_recorded() - before;
+  obs::SetTraceEnabled(was_enabled);
+
+  const double per_span =
+      std::max(0.0, (traced_batch - disabled_batch) / kSpansPerBatch);
+  const double tracer_seconds = static_cast<double>(spans_per_save) * per_span;
+  const double overhead = untraced_save > 0.0 ? tracer_seconds / untraced_save : 0.0;
+  const bool within = overhead < kRelativeBound;
+  std::printf(
+      "fig15/tracer_overhead/remote span=%.0fns spans/save=%llu tracer=%.3fms "
+      "save=%.3fms overhead=%.3f%% %s\n",
+      per_span * 1e9, static_cast<unsigned long long>(spans_per_save),
+      tracer_seconds * 1e3, untraced_save * 1e3, overhead * 100.0,
+      within ? "OK" : "FAIL");
+
+  JsonObject doc;
+  doc["backend"] = std::string("remote");
+  doc["per_span_seconds"] = per_span;
+  doc["spans_per_save"] = spans_per_save;
+  doc["tracer_seconds_per_save"] = tracer_seconds;
+  doc["untraced_save_seconds"] = untraced_save;
+  doc["traced_save_seconds"] = traced_save;
+  doc["overhead_fraction"] = overhead;
+  doc["bound_fraction"] = kRelativeBound;
+  doc["within_bound"] = within;
+  return Json(std::move(doc));
+}
+
 Json ArmJson(const std::string& workload, const std::string& backend, int clients,
              const ArmResult& r) {
   std::printf("fig15/%s/%s/%d: %.3fs, %.1f MiB/s, p50 %.2f ms, p99 %.2f ms (%lld ops)\n",
@@ -308,6 +408,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
 
   ucp::JsonArray arms;
+  ucp::Json tracer_overhead;
   for (const char* backend : {"local", "remote"}) {
     const std::string dir =
         ucp::bench::FreshDir(std::string("fig15_server_") + backend);
@@ -331,6 +432,7 @@ int main(int argc, char** argv) {
     }
     if (server != nullptr) {
       arms.emplace_back(ucp::ChaosArmJson(ucp::RunChaosSaveArm(server.get())));
+      tracer_overhead = ucp::RunRemoteTracerOverheadCheck(server.get());
       server->Shutdown();
     }
   }
@@ -338,6 +440,7 @@ int main(int argc, char** argv) {
   ucp::JsonObject doc;
   doc["benchmark"] = "fig15_server";
   doc["arms"] = std::move(arms);
+  doc["tracer_overhead"] = std::move(tracer_overhead);
   ucp::bench::WriteBenchReport("BENCH_server.json", std::move(doc));
   ucp::bench::WriteTraceIfRequested(trace_file);
   return 0;

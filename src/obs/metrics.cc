@@ -72,6 +72,14 @@ double Histogram::ApproxQuantile(double q) const {
   return MaxValue();
 }
 
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(kBuckets, 0);
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
 void Histogram::Reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_micros_.store(0, std::memory_order_relaxed);
@@ -141,6 +149,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     v.max = histogram->MaxValue();
     v.p50 = histogram->ApproxQuantile(0.5);
     v.p99 = histogram->ApproxQuantile(0.99);
+    v.buckets = histogram->BucketCounts();
     snapshot.push_back(std::move(v));
   }
   std::sort(snapshot.begin(), snapshot.end(),
@@ -187,6 +196,65 @@ std::string DumpMetricsText() {
         break;
     }
     out += line;
+  }
+  return out;
+}
+
+std::string DumpMetricsPrometheus() {
+  const MetricsSnapshot snapshot = SnapshotMetrics();
+  std::string out;
+  char line[320];
+  const auto mangle = [](const std::string& name) {
+    std::string mangled = name;
+    for (char& c : mangled) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      if (!ok) {
+        c = '_';
+      }
+    }
+    return mangled;
+  };
+  for (const MetricValue& v : snapshot) {
+    const std::string name = mangle(v.name);
+    switch (v.kind) {
+      case MetricValue::Kind::kCounter:
+        std::snprintf(line, sizeof(line), "# TYPE %s counter\n%s %llu\n", name.c_str(),
+                      name.c_str(), static_cast<unsigned long long>(v.counter));
+        out += line;
+        break;
+      case MetricValue::Kind::kGauge:
+        std::snprintf(line, sizeof(line), "# TYPE %s gauge\n%s %lld\n", name.c_str(),
+                      name.c_str(), static_cast<long long>(v.gauge));
+        out += line;
+        break;
+      case MetricValue::Kind::kHistogram: {
+        std::snprintf(line, sizeof(line), "# TYPE %s histogram\n", name.c_str());
+        out += line;
+        // Cumulative buckets up to the last non-empty one; upper bounds are the
+        // power-of-two micro-unit edges converted back to base units.
+        int last = -1;
+        for (int i = 0; i < static_cast<int>(v.buckets.size()); ++i) {
+          if (v.buckets[i] != 0) {
+            last = i;
+          }
+        }
+        uint64_t cumulative = 0;
+        for (int i = 0; i <= last; ++i) {
+          cumulative += v.buckets[i];
+          const double le = std::ldexp(1.0, i + 1) * kMicro;
+          std::snprintf(line, sizeof(line), "%s_bucket{le=\"%.9g\"} %llu\n", name.c_str(),
+                        le, static_cast<unsigned long long>(cumulative));
+          out += line;
+        }
+        std::snprintf(line, sizeof(line),
+                      "%s_bucket{le=\"+Inf\"} %llu\n%s_sum %.6f\n%s_count %llu\n",
+                      name.c_str(), static_cast<unsigned long long>(v.count), name.c_str(),
+                      v.sum, name.c_str(), static_cast<unsigned long long>(v.count));
+        out += line;
+        break;
+      }
+    }
   }
   return out;
 }

@@ -78,6 +78,9 @@ class Histogram {
   double Mean() const { uint64_t n = Count(); return n == 0 ? 0.0 : Sum() / static_cast<double>(n); }
   // Approximate quantile (q in [0,1]) from the bucket histogram; exact enough for dumps.
   double ApproxQuantile(double q) const;
+  // Per-bucket counts (kBuckets entries; bucket i covers [2^i, 2^(i+1)) micro-units, bucket
+  // 0 also holds sub-micro samples). Feeds the Prometheus cumulative-bucket exposition.
+  std::vector<uint64_t> BucketCounts() const;
   void Reset();
 
  private:
@@ -101,6 +104,7 @@ struct MetricValue {
   double max = 0.0;            // kHistogram
   double p50 = 0.0;            // kHistogram
   double p99 = 0.0;            // kHistogram
+  std::vector<uint64_t> buckets;  // kHistogram: per-bucket counts (Histogram::BucketCounts)
 };
 
 using MetricsSnapshot = std::vector<MetricValue>;  // sorted by name
@@ -134,6 +138,12 @@ MetricsSnapshot SnapshotMetrics();
 void ResetMetrics();
 // Human-readable table, one metric per line — what `ucp_tool metrics` prints.
 std::string DumpMetricsText();
+// Prometheus text exposition (version 0.0.4) of the same registry: counters and gauges as
+// single samples, histograms as cumulative `_bucket{le=...}` series (upper bounds are the
+// power-of-two bucket edges expressed in base units) plus `_sum` / `_count`. Metric names
+// are mangled to the Prometheus charset: every character outside [a-zA-Z0-9_:] becomes '_'
+// (`store.server.rpc.write_begin.seconds` -> `store_server_rpc_write_begin_seconds`).
+std::string DumpMetricsPrometheus();
 
 }  // namespace obs
 }  // namespace ucp

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <random>
 
 namespace ucp {
 namespace obs {
@@ -41,6 +42,7 @@ struct Ring {
   uint64_t next_seq = 0;
   int tid = 0;
   int rank = -1;       // last rank this thread recorded under
+  std::string track;   // process track name (SetThreadTrackName)
   bool orphaned = false;  // recording thread has exited
 };
 
@@ -59,6 +61,7 @@ struct ThreadState {
   std::shared_ptr<Ring> ring;
   int rank = -1;
   int depth = 0;
+  TraceContext ctx;  // distributed trace context (installed by ScopedTraceContext)
 
   ThreadState() {
     ring = std::make_shared<Ring>();
@@ -203,6 +206,64 @@ void SetThreadRank(int rank) { LocalState().rank = rank; }
 
 int CurrentThreadRank() { return LocalState().rank; }
 
+void SetThreadTrackName(const std::string& name) {
+  ThreadState& state = LocalState();
+  std::lock_guard<std::mutex> lock(state.ring->mu);
+  state.ring->track = name;
+}
+
+uint64_t NewTraceId() {
+  // splitmix64 over a per-thread counter seeded once from the OS entropy pool: cheap,
+  // lock-free, and ids never collide within a thread while staying unguessable enough
+  // for correlation across processes.
+  thread_local uint64_t state = [] {
+    std::random_device rd;
+    return (static_cast<uint64_t>(rd()) << 32) ^ rd() ^ 0x9e3779b97f4a7c15ull;
+  }();
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z == 0 ? 1 : z;
+}
+
+std::string TraceIdHex(uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, id);
+  return buf;
+}
+
+TraceContext CurrentTraceContext() { return LocalState().ctx; }
+
+ScopedTraceContext::ScopedTraceContext() {
+  if (!TraceEnabled()) {
+    return;
+  }
+  ThreadState& state = LocalState();
+  prev_ = state.ctx;
+  if (!state.ctx.valid()) {
+    state.ctx = TraceContext{NewTraceId(), 0};
+  }
+  installed_ = true;
+}
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx) {
+  if (!TraceEnabled() || !ctx.valid()) {
+    return;
+  }
+  ThreadState& state = LocalState();
+  prev_ = state.ctx;
+  state.ctx = ctx;
+  installed_ = true;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  if (installed_) {
+    LocalState().ctx = prev_;
+  }
+}
+
 void SetTraceEnabled(bool enabled) {
   g_trace_enabled.store(enabled, std::memory_order_relaxed);
 }
@@ -257,6 +318,7 @@ std::vector<ThreadTrace> CollectThreadTraces(size_t max_events_per_thread) {
     std::lock_guard<std::mutex> lock(ring->mu);
     t.tid = ring->tid;
     t.rank = ring->rank;
+    t.track = ring->track;
     t.dropped = ring->dropped;
     if (ring->size == 0) {
       continue;  // never-used or reset ring: skip empty tracks
@@ -289,9 +351,10 @@ std::string ExportChromeTraceJson(size_t max_events_per_thread) {
     out += ev;
   };
 
-  // Metadata: one "process" per rank plus pid 0 for untagged runtime threads.
+  // Metadata: one "process" per rank, one per named track (pids from 1000 in order of
+  // first appearance), plus pid 0 for untagged runtime threads.
   std::vector<int> pids_named;
-  auto name_pid = [&](int pid, int rank) {
+  auto name_pid = [&](int pid, const std::string& name) {
     if (std::find(pids_named.begin(), pids_named.end(), pid) != pids_named.end()) {
       return;
     }
@@ -299,14 +362,31 @@ std::string ExportChromeTraceJson(size_t max_events_per_thread) {
     std::string ev = "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
     ev += std::to_string(pid);
     ev += ",\"tid\":0,\"args\":{\"name\":\"";
-    ev += rank >= 0 ? "rank " + std::to_string(rank) : std::string("runtime");
+    AppendEscaped(ev, name);
     ev += "\"}}";
     emit(ev);
   };
+  std::vector<std::string> tracks_seen;
+  auto track_pid = [&tracks_seen](const std::string& track) {
+    auto it = std::find(tracks_seen.begin(), tracks_seen.end(), track);
+    if (it == tracks_seen.end()) {
+      tracks_seen.push_back(track);
+      return 1000 + static_cast<int>(tracks_seen.size()) - 1;
+    }
+    return 1000 + static_cast<int>(it - tracks_seen.begin());
+  };
 
   for (const ThreadTrace& t : threads) {
-    const int pid = t.rank >= 0 ? t.rank + 1 : 0;
-    name_pid(pid, t.rank);
+    int pid = 0;
+    std::string pname = "runtime";
+    if (t.rank >= 0) {
+      pid = t.rank + 1;
+      pname = "rank " + std::to_string(t.rank);
+    } else if (!t.track.empty()) {
+      pid = track_pid(t.track);
+      pname = t.track;
+    }
+    name_pid(pid, pname);
     {
       std::string ev = "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":";
       ev += std::to_string(pid);
@@ -318,10 +398,14 @@ std::string ExportChromeTraceJson(size_t max_events_per_thread) {
       emit(ev);
     }
     for (const TraceEvent& e : t.events) {
-      // Events carry the rank they were recorded under (a pool thread may serve several).
-      const int ev_pid = e.rank >= 0 ? e.rank + 1 : 0;
+      // Events carry the rank they were recorded under (a pool thread may serve several);
+      // rank-less events on a tracked thread stay on the thread's track pid.
+      const int ev_pid =
+          e.rank >= 0 ? e.rank + 1 : (t.track.empty() ? 0 : track_pid(t.track));
       if (ev_pid != pid) {
-        name_pid(ev_pid, e.rank);
+        name_pid(ev_pid, e.rank >= 0 ? "rank " + std::to_string(e.rank)
+                                     : (t.track.empty() ? std::string("runtime")
+                                                        : t.track));
       }
       std::string ev = "{\"name\":\"";
       AppendEscaped(ev, e.name);
@@ -372,12 +456,39 @@ TraceArgs& TraceArgs::S(const char* key, const std::string& value) {
   return *this;
 }
 
+namespace {
+
+struct ScopedSpanIds {
+  uint64_t trace_id = 0;
+  uint64_t own_span_id = 0;
+  uint64_t parent_span_id = 0;
+};
+
+// Shared open-span bookkeeping: bump depth, and — under a distributed trace context —
+// allocate this span's id and make it the parent for spans opened while it lives.
+void OpenSpan(ScopedSpanIds* ids) {
+  ThreadState& state = LocalState();
+  state.depth++;
+  if (state.ctx.valid()) {
+    ids->trace_id = state.ctx.trace_id;
+    ids->parent_span_id = state.ctx.span_id;
+    ids->own_span_id = NewTraceId();
+    state.ctx.span_id = ids->own_span_id;
+  }
+}
+
+}  // namespace
+
 ScopedSpan::ScopedSpan(const char* name) : name_(name) {
   if (!TraceEnabled()) {
     return;
   }
   active_ = true;
-  LocalState().depth++;
+  ScopedSpanIds ids;
+  OpenSpan(&ids);
+  trace_id_ = ids.trace_id;
+  own_span_id_ = ids.own_span_id;
+  parent_span_id_ = ids.parent_span_id;
   start_ns_ = TraceNowNs();
 }
 
@@ -387,7 +498,11 @@ ScopedSpan::ScopedSpan(const char* name, std::string args_json)
     return;
   }
   active_ = true;
-  LocalState().depth++;
+  ScopedSpanIds ids;
+  OpenSpan(&ids);
+  trace_id_ = ids.trace_id;
+  own_span_id_ = ids.own_span_id;
+  parent_span_id_ = ids.parent_span_id;
   start_ns_ = TraceNowNs();
 }
 
@@ -398,9 +513,20 @@ ScopedSpan::~ScopedSpan() {
   const uint64_t end_ns = TraceNowNs();
   ThreadState& state = LocalState();
   state.depth--;
+  if (own_span_id_ != 0 && state.ctx.trace_id == trace_id_ &&
+      state.ctx.span_id == own_span_id_) {
+    state.ctx.span_id = parent_span_id_;  // reparent siblings opened after us
+  }
   TraceEvent ev;
   ev.name = name_;
   ev.args_json = std::move(args_);
+  if (own_span_id_ != 0) {
+    AppendKV(ev.args_json, "trace_id", "\"" + TraceIdHex(trace_id_) + "\"");
+    AppendKV(ev.args_json, "span_id", "\"" + TraceIdHex(own_span_id_) + "\"");
+    if (parent_span_id_ != 0) {
+      AppendKV(ev.args_json, "parent_span_id", "\"" + TraceIdHex(parent_span_id_) + "\"");
+    }
+  }
   ev.start_ns = start_ns_;
   ev.dur_ns = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
   ev.depth = state.depth;
@@ -445,6 +571,13 @@ void TraceInstant(const char* name, std::string args_json) {
   TraceEvent ev;
   ev.name = name;
   ev.args_json = std::move(args_json);
+  if (state.ctx.valid()) {
+    AppendKV(ev.args_json, "trace_id", "\"" + TraceIdHex(state.ctx.trace_id) + "\"");
+    if (state.ctx.span_id != 0) {
+      AppendKV(ev.args_json, "parent_span_id",
+               "\"" + TraceIdHex(state.ctx.span_id) + "\"");
+    }
+  }
   ev.start_ns = TraceNowNs();
   ev.depth = state.depth;
   ev.instant = true;

@@ -45,6 +45,59 @@ namespace obs {
 void SetThreadRank(int rank);
 int CurrentThreadRank();
 
+// SetThreadRank's analogue for processes that are not simulated ranks: tags the calling
+// thread as belonging to the named process track (e.g. "ucp_serverd"), so its events
+// export under their own pid/process_name instead of the shared "runtime" pid 0. The
+// daemon's session threads use this so a merged client+server trace renders the daemon as
+// a distinct process. Empty reverts to the default track. Rank, when set, wins.
+void SetThreadTrackName(const std::string& name);
+
+// ---- Distributed trace context ---------------------------------------------------------
+//
+// A (trace_id, span_id) pair identifying one logical operation and the innermost open
+// span within it. RemoteStore installs a context per logical operation (one save keeps
+// one trace_id across reconnects and resumed writes), ships it to the daemon as a wire v4
+// header, and the daemon adopts it around its per-RPC handling span — so spans recorded
+// in two processes share a trace_id and parent/child span ids, and trace_merge can stitch
+// their exports into one Chrome trace with flow events.
+//
+// While a thread holds a valid context, every span it records is assigned its own span_id,
+// parented under the context's span_id, and annotated with hex "trace_id" / "span_id" /
+// "parent_span_id" args in the export.
+
+struct TraceContext {
+  uint64_t trace_id = 0;  // 0 = no context
+  uint64_t span_id = 0;   // innermost open span (parent for new spans); 0 = root
+  bool valid() const { return trace_id != 0; }
+};
+
+// Fresh non-zero 64-bit id (thread-local PRNG seeded from std::random_device).
+uint64_t NewTraceId();
+
+// 16-digit lowercase hex — the on-trace serialization of trace/span ids.
+std::string TraceIdHex(uint64_t id);
+
+// The calling thread's current context ({0,0} when none is installed).
+TraceContext CurrentTraceContext();
+
+// RAII installer for the thread context; the previous context is restored on destruction.
+// The default constructor *joins or roots*: it keeps an already-installed context (nested
+// logical ops stay in the outer trace) and otherwise installs a fresh root trace_id. The
+// adopting constructor installs `ctx` verbatim (wire-propagated contexts). Both are no-ops
+// when tracing is runtime-disabled, so headers are only emitted for traces that exist.
+class ScopedTraceContext {
+ public:
+  ScopedTraceContext();
+  explicit ScopedTraceContext(TraceContext ctx);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext prev_;
+  bool installed_ = false;
+};
+
 // ---- Runtime control -------------------------------------------------------------------
 
 void SetTraceEnabled(bool enabled);
@@ -85,6 +138,7 @@ struct TraceEvent {
 struct ThreadTrace {
   int tid = 0;            // small sequential id assigned at first event
   int rank = -1;          // rank the thread last recorded under
+  std::string track;      // process track name (SetThreadTrackName); empty = default
   uint64_t dropped = 0;   // events overwritten by ring wraparound
   std::vector<TraceEvent> events;  // oldest first
 };
@@ -131,12 +185,18 @@ class ScopedSpan {
   void ArgS(const char* key, const std::string& value);
   // Seconds since construction — lets callers reuse the span's clock for their own stats.
   double ElapsedSeconds() const;
+  // The span's own id within the thread's trace context; 0 when the span opened with no
+  // context installed (or inert). Children opened while this span lives parent under it.
+  uint64_t span_id() const { return own_span_id_; }
 
  private:
   const char* name_;
   uint64_t start_ns_ = 0;
   std::string args_;
   bool active_ = false;
+  uint64_t trace_id_ = 0;
+  uint64_t own_span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
 };
 
 // Records a zero-duration event (markers: rank failure detected, commit landed, ...).

@@ -1,0 +1,224 @@
+#include "src/obs/trace_merge.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "src/common/json.h"
+
+namespace ucp {
+namespace obs {
+
+namespace {
+
+// A client "X" span that can serve as the parent of server handling spans, keyed by its
+// hex span_id arg.
+struct ClientSpan {
+  std::string trace_id;
+  double ts = 0.0;   // microseconds, client epoch
+  double dur = 0.0;
+  Json pid;          // kept as parsed (int) so flow events land on the right track
+  Json tid;
+};
+
+Result<const JsonArray*> EventsOf(const Json& doc, const char* which) {
+  if (!doc.is_object()) {
+    return InvalidArgumentError(std::string(which) + " trace is not a JSON object");
+  }
+  Result<const JsonArray*> events = doc.GetArray("traceEvents");
+  if (!events.ok()) {
+    return InvalidArgumentError(std::string(which) +
+                                " trace has no traceEvents array");
+  }
+  return events;
+}
+
+std::string StringField(const Json& obj, const char* key) {
+  Result<std::string> v = obj.GetString(key);
+  return v.ok() ? *v : std::string();
+}
+
+double NumField(const Json& obj, const char* key, double fallback = 0.0) {
+  Result<double> v = obj.GetDouble(key);
+  return v.ok() ? *v : fallback;
+}
+
+// The span-id args live on the event's "args" object; absent on unannotated events.
+std::string ArgString(const Json& ev, const char* key) {
+  Result<const JsonObject*> args = ev.GetObject("args");
+  if (!args.ok()) {
+    return std::string();
+  }
+  auto it = (*args)->find(key);
+  if (it == (*args)->end() || !it->second.is_string()) {
+    return std::string();
+  }
+  return it->second.AsString();
+}
+
+}  // namespace
+
+Result<std::string> MergeChromeTraces(const std::string& client_json,
+                                      const std::string& server_json,
+                                      TraceMergeStats* stats) {
+  UCP_ASSIGN_OR_RETURN(Json client_doc, Json::Parse(client_json));
+  UCP_ASSIGN_OR_RETURN(Json server_doc, Json::Parse(server_json));
+  UCP_ASSIGN_OR_RETURN(const JsonArray* client_events, EventsOf(client_doc, "client"));
+  UCP_ASSIGN_OR_RETURN(const JsonArray* server_events, EventsOf(server_doc, "server"));
+
+  // Offset every server pid past the client's range so the two processes cannot collide
+  // on a track.
+  int64_t client_max_pid = 0;
+  for (const Json& ev : *client_events) {
+    if (ev.is_object()) {
+      client_max_pid =
+          std::max(client_max_pid, static_cast<int64_t>(NumField(ev, "pid")));
+    }
+  }
+  const int64_t pid_offset = client_max_pid + 1;
+
+  // Index the client's annotated complete spans by span_id.
+  std::map<std::string, ClientSpan> client_spans;
+  for (const Json& ev : *client_events) {
+    if (!ev.is_object() || StringField(ev, "ph") != "X") {
+      continue;
+    }
+    const std::string span_id = ArgString(ev, "span_id");
+    if (span_id.empty()) {
+      continue;
+    }
+    ClientSpan span;
+    span.trace_id = ArgString(ev, "trace_id");
+    span.ts = NumField(ev, "ts");
+    span.dur = NumField(ev, "dur");
+    const JsonObject& obj = ev.AsObject();
+    if (auto it = obj.find("pid"); it != obj.end()) {
+      span.pid = it->second;
+    }
+    if (auto it = obj.find("tid"); it != obj.end()) {
+      span.tid = it->second;
+    }
+    client_spans.emplace(span_id, std::move(span));
+  }
+
+  // Clock alignment: the first server span matched to a client parent decides the shift.
+  // A match already inside its parent's interval means both halves share an epoch (the
+  // single-process split used in tests) and nothing moves.
+  double ts_shift = 0.0;
+  bool shift_decided = false;
+  for (const Json& ev : *server_events) {
+    if (!ev.is_object() || StringField(ev, "ph") != "X") {
+      continue;
+    }
+    const std::string parent = ArgString(ev, "parent_span_id");
+    auto it = client_spans.find(parent);
+    if (it == client_spans.end() ||
+        it->second.trace_id != ArgString(ev, "trace_id")) {
+      continue;
+    }
+    const double server_ts = NumField(ev, "ts");
+    const ClientSpan& c = it->second;
+    if (server_ts < c.ts || server_ts > c.ts + c.dur) {
+      ts_shift = c.ts - server_ts;
+    }
+    shift_decided = true;
+    break;
+  }
+  (void)shift_decided;
+
+  TraceMergeStats out_stats;
+  out_stats.client_events = client_events->size();
+  out_stats.server_events = server_events->size();
+
+  JsonArray merged;
+  merged.reserve(client_events->size() + server_events->size());
+  for (const Json& ev : *client_events) {
+    Json copy = ev;
+    if (copy.is_object() && StringField(copy, "ph") == "M" &&
+        StringField(copy, "name") == "process_name") {
+      Result<const JsonObject*> args = copy.GetObject("args");
+      if (args.ok() && (*args)->count("name") != 0 && (*args)->at("name").is_string()) {
+        copy["args"]["name"] = "client: " + (*args)->at("name").AsString();
+      }
+    }
+    merged.push_back(std::move(copy));
+  }
+
+  JsonArray flows;
+  int64_t next_flow_id = 1;
+  for (const Json& ev : *server_events) {
+    Json copy = ev;
+    if (copy.is_object()) {
+      JsonObject& obj = copy.AsObject();
+      if (auto it = obj.find("pid"); it != obj.end() && it->second.is_number()) {
+        obj["pid"] = static_cast<int64_t>(it->second.AsDouble()) + pid_offset;
+      }
+      if (auto it = obj.find("ts"); it != obj.end() && it->second.is_number()) {
+        obj["ts"] = it->second.AsDouble() + ts_shift;
+      }
+      if (StringField(copy, "ph") == "M" && StringField(copy, "name") == "process_name") {
+        Result<const JsonObject*> args = copy.GetObject("args");
+        if (args.ok() && (*args)->count("name") != 0 &&
+            (*args)->at("name").is_string()) {
+          copy["args"]["name"] = "server: " + (*args)->at("name").AsString();
+        }
+      }
+      // Flow triple for every server handling span whose args name a client parent:
+      // request (client span start) -> handling (server span start) -> reply (client
+      // span end).
+      if (StringField(copy, "ph") == "X") {
+        const std::string parent = ArgString(copy, "parent_span_id");
+        auto cit = client_spans.find(parent);
+        if (cit != client_spans.end() &&
+            cit->second.trace_id == ArgString(copy, "trace_id")) {
+          const ClientSpan& c = cit->second;
+          const int64_t flow_id = next_flow_id++;
+          JsonObject start;
+          start["ph"] = "s";
+          start["id"] = flow_id;
+          start["name"] = "rpc";
+          start["cat"] = "rpc";
+          start["pid"] = c.pid;
+          start["tid"] = c.tid;
+          start["ts"] = c.ts;
+          JsonObject step;
+          step["ph"] = "t";
+          step["id"] = flow_id;
+          step["name"] = "rpc";
+          step["cat"] = "rpc";
+          step["pid"] = copy.AsObject().at("pid");
+          step["tid"] = copy.AsObject().count("tid") != 0 ? copy.AsObject().at("tid")
+                                                          : Json(0);
+          step["ts"] = copy.AsObject().at("ts");
+          JsonObject finish;
+          finish["ph"] = "f";
+          finish["bp"] = "e";
+          finish["id"] = flow_id;
+          finish["name"] = "rpc";
+          finish["cat"] = "rpc";
+          finish["pid"] = c.pid;
+          finish["tid"] = c.tid;
+          finish["ts"] = c.ts + c.dur;
+          flows.push_back(Json(std::move(start)));
+          flows.push_back(Json(std::move(step)));
+          flows.push_back(Json(std::move(finish)));
+          ++out_stats.flow_links;
+        }
+      }
+    }
+    merged.push_back(std::move(copy));
+  }
+  for (Json& f : flows) {
+    merged.push_back(std::move(f));
+  }
+
+  if (stats != nullptr) {
+    *stats = out_stats;
+  }
+  JsonObject root;
+  root["traceEvents"] = std::move(merged);
+  return Json(std::move(root)).Dump();
+}
+
+}  // namespace obs
+}  // namespace ucp

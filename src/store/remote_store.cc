@@ -13,6 +13,7 @@
 #include "src/common/fs.h"
 #include "src/common/lz.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/store/tags.h"
 
 namespace ucp {
@@ -375,27 +376,58 @@ void RemoteStore::CloseFdLocked() {
 Result<WireFrame> RemoteStore::ExchangeLocked(WireOp op,
                                               const std::vector<uint8_t>& payload,
                                               WireOp ok_op) {
-  if (fd_ < 0) {
-    return UnavailableError("connection to " + endpoint_ + " is closed");
+  // The client RPC span. While it lives it is the thread context's innermost span, so
+  // the v4 header below carries *its* id as parent — the server's handling span becomes
+  // its child in the merged trace.
+  UCP_TRACE_NAMED_SPAN(span, "store.client.rpc");
+#if UCP_OBS_ENABLED
+  if (obs::TraceEnabled()) {
+    span.ArgS("op", WireOpName(op));
   }
-  Status sent = SendFrame(fd_, op, payload);
-  if (!sent.ok()) {
-    CloseFdLocked();
-    return sent;
-  }
-  Result<WireFrame> reply = RecvFrame(fd_, max_frame_);
-  if (!reply.ok()) {
-    CloseFdLocked();
-    return reply.status();
-  }
-  if (reply->op == WireOp::kError) {
-    return DecodeError(*reply);
-  }
-  if (reply->op != ok_op) {
-    return DataLossError("unexpected response frame type " +
-                         std::to_string(static_cast<int>(reply->op)) + " from " +
-                         endpoint_);
-  }
+#endif
+  const uint64_t start_ns = obs::TraceNowNs();
+  Result<WireFrame> reply = [&]() -> Result<WireFrame> {
+    if (fd_ < 0) {
+      return UnavailableError("connection to " + endpoint_ + " is closed");
+    }
+    // v4: ship the thread's trace context ahead of the request. Sent only when a logical
+    // operation installed a context (a headerless request is simply unattributed).
+    const obs::TraceContext ctx = obs::CurrentTraceContext();
+    if (version_ >= 4 && ctx.valid()) {
+      ByteWriter hdr;
+      hdr.PutU64(ctx.trace_id);
+      hdr.PutU64(ctx.span_id);
+      Status hdr_sent = SendFrame(fd_, WireOp::kTraceContext, hdr.buffer());
+      if (!hdr_sent.ok()) {
+        CloseFdLocked();
+        return hdr_sent;
+      }
+    }
+    Status sent = SendFrame(fd_, op, payload);
+    if (!sent.ok()) {
+      CloseFdLocked();
+      return sent;
+    }
+    Result<WireFrame> got = RecvFrame(fd_, max_frame_);
+    if (!got.ok()) {
+      CloseFdLocked();
+      return got.status();
+    }
+    if (got->op == WireOp::kError) {
+      return DecodeError(*got);
+    }
+    if (got->op != ok_op) {
+      return DataLossError("unexpected response frame type " +
+                           std::to_string(static_cast<int>(got->op)) + " from " +
+                           endpoint_);
+    }
+    return got;
+  }();
+  // store.client.rpc.<op>.seconds — the client-side latency twin of the server's per-op
+  // histograms (includes the send, the server's handling, and the reply).
+  obs::MetricsRegistry::Global()
+      .GetHistogram(std::string("store.client.rpc.") + WireOpName(op) + ".seconds")
+      .Observe(static_cast<double>(obs::TraceNowNs() - start_ns) * 1e-9);
   return reply;
 }
 
@@ -451,6 +483,9 @@ Result<WireFrame> RemoteStore::RoundtripWithRetry(WireOp op,
 }
 
 Status RemoteStore::ReconnectLocked() {
+  // Joins whatever context the interrupted logical operation installed, so reconnect
+  // spans carry the original save's trace_id instead of starting a fresh trace.
+  UCP_TRACE_NAMED_SPAN(reconnect_span, "store.client.reconnect");
   static obs::Counter& reconnects =
       obs::MetricsRegistry::Global().GetCounter("store.client.reconnects");
   static obs::Counter& failures =
@@ -586,6 +621,18 @@ Status RemoteStore::WriteFileLocked(const std::string& tag, const std::string& r
       obs::MetricsRegistry::Global().GetCounter("store.client.resumed_bytes");
   static obs::Counter& restarted_bytes =
       obs::MetricsRegistry::Global().GetCounter("store.client.restarted_bytes");
+  // One streamed file = one trace. The context installed here outlives every reconnect
+  // and resume round below, so a resumed WRITE exports as one logical operation (every
+  // RPC span — pre-drop, reconnect, post-resume — shares this trace_id), not two roots.
+  obs::ScopedTraceContext trace_root;
+  UCP_TRACE_NAMED_SPAN(file_span, "store.client.write_file");
+#if UCP_OBS_ENABLED
+  if (obs::TraceEnabled()) {
+    file_span.ArgS("tag", tag);
+    file_span.ArgS("rel", rel);
+    file_span.ArgI("bytes", static_cast<int64_t>(size));
+  }
+#endif
   uint64_t resume = 0;
   uint64_t sent_high = 0;
   for (int reconnect_round = 0;; ++reconnect_round) {
@@ -619,6 +666,11 @@ Status RemoteStore::WriteFileLocked(const std::string& tag, const std::string& r
     }
     resumed_bytes.Add(acked);
     restarted_bytes.Add(sent_high > acked ? sent_high - acked : 0);
+    UCP_TRACE_INSTANT("store.client.write_resume",
+                      obs::TraceArgs()
+                          .S("rel", rel)
+                          .I("acked_bytes", static_cast<int64_t>(acked))
+                          .I("round", reconnect_round + 1));
     resume = acked;
   }
 }
@@ -742,6 +794,15 @@ Status RemoteStore::CommitTag(const std::string& tag, const std::string& meta_js
   req.PutString(tag);
   req.PutString(meta_json);
   std::lock_guard<std::mutex> lock(mu_);
+  // The commit (and its possible reconnect + already-landed probe + retry) is one
+  // logical operation — one trace.
+  obs::ScopedTraceContext trace_root;
+  UCP_TRACE_NAMED_SPAN(commit_span, "store.client.commit_tag");
+#if UCP_OBS_ENABLED
+  if (obs::TraceEnabled()) {
+    commit_span.ArgS("tag", tag);
+  }
+#endif
   Result<WireFrame> reply = ExchangeLocked(WireOp::kCommitTag, req.buffer(), WireOp::kOk);
   if (reply.ok()) {
     return OkStatus();
@@ -809,6 +870,19 @@ Result<int> RemoteStore::SweepStagingDebris(const std::string& job) {
 
 Status RemoteStore::Ping() {
   return Roundtrip(WireOp::kPing, {}, WireOp::kOk).status();
+}
+
+Result<std::string> RemoteStore::MetricsDump(bool prometheus) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (version_ < 4) {
+    return UnimplementedError("METRICS_DUMP requires protocol v4 (negotiated v" +
+                              std::to_string(version_) + ")");
+  }
+  ByteWriter req;
+  req.PutU8(prometheus ? 1 : 0);
+  UCP_ASSIGN_OR_RETURN(
+      WireFrame reply, RoundtripLocked(WireOp::kMetricsDump, req.buffer(), WireOp::kBytes));
+  return std::string(reply.payload.begin(), reply.payload.end());
 }
 
 Result<RemoteServerStat> RemoteStore::ServerStat() {

@@ -102,6 +102,9 @@ class RemoteStore final : public Store, public std::enable_shared_from_this<Remo
   Status Ping();
   // Server-side counters snapshot (v3; kUnimplemented against older daemons).
   Result<RemoteServerStat> ServerStat();
+  // The daemon's metrics page over the store endpoint (v4; kUnimplemented against older
+  // daemons) — the same payload /metrics serves, as text table or Prometheus exposition.
+  Result<std::string> MetricsDump(bool prometheus);
 
   // Drops the connection and disables reconnect, failing all further calls with
   // kUnavailable. Used by tests to simulate a client crash mid-stream (the server must

@@ -17,7 +17,9 @@
 #include "src/common/crc32.h"
 #include "src/common/json.h"
 #include "src/common/logging.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/store/chunk_index.h"
 #include "src/store/tags.h"
 #include "src/tensor/tensor_file.h"
@@ -132,6 +134,43 @@ std::vector<uint8_t> EncodeStrList(const std::vector<std::string>& items) {
   return w.TakeBuffer();
 }
 
+// ---- Per-RPC telemetry ---------------------------------------------------------------------
+
+// The tag a request frame is about, for span attribution: tag-leading payloads are peeked
+// (the handlers re-decode and validate for real), stream frames inherit the open write's
+// tag. Empty when the op isn't tag-scoped.
+std::string RpcTagFor(const WireFrame& frame, const std::string& write_tag) {
+  switch (frame.op) {
+    case WireOp::kResetStaging:
+    case WireOp::kWriteBegin:
+    case WireOp::kCommitTag:
+    case WireOp::kAbortTag:
+    case WireOp::kDeleteTag:
+    case WireOp::kChunkQuery:
+    case WireOp::kWriteResume: {
+      ByteReader r(frame.payload.data(), frame.payload.size());
+      Result<std::string> tag = r.GetString();
+      return tag.ok() ? *tag : std::string();
+    }
+    case WireOp::kWriteChunk:
+    case WireOp::kWriteEnd:
+      return write_tag;
+    default:
+      return std::string();
+  }
+}
+
+// `store.server.rpc.<op>.{seconds,bytes_in}` — one latency/size distribution per message
+// type. Registry lookups are a mutex + map probe, dwarfed by the I/O every frame does.
+obs::Histogram& RpcSecondsFor(WireOp op) {
+  return obs::MetricsRegistry::Global().GetHistogram(
+      std::string("store.server.rpc.") + WireOpName(op) + ".seconds");
+}
+obs::Histogram& RpcBytesInFor(WireOp op) {
+  return obs::MetricsRegistry::Global().GetHistogram(
+      std::string("store.server.rpc.") + WireOpName(op) + ".bytes_in");
+}
+
 }  // namespace
 
 // Read handles carry the file's v3 chunk index so READ_RANGE responses are verified
@@ -203,6 +242,11 @@ struct StoreServer::Session {
 
   uint64_t next_handle = 1;
   std::map<uint64_t, OpenRead> reads;
+
+  // Wire v4 trace context (TRACE_CONTEXT prefix frame): annotates the *next* request
+  // frame on this connection, then clears. Only the serving thread touches it.
+  uint64_t pending_trace_id = 0;
+  uint64_t pending_span_id = 0;
 };
 
 Result<std::unique_ptr<StoreServer>> StoreServer::Start(StoreServerOptions options) {
@@ -219,6 +263,10 @@ Result<std::unique_ptr<StoreServer>> StoreServer::Start(StoreServerOptions optio
   // such exposure — the daemon holds every client's pins, so sweeps reclaim immediately.
   if (!server->RecoverJournal()) {
     server->store_.set_chunk_sweep_grace_seconds(0);
+  } else {
+    // Adoption after restart is an anomaly worth a dossier: the previous daemon died
+    // with saves in flight, and this record ties the adopted state to this process.
+    server->DumpAnomaly("journal-adopt", "adopted live leases from a prior daemon");
   }
   UCP_ASSIGN_OR_RETURN(server->listen_fd_, ListenEndpoint(ep));
   if (!ep.is_unix && ep.port == 0) {
@@ -394,6 +442,9 @@ void StoreServer::ServeConnectionForTest(int fd) {
 }
 
 void StoreServer::ServeConnection(int fd, std::shared_ptr<Session> session) {
+  // Session threads export as the daemon's own process track, so a merged client+server
+  // trace renders the server's handling spans on their own pid, not "runtime".
+  obs::SetThreadTrackName("ucp_serverd");
   // Handshake first: anything else is a protocol error and the connection dies typed.
   bool greeted = false;
   for (;;) {
@@ -598,6 +649,12 @@ void StoreServer::ReaperLoop() {
         ReleaseLeaseLocked(*lease);
       }
     }
+    if (!expired.empty()) {
+      // Outside mu_: an expiry means a client went away without resolving its save —
+      // exactly the moment the rings' recent history is worth keeping.
+      DumpAnomaly("lease-expiry",
+                  std::to_string(expired.size()) + " session lease(s) expired");
+    }
   }
 }
 
@@ -639,6 +696,8 @@ void StoreServer::WriteJournalLocked() {
   const Status written = WriteFileAtomic(JournalPath(), Json(std::move(root)).Dump());
   if (!written.ok()) {
     UCP_LOG(Warning) << "lease journal write failed: " << written.ToString();
+  } else {
+    journal_seq_.fetch_add(1);
   }
 }
 
@@ -741,6 +800,8 @@ Status StoreServer::HandleWriteBegin(const WireFrame& frame, Session& session) {
   // so clients surface it instead of retrying.
   if (total > options_.max_staged_bytes) {
     ServerMetrics::Get().admission_rejects.Add(1);
+    DumpAnomaly("admission-reject", "WRITE_BEGIN for " + tag + "/" + rel + " declares " +
+                                        std::to_string(total) + " bytes over budget");
     return FailedPreconditionError(
         "WRITE_BEGIN declares " + std::to_string(total) +
         " bytes, above the staging budget of " +
@@ -802,6 +863,7 @@ Status StoreServer::HandleWriteBegin(const WireFrame& frame, Session& session) {
   // save is the one whose completion releases budget, so stalling it would livelock.
   // Lease ids are creation-ordered and survive reconnects, so a resumed session keeps
   // its seniority.
+  Status rejected = OkStatus();
   {
     std::lock_guard<std::mutex> lock(mu_);
     const uint64_t in_flight = staged_bytes_.load();
@@ -816,18 +878,27 @@ Status StoreServer::HandleWriteBegin(const WireFrame& frame, Session& session) {
       if (session.lease->id != oldest_with_staging) {
         ::close(spool_fd);
         ServerMetrics::Get().admission_rejects.Add(1);
-        return UnavailableError("staging budget exhausted (" +
-                                std::to_string(in_flight) + " bytes in flight); retry");
+        rejected = UnavailableError("staging budget exhausted (" +
+                                    std::to_string(in_flight) +
+                                    " bytes in flight); retry");
       }
     }
-    const bool new_tag = session.lease->staged_by_tag.count(tag) == 0;
-    session.lease->staged_by_tag[tag] += charge;
-    session.lease->staged_total += charge;
-    staged_bytes_.fetch_add(charge);
-    ServerMetrics::Get().staged.Set(static_cast<int64_t>(staged_bytes_.load()));
-    if (new_tag && session.lease->named()) {
-      WriteJournalLocked();  // the lease is now staging a tag a restart must know about
+    if (rejected.ok()) {
+      const bool new_tag = session.lease->staged_by_tag.count(tag) == 0;
+      session.lease->staged_by_tag[tag] += charge;
+      session.lease->staged_total += charge;
+      staged_bytes_.fetch_add(charge);
+      ServerMetrics::Get().staged.Set(static_cast<int64_t>(staged_bytes_.load()));
+      if (new_tag && session.lease->named()) {
+        WriteJournalLocked();  // the lease is now staging a tag a restart must know about
+      }
     }
+  }
+  if (!rejected.ok()) {
+    // The dump runs outside mu_ (file I/O); the spool fd is already closed above.
+    DumpAnomaly("admission-reject",
+                "WRITE_BEGIN for " + tag + "/" + rel + " refused: " + rejected.ToString());
+    return rejected;
   }
   session.write_open = true;
   session.write_tag = std::move(tag);
@@ -1081,6 +1152,58 @@ Result<std::vector<uint8_t>> StoreServer::HandleReadRange(const WireFrame& frame
 }
 
 bool StoreServer::HandleFrame(int fd, const WireFrame& frame, Session& session) {
+  // v4 TRACE_CONTEXT prefix frame: stash the client's (trace_id, parent_span_id) for the
+  // next request on this connection; no response frame. On a pre-v4 session it is a
+  // protocol violation (the client would never have sent it).
+  if (frame.op == WireOp::kTraceContext) {
+    if (session.version < 4) {
+      SendError(fd, FailedPreconditionError("TRACE_CONTEXT requires protocol v4")).ok();
+      return false;
+    }
+    ByteReader r(frame.payload.data(), frame.payload.size());
+    Result<uint64_t> trace_id = r.GetU64();
+    Result<uint64_t> span_id =
+        trace_id.ok() ? r.GetU64() : Result<uint64_t>(trace_id.status());
+    if (!span_id.ok()) {
+      SendError(fd, span_id.status()).ok();
+      return false;
+    }
+    session.pending_trace_id = *trace_id;
+    session.pending_span_id = *span_id;
+    return true;
+  }
+  // Adopt the wire-propagated context (if any) around this RPC, so the server's handling
+  // span parents under the client's RPC span — one trace across both processes.
+  obs::TraceContext ctx;
+  ctx.trace_id = session.pending_trace_id;
+  ctx.span_id = session.pending_span_id;
+  session.pending_trace_id = 0;
+  session.pending_span_id = 0;
+  obs::ScopedTraceContext trace_ctx(ctx);  // no-op when no context arrived
+  const uint64_t start_ns = obs::TraceNowNs();
+  bool keep_open;
+  {
+    UCP_TRACE_NAMED_SPAN(span, "store.server.rpc");
+#if UCP_OBS_ENABLED
+    if (obs::TraceEnabled()) {
+      span.ArgS("op", WireOpName(frame.op));
+      span.ArgI("session", static_cast<int64_t>(session.id));
+      span.ArgI("lease", static_cast<int64_t>(session.lease->id));
+      const std::string tag = RpcTagFor(frame, session.write_tag);
+      if (!tag.empty()) {
+        span.ArgS("tag", tag);
+      }
+    }
+#endif
+    keep_open = HandleFrameInner(fd, frame, session);
+  }
+  RpcSecondsFor(frame.op).Observe(static_cast<double>(obs::TraceNowNs() - start_ns) *
+                                  1e-9);
+  RpcBytesInFor(frame.op).Observe(static_cast<double>(frame.payload.size()));
+  return keep_open;
+}
+
+bool StoreServer::HandleFrameInner(int fd, const WireFrame& frame, Session& session) {
   // WRITE_CHUNK is the streaming hot path: no response frame, just append to the spool.
   if (frame.op == WireOp::kWriteChunk) {
     const Status appended = HandleWriteChunk(frame, session);
@@ -1228,6 +1351,10 @@ bool StoreServer::HandleFrame(int fd, const WireFrame& frame, Session& session) 
         if (session.lease->named()) {
           WriteJournalLocked();
         }
+      } else {
+        DumpAnomaly("commit-failure",
+                    "COMMIT_TAG " + (tag.ok() ? *tag : std::string("<undecoded>")) +
+                        " failed: " + status.ToString());
       }
       break;
     }
@@ -1450,6 +1577,26 @@ bool StoreServer::HandleFrame(int fd, const WireFrame& frame, Session& session) 
       reply_op = WireOp::kServerStatOk;
       break;
     }
+    case WireOp::kMetricsDump: {
+      if (session.version < 4) {
+        status = FailedPreconditionError("METRICS_DUMP requires protocol v4");
+        break;
+      }
+      ByteReader r(frame.payload.data(), frame.payload.size());
+      Result<uint8_t> format = r.GetU8();
+      if (!format.ok()) {
+        status = format.status();
+        break;
+      }
+      std::string text =
+          *format == 1 ? obs::DumpMetricsPrometheus() : obs::DumpMetricsText();
+      if (text.size() > kMaxFramePayload) {
+        text.resize(kMaxFramePayload);  // a metrics page this large is its own anomaly
+      }
+      payload = std::vector<uint8_t>(text.begin(), text.end());
+      reply_op = WireOp::kBytes;
+      break;
+    }
     default:
       status = UnimplementedError("unknown wire op " +
                                   std::to_string(static_cast<int>(frame.op)));
@@ -1471,6 +1618,34 @@ bool StoreServer::HandleFrame(int fd, const WireFrame& frame, Session& session) 
   return sent.ok();
 }
 
+void StoreServer::DumpAnomaly(const std::string& label, const std::string& detail) {
+  if (!options_.anomaly_flightrec) {
+    return;
+  }
+  {
+    // Cap dossiers per label: the first few occurrences carry the forensic value, the
+    // rest would only grind the disk while the anomaly repeats.
+    constexpr int kMaxDumpsPerLabel = 4;
+    std::lock_guard<std::mutex> lock(anomaly_mu_);
+    int& count = anomaly_counts_[label];
+    if (count >= kMaxDumpsPerLabel) {
+      return;
+    }
+    ++count;
+  }
+  UCP_TRACE_INSTANT("store.server.anomaly",
+                    obs::TraceArgs().S("label", label).S("detail", detail));
+  std::string trace_path;
+  std::string err;
+  if (obs::DumpFlightRecord(options_.root, "serverd-" + label, &trace_path, &err)) {
+    UCP_LOG(Warning) << "store server anomaly (" << label << "): " << detail
+                     << "; flight record at " << trace_path;
+  } else {
+    UCP_LOG(Warning) << "store server anomaly (" << label << "): " << detail
+                     << "; flight record failed: " << err;
+  }
+}
+
 void StoreServer::HttpLoop() {
   while (!stopping_.load()) {
     const int http_fd = http_fd_.load();
@@ -1489,13 +1664,45 @@ void StoreServer::HttpLoop() {
     const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
     std::string body;
     std::string code = "200 OK";
+    std::string content_type = "text/plain; version=0.0.4";
     if (n > 0) {
       buf[n] = '\0';
       const std::string head(buf);
-      if (head.rfind("GET /healthz", 0) == 0) {
-        body = "ok\n";
-      } else if (head.rfind("GET /metrics", 0) == 0) {
-        body = obs::DumpMetricsText();
+      // "GET <target> HTTP/1.1..." — split the target into path and query string.
+      std::string target;
+      if (head.rfind("GET ", 0) == 0) {
+        const size_t end = head.find_first_of(" \r\n", 4);
+        target = head.substr(4, end == std::string::npos ? std::string::npos : end - 4);
+      }
+      const size_t qmark = target.find('?');
+      const std::string path = target.substr(0, qmark);
+      const std::string query =
+          qmark == std::string::npos ? std::string() : target.substr(qmark + 1);
+      if (path == "/healthz") {
+        // Machine-readable liveness: drain state, live leases, staged bytes, journal
+        // churn — what an operator (or orchestrator) needs before routing saves here.
+        JsonObject h;
+        h["status"] = "ok";
+        h["draining"] = draining_.load();
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          h["sessions"] = static_cast<int64_t>(sessions_.size());
+          int64_t named = 0;
+          for (const auto& [id, lease] : leases_) {
+            named += lease->named() ? 1 : 0;
+          }
+          h["leases"] = named;
+        }
+        h["staged_bytes"] = static_cast<int64_t>(staged_bytes_.load());
+        h["journal_seq"] = static_cast<int64_t>(journal_seq_.load());
+        h["wire_version"] =
+            static_cast<int64_t>(std::min(kWireVersion, options_.max_wire_version));
+        body = Json(std::move(h)).Dump() + "\n";
+        content_type = "application/json";
+      } else if (path == "/metrics") {
+        body = query.find("format=prometheus") != std::string::npos
+                   ? obs::DumpMetricsPrometheus()
+                   : obs::DumpMetricsText();
       } else {
         code = "404 Not Found";
         body = "not found\n";
@@ -1504,9 +1711,8 @@ void StoreServer::HttpLoop() {
       ::close(fd);
       continue;
     }
-    const std::string response = "HTTP/1.1 " + code +
-                                 "\r\nContent-Type: text/plain; version=0.0.4"
-                                 "\r\nContent-Length: " +
+    const std::string response = "HTTP/1.1 " + code + "\r\nContent-Type: " +
+                                 content_type + "\r\nContent-Length: " +
                                  std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
                                  body;
     size_t off = 0;

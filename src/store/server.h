@@ -70,6 +70,11 @@ struct StoreServerOptions {
   // Persist the lease table to `<root>/.ucp_serverd.journal` so a restarted daemon
   // re-adopts live-leased half-staged uploads instead of stranding them.
   bool journal = true;
+  // Dump a flight record (<root>/flightrec/) when the server observes an anomaly — lease
+  // expiry, commit failure, admission rejection, journal adoption after restart — so
+  // post-chaos forensics never depend on reproducing the schedule. Capped per label so a
+  // flapping client can't fill the disk with dossiers.
+  bool anomaly_flightrec = true;
 };
 
 class StoreServer {
@@ -123,8 +128,11 @@ class StoreServer {
   void ReaperLoop();
   void ServeConnection(int fd, std::shared_ptr<Session> session);
   // One request frame -> one (or zero, for chunks) response frame. Returns false when the
-  // connection must close.
+  // connection must close. HandleFrame absorbs TRACE_CONTEXT prefix frames, adopts the
+  // propagated context around a per-RPC server span, and records per-op histograms;
+  // HandleFrameInner is the actual dispatch.
   bool HandleFrame(int fd, const WireFrame& frame, Session& session);
+  bool HandleFrameInner(int fd, const WireFrame& frame, Session& session);
   Status HandleWriteBegin(const WireFrame& frame, Session& session);
   Status HandleWriteChunk(const WireFrame& frame, Session& session);
   Status HandleWriteEnd(const WireFrame& frame, Session& session);
@@ -151,6 +159,10 @@ class StoreServer {
   // Joins connection threads that finished serving (they park their own handle on
   // dead_threads_ on the way out). Called from the accept loop and Shutdown.
   void ReapDeadThreads();
+  // Anomaly hook: writes a flight-recorder dossier under <root>/flightrec/ labeled
+  // "serverd-<label>" (best effort, capped per label, gated by anomaly_flightrec).
+  // Must be called without mu_ held — it does file I/O.
+  void DumpAnomaly(const std::string& label, const std::string& detail);
 
   StoreServerOptions options_;
   LocalStore store_;
@@ -181,6 +193,13 @@ class StoreServer {
   std::map<uint64_t, std::thread> session_threads_;
   std::vector<std::thread> dead_threads_;
   std::atomic<uint64_t> staged_bytes_{0};
+  // Journal rewrites since startup — /healthz surfaces it so operators can see lease-table
+  // churn (and that recovery/journaling is live at all).
+  std::atomic<uint64_t> journal_seq_{0};
+  // Flight-record dumps already written per anomaly label (its own mutex: DumpAnomaly
+  // runs on failure paths that may or may not hold mu_).
+  std::mutex anomaly_mu_;
+  std::map<std::string, int> anomaly_counts_;
 };
 
 }  // namespace ucp

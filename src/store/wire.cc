@@ -24,6 +24,51 @@
 
 namespace ucp {
 
+const char* WireOpName(WireOp op) {
+  switch (op) {
+    case WireOp::kHello: return "hello";
+    case WireOp::kListTags: return "list_tags";
+    case WireOp::kList: return "list";
+    case WireOp::kReadSmall: return "read_small";
+    case WireOp::kOpenRead: return "open_read";
+    case WireOp::kReadRange: return "read_range";
+    case WireOp::kCloseRead: return "close_read";
+    case WireOp::kExists: return "exists";
+    case WireOp::kResetStaging: return "reset_staging";
+    case WireOp::kWriteBegin: return "write_begin";
+    case WireOp::kWriteChunk: return "write_chunk";
+    case WireOp::kWriteEnd: return "write_end";
+    case WireOp::kCommitTag: return "commit_tag";
+    case WireOp::kAbortTag: return "abort_tag";
+    case WireOp::kDeleteTag: return "delete_tag";
+    case WireOp::kGc: return "gc";
+    case WireOp::kSweepDebris: return "sweep_debris";
+    case WireOp::kPing: return "ping";
+    case WireOp::kChunkQuery: return "chunk_query";
+    case WireOp::kChunkPut: return "chunk_put";
+    case WireOp::kSessionOpen: return "session_open";
+    case WireOp::kSessionRenew: return "session_renew";
+    case WireOp::kWriteResume: return "write_resume";
+    case WireOp::kServerStat: return "server_stat";
+    case WireOp::kTraceContext: return "trace_context";
+    case WireOp::kMetricsDump: return "metrics_dump";
+    case WireOp::kOk: return "ok";
+    case WireOp::kError: return "error";
+    case WireOp::kHelloOk: return "hello_ok";
+    case WireOp::kStrList: return "str_list";
+    case WireOp::kBytes: return "bytes";
+    case WireOp::kOpenReadOk: return "open_read_ok";
+    case WireOp::kBool: return "bool";
+    case WireOp::kGcReport: return "gc_report";
+    case WireOp::kInt: return "int";
+    case WireOp::kChunkMask: return "chunk_mask";
+    case WireOp::kSessionOpenOk: return "session_open_ok";
+    case WireOp::kWriteResumeOk: return "write_resume_ok";
+    case WireOp::kServerStatOk: return "server_stat_ok";
+  }
+  return "op_unknown";
+}
+
 namespace {
 
 // ---- io.retry.* metrics (the remote-path twin of fs.retry.*) -----------------------------

@@ -35,11 +35,15 @@ inline constexpr uint32_t kWireMagic = 0x57504355;  // "UCPW" little-endian
 // Version 2 added the chunk ops (CHUNK_QUERY / CHUNK_PUT) for incremental saves. Version
 // 3 adds session leases (SESSION_OPEN / SESSION_RENEW), offset-addressed WRITE_CHUNK
 // frames, and the WRITE_RESUME query that together make interrupted uploads resumable
-// across reconnects and daemon restarts. Both sides still speak older versions: the
-// negotiated version is min(server max, client max) within the overlapping [min,max]
-// ranges, and a client on an old peer silently degrades (no lease, full-restart write
-// semantics; on v1 additionally full-file writes instead of chunk dedup).
-inline constexpr uint32_t kWireVersion = 3;
+// across reconnects and daemon restarts. Version 4 adds observability: the TRACE_CONTEXT
+// prefix frame that propagates a client (trace_id, parent_span_id) pair onto the next
+// request, and METRICS_DUMP for fetching the daemon's metrics page over the store
+// endpoint. Both sides still speak older versions: the negotiated version is
+// min(server max, client max) within the overlapping [min,max] ranges, and a client on an
+// old peer silently degrades (on v3 no trace header or remote metrics; on v2 additionally
+// no lease, full-restart write semantics; on v1 additionally full-file writes instead of
+// chunk dedup).
+inline constexpr uint32_t kWireVersion = 4;
 inline constexpr uint32_t kWireMinVersion = 1;
 // Bound on one frame's payload; larger files stream as multiple WRITE_CHUNK / READ_RANGE
 // exchanges. Also the admission unit for the server's torn-frame defense: a corrupt length
@@ -82,6 +86,11 @@ enum class WireOp : uint8_t {
   kSessionRenew = 22, // empty — extend the bound lease's TTL (idle keep-alive)
   kWriteResume = 23,  // str tag | str rel — how many bytes the server already has
   kServerStat = 24,   // empty — sessions/leases/staged/draining snapshot
+  // v4+ only (negotiated version >= 4):
+  kTraceContext = 25, // u64 trace_id | u64 parent_span_id — no response; annotates the
+                      // *next* request frame on this connection with the client's trace
+                      // context so the server's handling span joins the client's trace
+  kMetricsDump = 26,  // u8 format (0 = text table, 1 = Prometheus) -> kBytes
 
   kOk = 64,           // empty
   kError = 65,        // u8 status_code | str message
@@ -105,6 +114,10 @@ struct WireFrame {
   WireOp op = WireOp::kPing;
   std::vector<uint8_t> payload;
 };
+
+// Stable lowercase name for an op ("write_begin", "commit_tag", ...; "op_unknown" for
+// values outside the enum) — the key under which per-RPC metrics and spans are recorded.
+const char* WireOpName(WireOp op);
 
 // Sends one complete frame. kUnavailable when the peer is gone (EPIPE/ECONNRESET) or
 // transient retries exhaust.

@@ -95,6 +95,26 @@ bool PollUntil(const std::function<bool()>& pred, int deadline_ms = 20000) {
   return pred();
 }
 
+// True when the daemon's anomaly flight recorder left a dump for `label` under
+// <root>/flightrec/ (files are named flight-<seq>-serverd-<label>.*).
+bool HasFlightRecordDump(const std::string& root, const std::string& label) {
+  const std::string dir = PathJoin(root, "flightrec");
+  if (!DirExists(dir)) {
+    return false;
+  }
+  Result<std::vector<std::string>> entries = ListDir(dir);
+  if (!entries.ok()) {
+    return false;
+  }
+  const std::string needle = "serverd-" + label;
+  for (const std::string& name : *entries) {
+    if (name.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
 class ChaosStoreTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -237,6 +257,10 @@ TEST_F(ChaosStoreTest, DaemonKillRestartMidStreamResumesViaJournal) {
   EXPECT_GE(CounterValue("store.server.journal_adopted_leases") - adopted0, 1u);
   EXPECT_GE(server_->active_leases(), 1);
   EXPECT_GE(server_->staged_bytes(), file_a.size());
+  // Adoption-after-restart is an anomaly worth a dossier: Start() dumps the flight
+  // record synchronously once the journal has been replayed.
+  EXPECT_TRUE(HasFlightRecordDump(dir_, "journal-adopt"))
+      << "no flightrec dump for journal adoption under " << dir_;
 
   uploader.join();
   ClearSocketFaults();
@@ -293,6 +317,11 @@ TEST_F(ChaosStoreTest, LeaseExpiryReapsPartitionedClientState) {
     return server_->staged_bytes() == 0 && server_->active_leases() == 0;
   })) << "staged=" << server_->staged_bytes() << " leases=" << server_->active_leases();
   EXPECT_GE(CounterValue("store.server.lease_expiries") - expiries0, 1u);
+
+  // The reaper leaves a server-side flight-record dump for the expiry (trace ring +
+  // metrics snapshot), written off the lock after the lease is reclaimed.
+  EXPECT_TRUE(PollUntil([&] { return HasFlightRecordDump(dir_, "lease-expiry"); }))
+      << "no flightrec dump for the expired lease under " << dir_;
 
   // The half-staged tag never became visible, and a fresh client can commit over it.
   store_ = Connect(RemoteStoreOptions{});

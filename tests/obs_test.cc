@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <set>
 #include <string>
 #include <thread>
@@ -18,6 +19,7 @@
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/obs/trace_merge.h"
 #include "src/runtime/supervisor.h"
 
 namespace ucp {
@@ -189,6 +191,153 @@ TEST_F(ObsTest, ChromeJsonParsesAndMapsRanksToProcesses) {
   EXPECT_TRUE(saw_instant);
 }
 
+// Pulls a named arg ("trace_id", "span_id", "parent_span_id") out of an exported event.
+std::string EventArg(const Json& event, const char* key) {
+  if (!event.Has("args")) {
+    return std::string();
+  }
+  Result<std::string> v = event.AsObject().at("args").GetString(key);
+  return v.ok() ? *v : std::string();
+}
+
+TEST_F(ObsTest, TraceContextParentsSpansAndAnnotatesExport) {
+  uint64_t trace_id = 0;
+  uint64_t outer_id = 0;
+  std::thread([&] {
+    obs::ScopedTraceContext root;  // fresh root: no context was installed
+    trace_id = obs::CurrentTraceContext().trace_id;
+    UCP_TRACE_NAMED_SPAN(outer, "obs_test.ctx_outer");
+    outer_id = outer.span_id();
+    { UCP_TRACE_SPAN("obs_test.ctx_inner"); }
+  }).join();
+  ASSERT_NE(trace_id, 0u);
+  ASSERT_NE(outer_id, 0u);
+
+  Result<Json> parsed = Json::Parse(obs::ExportChromeTraceJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  Result<const JsonArray*> events = parsed->GetArray("traceEvents");
+  ASSERT_TRUE(events.ok());
+  bool saw_outer = false;
+  bool saw_inner = false;
+  for (const Json& e : **events) {
+    Result<std::string> name = e.GetString("name");
+    if (!name.ok()) {
+      continue;
+    }
+    if (*name == "obs_test.ctx_outer") {
+      saw_outer = true;
+      EXPECT_EQ(EventArg(e, "trace_id"), obs::TraceIdHex(trace_id));
+      EXPECT_EQ(EventArg(e, "span_id"), obs::TraceIdHex(outer_id));
+      // The root context has span_id 0, so the outermost span has no parent arg.
+      EXPECT_TRUE(EventArg(e, "parent_span_id").empty());
+    } else if (*name == "obs_test.ctx_inner") {
+      saw_inner = true;
+      EXPECT_EQ(EventArg(e, "trace_id"), obs::TraceIdHex(trace_id));
+      EXPECT_EQ(EventArg(e, "parent_span_id"), obs::TraceIdHex(outer_id));
+      EXPECT_NE(EventArg(e, "span_id"), obs::TraceIdHex(outer_id));
+    }
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+}
+
+TEST_F(ObsTest, AdoptedContextParentsUnderRemoteSpan) {
+  // Simulates the daemon side: a wire-propagated (trace_id, span_id) is adopted verbatim
+  // and the handling span parents under the remote client span.
+  const uint64_t trace_id = obs::NewTraceId();
+  const uint64_t client_span = obs::NewTraceId();
+  std::thread([&] {
+    obs::TraceContext ctx;
+    ctx.trace_id = trace_id;
+    ctx.span_id = client_span;
+    obs::ScopedTraceContext adopt(ctx);
+    UCP_TRACE_SPAN("obs_test.adopted");
+  }).join();
+
+  Result<Json> parsed = Json::Parse(obs::ExportChromeTraceJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  bool saw = false;
+  for (const Json& e : **parsed->GetArray("traceEvents")) {
+    Result<std::string> name = e.GetString("name");
+    if (name.ok() && *name == "obs_test.adopted") {
+      saw = true;
+      EXPECT_EQ(EventArg(e, "trace_id"), obs::TraceIdHex(trace_id));
+      EXPECT_EQ(EventArg(e, "parent_span_id"), obs::TraceIdHex(client_span));
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST_F(ObsTest, MergeChromeTracesLinksClientAndServerWithFlowEvents) {
+  // Client half: one RPC span under a root context.
+  uint64_t trace_id = 0;
+  uint64_t rpc_span = 0;
+  std::thread([&] {
+    obs::ScopedTraceContext root;
+    trace_id = obs::CurrentTraceContext().trace_id;
+    UCP_TRACE_NAMED_SPAN(rpc, "store.client.rpc");
+    rpc_span = rpc.span_id();
+  }).join();
+  const std::string client_json = obs::ExportChromeTraceJson();
+  obs::ResetTrace();
+
+  // Server half: the daemon adopts the wire context around its handling span, on a thread
+  // tagged with the daemon's process track.
+  std::thread([&] {
+    obs::SetThreadTrackName("ucp_serverd");
+    obs::TraceContext ctx;
+    ctx.trace_id = trace_id;
+    ctx.span_id = rpc_span;
+    obs::ScopedTraceContext adopt(ctx);
+    UCP_TRACE_SPAN("store.server.rpc");
+  }).join();
+  const std::string server_json = obs::ExportChromeTraceJson();
+
+  obs::TraceMergeStats stats;
+  Result<std::string> merged = obs::MergeChromeTraces(client_json, server_json, &stats);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_GE(stats.client_events, 1u);
+  EXPECT_GE(stats.server_events, 1u);
+  EXPECT_EQ(stats.flow_links, 1u);
+
+  Result<Json> parsed = Json::Parse(*merged);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  Result<const JsonArray*> events = parsed->GetArray("traceEvents");
+  ASSERT_TRUE(events.ok());
+
+  int64_t client_pid = -1;
+  int64_t server_pid = -1;
+  std::set<std::string> phases;
+  std::set<std::string> process_names;
+  for (const Json& e : **events) {
+    Result<std::string> ph = e.GetString("ph");
+    Result<std::string> name = e.GetString("name");
+    if (!ph.ok() || !name.ok()) {
+      continue;
+    }
+    if (*ph == "M" && *name == "process_name") {
+      process_names.insert(EventArg(e, "name"));
+    }
+    if (*ph == "X" && *name == "store.client.rpc") {
+      client_pid = *e.GetInt("pid");
+    }
+    if (*ph == "X" && *name == "store.server.rpc") {
+      server_pid = *e.GetInt("pid");
+    }
+    if (*name == "rpc") {
+      phases.insert(*ph);
+    }
+  }
+  // Distinct process tracks, prefixed metadata, and the s/t/f flow triple.
+  ASSERT_GE(client_pid, 0);
+  ASSERT_GE(server_pid, 0);
+  EXPECT_NE(client_pid, server_pid);
+  EXPECT_TRUE(process_names.count("server: ucp_serverd")) << *merged;
+  EXPECT_TRUE(phases.count("s"));
+  EXPECT_TRUE(phases.count("t"));
+  EXPECT_TRUE(phases.count("f"));
+}
+
 TEST_F(ObsTest, DisabledTracingRecordsNothing) {
   obs::SetTraceEnabled(false);
   std::thread([] {
@@ -247,6 +396,44 @@ TEST_F(ObsTest, MetricsAreConsistentUnderConcurrentUpdates) {
   const std::string dump = obs::DumpMetricsText();
   EXPECT_NE(dump.find("obs_test.counter"), std::string::npos);
   EXPECT_NE(dump.find("obs_test.histogram"), std::string::npos);
+}
+
+TEST_F(ObsTest, PrometheusExpositionManglesNamesAndEmitsCumulativeBuckets) {
+  obs::MetricsRegistry::Global().GetCounter("obs_test.prom.counter").Reset();
+  obs::MetricsRegistry::Global().GetCounter("obs_test.prom.counter").Add(5);
+  obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram("obs_test.prom.seconds");
+  histogram.Reset();
+  histogram.Observe(0.0000005);  // sub-micro: lands in bucket 0
+  histogram.Observe(0.003);
+  histogram.Observe(0.003);
+  histogram.Observe(1.5);
+
+  const std::string dump = obs::DumpMetricsPrometheus();
+  // Dotted registry names mangle to Prometheus-safe underscores, with TYPE lines.
+  EXPECT_NE(dump.find("# TYPE obs_test_prom_counter counter"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("obs_test_prom_counter 5"), std::string::npos);
+  EXPECT_NE(dump.find("# TYPE obs_test_prom_seconds histogram"), std::string::npos);
+  EXPECT_NE(dump.find("obs_test_prom_seconds_count 4"), std::string::npos);
+  EXPECT_NE(dump.find("obs_test_prom_seconds_sum"), std::string::npos);
+  EXPECT_NE(dump.find("obs_test_prom_seconds_bucket{le=\"+Inf\"} 4"), std::string::npos);
+
+  // Bucket counts must be cumulative and monotonically non-decreasing up to +Inf.
+  uint64_t prev = 0;
+  size_t buckets = 0;
+  size_t pos = 0;
+  const std::string needle = "obs_test_prom_seconds_bucket{le=\"";
+  while ((pos = dump.find(needle, pos)) != std::string::npos) {
+    const size_t count_at = dump.find("} ", pos);
+    ASSERT_NE(count_at, std::string::npos);
+    const uint64_t count = std::strtoull(dump.c_str() + count_at + 2, nullptr, 10);
+    EXPECT_GE(count, prev) << dump;
+    prev = count;
+    ++buckets;
+    pos = count_at;
+  }
+  EXPECT_GE(buckets, 2u);   // at least one finite bucket plus +Inf
+  EXPECT_EQ(prev, 4u);      // the +Inf bucket equals _count
 }
 
 TEST_F(ObsTest, FlightRecorderWritesDossier) {

@@ -22,9 +22,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,8 +35,10 @@
 #include "src/ckpt/checkpoint.h"
 #include "src/common/bytes.h"
 #include "src/common/fs.h"
+#include "src/common/json.h"
 #include "src/model/config.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/trainer.h"
 #include "src/store/remote_store.h"
 #include "src/store/server.h"
@@ -793,6 +798,303 @@ TEST_F(StoreServerTest, DaemonKillMidSaveNeverLeavesAcceptedTag) {
     UCP_CHECK(report->tag == "global_step2") << report->tag;
     UCP_CHECK(report->iteration == 2) << report->iteration;
   });
+}
+
+// ---------------------------------------------------------------------------
+// Wire v4 observability: distributed trace-context propagation, per-RPC
+// latency/bytes histograms, METRICS_DUMP, and the HTTP exposition.
+// ---------------------------------------------------------------------------
+
+uint64_t HistogramCount(const std::string& name) {
+  for (const obs::MetricValue& m : obs::SnapshotMetrics()) {
+    if (m.name == name) {
+      return m.count;
+    }
+  }
+  return 0;
+}
+
+// One-shot HTTP GET against the daemon's --http listener (HttpLoop answers a single
+// request per connection and closes).
+std::string HttpGet(const std::string& endpoint, const std::string& target) {
+  Result<Endpoint> ep = ParseEndpoint(endpoint);
+  if (!ep.ok()) {
+    return std::string();
+  }
+  Result<int> fd = DialEndpoint(*ep);
+  if (!fd.ok()) {
+    return std::string();
+  }
+  const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(*fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(*fd);
+      return std::string();
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(*fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      break;
+    }
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(*fd);
+  return response;
+}
+
+#if UCP_OBS_ENABLED
+
+// A string arg ("trace_id", "op", "tag", ...) from an exported trace event.
+std::string TraceArg(const Json& event, const char* key) {
+  if (!event.Has("args")) {
+    return std::string();
+  }
+  Result<std::string> v = event.AsObject().at("args").GetString(key);
+  return v.ok() ? *v : std::string();
+}
+
+// The tentpole property: a v4 client ships (trace_id, span_id) ahead of each traced
+// request, and the daemon's handling span parents under the client RPC span and is
+// attributed to (session, lease, tag).
+TEST_F(StoreServerTest, TraceContextParentsServerSpansUnderClientRpc) {
+  obs::SetTraceEnabled(true);
+  obs::ResetTrace();
+  std::shared_ptr<RemoteStore> store = Connect();
+  ASSERT_GE(store->negotiated_version(), 4u);
+  ASSERT_TRUE(store->ResetTagStaging("global_step1").ok());
+  Result<std::unique_ptr<StoreWriter>> writer = store->OpenTagForWrite("global_step1");
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  ASSERT_TRUE((*writer)->WriteFile("shard", std::string(128 * 1024, 'q')).ok());
+  ASSERT_TRUE(store->CommitTag("global_step1", MetaJson(1)).ok());
+
+  Result<Json> parsed = Json::Parse(obs::ExportChromeTraceJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  Result<const JsonArray*> events = parsed->GetArray("traceEvents");
+  ASSERT_TRUE(events.ok());
+
+  // Client RPC spans, keyed by their span id.
+  std::map<std::string, std::string> client_rpc;  // span_id -> trace_id
+  for (const Json& e : **events) {
+    Result<std::string> name = e.GetString("name");
+    if (name.ok() && *name == "store.client.rpc" && !TraceArg(e, "span_id").empty()) {
+      client_rpc[TraceArg(e, "span_id")] = TraceArg(e, "trace_id");
+    }
+  }
+  ASSERT_FALSE(client_rpc.empty());
+
+  bool checked_write_begin = false;
+  for (const Json& e : **events) {
+    Result<std::string> name = e.GetString("name");
+    if (!name.ok() || *name != "store.server.rpc" || TraceArg(e, "op") != "write_begin") {
+      continue;
+    }
+    checked_write_begin = true;
+    // Attributed to the session, its lease, and the tag being written.
+    const Json& args = e.AsObject().at("args");
+    EXPECT_TRUE(args.GetInt("session").ok());
+    EXPECT_TRUE(args.GetInt("lease").ok());
+    EXPECT_EQ(TraceArg(e, "tag"), "global_step1");
+    // Parented under a client RPC span of the same trace.
+    const std::string parent = TraceArg(e, "parent_span_id");
+    ASSERT_TRUE(client_rpc.count(parent))
+        << "server write_begin span is not parented under any client RPC span";
+    EXPECT_EQ(client_rpc[parent], TraceArg(e, "trace_id"));
+  }
+  EXPECT_TRUE(checked_write_begin);
+}
+
+// Reconnect attribution: a save interrupted by a connection drop resumes under the SAME
+// trace_id — the reconnect span, the WRITE_RESUME continuation, and every server-side
+// write span belong to one logical operation, not two roots.
+TEST_F(StoreServerTest, TraceContextSurvivesConnDropAndWriteResume) {
+  obs::SetTraceEnabled(true);
+  obs::ResetTrace();
+  std::shared_ptr<RemoteStore> store = Connect();
+  ASSERT_FALSE(store->lease_token().empty());
+
+  std::vector<uint8_t> body(6u * 1024 * 1024 + 13);
+  for (size_t i = 0; i < body.size(); ++i) {
+    body[i] = static_cast<uint8_t>((i * 131) & 0xff);
+  }
+  ASSERT_TRUE(store->ResetTagStaging("global_step1").ok());
+  Result<std::unique_ptr<StoreWriter>> writer = store->OpenTagForWrite("global_step1");
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  // Drop the connection mid-chunk-stream (sends since arming: BEGIN=1, its OK=2, chunks
+  // from 3), forcing reconnect + WRITE_RESUME inside one WriteFile call.
+  ArmSocketFault({SocketFault::Op::kSend, SocketFault::Kind::kEconnreset, 5, 0});
+  Status wrote = (*writer)->WriteFile("shard", body.data(), body.size());
+  ClearSocketFaults();
+  ASSERT_TRUE(wrote.ok()) << wrote.ToString();
+  ASSERT_TRUE(store->CommitTag("global_step1", MetaJson(1)).ok());
+
+  Result<Json> parsed = Json::Parse(obs::ExportChromeTraceJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  Result<const JsonArray*> events = parsed->GetArray("traceEvents");
+  ASSERT_TRUE(events.ok());
+
+  std::string save_trace;  // the logical operation's trace id
+  std::string reconnect_trace;
+  std::string resume_trace;
+  bool saw_resume_instant = false;
+  bool saw_resume_server_span = false;
+  std::set<std::string> server_write_traces;
+  for (const Json& e : **events) {
+    Result<std::string> name = e.GetString("name");
+    if (!name.ok()) {
+      continue;
+    }
+    if (*name == "store.client.write_file") {
+      save_trace = TraceArg(e, "trace_id");
+    } else if (*name == "store.client.reconnect") {
+      reconnect_trace = TraceArg(e, "trace_id");
+    } else if (*name == "store.client.write_resume") {
+      saw_resume_instant = true;
+    } else if (*name == "store.server.rpc") {
+      const std::string op = TraceArg(e, "op");
+      if (op == "write_resume") {
+        saw_resume_server_span = true;
+        resume_trace = TraceArg(e, "trace_id");
+      }
+      if (op == "write_begin" || op == "write_chunk" || op == "write_end" ||
+          op == "write_resume") {
+        // Mid-stream chunk frames carry no per-frame header (only the frame after a
+        // TRACE_CONTEXT is annotated), so their spans are context-free — skip those.
+        if (!TraceArg(e, "trace_id").empty()) {
+          server_write_traces.insert(TraceArg(e, "trace_id"));
+        }
+      }
+    }
+  }
+  ASSERT_FALSE(save_trace.empty());
+  EXPECT_EQ(reconnect_trace, save_trace)
+      << "reconnect span opened a new trace root instead of joining the save's";
+  EXPECT_TRUE(saw_resume_instant);
+  // The post-drop continuation is the SAME logical operation: the server's WRITE_RESUME
+  // span — and every other context-carrying write span, before the drop and after the
+  // resume — belongs to the save's one trace, not a second root.
+  ASSERT_TRUE(saw_resume_server_span);
+  EXPECT_EQ(resume_trace, save_trace);
+  EXPECT_EQ(server_write_traces.size(), 1u);
+  EXPECT_TRUE(server_write_traces.count(save_trace));
+}
+
+// Downgrade: a v4 client on a v3-capped daemon negotiates v3, never emits the
+// TRACE_CONTEXT header (the ops succeed — an unexpected header would be a typed error on
+// a v3 session), and METRICS_DUMP fails typed as unimplemented.
+TEST_F(StoreServerTest, V4ClientAgainstV3ServerDropsTraceHeaderCleanly) {
+  server_->Shutdown();
+  StoreServerOptions options;
+  options.root = dir_;
+  options.listen = "unix:" + dir_ + ".sock";
+  options.max_wire_version = 3;
+  StartServer(std::move(options));
+
+  obs::SetTraceEnabled(true);
+  obs::ResetTrace();
+  std::shared_ptr<RemoteStore> store = Connect();
+  ASSERT_EQ(store->negotiated_version(), 3u);
+  ASSERT_TRUE(store->ResetTagStaging("global_step1").ok());
+  Result<std::unique_ptr<StoreWriter>> writer = store->OpenTagForWrite("global_step1");
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  ASSERT_TRUE((*writer)->WriteFile("shard", std::string(64 * 1024, 'v')).ok());
+  ASSERT_TRUE(store->CommitTag("global_step1", MetaJson(1)).ok());
+  EXPECT_EQ(store->MetricsDump(/*prometheus=*/true).status().code(),
+            StatusCode::kUnimplemented);
+
+  // The server still records handling spans, but with no propagated context: the client
+  // traced locally and dropped the header at the negotiated version.
+  Result<Json> parsed = Json::Parse(obs::ExportChromeTraceJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  bool saw_server_write = false;
+  for (const Json& e : **parsed->GetArray("traceEvents")) {
+    Result<std::string> name = e.GetString("name");
+    if (name.ok() && *name == "store.server.rpc" &&
+        TraceArg(e, "op") == "write_begin") {
+      saw_server_write = true;
+      EXPECT_TRUE(TraceArg(e, "trace_id").empty())
+          << "v3 session must never receive a trace context";
+    }
+  }
+  EXPECT_TRUE(saw_server_write);
+}
+
+#endif  // UCP_OBS_ENABLED
+
+// METRICS_DUMP over the wire: both formats, with the per-RPC server histograms non-zero
+// after a save — and the client-side RPC latency histograms populated too.
+TEST_F(StoreServerTest, MetricsDumpServesTextAndPrometheusWithRpcHistograms) {
+  std::shared_ptr<RemoteStore> store = Connect();
+  ASSERT_TRUE(store->ResetTagStaging("global_step1").ok());
+  Result<std::unique_ptr<StoreWriter>> writer = store->OpenTagForWrite("global_step1");
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  ASSERT_TRUE((*writer)->WriteFile("shard", std::string(64 * 1024, 'm')).ok());
+  ASSERT_TRUE(store->CommitTag("global_step1", MetaJson(1)).ok());
+
+  Result<std::string> text = store->MetricsDump(/*prometheus=*/false);
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_NE(text->find("store.server.rpc.write_begin.seconds"), std::string::npos);
+
+  Result<std::string> prom = store->MetricsDump(/*prometheus=*/true);
+  ASSERT_TRUE(prom.ok()) << prom.status();
+  EXPECT_NE(prom->find("# TYPE"), std::string::npos);
+  const std::string needle = "store_server_rpc_write_begin_seconds_count ";
+  const size_t at = prom->find(needle);
+  ASSERT_NE(at, std::string::npos) << *prom;
+  EXPECT_GT(std::strtoull(prom->c_str() + at + needle.size(), nullptr, 10), 0u);
+
+  // Satellite of the same change: the client records its own RPC latency per op.
+  EXPECT_GT(HistogramCount("store.client.rpc.write_begin.seconds"), 0u);
+  EXPECT_GT(HistogramCount("store.client.rpc.commit_tag.seconds"), 0u);
+}
+
+// The HTTP listener: /healthz is structured JSON (drain state, lease/session counts,
+// staged bytes, journal seq, wire version), /metrics speaks both plaintext and
+// Prometheus exposition via ?format=.
+TEST_F(StoreServerTest, HttpServesHealthzJsonAndPrometheusExposition) {
+  server_->Shutdown();
+  StoreServerOptions options;
+  options.root = dir_;
+  options.listen = "unix:" + dir_ + ".sock";
+  options.http_listen = "tcp:127.0.0.1:0";
+  StartServer(std::move(options));
+  ASSERT_FALSE(server_->http_endpoint().empty());
+
+  std::shared_ptr<RemoteStore> store = Connect();
+  ASSERT_TRUE(store->ResetTagStaging("global_step1").ok());
+  Result<std::unique_ptr<StoreWriter>> writer = store->OpenTagForWrite("global_step1");
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  ASSERT_TRUE((*writer)->WriteFile("shard", std::string(32 * 1024, 'h')).ok());
+  ASSERT_TRUE(store->CommitTag("global_step1", MetaJson(1)).ok());
+
+  const std::string healthz = HttpGet(server_->http_endpoint(), "/healthz");
+  ASSERT_NE(healthz.find("200"), std::string::npos) << healthz;
+  const size_t body_at = healthz.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  Result<Json> health = Json::Parse(healthz.substr(body_at + 4));
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_EQ(*health->GetString("status"), "ok");
+  EXPECT_EQ(*health->GetBool("draining"), false);
+  EXPECT_TRUE(health->GetInt("sessions").ok());
+  EXPECT_TRUE(health->GetInt("leases").ok());
+  EXPECT_TRUE(health->GetInt("staged_bytes").ok());
+  EXPECT_TRUE(health->GetInt("journal_seq").ok());
+  EXPECT_EQ(*health->GetInt("wire_version"), static_cast<int64_t>(kWireVersion));
+
+  const std::string prom =
+      HttpGet(server_->http_endpoint(), "/metrics?format=prometheus");
+  EXPECT_NE(prom.find("# TYPE"), std::string::npos);
+  EXPECT_NE(prom.find("store_server_rpc_write_begin_seconds_bucket{le="),
+            std::string::npos);
+  EXPECT_NE(prom.find("store_server_rpc_write_begin_seconds_count"), std::string::npos);
+
+  const std::string plain = HttpGet(server_->http_endpoint(), "/metrics");
+  EXPECT_NE(plain.find("store.server.rpc.write_begin.seconds"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

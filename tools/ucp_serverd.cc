@@ -29,7 +29,7 @@ int Usage() {
                "  ucp_serverd --root DIR [--listen unix:/path|tcp:host:port]\n"
                "              [--http tcp:host:port] [--max-staged-bytes N]\n"
                "              [--max-sessions N] [--lease-ttl-ms N] [--no-journal]\n"
-               "              [--no-drain]\n");
+               "              [--no-drain] [--no-flightrec]\n");
   return 2;
 }
 
@@ -86,6 +86,10 @@ int Main(int argc, char** argv) {
       options.journal = false;
     } else if (std::strcmp(arg, "--no-drain") == 0) {
       options.drain_on_shutdown = false;
+    } else if (std::strcmp(arg, "--no-flightrec") == 0) {
+      // Anomalies (lease expiry, commit failure, admission rejection, journal adoption)
+      // normally leave a flight-record dump under <root>/flightrec/.
+      options.anomaly_flightrec = false;
     } else if (std::strcmp(arg, "help") == 0 || std::strcmp(arg, "--help") == 0) {
       Usage();
       return 0;

@@ -45,11 +45,19 @@
 //       the chunk objects the tag introduced. Chunk objects are attributed to the first
 //       tag, in commit order, that references them.
 //
-//   ucp_tool metrics  [<subcommand> <args...>]
-//       Run the nested subcommand, then print the process metrics registry
+//   ucp_tool metrics  [--store ENDPOINT | <subcommand> <args...>]
+//       With --store, fetch a live daemon's metrics page over the wire (v4
+//       METRICS_DUMP) and print both the text table and the Prometheus exposition.
+//       Otherwise run the nested subcommand, then print the process metrics registry
 //       (src/obs/metrics.h) as text. Metrics are process-local, so wrapping the command
 //       is how a CLI run gets a non-empty snapshot; with no nested command it prints
 //       whatever the (fresh) process has — useful to list registered metric names.
+//
+//   ucp_tool trace-merge <client.json> <server.json> [<out.json>]
+//       Stitch a client-side trace export and a daemon-side export (flight record or
+//       --trace=FILE) into one Chrome/Perfetto trace: distinct process tracks, server
+//       clocks aligned to the client's, and flow arrows linking each client RPC span to
+//       its server handling span. Writes to <out.json> or stdout.
 //
 //   ucp_tool trace-cat <file>
 //       Summarize a Chrome trace JSON (as written by --trace=FILE or the flight
@@ -97,6 +105,7 @@
 #include "src/store/remote_store.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace_merge.h"
 #include "src/soak/driver.h"
 #include "src/tensor/tensor_file.h"
 #include "src/ucp/converter.h"
@@ -124,7 +133,8 @@ void PrintUsage(std::FILE* out) {
                "  ucp_tool prune <ckpt_dir> <keep_last>\n"
                "  ucp_tool gc [--store ENDPOINT | <ckpt_dir>] <keep_last> [--dry-run]\n"
                "  ucp_tool ping --store ENDPOINT\n"
-               "  ucp_tool metrics [<subcommand> <args...>]\n"
+               "  ucp_tool metrics [--store ENDPOINT | <subcommand> <args...>]\n"
+               "  ucp_tool trace-merge <client.json> <server.json> [<out.json>]\n"
                "  ucp_tool trace-cat <file>\n"
                "  ucp_tool soak-replay <failure.jsonl> [<replay_dir>]\n"
                "  ucp_tool help\n"
@@ -751,6 +761,68 @@ int CmdMetrics(int argc, char** argv) {
   return code;
 }
 
+// `ucp_tool metrics --store ENDPOINT` — a live daemon's registry instead of this
+// process's, fetched over the wire (v4 METRICS_DUMP; the same payload /metrics serves).
+// Connects lease-less so the probe leaves no state behind on the server.
+int CmdMetricsRemote(const Flags& flags) {
+  if (!flags.positional.empty()) {
+    return Usage();
+  }
+  RemoteStoreOptions options;
+  options.lease_ttl_ms = 0;
+  options.reconnect = false;
+  Result<std::shared_ptr<RemoteStore>> store = RemoteStore::Connect(flags.store, options);
+  if (!store.ok()) {
+    return Fail(store.status());
+  }
+  Result<std::string> text = (*store)->MetricsDump(/*prometheus=*/false);
+  if (!text.ok()) {
+    return Fail(text.status());
+  }
+  Result<std::string> prom = (*store)->MetricsDump(/*prometheus=*/true);
+  if (!prom.ok()) {
+    return Fail(prom.status());
+  }
+  std::printf("# metrics from %s (text)\n%s", flags.store.c_str(), text->c_str());
+  std::printf("\n# metrics from %s (prometheus)\n%s", flags.store.c_str(), prom->c_str());
+  return 0;
+}
+
+// Stitches a client trace export and a server trace export into one Chrome trace with
+// cross-process flow arrows (src/obs/trace_merge.h has the merge semantics).
+int CmdTraceMerge(const Flags& flags) {
+  if (flags.positional.size() < 2 || flags.positional.size() > 3) {
+    return Usage();
+  }
+  Result<std::string> client_text = ReadFileToString(flags.positional[0]);
+  if (!client_text.ok()) {
+    return Fail(client_text.status());
+  }
+  Result<std::string> server_text = ReadFileToString(flags.positional[1]);
+  if (!server_text.ok()) {
+    return Fail(server_text.status());
+  }
+  obs::TraceMergeStats stats;
+  Result<std::string> merged = obs::MergeChromeTraces(*client_text, *server_text, &stats);
+  if (!merged.ok()) {
+    return Fail(merged.status());
+  }
+  if (flags.positional.size() == 3) {
+    Status written = WriteFileAtomic(flags.positional[2], *merged);
+    if (!written.ok()) {
+      return Fail(written);
+    }
+    std::printf("merged %zu client + %zu server events (%zu flow links) -> %s\n",
+                stats.client_events, stats.server_events, stats.flow_links,
+                flags.positional[2].c_str());
+  } else {
+    std::printf("%s\n", merged->c_str());
+    std::fprintf(stderr, "merged %zu client + %zu server events (%zu flow links)\n",
+                 stats.client_events, stats.server_events, stats.flow_links);
+  }
+  return 0;
+}
+
 // Summarizes a Chrome trace JSON written by ExportChromeTraceJson (via --trace=FILE or the
 // flight recorder): per-process event counts, then a per-span-name table sorted by total
 // wall time. Parsing uses src/common/json — the same schema the obs tests validate.
@@ -1004,7 +1076,15 @@ int Main(int argc, char** argv) {
     return CmdPing(flags);
   }
   if (command == "metrics") {
+    // `metrics --store X` alone reads a live daemon; with a nested subcommand, --store
+    // belongs to that subcommand (`metrics tags --store X`) and the wrapper applies.
+    if (!flags.store.empty() && flags.positional.empty()) {
+      return CmdMetricsRemote(flags);
+    }
     return CmdMetrics(argc, argv);
+  }
+  if (command == "trace-merge") {
+    return CmdTraceMerge(flags);
   }
   if (command == "trace-cat") {
     return CmdTraceCat(flags);
